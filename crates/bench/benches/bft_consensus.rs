@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the PBFT substrate: host-time cost of running
+//! consensus instances at the fault bounds §6.4 uses for the replicated
+//! request handler.
+
+use cbft_bft::{BftCluster, KvStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn consensus_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_commit");
+    for f in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("f", f), &f, |b, &f| {
+            b.iter(|| {
+                let mut cluster = BftCluster::new(f, KvStore::default(), 1);
+                let req = cluster.submit(b"put k v".to_vec());
+                cluster.run_until_reply(req).expect("commits")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn consensus_pipeline(c: &mut Criterion) {
+    c.bench_function("pbft_f1_20_sequential_ops", |b| {
+        b.iter(|| {
+            let mut cluster = BftCluster::new(1, KvStore::default(), 2);
+            for i in 0..20 {
+                let req = cluster.submit(format!("put k{i} v").into_bytes());
+                cluster.run_until_reply(req).expect("commits");
+            }
+        });
+    });
+}
+
+fn view_change_recovery(c: &mut Criterion) {
+    c.bench_function("pbft_f1_crashed_primary_recovery", |b| {
+        b.iter(|| {
+            let mut cluster = BftCluster::new(1, KvStore::default(), 3);
+            cluster.set_behavior(
+                cbft_bft::ReplicaId(0),
+                cbft_bft::BftBehavior::Crashed,
+            );
+            let req = cluster.submit(b"put a 1".to_vec());
+            cluster.run_until_reply(req).expect("commits after view change")
+        });
+    });
+}
+
+criterion_group!(benches, consensus_commit, consensus_pipeline, view_change_recovery);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks for the digest substrate: raw SHA-256 throughput and
+//! the cost of chunked (approximate) digests at the granularities §6.4
+//! sweeps.
+
+use cbft_digest::{ChunkedDigest, Digest, Sha256};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn sha256_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [1usize << 10, 1 << 16, 1 << 20] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Digest::of(std::hint::black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn sha256_incremental(c: &mut Criterion) {
+    let record = vec![0x55u8; 64];
+    c.bench_function("sha256_incremental_64B_x1000", |b| {
+        b.iter(|| {
+            let mut h = Sha256::new();
+            for _ in 0..1000 {
+                h.update(std::hint::black_box(&record));
+            }
+            h.finish()
+        });
+    });
+}
+
+fn chunked_digest_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chunked_digest_10k_records");
+    let records: Vec<Vec<u8>> = (0..10_000u32)
+        .map(|i| i.to_be_bytes().repeat(8).to_vec())
+        .collect();
+    for granularity in [usize::MAX, 10_000, 1_000, 100] {
+        let label = if granularity == usize::MAX {
+            "whole".to_owned()
+        } else {
+            granularity.to_string()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &granularity, |b, &g| {
+            b.iter(|| {
+                let mut cd = ChunkedDigest::new(g);
+                for r in &records {
+                    cd.append(std::hint::black_box(r));
+                }
+                cd.finish()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    sha256_throughput,
+    sha256_incremental,
+    chunked_digest_granularity
+);
+criterion_main!(benches);

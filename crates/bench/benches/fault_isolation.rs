@@ -1,0 +1,58 @@
+//! Criterion benchmarks for the fault analyzer and the §6.3 simulator:
+//! host-time cost of isolating faulty nodes at cluster scale.
+
+use cbft_faultsim::{FaultSim, FaultSimConfig, JobMix};
+use cbft_mapreduce::NodeId;
+use clusterbft::FaultAnalyzer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+
+fn analyzer_throughput(c: &mut Criterion) {
+    // Pre-generate cluster observations: overlapping ~20-node sets all
+    // containing the faulty node 7.
+    let clusters: Vec<BTreeSet<NodeId>> = (0..200)
+        .map(|i| {
+            let mut s: BTreeSet<NodeId> =
+                (0..19).map(|j| NodeId((i * 13 + j * 7) % 250 + 10)).collect();
+            s.insert(NodeId(7));
+            s
+        })
+        .collect();
+    c.bench_function("fault_analyzer_200_observations", |b| {
+        b.iter(|| {
+            let mut fa = FaultAnalyzer::new(1);
+            for cl in &clusters {
+                fa.observe_faulty_cluster(cl.clone());
+            }
+            std::hint::black_box(fa.suspects())
+        });
+    });
+}
+
+fn simulator_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faultsim_until_converged");
+    group.sample_size(10);
+    for (label, f, replicas) in [("f1_r4", 1usize, 4usize), ("f2_r7", 2, 7)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &(f, replicas),
+            |b, &(f, r)| {
+                b.iter(|| {
+                    let mut sim = FaultSim::new(FaultSimConfig {
+                        f,
+                        replicas: r,
+                        commission_probability: 0.7,
+                        mix: JobMix::R1,
+                        seed: 5,
+                        ..FaultSimConfig::default()
+                    });
+                    sim.run_until_converged(50_000).expect("converges")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, analyzer_throughput, simulator_convergence);
+criterion_main!(benches);

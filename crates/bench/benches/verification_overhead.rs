@@ -1,0 +1,45 @@
+//! End-to-end Criterion benchmark of ClusterBFT verification overhead:
+//! wall-clock (host) time to simulate the follower-analysis script across
+//! the paper's configurations. Complements the `fig9` binary, which
+//! reports *virtual* latencies.
+
+use cbft_bench::RunSpec;
+use cbft_workloads::twitter;
+use clusterbft::{JobConfig, Replication, VpPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn config(r: Replication, vp: VpPolicy, f: usize) -> JobConfig {
+    JobConfig::builder()
+        .expected_failures(f)
+        .replication(r)
+        .vp_policy(vp)
+        .map_split_records(1_000)
+        .build()
+}
+
+fn verification_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("follower_analysis_5k_edges");
+    group.sample_size(10);
+    let cases = [
+        ("pure_pig", config(Replication::Exact(1), VpPolicy::None, 0)),
+        ("single_2vp", config(Replication::Exact(1), VpPolicy::Marked(2), 0)),
+        ("bft_r2", config(Replication::Optimistic, VpPolicy::Marked(2), 1)),
+        ("bft_r4", config(Replication::Full, VpPolicy::Marked(2), 1)),
+        ("bft_r4_individual", config(Replication::Full, VpPolicy::Individual, 1)),
+    ];
+    for (label, cfg) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {
+            b.iter(|| {
+                let outcome = RunSpec::vicci(twitter::follower_analysis(1, 5_000), cfg.clone())
+                    .with_seed(1)
+                    .execute()
+                    .expect("bench run");
+                std::hint::black_box(outcome)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, verification_overhead);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Ablation — is the marker function worth it?
+//!
+//! §4.1 motivates the marker with two extremes: verify near the sources
+//! and you catch almost nothing; verify only at the sink and every failure
+//! re-computes the whole script. This ablation pits three placements of
+//! the *same number* of verification points against each other on the
+//! airline multi-store query with one always-corrupting node:
+//!
+//! * `marker`   — the paper's Fig. 3 function (ir + distance score);
+//! * `earliest` — the same count of points, placed at the first eligible
+//!   vertices in topological order (near the sources);
+//! * `final`    — output digests only (the `P` baseline).
+//!
+//! Reported: cpu/file multipliers over the fault-free baseline and the
+//! attempt count — lower is better.
+
+use cbft_bench::{ExperimentRecord, RunSpec, Script};
+use cbft_mapreduce::Behavior;
+use cbft_sim::SimDuration;
+use cbft_workloads::airline;
+use clusterbft::{JobConfig, Replication, ScriptOutcome, VertexId, VpPolicy};
+
+const FLIGHTS: usize = 40_000;
+const SEEDS: [u64; 5] = [3, 19, 41, 59, 87];
+
+fn config(vp: VpPolicy, timeout: SimDuration) -> JobConfig {
+    JobConfig::builder()
+        .expected_failures(1)
+        .replication(Replication::Exact(2))
+        .vp_policy(vp)
+        .map_split_records(4_000)
+        .reduce_tasks(4)
+        .max_attempts(4)
+        .verifier_timeout(timeout)
+        // Reuse/early-cancel are disabled to isolate the placement effect:
+        // what matters here is which jobs the verified frontier can trust.
+        .build()
+}
+
+/// The first `n` non-load, non-store vertices in topological order — the
+/// "verify near the sources" strawman.
+fn earliest_vertices(script: &str, n: usize) -> Vec<VertexId> {
+    let plan = Script::parse(script).unwrap().into_plan();
+    plan.vertices()
+        .iter()
+        .filter(|v| !v.op().is_load() && !v.op().is_store())
+        .map(|v| v.id())
+        .take(n)
+        .collect()
+}
+
+fn run_avg(make_vp: impl Fn() -> VpPolicy) -> (f64, f64, f64) {
+    let (mut cpu, mut file, mut attempts) = (0f64, 0f64, 0f64);
+    for &seed in &SEEDS {
+        let base: ScriptOutcome = RunSpec::vicci(
+            airline::top_airports(seed, FLIGHTS),
+            JobConfig::builder()
+                .expected_failures(0)
+                .replication(Replication::Exact(1))
+                .vp_policy(VpPolicy::None)
+                .map_split_records(4_000)
+                .build(),
+        )
+        .with_seed(seed)
+        .execute()
+        .expect("baseline");
+        let timeout = SimDuration::from_secs_f64(base.latency().as_secs_f64() * 1.5);
+        let out = RunSpec::vicci(airline::top_airports(seed, FLIGHTS), config(make_vp(), timeout))
+            .with_seed(seed)
+            .with_fault(0, Behavior::Commission { probability: 0.3 })
+            .execute()
+            .expect("ablation run");
+        cpu += out.metrics().cpu_multiplier(base.metrics());
+        file += out.metrics().file_read_multiplier(base.metrics());
+        attempts += out.attempts() as f64;
+    }
+    let n = SEEDS.len() as f64;
+    (cpu / n, file / n, attempts / n)
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "ablation_marker",
+        "Verification-point placement: marker vs earliest vs final-only",
+        &format!(
+            "airline top-20 query, {FLIGHTS} flights, r=2, one p=0.3-commission node, \
+             averaged over {} seeds; same point budget (2) for marker and earliest",
+            SEEDS.len()
+        ),
+    );
+
+    let marker = run_avg(|| VpPolicy::Marked(2));
+    let earliest = run_avg(|| {
+        VpPolicy::Explicit(earliest_vertices(airline::TOP_AIRPORTS_SCRIPT, 2))
+    });
+    let final_only = run_avg(|| VpPolicy::FinalOnly);
+
+    for (label, (cpu, file, attempts)) in
+        [("marker", marker), ("earliest", earliest), ("final-only", final_only)]
+    {
+        record.push(format!("{label} cpu"), "x", None, cpu);
+        record.push(format!("{label} file read"), "x", None, file);
+        record.push(format!("{label} attempts"), "count", None, attempts);
+    }
+    record.finish();
+}

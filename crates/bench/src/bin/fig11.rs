@@ -1,0 +1,65 @@
+//! Fig. 11 — number of jobs required to identify the disjoint fault sets.
+//!
+//! §6.3: the 250-node simulator runs until `|D| = f` (after which "the
+//! number of suspicious nodes will not increase"), sweeping the
+//! probability that a faulty node produces a commission fault on a job it
+//! serves. Series: job-size ratios r1 = 6:3:1 and r2 = 2:2:1, each with
+//! f = 1 (4 replicas) and f = 2 (7 replicas). The paper's calibration
+//! points: with p ≥ 0.6 fewer than 20 jobs suffice; with very high p the
+//! fault isolates within about 10 jobs.
+
+use cbft_faultsim::{FaultSim, FaultSimConfig, JobMix};
+use cbft_bench::ExperimentRecord;
+
+const SEEDS: u64 = 10;
+const MAX_STEPS: u64 = 40_000;
+
+fn avg_jobs(mix: JobMix, f: usize, replicas: usize, p: f64) -> f64 {
+    let mut total = 0f64;
+    for seed in 0..SEEDS {
+        let mut sim = FaultSim::new(FaultSimConfig {
+            f,
+            replicas,
+            commission_probability: p,
+            mix,
+            seed: 1000 * seed + 7,
+            ..FaultSimConfig::default()
+        });
+        total += sim.run_until_converged(MAX_STEPS).unwrap_or(u64::MAX.min(100_000)) as f64;
+    }
+    total / SEEDS as f64
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "fig11",
+        "Jobs to identify disjoint fault sets vs commission probability",
+        &format!(
+            "250 nodes x 3 slots, large 20-30 / medium 10-15 / small 3-5 slots, \
+             averaged over {SEEDS} seeds; r1 = 6:3:1, r2 = 2:2:1; f=1 uses 4 replicas, \
+             f=2 uses 7; paper values are the two calibration bounds it states"
+        ),
+    );
+
+    let series = [
+        ("r1 f=1", JobMix::R1, 1usize, 4usize),
+        ("r2 f=1", JobMix::R2, 1, 4),
+        ("r1 f=2", JobMix::R1, 2, 7),
+        ("r2 f=2", JobMix::R2, 2, 7),
+    ];
+
+    for p10 in 1..=10u32 {
+        let p = p10 as f64 / 10.0;
+        for (label, mix, f, r) in series {
+            let paper = match p10 {
+                6 => Some(20.0),  // "p >= 0.6 → less than 20 jobs"
+                10 => Some(10.0), // "very high probability → within ~10 jobs"
+                _ => None,
+            };
+            let measured = avg_jobs(mix, f, r, p);
+            record.push(format!("p={p:.1} {label}"), "jobs", paper, measured);
+        }
+    }
+
+    record.finish();
+}

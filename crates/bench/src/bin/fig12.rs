@@ -1,0 +1,65 @@
+//! Fig. 12 — suspicion level changes over time.
+//!
+//! §6.3: a typical simulator run, bucketing nodes into Low
+//! (0 < s ≤ 0.33), Med (0.33 < s ≤ 0.66) and High (0.66 < s) suspicion.
+//! The paper's qualitative checkpoints: nothing is suspected before the
+//! first commission fault surfaces (Time < 15); once `|D| = f` (around
+//! Time 25) the suspect count stops growing; by Time 50 only the truly
+//! faulty nodes remain in the High band.
+
+use cbft_bench::ExperimentRecord;
+use cbft_faultsim::{FaultSim, FaultSimConfig, JobMix};
+
+fn main() {
+    let mut sim = FaultSim::new(FaultSimConfig {
+        f: 1,
+        replicas: 4,
+        commission_probability: 0.8,
+        mix: JobMix::R1,
+        length_range: (5, 15),
+        seed: 4,
+        ..FaultSimConfig::default()
+    });
+    sim.run_steps(150);
+
+    let mut record = ExperimentRecord::new(
+        "fig12",
+        "Suspicion-band population over time (typical run)",
+        "250 nodes, f=1 (4 replicas), p=0.8, mix r1, job length 5-15; bands: low (0,1/3], med (1/3,2/3], high (2/3,1]",
+    );
+
+    for snap in sim.history().iter().filter(|s| s.time % 15 == 0) {
+        record.push(format!("t={:<3} low", snap.time), "nodes", None, snap.low as f64);
+        record.push(format!("t={:<3} med", snap.time), "nodes", None, snap.med as f64);
+        record.push(format!("t={:<3} high", snap.time), "nodes", None, snap.high as f64);
+    }
+
+    // Qualitative checkpoints the paper states.
+    let converged_at = sim
+        .history()
+        .iter()
+        .find(|s| s.converged)
+        .map(|s| s.time as f64)
+        .unwrap_or(f64::NAN);
+    record.push("time |D| reaches f", "t", Some(25.0), converged_at);
+
+    let truth = sim.ground_truth().clone();
+    let high_only_faulty_at = sim
+        .history()
+        .iter()
+        .find(|s| {
+            s.converged
+                && s.high == truth.len()
+                && truth.iter().all(|n| {
+                    matches!(
+                        sim.suspicion().band(*n),
+                        clusterbft::SuspicionBand::High
+                    )
+                })
+        })
+        .map(|s| s.time as f64)
+        .unwrap_or(f64::NAN);
+    record.push("time high = only faulty", "t", Some(50.0), high_only_faulty_at);
+
+    record.finish();
+}

@@ -1,0 +1,81 @@
+//! Fig. 9 — latency of the Twitter Follower Analysis.
+//!
+//! §6.1: digests are computed at 1, 2 or 3 verification points. *Pure Pig*
+//! is the unreplicated, digest-free baseline; *Single Execution* runs one
+//! replica with digest computation (isolating the digest overhead); *BFT
+//! Execution* runs 4 replicas and matches `f + 1` digests. The paper
+//! reports "a minimal overhead of 8% and worst case of 9%, 14% and 19%
+//! overhead with 1, 2 and 3 verification points".
+
+use cbft_bench::{pig_like_cost, ExperimentRecord, RunSpec};
+use cbft_workloads::twitter;
+use clusterbft::{Adversary, JobConfig, Replication, ScriptOutcome, VpPolicy};
+
+const EDGES: usize = 500_000;
+const SEED: u64 = 9;
+
+fn run(config: JobConfig) -> ScriptOutcome {
+    RunSpec::vicci(twitter::follower_analysis(SEED, EDGES), config)
+        .with_seed(SEED)
+        .with_cost(pig_like_cost())
+        .execute()
+        .expect("fig9 run")
+}
+
+fn main() {
+    let pure = run(JobConfig::builder()
+        .expected_failures(0)
+        .replication(Replication::Exact(1))
+        .vp_policy(VpPolicy::None)
+        .map_split_records(25_000)
+        .build());
+    let base_s = pure.latency().as_secs_f64();
+
+    let mut record = ExperimentRecord::new(
+        "fig9",
+        "Twitter Follower Analysis latency (overhead % over Pure Pig)",
+        &format!(
+            "{EDGES} synthetic follower edges, 32 nodes; Single = 1 replica with digests, \
+             BFT = 4 replicas (f=1) with f+1 digest matching; paper values are the reported \
+             worst-case digest overheads"
+        ),
+    );
+    record.push("pure pig latency", "s", None, base_s);
+
+    for n in 1..=3u32 {
+        let single = run(JobConfig::builder()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::Marked(n))
+            .adversary(Adversary::Weak)
+            .map_split_records(25_000)
+            .build());
+        let bft = run(JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::Marked(n))
+            .adversary(Adversary::Weak)
+            .map_split_records(25_000)
+            .build());
+        assert!(bft.verified(), "healthy cluster must verify");
+
+        let single_oh = (single.latency().as_secs_f64() / base_s - 1.0) * 100.0;
+        let bft_oh = (bft.latency().as_secs_f64() / base_s - 1.0) * 100.0;
+        let paper_worst = match n {
+            1 => 9.0,
+            2 => 14.0,
+            _ => 19.0,
+        };
+        record.push(format!("single {n}vp latency"), "s", None, single.latency().as_secs_f64());
+        record.push(
+            format!("single {n}vp overhead"),
+            "%",
+            if n == 1 { Some(8.0) } else { None },
+            single_oh,
+        );
+        record.push(format!("bft {n}vp latency"), "s", None, bft.latency().as_secs_f64());
+        record.push(format!("bft {n}vp overhead"), "%", Some(paper_worst), bft_oh);
+    }
+
+    record.finish();
+}

@@ -1,0 +1,149 @@
+//! Table 3 — ClusterBFT in the presence of Byzantine failures.
+//!
+//! The §6.2 experiment: the IRTA airline multi-store top-20 query runs
+//! with `f = 1`, two verification points, and one node set up to always
+//! produce commission failures. `C` is ClusterBFT (intermediate
+//! verification points → re-execution restarts from the verified
+//! frontier, and provably corrupt lineages are cancelled early); `P`
+//! verifies the digest of the final output only (→ any failure re-runs
+//! the whole script). All numbers are multipliers over a single
+//! unreplicated run of "standard Pig" (our engine, no digests), averaged
+//! over several seeds because *which* lineages the faulty node poisons is
+//! placement luck.
+//!
+//! `r = 3` is measured twice: case 1 (all replicas respond within the
+//! verifier timeout) and case 2 (one replica wedged by an omission-faulty
+//! node, forcing a timeout and a re-run with higher `r`).
+
+use cbft_bench::{ExperimentRecord, RunSpec};
+use cbft_mapreduce::Behavior;
+use cbft_sim::SimDuration;
+use cbft_workloads::airline;
+use clusterbft::{JobConfig, Replication, ScriptOutcome, VpPolicy};
+
+const FLIGHTS: usize = 40_000;
+const SEEDS: [u64; 5] = [11, 23, 37, 51, 73];
+
+fn base_config() -> clusterbft::JobConfigBuilder {
+    JobConfig::builder()
+        .expected_failures(1)
+        .map_split_records(4_000)
+        .reduce_tasks(4)
+        .max_attempts(4)
+}
+
+fn baseline(seed: u64) -> ScriptOutcome {
+    RunSpec::vicci(
+        airline::top_airports(seed, FLIGHTS),
+        base_config()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::None)
+            .build(),
+    )
+    .with_seed(seed)
+    .execute()
+    .expect("baseline run")
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Multipliers {
+    latency: f64,
+    cpu: f64,
+    file_read: f64,
+    file_write: f64,
+    hdfs_write: f64,
+}
+
+/// Runs one configuration across all seeds and averages the multipliers
+/// against each seed's own baseline.
+fn run_avg(make_config: impl Fn(SimDuration) -> JobConfig, crash_extra_node: bool) -> Multipliers {
+    let mut acc = Multipliers::default();
+    for &seed in &SEEDS {
+        let base = baseline(seed);
+        let timeout = SimDuration::from_secs_f64(base.latency().as_secs_f64() * 1.5);
+        let mut spec = RunSpec::vicci(airline::top_airports(seed, FLIGHTS), make_config(timeout))
+            .with_seed(seed)
+            .with_fault(0, Behavior::Commission { probability: 1.0 });
+        if crash_extra_node {
+            spec = spec.with_fault(1, Behavior::Crashed);
+        }
+        let out = spec.execute().expect("table3 run");
+        let m = out.metrics();
+        let b = base.metrics();
+        acc.latency += out.latency().as_secs_f64() / base.latency().as_secs_f64();
+        acc.cpu += m.cpu_multiplier(b);
+        acc.file_read += m.file_read_multiplier(b);
+        acc.file_write += m.file_write_multiplier(b);
+        acc.hdfs_write += m.hdfs_write_multiplier(b);
+    }
+    let n = SEEDS.len() as f64;
+    Multipliers {
+        latency: acc.latency / n,
+        cpu: acc.cpu / n,
+        file_read: acc.file_read / n,
+        file_write: acc.file_write / n,
+        hdfs_write: acc.hdfs_write / n,
+    }
+}
+
+fn push_case(record: &mut ExperimentRecord, label: &str, paper: Multipliers, m: Multipliers) {
+    record.push(format!("{label} latency"), "x", Some(paper.latency), m.latency);
+    record.push(format!("{label} cpu"), "x", Some(paper.cpu), m.cpu);
+    record.push(format!("{label} file read"), "x", Some(paper.file_read), m.file_read);
+    record.push(format!("{label} file write"), "x", Some(paper.file_write), m.file_write);
+    record.push(format!("{label} hdfs write"), "x", Some(paper.hdfs_write), m.hdfs_write);
+}
+
+fn main() {
+    let cluster_cfg = move |r: usize| {
+        move |timeout: SimDuration| {
+            base_config()
+                .replication(Replication::Exact(r))
+                .vp_policy(VpPolicy::Marked(2))
+                .verifier_timeout(timeout)
+                .early_cancel(true)
+                .reuse_digests(true)
+                .build()
+        }
+    };
+    let final_only_cfg = move |r: usize| {
+        move |timeout: SimDuration| {
+            base_config()
+                .replication(Replication::Exact(r))
+                .vp_policy(VpPolicy::FinalOnly)
+                .verifier_timeout(timeout)
+                .build()
+        }
+    };
+
+    let mut record = ExperimentRecord::new(
+        "table3",
+        "ClusterBFT under Byzantine failures (multipliers over standard Pig)",
+        &format!(
+            "airline top-20 multi-store query, {FLIGHTS} synthetic flights, 32 nodes, f=1, \
+             2 marked verification points, one always-commission node; averaged over {} seeds; \
+             C = ClusterBFT (early cancel + partial re-execution), P = final-output-only",
+            SEEDS.len()
+        ),
+    );
+
+    let paper = |l, c, fr, fw, h| Multipliers {
+        latency: l,
+        cpu: c,
+        file_read: fr,
+        file_write: fw,
+        hdfs_write: h,
+    };
+
+    push_case(&mut record, "r=2 C", paper(1.6, 3.5, 3.6, 3.4, 2.0), run_avg(cluster_cfg(2), false));
+    push_case(&mut record, "r=2 P", paper(2.1, 4.1, 4.0, 4.0, 4.0), run_avg(final_only_cfg(2), false));
+    push_case(&mut record, "r=3c1 C", paper(1.1, 3.1, 2.6, 2.4, 2.0), run_avg(cluster_cfg(3), false));
+    push_case(&mut record, "r=3c1 P", paper(1.1, 3.1, 3.0, 3.0, 3.0), run_avg(final_only_cfg(3), false));
+    push_case(&mut record, "r=3c2 C", paper(1.6, 4.5, 4.7, 4.7, 2.0), run_avg(cluster_cfg(3), true));
+    push_case(&mut record, "r=3c2 P", paper(2.1, 6.2, 6.0, 6.0, 6.0), run_avg(final_only_cfg(3), true));
+    push_case(&mut record, "r=4 C", paper(1.1, 4.2, 3.6, 3.4, 3.0), run_avg(cluster_cfg(4), false));
+    push_case(&mut record, "r=4 P", paper(1.1, 4.2, 4.0, 4.0, 4.0), run_avg(final_only_cfg(4), false));
+
+    record.finish();
+}

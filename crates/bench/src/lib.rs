@@ -1,0 +1,271 @@
+//! Benchmark harness regenerating every table and figure of the
+//! ClusterBFT evaluation (§6).
+//!
+//! One binary per paper artefact (run with `cargo run -p cbft-bench --release --bin <name>`):
+//!
+//! | binary         | paper artefact | what it reproduces |
+//! |----------------|----------------|--------------------|
+//! | `fig9`         | Fig. 9         | Twitter Follower Analysis latency: Pure Pig vs Single vs BFT execution, 1–3 verification points |
+//! | `fig10`        | Fig. 10        | Two Hop Analysis digest overhead at Join / Project / Filter / J&F / J,P&F |
+//! | `table3`       | Table 3        | multipliers under a commission-faulty node for C (ClusterBFT) vs P (final-output-only), r ∈ {2, 3, 4} |
+//! | `fig11`        | Fig. 11        | jobs until `\|D\| = f` vs commission probability (250-node simulator) |
+//! | `fig12`        | Fig. 12        | suspicion-band time series |
+//! | `fig13`        | Fig. 13        | suspicion spike from overlapping large faulty clusters |
+//! | `fig14`        | Fig. 14        | weather analysis latency vs digest granularity, BFT-replicated control tier |
+//! | `ablation_nxm` | Fig. 1 / §3.2  | naive per-job BFT (n×m) vs clustered replication |
+//! | `ablation_marker` | §4.1 | verification-point placement: marker vs earliest vs final-only |
+//! | `ablation_overlap` | §4.2 | overlap vs FIFO scheduling for isolation speed |
+//! | `ablation_combiner` | substrate | map-side combiners: shuffle volume & digest equivalence |
+//! | `experiments_md` | — | regenerates `EXPERIMENTS.md` from the recorded results |
+//!
+//! Every binary prints a paper-vs-measured table and appends a JSON record
+//! under `bench_results/` from which `EXPERIMENTS.md` is assembled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use cbft_mapreduce::{Behavior, Cluster};
+use cbft_sim::CostModel;
+use cbft_workloads::Workload;
+use clusterbft::{ClusterBft, JobConfig, ScriptOutcome, SubmitError, VertexId};
+use serde::{Deserialize, Serialize};
+
+pub use cbft_dataflow::Script;
+
+/// A cost model calibrated to Pig-on-Hadoop per-tuple costs (~10 µs of
+/// JVM work per record per operator) so that computation, not task
+/// startup, dominates job latency — the regime the paper's multi-minute
+/// jobs run in. Used by the latency-sensitive figures (9, 10, 14).
+pub fn pig_like_cost() -> CostModel {
+    CostModel {
+        cpu_ns_per_record: 10_000,
+        ..CostModel::default()
+    }
+}
+
+/// One labelled measurement, optionally paired with the paper's value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label ("r=2 C latency", "p=0.6 f=1 r1", ...).
+    pub label: String,
+    /// Unit ("x", "%", "s", "jobs", "messages").
+    pub unit: String,
+    /// The paper's reported value, when one exists.
+    pub paper: Option<f64>,
+    /// Our measured value.
+    pub measured: f64,
+}
+
+/// A full experiment: id, context and rows.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Short id ("fig9", "table3").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Free-form notes (workload scale, substitutions).
+    pub notes: String,
+    /// The measurements.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentRecord {
+    /// Creates an empty record.
+    pub fn new(id: &str, title: &str, notes: &str) -> Self {
+        ExperimentRecord {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            notes: notes.to_owned(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, label: impl Into<String>, unit: &str, paper: Option<f64>, measured: f64) {
+        self.rows.push(Row {
+            label: label.into(),
+            unit: unit.to_owned(),
+            paper,
+            measured,
+        });
+    }
+
+    /// Renders an aligned paper-vs-measured table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        if !self.notes.is_empty() {
+            let _ = writeln!(out, "   {}", self.notes);
+        }
+        let width = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
+        let _ = writeln!(out, "   {:<width$}  {:>12}  {:>12}  unit", "row", "paper", "measured");
+        for r in &self.rows {
+            let paper = r
+                .paper
+                .map(|p| format!("{p:.3}"))
+                .unwrap_or_else(|| "-".to_owned());
+            let _ = writeln!(
+                out,
+                "   {:<width$}  {:>12}  {:>12.3}  {}",
+                r.label, paper, r.measured, r.unit
+            );
+        }
+        out
+    }
+
+    /// Prints the table to stdout and saves the JSON record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the results directory cannot be written — a bench harness
+    /// that silently loses results is worse than one that aborts.
+    pub fn finish(&self) {
+        println!("{}", self.render());
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir).expect("create bench_results dir");
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("serialize record");
+        std::fs::write(&path, json).expect("write record");
+        println!("   [saved {}]", path.display());
+    }
+}
+
+/// The directory bench records are written to (`bench_results/` under the
+/// workspace root, overridable via `CBFT_BENCH_DIR`).
+pub fn results_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CBFT_BENCH_DIR") {
+        return PathBuf::from(dir);
+    }
+    // CARGO_MANIFEST_DIR = crates/bench → workspace root is two up.
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("bench_results");
+    p
+}
+
+/// Everything needed to run one ClusterBFT configuration on a fresh
+/// simulated cluster.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Untrusted-tier size.
+    pub nodes: usize,
+    /// Slots per node.
+    pub slots: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Faulty nodes: `(node index, behaviour)`.
+    pub faulty: Vec<(usize, Behavior)>,
+    /// Cost model override (default: [`CostModel::default`]).
+    pub cost: Option<CostModel>,
+    /// The ClusterBFT configuration.
+    pub config: JobConfig,
+    /// The workload.
+    pub workload: Workload,
+}
+
+impl RunSpec {
+    /// A 32-node cluster (the paper's Vicci tier: 12-core Xeons, so ~9
+    /// task slots per node at the paper's 3-4 slots per 4 cores).
+    pub fn vicci(workload: Workload, config: JobConfig) -> Self {
+        RunSpec { nodes: 32, slots: 9, seed: 1, faulty: Vec::new(), cost: None, config, workload }
+    }
+
+    /// Adds a faulty node.
+    pub fn with_fault(mut self, node: usize, behavior: Behavior) -> Self {
+        self.faulty.push((node, behavior));
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Builds the cluster, loads the workload and executes the script.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse/plan/storage/engine errors from the core crate.
+    pub fn execute(self) -> Result<ScriptOutcome, SubmitError> {
+        let mut builder = Cluster::builder()
+            .nodes(self.nodes)
+            .slots_per_node(self.slots)
+            .seed(self.seed);
+        if let Some(cost) = self.cost {
+            builder = builder.cost_model(cost);
+        }
+        for (node, behavior) in self.faulty {
+            builder = builder.node_behavior(node, behavior);
+        }
+        let mut cbft = ClusterBft::new(builder.build(), self.config);
+        cbft.load_input(self.workload.input_name, self.workload.records)?;
+        cbft.submit_script(self.workload.script)
+    }
+}
+
+/// Finds every vertex of `script` whose operator name is in `names`
+/// (e.g. `["Join", "Filter"]`) — used to place explicit verification
+/// points the way §6.1 does.
+///
+/// # Panics
+///
+/// Panics when the script does not parse; bench inputs are static.
+pub fn vertices_by_op(script: &str, names: &[&str]) -> Vec<VertexId> {
+    let plan = Script::parse(script).expect("bench script parses").into_plan();
+    plan.vertices()
+        .iter()
+        .filter(|v| names.contains(&v.op().name()))
+        .map(|v| v.id())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterbft::{Replication, VpPolicy};
+
+    #[test]
+    fn record_render_and_rows() {
+        let mut r = ExperimentRecord::new("t", "title", "notes");
+        r.push("a", "x", Some(1.5), 1.4);
+        r.push("b", "s", None, 2.0);
+        let s = r.render();
+        assert!(s.contains("title"));
+        assert!(s.contains("1.500"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn vertices_by_op_finds_operators() {
+        let vs = vertices_by_op(cbft_workloads::twitter::TWO_HOP_SCRIPT, &["Filter"]);
+        assert_eq!(vs.len(), 2, "two filters in the two-hop script");
+        let js = vertices_by_op(cbft_workloads::twitter::TWO_HOP_SCRIPT, &["Join"]);
+        assert_eq!(js.len(), 1);
+    }
+
+    #[test]
+    fn runspec_executes_end_to_end() {
+        let spec = RunSpec::vicci(
+            cbft_workloads::twitter::follower_analysis(3, 300),
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(Replication::Full)
+                .vp_policy(VpPolicy::Marked(1))
+                .map_split_records(64)
+                .build(),
+        );
+        let outcome = spec.execute().expect("runs");
+        assert!(outcome.verified());
+    }
+}

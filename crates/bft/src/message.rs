@@ -1,0 +1,253 @@
+//! Protocol messages.
+
+use std::fmt;
+
+use cbft_digest::Digest;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a BFT replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(pub usize);
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// The shared client-authentication key. Stands in for the client
+/// signatures / pairwise MACs of real PBFT: a Byzantine *replica* cannot
+/// forge a client's authenticator for a modified operation (in the
+/// simulation this is enforced by the fault-injection code never calling
+/// [`Request::new`] on forged payloads).
+pub const CLIENT_KEY: u64 = 0x00c1_1e47_ab1e_0000;
+
+/// A client request: an opaque operation for the replicated state machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Issuing client.
+    pub client: u64,
+    /// Client-local timestamp, also the deduplication key.
+    pub timestamp: u64,
+    /// The operation payload.
+    pub op: Vec<u8>,
+    /// Client authenticator (MAC surrogate); replicas drop requests whose
+    /// authenticator does not match the payload.
+    pub auth: Digest,
+}
+
+impl Request {
+    /// Creates an authenticated request.
+    pub fn new(client: u64, timestamp: u64, op: Vec<u8>) -> Self {
+        let auth = Self::mac(client, timestamp, &op);
+        Request { client, timestamp, op, auth }
+    }
+
+    fn mac(client: u64, timestamp: u64, op: &[u8]) -> Digest {
+        let mut h = cbft_digest::Sha256::new();
+        h.update(&CLIENT_KEY.to_be_bytes());
+        h.update(&client.to_be_bytes());
+        h.update(&timestamp.to_be_bytes());
+        h.update(op);
+        h.finish()
+    }
+
+    /// Whether the authenticator matches the payload.
+    pub fn is_authentic(&self) -> bool {
+        self.auth == Self::mac(self.client, self.timestamp, &self.op)
+    }
+
+    /// The request digest used throughout the protocol.
+    pub fn digest(&self) -> Digest {
+        let mut h = cbft_digest::Sha256::new();
+        h.update(&self.client.to_be_bytes());
+        h.update(&self.timestamp.to_be_bytes());
+        h.update(&self.op);
+        h.finish()
+    }
+}
+
+/// A prepared certificate carried in `VIEW-CHANGE`: evidence that a request
+/// may have committed at this sequence number and must survive the view
+/// change.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreparedEntry {
+    /// Sequence number.
+    pub seq: u64,
+    /// The view in which it prepared.
+    pub view: u64,
+    /// The request itself (piggybacked so the new primary can re-propose).
+    pub request: Request,
+}
+
+/// PBFT protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Message {
+    /// Client → replicas.
+    Request(Request),
+    /// Primary → backups: ordering proposal (request piggybacked).
+    PrePrepare {
+        /// Current view.
+        view: u64,
+        /// Assigned sequence number.
+        seq: u64,
+        /// Digest of the request.
+        digest: Digest,
+        /// The request.
+        request: Request,
+    },
+    /// Backup → all: acknowledges the proposal.
+    Prepare {
+        /// Current view.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Request digest.
+        digest: Digest,
+    },
+    /// Replica → all: the request is prepared locally.
+    Commit {
+        /// Current view.
+        view: u64,
+        /// Sequence number.
+        seq: u64,
+        /// Request digest.
+        digest: Digest,
+    },
+    /// Replica → client: execution result.
+    Reply {
+        /// View at execution time.
+        view: u64,
+        /// Echoed client timestamp.
+        timestamp: u64,
+        /// The client addressed.
+        client: u64,
+        /// Application result.
+        result: Vec<u8>,
+    },
+    /// Replica → all: vote to move to `new_view`, carrying prepared
+    /// certificates.
+    ViewChange {
+        /// The proposed view.
+        new_view: u64,
+        /// The sender's stable checkpoint sequence number; the new primary
+        /// never assigns at or below the highest voted checkpoint.
+        stable_seq: u64,
+        /// Entries prepared at the sender (above its stable checkpoint).
+        prepared: Vec<PreparedEntry>,
+    },
+    /// New primary → all: installs `view` and re-proposes surviving
+    /// entries plus pending requests.
+    NewView {
+        /// The installed view.
+        view: u64,
+        /// Re-proposals, as (seq, request) pairs, in sequence order.
+        proposals: Vec<(u64, Request)>,
+    },
+    /// Replica → all: attests that the sender executed through `seq` with
+    /// the given request-history digest. `2f + 1` matching votes make the
+    /// checkpoint *stable*: protocol state below it is garbage-collected.
+    Checkpoint {
+        /// Sequence number of the checkpoint.
+        seq: u64,
+        /// Rolling digest of the executed request history through `seq`.
+        history: Digest,
+    },
+    /// Lagging replica → peer: request the committed log above `from`.
+    CatchUpRequest {
+        /// The requester's executed watermark.
+        from: u64,
+    },
+    /// Peer → lagging replica: the committed log, verifiable against a
+    /// stable checkpoint's history digest.
+    CatchUp {
+        /// Checkpoint the log runs through.
+        through: u64,
+        /// History digest at `through` (must match a known stable proof).
+        history: Digest,
+        /// The requests, in sequence order.
+        entries: Vec<(u64, Request)>,
+    },
+}
+
+impl Message {
+    /// A short tag for metrics and debugging.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::Request(_) => "request",
+            Message::PrePrepare { .. } => "pre-prepare",
+            Message::Prepare { .. } => "prepare",
+            Message::Commit { .. } => "commit",
+            Message::Reply { .. } => "reply",
+            Message::ViewChange { .. } => "view-change",
+            Message::NewView { .. } => "new-view",
+            Message::Checkpoint { .. } => "checkpoint",
+            Message::CatchUpRequest { .. } => "catch-up-request",
+            Message::CatchUp { .. } => "catch-up",
+        }
+    }
+
+    /// Approximate wire size in bytes, for network-cost accounting.
+    pub fn wire_size(&self) -> u64 {
+        let body = match self {
+            Message::Request(r) => r.op.len(),
+            Message::PrePrepare { request, .. } => request.op.len() + 32,
+            Message::Prepare { .. } | Message::Commit { .. } => 32,
+            Message::Reply { result, .. } => result.len(),
+            Message::ViewChange { prepared, .. } => {
+                prepared.iter().map(|p| p.request.op.len() + 48).sum()
+            }
+            Message::NewView { proposals, .. } => {
+                proposals.iter().map(|(_, r)| r.op.len() + 8).sum()
+            }
+            Message::Checkpoint { .. } => 40,
+            Message::CatchUpRequest { .. } => 8,
+            Message::CatchUp { entries, .. } => {
+                40 + entries.iter().map(|(_, r)| r.op.len() + 8).sum::<usize>()
+            }
+        };
+        64 + body as u64 // headers + MACs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_binds_all_request_fields() {
+        let base = Request::new(1, 2, b"x".to_vec());
+        let d = base.digest();
+        let variants = [
+            Request::new(9, 2, b"x".to_vec()),
+            Request::new(1, 9, b"x".to_vec()),
+            Request::new(1, 2, b"y".to_vec()),
+        ];
+        for v in variants {
+            assert_ne!(v.digest(), d);
+        }
+        assert_eq!(base.digest(), base.clone().digest());
+    }
+
+    #[test]
+    fn authenticator_detects_tampering() {
+        let good = Request::new(1, 2, b"put a 1".to_vec());
+        assert!(good.is_authentic());
+        let mut forged = good.clone();
+        forged.op.push(b'!');
+        assert!(!forged.is_authentic(), "modified op must fail the MAC");
+        let mut replayed = good;
+        replayed.timestamp = 3;
+        assert!(!replayed.is_authentic(), "replayed MAC must not transfer");
+    }
+
+    #[test]
+    fn kinds_and_sizes() {
+        let req = Request::new(1, 1, vec![0u8; 100]);
+        let m = Message::Request(req.clone());
+        assert_eq!(m.kind(), "request");
+        assert!(m.wire_size() >= 100);
+        let pp = Message::PrePrepare { view: 0, seq: 1, digest: req.digest(), request: req };
+        assert!(pp.wire_size() > m.wire_size());
+    }
+}

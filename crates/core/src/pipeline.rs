@@ -1,0 +1,968 @@
+//! The ClusterBFT orchestrator: request handler, execution handler and
+//! verifier wired together (Fig. 2 of the paper).
+//!
+//! A script submission flows through:
+//! 1. **Client handler** — parse the script, build the logical plan.
+//! 2. **Graph analyzer** — compute input ratios, run the marker function,
+//!    instrument verification points (restricted to job boundaries under
+//!    the strong adversary).
+//! 3. **Job initiator** — compile to a MapReduce job DAG, namespace every
+//!    replica's files, and submit `r` replicas of each job to the
+//!    execution handler (the simulated Hadoop cluster), wave by wave as
+//!    dependencies materialize.
+//! 4. **Verifier** — collect streamed digests, require `f + 1` agreement
+//!    per correspondence key; on mismatch or timeout, mark suspicion,
+//!    feed faulty clusters to the fault analyzer, *trust* every job whose
+//!    output reached quorum, and re-execute only the rest with a higher
+//!    replica count and a doubled timeout.
+//!
+//! The two Table-3 configurations fall out directly: ClusterBFT (`C`)
+//! places intermediate verification points so re-execution restarts from
+//! the last verified job boundary, while the final-output-only baseline
+//! (`P`) can never trust intermediates and re-runs the whole script.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use cbft_dataflow::analyze::{analyze_plan, mark_seeded, Adversary};
+use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, MrJob, Site};
+use cbft_dataflow::{LogicalPlan, Script, VertexId};
+use cbft_mapreduce::{
+    Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle,
+    TimerToken, VpSite,
+};
+use cbft_sim::SimDuration;
+
+use crate::config::{JobConfig, VpPolicy};
+use crate::isolation::FaultAnalyzer;
+use crate::outcome::{ScriptOutcome, SubmitError};
+use crate::suspicion::SuspicionTable;
+use crate::verifier::{DigestKey, Verifier};
+
+/// The ClusterBFT system: owns the untrusted-tier cluster and the trusted
+/// control-tier state (verifier, suspicion table, fault analyzer).
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{Record, Value};
+/// use cbft_mapreduce::Cluster;
+/// use clusterbft::{ClusterBft, JobConfig};
+///
+/// let cluster = Cluster::builder().nodes(8).seed(1).build();
+/// let mut cbft = ClusterBft::new(cluster, JobConfig::default());
+/// let edges: Vec<Record> = (0..100)
+///     .map(|i| Record::new(vec![Value::Int(i % 7), Value::Int(i)]))
+///     .collect();
+/// cbft.load_input("edges", edges)?;
+/// let outcome = cbft.submit_script(
+///     "raw = LOAD 'edges' AS (user, follower);
+///      grp = GROUP raw BY user;
+///      cnt = FOREACH grp GENERATE group, COUNT(raw) AS n;
+///      STORE cnt INTO 'counts';",
+/// )?;
+/// assert!(outcome.verified());
+/// # Ok::<(), clusterbft::SubmitError>(())
+/// ```
+pub struct ClusterBft {
+    cluster: Cluster,
+    config: JobConfig,
+    suspicion: SuspicionTable,
+    analyzer: Option<FaultAnalyzer>,
+    script_counter: u64,
+    timer_counter: u64,
+}
+
+/// Per-replica bookkeeping of one completed job.
+#[derive(Clone, Debug)]
+struct CompletedJob {
+    file: String,
+    nodes: BTreeSet<NodeId>,
+}
+
+impl ClusterBft {
+    /// Creates a ClusterBFT deployment over `cluster`.
+    pub fn new(cluster: Cluster, config: JobConfig) -> Self {
+        let analyzer = if config.expected_failures > 0 {
+            Some(FaultAnalyzer::new(config.expected_failures))
+        } else {
+            None
+        };
+        ClusterBft {
+            cluster,
+            config,
+            suspicion: SuspicionTable::new(),
+            analyzer,
+            script_counter: 0,
+            timer_counter: 0,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster (fault injection, storage).
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &JobConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration for subsequent submissions. The
+    /// persistent trusted-tier state (suspicion table, fault analyzer)
+    /// carries over; the fault bound of the analyzer stays as created.
+    pub fn set_config(&mut self, config: JobConfig) {
+        self.config = config;
+    }
+
+    /// A counter unique per submission, for namespacing generated inputs.
+    pub(crate) fn probe_counter(&self) -> u64 {
+        self.script_counter
+    }
+
+    /// The persistent suspicion table.
+    pub fn suspicion(&self) -> &SuspicionTable {
+        &self.suspicion
+    }
+
+    /// The persistent fault analyzer (absent when `f == 0`).
+    pub fn fault_analyzer(&self) -> Option<&FaultAnalyzer> {
+        self.analyzer.as_ref()
+    }
+
+    /// Re-admits a node after administrator re-initialization (§4.2: "take
+    /// the node off the grid, apply securing patches and reinsert"): its
+    /// suspicion history and analyzer evidence are cleared, its slots
+    /// restored, and scheduling resumes. The *simulated* fault behaviour is
+    /// untouched — whether the patch actually worked is the caller's
+    /// choice via [`Cluster::set_node_behavior`].
+    pub fn readmit_node(&mut self, node: NodeId) {
+        self.suspicion.reset_node(node);
+        if let Some(analyzer) = &mut self.analyzer {
+            analyzer.clear_node(node);
+        }
+        self.cluster
+            .reset_node(node, self.cluster.node_behavior(node));
+    }
+
+    /// Loads an input data set into trusted storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` already exists (storage is write-once).
+    pub fn load_input(
+        &mut self,
+        name: &str,
+        records: Vec<cbft_dataflow::Record>,
+    ) -> Result<(), SubmitError> {
+        self.cluster.storage_mut().write(name, records)?;
+        Ok(())
+    }
+
+    /// Parses and executes a script (see [`ClusterBft::submit_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Parse errors, plan errors, storage errors (missing inputs, output
+    /// collisions) and engine failures.
+    pub fn submit_script(&mut self, source: &str) -> Result<ScriptOutcome, SubmitError> {
+        let plan = Script::parse(source)?.into_plan();
+        self.submit_plan(plan)
+    }
+
+    /// Executes a logical plan with BFT-replicated sub-graphs, verifying
+    /// digests at the configured verification points and re-executing
+    /// unverified suffixes until every final output reaches an `f + 1`
+    /// quorum (or attempts are exhausted).
+    ///
+    /// # Errors
+    ///
+    /// Storage errors (missing inputs, output collisions) and engine
+    /// failures. Running out of attempts is *not* an error: the returned
+    /// outcome reports `verified() == false`.
+    pub fn submit_plan(&mut self, plan: LogicalPlan) -> Result<ScriptOutcome, SubmitError> {
+        let script_id = self.script_counter;
+        self.script_counter += 1;
+        let plan = if self.config.optimize_plans {
+            cbft_dataflow::optimize::optimize(&plan)
+        } else {
+            plan
+        };
+        let plan = Arc::new(plan);
+        let start = self.cluster.now();
+        let graph = compile_plan(&plan);
+
+        let vps = self.choose_verification_points(&plan, &graph);
+        let vp_map = vp_sites_by_job(&graph, &vps);
+        let output_sites: BTreeMap<JobId, Vec<Site>> = graph
+            .jobs()
+            .iter()
+            .map(|j| (j.id(), job_output_sites(j)))
+            .collect();
+        let store_jobs: Vec<JobId> = graph
+            .jobs()
+            .iter()
+            .filter(|j| matches!(j.output, JobOutput::Store(_)))
+            .map(|j| j.id())
+            .collect();
+
+        let f = self.config.expected_failures;
+        let base_r = self.config.initial_replicas();
+        let max_r = base_r.max(3 * f + 1);
+        let unverified_baseline = matches!(self.config.vp_policy, VpPolicy::None);
+        let max_attempts = if unverified_baseline { 1 } else { self.config.max_attempts };
+
+        let mut trusted: HashMap<JobId, String> = HashMap::new();
+        let mut total = cbft_mapreduce::JobMetrics::new();
+        let mut replicas_per_attempt = Vec::new();
+        let mut jobs_per_attempt = Vec::new();
+        let mut deviant_runs = 0u32;
+        let mut omitted_runs = 0u32;
+        let mut digest_reports = 0u64;
+        let mut digest_chunks = 0u64;
+        // Replica count and timeout escalate only on omission timeouts
+        // (§4.1 step 6); pure digest mismatches instead exclude the
+        // analyzer's suspect set and retry, because the mismatch already
+        // told us *where* the fault hides.
+        let mut r = base_r;
+        let mut timeout_scale = 0u32;
+        // Nodes excluded for the remainder of this script on suspicion of
+        // having caused a mismatch; restored at the end unless isolated.
+        let mut temp_excluded: BTreeSet<NodeId> = BTreeSet::new();
+        // Digest reuse across attempts (sound for f = 1 because every
+        // attempt's suspects are sidelined before the retry; see DESIGN.md):
+        // replicas get globally unique ids so a fresh run's digests can
+        // complete a quorum together with prior clean runs.
+        let reuse = self.config.reuse_digests;
+        let mut verifier = Verifier::new(f, 0);
+        let mut completed_by_uid: HashMap<(usize, JobId), CompletedJob> = HashMap::new();
+        let mut total_uids = 0usize;
+        let mut deviant_uids_seen: BTreeSet<(u32, usize)> = BTreeSet::new();
+
+        for attempt in 0..max_attempts {
+            replicas_per_attempt.push(r);
+            let run_jobs: Vec<JobId> = graph
+                .jobs()
+                .iter()
+                .map(MrJob::id)
+                .filter(|j| !trusted.contains_key(j))
+                .collect();
+            if run_jobs.is_empty() {
+                replicas_per_attempt.pop();
+                break; // everything verified in earlier attempts
+            }
+            jobs_per_attempt.push(run_jobs.len());
+
+            // Each MR job gets its own sub-graph id (`sub.graph.id`, §5.3):
+            // replica disjointness is enforced per job, so different jobs'
+            // clusters may overlap — which is exactly what powers fault
+            // isolation (§4.2).
+            let sid_prefix = format!("s{script_id}a{attempt}j");
+            if !reuse {
+                verifier = Verifier::new(f, 0);
+                completed_by_uid.clear();
+                total_uids = 0;
+            }
+            let uid_base = total_uids;
+            total_uids += r;
+            verifier.set_expected(total_uids);
+            let attempt_key = if reuse { 0 } else { attempt };
+            let mut submitted: Vec<HashSet<JobId>> = vec![HashSet::new(); r];
+            let mut completed: Vec<HashMap<JobId, CompletedJob>> = vec![HashMap::new(); r];
+            let mut handles: HashMap<RunHandle, (usize, JobId)> = HashMap::new();
+            // Per-replica jobs abandoned by early cancellation: once a
+            // replica's copy of a job is provably corrupt, everything
+            // downstream of it in that replica's lineage is doomed anyway.
+            let mut blocked: Vec<HashSet<JobId>> = vec![HashSet::new(); r];
+            let descendants = job_descendants(&graph);
+
+            for rep in 0..r {
+                self.submit_ready(
+                    &plan, &graph, &run_jobs, &trusted, &vp_map, &sid_prefix, script_id,
+                    attempt, rep, uid_base, &mut submitted[rep], &completed[rep],
+                    &blocked[rep], &mut handles,
+                )?;
+            }
+
+            let token = TimerToken(self.timer_counter);
+            self.timer_counter += 1;
+            let timeout = scale_timeout(self.config.verifier_timeout, timeout_scale);
+            self.cluster.set_timer(self.cluster.now() + timeout, token);
+
+            let mut timed_out = false;
+            loop {
+                match self.cluster.step() {
+                    Some(EngineEvent::Digest(d)) => {
+                        if !d.sid.starts_with(&sid_prefix) {
+                            continue;
+                        }
+                        digest_reports += 1;
+                        digest_chunks += d.summary.chunks().len() as u64;
+                        verifier.record(&d);
+                        if self.config.early_cancel {
+                            self.early_cancel_deviants(
+                                &verifier,
+                                &descendants,
+                                uid_base,
+                                &mut blocked,
+                                &handles,
+                                &completed,
+                            );
+                        }
+                    }
+                    Some(EngineEvent::JobCompleted { handle, outcome }) => {
+                        let Some((rep, job)) = handles.get(&handle).copied() else {
+                            continue;
+                        };
+                        match outcome {
+                            JobOutcome::Success { metrics, nodes, output_file } => {
+                                total += metrics;
+                                self.suspicion.record_jobs(nodes.iter().copied());
+                                let done = CompletedJob { file: output_file, nodes };
+                                completed_by_uid.insert((uid_base + rep, job), done.clone());
+                                completed[rep].insert(job, done);
+                                self.submit_ready(
+                                    &plan, &graph, &run_jobs, &trusted, &vp_map,
+                                    &sid_prefix, script_id, attempt, rep, uid_base,
+                                    &mut submitted[rep], &completed[rep], &blocked[rep],
+                                    &mut handles,
+                                )?;
+                                let all_done = (0..r).all(|i| {
+                                    run_jobs.iter().all(|j| {
+                                        completed[i].contains_key(j) || blocked[i].contains(j)
+                                    })
+                                });
+                                if all_done {
+                                    break;
+                                }
+                            }
+                            JobOutcome::Failed { reason } => {
+                                self.cancel_all(&handles, &completed);
+                                return Err(SubmitError::Engine(reason));
+                            }
+                        }
+                    }
+                    Some(EngineEvent::Timer(t)) if t == token => {
+                        timed_out = true;
+                        break;
+                    }
+                    Some(EngineEvent::Timer(_)) => continue,
+                    None => break,
+                }
+            }
+
+            // Account omissions: replicas that did not finish in time.
+            for rep in 0..r {
+                let finished = run_jobs
+                    .iter()
+                    .all(|j| completed[rep].contains_key(j) || blocked[rep].contains(j));
+                if finished {
+                    continue;
+                }
+                omitted_runs += 1;
+                let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+                for (handle, (hrep, _)) in &handles {
+                    if *hrep == rep {
+                        if let Some(used) = self.cluster.running_nodes(*handle) {
+                            nodes.extend(used);
+                        }
+                    }
+                }
+                // "does not receive a digest from nodes executing the
+                // data-flow → the suspicion level of all involved nodes is
+                // updated" (§4.3).
+                if timed_out {
+                    self.suspicion.record_faults(nodes.iter().copied());
+                }
+            }
+            self.cancel_all(&handles, &completed);
+
+            // Account commission deviants and feed the fault analyzer with
+            // the per-job clusters that produced wrong digests.
+            for uid in verifier.deviant_replicas() {
+                if !deviant_uids_seen.insert((attempt_key, uid)) {
+                    continue; // already processed in an earlier evaluation
+                }
+                deviant_runs += 1;
+                let mut faulty_jobs: BTreeSet<JobId> = BTreeSet::new();
+                for key in verifier.keys() {
+                    if let crate::verifier::KeyVerdict::Verified { deviant, .. } =
+                        verifier.verdict(key)
+                    {
+                        if deviant.contains(&uid) {
+                            faulty_jobs.insert(key.1.job());
+                        }
+                    }
+                }
+                // Attribute only at the deviance *frontier*: a job whose
+                // dependency already deviated merely inherited corrupt
+                // input — its own cluster is innocent.
+                for &job in &faulty_jobs {
+                    if graph.job(job).deps().iter().any(|d| faulty_jobs.contains(d)) {
+                        continue;
+                    }
+                    if let Some(c) = completed_by_uid.get(&(uid, job)) {
+                        self.suspicion.record_faults(c.nodes.iter().copied());
+                        if let Some(analyzer) = &mut self.analyzer {
+                            analyzer.observe_faulty_cluster(c.nodes.clone());
+                        }
+                    }
+                }
+            }
+
+            // Quorum-less mismatches (e.g. 1-vs-1 at r = f + 1): the fault
+            // cannot be attributed to a replica, but the union of the
+            // disagreeing clusters is known to contain it.
+            let mismatched_jobs: BTreeSet<JobId> =
+                verifier.mismatched_keys().iter().map(|k| k.1.job()).collect();
+            let mismatch_frontier: Vec<JobId> = mismatched_jobs
+                .iter()
+                .copied()
+                .filter(|j| {
+                    !graph
+                        .job(*j)
+                        .deps()
+                        .iter()
+                        .any(|d| mismatched_jobs.contains(d))
+                })
+                .collect();
+            for job in mismatch_frontier {
+                let mut union: BTreeSet<NodeId> = BTreeSet::new();
+                for uid in 0..total_uids {
+                    if let Some(c) = completed_by_uid.get(&(uid, job)) {
+                        if uid >= uid_base {
+                            self.suspicion.record_faults(c.nodes.iter().copied());
+                        }
+                        union.extend(c.nodes.iter().copied());
+                    }
+                }
+                if let Some(analyzer) = &mut self.analyzer {
+                    analyzer.observe_faulty_cluster(union);
+                }
+            }
+
+            // Trust every job whose output stream reached quorum, taking a
+            // quorum member's file (§3.3 variable granularity: the verified
+            // frontier is where re-execution restarts).
+            for &job in &run_jobs {
+                if trusted.contains_key(&job) {
+                    continue;
+                }
+                let sites = &output_sites[&job];
+                let keys: Vec<DigestKey> = verifier
+                    .keys()
+                    .filter(|k| sites.contains(&k.1))
+                    .copied()
+                    .collect();
+                if std::env::var_os("CBFT_DEBUG").is_some() {
+                    let verdicts: Vec<String> =
+                        keys.iter().map(|k| format!("{:?}", verifier.verdict(k))).collect();
+                    eprintln!(
+                        "[cbft] attempt {attempt} job {job} output sites {sites:?} keys {} verdicts {:?}",
+                        keys.len(),
+                        verdicts
+                    );
+                }
+                if keys.is_empty() || !keys.iter().all(|k| verifier.verdict(k).is_verified()) {
+                    continue;
+                }
+                let winner = (0..total_uids).find(|&uid| {
+                    completed_by_uid.contains_key(&(uid, job))
+                        && verifier.replica_verified_at(uid, keys.iter())
+                });
+                if let Some(w) = winner {
+                    trusted.insert(job, completed_by_uid[&(w, job)].file.clone());
+                }
+            }
+
+            // Threshold exclusion (§4.2) plus precise exclusion of nodes
+            // the fault analyzer has isolated down to a singleton set.
+            for node in self
+                .suspicion
+                .over_threshold(self.config.suspicion_threshold, self.config.suspicion_min_jobs)
+            {
+                self.cluster.set_node_excluded(node, true);
+            }
+            if let Some(analyzer) = &self.analyzer {
+                for node in analyzer.isolated_faulty_nodes() {
+                    self.cluster.set_node_excluded(node, true);
+                }
+            }
+
+            // Unverified baseline: publish replica 0's outputs as-is.
+            if unverified_baseline {
+                let rep0_done = completed[0].len() == run_jobs.len();
+                let outputs = if rep0_done {
+                    self.publish_from(&graph, &store_jobs, |job| {
+                        completed[0].get(&job).map(|c| c.file.clone())
+                    })?
+                } else {
+                    Vec::new()
+                };
+                return Ok(ScriptOutcome::new(
+                    false,
+                    attempt + 1,
+                    self.cluster.now().since(start),
+                    total,
+                    outputs,
+                    vps.iter().copied().collect(),
+                    replicas_per_attempt,
+                    jobs_per_attempt.clone(),
+                    deviant_runs,
+                    omitted_runs,
+                    digest_reports,
+                    digest_chunks,
+                ));
+            }
+
+            if store_jobs.iter().all(|j| trusted.contains_key(j)) {
+                let outputs =
+                    self.publish_from(&graph, &store_jobs, |job| trusted.get(&job).cloned())?;
+                self.restore_exclusions(&temp_excluded);
+                return Ok(ScriptOutcome::new(
+                    true,
+                    attempt + 1,
+                    self.cluster.now().since(start),
+                    total,
+                    outputs,
+                    vps.iter().copied().collect(),
+                    replicas_per_attempt,
+                    jobs_per_attempt.clone(),
+                    deviant_runs,
+                    omitted_runs,
+                    digest_reports,
+                    digest_chunks,
+                ));
+            }
+
+            // Prepare the next attempt. Timeouts escalate the replica count
+            // and the timeout (§4.1 step 6); mismatches instead sideline
+            // the analyzer's suspect set so the retry lands on clean nodes
+            // — capped so at least half the cluster keeps working.
+            if timed_out {
+                if f > 0 {
+                    r = (r + 1).min(max_r);
+                }
+                timeout_scale += 1;
+            } else if reuse && f > 0 {
+                // Every job retains at least one clean prior run whose
+                // digests count toward the quorum, so one fresh replica
+                // per job completes it once suspects are sidelined.
+                r = 1;
+            }
+            if let Some(analyzer) = &self.analyzer {
+                let cap = self.cluster.node_count() / 2;
+                for node in analyzer.suspected_nodes() {
+                    if temp_excluded.len() >= cap {
+                        break;
+                    }
+                    if !self.cluster.node_excluded(node) {
+                        temp_excluded.insert(node);
+                        self.cluster.set_node_excluded(node, true);
+                    }
+                }
+            }
+        }
+
+        // Attempts exhausted (or everything was already trusted on entry).
+        let all_trusted = store_jobs.iter().all(|j| trusted.contains_key(j));
+        let outputs = if all_trusted {
+            self.publish_from(&graph, &store_jobs, |job| trusted.get(&job).cloned())?
+        } else {
+            Vec::new()
+        };
+        self.restore_exclusions(&temp_excluded);
+        Ok(ScriptOutcome::new(
+            all_trusted,
+            replicas_per_attempt.len() as u32,
+            self.cluster.now().since(start),
+            total,
+            outputs,
+            vps.iter().copied().collect(),
+            replicas_per_attempt,
+            jobs_per_attempt,
+            deviant_runs,
+            omitted_runs,
+            digest_reports,
+            digest_chunks,
+        ))
+    }
+
+    // --- helpers ------------------------------------------------------------
+
+    /// Chooses the instrumented vertices: the policy's points plus the
+    /// final outputs (a result can only be *assured* if the output itself
+    /// is compared).
+    fn choose_verification_points(
+        &self,
+        plan: &LogicalPlan,
+        graph: &JobGraph,
+    ) -> BTreeSet<VertexId> {
+        let stores: BTreeSet<VertexId> = plan.stores().into_iter().collect();
+        match &self.config.vp_policy {
+            VpPolicy::None => BTreeSet::new(),
+            VpPolicy::FinalOnly => stores,
+            VpPolicy::Marked(n) => {
+                let sizes = self.cluster.storage().sizes();
+                let analysis = analyze_plan(plan, &sizes);
+                let eligible = self.eligible_vertices(plan, graph);
+                // The final outputs are implicitly verified; seeding them
+                // as marked makes the n requested points land at
+                // intermediate job boundaries.
+                let seeds: Vec<VertexId> = stores.iter().copied().collect();
+                let marked = mark_seeded(
+                    plan,
+                    &analysis,
+                    *n as usize,
+                    |v| eligible.contains(&v.id()),
+                    &seeds,
+                );
+                marked.into_iter().chain(stores).collect()
+            }
+            VpPolicy::Individual => {
+                let mut all = self.eligible_vertices(plan, graph);
+                all.extend(stores);
+                all
+            }
+            VpPolicy::Explicit(vertices) => {
+                vertices.iter().copied().chain(stores).collect()
+            }
+        }
+    }
+
+    /// Eligible verification vertices under the adversary model: any
+    /// vertex for a weak adversary; only *job boundaries* (the vertices
+    /// whose streams are materialized between jobs) for a strong one
+    /// (§4.1).
+    fn eligible_vertices(&self, plan: &LogicalPlan, graph: &JobGraph) -> BTreeSet<VertexId> {
+        match self.config.adversary {
+            Adversary::Weak => plan.vertices().iter().map(|v| v.id()).collect(),
+            Adversary::Strong => graph
+                .jobs()
+                .iter()
+                .filter_map(job_output_vertex)
+                .collect(),
+        }
+    }
+
+    /// Submits every not-yet-submitted job of `rep` whose inputs exist.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_ready(
+        &mut self,
+        plan: &Arc<LogicalPlan>,
+        graph: &JobGraph,
+        run_jobs: &[JobId],
+        trusted: &HashMap<JobId, String>,
+        vp_map: &HashMap<JobId, Vec<VpSite>>,
+        sid_prefix: &str,
+        script_id: u64,
+        attempt: u32,
+        rep: usize,
+        uid_base: usize,
+        submitted: &mut HashSet<JobId>,
+        completed: &HashMap<JobId, CompletedJob>,
+        blocked: &HashSet<JobId>,
+        handles: &mut HashMap<RunHandle, (usize, JobId)>,
+    ) -> Result<(), SubmitError> {
+        let ns = format!("cbft-{script_id}/a{attempt}/r{rep}");
+        for &job_id in run_jobs {
+            if submitted.contains(&job_id) || blocked.contains(&job_id) {
+                continue;
+            }
+            let job = graph.job(job_id);
+            let ready = job.deps().iter().all(|d| {
+                trusted.contains_key(d) || completed.contains_key(d)
+            });
+            if !ready {
+                continue;
+            }
+            let resolve = |src: &DataSource| -> String {
+                match src {
+                    DataSource::Hdfs(f) => f.clone(),
+                    DataSource::Intermediate(j) => trusted
+                        .get(j)
+                        .cloned()
+                        .unwrap_or_else(|| completed[j].file.clone()),
+                }
+            };
+            let vps = vp_map.get(&job_id).cloned().unwrap_or_default();
+            // Combine only when no verification point needs the shuffle's
+            // materialized bags.
+            let combiner = if self.config.combiners
+                && !vps
+                    .iter()
+                    .any(|vp| matches!(vp.site, Site::Shuffle { .. }))
+            {
+                match (job.shuffle, job.reduce.first()) {
+                    (Some(sh), Some(&first)) => cbft_dataflow::combiner::Combiner::for_job(
+                        plan.vertex(sh).op(),
+                        plan.vertex(first).op(),
+                    ),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            let spec = ExecJob {
+                plan: Arc::clone(plan),
+                inputs: job
+                    .inputs
+                    .iter()
+                    .map(|i| ExecInput {
+                        file: resolve(&i.source),
+                        pipeline: i.pipeline.clone(),
+                        tag: i.tag,
+                    })
+                    .collect(),
+                shuffle: job.shuffle,
+                reduce: job.reduce.clone(),
+                output_file: match &job.output {
+                    JobOutput::Store(name) => format!("{ns}/{name}"),
+                    JobOutput::Intermediate => format!("{ns}/j{}", job_id.index()),
+                },
+                reduce_task_count: if job.single_reduce { 1 } else { self.config.reduce_tasks },
+                map_split_records: self.config.map_split_records,
+                verification_points: vps,
+                digest_granularity: self.config.digest_granularity,
+                sid: format!("{sid_prefix}{}", job_id.index()),
+                replica: uid_base + rep,
+                combiner,
+            };
+            let handle = self.cluster.submit(spec)?;
+            submitted.insert(job_id);
+            handles.insert(handle, (rep, job_id));
+        }
+        Ok(())
+    }
+
+    /// Blocks the dependency closure of every (replica, job) whose digests
+    /// contradict an established quorum: the corrupt output would feed the
+    /// descendants, so running them is wasted work.
+    fn early_cancel_deviants(
+        &mut self,
+        verifier: &Verifier,
+        descendants: &[BTreeSet<JobId>],
+        uid_base: usize,
+        blocked: &mut [HashSet<JobId>],
+        handles: &HashMap<RunHandle, (usize, JobId)>,
+        completed: &[HashMap<JobId, CompletedJob>],
+    ) {
+        let mut newly_blocked: Vec<(usize, JobId)> = Vec::new();
+        for key in verifier.keys() {
+            if let crate::verifier::KeyVerdict::Verified { deviant, .. } = verifier.verdict(key) {
+                let job = key.1.job();
+                for uid in deviant {
+                    // Only the current attempt has cancellable work.
+                    let Some(rep) = uid.checked_sub(uid_base) else { continue };
+                    if rep >= blocked.len() {
+                        continue;
+                    }
+                    for &down in &descendants[job.index()] {
+                        if blocked[rep].insert(down) {
+                            newly_blocked.push((rep, down));
+                        }
+                    }
+                }
+            }
+        }
+        for (rep, job) in newly_blocked {
+            if completed[rep].contains_key(&job) {
+                continue; // already ran to completion; nothing to cancel
+            }
+            let doomed: Vec<RunHandle> = handles
+                .iter()
+                .filter(|(_, (r, j))| *r == rep && *j == job)
+                .map(|(h, _)| *h)
+                .collect();
+            for h in doomed {
+                self.cluster.cancel(h);
+            }
+        }
+    }
+
+    fn cancel_all(
+        &mut self,
+        handles: &HashMap<RunHandle, (usize, JobId)>,
+        completed: &[HashMap<JobId, CompletedJob>],
+    ) {
+        for (handle, (rep, job)) in handles {
+            if !completed[*rep].contains_key(job) {
+                self.cluster.cancel(*handle);
+            }
+        }
+    }
+
+    /// Re-admits nodes that were sidelined on suspicion during this script,
+    /// unless the fault analyzer has isolated them or their suspicion level
+    /// now exceeds the operator threshold.
+    fn restore_exclusions(&mut self, temp_excluded: &BTreeSet<NodeId>) {
+        let mut keep: BTreeSet<NodeId> = self
+            .suspicion
+            .over_threshold(self.config.suspicion_threshold, self.config.suspicion_min_jobs)
+            .into_iter()
+            .collect();
+        if let Some(analyzer) = &self.analyzer {
+            keep.extend(analyzer.isolated_faulty_nodes());
+        }
+        for &node in temp_excluded {
+            if !keep.contains(&node) {
+                self.cluster.set_node_excluded(node, false);
+            }
+        }
+    }
+
+    fn publish_from(
+        &mut self,
+        graph: &JobGraph,
+        store_jobs: &[JobId],
+        file_of: impl Fn(JobId) -> Option<String>,
+    ) -> Result<Vec<String>, SubmitError> {
+        let mut outputs = Vec::new();
+        for &job_id in store_jobs {
+            let JobOutput::Store(name) = &graph.job(job_id).output else {
+                continue;
+            };
+            let Some(file) = file_of(job_id) else { continue };
+            let records = self
+                .cluster
+                .storage()
+                .peek(&file)
+                .ok_or_else(|| SubmitError::Engine(format!("verified file '{file}' vanished")))?
+                .to_vec();
+            self.cluster.storage_mut().write(name, records)?;
+            outputs.push(name.clone());
+        }
+        Ok(outputs)
+    }
+}
+
+impl std::fmt::Debug for ClusterBft {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBft")
+            .field("config", &self.config)
+            .field("scripts_run", &self.script_counter)
+            .finish()
+    }
+}
+
+/// The vertex whose stream is this job's output (`None` for an empty job,
+/// which compilation never produces).
+fn job_output_vertex(job: &MrJob) -> Option<VertexId> {
+    if let Some(&v) = job.reduce.last() {
+        return Some(v);
+    }
+    if let Some(v) = job.shuffle {
+        return Some(v);
+    }
+    job.inputs.first().and_then(|i| i.pipeline.last()).copied()
+}
+
+/// The digest sites that cover this job's output stream.
+fn job_output_sites(job: &MrJob) -> Vec<Site> {
+    if !job.reduce.is_empty() {
+        return vec![Site::Reduce { job: job.id(), pos: job.reduce.len() - 1 }];
+    }
+    if job.shuffle.is_some() {
+        return vec![Site::Shuffle { job: job.id() }];
+    }
+    job.inputs
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| !i.pipeline.is_empty())
+        .map(|(idx, i)| Site::MapInput { job: job.id(), input: idx, pos: i.pipeline.len() - 1 })
+        .collect()
+}
+
+/// The transitive consumers of each job (by index), from the dependency
+/// edges of the compiled graph.
+fn job_descendants(graph: &JobGraph) -> Vec<BTreeSet<JobId>> {
+    let n = graph.len();
+    let mut children: Vec<Vec<JobId>> = vec![Vec::new(); n];
+    for job in graph.jobs() {
+        for dep in job.deps() {
+            children[dep.index()].push(job.id());
+        }
+    }
+    let mut out: Vec<BTreeSet<JobId>> = vec![BTreeSet::new(); n];
+    // Jobs are topologically ordered by id; accumulate in reverse.
+    for i in (0..n).rev() {
+        let mut set = BTreeSet::new();
+        for &c in &children[i] {
+            set.insert(c);
+            set.extend(out[c.index()].iter().copied());
+        }
+        out[i] = set;
+    }
+    out
+}
+
+/// Groups the chosen vertices' execution sites by job.
+fn vp_sites_by_job(
+    graph: &JobGraph,
+    vps: &BTreeSet<VertexId>,
+) -> HashMap<JobId, Vec<VpSite>> {
+    let mut map: HashMap<JobId, Vec<VpSite>> = HashMap::new();
+    for &v in vps {
+        for site in graph.vertex_sites(v) {
+            map.entry(site.job()).or_default().push(VpSite { vertex: v, site });
+        }
+    }
+    map
+}
+
+fn scale_timeout(base: SimDuration, attempt: u32) -> SimDuration {
+    base.mul_f64(2f64.powi(attempt.min(16) as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbft_dataflow::PlanBuilder;
+
+    #[test]
+    fn output_sites_prefer_reduce_tail() {
+        let mut b = PlanBuilder::new();
+        let l = b.add_load("f", &["x"]).unwrap();
+        let g = b.add_group(l, 0).unwrap();
+        let c = b
+            .add_project(
+                g,
+                vec![(cbft_dataflow::Expr::Col(0), "k".into())],
+            )
+            .unwrap();
+        b.add_store(c, "o").unwrap();
+        let plan = b.build().unwrap();
+        let graph = compile_plan(&plan);
+        let job = &graph.jobs()[0];
+        let sites = job_output_sites(job);
+        assert_eq!(sites, vec![Site::Reduce { job: job.id(), pos: job.reduce.len() - 1 }]);
+        assert_eq!(job_output_vertex(job), job.reduce.last().copied());
+    }
+
+    #[test]
+    fn map_only_output_sites_cover_every_input() {
+        let mut b = PlanBuilder::new();
+        let l = b.add_load("f", &["x"]).unwrap();
+        let r = b.add_load("g", &["x"]).unwrap();
+        let u = b.add_union(l, r).unwrap();
+        b.add_store(u, "o").unwrap();
+        let plan = b.build().unwrap();
+        let graph = compile_plan(&plan);
+        let job = &graph.jobs()[0];
+        let sites = job_output_sites(job);
+        assert_eq!(sites.len(), 2, "both union branches digest the store marker");
+    }
+
+    #[test]
+    fn timeout_scaling_doubles() {
+        let base = SimDuration::from_secs(10);
+        assert_eq!(scale_timeout(base, 0), base);
+        assert_eq!(scale_timeout(base, 1), SimDuration::from_secs(20));
+        assert_eq!(scale_timeout(base, 2), SimDuration::from_secs(40));
+    }
+}

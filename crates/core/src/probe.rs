@@ -1,0 +1,202 @@
+//! Probe jobs — active fault isolation (§3.3, §4.2).
+//!
+//! The separation of duty lets the front-end "use specific deployment
+//! policies to narrow down the (set of) faulty node(s) ... Similarly,
+//! dummy jobs can be used to further probe nodes in such a suspicious
+//! replication group." A probe run constrains scheduling to the current
+//! suspects plus a small pool of helpers and executes tiny known
+//! data-flow jobs; every digest mismatch feeds the fault analyzer another
+//! cluster to intersect, accelerating isolation without waiting for real
+//! workload traffic.
+
+use cbft_dataflow::{Record, Value};
+use cbft_mapreduce::NodeId;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{Replication, VpPolicy};
+use crate::outcome::SubmitError;
+use crate::pipeline::ClusterBft;
+
+/// Result of a probing campaign.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProbeReport {
+    /// Probe scripts executed.
+    pub probes_run: u32,
+    /// Nodes isolated to singleton suspect sets after probing.
+    pub isolated: Vec<NodeId>,
+    /// Total nodes still under suspicion.
+    pub remaining_suspects: usize,
+}
+
+impl ClusterBft {
+    /// Runs up to `max_probes` dummy jobs with scheduling constrained to
+    /// the analyzer's suspect sets (plus clean helpers), stopping early
+    /// once every suspect set is a singleton.
+    ///
+    /// Probes use `f + 1` replicas and final-output digests only: the goal
+    /// is not a verified result but more *observations* — every mismatch
+    /// hands the analyzer a small cluster to intersect with.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage/engine errors from probe submission. A probe
+    /// that ends unverified is *not* an error (that is a successful
+    /// detection).
+    pub fn probe_suspects(&mut self, max_probes: u32) -> Result<ProbeReport, SubmitError> {
+        let mut probes_run = 0;
+        for _ in 0..max_probes {
+            let Some(analyzer) = self.fault_analyzer() else { break };
+            let suspects = analyzer.suspected_nodes();
+            let unresolved: Vec<NodeId> = analyzer
+                .suspects()
+                .iter()
+                .filter(|s| s.len() > 1)
+                .flatten()
+                .copied()
+                .collect();
+            if unresolved.is_empty() {
+                break;
+            }
+            // Target ONE member of an unresolved set per probe, excluding
+            // every other suspect: helpers outside ⋃D are provably clean
+            // once |D| = f, so a digest mismatch convicts the target, and
+            // the observed cluster (target + helpers) lets the analyzer
+            // intersect the other suspects away.
+            let target = unresolved[probes_run as usize % unresolved.len()];
+
+            let node_count = self.cluster().node_count();
+            let helper_target = (node_count / 3).max(6).min(node_count);
+            let mut keep: std::collections::BTreeSet<NodeId> =
+                std::iter::once(target).collect();
+            for i in 0..node_count {
+                if keep.len() >= 1 + helper_target {
+                    break;
+                }
+                let node = NodeId(i);
+                if !suspects.contains(&node) && !self.cluster().node_excluded(node) {
+                    keep.insert(node);
+                }
+            }
+            let previously_excluded: Vec<NodeId> = (0..node_count)
+                .map(NodeId)
+                .filter(|n| self.cluster().node_excluded(*n))
+                .collect();
+            for i in 0..node_count {
+                let node = NodeId(i);
+                self.cluster_mut().set_node_excluded(node, !keep.contains(&node));
+            }
+
+            let result = self.run_one_probe(probes_run);
+
+            // Restore the previous exclusion state.
+            for i in 0..node_count {
+                let node = NodeId(i);
+                self.cluster_mut()
+                    .set_node_excluded(node, previously_excluded.contains(&node));
+            }
+            result?;
+            probes_run += 1;
+        }
+
+        let (isolated, remaining_suspects) = match self.fault_analyzer() {
+            Some(a) => (a.isolated_faulty_nodes(), a.suspected_nodes().len()),
+            None => (Vec::new(), 0),
+        };
+        Ok(ProbeReport { probes_run, isolated, remaining_suspects })
+    }
+
+    /// One dummy job: a tiny group-and-count over synthetic records with a
+    /// unique namespace, executed with probe-tuned settings.
+    fn run_one_probe(&mut self, index: u32) -> Result<(), SubmitError> {
+        let tag = format!("cbftprobe{index}_{}", self.probe_counter());
+        let records: Vec<Record> = (0..256)
+            .map(|i| Record::new(vec![Value::Int(i % 16), Value::Int(i)]))
+            .collect();
+        self.cluster_mut()
+            .storage_mut()
+            .write(&format!("{tag}_in"), records)?;
+        let script = format!(
+            "a = LOAD '{tag}_in' AS (k, v);
+             g = GROUP a BY k;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO '{tag}_out';"
+        );
+        // Probe with minimal replication and a single attempt: detection,
+        // not a verified answer, is the goal.
+        let saved = self.config().clone();
+        let probe_config = crate::config::JobConfig {
+            replication: Replication::Optimistic,
+            vp_policy: VpPolicy::FinalOnly,
+            map_split_records: 32,
+            reduce_tasks: 2,
+            max_attempts: 1,
+            ..saved.clone()
+        };
+        self.set_config(probe_config);
+        let result = self.submit_script(&script);
+        self.set_config(saved);
+        result.map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::JobConfig;
+    use cbft_mapreduce::{Behavior, Cluster};
+
+    #[test]
+    fn probing_isolates_a_hidden_faulty_node() {
+        let cluster = Cluster::builder()
+            .nodes(12)
+            .slots_per_node(3)
+            .seed(7)
+            .node_behavior(4, Behavior::Commission { probability: 1.0 })
+            .build();
+        let mut cbft = ClusterBft::new(
+            cluster,
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(crate::config::Replication::Full)
+                .vp_policy(VpPolicy::Marked(1))
+                .map_split_records(64)
+                .build(),
+        );
+        // One real workload seeds the suspect set…
+        let edges: Vec<Record> = (0..400)
+            .map(|i| Record::new(vec![Value::Int(i % 7), Value::Int(i)]))
+            .collect();
+        cbft.load_input("edges", edges).unwrap();
+        let outcome = cbft
+            .submit_script(
+                "a = LOAD 'edges' AS (u, f);
+                 g = GROUP a BY u;
+                 c = FOREACH g GENERATE group, COUNT(a);
+                 STORE c INTO 'counts';",
+            )
+            .unwrap();
+        assert!(outcome.verified());
+
+        // …and probing narrows it to the planted node.
+        let report = cbft.probe_suspects(12).unwrap();
+        assert!(
+            report.isolated.contains(&NodeId(4)) || report.remaining_suspects <= 2,
+            "probing should isolate or nearly isolate node 4: {report:?}"
+        );
+        // The probe campaign must leave exclusions as it found them (the
+        // truly isolated node may remain excluded via the analyzer).
+        let excluded: Vec<usize> = (0..12)
+            .filter(|&i| cbft.cluster().node_excluded(NodeId(i)))
+            .collect();
+        assert!(excluded.iter().all(|&i| i == 4), "only the faulty node may stay excluded: {excluded:?}");
+    }
+
+    #[test]
+    fn probing_with_no_suspects_is_a_noop() {
+        let cluster = Cluster::builder().nodes(6).seed(1).build();
+        let mut cbft = ClusterBft::new(cluster, JobConfig::default());
+        let report = cbft.probe_suspects(5).unwrap();
+        assert_eq!(report.probes_run, 0);
+        assert!(report.isolated.is_empty());
+    }
+}

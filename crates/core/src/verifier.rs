@@ -1,0 +1,352 @@
+//! The output verifier (§4.1, "Job initiator and verifier").
+//!
+//! Digest reports stream in from the untrusted tier as tasks complete
+//! (§3.3's *offline* comparison: the verifier works while downstream jobs
+//! already run). For each correspondence key — (vertex, site, task) — the
+//! verifier "compares corresponding digests from different replicas and
+//! asserts that at least f + 1 are same".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cbft_dataflow::compile::Site;
+use cbft_dataflow::VertexId;
+use cbft_digest::{ChunkedSummary, Digest, StreamVerdict};
+use cbft_mapreduce::{DigestReport, TaskKind};
+use serde::{Deserialize, Serialize};
+
+/// Correspondence key: replicas' streams with equal keys must digest
+/// identically.
+pub type DigestKey = (VertexId, Site, TaskKind, usize);
+
+/// Verdict for one correspondence key.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KeyVerdict {
+    /// Not enough reports yet to reach `f + 1` agreement, but agreement is
+    /// still possible.
+    Pending,
+    /// At least `f + 1` replicas agree.
+    Verified {
+        /// The agreed digest.
+        digest: Digest,
+        /// Replicas that reported it.
+        matching: BTreeSet<usize>,
+        /// Replicas that reported something else.
+        deviant: BTreeSet<usize>,
+    },
+    /// Agreement has become impossible (too many conflicting reports).
+    Mismatch,
+}
+
+impl KeyVerdict {
+    /// True for [`KeyVerdict::Verified`].
+    pub fn is_verified(&self) -> bool {
+        matches!(self, KeyVerdict::Verified { .. })
+    }
+}
+
+/// Collects digest reports for one replica set and decides verification.
+///
+/// # Examples
+///
+/// See the integration tests; the verifier is driven by
+/// [`ClusterBft`](crate::ClusterBft) from engine events.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Verifier {
+    f: usize,
+    expected_replicas: usize,
+    table: BTreeMap<DigestKey, BTreeMap<usize, ChunkedSummary>>,
+}
+
+impl Verifier {
+    /// Creates a verifier for `expected_replicas` replicas tolerating `f`
+    /// faults.
+    pub fn new(f: usize, expected_replicas: usize) -> Self {
+        Verifier { f, expected_replicas, table: BTreeMap::new() }
+    }
+
+    /// Updates the expected replica count — grows when later attempts add
+    /// fresh replicas whose digests join the earlier ones.
+    pub fn set_expected(&mut self, expected_replicas: usize) {
+        self.expected_replicas = expected_replicas;
+    }
+
+    /// Records one digest report. Quorum matching uses the combined digest
+    /// (equivalent to comparing every chunk); the full summaries are kept
+    /// so divergence can be localized to a chunk (§3.3/§6.4: finer
+    /// granularity `d` buys a smaller recomputation window).
+    pub fn record(&mut self, report: &DigestReport) {
+        self.table
+            .entry(report.correspondence_key())
+            .or_default()
+            .insert(report.replica, report.summary.clone());
+    }
+
+    /// Number of correspondence keys seen so far.
+    pub fn keys_seen(&self) -> usize {
+        self.table.len()
+    }
+
+    /// All keys recorded so far.
+    pub fn keys(&self) -> impl Iterator<Item = &DigestKey> {
+        self.table.keys()
+    }
+
+    /// The verdict for one key.
+    pub fn verdict(&self, key: &DigestKey) -> KeyVerdict {
+        let Some(reports) = self.table.get(key) else {
+            return KeyVerdict::Pending;
+        };
+        let mut counts: BTreeMap<Digest, BTreeSet<usize>> = BTreeMap::new();
+        for (&replica, summary) in reports {
+            counts.entry(summary.combined()).or_default().insert(replica);
+        }
+        if let Some((digest, matching)) = counts
+            .iter()
+            .find(|(_, replicas)| replicas.len() >= self.f + 1)
+            .map(|(d, r)| (*d, r.clone()))
+        {
+            let deviant = reports
+                .iter()
+                .filter(|(_, s)| s.combined() != digest)
+                .map(|(r, _)| *r)
+                .collect();
+            return KeyVerdict::Verified { digest, matching, deviant };
+        }
+        let best = counts.values().map(BTreeSet::len).max().unwrap_or(0);
+        let missing = self.expected_replicas.saturating_sub(reports.len());
+        if best + missing >= self.f + 1 {
+            KeyVerdict::Pending
+        } else {
+            KeyVerdict::Mismatch
+        }
+    }
+
+    /// Replicas that contradict an established quorum at any key — the
+    /// commission-faulty replicas.
+    pub fn deviant_replicas(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for key in self.table.keys() {
+            if let KeyVerdict::Verified { deviant, .. } = self.verdict(key) {
+                out.extend(deviant);
+            }
+        }
+        out
+    }
+
+    /// Replicas that agree with the quorum at every key they reported
+    /// (candidates for publishing / trusting intermediates).
+    pub fn clean_replicas(&self) -> BTreeSet<usize> {
+        let deviants = self.deviant_replicas();
+        (0..self.expected_replicas)
+            .filter(|r| !deviants.contains(r))
+            .collect()
+    }
+
+    /// True when replica `r` agrees with a verified quorum at every key in
+    /// `keys` (all of which must be verified).
+    pub fn replica_verified_at<'a>(
+        &self,
+        r: usize,
+        keys: impl IntoIterator<Item = &'a DigestKey>,
+    ) -> bool {
+        keys.into_iter().all(|k| match self.verdict(k) {
+            KeyVerdict::Verified { matching, .. } => matching.contains(&r),
+            _ => false,
+        })
+    }
+
+    /// Whether every recorded key is verified.
+    pub fn all_keys_verified(&self) -> bool {
+        self.table.keys().all(|k| self.verdict(k).is_verified())
+    }
+
+    /// Keys currently in mismatch.
+    pub fn mismatched_keys(&self) -> Vec<DigestKey> {
+        self.table
+            .keys()
+            .filter(|k| matches!(self.verdict(k), KeyVerdict::Mismatch))
+            .copied()
+            .collect()
+    }
+
+    /// The first chunk at which replicas' streams diverge at `key` — the
+    /// recomputation window starts there. `None` when the key has no
+    /// disagreement (or only one report).
+    pub fn divergence_chunk(&self, key: &DigestKey) -> Option<usize> {
+        let reports = self.table.get(key)?;
+        let mut min_chunk: Option<usize> = None;
+        let summaries: Vec<&ChunkedSummary> = reports.values().collect();
+        for i in 0..summaries.len() {
+            for j in (i + 1)..summaries.len() {
+                if let StreamVerdict::DivergedAt { chunk } =
+                    summaries[i].compare(summaries[j])
+                {
+                    min_chunk = Some(min_chunk.map_or(chunk, |m| m.min(chunk)));
+                }
+            }
+        }
+        min_chunk
+    }
+
+    /// The earliest divergence chunk across every disagreeing key.
+    pub fn earliest_divergence(&self) -> Option<usize> {
+        self.table
+            .keys()
+            .filter_map(|k| self.divergence_chunk(k))
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbft_dataflow::compile::JobId;
+    use cbft_digest::ChunkedDigest;
+    use cbft_sim::SimTime;
+
+    fn report(replica: usize, payload: &[u8]) -> DigestReport {
+        let mut cd = ChunkedDigest::whole_stream();
+        cd.append(payload);
+        DigestReport {
+            handle: cbft_mapreduce::RunHandle::from_raw(0),
+            sid: "s".into(),
+            replica,
+            vertex: VertexId(3),
+            site: Site::Shuffle { job: JobId(0) },
+            kind: TaskKind::Reduce,
+            task_index: 0,
+            summary: cd.finish(),
+            at: SimTime::ZERO,
+        }
+    }
+
+    fn key() -> DigestKey {
+        (VertexId(3), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0)
+    }
+
+    #[test]
+    fn quorum_verifies() {
+        let mut v = Verifier::new(1, 4);
+        v.record(&report(0, b"good"));
+        assert_eq!(v.verdict(&key()), KeyVerdict::Pending);
+        v.record(&report(1, b"good"));
+        match v.verdict(&key()) {
+            KeyVerdict::Verified { matching, deviant, .. } => {
+                assert_eq!(matching, BTreeSet::from([0, 1]));
+                assert!(deviant.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deviant_detected_alongside_quorum() {
+        let mut v = Verifier::new(1, 3);
+        v.record(&report(0, b"good"));
+        v.record(&report(1, b"bad"));
+        v.record(&report(2, b"good"));
+        match v.verdict(&key()) {
+            KeyVerdict::Verified { deviant, .. } => {
+                assert_eq!(deviant, BTreeSet::from([1]))
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(v.deviant_replicas(), BTreeSet::from([1]));
+        assert_eq!(v.clean_replicas(), BTreeSet::from([0, 2]));
+    }
+
+    #[test]
+    fn mismatch_when_agreement_impossible() {
+        let mut v = Verifier::new(1, 2);
+        v.record(&report(0, b"a"));
+        assert_eq!(v.verdict(&key()), KeyVerdict::Pending, "replica 1 could still agree");
+        v.record(&report(1, b"b"));
+        assert_eq!(v.verdict(&key()), KeyVerdict::Mismatch, "1-vs-1 with f=1 can never quorum");
+        assert_eq!(v.mismatched_keys().len(), 1);
+    }
+
+    #[test]
+    fn pending_while_reports_outstanding() {
+        let mut v = Verifier::new(1, 4);
+        v.record(&report(0, b"a"));
+        v.record(&report(1, b"b"));
+        // 2 missing replicas could still join either side.
+        assert_eq!(v.verdict(&key()), KeyVerdict::Pending);
+    }
+
+    #[test]
+    fn replica_verified_at_requires_membership() {
+        let mut v = Verifier::new(1, 3);
+        v.record(&report(0, b"x"));
+        v.record(&report(1, b"x"));
+        v.record(&report(2, b"y"));
+        let k = key();
+        assert!(v.replica_verified_at(0, [&k]));
+        assert!(!v.replica_verified_at(2, [&k]));
+        assert!(v.all_keys_verified());
+    }
+
+    #[test]
+    fn unknown_key_is_pending() {
+        let v = Verifier::new(1, 4);
+        assert_eq!(v.verdict(&key()), KeyVerdict::Pending);
+        assert_eq!(v.keys_seen(), 0);
+    }
+}
+
+#[cfg(test)]
+mod divergence_tests {
+    use super::*;
+    use cbft_dataflow::compile::JobId;
+    use cbft_digest::ChunkedDigest;
+    use cbft_sim::SimTime;
+
+    fn report_chunked(replica: usize, records: &[&[u8]], granularity: usize) -> DigestReport {
+        let mut cd = ChunkedDigest::new(granularity);
+        for r in records {
+            cd.append(r);
+        }
+        DigestReport {
+            handle: cbft_mapreduce::RunHandle::from_raw(0),
+            sid: "s".into(),
+            replica,
+            vertex: VertexId(1),
+            site: Site::Shuffle { job: JobId(0) },
+            kind: TaskKind::Reduce,
+            task_index: 0,
+            summary: cd.finish(),
+            at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fine_granularity_localizes_the_corruption() {
+        let good: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e", b"f"];
+        let bad: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"X", b"f"];
+        let key = (VertexId(1), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0);
+
+        // Granularity 2: record 4 corrupt → chunk 2.
+        let mut v = Verifier::new(1, 2);
+        v.record(&report_chunked(0, &good, 2));
+        v.record(&report_chunked(1, &bad, 2));
+        assert_eq!(v.divergence_chunk(&key), Some(2));
+        assert_eq!(v.earliest_divergence(), Some(2));
+
+        // Whole-stream digests only say "somewhere" (chunk 0).
+        let mut coarse = Verifier::new(1, 2);
+        coarse.record(&report_chunked(0, &good, usize::MAX));
+        coarse.record(&report_chunked(1, &bad, usize::MAX));
+        assert_eq!(coarse.divergence_chunk(&key), Some(0));
+    }
+
+    #[test]
+    fn agreement_has_no_divergence() {
+        let recs: Vec<&[u8]> = vec![b"a", b"b"];
+        let key = (VertexId(1), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0);
+        let mut v = Verifier::new(1, 2);
+        v.record(&report_chunked(0, &recs, 1));
+        v.record(&report_chunked(1, &recs, 1));
+        assert_eq!(v.divergence_chunk(&key), None);
+        assert_eq!(v.earliest_divergence(), None);
+    }
+}

@@ -1,0 +1,360 @@
+//! Crate-level tests for orchestrator paths not covered by the happy-path
+//! suites: explicit verification points, digest reuse, weak adversary,
+//! publish collisions and exhausted attempts.
+
+use cbft_dataflow::{Record, Script, Value};
+use cbft_mapreduce::{Behavior, Cluster};
+use cbft_sim::SimDuration;
+use clusterbft::{Adversary, ClusterBft, JobConfig, Replication, VpPolicy};
+
+const SCRIPT: &str = "raw = LOAD 'edges' AS (user, follower);
+     good = FILTER raw BY follower IS NOT NULL;
+     grp = GROUP good BY user;
+     cnt = FOREACH grp GENERATE group, COUNT(good) AS n;
+     STORE cnt INTO 'counts';";
+
+fn edges(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(vec![Value::Int(i % 9), Value::Int(i)]))
+        .collect()
+}
+
+fn deployment(seed: u64, faulty: &[(usize, Behavior)], config: JobConfig) -> ClusterBft {
+    let mut builder = Cluster::builder().nodes(10).slots_per_node(3).seed(seed);
+    for &(n, b) in faulty {
+        builder = builder.node_behavior(n, b);
+    }
+    let mut cbft = ClusterBft::new(builder.build(), config);
+    cbft.load_input("edges", edges(500)).unwrap();
+    cbft
+}
+
+#[test]
+fn explicit_verification_points_are_instrumented() {
+    let plan = Script::parse(SCRIPT).unwrap().into_plan();
+    let filter = plan
+        .vertices()
+        .iter()
+        .find(|v| v.op().name() == "Filter")
+        .unwrap()
+        .id();
+    let mut cbft = deployment(
+        1,
+        &[],
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::Explicit(vec![filter]))
+            .map_split_records(100)
+            .build(),
+    );
+    let outcome = cbft.submit_script(SCRIPT).unwrap();
+    assert!(outcome.verified());
+    assert!(
+        outcome.verification_points().contains(&filter),
+        "{:?}",
+        outcome.verification_points()
+    );
+    assert!(outcome.digest_reports() > 0);
+}
+
+#[test]
+fn weak_adversary_allows_more_points_than_strong() {
+    let run = |adversary| {
+        let mut cbft = deployment(
+            2,
+            &[],
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(Replication::Full)
+                .vp_policy(VpPolicy::Individual)
+                .adversary(adversary)
+                .map_split_records(100)
+                .build(),
+        );
+        let outcome = cbft.submit_script(SCRIPT).unwrap();
+        assert!(outcome.verified());
+        outcome.verification_points().len()
+    };
+    let strong = run(Adversary::Strong);
+    let weak = run(Adversary::Weak);
+    assert!(
+        weak > strong,
+        "weak adversary admits mid-job points: weak={weak} strong={strong}"
+    );
+}
+
+#[test]
+fn digest_reuse_retries_with_a_single_fresh_replica() {
+    let mut cbft = deployment(
+        3,
+        &[(0, Behavior::Commission { probability: 1.0 })],
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Optimistic) // r = 2: retry guaranteed
+            .vp_policy(VpPolicy::marked(1))
+            .map_split_records(100)
+            .reuse_digests(true)
+            .verifier_timeout(SimDuration::from_secs(60))
+            .build(),
+    );
+    let outcome = cbft.submit_script(SCRIPT).unwrap();
+    assert!(outcome.verified(), "{outcome}");
+    assert!(outcome.attempts() >= 2);
+    assert_eq!(
+        outcome.replicas_per_attempt().last(),
+        Some(&1),
+        "mismatch retry adds one replica under reuse: {:?}",
+        outcome.replicas_per_attempt()
+    );
+}
+
+#[test]
+fn jobs_per_attempt_shrinks_with_the_trusted_frontier() {
+    // A three-branch script (independent group/store pipelines off one
+    // input): when the faulty node corrupts only some branches, the clean
+    // branches' jobs are trusted and the retry runs strictly fewer jobs.
+    let branches = "a = LOAD 'edges' AS (u, f);
+         g1 = GROUP a BY u;
+         c1 = FOREACH g1 GENERATE group, COUNT(a) AS n;
+         STORE c1 INTO 'by_user';
+         g2 = GROUP a BY f;
+         c2 = FOREACH g2 GENERATE group, COUNT(a) AS n;
+         STORE c2 INTO 'by_follower';
+         p = FOREACH a GENERATE f AS x;
+         g3 = GROUP p BY x;
+         c3 = FOREACH g3 GENERATE group, COUNT(p) AS n;
+         STORE c3 INTO 'by_projection';";
+    let mut shrunk = false;
+    for seed in 0..30u64 {
+        let mut cbft = deployment(
+            100 + seed,
+            &[(0, Behavior::Commission { probability: 0.3 })],
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(Replication::Optimistic)
+                .vp_policy(VpPolicy::marked(2))
+                .map_split_records(100)
+                .verifier_timeout(SimDuration::from_secs(120))
+                .build(),
+        );
+        let outcome = cbft.submit_script(branches).unwrap();
+        let jobs = outcome.jobs_per_attempt();
+        if jobs.len() >= 2 && jobs[1] < jobs[0] {
+            shrunk = true;
+            break;
+        }
+    }
+    assert!(shrunk, "some seed must show partial re-execution");
+}
+
+#[test]
+fn publish_collision_is_reported_as_storage_error() {
+    let mut cbft = deployment(
+        4,
+        &[],
+        JobConfig::builder()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::FinalOnly)
+            .map_split_records(100)
+            .build(),
+    );
+    // Occupy the output name before the run publishes.
+    cbft.cluster_mut().storage_mut().write("counts", vec![]).unwrap();
+    let err = cbft.submit_script(SCRIPT).unwrap_err();
+    assert!(
+        matches!(err, clusterbft::SubmitError::Storage(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn exhausted_attempts_return_unverified_without_publishing() {
+    // Every node is crashed: nothing ever completes, every attempt times
+    // out, and the script ends unverified. (All-commission nodes would
+    // *not* work here: deterministic corruption is identical across
+    // replicas, and with more than f faults BFT legitimately cannot tell
+    // unanimous corruption from a correct result.)
+    let faults: Vec<(usize, Behavior)> = (0..10).map(|i| (i, Behavior::Crashed)).collect();
+    let mut cbft = deployment(
+        5,
+        &faults,
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Optimistic)
+            .vp_policy(VpPolicy::marked(1))
+            .map_split_records(100)
+            .max_attempts(2)
+            .verifier_timeout(SimDuration::from_secs(30))
+            .build(),
+    );
+    let outcome = cbft.submit_script(SCRIPT).unwrap();
+    assert!(!outcome.verified());
+    assert!(outcome.outputs().is_empty(), "unverified output must not publish");
+    assert!(!cbft.cluster().storage().exists("counts"));
+    assert_eq!(outcome.attempts(), 2);
+}
+
+#[test]
+fn missing_input_fails_before_any_execution() {
+    let cluster = Cluster::builder().nodes(4).seed(6).build();
+    let mut cbft = ClusterBft::new(cluster, JobConfig::default());
+    let err = cbft.submit_script(SCRIPT).unwrap_err();
+    assert!(matches!(err, clusterbft::SubmitError::Storage(_)), "{err}");
+}
+
+#[test]
+fn parse_errors_surface_with_line_numbers() {
+    let cluster = Cluster::builder().nodes(4).seed(7).build();
+    let mut cbft = ClusterBft::new(cluster, JobConfig::default());
+    let err = cbft.submit_script("a = LOAD 'x' AS (y);\nb = WAT a;").unwrap_err();
+    assert!(matches!(err, clusterbft::SubmitError::Parse(_)), "{err}");
+}
+
+#[test]
+fn combiners_preserve_outputs_and_verification() {
+    use cbft_dataflow::interp::interpret;
+    use std::collections::HashMap;
+
+    let run = |combiners: bool| {
+        let mut cbft = deployment(
+            8,
+            &[],
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(Replication::Full)
+                .vp_policy(VpPolicy::marked(2))
+                .map_split_records(100)
+                .combiners(combiners)
+                .build(),
+        );
+        let outcome = cbft.submit_script(SCRIPT).unwrap();
+        assert!(outcome.verified(), "combiners={combiners}: {outcome}");
+        let out = cbft.cluster().storage().peek("counts").unwrap().to_vec();
+        (outcome.metrics().local_write_bytes, out)
+    };
+    let (bytes_without, out_without) = run(false);
+    let (bytes_with, out_with) = run(true);
+
+    let mut a = out_without;
+    let mut b = out_with;
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "combining must not change results");
+    assert!(
+        bytes_with * 2 < bytes_without,
+        "combining should cut shuffle spill substantially: {bytes_with} vs {bytes_without}"
+    );
+
+    // And the verified output still equals the reference interpreter.
+    let plan = Script::parse(SCRIPT).unwrap().into_plan();
+    let inputs = HashMap::from([("edges".to_owned(), edges(500))]);
+    let mut reference = interpret(&plan, &inputs).unwrap().output("counts").unwrap().to_vec();
+    reference.sort();
+    assert_eq!(a, reference);
+}
+
+#[test]
+fn combiners_disabled_when_shuffle_hosts_a_verification_point() {
+    // Weak adversary + Individual puts a point on the GROUP itself; the
+    // run must still verify (the engine falls back to full bags).
+    let mut cbft = deployment(
+        9,
+        &[(0, Behavior::Commission { probability: 1.0 })],
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::Individual)
+            .adversary(Adversary::Weak)
+            .map_split_records(100)
+            .combiners(true)
+            .build(),
+    );
+    let outcome = cbft.submit_script(SCRIPT).unwrap();
+    assert!(outcome.verified(), "{outcome}");
+}
+
+#[test]
+fn administrator_cycle_patches_and_readmits_a_node() {
+    use clusterbft::NodeId;
+
+    let mut cbft = deployment(
+        6,
+        &[(2, Behavior::Commission { probability: 1.0 })],
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::marked(1))
+            .map_split_records(100)
+            .build(),
+    );
+    // Several rounds isolate and exclude the faulty node.
+    for i in 0..4 {
+        let script = SCRIPT.replace("counts", &format!("counts{i}"));
+        assert!(cbft.submit_script(&script).unwrap().verified());
+    }
+    assert!(
+        cbft.cluster().node_excluded(NodeId(2)),
+        "isolated node must be excluded: {:?}",
+        cbft.fault_analyzer().map(clusterbft::FaultAnalyzer::suspects)
+    );
+
+    // The administrator patches the node and reinserts it.
+    cbft.cluster_mut()
+        .set_node_behavior(NodeId(2), Behavior::Honest);
+    cbft.readmit_node(NodeId(2));
+    assert!(!cbft.cluster().node_excluded(NodeId(2)));
+    assert_eq!(cbft.suspicion().level(NodeId(2)), 0.0);
+
+    // Post-patch scripts verify and the node serves again without
+    // re-accumulating suspicion.
+    for i in 4..8 {
+        let script = SCRIPT.replace("counts", &format!("counts{i}"));
+        assert!(cbft.submit_script(&script).unwrap().verified());
+    }
+    assert!(
+        cbft.suspicion().level(NodeId(2)) < 0.2,
+        "patched node stays clean: {}",
+        cbft.suspicion().level(NodeId(2))
+    );
+}
+
+#[test]
+fn plan_optimizer_preserves_verified_results() {
+    let wasteful = "a = LOAD 'edges' AS (u, f);
+         b = FILTER a BY 1 == 1;
+         c = FILTER b BY u >= 0;
+         d = FILTER c BY f IS NOT NULL;
+         dead = GROUP a BY f;
+         g = GROUP d BY u;
+         cnt = FOREACH g GENERATE group, COUNT(d) AS n;
+         STORE cnt INTO 'counts';";
+    let run = |optimize: bool| {
+        let mut cbft = deployment(
+            12,
+            &[(1, Behavior::Commission { probability: 1.0 })],
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(Replication::Full)
+                .vp_policy(VpPolicy::marked(2))
+                .map_split_records(100)
+                .optimize_plans(optimize)
+                .build(),
+        );
+        let outcome = cbft.submit_script(wasteful).unwrap();
+        assert!(outcome.verified(), "optimize={optimize}: {outcome}");
+        let mut out = cbft.cluster().storage().peek("counts").unwrap().to_vec();
+        out.sort();
+        (out, *outcome.metrics())
+    };
+    let (plain, m_plain) = run(false);
+    let (optimized, m_opt) = run(true);
+    assert_eq!(plain, optimized, "optimizer must not change results");
+    assert!(
+        m_opt.cpu_time <= m_plain.cpu_time,
+        "fused filters and pruned dead code cost less: {} vs {}",
+        m_opt.cpu_time,
+        m_plain.cpu_time
+    );
+}

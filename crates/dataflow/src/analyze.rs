@@ -1,0 +1,365 @@
+//! Graph analyses from §4.1 of the paper: vertex levels, input ratios
+//! (Fig. 5) and the marker function (Fig. 3) that chooses verification
+//! points.
+//!
+//! The marker function balances two forces (paper, §4.1): verifying close
+//! to the sources catches almost nothing (few upstream nodes could have
+//! misbehaved), while verifying only at the sink makes re-computation after
+//! a failed verification expensive. Each candidate vertex is scored
+//! `ir[v] + min(v, M)` — its input ratio plus its distance to the nearest
+//! already-marked vertex — and the best vertex is marked, `n` times.
+//! Data sources (LOAD vertices) count as implicitly marked: their content
+//! is trusted input, so distance is measured from them on the first
+//! iteration (this matches the `.5+1`-style annotations of Fig. 4).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Operator;
+use crate::plan::{LogicalPlan, VertexId};
+
+/// Which Byzantine adversary the deployment defends against (§2.3).
+///
+/// Under [`Adversary::Strong`] a compromised node controls everything on
+/// the node, so digests computed mid-job are themselves suspect: only data
+/// crossing *between* jobs (shuffle boundaries and final outputs) may host
+/// verification points. A [`Adversary::Weak`] adversary only causes
+/// omission/commission faults, so any vertex is eligible (§4.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Adversary {
+    /// Full control of compromised nodes; verification only at job
+    /// boundaries.
+    #[default]
+    Strong,
+    /// Omission/commission faults only; verification anywhere.
+    Weak,
+}
+
+/// Per-vertex results of the static plan analysis.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlanAnalysis {
+    levels: Vec<u32>,
+    input_ratios: Vec<f64>,
+}
+
+impl PlanAnalysis {
+    /// The level of `v`: 1 for `LOAD`, otherwise `1 + max(level(parent))`
+    /// (paper, Table 2).
+    pub fn level(&self, v: VertexId) -> u32 {
+        self.levels[v.index()]
+    }
+
+    /// The input ratio `ir[v]` of Fig. 5: for a `LOAD`, its share of the
+    /// total input bytes; otherwise the sum of its parents' ratios divided
+    /// by the total ratio mass of the previous level.
+    pub fn input_ratio(&self, v: VertexId) -> f64 {
+        self.input_ratios[v.index()]
+    }
+
+    /// All input ratios, indexed by vertex.
+    pub fn input_ratios(&self) -> &[f64] {
+        &self.input_ratios
+    }
+
+    /// All levels, indexed by vertex.
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+}
+
+/// Computes levels and input ratios for `plan`.
+///
+/// `input_sizes` maps `LOAD` file names to their size in bytes. Missing
+/// entries count as zero; when every load is missing (or zero-sized) the
+/// loads share the ratio mass equally so the marker function still works on
+/// size-less plans.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{analyze::analyze_plan, Script};
+/// use std::collections::HashMap;
+///
+/// let plan = Script::parse(
+///     "a = LOAD 'x' AS (u, v); g = GROUP a BY u;
+///      c = FOREACH g GENERATE group, COUNT(a); STORE c INTO 'o';",
+/// )?
+/// .into_plan();
+/// let sizes = HashMap::from([("x".to_string(), 1_000u64)]);
+/// let analysis = analyze_plan(&plan, &sizes);
+/// assert_eq!(analysis.level(plan.loads()[0]), 1);
+/// # Ok::<(), cbft_dataflow::ParseError>(())
+/// ```
+pub fn analyze_plan(plan: &LogicalPlan, input_sizes: &HashMap<String, u64>) -> PlanAnalysis {
+    let n = plan.len();
+    let mut levels = vec![0u32; n];
+    for v in plan.topo_order() {
+        let vert = plan.vertex(v);
+        levels[v.index()] = if vert.op().is_load() {
+            1
+        } else {
+            1 + vert
+                .parents()
+                .iter()
+                .map(|p| levels[p.index()])
+                .max()
+                .unwrap_or(0)
+        };
+    }
+
+    let loads = plan.loads();
+    let total: u64 = loads
+        .iter()
+        .map(|&l| match plan.vertex(l).op() {
+            Operator::Load { input, .. } => input_sizes.get(input).copied().unwrap_or(0),
+            _ => 0,
+        })
+        .sum();
+
+    // Ratio mass per level, filled as we go (level L only needs L-1).
+    let max_level = levels.iter().copied().max().unwrap_or(0) as usize;
+    let mut level_mass = vec![0.0f64; max_level + 2];
+    let mut input_ratios = vec![0.0f64; n];
+    for v in plan.topo_order() {
+        let vert = plan.vertex(v);
+        let lvl = levels[v.index()] as usize;
+        let ir = if let Operator::Load { input, .. } = vert.op() {
+            if total == 0 {
+                1.0 / loads.len().max(1) as f64
+            } else {
+                input_sizes.get(input).copied().unwrap_or(0) as f64 / total as f64
+            }
+        } else {
+            let parent_sum: f64 = vert
+                .parents()
+                .iter()
+                .map(|p| input_ratios[p.index()])
+                .sum();
+            let denom = level_mass[lvl - 1];
+            if denom == 0.0 {
+                0.0
+            } else {
+                parent_sum / denom
+            }
+        };
+        input_ratios[v.index()] = ir;
+        level_mass[lvl] += ir;
+    }
+
+    PlanAnalysis { levels, input_ratios }
+}
+
+/// The marker function of Fig. 3: selects `n` verification points.
+///
+/// Repeats `n` times: score every eligible vertex as
+/// `ir[v] + min(v, M ∪ sources)` where the second term is the undirected
+/// edge distance to the nearest marked vertex (LOAD vertices are treated as
+/// implicitly marked — their contents are trusted input), and mark the
+/// best-scoring vertex. Already-marked vertices are skipped; ties break
+/// toward the earlier vertex for determinism.
+///
+/// `eligible` filters the candidate set (use [`eligible_under`] for the
+/// paper's adversary models). Returns the marked ids in marking order; the
+/// result is shorter than `n` when fewer eligible vertices exist.
+pub fn mark(
+    plan: &LogicalPlan,
+    analysis: &PlanAnalysis,
+    n: usize,
+    eligible: impl Fn(&crate::plan::Vertex) -> bool,
+) -> Vec<VertexId> {
+    mark_seeded(plan, analysis, n, eligible, &[])
+}
+
+/// Like [`mark`], but with `seeds` treated as already-marked vertices:
+/// they anchor the distance term and are never selected again. ClusterBFT
+/// seeds the final outputs (always implicitly verified), so the `n`
+/// requested points land at *intermediate* boundaries.
+pub fn mark_seeded(
+    plan: &LogicalPlan,
+    analysis: &PlanAnalysis,
+    n: usize,
+    eligible: impl Fn(&crate::plan::Vertex) -> bool,
+    seeds: &[VertexId],
+) -> Vec<VertexId> {
+    let candidates: Vec<VertexId> = plan
+        .vertices()
+        .iter()
+        .filter(|v| eligible(v) && !seeds.contains(&v.id()))
+        .map(|v| v.id())
+        .collect();
+
+    // Distance from each vertex to the nearest "anchor" (marked vertex or
+    // source), maintained incrementally: marking m lowers distances to
+    // min(old, dist-from-m).
+    let mut anchor_dist = vec![usize::MAX; plan.len()];
+    for l in plan.loads().into_iter().chain(seeds.iter().copied()) {
+        merge_dist(&mut anchor_dist, &plan.undirected_distances(l));
+    }
+
+    let mut marked = Vec::new();
+    for _ in 0..n {
+        let mut best: Option<(f64, VertexId)> = None;
+        for &v in &candidates {
+            if marked.contains(&v) {
+                continue;
+            }
+            let d = anchor_dist[v.index()];
+            let d = if d == usize::MAX { 0 } else { d };
+            let score = analysis.input_ratio(v) + d as f64;
+            let better = match best {
+                None => true,
+                Some((s, b)) => score > s || (score == s && v < b),
+            };
+            if better {
+                best = Some((score, v));
+            }
+        }
+        let Some((_, m)) = best else { break };
+        marked.push(m);
+        merge_dist(&mut anchor_dist, &plan.undirected_distances(m));
+    }
+    marked
+}
+
+fn merge_dist(into: &mut [usize], from: &[usize]) {
+    for (a, &b) in into.iter_mut().zip(from) {
+        *a = (*a).min(b);
+    }
+}
+
+/// The eligibility predicate for an adversary model: under
+/// [`Adversary::Strong`] only job-boundary vertices (shuffles and stores)
+/// may host verification points; under [`Adversary::Weak`] every
+/// non-`LOAD`... in fact every vertex is eligible (loads score ~0 anyway).
+pub fn eligible_under(adversary: Adversary) -> impl Fn(&crate::plan::Vertex) -> bool {
+    move |v| match adversary {
+        Adversary::Strong => v.op().is_blocking() || v.op().is_store(),
+        Adversary::Weak => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::PlanBuilder;
+
+    /// The three-load join pipeline of Fig. 4 (10G, 20G, 30G inputs).
+    fn fig4_plan() -> (LogicalPlan, HashMap<String, u64>) {
+        let mut b = PlanBuilder::new();
+        let l1 = b.add_load("in1", &["a"]).unwrap();
+        let l2 = b.add_load("in2", &["a"]).unwrap();
+        let l3 = b.add_load("in3", &["a"]).unwrap();
+        let f1 = b.add_filter(l1, Expr::IntLit(1)).unwrap();
+        let f2 = b.add_filter(l2, Expr::IntLit(1)).unwrap();
+        let f3 = b.add_filter(l3, Expr::IntLit(1)).unwrap();
+        let j1 = b.add_join(f1, 0, f2, 0).unwrap();
+        let j2 = b.add_join(j1, 0, f3, 0).unwrap();
+        b.add_store(j2, "out").unwrap();
+        let plan = b.build().unwrap();
+        let sizes = HashMap::from([
+            ("in1".to_owned(), 10u64 << 30),
+            ("in2".to_owned(), 20u64 << 30),
+            ("in3".to_owned(), 30u64 << 30),
+        ]);
+        (plan, sizes)
+    }
+
+    #[test]
+    fn levels_match_fig4() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let lv: Vec<u32> = plan.topo_order().iter().map(|&v| a.level(v)).collect();
+        //        l1 l2 l3 f1 f2 f3 j1 j2 store
+        assert_eq!(lv, vec![1, 1, 1, 2, 2, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn load_ratios_match_fig4() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let loads = plan.loads();
+        let r: Vec<f64> = loads.iter().map(|&l| a.input_ratio(l)).collect();
+        assert!((r[0] - 1.0 / 6.0).abs() < 1e-9, "10G/60G = .16");
+        assert!((r[1] - 1.0 / 3.0).abs() < 1e-9, "20G/60G = .33");
+        assert!((r[2] - 0.5).abs() < 1e-9, "30G/60G = .5");
+    }
+
+    #[test]
+    fn filter_ratios_inherit_parent_share() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        // Level-1 mass is 1.0, so each filter's ratio equals its parent's.
+        for (load, filt) in [(0usize, 3usize), (1, 4), (2, 5)] {
+            assert!(
+                (a.input_ratios()[filt] - a.input_ratios()[load]).abs() < 1e-9,
+                "filter {filt}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_ratios_aggregate_upstream_mass() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        // j1 (index 6) joins f1+f2: (1/6 + 1/3) / 1.0 = 0.5
+        assert!((a.input_ratios()[6] - 0.5).abs() < 1e-9);
+        // j2 (index 7) joins j1+f3; level-3 mass is just j1 = 0.5,
+        // so ir = (0.5 + 0.5) / 0.5 = 2.0 — deep vertices dominate.
+        assert!((a.input_ratios()[7] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marker_picks_deep_heavy_vertex_first() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let marked = mark(&plan, &a, 1, eligible_under(Adversary::Weak));
+        // j2: ir 2.0 + distance 3 from loads = 5.0 — the clear maximum.
+        assert_eq!(marked, vec![VertexId(7)]);
+    }
+
+    #[test]
+    fn marker_spreads_points_by_distance() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let marked = mark(&plan, &a, 3, eligible_under(Adversary::Weak));
+        assert_eq!(marked.len(), 3);
+        assert_eq!(marked[0], VertexId(7), "first point is the deep join");
+        // All marks are distinct.
+        let mut uniq = marked.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn strong_adversary_restricts_to_job_boundaries() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let marked = mark(&plan, &a, 10, eligible_under(Adversary::Strong));
+        // Eligible: j1, j2, store — only 3 vertices.
+        assert_eq!(marked.len(), 3);
+        for m in &marked {
+            let op = plan.vertex(*m).op();
+            assert!(op.is_blocking() || op.is_store(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn zero_sizes_split_ratio_evenly() {
+        let (plan, _) = fig4_plan();
+        let a = analyze_plan(&plan, &HashMap::new());
+        for &l in &plan.loads() {
+            assert!((a.input_ratio(l) - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn marking_more_points_than_vertices_saturates() {
+        let (plan, sizes) = fig4_plan();
+        let a = analyze_plan(&plan, &sizes);
+        let marked = mark(&plan, &a, 100, eligible_under(Adversary::Weak));
+        assert_eq!(marked.len(), plan.len());
+    }
+}

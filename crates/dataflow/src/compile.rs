@@ -1,0 +1,900 @@
+//! Compilation of a [`LogicalPlan`] into a DAG of MapReduce jobs.
+//!
+//! Mirrors Pig's MapReduce compiler: pipelines of per-record operators run
+//! inside map or reduce phases, *blocking* operators (`GROUP`, `JOIN`,
+//! `DISTINCT`, `ORDER`) become a job's shuffle, and data crossing between
+//! jobs is materialized on storage. The paper's notion of a *job chain*
+//! (§3.2, challenge C2: "output of one is fed to the second") corresponds
+//! to [`MrJob`]s connected through [`DataSource::Intermediate`] edges.
+//!
+//! Fusion rules implemented here:
+//! * per-record operators (`FILTER`, `FOREACH`) extend the enclosing map or
+//!   reduce pipeline;
+//! * `UNION` merges its parents' map pipelines into one multi-input job
+//!   (map-side union, as in Pig) — later per-record operators distribute
+//!   over the merged inputs;
+//! * a blocking operator consumes its parents' open map pipelines as the
+//!   job's map inputs, materializing parents that already live in a reduce
+//!   phase;
+//! * `LIMIT` is exact: it runs in a single reduce/collector task;
+//! * a vertex with several consumers is materialized once and re-read
+//!   (Pig's split), except `LOAD`s, which are simply re-read from storage.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Operator;
+use crate::plan::{LogicalPlan, VertexId};
+
+/// Identifier of a job within one [`JobGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub usize);
+
+impl JobId {
+    /// The job's index in [`JobGraph::jobs`].
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+/// Where a job input's records come from.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataSource {
+    /// A named file on the trusted storage layer (a `LOAD` input).
+    Hdfs(String),
+    /// The materialized output of an upstream job.
+    Intermediate(JobId),
+}
+
+/// One parallel map input of a job: a source plus the per-record operator
+/// pipeline applied to it (vertex ids, interpreted against the plan).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobInput {
+    /// Where the records come from.
+    pub source: DataSource,
+    /// Pipeline of vertex ids applied map-side (includes pass-through
+    /// markers for `LOAD`, `UNION` and `STORE` so verification points can
+    /// be located).
+    pub pipeline: Vec<VertexId>,
+    /// Join side tag: `0` for the left/only input, `1` for a join's right
+    /// input.
+    pub tag: usize,
+}
+
+/// Where a job's output goes.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobOutput {
+    /// A user-visible `STORE` file.
+    Store(String),
+    /// An intermediate file consumed by downstream jobs.
+    Intermediate,
+}
+
+/// One MapReduce job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MrJob {
+    id: JobId,
+    /// Parallel map inputs.
+    pub inputs: Vec<JobInput>,
+    /// The blocking vertex realized by this job's shuffle, if any.
+    pub shuffle: Option<VertexId>,
+    /// Per-record pipeline applied after the shuffle (or, for a job with no
+    /// shuffle, in a single collector task).
+    pub reduce: Vec<VertexId>,
+    /// Output destination.
+    pub output: JobOutput,
+    /// Forces a single reduce/collector task (exact `LIMIT`, global
+    /// `ORDER`).
+    pub single_reduce: bool,
+}
+
+impl MrJob {
+    /// The job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Upstream jobs this one reads from.
+    pub fn deps(&self) -> Vec<JobId> {
+        let mut deps: Vec<JobId> = self
+            .inputs
+            .iter()
+            .filter_map(|i| match i.source {
+                DataSource::Intermediate(j) => Some(j),
+                DataSource::Hdfs(_) => None,
+            })
+            .collect();
+        deps.sort();
+        deps.dedup();
+        deps
+    }
+
+    /// True when this job is map-only (no shuffle, no collector pipeline).
+    pub fn is_map_only(&self) -> bool {
+        self.shuffle.is_none() && self.reduce.is_empty()
+    }
+}
+
+/// Where a logical vertex executes within the job graph. A vertex can have
+/// several sites (e.g. a re-read `LOAD`, or a filter distributed over a
+/// map-side union).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Site {
+    /// Position `pos` of the pipeline on map input `input` of job `job`.
+    MapInput {
+        /// The job.
+        job: JobId,
+        /// Input index.
+        input: usize,
+        /// Pipeline position.
+        pos: usize,
+    },
+    /// The shuffle of job `job` (the vertex's output is the reduce input).
+    Shuffle {
+        /// The job.
+        job: JobId,
+    },
+    /// Position `pos` of the reduce pipeline of job `job`.
+    Reduce {
+        /// The job.
+        job: JobId,
+        /// Pipeline position.
+        pos: usize,
+    },
+}
+
+impl Site {
+    /// The job this site belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            Site::MapInput { job, .. } | Site::Shuffle { job } | Site::Reduce { job, .. } => *job,
+        }
+    }
+}
+
+/// A DAG of MapReduce jobs compiled from a logical plan.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct JobGraph {
+    jobs: Vec<MrJob>,
+}
+
+impl JobGraph {
+    /// The jobs in a valid topological (execution) order.
+    pub fn jobs(&self) -> &[MrJob] {
+        &self.jobs
+    }
+
+    /// The job with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn job(&self, id: JobId) -> &MrJob {
+        &self.jobs[id.0]
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the graph has no jobs (a plan of dead code).
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Every execution site of vertex `v` (see [`Site`]).
+    pub fn vertex_sites(&self, v: VertexId) -> Vec<Site> {
+        let mut sites = Vec::new();
+        for job in &self.jobs {
+            for (i, input) in job.inputs.iter().enumerate() {
+                for (pos, &pv) in input.pipeline.iter().enumerate() {
+                    if pv == v {
+                        sites.push(Site::MapInput { job: job.id, input: i, pos });
+                    }
+                }
+            }
+            if job.shuffle == Some(v) {
+                sites.push(Site::Shuffle { job: job.id });
+            }
+            for (pos, &rv) in job.reduce.iter().enumerate() {
+                if rv == v {
+                    sites.push(Site::Reduce { job: job.id, pos });
+                }
+            }
+        }
+        sites
+    }
+
+    /// Renders the job graph as text, one job per line.
+    pub fn render(&self, plan: &LogicalPlan) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for job in &self.jobs {
+            let ins: Vec<String> = job
+                .inputs
+                .iter()
+                .map(|i| {
+                    let src = match &i.source {
+                        DataSource::Hdfs(f) => format!("hdfs:{f}"),
+                        DataSource::Intermediate(j) => format!("{j}"),
+                    };
+                    let ops: Vec<&str> =
+                        i.pipeline.iter().map(|&v| plan.vertex(v).op().name()).collect();
+                    format!("{src}→[{}]", ops.join(","))
+                })
+                .collect();
+            let shuffle = job
+                .shuffle
+                .map(|v| plan.vertex(v).op().name())
+                .unwrap_or("-");
+            let reduce: Vec<&str> =
+                job.reduce.iter().map(|&v| plan.vertex(v).op().name()).collect();
+            let output = match &job.output {
+                JobOutput::Store(f) => format!("store:{f}"),
+                JobOutput::Intermediate => "tmp".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "{} inputs={} shuffle={} reduce=[{}] out={}",
+                job.id,
+                ins.join(" "),
+                shuffle,
+                reduce.join(","),
+                output
+            );
+        }
+        out
+    }
+}
+
+impl JobGraph {
+    /// Renders the job graph in Graphviz dot format: one record-shaped
+    /// node per job (map inputs, shuffle, reduce pipeline) and one edge per
+    /// materialized dependency.
+    pub fn to_dot(&self, plan: &LogicalPlan) -> String {
+        use std::fmt::Write as _;
+        let mut out =
+            String::from("digraph jobs {\n  rankdir=TB;\n  node [shape=record];\n");
+        for job in &self.jobs {
+            let inputs: Vec<String> = job
+                .inputs
+                .iter()
+                .map(|i| {
+                    let ops: Vec<&str> =
+                        i.pipeline.iter().map(|&v| plan.vertex(v).op().name()).collect();
+                    ops.join("\\>")
+                })
+                .collect();
+            let shuffle = job
+                .shuffle
+                .map(|v| plan.vertex(v).op().name())
+                .unwrap_or("-");
+            let reduce: Vec<&str> =
+                job.reduce.iter().map(|&v| plan.vertex(v).op().name()).collect();
+            let output = match &job.output {
+                JobOutput::Store(f) => format!("store {f}"),
+                JobOutput::Intermediate => "tmp".to_owned(),
+            };
+            let _ = writeln!(
+                out,
+                "  j{} [label=\"{{{} | map: {} | shuffle: {} | reduce: {} | {}}}\"];",
+                job.id.0,
+                job.id,
+                inputs.join(" ; "),
+                shuffle,
+                reduce.join(","),
+                output
+            );
+        }
+        for job in &self.jobs {
+            for dep in job.deps() {
+                let _ = writeln!(out, "  j{} -> j{};", dep.0, job.id.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Compiles a plan into its job graph.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{compile::compile_plan, Script};
+///
+/// let plan = Script::parse(
+///     "a = LOAD 'x' AS (u, f); g = GROUP a BY u;
+///      c = FOREACH g GENERATE group, COUNT(a); STORE c INTO 'o';",
+/// )?
+/// .into_plan();
+/// let jobs = compile_plan(&plan);
+/// assert_eq!(jobs.len(), 1, "one shuffle, one job");
+/// # Ok::<(), cbft_dataflow::ParseError>(())
+/// ```
+pub fn compile_plan(plan: &LogicalPlan) -> JobGraph {
+    Compiler::new(plan).run()
+}
+
+#[derive(Clone, Debug)]
+enum VLoc {
+    /// Tip of open chain `chains[i]`.
+    Chain(usize),
+    /// Tip of the reduce pipeline of draft job `j`.
+    Reduce(usize),
+    /// Stream available as the output of finished job `j`.
+    Done(usize),
+    /// A multi-consumer `LOAD`: each consumer re-reads the file.
+    LoadSource(String),
+}
+
+#[derive(Clone, Debug, Default)]
+struct Chain {
+    inputs: Vec<JobInput>,
+}
+
+struct DraftJob {
+    inputs: Vec<JobInput>,
+    shuffle: Option<VertexId>,
+    reduce: Vec<VertexId>,
+    output: Option<JobOutput>,
+    single_reduce: bool,
+}
+
+struct Compiler<'a> {
+    plan: &'a LogicalPlan,
+    loc: Vec<Option<VLoc>>,
+    chains: Vec<Option<Chain>>,
+    jobs: Vec<DraftJob>,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(plan: &'a LogicalPlan) -> Self {
+        Compiler {
+            plan,
+            loc: vec![None; plan.len()],
+            chains: Vec::new(),
+            jobs: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> JobGraph {
+        for v in self.plan.topo_order() {
+            self.place(v);
+        }
+        self.finish()
+    }
+
+    fn place(&mut self, v: VertexId) {
+        let op = self.plan.vertex(v).op().clone();
+        match op {
+            Operator::Load { input, .. } => {
+                if self.plan.children(v).len() == 1 {
+                    let chain = Chain {
+                        inputs: vec![JobInput {
+                            source: DataSource::Hdfs(input),
+                            pipeline: vec![v],
+                            tag: 0,
+                        }],
+                    };
+                    let c = self.new_chain(chain);
+                    self.loc[v.index()] = Some(VLoc::Chain(c));
+                } else {
+                    // Re-read for each consumer; no copy job.
+                    self.loc[v.index()] = Some(VLoc::LoadSource(input));
+                }
+                // Loads are never materialization boundaries.
+            }
+            Operator::Filter { .. } | Operator::Project { .. } => {
+                let p = self.plan.vertex(v).parents()[0];
+                match self.loc[p.index()].clone().expect("parent placed") {
+                    VLoc::Chain(c) => {
+                        let chain = self.chains[c].as_mut().expect("open chain");
+                        for input in &mut chain.inputs {
+                            input.pipeline.push(v);
+                        }
+                        self.loc[v.index()] = Some(VLoc::Chain(c));
+                    }
+                    VLoc::Reduce(j) => {
+                        self.jobs[j].reduce.push(v);
+                        self.loc[v.index()] = Some(VLoc::Reduce(j));
+                    }
+                    VLoc::Done(_) | VLoc::LoadSource(_) => {
+                        let mut inputs = self.parent_inputs(p);
+                        for input in &mut inputs {
+                            input.pipeline.push(v);
+                        }
+                        let c = self.new_chain(Chain { inputs });
+                        self.loc[v.index()] = Some(VLoc::Chain(c));
+                    }
+                }
+                self.close_if_branchy(v);
+            }
+            Operator::Limit { .. } => {
+                let p = self.plan.vertex(v).parents()[0];
+                match self.loc[p.index()].clone().expect("parent placed") {
+                    VLoc::Reduce(j) => {
+                        // Exact LIMIT needs a global view of the stream.
+                        self.jobs[j].single_reduce = true;
+                        self.jobs[j].reduce.push(v);
+                        self.loc[v.index()] = Some(VLoc::Reduce(j));
+                    }
+                    _ => {
+                        // Map-side limit would be per-task; run a single
+                        // collector task instead.
+                        let inputs = self.parent_inputs(p);
+                        let j = self.jobs.len();
+                        self.jobs.push(DraftJob {
+                            inputs,
+                            shuffle: None,
+                            reduce: vec![v],
+                            output: None,
+                            single_reduce: true,
+                        });
+                        self.loc[v.index()] = Some(VLoc::Reduce(j));
+                    }
+                }
+                self.close_if_branchy(v);
+            }
+            Operator::Union => {
+                let parents = self.plan.vertex(v).parents().to_vec();
+                let mut inputs = self.parent_inputs(parents[0]);
+                inputs.extend(self.parent_inputs(parents[1]));
+                for input in &mut inputs {
+                    input.pipeline.push(v);
+                }
+                let c = self.new_chain(Chain { inputs });
+                self.loc[v.index()] = Some(VLoc::Chain(c));
+                self.close_if_branchy(v);
+            }
+            Operator::Group { .. } | Operator::Distinct | Operator::Order { .. } => {
+                let p = self.plan.vertex(v).parents()[0];
+                let inputs = self.parent_inputs(p);
+                let j = self.jobs.len();
+                self.jobs.push(DraftJob {
+                    inputs,
+                    shuffle: Some(v),
+                    reduce: Vec::new(),
+                    output: None,
+                    single_reduce: matches!(op, Operator::Order { .. }),
+                });
+                self.loc[v.index()] = Some(VLoc::Reduce(j));
+                self.close_if_branchy(v);
+            }
+            Operator::Join { .. } => {
+                let parents = self.plan.vertex(v).parents().to_vec();
+                let mut inputs = self.parent_inputs(parents[0]);
+                for i in &mut inputs {
+                    i.tag = 0;
+                }
+                let mut right = self.parent_inputs(parents[1]);
+                for i in &mut right {
+                    i.tag = 1;
+                }
+                inputs.extend(right);
+                let j = self.jobs.len();
+                self.jobs.push(DraftJob {
+                    inputs,
+                    shuffle: Some(v),
+                    reduce: Vec::new(),
+                    output: None,
+                    single_reduce: false,
+                });
+                self.loc[v.index()] = Some(VLoc::Reduce(j));
+                self.close_if_branchy(v);
+            }
+            Operator::Store { output } => {
+                let p = self.plan.vertex(v).parents()[0];
+                match self.loc[p.index()].clone().expect("parent placed") {
+                    VLoc::Reduce(j) if self.jobs[j].output.is_none() => {
+                        self.jobs[j].reduce.push(v);
+                        self.jobs[j].output = Some(JobOutput::Store(output));
+                        self.loc[v.index()] = Some(VLoc::Done(j));
+                    }
+                    _ => {
+                        let mut inputs = self.parent_inputs(p);
+                        for input in &mut inputs {
+                            input.pipeline.push(v);
+                        }
+                        let j = self.jobs.len();
+                        self.jobs.push(DraftJob {
+                            inputs,
+                            shuffle: None,
+                            reduce: Vec::new(),
+                            output: Some(JobOutput::Store(output)),
+                            single_reduce: false,
+                        });
+                        self.loc[v.index()] = Some(VLoc::Done(j));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Map inputs carrying the stream of `p`, consuming open pipelines and
+    /// materializing anything already fixed in a job.
+    fn parent_inputs(&mut self, p: VertexId) -> Vec<JobInput> {
+        match self.loc[p.index()].clone().expect("parent placed") {
+            VLoc::Chain(c) => self.chains[c].take().expect("open chain").inputs,
+            VLoc::Reduce(j) => {
+                debug_assert!(self.jobs[j].output.is_none());
+                self.jobs[j].output = Some(JobOutput::Intermediate);
+                self.loc[p.index()] = Some(VLoc::Done(j));
+                vec![JobInput {
+                    source: DataSource::Intermediate(JobId(j)),
+                    pipeline: Vec::new(),
+                    tag: 0,
+                }]
+            }
+            VLoc::Done(j) => vec![JobInput {
+                source: DataSource::Intermediate(JobId(j)),
+                pipeline: Vec::new(),
+                tag: 0,
+            }],
+            VLoc::LoadSource(file) => vec![JobInput {
+                source: DataSource::Hdfs(file),
+                pipeline: vec![p],
+                tag: 0,
+            }],
+        }
+    }
+
+    /// A vertex consumed by several downstream operators is a
+    /// materialization boundary (Pig's implicit split).
+    fn close_if_branchy(&mut self, v: VertexId) {
+        if self.plan.children(v).len() <= 1 {
+            return;
+        }
+        match self.loc[v.index()].clone().expect("just placed") {
+            VLoc::Chain(c) => {
+                let chain = self.chains[c].take().expect("open chain");
+                let j = self.jobs.len();
+                self.jobs.push(DraftJob {
+                    inputs: chain.inputs,
+                    shuffle: None,
+                    reduce: Vec::new(),
+                    output: Some(JobOutput::Intermediate),
+                    single_reduce: false,
+                });
+                self.loc[v.index()] = Some(VLoc::Done(j));
+            }
+            VLoc::Reduce(j) => {
+                self.jobs[j].output = Some(JobOutput::Intermediate);
+                self.loc[v.index()] = Some(VLoc::Done(j));
+            }
+            VLoc::Done(_) | VLoc::LoadSource(_) => {}
+        }
+    }
+
+    /// Drops dead drafts (jobs whose output was never fixed — they can have
+    /// no consumers) and renumbers ids.
+    fn finish(self) -> JobGraph {
+        let keep: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.output.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let mut remap = vec![usize::MAX; self.jobs.len()];
+        for (new, &old) in keep.iter().enumerate() {
+            remap[old] = new;
+        }
+        let jobs = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| {
+                let draft = &self.jobs[old];
+                let inputs = draft
+                    .inputs
+                    .iter()
+                    .map(|i| JobInput {
+                        source: match &i.source {
+                            DataSource::Hdfs(f) => DataSource::Hdfs(f.clone()),
+                            DataSource::Intermediate(j) => {
+                                let r = remap[j.0];
+                                debug_assert_ne!(r, usize::MAX, "consumed job must be kept");
+                                DataSource::Intermediate(JobId(r))
+                            }
+                        },
+                        pipeline: i.pipeline.clone(),
+                        tag: i.tag,
+                    })
+                    .collect();
+                MrJob {
+                    id: JobId(new),
+                    inputs,
+                    shuffle: draft.shuffle,
+                    reduce: draft.reduce.clone(),
+                    output: draft.output.clone().expect("kept jobs have outputs"),
+                    single_reduce: draft.single_reduce,
+                }
+            })
+            .collect();
+        JobGraph { jobs }
+    }
+
+    fn new_chain(&mut self, chain: Chain) -> usize {
+        self.chains.push(Some(chain));
+        self.chains.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Script;
+
+    fn compile(src: &str) -> (LogicalPlan, JobGraph) {
+        let plan = Script::parse(src).unwrap().into_plan();
+        let jobs = compile_plan(&plan);
+        (plan, jobs)
+    }
+
+    #[test]
+    fn follower_analysis_is_one_job() {
+        let (_, g) = compile(
+            "raw = LOAD 'twitter' AS (user, follower);
+             clean = FILTER raw BY follower IS NOT NULL;
+             grp = GROUP clean BY user;
+             cnt = FOREACH grp GENERATE group, COUNT(clean) AS n;
+             STORE cnt INTO 'counts';",
+        );
+        assert_eq!(g.len(), 1);
+        let j = &g.jobs()[0];
+        assert_eq!(j.inputs.len(), 1);
+        assert_eq!(j.inputs[0].pipeline.len(), 2, "load + filter map-side");
+        assert!(j.shuffle.is_some());
+        assert_eq!(j.reduce.len(), 2, "project + store reduce-side");
+        assert_eq!(j.output, JobOutput::Store("counts".to_owned()));
+    }
+
+    #[test]
+    fn chained_groups_are_two_jobs() {
+        let (_, g) = compile(
+            "w = LOAD 'weather' AS (station, temp);
+             g1 = GROUP w BY station;
+             avg = FOREACH g1 GENERATE group, AVG(w.temp) AS t;
+             g2 = GROUP avg BY t;
+             c = FOREACH g2 GENERATE group, COUNT(avg) AS n;
+             STORE c INTO 'hist';",
+        );
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.jobs()[0].output, JobOutput::Intermediate);
+        assert_eq!(g.jobs()[1].deps(), vec![JobId(0)]);
+        assert_eq!(
+            g.jobs()[1].inputs[0].source,
+            DataSource::Intermediate(JobId(0))
+        );
+    }
+
+    #[test]
+    fn join_merges_both_map_pipelines() {
+        let (_, g) = compile(
+            "a = LOAD 'edges' AS (user, follower);
+             b = LOAD 'edges' AS (user, follower);
+             j = JOIN a BY follower, b BY user;
+             two = FOREACH j GENERATE a::user, b::follower;
+             STORE two INTO 'twohop';",
+        );
+        assert_eq!(g.len(), 1);
+        let job = &g.jobs()[0];
+        assert_eq!(job.inputs.len(), 2);
+        assert_eq!(job.inputs[0].tag, 0);
+        assert_eq!(job.inputs[1].tag, 1);
+    }
+
+    #[test]
+    fn union_is_map_side() {
+        let (_, g) = compile(
+            "x = LOAD 'f' AS (airport);
+             y = LOAD 'g' AS (airport);
+             u = UNION x, y;
+             grp = GROUP u BY airport;
+             c = FOREACH grp GENERATE group, COUNT(u) AS n;
+             STORE c INTO 'o';",
+        );
+        assert_eq!(g.len(), 1, "union fuses into the group job's map phase");
+        let job = &g.jobs()[0];
+        assert_eq!(job.inputs.len(), 2);
+        for input in &job.inputs {
+            assert_eq!(input.pipeline.len(), 2, "load + union marker");
+        }
+    }
+
+    #[test]
+    fn filter_after_union_distributes() {
+        let (plan, g) = compile(
+            "x = LOAD 'f' AS (a);
+             y = LOAD 'g' AS (a);
+             u = UNION x, y;
+             fl = FILTER u BY a > 0;
+             grp = GROUP fl BY a;
+             c = FOREACH grp GENERATE group, COUNT(fl);
+             STORE c INTO 'o';",
+        );
+        assert_eq!(g.len(), 1);
+        let filter_id = plan
+            .vertices()
+            .iter()
+            .find(|v| v.op().name() == "Filter")
+            .unwrap()
+            .id();
+        let sites = g.vertex_sites(filter_id);
+        assert_eq!(sites.len(), 2, "filter runs on both union branches");
+    }
+
+    #[test]
+    fn order_then_limit_is_single_reduce_job() {
+        let (_, g) = compile(
+            "a = LOAD 'f' AS (airport, n);
+             o = ORDER a BY n DESC;
+             top = LIMIT o 20;
+             STORE top INTO 'o';",
+        );
+        assert_eq!(g.len(), 1);
+        let job = &g.jobs()[0];
+        assert!(job.single_reduce);
+        assert_eq!(job.reduce.len(), 2, "limit + store after the sort shuffle");
+    }
+
+    #[test]
+    fn map_side_limit_becomes_collector_job() {
+        let (_, g) = compile(
+            "a = LOAD 'f' AS (x);
+             top = LIMIT a 5;
+             STORE top INTO 'o';",
+        );
+        assert_eq!(g.len(), 1);
+        let job = &g.jobs()[0];
+        assert!(job.shuffle.is_none());
+        assert!(job.single_reduce);
+        assert_eq!(job.reduce.len(), 2, "limit + store in the collector");
+    }
+
+    #[test]
+    fn branching_materializes_once() {
+        let (_, g) = compile(
+            "a = LOAD 'f' AS (x, y);
+             fl = FILTER a BY x > 0;
+             g1 = GROUP fl BY x;
+             c1 = FOREACH g1 GENERATE group, COUNT(fl);
+             STORE c1 INTO 'o1';
+             g2 = GROUP fl BY y;
+             c2 = FOREACH g2 GENERATE group, COUNT(fl);
+             STORE c2 INTO 'o2';",
+        );
+        // Jobs: materialize filtered stream, then one group job per branch.
+        assert_eq!(g.len(), 3);
+        let mat = &g.jobs()[0];
+        assert!(mat.is_map_only());
+        assert_eq!(mat.output, JobOutput::Intermediate);
+        assert_eq!(g.jobs()[1].deps(), vec![JobId(0)]);
+        assert_eq!(g.jobs()[2].deps(), vec![JobId(0)]);
+    }
+
+    #[test]
+    fn multi_consumer_load_is_reread_not_copied() {
+        let (_, g) = compile(
+            "a = LOAD 'edges' AS (user, follower);
+             j = JOIN a BY follower, a BY user;
+             STORE j INTO 'o';",
+        );
+        assert_eq!(g.len(), 1, "no copy job for the shared load");
+        let job = &g.jobs()[0];
+        assert_eq!(job.inputs.len(), 2);
+        assert!(job
+            .inputs
+            .iter()
+            .all(|i| i.source == DataSource::Hdfs("edges".to_owned())));
+    }
+
+    #[test]
+    fn store_of_plain_load_is_map_only_job() {
+        let (_, g) = compile("a = LOAD 'f' AS (x); STORE a INTO 'o';");
+        assert_eq!(g.len(), 1);
+        let job = &g.jobs()[0];
+        assert!(job.is_map_only());
+        assert_eq!(job.output, JobOutput::Store("o".to_owned()));
+        assert_eq!(job.inputs[0].pipeline.len(), 2, "load + store markers");
+    }
+
+    #[test]
+    fn dead_code_produces_no_jobs() {
+        let (_, g) = compile(
+            "a = LOAD 'f' AS (x);
+             dead = FILTER a BY x > 100;
+             live = FILTER a BY x > 0;
+             STORE live INTO 'o';",
+        );
+        // The load is branchy (dead + live consumers) so it materializes...
+        // but `dead` is never consumed, so only the load-materialize job and
+        // the live store job remain.
+        for job in g.jobs() {
+            for &v in job
+                .inputs
+                .iter()
+                .flat_map(|i| i.pipeline.iter())
+                .chain(job.reduce.iter())
+            {
+                assert_ne!(v.index(), 1, "dead filter must not be scheduled");
+            }
+        }
+    }
+
+    #[test]
+    fn store_vertex_site_is_discoverable() {
+        let (plan, g) = compile(
+            "a = LOAD 'f' AS (x);
+             g1 = GROUP a BY x;
+             c = FOREACH g1 GENERATE group, COUNT(a);
+             STORE c INTO 'o';",
+        );
+        let store_id = plan.stores()[0];
+        let sites = g.vertex_sites(store_id);
+        assert_eq!(sites.len(), 1);
+        assert!(matches!(sites[0], Site::Reduce { .. }));
+    }
+
+    #[test]
+    fn shuffle_site_is_discoverable() {
+        let (plan, g) = compile(
+            "a = LOAD 'f' AS (x);
+             g1 = GROUP a BY x;
+             c = FOREACH g1 GENERATE group, COUNT(a);
+             STORE c INTO 'o';",
+        );
+        let grp = plan
+            .vertices()
+            .iter()
+            .find(|v| v.op().name() == "Group")
+            .unwrap()
+            .id();
+        assert_eq!(g.vertex_sites(grp), vec![Site::Shuffle { job: JobId(0) }]);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_jobs() {
+        let (plan, g) = compile(
+            "a = LOAD 'f' AS (x); g1 = GROUP a BY x;
+             c = FOREACH g1 GENERATE group, COUNT(a); STORE c INTO 'o';",
+        );
+        let r = g.render(&plan);
+        assert!(r.contains("j0"));
+        assert!(r.contains("store:o"));
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::parser::Script;
+
+    #[test]
+    fn job_graph_dot_has_one_node_per_job_and_dep_edges() {
+        let plan = Script::parse(
+            "w = LOAD 'weather' AS (station, temp);
+             g1 = GROUP w BY station;
+             avgs = FOREACH g1 GENERATE group, AVG(w.temp) AS t;
+             g2 = GROUP avgs BY t;
+             hist = FOREACH g2 GENERATE group, COUNT(avgs);
+             STORE hist INTO 'out';",
+        )
+        .unwrap()
+        .into_plan();
+        let graph = compile_plan(&plan);
+        let dot = graph.to_dot(&plan);
+        assert!(dot.starts_with("digraph jobs {"));
+        assert_eq!(dot.matches("shape=record").count(), 1);
+        assert!(dot.contains("j0 -> j1;"), "{dot}");
+        assert!(dot.contains("store out"));
+    }
+}

@@ -1,0 +1,337 @@
+//! Expressions: projections, predicates and aggregates.
+//!
+//! Expressions are fully resolved at plan-construction time (column names
+//! become indices), so evaluation needs no symbol table — important because
+//! the untrusted tier executes millions of them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{Record, Value};
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Integer arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division; division by zero yields null)
+    Div,
+    /// `%` (remainder; by zero yields null)
+    Mod,
+}
+
+/// Aggregate functions applied to a bag column (the output of `GROUP`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// Number of records in the bag.
+    Count,
+    /// Sum of an integer field across the bag.
+    Sum,
+    /// Truncated (integer) average of a field across the bag — the paper's
+    /// determinism workaround (§5.4) applied by construction.
+    Avg,
+    /// Minimum of a field across the bag.
+    Min,
+    /// Maximum of a field across the bag.
+    Max,
+}
+
+/// A resolved expression tree.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{CmpOp, EvalContext, Expr, Record, Value};
+///
+/// // col0 > 10
+/// let e = Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::IntLit(10));
+/// let r = Record::new(vec![Value::Int(42)]);
+/// assert!(e.eval(&EvalContext::new(&r)).is_truthy());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Input column by index.
+    Col(usize),
+    /// Integer literal.
+    IntLit(i64),
+    /// String literal.
+    StrLit(String),
+    /// The null literal.
+    NullLit,
+    /// Comparison, yielding `Int(1)` or `Int(0)`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Integer arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical and (operands use [`Value::is_truthy`]).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical not.
+    Not(Box<Expr>),
+    /// `IS NULL` test, yielding `Int(1)` / `Int(0)`.
+    IsNull(Box<Expr>),
+    /// Aggregate over the bag in column `bag_col`; `field` selects the field
+    /// inside each bag record (`None` is only valid for [`AggFunc::Count`]).
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Column holding the bag.
+        bag_col: usize,
+        /// Field index within bag records, if the function needs one.
+        field: Option<usize>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for comparisons.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for arithmetic.
+    pub fn arith(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for `IS NOT NULL`.
+    pub fn is_not_null(inner: Expr) -> Expr {
+        Expr::Not(Box::new(Expr::IsNull(Box::new(inner))))
+    }
+
+    /// Evaluates the expression against one record.
+    ///
+    /// Evaluation is total: type mismatches and missing columns yield
+    /// [`Value::Null`] rather than failing, mirroring Pig's permissive
+    /// runtime semantics (and keeping replicas deterministic even on
+    /// malformed data).
+    pub fn eval(&self, ctx: &EvalContext<'_>) -> Value {
+        match self {
+            Expr::Col(i) => ctx.record.get(*i).cloned().unwrap_or(Value::Null),
+            Expr::IntLit(i) => Value::Int(*i),
+            Expr::StrLit(s) => Value::Str(s.clone()),
+            Expr::NullLit => Value::Null,
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(ctx);
+                let rv = r.eval(ctx);
+                Value::Int(op.apply(lv.cmp(&rv)) as i64)
+            }
+            Expr::Arith(op, l, r) => {
+                let (Some(a), Some(b)) = (l.eval(ctx).as_int(), r.eval(ctx).as_int()) else {
+                    return Value::Null;
+                };
+                match op {
+                    ArithOp::Add => Value::Int(a.wrapping_add(b)),
+                    ArithOp::Sub => Value::Int(a.wrapping_sub(b)),
+                    ArithOp::Mul => Value::Int(a.wrapping_mul(b)),
+                    ArithOp::Div if b == 0 => Value::Null,
+                    ArithOp::Div => Value::Int(a.wrapping_div(b)),
+                    ArithOp::Mod if b == 0 => Value::Null,
+                    ArithOp::Mod => Value::Int(a.wrapping_rem(b)),
+                }
+            }
+            Expr::And(l, r) => {
+                Value::Int((l.eval(ctx).is_truthy() && r.eval(ctx).is_truthy()) as i64)
+            }
+            Expr::Or(l, r) => {
+                Value::Int((l.eval(ctx).is_truthy() || r.eval(ctx).is_truthy()) as i64)
+            }
+            Expr::Not(e) => Value::Int(!e.eval(ctx).is_truthy() as i64),
+            Expr::IsNull(e) => Value::Int(e.eval(ctx).is_null() as i64),
+            Expr::Agg { func, bag_col, field } => {
+                let Some(Value::Bag(bag)) = ctx.record.get(*bag_col) else {
+                    return Value::Null;
+                };
+                eval_agg(*func, bag, *field)
+            }
+        }
+    }
+
+    /// The largest column index referenced by this expression, if any.
+    /// Used by plan validation to reject out-of-range references.
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::IntLit(_) | Expr::StrLit(_) | Expr::NullLit => None,
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.max_col().into_iter().chain(r.max_col()).max()
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.max_col(),
+            Expr::Agg { bag_col, .. } => Some(*bag_col),
+        }
+    }
+}
+
+fn eval_agg(func: AggFunc, bag: &[Record], field: Option<usize>) -> Value {
+    match func {
+        AggFunc::Count => Value::Int(bag.len() as i64),
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
+            let Some(f) = field else { return Value::Null };
+            let ints = bag.iter().filter_map(|r| r.get(f)).filter_map(Value::as_int);
+            match func {
+                AggFunc::Sum => Value::Int(ints.fold(0i64, i64::wrapping_add)),
+                AggFunc::Avg => {
+                    let (mut sum, mut n) = (0i64, 0i64);
+                    for v in ints {
+                        sum = sum.wrapping_add(v);
+                        n += 1;
+                    }
+                    if n == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(sum / n)
+                    }
+                }
+                AggFunc::Min => ints.min().map_or(Value::Null, Value::Int),
+                AggFunc::Max => ints.max().map_or(Value::Null, Value::Int),
+                AggFunc::Count => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Evaluation context: the record an expression is applied to.
+///
+/// A separate struct (rather than passing `&Record`) so that future
+/// extensions — e.g. referencing the enclosing group key — do not ripple
+/// through every call site.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalContext<'a> {
+    record: &'a Record,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Creates a context for evaluating expressions against `record`.
+    pub fn new(record: &'a Record) -> Self {
+        EvalContext { record }
+    }
+
+    /// The record under evaluation.
+    pub fn record(&self) -> &Record {
+        self.record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(fields: Vec<Value>) -> Record {
+        Record::new(fields)
+    }
+
+    fn eval(e: &Expr, r: &Record) -> Value {
+        e.eval(&EvalContext::new(r))
+    }
+
+    #[test]
+    fn comparisons_yield_bool_ints() {
+        let r = rec(vec![Value::Int(5), Value::str("b")]);
+        assert_eq!(eval(&Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::IntLit(9)), &r), Value::Int(1));
+        assert_eq!(eval(&Expr::cmp(CmpOp::Eq, Expr::Col(1), Expr::StrLit("b".into())), &r), Value::Int(1));
+        assert_eq!(eval(&Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::IntLit(9)), &r), Value::Int(0));
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        let r = rec(vec![Value::Int(7)]);
+        assert_eq!(eval(&Expr::arith(ArithOp::Mul, Expr::Col(0), Expr::IntLit(3)), &r), Value::Int(21));
+        assert_eq!(eval(&Expr::arith(ArithOp::Div, Expr::Col(0), Expr::IntLit(0)), &r), Value::Null);
+        assert_eq!(eval(&Expr::arith(ArithOp::Mod, Expr::Col(0), Expr::IntLit(4)), &r), Value::Int(3));
+        // Type mismatch → null, not panic.
+        let s = rec(vec![Value::str("x")]);
+        assert_eq!(eval(&Expr::arith(ArithOp::Add, Expr::Col(0), Expr::IntLit(1)), &s), Value::Null);
+    }
+
+    #[test]
+    fn logic_and_null_tests() {
+        let r = rec(vec![Value::Null, Value::Int(1)]);
+        assert_eq!(eval(&Expr::IsNull(Box::new(Expr::Col(0))), &r), Value::Int(1));
+        assert_eq!(eval(&Expr::is_not_null(Expr::Col(1)), &r), Value::Int(1));
+        let both = Expr::And(
+            Box::new(Expr::is_not_null(Expr::Col(1))),
+            Box::new(Expr::IsNull(Box::new(Expr::Col(0)))),
+        );
+        assert_eq!(eval(&both, &r), Value::Int(1));
+        assert_eq!(eval(&Expr::Not(Box::new(both)), &r), Value::Int(0));
+    }
+
+    #[test]
+    fn missing_column_is_null() {
+        let r = rec(vec![]);
+        assert_eq!(eval(&Expr::Col(3), &r), Value::Null);
+    }
+
+    #[test]
+    fn aggregates() {
+        let bag = Value::Bag(vec![
+            rec(vec![Value::Int(1), Value::Int(10)]),
+            rec(vec![Value::Int(2), Value::Int(20)]),
+            rec(vec![Value::Int(3), Value::Int(31)]),
+        ]);
+        let r = rec(vec![Value::str("k"), bag]);
+        let agg = |func, field| Expr::Agg { func, bag_col: 1, field };
+        assert_eq!(eval(&agg(AggFunc::Count, None), &r), Value::Int(3));
+        assert_eq!(eval(&agg(AggFunc::Sum, Some(1)), &r), Value::Int(61));
+        assert_eq!(eval(&agg(AggFunc::Avg, Some(1)), &r), Value::Int(20), "truncated avg");
+        assert_eq!(eval(&agg(AggFunc::Min, Some(1)), &r), Value::Int(10));
+        assert_eq!(eval(&agg(AggFunc::Max, Some(1)), &r), Value::Int(31));
+    }
+
+    #[test]
+    fn aggregate_on_non_bag_is_null() {
+        let r = rec(vec![Value::Int(5)]);
+        let e = Expr::Agg { func: AggFunc::Count, bag_col: 0, field: None };
+        assert_eq!(eval(&e, &r), Value::Null);
+    }
+
+    #[test]
+    fn avg_of_empty_bag_is_null() {
+        let r = rec(vec![Value::Bag(vec![])]);
+        let e = Expr::Agg { func: AggFunc::Avg, bag_col: 0, field: Some(0) };
+        assert_eq!(eval(&e, &r), Value::Null);
+    }
+
+    #[test]
+    fn max_col_tracks_deepest_reference() {
+        let e = Expr::And(
+            Box::new(Expr::cmp(CmpOp::Eq, Expr::Col(2), Expr::IntLit(1))),
+            Box::new(Expr::is_not_null(Expr::Col(7))),
+        );
+        assert_eq!(e.max_col(), Some(7));
+        assert_eq!(Expr::IntLit(4).max_col(), None);
+    }
+}

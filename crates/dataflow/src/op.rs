@@ -1,0 +1,158 @@
+//! Logical operators — the vertices of the data-flow graph.
+
+use serde::{Deserialize, Serialize};
+
+use crate::expr::Expr;
+
+/// Sort direction for `ORDER ... BY`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Ascending (the default).
+    #[default]
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A logical data-flow operator.
+///
+/// The set mirrors the Pig Latin relational operators used by the paper's
+/// evaluation scripts (Fig. 8): LOAD, FILTER, GROUP, FOREACH/GENERATE
+/// (projection), JOIN, UNION, DISTINCT, ORDER, LIMIT and STORE.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Reads a named input from the trusted storage layer. A source vertex.
+    Load {
+        /// Storage file name.
+        input: String,
+        /// Declared column names.
+        columns: Vec<String>,
+    },
+    /// Keeps records whose predicate evaluates truthy.
+    Filter {
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// Projects each record through a list of expressions
+    /// (`FOREACH ... GENERATE`). After a `GROUP`, expressions may contain
+    /// aggregates over the bag column.
+    Project {
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+        /// Output column names (same length as `exprs`).
+        names: Vec<String>,
+    },
+    /// Groups records by a key column; output records are
+    /// `(key, bag-of-input-records)` with schema `(group, <alias>)`.
+    /// A shuffle boundary.
+    Group {
+        /// Key column index in the input schema.
+        key: usize,
+    },
+    /// Equi-join of two inputs on one key column each. A shuffle boundary.
+    Join {
+        /// Key column index in the left input.
+        left_key: usize,
+        /// Key column index in the right input.
+        right_key: usize,
+    },
+    /// Concatenates two inputs with equal arity.
+    Union,
+    /// Removes duplicate records. A shuffle boundary.
+    Distinct,
+    /// Globally sorts by a key column. A shuffle boundary.
+    Order {
+        /// Sort key column index.
+        key: usize,
+        /// Direction.
+        order: SortOrder,
+    },
+    /// Keeps the first `count` records (after any upstream ordering).
+    Limit {
+        /// Number of records to keep.
+        count: u64,
+    },
+    /// Writes records to a named output on the trusted storage layer.
+    /// A sink vertex.
+    Store {
+        /// Storage file name.
+        output: String,
+    },
+}
+
+impl Operator {
+    /// Number of inputs the operator requires.
+    pub fn arity(&self) -> usize {
+        match self {
+            Operator::Load { .. } => 0,
+            Operator::Join { .. } | Operator::Union => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for operators that force a shuffle (a MapReduce job boundary).
+    ///
+    /// Under the paper's *strong* adversary model only the outputs of these
+    /// vertices (i.e. data crossing between jobs) are eligible verification
+    /// points (§4.1).
+    pub fn is_blocking(&self) -> bool {
+        matches!(
+            self,
+            Operator::Group { .. }
+                | Operator::Join { .. }
+                | Operator::Distinct
+                | Operator::Order { .. }
+        )
+    }
+
+    /// A short human-readable name, used in plan rendering and errors.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::Load { .. } => "Load",
+            Operator::Filter { .. } => "Filter",
+            Operator::Project { .. } => "Project",
+            Operator::Group { .. } => "Group",
+            Operator::Join { .. } => "Join",
+            Operator::Union => "Union",
+            Operator::Distinct => "Distinct",
+            Operator::Order { .. } => "Order",
+            Operator::Limit { .. } => "Limit",
+            Operator::Store { .. } => "Store",
+        }
+    }
+
+    /// True for [`Operator::Load`].
+    pub fn is_load(&self) -> bool {
+        matches!(self, Operator::Load { .. })
+    }
+
+    /// True for [`Operator::Store`].
+    pub fn is_store(&self) -> bool {
+        matches!(self, Operator::Store { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_per_operator() {
+        assert_eq!(Operator::Load { input: "f".into(), columns: vec![] }.arity(), 0);
+        assert_eq!(Operator::Union.arity(), 2);
+        assert_eq!(Operator::Join { left_key: 0, right_key: 0 }.arity(), 2);
+        assert_eq!(Operator::Distinct.arity(), 1);
+        assert_eq!(Operator::Store { output: "o".into() }.arity(), 1);
+    }
+
+    #[test]
+    fn blocking_operators_are_the_shuffles() {
+        assert!(Operator::Group { key: 0 }.is_blocking());
+        assert!(Operator::Join { left_key: 0, right_key: 1 }.is_blocking());
+        assert!(Operator::Distinct.is_blocking());
+        assert!(Operator::Order { key: 0, order: SortOrder::Asc }.is_blocking());
+        assert!(!Operator::Union.is_blocking());
+        assert!(!Operator::Filter { predicate: Expr::IntLit(1) }.is_blocking());
+        assert!(!Operator::Limit { count: 5 }.is_blocking());
+    }
+}

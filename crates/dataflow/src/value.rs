@@ -1,0 +1,401 @@
+//! Values, records and schemas.
+//!
+//! The reproduction restricts values to null, 64-bit integers, strings and
+//! bags (nested collections produced by `GROUP`). The paper's prototype
+//! "works around [floating-point non-determinism] by ensuring that the user
+//! programs deal with only integer values or truncate the last few decimal
+//! points" (§5.4); we adopt the same rule by simply not offering floats —
+//! averages truncate to integers.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A single field value.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing / undefined.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// A bag of records, as produced by `GROUP`.
+    Bag(Vec<Record>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the bag payload, if this is a [`Value::Bag`].
+    pub fn as_bag(&self) -> Option<&[Record]> {
+        match self {
+            Value::Bag(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// True for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Truthiness for filter predicates: non-zero integers are true,
+    /// everything else is false. Comparison operators produce `Int(0)` or
+    /// `Int(1)`.
+    pub fn is_truthy(&self) -> bool {
+        matches!(self, Value::Int(i) if *i != 0)
+    }
+
+    /// Appends a canonical, unambiguous byte encoding of this value to
+    /// `out`. Used for digesting record streams at verification points:
+    /// two values encode identically iff they are equal.
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u64).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Bag(records) => {
+                out.push(3);
+                out.extend_from_slice(&(records.len() as u64).to_be_bytes());
+                for r in records {
+                    r.write_canonical(out);
+                }
+            }
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bag(_) => 3,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Bag(a), Value::Bag(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bag(b) => {
+                write!(f, "{{")?;
+                for (i, r) in b.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r:?}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+/// A tuple of values: one row flowing through the data-flow graph.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{Record, Value};
+///
+/// let r = Record::new(vec![Value::Int(3), Value::str("bob")]);
+/// assert_eq!(r.get(1).and_then(Value::as_str), Some("bob"));
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Record(Vec<Value>);
+
+impl Record {
+    /// Creates a record from its field values.
+    pub fn new(fields: Vec<Value>) -> Self {
+        Record(fields)
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Field at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.0.get(index)
+    }
+
+    /// All fields.
+    pub fn fields(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the record, returning its fields.
+    pub fn into_fields(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Canonical byte encoding (see [`Value::write_canonical`]).
+    pub fn write_canonical(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.0.len() as u64).to_be_bytes());
+        for v in &self.0 {
+            v.write_canonical(out);
+        }
+    }
+
+    /// Canonical byte encoding as an owned buffer.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 * self.0.len());
+        self.write_canonical(&mut out);
+        out
+    }
+
+    /// Approximate in-memory/serialized size in bytes; used by the cost
+    /// model to charge I/O and network time.
+    pub fn byte_size(&self) -> u64 {
+        let mut n = 8u64;
+        for v in &self.0 {
+            n += match v {
+                Value::Null => 1,
+                Value::Int(_) => 9,
+                Value::Str(s) => 9 + s.len() as u64,
+                Value::Bag(rs) => 9 + rs.iter().map(Record::byte_size).sum::<u64>(),
+            };
+        }
+        n
+    }
+}
+
+impl fmt::Debug for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Record {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Record(iter.into_iter().collect())
+    }
+}
+
+/// Column names for the records output by one vertex.
+///
+/// Joins prefix columns Pig-style (`alias::column`); name resolution (see
+/// [`Schema::resolve`]) accepts either the exact name or an unambiguous
+/// suffix.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from column names.
+    pub fn new(columns: Vec<String>) -> Self {
+        Schema { columns }
+    }
+
+    /// Creates a schema from string slices.
+    pub fn from_names(names: &[&str]) -> Self {
+        Schema { columns: names.iter().map(|s| (*s).to_owned()) .collect() }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Resolves `name` to a column index: exact match first, then a unique
+    /// `::name` suffix match (Pig disambiguation). Returns `None` when the
+    /// name is absent or ambiguous.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c == name) {
+            return Some(i);
+        }
+        let suffix = format!("::{name}");
+        let mut hits = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ends_with(&suffix));
+        let first = hits.next()?;
+        if hits.next().is_some() {
+            return None; // ambiguous
+        }
+        Some(first.0)
+    }
+
+    /// Returns a new schema with every column prefixed `alias::`, as Pig
+    /// does for join outputs.
+    pub fn prefixed(&self, alias: &str) -> Schema {
+        Schema {
+            columns: self
+                .columns
+                .iter()
+                .map(|c| format!("{alias}::{c}"))
+                .collect(),
+        }
+    }
+
+    /// Concatenates two schemas (join output).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Schema { columns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encoding_is_injective_on_samples() {
+        let samples = vec![
+            Record::new(vec![Value::Null]),
+            Record::new(vec![Value::Int(0)]),
+            Record::new(vec![Value::Int(1)]),
+            Record::new(vec![Value::str("")]),
+            Record::new(vec![Value::str("a"), Value::str("b")]),
+            Record::new(vec![Value::str("ab")]),
+            Record::new(vec![Value::Bag(vec![])]),
+            Record::new(vec![Value::Bag(vec![Record::new(vec![Value::Int(1)])])]),
+        ];
+        let encodings: Vec<Vec<u8>> = samples.iter().map(Record::to_canonical_bytes).collect();
+        for i in 0..encodings.len() {
+            for j in 0..encodings.len() {
+                assert_eq!(i == j, encodings[i] == encodings[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn value_total_order_is_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Int(-5),
+            Value::Int(7),
+            Value::str("a"),
+            Value::str("b"),
+            Value::Bag(vec![]),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{:?} < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn schema_resolution() {
+        let s = Schema::from_names(&["a::user", "a::follower", "b::user"]);
+        assert_eq!(s.resolve("a::user"), Some(0));
+        assert_eq!(s.resolve("follower"), Some(1), "unique suffix");
+        assert_eq!(s.resolve("user"), None, "ambiguous suffix");
+        assert_eq!(s.resolve("missing"), None);
+    }
+
+    #[test]
+    fn schema_prefix_and_concat() {
+        let a = Schema::from_names(&["x", "y"]).prefixed("l");
+        let b = Schema::from_names(&["x"]).prefixed("r");
+        let j = a.concat(&b);
+        assert_eq!(j.columns(), &["l::x", "l::y", "r::x"]);
+        assert_eq!(j.resolve("y"), Some(1));
+    }
+
+    #[test]
+    fn byte_size_counts_payload() {
+        let small = Record::new(vec![Value::Int(1)]);
+        let big = Record::new(vec![Value::str("x".repeat(100))]);
+        assert!(big.byte_size() > small.byte_size() + 90);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(1).is_truthy());
+        assert!(!Value::Int(0).is_truthy());
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::str("yes").is_truthy());
+    }
+}

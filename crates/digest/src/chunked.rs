@@ -1,0 +1,270 @@
+//! Chunked ("approximate, offline") digests.
+//!
+//! §3.3 of the paper: *"Instead of comparing the entire outputs of a replica
+//! set in one go upon sub-job completion, we can choose to (1) only compare
+//! digests, (2) start doing so before sub-job completion, and (3) allow the
+//! follow-up sub-job to proceed based on the complete output before
+//! comparison completes."* §6.4 then varies `d`, the number of lines covered
+//! by each digest, from one digest for the whole stream down to one digest
+//! per 100 lines.
+//!
+//! [`ChunkedDigest`] implements that knob: records are appended one at a
+//! time; every `d` records the running hash is sealed into a chunk digest
+//! that can be shipped to the verifier immediately.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Digest, Sha256};
+
+/// Streams records through a verification point, emitting one [`Digest`] per
+/// `granularity` records.
+///
+/// A granularity of [`usize::MAX`] (see [`ChunkedDigest::whole_stream`])
+/// degenerates to the paper's default of a single digest per verification
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_digest::ChunkedDigest;
+///
+/// let mut cd = ChunkedDigest::new(2);
+/// cd.append(b"r1");
+/// cd.append(b"r2"); // seals chunk 0
+/// cd.append(b"r3");
+/// let summary = cd.finish(); // seals the trailing partial chunk
+/// assert_eq!(summary.chunks().len(), 2);
+/// assert_eq!(summary.records(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChunkedDigest {
+    granularity: usize,
+    hasher: Sha256,
+    records_in_chunk: usize,
+    total_records: u64,
+    total_bytes: u64,
+    chunks: Vec<Digest>,
+}
+
+impl ChunkedDigest {
+    /// Creates a chunked digest emitting one digest per `granularity`
+    /// records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granularity` is zero.
+    pub fn new(granularity: usize) -> Self {
+        assert!(granularity > 0, "digest granularity must be positive");
+        ChunkedDigest {
+            granularity,
+            hasher: Sha256::new(),
+            records_in_chunk: 0,
+            total_records: 0,
+            total_bytes: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Creates a chunked digest that produces exactly one digest for the
+    /// whole stream — the paper's default of "one digest at one verification
+    /// point".
+    pub fn whole_stream() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Appends one record to the stream.
+    ///
+    /// Records are length-prefixed before hashing so that record boundaries
+    /// are unambiguous: `("ab", "c")` and `("a", "bc")` digest differently.
+    pub fn append(&mut self, record: &[u8]) {
+        self.hasher.update(&(record.len() as u64).to_be_bytes());
+        self.hasher.update(record);
+        self.records_in_chunk += 1;
+        self.total_records += 1;
+        self.total_bytes += record.len() as u64;
+        if self.records_in_chunk == self.granularity {
+            self.seal_chunk();
+        }
+    }
+
+    /// Number of chunk digests sealed so far (not counting a pending partial
+    /// chunk). Lets the verifier start comparing before the stream ends.
+    pub fn sealed_chunks(&self) -> &[Digest] {
+        &self.chunks
+    }
+
+    /// Finalizes the stream, sealing any trailing partial chunk, and returns
+    /// the summary.
+    pub fn finish(mut self) -> ChunkedSummary {
+        if self.records_in_chunk > 0 || self.chunks.is_empty() {
+            self.seal_chunk();
+        }
+        let mut combined = self.chunks[0];
+        for c in &self.chunks[1..] {
+            combined = combined.combine(c);
+        }
+        ChunkedSummary {
+            chunks: self.chunks,
+            combined,
+            records: self.total_records,
+            bytes: self.total_bytes,
+        }
+    }
+
+    fn seal_chunk(&mut self) {
+        let hasher = std::mem::take(&mut self.hasher);
+        self.chunks.push(hasher.finish());
+        self.records_in_chunk = 0;
+    }
+}
+
+/// The finalized digests of one replica's stream through one verification
+/// point.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkedSummary {
+    chunks: Vec<Digest>,
+    combined: Digest,
+    records: u64,
+    bytes: u64,
+}
+
+impl ChunkedSummary {
+    /// Per-chunk digests, in stream order.
+    pub fn chunks(&self) -> &[Digest] {
+        &self.chunks
+    }
+
+    /// A single digest folding all chunk digests together; comparing it is
+    /// equivalent to comparing the full chunk vector.
+    pub fn combined(&self) -> Digest {
+        self.combined
+    }
+
+    /// Total records digested.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Total payload bytes digested.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Compares two summaries chunk by chunk.
+    ///
+    /// Returns [`StreamVerdict::Match`] when identical, and otherwise the
+    /// index of the first diverging chunk — which tells the verifier *where*
+    /// in the stream the replicas diverged (the pay-off of finer
+    /// granularity: a smaller recomputation window).
+    pub fn compare(&self, other: &ChunkedSummary) -> StreamVerdict {
+        if self == other {
+            return StreamVerdict::Match;
+        }
+        let n = self.chunks.len().min(other.chunks.len());
+        for i in 0..n {
+            if self.chunks[i] != other.chunks[i] {
+                return StreamVerdict::DivergedAt { chunk: i };
+            }
+        }
+        StreamVerdict::DivergedAt { chunk: n }
+    }
+}
+
+/// Result of comparing two [`ChunkedSummary`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamVerdict {
+    /// The streams are identical.
+    Match,
+    /// The streams first diverge at this chunk index (possibly past the end
+    /// of the shorter stream).
+    DivergedAt {
+        /// Index of the first chunk whose digests differ.
+        chunk: usize,
+    },
+}
+
+impl StreamVerdict {
+    /// True when the verdict is [`StreamVerdict::Match`].
+    pub fn is_match(&self) -> bool {
+        matches!(self, StreamVerdict::Match)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summarize(granularity: usize, records: &[&[u8]]) -> ChunkedSummary {
+        let mut cd = ChunkedDigest::new(granularity);
+        for r in records {
+            cd.append(r);
+        }
+        cd.finish()
+    }
+
+    #[test]
+    fn identical_streams_match_at_any_granularity() {
+        let recs: Vec<&[u8]> = vec![b"a", b"bb", b"ccc", b"dddd", b"e"];
+        for g in [1usize, 2, 3, 5, 100] {
+            let x = summarize(g, &recs);
+            let y = summarize(g, &recs);
+            assert!(x.compare(&y).is_match(), "granularity {g}");
+            assert_eq!(x.combined(), y.combined());
+        }
+    }
+
+    #[test]
+    fn chunk_count_is_ceil_div() {
+        assert_eq!(summarize(2, &[b"a", b"b", b"c"]).chunks().len(), 2);
+        assert_eq!(summarize(2, &[b"a", b"b"]).chunks().len(), 1);
+        assert_eq!(summarize(1, &[b"a", b"b"]).chunks().len(), 2);
+        assert_eq!(summarize(100, &[b"a"]).chunks().len(), 1);
+    }
+
+    #[test]
+    fn empty_stream_still_produces_one_digest() {
+        let s = ChunkedDigest::new(4).finish();
+        assert_eq!(s.chunks().len(), 1);
+        assert_eq!(s.records(), 0);
+        // And it matches another empty stream but not a non-empty one.
+        let t = ChunkedDigest::new(4).finish();
+        assert!(s.compare(&t).is_match());
+        assert!(!s.compare(&summarize(4, &[b"x"])).is_match());
+    }
+
+    #[test]
+    fn divergence_localizes_the_faulty_chunk() {
+        let good: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i]).collect();
+        let mut bad = good.clone();
+        bad[7][0] = 0xff; // corrupt record 7 → chunk 3 at granularity 2
+        let g: Vec<&[u8]> = good.iter().map(|v| v.as_slice()).collect();
+        let b: Vec<&[u8]> = bad.iter().map(|v| v.as_slice()).collect();
+        let sg = summarize(2, &g);
+        let sb = summarize(2, &b);
+        assert_eq!(sg.compare(&sb), StreamVerdict::DivergedAt { chunk: 3 });
+        // Coarse granularity only says "somewhere".
+        let sg1 = summarize(100, &g);
+        let sb1 = summarize(100, &b);
+        assert_eq!(sg1.compare(&sb1), StreamVerdict::DivergedAt { chunk: 0 });
+    }
+
+    #[test]
+    fn record_boundaries_are_unambiguous() {
+        let x = summarize(10, &[b"ab", b"c"]);
+        let y = summarize(10, &[b"a", b"bc"]);
+        assert!(!x.compare(&y).is_match());
+    }
+
+    #[test]
+    fn length_difference_past_common_prefix_is_divergence() {
+        let x = summarize(1, &[b"a", b"b"]);
+        let y = summarize(1, &[b"a", b"b", b"c"]);
+        assert_eq!(x.compare(&y), StreamVerdict::DivergedAt { chunk: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "granularity must be positive")]
+    fn zero_granularity_panics() {
+        let _ = ChunkedDigest::new(0);
+    }
+}

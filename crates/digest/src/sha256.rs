@@ -1,0 +1,393 @@
+//! A from-scratch implementation of SHA-256 (FIPS 180-4).
+//!
+//! ClusterBFT's verification functions compute SHA-256 digests of the data
+//! streaming through verification points (§4.1). The implementation below is
+//! a straightforward, dependency-free rendition of the standard, validated
+//! against the NIST test vectors in this module's tests.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// SHA-256 round constants: the first 32 bits of the fractional parts of the
+/// cube roots of the first 64 primes (FIPS 180-4 §4.2.2).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash value: the first 32 bits of the fractional parts of the
+/// square roots of the first 8 primes (FIPS 180-4 §5.3.3).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// A 256-bit SHA-256 digest.
+///
+/// `Digest` is the unit of comparison between ClusterBFT replicas: replicas
+/// executing the same deterministic sub-graph over the same input must
+/// produce identical digests at each verification point.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_digest::Digest;
+///
+/// let d = Digest::of(b"abc");
+/// assert_eq!(
+///     d.to_string(),
+///     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest([u8; 32]);
+
+impl Digest {
+    /// Computes the SHA-256 digest of `data` in one shot.
+    pub fn of(data: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(data);
+        h.finish()
+    }
+
+    /// Returns the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Constructs a digest from raw bytes.
+    ///
+    /// Useful for testing and for deserializing digests received from the
+    /// untrusted tier; no validation is possible (all 32-byte values are
+    /// valid digests).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Combines this digest with another, producing the digest of their
+    /// concatenation. Used to fold per-chunk digests into a single summary
+    /// digest (Merkle-style chaining).
+    pub fn combine(&self, other: &Digest) -> Digest {
+        let mut h = Sha256::new();
+        h.update(&self.0);
+        h.update(&other.0);
+        h.finish()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Eight hex chars are plenty to tell digests apart in test output.
+        write!(f, "Digest({:02x}{:02x}{:02x}{:02x})", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl std::str::FromStr for Digest {
+    type Err = ParseDigestError;
+
+    /// Parses the 64-hex-char form produced by [`Digest`]'s `Display`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return Err(ParseDigestError);
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16).ok_or(ParseDigestError)?;
+            let lo = (pair[1] as char).to_digit(16).ok_or(ParseDigestError)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(Digest(out))
+    }
+}
+
+/// Error parsing a hex digest string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParseDigestError;
+
+impl fmt::Display for ParseDigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expected 64 hexadecimal characters")
+    }
+}
+
+impl std::error::Error for ParseDigestError {}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+}
+
+/// An incremental SHA-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_digest::{Digest, Sha256};
+///
+/// let mut h = Sha256::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// assert_eq!(h.finish(), Digest::of(b"hello world"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Buffered partial block.
+    buf: [u8; 64],
+    buf_len: usize,
+    /// Total message length in bytes.
+    len: u64,
+}
+
+impl Sha256 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, len: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut input = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+            if input.is_empty() {
+                return;
+            }
+            // Reaching here with leftover input implies the buffer was just
+            // flushed (buf_len == 0), so the remainder logic below is safe.
+            debug_assert_eq!(self.buf_len, 0);
+        }
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Finalizes the hash, consuming the hasher and returning the digest.
+    pub fn finish(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update_padding(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_padding(&[0]);
+        }
+        self.update_padding(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// Like `update` but without advancing the message length counter; only
+    /// used while appending the final padding.
+    fn update_padding(&mut self, data: &[u8]) {
+        for &byte in data {
+            self.buf[self.buf_len] = byte;
+            self.buf_len += 1;
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: Digest) -> String {
+        d.to_string()
+    }
+
+    // NIST FIPS 180-4 / NESSIE test vectors.
+    #[test]
+    fn empty_string() {
+        assert_eq!(
+            hex(Digest::of(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(Digest::of(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            hex(Digest::of(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn four_block_message() {
+        assert_eq!(
+            hex(Digest::of(
+                b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+                  ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"
+            )),
+            "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(Digest::of(&data)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary_lengths() {
+        // 55/56/63/64/65 bytes straddle the padding edge cases.
+        for n in [55usize, 56, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xa5u8; n];
+            let whole = Digest::of(&data);
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(whole, h.finish(), "length {n}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_oneshot_at_odd_split_points() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        let whole = Digest::of(&data);
+        for split in [0usize, 1, 7, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(whole, h.finish(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        assert_ne!(a.combine(&b), b.combine(&a));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let d = Digest::of(b"x");
+        assert_eq!(d.to_string().len(), 64);
+        assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn from_str_round_trips_display() {
+        let d = Digest::of(b"round trip");
+        let parsed: Digest = d.to_string().parse().unwrap();
+        assert_eq!(parsed, d);
+        assert!("short".parse::<Digest>().is_err());
+        assert!("zz".repeat(32).parse::<Digest>().is_err());
+        let upper = d.to_string().to_uppercase();
+        assert_eq!(upper.parse::<Digest>().unwrap(), d, "case-insensitive");
+    }
+}

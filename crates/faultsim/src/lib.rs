@@ -1,0 +1,511 @@
+//! The fault-isolation simulator of §6.3.
+//!
+//! The paper evaluates the Fig. 7 fault analyzer with "a Java-based
+//! simulator that mimics resource allocation in a 250 node Hadoop
+//! cluster. Each node is given 3 slots on which tasks can be scheduled."
+//! Jobs are large (20–30 slots), medium (10–15) or small (3–5), with a
+//! duration in time units; replica sets of `r = 4` (`f = 1`) or `r = 7`
+//! (`f = 2`) are placed on disjoint node sets; a faulty node produces a
+//! commission fault with a configurable probability per job, implicating
+//! its replica's whole node set.
+//!
+//! This crate is a faithful Rust port driving the *real*
+//! [`FaultAnalyzer`] and [`SuspicionTable`] from the core crate, and
+//! regenerates Figs. 11–13.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+
+use clusterbft::{FaultAnalyzer, NodeId, SuspicionTable};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Job size classes (§6.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobSize {
+    /// 20–30 slots.
+    Large,
+    /// 10–15 slots.
+    Medium,
+    /// 3–5 slots.
+    Small,
+}
+
+impl JobSize {
+    fn slots(&self, rng: &mut StdRng) -> usize {
+        match self {
+            JobSize::Large => rng.gen_range(20..=30),
+            JobSize::Medium => rng.gen_range(10..=15),
+            JobSize::Small => rng.gen_range(3..=5),
+        }
+    }
+}
+
+/// The ratio of large : medium : small jobs in the mix.
+///
+/// The paper reports `r1 = 6:3:1` and `r2 = 2:2:1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobMix {
+    /// Weight of large jobs.
+    pub large: u32,
+    /// Weight of medium jobs.
+    pub medium: u32,
+    /// Weight of small jobs.
+    pub small: u32,
+}
+
+impl JobMix {
+    /// The paper's ratio `r1 = 6:3:1`.
+    pub const R1: JobMix = JobMix { large: 6, medium: 3, small: 1 };
+    /// The paper's ratio `r2 = 2:2:1`.
+    pub const R2: JobMix = JobMix { large: 2, medium: 2, small: 1 };
+
+    fn draw(&self, rng: &mut StdRng) -> JobSize {
+        let total = self.large + self.medium + self.small;
+        let x = rng.gen_range(0..total.max(1));
+        if x < self.large {
+            JobSize::Large
+        } else if x < self.large + self.medium {
+            JobSize::Medium
+        } else {
+            JobSize::Small
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultSimConfig {
+    /// Cluster size (paper: 250).
+    pub nodes: usize,
+    /// Slots per node (paper: 3).
+    pub slots_per_node: usize,
+    /// Fault bound; also the number of commission-faulty nodes planted.
+    pub f: usize,
+    /// Replicas per job (paper: 4 for `f = 1`, 7 for `f = 2`).
+    pub replicas: usize,
+    /// Probability that a faulty node corrupts a given job it serves.
+    pub commission_probability: f64,
+    /// Job size mix.
+    pub mix: JobMix,
+    /// Job length range in time units, inclusive.
+    pub length_range: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FaultSimConfig {
+    fn default() -> Self {
+        FaultSimConfig {
+            nodes: 250,
+            slots_per_node: 3,
+            f: 1,
+            replicas: 4,
+            commission_probability: 0.5,
+            mix: JobMix::R1,
+            length_range: (1, 3),
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RunningJob {
+    replicas: Vec<BTreeSet<NodeId>>,
+    finish_at: u64,
+}
+
+/// Snapshot of the simulator after one time step (one row of Figs. 12–13).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepSnapshot {
+    /// Simulation time.
+    pub time: u64,
+    /// Jobs completed so far.
+    pub jobs_completed: u64,
+    /// Nodes with low suspicion (0 < s ≤ 0.33).
+    pub low: usize,
+    /// Nodes with medium suspicion (0.33 < s ≤ 0.66).
+    pub med: usize,
+    /// Nodes with high suspicion (s > 0.66).
+    pub high: usize,
+    /// Whether the analyzer has reached `|D| = f`.
+    pub converged: bool,
+    /// Total currently suspected nodes (|⋃D|).
+    pub suspected: usize,
+}
+
+/// The §6.3 resource-allocation simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_faultsim::{FaultSim, FaultSimConfig};
+///
+/// let mut sim = FaultSim::new(FaultSimConfig {
+///     commission_probability: 0.9,
+///     ..FaultSimConfig::default()
+/// });
+/// let jobs = sim.run_until_converged(10_000).expect("converges");
+/// assert!(jobs < 100, "high-probability faults isolate fast ({jobs} jobs)");
+/// ```
+#[derive(Debug)]
+pub struct FaultSim {
+    config: FaultSimConfig,
+    rng: StdRng,
+    analyzer: FaultAnalyzer,
+    suspicion: SuspicionTable,
+    faulty: BTreeSet<NodeId>,
+    free_slots: Vec<usize>,
+    running: Vec<RunningJob>,
+    /// Jobs drawn but not yet placed (insufficient capacity); placed
+    /// front-first before new jobs are drawn.
+    pending: std::collections::VecDeque<usize>,
+    time: u64,
+    jobs_completed: u64,
+    history: Vec<StepSnapshot>,
+}
+
+impl FaultSim {
+    /// Creates a simulator; the `f` faulty nodes are drawn uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration cannot host a single job
+    /// (`replicas > nodes`) or `f == 0`.
+    pub fn new(config: FaultSimConfig) -> Self {
+        assert!(config.f >= 1, "need at least one faulty node");
+        assert!(config.replicas <= config.nodes, "more replicas than nodes");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut ids: Vec<usize> = (0..config.nodes).collect();
+        ids.shuffle(&mut rng);
+        let faulty: BTreeSet<NodeId> = ids[..config.f].iter().map(|&i| NodeId(i)).collect();
+        FaultSim {
+            analyzer: FaultAnalyzer::new(config.f),
+            suspicion: SuspicionTable::new(),
+            faulty,
+            free_slots: vec![config.slots_per_node; config.nodes],
+            running: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            time: 0,
+            jobs_completed: 0,
+            history: Vec::new(),
+            rng,
+            config,
+        }
+    }
+
+    /// The nodes planted as faulty (ground truth, for evaluation only).
+    pub fn ground_truth(&self) -> &BTreeSet<NodeId> {
+        &self.faulty
+    }
+
+    /// The live fault analyzer.
+    pub fn analyzer(&self) -> &FaultAnalyzer {
+        &self.analyzer
+    }
+
+    /// The live suspicion table.
+    pub fn suspicion(&self) -> &SuspicionTable {
+        &self.suspicion
+    }
+
+    /// Jobs completed so far.
+    pub fn jobs_completed(&self) -> u64 {
+        self.jobs_completed
+    }
+
+    /// Snapshots taken after each step.
+    pub fn history(&self) -> &[StepSnapshot] {
+        &self.history
+    }
+
+    /// Advances one time unit: finish due jobs (verifying their digests),
+    /// then start new jobs while capacity remains.
+    pub fn step(&mut self) -> StepSnapshot {
+        self.time += 1;
+
+        // Complete due jobs.
+        let due: Vec<RunningJob> = {
+            let (done, still): (Vec<_>, Vec<_>) =
+                self.running.drain(..).partition(|j| j.finish_at <= self.time);
+            self.running = still;
+            done
+        };
+        for job in due {
+            self.jobs_completed += 1;
+            for replica in &job.replicas {
+                for &n in replica {
+                    self.free_slots[n.0] += 1;
+                }
+                self.suspicion.record_jobs(replica.iter().copied());
+            }
+            // A replica returns a commission fault iff one of its nodes is
+            // faulty and chooses to misbehave on this job.
+            for replica in &job.replicas {
+                let misbehaved = replica.iter().any(|n| {
+                    self.faulty.contains(n)
+                        && self.rng.gen_bool(self.config.commission_probability.clamp(0.0, 1.0))
+                });
+                if misbehaved {
+                    self.suspicion.record_faults(replica.iter().copied());
+                    self.analyzer.observe_faulty_cluster(replica.clone());
+                }
+            }
+        }
+
+        // Start jobs while they fit: queued jobs first (FIFO), then newly
+        // drawn ones. A job that does not fit waits instead of vanishing.
+        loop {
+            let slots = match self.pending.pop_front() {
+                Some(s) => s,
+                None => {
+                    let size = self.config.mix.draw(&mut self.rng);
+                    size.slots(&mut self.rng)
+                }
+            };
+            match self.try_place(slots) {
+                Some(replicas) => {
+                    let len = self
+                        .rng
+                        .gen_range(self.config.length_range.0..=self.config.length_range.1)
+                        as u64;
+                    self.running.push(RunningJob { replicas, finish_at: self.time + len });
+                }
+                None => {
+                    self.pending.push_front(slots);
+                    break;
+                }
+            }
+        }
+
+        let bands = self.suspicion.band_counts();
+        let snapshot = StepSnapshot {
+            time: self.time,
+            jobs_completed: self.jobs_completed,
+            low: bands["low"],
+            med: bands["med"],
+            high: bands["high"],
+            converged: self.analyzer.converged(),
+            suspected: self.analyzer.suspected_nodes().len(),
+        };
+        self.history.push(snapshot.clone());
+        snapshot
+    }
+
+    /// Runs until the analyzer converges (`|D| = f`), returning the number
+    /// of completed jobs at that point (the Fig. 11 measure), or `None`
+    /// if `max_steps` elapse first.
+    pub fn run_until_converged(&mut self, max_steps: u64) -> Option<u64> {
+        for _ in 0..max_steps {
+            let snap = self.step();
+            if snap.converged {
+                return Some(snap.jobs_completed);
+            }
+        }
+        None
+    }
+
+    /// Runs exactly `steps` steps (for the Fig. 12/13 time series).
+    pub fn run_steps(&mut self, steps: u64) {
+        for _ in 0..steps {
+            self.step();
+        }
+    }
+
+    /// Attempts to place one job: `replicas` pairwise-disjoint node sets,
+    /// each covering `slots` slots. Returns `None` when capacity is
+    /// insufficient.
+    fn try_place(&mut self, slots: usize) -> Option<Vec<BTreeSet<NodeId>>> {
+        let mut provisional: Vec<(usize, usize)> = Vec::new(); // (node, taken)
+        let mut replicas = Vec::with_capacity(self.config.replicas);
+        let mut used_nodes: BTreeSet<usize> = BTreeSet::new();
+
+        for _ in 0..self.config.replicas {
+            let mut candidates: Vec<usize> = (0..self.config.nodes)
+                .filter(|&n| self.free_slots[n] > 0 && !used_nodes.contains(&n))
+                .collect();
+            candidates.shuffle(&mut self.rng);
+            let mut replica = BTreeSet::new();
+            let mut needed = slots;
+            for n in candidates {
+                if needed == 0 {
+                    break;
+                }
+                // One slot per node per replica: a 20-30-slot job spans
+                // 20-30 distinct nodes, matching the paper's cluster sizes
+                // (suspicion spikes of ~80 nodes from two large clusters).
+                self.free_slots[n] -= 1;
+                provisional.push((n, 1));
+                replica.insert(NodeId(n));
+                used_nodes.insert(n);
+                needed -= 1;
+            }
+            if needed > 0 {
+                // Roll back.
+                for (n, take) in provisional {
+                    self.free_slots[n] += take;
+                }
+                return None;
+            }
+            replicas.push(replica);
+        }
+        Some(replicas)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(p: f64, seed: u64) -> FaultSimConfig {
+        FaultSimConfig { commission_probability: p, seed, ..FaultSimConfig::default() }
+    }
+
+    #[test]
+    fn replicas_are_disjoint_by_construction() {
+        let mut sim = FaultSim::new(config(0.5, 1));
+        sim.run_steps(5);
+        for job in &sim.running {
+            for i in 0..job.replicas.len() {
+                for j in (i + 1)..job.replicas.len() {
+                    assert!(job.replicas[i].is_disjoint(&job.replicas[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn always_faulty_converges_quickly() {
+        let mut sim = FaultSim::new(config(1.0, 2));
+        let jobs = sim.run_until_converged(10_000).expect("must converge");
+        assert!(jobs <= 20, "p=1.0 should isolate within a handful of jobs, took {jobs}");
+    }
+
+    #[test]
+    fn converged_suspects_contain_ground_truth() {
+        for seed in 0..5 {
+            let mut sim = FaultSim::new(config(0.8, seed));
+            sim.run_until_converged(10_000).unwrap();
+            let suspects = sim.analyzer().suspected_nodes();
+            for truth in sim.ground_truth() {
+                assert!(suspects.contains(truth), "seed {seed}: lost the faulty node");
+            }
+        }
+    }
+
+    #[test]
+    fn higher_probability_isolates_faster_on_average() {
+        let avg = |p: f64| -> f64 {
+            (0..8)
+                .map(|seed| {
+                    let mut sim = FaultSim::new(config(p, 100 + seed));
+                    sim.run_until_converged(50_000).unwrap_or(50_000) as f64
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let fast = avg(0.9);
+        let slow = avg(0.1);
+        assert!(
+            slow > fast,
+            "p=0.1 ({slow}) should need more jobs than p=0.9 ({fast})"
+        );
+    }
+
+    #[test]
+    fn f2_uses_seven_replicas_and_converges() {
+        let mut sim = FaultSim::new(FaultSimConfig {
+            f: 2,
+            replicas: 7,
+            commission_probability: 0.9,
+            seed: 3,
+            ..FaultSimConfig::default()
+        });
+        assert_eq!(sim.ground_truth().len(), 2);
+        let jobs = sim.run_until_converged(50_000).expect("converges with f=2");
+        assert!(jobs > 0);
+        assert_eq!(sim.analyzer().suspects().len(), 2);
+    }
+
+    #[test]
+    fn zero_probability_never_converges() {
+        let mut sim = FaultSim::new(config(0.0, 4));
+        assert_eq!(sim.run_until_converged(200), None);
+        assert_eq!(sim.suspicion().band_counts()["high"], 0);
+    }
+
+    #[test]
+    fn snapshots_accumulate() {
+        let mut sim = FaultSim::new(config(0.5, 5));
+        sim.run_steps(10);
+        assert_eq!(sim.history().len(), 10);
+        assert!(sim.history().windows(2).all(|w| w[0].time < w[1].time));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut sim = FaultSim::new(config(0.7, seed));
+            sim.run_until_converged(10_000)
+        };
+        assert_eq!(run(9), run(9));
+    }
+}
+
+#[cfg(test)]
+mod band_tests {
+    use super::*;
+    use clusterbft::SuspicionBand;
+
+    #[test]
+    fn persistent_faulty_node_lands_in_high_band() {
+        let mut sim = FaultSim::new(FaultSimConfig {
+            commission_probability: 0.8,
+            length_range: (5, 15),
+            seed: 4,
+            ..FaultSimConfig::default()
+        });
+        sim.run_steps(150);
+        let faulty = *sim.ground_truth().iter().next().unwrap();
+        let s = sim.suspicion().level(faulty);
+        assert!(
+            s > 0.66,
+            "faulty node misbehaving at p=0.8 must sit in the High band, got s={s}"
+        );
+        assert_eq!(sim.suspicion().band(faulty), SuspicionBand::High);
+    }
+}
+
+#[cfg(test)]
+mod queue_tests {
+    use super::*;
+
+    #[test]
+    fn oversized_jobs_wait_instead_of_vanishing() {
+        // A cluster barely big enough for one large job at a time: the
+        // queue must hold the next job until capacity frees up, and
+        // throughput must stay positive.
+        // 130 nodes x 1 slot: one large job (20-30 nodes x 4 disjoint
+        // replicas = 80-120 nodes) fits at a time; the next one queues.
+        let mut sim = FaultSim::new(FaultSimConfig {
+            nodes: 130,
+            slots_per_node: 1,
+            replicas: 4,
+            mix: JobMix { large: 1, medium: 0, small: 0 },
+            commission_probability: 0.5,
+            length_range: (2, 2),
+            seed: 8,
+            ..FaultSimConfig::default()
+        });
+        sim.run_steps(40);
+        assert!(
+            sim.jobs_completed() >= 10,
+            "queued placement keeps the cluster busy: {}",
+            sim.jobs_completed()
+        );
+    }
+}

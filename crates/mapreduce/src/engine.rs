@@ -1,0 +1,1445 @@
+//! The cluster engine: job tracker, task trackers and the event loop.
+//!
+//! Mirrors Hadoop 1.x (§5.1 of the paper): a central job tracker receives
+//! jobs; worker nodes with a few task slots obtain tasks on heartbeats;
+//! map tasks read splits from trusted storage, shuffle partitions to
+//! reduce tasks, and job outputs land back on trusted storage. The engine
+//! is a deterministic discrete-event simulation over
+//! [`cbft_sim::EventQueue`]; records really flow (see [`crate::task`]),
+//! time is charged via [`CostModel`].
+//!
+//! Scheduling is *wake-driven*: nodes receive a heartbeat when work may be
+//! available (submission, task completion, phase transition) instead of
+//! polling forever. A job with omission-faulty tasks therefore hangs
+//! quietly: the event queue drains and [`Cluster::step`] returns `None`
+//! with the job incomplete — callers model the paper's verifier timeout
+//! with [`Cluster::set_timer`].
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use cbft_dataflow::Record;
+use cbft_sim::{CostModel, EventQueue, SeedSpawner, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::fault::{Behavior, NodeId, TaskFate, WorkerNode};
+use crate::metrics::JobMetrics;
+use crate::scheduler::{FifoScheduler, SchedContext, Scheduler, TaskChoice};
+use crate::spec::{DigestReport, ExecJob, RunHandle, TaskKind};
+use crate::storage::{Storage, StorageError};
+use crate::task::{run_map_task, run_reduce_task, MapTaskOutput, ReduceTaskOutput, Tagged};
+
+/// Token identifying a caller-set timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerToken(pub u64);
+
+/// An observable event produced by the engine.
+#[derive(Clone, Debug)]
+pub enum EngineEvent {
+    /// A digest reached the verifier (possibly before its job completed).
+    Digest(DigestReport),
+    /// A job finished.
+    JobCompleted {
+        /// The run that completed.
+        handle: RunHandle,
+        /// How it ended.
+        outcome: JobOutcome,
+    },
+    /// A timer set via [`Cluster::set_timer`] fired.
+    Timer(TimerToken),
+}
+
+/// Terminal state of one job run.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// The job wrote its output.
+    Success {
+        /// Resource usage.
+        metrics: JobMetrics,
+        /// Every node that executed at least one task — the paper's *job
+        /// cluster*, the unit of suspicion for fault isolation.
+        nodes: BTreeSet<NodeId>,
+        /// The output file written.
+        output_file: String,
+    },
+    /// The job could not write its output.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl JobOutcome {
+    /// True for [`JobOutcome::Success`].
+    pub fn is_success(&self) -> bool {
+        matches!(self, JobOutcome::Success { .. })
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Heartbeat(NodeId),
+    TaskDone { handle: RunHandle, kind: TaskKind, index: usize },
+    /// Speculative-execution check: if the task has not completed by now,
+    /// re-queue it on another node (Hadoop's task-timeout recovery).
+    TaskCheck { handle: RunHandle, kind: TaskKind, index: usize },
+    Timer(TimerToken),
+}
+
+#[derive(Debug)]
+enum ComputedTask {
+    Map(MapTaskOutput),
+    Reduce(ReduceTaskOutput),
+}
+
+#[derive(Debug)]
+enum TaskSt {
+    Pending,
+    Running { node: NodeId, result: Box<ComputedTask> },
+    Hung,
+    Done,
+}
+
+impl TaskSt {
+    fn is_pending(&self) -> bool {
+        matches!(self, TaskSt::Pending)
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self, TaskSt::Done)
+    }
+}
+
+#[derive(Debug)]
+struct RunningJob {
+    spec: ExecJob,
+    submitted_at: SimTime,
+    /// Per map task: the split records (input index, records).
+    map_task_inputs: Vec<(usize, Vec<Record>)>,
+    /// HDFS-style home node of each map split (block placement).
+    map_task_homes: Vec<NodeId>,
+    map_states: Vec<TaskSt>,
+    map_outputs: Vec<Option<Vec<Vec<Tagged>>>>,
+    reduce_inputs: Vec<Vec<Tagged>>,
+    reduce_states: Vec<TaskSt>,
+    reduce_outputs: Vec<Option<Vec<Record>>>,
+    in_reduce_phase: bool,
+    metrics: JobMetrics,
+    nodes_used: BTreeSet<NodeId>,
+}
+
+impl RunningJob {
+    fn maps_done(&self) -> bool {
+        self.map_states.iter().all(TaskSt::is_done)
+    }
+
+    fn reduces_done(&self) -> bool {
+        !self.reduce_states.is_empty() && self.reduce_states.iter().all(TaskSt::is_done)
+    }
+}
+
+struct NodeState {
+    worker: WorkerNode,
+    free_slots: usize,
+    rng: StdRng,
+    /// Sticky sub-graph→replica binding enforcing §5.3's constraint that
+    /// tasks of two replicas of the same job never share a node.
+    bindings: BTreeMap<String, usize>,
+    excluded: bool,
+    heartbeat_pending: bool,
+}
+
+/// Builder for [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use cbft_mapreduce::{Behavior, Cluster};
+///
+/// let cluster = Cluster::builder()
+///     .nodes(8)
+///     .slots_per_node(3)
+///     .seed(7)
+///     .node_behavior(0, Behavior::Commission { probability: 1.0 })
+///     .build();
+/// assert_eq!(cluster.node_count(), 8);
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    slots_per_node: usize,
+    cost: CostModel,
+    seed: u64,
+    behaviors: Vec<(usize, Behavior)>,
+    use_overlap_scheduler: bool,
+    task_timeout: Option<SimDuration>,
+}
+
+impl ClusterBuilder {
+    /// Number of worker nodes in the untrusted tier.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Task slots per node (Hadoop configures 3-4 on 4-core nodes).
+    pub fn slots_per_node(mut self, slots: usize) -> Self {
+        self.slots_per_node = slots;
+        self
+    }
+
+    /// Cost model for converting work to virtual time.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Master RNG seed; identical seeds replay identical histories.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the behaviour of node `index` (default: honest).
+    pub fn node_behavior(mut self, index: usize, behavior: Behavior) -> Self {
+        self.behaviors.push((index, behavior));
+        self
+    }
+
+    /// Use the paper's overlap-maximizing scheduler instead of FIFO.
+    pub fn overlap_scheduler(mut self, on: bool) -> Self {
+        self.use_overlap_scheduler = on;
+        self
+    }
+
+    /// Enables speculative re-execution: a task that has not completed
+    /// this long after assignment is re-queued on another node, masking
+    /// single-task omission faults at the cluster level (Hadoop's task
+    /// timeout). Off by default — the paper handles omissions at the
+    /// verifier instead (§4.1 step 6), and several experiments depend on
+    /// a wedged replica reaching the verifier timeout.
+    pub fn task_timeout(mut self, timeout: SimDuration) -> Self {
+        self.task_timeout = Some(timeout);
+        self
+    }
+
+    /// Builds the cluster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `node_behavior` index is out of range, or if the node or
+    /// slot count is zero.
+    pub fn build(self) -> Cluster {
+        assert!(self.nodes > 0, "cluster needs at least one node");
+        assert!(self.slots_per_node > 0, "nodes need at least one slot");
+        let seeds = SeedSpawner::new(self.seed);
+        let mut nodes: Vec<NodeState> = (0..self.nodes)
+            .map(|i| NodeState {
+                worker: WorkerNode::new(NodeId(i), self.slots_per_node, Behavior::Honest),
+                free_slots: self.slots_per_node,
+                rng: seeds.rng("node", i as u64),
+                bindings: BTreeMap::new(),
+                excluded: false,
+                heartbeat_pending: false,
+            })
+            .collect();
+        for (i, b) in self.behaviors {
+            nodes
+                .get_mut(i)
+                .unwrap_or_else(|| panic!("node index {i} out of range"))
+                .worker
+                .set_behavior(b);
+        }
+        let scheduler: Box<dyn Scheduler> = if self.use_overlap_scheduler {
+            Box::new(crate::scheduler::OverlapScheduler)
+        } else {
+            Box::new(FifoScheduler)
+        };
+        Cluster {
+            nodes,
+            storage: Storage::new(),
+            queue: EventQueue::new(),
+            cost: self.cost,
+            scheduler,
+            jobs: BTreeMap::new(),
+            next_handle: 0,
+            outbox: VecDeque::new(),
+            placement_salt: seeds.seed("placement", 0) as usize,
+            rotation_nonce: 0,
+            task_timeout: self.task_timeout,
+        }
+    }
+}
+
+/// The simulated Hadoop cluster: worker nodes, trusted storage and the job
+/// tracker event loop.
+///
+/// # Examples
+///
+/// See the crate-level documentation and the `quickstart` example.
+pub struct Cluster {
+    nodes: Vec<NodeState>,
+    storage: Storage,
+    queue: EventQueue<Event>,
+    cost: CostModel,
+    scheduler: Box<dyn Scheduler>,
+    jobs: BTreeMap<RunHandle, RunningJob>,
+    next_handle: u64,
+    outbox: VecDeque<EngineEvent>,
+    /// Seed-derived salt mixed into the per-node candidate rotation, so
+    /// different seeds explore different task placements.
+    placement_salt: usize,
+    /// Monotonic per-submission nonce also mixed into the rotation:
+    /// successive jobs land on different node subsets, as they would under
+    /// Hadoop's load-dependent placement — without it, repeated scripts
+    /// would produce identical job clusters and the fault analyzer would
+    /// never see a new intersection.
+    rotation_nonce: usize,
+    /// Speculative-execution deadline, if enabled.
+    task_timeout: Option<SimDuration>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            nodes: 8,
+            slots_per_node: 3,
+            cost: CostModel::default(),
+            seed: 0,
+            behaviors: Vec::new(),
+            use_overlap_scheduler: true,
+            task_timeout: None,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of worker nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The trusted storage layer.
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the trusted storage layer (for loading inputs and
+    /// publishing verified outputs).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Replaces a node's behaviour (e.g. to compromise it mid-run in a
+    /// test, or to heal it after re-initialization).
+    pub fn set_node_behavior(&mut self, node: NodeId, behavior: Behavior) {
+        self.nodes[node.0].worker.set_behavior(behavior);
+    }
+
+    /// A node's behaviour.
+    pub fn node_behavior(&self, node: NodeId) -> Behavior {
+        self.nodes[node.0].worker.behavior()
+    }
+
+    /// Excludes (or re-admits) a node from scheduling — the resource
+    /// manager's suspicion-threshold removal (§4.2).
+    pub fn set_node_excluded(&mut self, node: NodeId, excluded: bool) {
+        self.nodes[node.0].excluded = excluded;
+        if !excluded {
+            self.wake_nodes(SimDuration::ZERO);
+        }
+    }
+
+    /// True when the node is currently excluded from scheduling.
+    pub fn node_excluded(&self, node: NodeId) -> bool {
+        self.nodes[node.0].excluded
+    }
+
+    /// Sets a timer; [`EngineEvent::Timer`] fires when virtual time reaches
+    /// `at`. Used by callers to model the verifier timeout.
+    pub fn set_timer(&mut self, at: SimTime, token: TimerToken) {
+        self.queue.schedule(at, Event::Timer(token));
+    }
+
+    /// Submits a job for execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StorageError`] when an input file is missing or the
+    /// output file already exists — both caller bugs best surfaced at
+    /// submission.
+    pub fn submit(&mut self, spec: ExecJob) -> Result<RunHandle, StorageError> {
+        if self.storage.exists(&spec.output_file) {
+            return Err(StorageError::AlreadyExists(spec.output_file.clone()));
+        }
+        let mut map_task_inputs = Vec::new();
+        let mut map_task_homes = Vec::new();
+        let node_count = self.nodes.len() as u64;
+        for (i, input) in spec.inputs.iter().enumerate() {
+            let records = self.storage.read(&input.file)?.to_vec();
+            let split = spec.map_split_records.max(1);
+            let chunks: Vec<Vec<Record>> = if records.is_empty() {
+                // Even an empty input runs one map task so that digest
+                // correspondence across replicas is preserved.
+                vec![Vec::new()]
+            } else {
+                records.chunks(split).map(<[Record]>::to_vec).collect()
+            };
+            for (split_idx, chunk) in chunks.into_iter().enumerate() {
+                // HDFS block placement surrogate: the split's "home" node
+                // is a stable hash of (file, split index).
+                let mut key = input.file.clone().into_bytes();
+                key.extend_from_slice(&(split_idx as u64).to_be_bytes());
+                map_task_homes
+                    .push(NodeId((crate::task::fnv1a(&key) % node_count) as usize));
+                map_task_inputs.push((i, chunk));
+            }
+        }
+        let n_maps = map_task_inputs.len();
+        let handle = RunHandle(self.next_handle);
+        self.next_handle += 1;
+        self.rotation_nonce = self.rotation_nonce.wrapping_add(0x9e37);
+        let job = RunningJob {
+            submitted_at: self.now(),
+            map_states: (0..n_maps).map(|_| TaskSt::Pending).collect(),
+            map_outputs: (0..n_maps).map(|_| None).collect(),
+            map_task_inputs,
+            map_task_homes,
+            reduce_inputs: Vec::new(),
+            reduce_states: Vec::new(),
+            reduce_outputs: Vec::new(),
+            in_reduce_phase: false,
+            metrics: JobMetrics::new(),
+            nodes_used: BTreeSet::new(),
+            spec,
+        };
+        self.jobs.insert(handle, job);
+        // Nodes pick the job up on their next heartbeat; half an interval
+        // models the expected heartbeat wait.
+        let delay = SimDuration::from_micros(self.cost.heartbeat_interval.as_micros() / 2);
+        self.wake_nodes(delay);
+        Ok(handle)
+    }
+
+    /// Cancels a run, freeing its slots (including slots wedged by
+    /// omission-faulty tasks). Returns `false` when the handle is unknown
+    /// or already finished.
+    pub fn cancel(&mut self, handle: RunHandle) -> bool {
+        let Some(job) = self.jobs.remove(&handle) else {
+            return false;
+        };
+        for st in job.map_states.iter().chain(job.reduce_states.iter()) {
+            if let TaskSt::Running { node, .. } = st {
+                self.nodes[node.0].free_slots += 1;
+            }
+            // Hung tasks' nodes are recorded in nodes_used but their slot
+            // accounting is handled below via recount.
+        }
+        // A slot wedged by an omission-faulty (hung) task is not reclaimed:
+        // the stuck process keeps holding it until the node is healed via
+        // [`Cluster::reset_node`], mirroring a real hung JVM.
+        self.release_sid_if_unused(&job.spec.sid);
+        self.wake_nodes(SimDuration::ZERO);
+        true
+    }
+
+    /// Heals a node: restores all its slots, clears replica bindings and
+    /// re-admits it — the administrator's "take the node off the grid,
+    /// apply patches, reinsert" cycle (§4.2).
+    pub fn reset_node(&mut self, node: NodeId, behavior: Behavior) {
+        let slots = self.nodes[node.0].worker.slots();
+        let n = &mut self.nodes[node.0];
+        n.free_slots = slots;
+        n.bindings.clear();
+        n.excluded = false;
+        n.worker.set_behavior(behavior);
+        self.wake_nodes(SimDuration::ZERO);
+    }
+
+    /// Nodes that have executed (or are executing) tasks of an in-flight
+    /// run — §4.1: on a verifier timeout "the suspicion level of all
+    /// involved nodes is updated", which needs the cluster of a job that
+    /// never completed.
+    pub fn running_nodes(&self, handle: RunHandle) -> Option<BTreeSet<NodeId>> {
+        self.jobs.get(&handle).map(|j| j.nodes_used.clone())
+    }
+
+    /// Whether any submitted job has not yet completed.
+    pub fn has_incomplete_jobs(&self) -> bool {
+        !self.jobs.is_empty()
+    }
+
+    /// Handles of jobs still in flight.
+    pub fn incomplete_jobs(&self) -> Vec<RunHandle> {
+        self.jobs.keys().copied().collect()
+    }
+
+    /// Advances the simulation until the next observable event.
+    ///
+    /// Returns `None` when nothing can make progress any more: either all
+    /// jobs completed, or the remaining jobs are wedged on omission faults
+    /// (and no timer is pending) — the situation the paper's verifier
+    /// timeout exists for.
+    pub fn step(&mut self) -> Option<EngineEvent> {
+        loop {
+            if let Some(ev) = self.outbox.pop_front() {
+                return Some(ev);
+            }
+            let ev = self.queue.pop()?;
+            match ev.event {
+                Event::Heartbeat(node) => self.on_heartbeat(node),
+                Event::TaskDone { handle, kind, index } => self.on_task_done(handle, kind, index),
+                Event::TaskCheck { handle, kind, index } => {
+                    self.on_task_check(handle, kind, index)
+                }
+                Event::Timer(token) => self.outbox.push_back(EngineEvent::Timer(token)),
+            }
+        }
+    }
+
+    /// Runs until quiescent, collecting every observable event.
+    pub fn run_to_quiescence(&mut self) -> Vec<EngineEvent> {
+        let mut events = Vec::new();
+        while let Some(ev) = self.step() {
+            events.push(ev);
+        }
+        events
+    }
+
+    // --- internals --------------------------------------------------------
+
+    fn wake_nodes(&mut self, delay: SimDuration) {
+        let at = self.now() + delay;
+        for i in 0..self.nodes.len() {
+            let n = &mut self.nodes[i];
+            if !n.excluded && n.free_slots > 0 && !n.heartbeat_pending {
+                n.heartbeat_pending = true;
+                self.queue.schedule(at, Event::Heartbeat(NodeId(i)));
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, node: NodeId) {
+        self.nodes[node.0].heartbeat_pending = false;
+        if self.nodes[node.0].excluded || self.nodes[node.0].free_slots == 0 {
+            return;
+        }
+        let candidates = self.candidates_for(node);
+        if candidates.is_empty() {
+            return;
+        }
+        let ctx = SchedContext {
+            node,
+            free_slots: self.nodes[node.0].free_slots,
+            sids_on_node: self.nodes[node.0].bindings.keys().cloned().collect(),
+        };
+        let mut picks = self.scheduler.pick(&ctx, &candidates);
+        picks.dedup();
+        picks.truncate(self.nodes[node.0].free_slots);
+        for p in picks {
+            let Some(choice) = candidates.get(p) else { continue };
+            self.assign(node, choice.clone());
+        }
+        // If work remains that this node could take, heartbeat again.
+        if self.nodes[node.0].free_slots > 0 && !self.candidates_for(node).is_empty() {
+            let at = self.now() + self.cost.heartbeat_interval;
+            self.nodes[node.0].heartbeat_pending = true;
+            self.queue.schedule(at, Event::Heartbeat(node));
+        }
+    }
+
+    /// Schedulable tasks for `node`, as an interleaving of per-run groups
+    /// rotated by the node index. The rotation makes different nodes prefer
+    /// different replicas of the same sub-graph, so sticky replica bindings
+    /// cannot starve a replica (on a real cluster the same effect comes
+    /// from replicas living in separate Hadoop job queues).
+    fn candidates_for(&self, node: NodeId) -> Vec<TaskChoice> {
+        let n = &self.nodes[node.0];
+        let mut groups: Vec<Vec<TaskChoice>> = Vec::new();
+        for (handle, job) in &self.jobs {
+            if let Some(&bound) = n.bindings.get(&job.spec.sid) {
+                if bound != job.spec.replica {
+                    continue; // replica-disjointness constraint
+                }
+            }
+            let (states, kind) = if job.in_reduce_phase {
+                (&job.reduce_states, TaskKind::Reduce)
+            } else {
+                (&job.map_states, TaskKind::Map)
+            };
+            let group: Vec<TaskChoice> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, st)| st.is_pending())
+                .map(|(i, _)| TaskChoice {
+                    handle: *handle,
+                    sid: job.spec.sid.clone(),
+                    replica: job.spec.replica,
+                    kind,
+                    task_index: i,
+                    local: kind == TaskKind::Map && job.map_task_homes[i] == node,
+                })
+                .collect();
+            if !group.is_empty() {
+                groups.push(group);
+            }
+        }
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let rotation =
+            (node.0 ^ self.placement_salt).wrapping_add(self.rotation_nonce) % groups.len();
+        groups.rotate_left(rotation);
+        let mut out = Vec::new();
+        let mut cursors: Vec<std::vec::IntoIter<TaskChoice>> =
+            groups.into_iter().map(Vec::into_iter).collect();
+        loop {
+            let mut emitted = false;
+            for c in &mut cursors {
+                if let Some(t) = c.next() {
+                    out.push(t);
+                    emitted = true;
+                }
+            }
+            if !emitted {
+                return out;
+            }
+        }
+    }
+
+    fn assign(&mut self, node: NodeId, choice: TaskChoice) {
+        let Some(job) = self.jobs.get_mut(&choice.handle) else { return };
+        let states = match choice.kind {
+            TaskKind::Map => &mut job.map_states,
+            TaskKind::Reduce => &mut job.reduce_states,
+        };
+        if !states[choice.task_index].is_pending() {
+            return;
+        }
+        {
+            let n = &mut self.nodes[node.0];
+            if n.free_slots == 0 {
+                return;
+            }
+            if let Some(&bound) = n.bindings.get(&job.spec.sid) {
+                if bound != job.spec.replica {
+                    return;
+                }
+            }
+            if std::env::var_os("CBFT_ENGINE_DEBUG").is_some()
+                && !n.bindings.contains_key(&job.spec.sid)
+            {
+                eprintln!(
+                    "[engine] {node} binds sid {} replica {}",
+                    job.spec.sid, job.spec.replica
+                );
+            }
+            n.bindings.insert(job.spec.sid.clone(), job.spec.replica);
+            n.free_slots -= 1;
+        }
+        job.nodes_used.insert(node);
+
+        let fate = {
+            let n = &mut self.nodes[node.0];
+            n.worker.behavior().draw(&mut n.rng)
+        };
+        if fate == TaskFate::Omitted {
+            // The slot is wedged: the task never reports back. The paper
+            // handles this at the verifier via timeout and re-execution;
+            // with a task timeout configured, the cluster itself re-queues
+            // the task (speculative execution) after the deadline.
+            let states = match choice.kind {
+                TaskKind::Map => &mut job.map_states,
+                TaskKind::Reduce => &mut job.reduce_states,
+            };
+            states[choice.task_index] = TaskSt::Hung;
+            if let Some(deadline) = self.task_timeout {
+                let at = self.queue.now() + deadline;
+                self.queue.schedule(
+                    at,
+                    Event::TaskCheck {
+                        handle: choice.handle,
+                        kind: choice.kind,
+                        index: choice.task_index,
+                    },
+                );
+            }
+            return;
+        }
+
+        let (computed, duration) = match choice.kind {
+            TaskKind::Map => {
+                let (input_idx, records) = job.map_task_inputs[choice.task_index].clone();
+                let local = job.map_task_homes[choice.task_index] == node;
+                let out = run_map_task(&job.spec, input_idx, records, fate);
+                let w = out.work;
+                let write = if job.spec.is_map_only() {
+                    self.cost.hdfs(w.bytes_out)
+                } else {
+                    self.cost.disk(w.bytes_out)
+                };
+                // A data-local task streams its split from the local disk;
+                // a remote one pays the storage network path.
+                let read = if local {
+                    self.cost.disk(w.bytes_in)
+                } else {
+                    self.cost.hdfs(w.bytes_in) + self.cost.net_latency
+                };
+                let d = self.cost.task_startup
+                    + read
+                    + self.cost.cpu_records(w.record_ops)
+                    + self.cost.digest_bytes(w.digest_bytes)
+                    + write;
+                (ComputedTask::Map(out), d)
+            }
+            TaskKind::Reduce => {
+                let incoming = job.reduce_inputs[choice.task_index].clone();
+                let out = run_reduce_task(&job.spec, incoming, fate);
+                let w = out.work;
+                let d = self.cost.task_startup
+                    + self.cost.network(w.bytes_in)
+                    + self.cost.net_latency
+                    + self.cost.disk(w.bytes_in)
+                    + self.cost.cpu_records(w.record_ops)
+                    + self.cost.digest_bytes(w.digest_bytes)
+                    + self.cost.hdfs(w.bytes_out);
+                (ComputedTask::Reduce(out), d)
+            }
+        };
+
+        let states = match choice.kind {
+            TaskKind::Map => &mut job.map_states,
+            TaskKind::Reduce => &mut job.reduce_states,
+        };
+        states[choice.task_index] = TaskSt::Running { node, result: Box::new(computed) };
+        let done_at = self.now() + duration;
+        self.queue.schedule(
+            done_at,
+            Event::TaskDone { handle: choice.handle, kind: choice.kind, index: choice.task_index },
+        );
+    }
+
+    /// Speculative-execution deadline: a task still hung gets re-queued;
+    /// anything else (done, running with a pending completion event, or a
+    /// cancelled job) is left alone.
+    fn on_task_check(&mut self, handle: RunHandle, kind: TaskKind, index: usize) {
+        let Some(job) = self.jobs.get_mut(&handle) else { return };
+        let states = match kind {
+            TaskKind::Map => &mut job.map_states,
+            TaskKind::Reduce => &mut job.reduce_states,
+        };
+        if matches!(states[index], TaskSt::Hung) {
+            states[index] = TaskSt::Pending;
+            self.wake_nodes(SimDuration::ZERO);
+        }
+    }
+
+    fn on_task_done(&mut self, handle: RunHandle, kind: TaskKind, index: usize) {
+        let now = self.queue.now();
+        let Some(job) = self.jobs.get_mut(&handle) else { return };
+        let states = match kind {
+            TaskKind::Map => &mut job.map_states,
+            TaskKind::Reduce => &mut job.reduce_states,
+        };
+        let st = std::mem::replace(&mut states[index], TaskSt::Done);
+        let TaskSt::Running { node, result } = st else {
+            states[index] = st; // not running (e.g. stale event) — restore
+            return;
+        };
+        self.nodes[node.0].free_slots += 1;
+
+        let spec_sid = job.spec.sid.clone();
+        let spec_replica = job.spec.replica;
+        let cpu_of = |w: &crate::task::Work, cost: &CostModel| {
+            cost.cpu_records(w.record_ops) + cost.digest_bytes(w.digest_bytes)
+        };
+        let mut digest_events = Vec::new();
+        match *result {
+            ComputedTask::Map(out) => {
+                let w = out.work;
+                job.metrics.cpu_time += cpu_of(&w, &self.cost);
+                job.metrics.hdfs_read_bytes += w.bytes_in;
+                if job.map_task_homes[index] == node {
+                    job.metrics.data_local_tasks += 1;
+                }
+                if job.spec.is_map_only() {
+                    job.metrics.hdfs_write_bytes += w.bytes_out;
+                } else {
+                    job.metrics.local_write_bytes += w.bytes_out;
+                }
+                job.metrics.map_tasks += 1;
+                for (vp, summary) in out.digests {
+                    job.metrics.network_bytes += 40 * summary.chunks().len() as u64;
+                    digest_events.push(EngineEvent::Digest(DigestReport {
+                        handle,
+                        sid: spec_sid.clone(),
+                        replica: spec_replica,
+                        vertex: vp.vertex,
+                        site: vp.site,
+                        kind,
+                        task_index: index,
+                        summary,
+                        at: now,
+                    }));
+                }
+                job.map_outputs[index] = Some(out.partitions);
+            }
+            ComputedTask::Reduce(out) => {
+                let w = out.work;
+                job.metrics.cpu_time += cpu_of(&w, &self.cost);
+                job.metrics.network_bytes += w.bytes_in;
+                job.metrics.local_read_bytes += w.bytes_in;
+                job.metrics.hdfs_write_bytes += w.bytes_out;
+                job.metrics.reduce_tasks += 1;
+                for (vp, summary) in out.digests {
+                    job.metrics.network_bytes += 40 * summary.chunks().len() as u64;
+                    digest_events.push(EngineEvent::Digest(DigestReport {
+                        handle,
+                        sid: spec_sid.clone(),
+                        replica: spec_replica,
+                        vertex: vp.vertex,
+                        site: vp.site,
+                        kind,
+                        task_index: index,
+                        summary,
+                        at: now,
+                    }));
+                }
+                job.reduce_outputs[index] = Some(out.records);
+            }
+        }
+        self.outbox.extend(digest_events);
+
+        // Phase transitions.
+        let mut completed: Option<Vec<Record>> = None;
+        if kind == TaskKind::Map && job.maps_done() {
+            if job.spec.is_map_only() {
+                let records: Vec<Record> = job
+                    .map_outputs
+                    .iter_mut()
+                    .flat_map(|o| o.take().expect("done map has output"))
+                    .flatten()
+                    .map(|(_, r)| r)
+                    .collect();
+                completed = Some(records);
+            } else {
+                let n_partitions = if job.spec.is_collector() {
+                    1
+                } else {
+                    job.spec.reduce_task_count.max(1)
+                };
+                let mut inputs: Vec<Vec<Tagged>> = vec![Vec::new(); n_partitions];
+                for out in job.map_outputs.iter_mut() {
+                    let parts = out.take().expect("done map has output");
+                    for (p, records) in parts.into_iter().enumerate() {
+                        // Collector jobs concatenate everything into one
+                        // partition; shuffled jobs keep partition indices.
+                        let target = if job.spec.is_collector() { 0 } else { p };
+                        inputs[target].extend(records);
+                    }
+                }
+                job.reduce_inputs = inputs;
+                job.reduce_states =
+                    (0..n_partitions).map(|_| TaskSt::Pending).collect();
+                job.reduce_outputs = (0..n_partitions).map(|_| None).collect();
+                job.in_reduce_phase = true;
+            }
+        } else if kind == TaskKind::Reduce && job.reduces_done() {
+            let records: Vec<Record> = job
+                .reduce_outputs
+                .iter_mut()
+                .flat_map(|o| o.take().expect("done reduce has output"))
+                .collect();
+            completed = Some(records);
+        }
+        if let Some(records) = completed {
+            self.complete_job(handle, records);
+        }
+
+        self.wake_nodes(SimDuration::ZERO);
+    }
+
+    fn complete_job(&mut self, handle: RunHandle, records: Vec<Record>) {
+        let mut job = self.jobs.remove(&handle).expect("completing a live job");
+        job.metrics.observe_span(job.submitted_at, self.now());
+        let outcome = match self.storage.write(&job.spec.output_file, records) {
+            Ok(_) => JobOutcome::Success {
+                metrics: job.metrics,
+                nodes: job.nodes_used.clone(),
+                output_file: job.spec.output_file.clone(),
+            },
+            Err(e) => JobOutcome::Failed { reason: e.to_string() },
+        };
+        self.release_sid_if_unused(&job.spec.sid);
+        self.outbox
+            .push_back(EngineEvent::JobCompleted { handle, outcome });
+    }
+
+    /// Once the last run of a sub-graph finishes, its replica bindings are
+    /// released so the nodes become available to future sub-graphs.
+    fn release_sid_if_unused(&mut self, sid: &str) {
+        if self.jobs.values().any(|j| j.spec.sid == sid) {
+            return;
+        }
+        for n in &mut self.nodes {
+            n.bindings.remove(sid);
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .field("jobs_in_flight", &self.jobs.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{ExecInput, VpSite};
+    use cbft_dataflow::compile::{compile_plan, DataSource, Site};
+    use cbft_dataflow::{Script, Value};
+    use std::sync::Arc;
+
+    const FOLLOWER: &str = "raw = LOAD 'twitter' AS (user, follower);
+         clean = FILTER raw BY follower IS NOT NULL;
+         grp = GROUP clean BY user;
+         cnt = FOREACH grp GENERATE group, COUNT(clean) AS n;
+         STORE cnt INTO 'counts';";
+
+    fn follower_spec(sid: &str, replica: usize, out: &str, vps: Vec<VpSite>) -> ExecJob {
+        let plan = Arc::new(Script::parse(FOLLOWER).unwrap().into_plan());
+        let graph = compile_plan(&plan);
+        let job = &graph.jobs()[0];
+        ExecJob {
+            plan: plan.clone(),
+            inputs: job
+                .inputs
+                .iter()
+                .map(|i| ExecInput {
+                    file: match &i.source {
+                        DataSource::Hdfs(f) => f.clone(),
+                        DataSource::Intermediate(_) => unreachable!(),
+                    },
+                    pipeline: i.pipeline.clone(),
+                    tag: i.tag,
+                })
+                .collect(),
+            shuffle: job.shuffle,
+            reduce: job.reduce.clone(),
+            output_file: out.to_owned(),
+            reduce_task_count: 2,
+            map_split_records: 3,
+            verification_points: vps,
+            digest_granularity: usize::MAX,
+            sid: sid.to_owned(),
+            replica,
+            combiner: None,
+        }
+    }
+
+    fn edges(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(vec![Value::Int(i % 5), Value::Int(100 + i)]))
+            .collect()
+    }
+
+    fn expected_counts(n: i64) -> Vec<Record> {
+        // users 0..5, user u follows ceil/floor share of n
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..n {
+            *counts.entry(i % 5).or_insert(0i64) += 1;
+        }
+        counts
+            .into_iter()
+            .map(|(u, c)| Record::new(vec![Value::Int(u), Value::Int(c)]))
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<Record>) -> Vec<Record> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn runs_a_job_end_to_end() {
+        let mut cluster = Cluster::builder().nodes(4).seed(1).build();
+        cluster.storage_mut().write("twitter", edges(20)).unwrap();
+        let h = cluster.submit(follower_spec("s0", 0, "counts", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        let completed = events.iter().any(|e| {
+            matches!(e, EngineEvent::JobCompleted { handle, outcome } if *handle == h && outcome.is_success())
+        });
+        assert!(completed, "{events:?}");
+        let out = cluster.storage().peek("counts").unwrap().to_vec();
+        assert_eq!(sorted(out), expected_counts(20));
+    }
+
+    #[test]
+    fn output_matches_reference_interpreter() {
+        let plan = Script::parse(FOLLOWER).unwrap().into_plan();
+        let inputs =
+            std::collections::HashMap::from([("twitter".to_owned(), edges(37))]);
+        let reference = cbft_dataflow::interp::interpret(&plan, &inputs).unwrap();
+
+        let mut cluster = Cluster::builder().nodes(6).seed(2).build();
+        cluster.storage_mut().write("twitter", edges(37)).unwrap();
+        cluster.submit(follower_spec("s0", 0, "counts", vec![])).unwrap();
+        cluster.run_to_quiescence();
+        let engine_out = sorted(cluster.storage().peek("counts").unwrap().to_vec());
+        let ref_out = sorted(reference.output("counts").unwrap().to_vec());
+        assert_eq!(engine_out, ref_out);
+    }
+
+    #[test]
+    fn replicas_produce_identical_outputs_and_digests() {
+        let mut cluster = Cluster::builder().nodes(8).seed(3).build();
+        cluster.storage_mut().write("twitter", edges(30)).unwrap();
+        let vps = |spec: &ExecJob| {
+            vec![VpSite {
+                vertex: spec.shuffle.unwrap(),
+                site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+            }]
+        };
+        let mut s0 = follower_spec("s0", 0, "r0/counts", vec![]);
+        s0.verification_points = vps(&s0);
+        let mut s1 = follower_spec("s0", 1, "r1/counts", vec![]);
+        s1.verification_points = vps(&s1);
+        cluster.submit(s0).unwrap();
+        cluster.submit(s1).unwrap();
+        let events = cluster.run_to_quiescence();
+
+        let digests: Vec<&DigestReport> = events
+            .iter()
+            .filter_map(|e| match e {
+                EngineEvent::Digest(d) => Some(d),
+                _ => None,
+            })
+            .collect();
+        assert!(!digests.is_empty());
+        // Group by correspondence key: both replicas must match.
+        let mut by_key: std::collections::HashMap<_, Vec<&DigestReport>> =
+            std::collections::HashMap::new();
+        for d in digests {
+            by_key.entry(d.correspondence_key()).or_default().push(d);
+        }
+        for (key, reports) in by_key {
+            assert_eq!(reports.len(), 2, "both replicas digest {key:?}");
+            assert!(
+                reports[0].summary.compare(&reports[1].summary).is_match(),
+                "replica digests must agree at {key:?}"
+            );
+        }
+        assert_eq!(
+            cluster.storage().peek("r0/counts").unwrap(),
+            cluster.storage().peek("r1/counts").unwrap()
+        );
+    }
+
+    #[test]
+    fn replicas_never_share_a_node() {
+        let mut cluster = Cluster::builder().nodes(4).slots_per_node(4).seed(4).build();
+        cluster.storage_mut().write("twitter", edges(40)).unwrap();
+        let h0 = cluster.submit(follower_spec("s0", 0, "r0/c", vec![])).unwrap();
+        let h1 = cluster.submit(follower_spec("s0", 1, "r1/c", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        let mut nodes0 = BTreeSet::new();
+        let mut nodes1 = BTreeSet::new();
+        for e in events {
+            if let EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { nodes, .. } } = e {
+                if handle == h0 {
+                    nodes0 = nodes;
+                } else if handle == h1 {
+                    nodes1 = nodes;
+                }
+            }
+        }
+        assert!(!nodes0.is_empty() && !nodes1.is_empty());
+        assert!(nodes0.is_disjoint(&nodes1), "{nodes0:?} vs {nodes1:?}");
+    }
+
+    #[test]
+    fn commission_fault_changes_digest() {
+        let mut cluster = Cluster::builder()
+            .nodes(2)
+            .slots_per_node(8)
+            .seed(5)
+            .node_behavior(1, Behavior::Commission { probability: 1.0 })
+            .build();
+        cluster.storage_mut().write("twitter", edges(30)).unwrap();
+        let make = |replica: usize, out: &str| {
+            let mut s = follower_spec("s0", replica, out, vec![]);
+            s.verification_points = vec![VpSite {
+                vertex: s.shuffle.unwrap(),
+                site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+            }];
+            s
+        };
+        cluster.submit(make(0, "r0/c")).unwrap();
+        cluster.submit(make(1, "r1/c")).unwrap();
+        let events = cluster.run_to_quiescence();
+        let mut by_key: std::collections::HashMap<_, Vec<DigestReport>> =
+            std::collections::HashMap::new();
+        for e in events {
+            if let EngineEvent::Digest(d) = e {
+                by_key.entry(d.correspondence_key()).or_default().push(d);
+            }
+        }
+        // One replica ran exclusively on the faulty node (replica
+        // disjointness with 2 nodes forces it), so at least one
+        // correspondence key must show a mismatch.
+        let mismatches = by_key
+            .values()
+            .filter(|rs| rs.len() == 2 && !rs[0].summary.compare(&rs[1].summary).is_match())
+            .count();
+        assert!(mismatches > 0);
+    }
+
+    #[test]
+    fn omission_fault_wedges_job_and_step_returns_none() {
+        let mut cluster = Cluster::builder()
+            .nodes(1)
+            .slots_per_node(4)
+            .seed(6)
+            .node_behavior(0, Behavior::Crashed)
+            .build();
+        cluster.storage_mut().write("twitter", edges(10)).unwrap();
+        let h = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        assert!(events.iter().all(|e| !matches!(e, EngineEvent::JobCompleted { .. })));
+        assert!(cluster.has_incomplete_jobs());
+        assert_eq!(cluster.incomplete_jobs(), vec![h]);
+    }
+
+    #[test]
+    fn timer_fires_even_when_wedged() {
+        let mut cluster = Cluster::builder()
+            .nodes(1)
+            .seed(7)
+            .node_behavior(0, Behavior::Crashed)
+            .build();
+        cluster.storage_mut().write("twitter", edges(5)).unwrap();
+        cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
+        cluster.set_timer(SimTime::from_micros(10_000_000), TimerToken(42));
+        let events = cluster.run_to_quiescence();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Timer(TimerToken(42)))));
+    }
+
+    #[test]
+    fn excluded_nodes_get_no_tasks() {
+        let mut cluster = Cluster::builder().nodes(3).seed(8).build();
+        cluster.set_node_excluded(NodeId(0), true);
+        cluster.storage_mut().write("twitter", edges(20)).unwrap();
+        let h = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        for e in events {
+            if let EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { nodes, .. } } = e {
+                assert_eq!(handle, h);
+                assert!(!nodes.contains(&NodeId(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn submit_missing_input_fails_fast() {
+        let mut cluster = Cluster::builder().nodes(2).seed(9).build();
+        let err = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap_err();
+        assert!(matches!(err, StorageError::NotFound(_)));
+    }
+
+    #[test]
+    fn submit_existing_output_fails_fast() {
+        let mut cluster = Cluster::builder().nodes(2).seed(10).build();
+        cluster.storage_mut().write("twitter", edges(5)).unwrap();
+        cluster.storage_mut().write("c", vec![]).unwrap();
+        let err = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap_err();
+        assert!(matches!(err, StorageError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = || {
+            let mut cluster = Cluster::builder().nodes(5).seed(11).build();
+            cluster.storage_mut().write("twitter", edges(25)).unwrap();
+            cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
+            cluster.run_to_quiescence();
+            (
+                cluster.now(),
+                cluster.storage().peek("c").unwrap().to_vec(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let mut cluster = Cluster::builder().nodes(4).seed(12).build();
+        cluster.storage_mut().write("twitter", edges(50)).unwrap();
+        let h = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        let metrics = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { metrics, .. } }
+                    if *handle == h =>
+                {
+                    Some(*metrics)
+                }
+                _ => None,
+            })
+            .expect("job completed");
+        assert!(metrics.latency > SimDuration::ZERO);
+        assert!(metrics.cpu_time > SimDuration::ZERO);
+        assert!(metrics.hdfs_read_bytes > 0);
+        assert!(metrics.hdfs_write_bytes > 0);
+        assert!(metrics.local_write_bytes > 0, "shuffle spills to local disk");
+        assert!(metrics.map_tasks > 0);
+        assert!(metrics.reduce_tasks > 0);
+    }
+
+    #[test]
+    fn cancel_frees_cluster_for_other_work() {
+        let mut cluster = Cluster::builder()
+            .nodes(1)
+            .slots_per_node(2)
+            .seed(13)
+            .node_behavior(0, Behavior::Honest)
+            .build();
+        cluster.storage_mut().write("twitter", edges(10)).unwrap();
+        let h = cluster.submit(follower_spec("s0", 0, "c1", vec![])).unwrap();
+        assert!(cluster.cancel(h));
+        assert!(!cluster.cancel(h), "double cancel is false");
+        let h2 = cluster.submit(follower_spec("s1", 0, "c2", vec![])).unwrap();
+        let events = cluster.run_to_quiescence();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            EngineEvent::JobCompleted { handle, outcome } if *handle == h2 && outcome.is_success()
+        )));
+        assert!(!cluster.storage().exists("c1"), "cancelled job never writes");
+    }
+}
+
+#[cfg(test)]
+mod speculative_tests {
+    use super::*;
+    use crate::spec::ExecInput;
+    use cbft_dataflow::compile::{compile_plan, DataSource};
+    use cbft_dataflow::{Record, Script, Value};
+    use std::sync::Arc;
+
+    fn tiny_spec(out: &str) -> ExecJob {
+        let plan = Arc::new(
+            Script::parse(
+                "a = LOAD 'in' AS (k, v);
+                 g = GROUP a BY k;
+                 c = FOREACH g GENERATE group, COUNT(a);
+                 STORE c INTO 'ignored';",
+            )
+            .unwrap()
+            .into_plan(),
+        );
+        let graph = compile_plan(&plan);
+        let job = &graph.jobs()[0];
+        ExecJob {
+            plan: plan.clone(),
+            inputs: job
+                .inputs
+                .iter()
+                .map(|i| ExecInput {
+                    file: match &i.source {
+                        DataSource::Hdfs(f) => f.clone(),
+                        DataSource::Intermediate(_) => unreachable!(),
+                    },
+                    pipeline: i.pipeline.clone(),
+                    tag: i.tag,
+                })
+                .collect(),
+            shuffle: job.shuffle,
+            reduce: job.reduce.clone(),
+            output_file: out.to_owned(),
+            reduce_task_count: 2,
+            map_split_records: 4,
+            verification_points: vec![],
+            digest_granularity: usize::MAX,
+            sid: "spec".to_owned(),
+            replica: 0,
+            combiner: None,
+        }
+    }
+
+    fn records(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(vec![Value::Int(i % 3), Value::Int(i)]))
+            .collect()
+    }
+
+    #[test]
+    fn task_timeout_recovers_from_omission_faults() {
+        let mut cluster = Cluster::builder()
+            .nodes(4)
+            .slots_per_node(3)
+            .seed(2)
+            .node_behavior(0, Behavior::Omission { probability: 0.6 })
+            .task_timeout(SimDuration::from_secs(5))
+            .build();
+        cluster.storage_mut().write("in", records(24)).unwrap();
+        let h = cluster.submit(tiny_spec("out")).unwrap();
+        let events = cluster.run_to_quiescence();
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                EngineEvent::JobCompleted { handle, outcome } if *handle == h && outcome.is_success()
+            )),
+            "speculative re-execution must complete the job: {events:?}"
+        );
+    }
+
+    #[test]
+    fn without_task_timeout_omission_wedges() {
+        let mut cluster = Cluster::builder()
+            .nodes(1)
+            .slots_per_node(2)
+            .seed(3)
+            .node_behavior(0, Behavior::Omission { probability: 1.0 })
+            .build();
+        cluster.storage_mut().write("in", records(8)).unwrap();
+        cluster.submit(tiny_spec("out")).unwrap();
+        cluster.run_to_quiescence();
+        assert!(cluster.has_incomplete_jobs(), "no timeout → wedged");
+    }
+
+    #[test]
+    fn all_nodes_omitting_requeues_until_cancelled() {
+        // Even with speculation, a fully-omitting cluster cannot finish;
+        // the re-queue loop must not livelock the event queue forever.
+        let mut cluster = Cluster::builder()
+            .nodes(2)
+            .slots_per_node(2)
+            .seed(4)
+            .node_behavior(0, Behavior::Crashed)
+            .node_behavior(1, Behavior::Crashed)
+            .task_timeout(SimDuration::from_secs(1))
+            .build();
+        cluster.storage_mut().write("in", records(8)).unwrap();
+        let h = cluster.submit(tiny_spec("out")).unwrap();
+        // Slots wedge permanently (crashed tasks never release them), so
+        // after both nodes fill up no further progress is possible.
+        let events = cluster.run_to_quiescence();
+        assert!(events.is_empty());
+        assert!(cluster.cancel(h));
+    }
+}
+
+#[cfg(test)]
+mod locality_tests {
+    use super::*;
+    use crate::spec::ExecInput;
+    use cbft_dataflow::compile::{compile_plan, DataSource};
+    use cbft_dataflow::{Record, Script, Value};
+    use std::sync::Arc;
+
+    fn spec(out: &str) -> ExecJob {
+        let plan = Arc::new(
+            Script::parse(
+                "a = LOAD 'in' AS (k, v);
+                 g = GROUP a BY k;
+                 c = FOREACH g GENERATE group, COUNT(a);
+                 STORE c INTO 'x';",
+            )
+            .unwrap()
+            .into_plan(),
+        );
+        let graph = compile_plan(&plan);
+        let job = &graph.jobs()[0];
+        ExecJob {
+            plan: plan.clone(),
+            inputs: job
+                .inputs
+                .iter()
+                .map(|i| ExecInput {
+                    file: match &i.source {
+                        DataSource::Hdfs(f) => f.clone(),
+                        DataSource::Intermediate(_) => unreachable!(),
+                    },
+                    pipeline: i.pipeline.clone(),
+                    tag: i.tag,
+                })
+                .collect(),
+            shuffle: job.shuffle,
+            reduce: job.reduce.clone(),
+            output_file: out.to_owned(),
+            reduce_task_count: 2,
+            map_split_records: 4,
+            verification_points: vec![],
+            digest_granularity: usize::MAX,
+            sid: "loc".to_owned(),
+            replica: 0,
+            combiner: None,
+        }
+    }
+
+    #[test]
+    fn locality_is_tracked_and_mostly_achieved_when_uncontended() {
+        let mut cluster = Cluster::builder().nodes(8).slots_per_node(3).seed(9).build();
+        let records: Vec<Record> = (0..200)
+            .map(|i| Record::new(vec![Value::Int(i % 7), Value::Int(i)]))
+            .collect();
+        cluster.storage_mut().write("in", records).unwrap();
+        let h = cluster.submit(spec("out")).unwrap();
+        let events = cluster.run_to_quiescence();
+        let metrics = events
+            .iter()
+            .find_map(|e| match e {
+                EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { metrics, .. } }
+                    if *handle == h =>
+                {
+                    Some(*metrics)
+                }
+                _ => None,
+            })
+            .expect("completes");
+        assert_eq!(metrics.map_tasks, 50);
+        // With 24 free slots and 50 splits spread over 8 homes, a healthy
+        // majority should run data-local under the overlap scheduler.
+        assert!(
+            metrics.data_local_tasks * 2 >= metrics.map_tasks,
+            "local {} of {}",
+            metrics.data_local_tasks,
+            metrics.map_tasks
+        );
+    }
+
+    #[test]
+    fn split_homes_are_deterministic_across_replicas() {
+        let build = || {
+            let mut cluster = Cluster::builder().nodes(4).seed(11).build();
+            let records: Vec<Record> = (0..40)
+                .map(|i| Record::new(vec![Value::Int(i), Value::Int(i)]))
+                .collect();
+            cluster.storage_mut().write("in", records).unwrap();
+            cluster.submit(spec("o1")).unwrap();
+            cluster
+        };
+        // Homes derive from (file, split index) only, so two engines (or
+        // two replicas) agree without coordination.
+        let a = build();
+        let b = build();
+        let homes = |c: &Cluster| {
+            c.jobs
+                .values()
+                .next()
+                .map(|j| j.map_task_homes.clone())
+                .expect("job in flight")
+        };
+        assert_eq!(homes(&a), homes(&b));
+    }
+}

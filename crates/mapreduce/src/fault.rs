@@ -1,0 +1,222 @@
+//! Worker nodes and Byzantine fault injection.
+//!
+//! §2.1 of the paper classifies Byzantine failures (after Kihlstrom et
+//! al.): *omission* (an expected message never sent), *commission* (a wrong
+//! message sent) and non-detectable classes. The evaluation injects
+//! commission faults ("one node was set up to always produce commission
+//! failures") and omission faults ("one correct replica not responding
+//! within the verifier timeout"); [`Behavior`] models those, plus crashes.
+
+use std::fmt;
+
+use cbft_dataflow::{Record, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a worker node in the untrusted tier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A node's (mis)behaviour, drawn per task.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Behavior {
+    /// Executes every task faithfully.
+    #[default]
+    Honest,
+    /// With the given probability per task, corrupts the task's data
+    /// (a commission fault: the digest/output sent is wrong).
+    Commission {
+        /// Per-task corruption probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// With the given probability per task, never completes the task
+    /// (an omission fault: the expected message is never sent).
+    Omission {
+        /// Per-task omission probability in `[0, 1]`.
+        probability: f64,
+    },
+    /// Completes no tasks at all (a crashed/partitioned node).
+    Crashed,
+}
+
+impl Behavior {
+    /// What this node does with its next task, drawn with `rng`.
+    pub fn draw(&self, rng: &mut StdRng) -> TaskFate {
+        match self {
+            Behavior::Honest => TaskFate::Faithful,
+            Behavior::Commission { probability } => {
+                if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                    TaskFate::Corrupt
+                } else {
+                    TaskFate::Faithful
+                }
+            }
+            Behavior::Omission { probability } => {
+                if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                    TaskFate::Omitted
+                } else {
+                    TaskFate::Faithful
+                }
+            }
+            Behavior::Crashed => TaskFate::Omitted,
+        }
+    }
+
+    /// True when the behaviour can produce a wrong result (as opposed to
+    /// only withholding results).
+    pub fn is_commission(&self) -> bool {
+        matches!(self, Behavior::Commission { .. })
+    }
+}
+
+/// The fate of one task on one node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskFate {
+    /// Executed faithfully.
+    Faithful,
+    /// Executed, but with corrupted data.
+    Corrupt,
+    /// Never completes.
+    Omitted,
+}
+
+/// One worker node in the untrusted tier.
+#[derive(Clone, Debug)]
+pub struct WorkerNode {
+    id: NodeId,
+    slots: usize,
+    behavior: Behavior,
+}
+
+impl WorkerNode {
+    /// Creates a node with `slots` resource units (the paper configures 3-4
+    /// slots on 4-core nodes, §5.1).
+    pub fn new(id: NodeId, slots: usize, behavior: Behavior) -> Self {
+        WorkerNode { id, slots, behavior }
+    }
+
+    /// The node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Number of task slots (resource units, `ru` in the paper).
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The node's failure behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Replaces the node's behaviour (e.g. after an administrator
+    /// re-initializes a suspected node, §4.2).
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+}
+
+/// Deterministically corrupts a record in place: the canonical commission
+/// fault applied to every record a corrupt task touches. Integers are
+/// perturbed, strings defaced, nulls materialized — any of which changes
+/// the canonical encoding and therefore the digest.
+pub(crate) fn corrupt_record(r: &mut Record) {
+    let mut fields = std::mem::replace(r, Record::new(Vec::new())).into_fields();
+    match fields.first_mut() {
+        Some(Value::Int(i)) => *i = i.wrapping_add(1),
+        Some(Value::Str(s)) => s.push('!'),
+        Some(v @ Value::Null) => *v = Value::Int(0),
+        Some(Value::Bag(bag)) => {
+            if let Some(first) = bag.first_mut() {
+                corrupt_record(first);
+            } else {
+                bag.push(Record::new(vec![Value::Int(0)]));
+            }
+        }
+        None => fields.push(Value::Int(0)),
+    }
+    *r = Record::new(fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn honest_nodes_never_misbehave() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(Behavior::Honest.draw(&mut rng), TaskFate::Faithful);
+        }
+    }
+
+    #[test]
+    fn crashed_nodes_always_omit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Behavior::Crashed.draw(&mut rng), TaskFate::Omitted);
+    }
+
+    #[test]
+    fn commission_probability_one_always_corrupts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(
+                Behavior::Commission { probability: 1.0 }.draw(&mut rng),
+                TaskFate::Corrupt
+            );
+        }
+    }
+
+    #[test]
+    fn commission_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = Behavior::Commission { probability: 0.3 };
+        let corrupt = (0..10_000)
+            .filter(|_| b.draw(&mut rng) == TaskFate::Corrupt)
+            .count();
+        assert!((2_500..3_500).contains(&corrupt), "{corrupt}");
+    }
+
+    #[test]
+    fn out_of_range_probability_is_clamped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            Behavior::Commission { probability: 7.5 }.draw(&mut rng),
+            TaskFate::Corrupt
+        );
+        assert_eq!(
+            Behavior::Omission { probability: -1.0 }.draw(&mut rng),
+            TaskFate::Faithful
+        );
+    }
+
+    #[test]
+    fn corruption_changes_canonical_encoding() {
+        let originals = vec![
+            Record::new(vec![Value::Int(5)]),
+            Record::new(vec![Value::str("abc")]),
+            Record::new(vec![Value::Null, Value::Int(2)]),
+            Record::new(vec![Value::Bag(vec![Record::new(vec![Value::Int(1)])])]),
+            Record::new(vec![Value::Bag(vec![])]),
+            Record::new(vec![]),
+        ];
+        for original in originals {
+            let mut corrupted = original.clone();
+            corrupt_record(&mut corrupted);
+            assert_ne!(
+                original.to_canonical_bytes(),
+                corrupted.to_canonical_bytes(),
+                "corruption must be digest-visible for {original:?}"
+            );
+        }
+    }
+}

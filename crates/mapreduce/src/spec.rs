@@ -1,0 +1,171 @@
+//! Executable job descriptions and digest reports.
+
+use std::fmt;
+use std::sync::Arc;
+
+use cbft_dataflow::combiner::Combiner;
+use cbft_dataflow::compile::Site;
+use cbft_dataflow::{LogicalPlan, VertexId};
+use cbft_digest::ChunkedSummary;
+use cbft_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Handle identifying one submitted job run within a [`Cluster`].
+///
+/// [`Cluster`]: crate::Cluster
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RunHandle(pub(crate) u64);
+
+impl RunHandle {
+    /// Builds a handle from a raw id — for tests and tooling. Handles used
+    /// with a [`Cluster`](crate::Cluster) must come from
+    /// [`Cluster::submit`](crate::Cluster::submit).
+    pub fn from_raw(raw: u64) -> Self {
+        RunHandle(raw)
+    }
+
+    /// The raw id.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RunHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run{}", self.0)
+    }
+}
+
+/// One map input of an executable job: a concrete storage file plus the
+/// operator pipeline applied to it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecInput {
+    /// Storage file to read.
+    pub file: String,
+    /// Pipeline of plan vertices applied map-side.
+    pub pipeline: Vec<VertexId>,
+    /// Join side tag (0 = left/only, 1 = right).
+    pub tag: usize,
+}
+
+/// A verification point placed within this job.
+///
+/// The `site` locates where in the job the vertex executes; it must be one
+/// of the sites reported by
+/// [`JobGraph::vertex_sites`](cbft_dataflow::compile::JobGraph::vertex_sites)
+/// for this job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VpSite {
+    /// The instrumented vertex.
+    pub vertex: VertexId,
+    /// Where it executes within this job.
+    pub site: Site,
+}
+
+/// One executable MapReduce job.
+///
+/// Produced by the ClusterBFT request handler from a compiled
+/// [`MrJob`](cbft_dataflow::compile::MrJob): data sources are resolved to
+/// concrete (replica-namespaced) storage files, and the user's verification
+/// points are attached to their sites within the job.
+#[derive(Clone, Debug)]
+pub struct ExecJob {
+    /// The logical plan the pipelines refer to.
+    pub plan: Arc<LogicalPlan>,
+    /// Parallel map inputs.
+    pub inputs: Vec<ExecInput>,
+    /// The blocking vertex realized by this job's shuffle, if any.
+    pub shuffle: Option<VertexId>,
+    /// Per-record pipeline applied after the shuffle (or in a single
+    /// collector task when there is no shuffle).
+    pub reduce: Vec<VertexId>,
+    /// Concrete output file name.
+    pub output_file: String,
+    /// Number of reduce tasks (must be identical across replicas of the
+    /// same sub-graph — §4.1: "all replicas are configured to have the same
+    /// number of reduce tasks"). Use 1 for global sorts and exact limits.
+    pub reduce_task_count: usize,
+    /// Records per map split (identical across replicas).
+    pub map_split_records: usize,
+    /// Verification points within this job.
+    pub verification_points: Vec<VpSite>,
+    /// Records per digest chunk (`d` in §6.4).
+    pub digest_granularity: usize,
+    /// Sub-graph identifier shared by all replicas of this job
+    /// (`sub.graph.id` in the prototype, §5.3).
+    pub sid: String,
+    /// Replica index within the sub-graph replica set.
+    pub replica: usize,
+    /// Map-side combiner plan for algebraic group-aggregations; must be
+    /// identical across replicas of the job, and absent when a
+    /// verification point sits on the shuffle itself (the combined stream
+    /// has no materialized bags to digest).
+    pub combiner: Option<Combiner>,
+}
+
+impl ExecJob {
+    /// True when the job has no shuffle and no collector pipeline: map
+    /// tasks write the output directly.
+    pub fn is_map_only(&self) -> bool {
+        self.shuffle.is_none() && self.reduce.is_empty()
+    }
+
+    /// True when the job runs a single collector task instead of a shuffle.
+    pub fn is_collector(&self) -> bool {
+        self.shuffle.is_none() && !self.reduce.is_empty()
+    }
+}
+
+/// What kind of task produced a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TaskKind {
+    /// Map task over one split of one input.
+    Map,
+    /// Reduce (or collector) task over one partition.
+    Reduce,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskKind::Map => write!(f, "map"),
+            TaskKind::Reduce => write!(f, "reduce"),
+        }
+    }
+}
+
+/// A digest produced at a verification point by one task of one replica,
+/// streamed to the verifier as soon as the task completes (§3.3's
+/// "approximate, offline redundancy": comparison can start before the
+/// sub-job finishes).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DigestReport {
+    /// The run that produced the digest.
+    pub handle: RunHandle,
+    /// Sub-graph id (replicas share it).
+    pub sid: String,
+    /// Replica index.
+    pub replica: usize,
+    /// The instrumented vertex.
+    pub vertex: VertexId,
+    /// The vertex's execution site.
+    pub site: Site,
+    /// Task kind that produced the stream.
+    pub kind: TaskKind,
+    /// Task index within its phase (split index for maps, partition index
+    /// for reduces). Replicas use identical splits/partitions, so this is
+    /// the correspondence key for comparison.
+    pub task_index: usize,
+    /// The chunked digest of the record stream.
+    pub summary: ChunkedSummary,
+    /// Virtual time the digest reached the verifier.
+    pub at: SimTime,
+}
+
+impl DigestReport {
+    /// The comparison key: reports from different replicas with equal keys
+    /// digest corresponding streams and must match.
+    pub fn correspondence_key(&self) -> (VertexId, Site, TaskKind, usize) {
+        (self.vertex, self.site, self.kind, self.task_index)
+    }
+}

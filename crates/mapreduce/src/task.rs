@@ -1,0 +1,553 @@
+//! Pure task execution: the real data movement of map and reduce tasks.
+//!
+//! These functions actually run the operator pipelines over records and
+//! compute the verification-point digests, returning work counters that the
+//! engine converts to virtual time through the cost model. Keeping them
+//! pure (no cluster state) makes the task semantics directly testable.
+
+use cbft_dataflow::compile::Site;
+use cbft_dataflow::interp::{group_records, join_records, order_records, project_record};
+use cbft_dataflow::{LogicalPlan, Operator, Record, Value, VertexId};
+use cbft_digest::{ChunkedDigest, ChunkedSummary};
+
+use crate::fault::{corrupt_record, TaskFate};
+use crate::spec::{ExecJob, VpSite};
+
+/// A record tagged with its join side.
+pub(crate) type Tagged = (usize, Record);
+
+/// Work performed by a task, in units the cost model can price.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Work {
+    /// Record×operator applications.
+    pub record_ops: u64,
+    /// Bytes fed through digest functions.
+    pub digest_bytes: u64,
+    /// Bytes of records read by the task.
+    pub bytes_in: u64,
+    /// Bytes of records produced by the task.
+    pub bytes_out: u64,
+}
+
+/// Result of a map task.
+#[derive(Clone, Debug)]
+pub(crate) struct MapTaskOutput {
+    /// When the job has a shuffle: records per reduce partition.
+    /// Otherwise a single "partition 0" holding the task output.
+    pub partitions: Vec<Vec<Tagged>>,
+    /// Digest summaries produced at map-side verification points.
+    pub digests: Vec<(VpSite, ChunkedSummary)>,
+    /// Work counters.
+    pub work: Work,
+}
+
+/// Result of a reduce/collector task.
+#[derive(Clone, Debug)]
+pub(crate) struct ReduceTaskOutput {
+    /// Output records of the task.
+    pub records: Vec<Record>,
+    /// Digest summaries produced at shuffle/reduce verification points.
+    pub digests: Vec<(VpSite, ChunkedSummary)>,
+    /// Work counters.
+    pub work: Work,
+}
+
+/// Executes one map task: applies the input pipeline to a split, digests
+/// at map-side verification points, and partitions the result for the
+/// shuffle.
+pub(crate) fn run_map_task(
+    job: &ExecJob,
+    input_index: usize,
+    mut records: Vec<Record>,
+    fate: TaskFate,
+) -> MapTaskOutput {
+    debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
+    let plan = &job.plan;
+    let input = &job.inputs[input_index];
+    let mut work = Work {
+        bytes_in: byte_size(&records),
+        ..Work::default()
+    };
+    if fate == TaskFate::Corrupt {
+        // A commission fault: the node processes a corrupted view of the
+        // data, so every downstream digest and output reflects it.
+        for r in &mut records {
+            corrupt_record(r);
+        }
+    }
+
+    let mut digests = Vec::new();
+    for (pos, &vid) in input.pipeline.iter().enumerate() {
+        records = apply_op(plan, vid, records, &mut work);
+        for vp in &job.verification_points {
+            if let Site::MapInput { input: vi, pos: vp_pos, .. } = vp.site {
+                if vi == input_index && vp_pos == pos {
+                    digests.push((*vp, digest_stream(&records, job.digest_granularity, &mut work)));
+                }
+            }
+        }
+    }
+
+    let partitions = if let Some(shuffle) = job.shuffle {
+        if let Some(comb) = &job.combiner {
+            // Map-side combining: one [key, partials...] record per local
+            // key; partition by the leading key (same hash as the raw
+            // records would have used).
+            work.record_ops += 2 * records.len() as u64;
+            let partials = comb.partials(&records);
+            let n = job.reduce_task_count.max(1);
+            let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); n];
+            for r in partials {
+                work.bytes_out += r.byte_size();
+                let p = key_partition(r.get(0), n);
+                parts[p].push((input.tag, r));
+            }
+            parts
+        } else {
+            partition_records(plan, shuffle, input.tag, records, job.reduce_task_count, &mut work)
+        }
+    } else {
+        let bytes = byte_size(&records);
+        work.bytes_out = bytes;
+        vec![records.into_iter().map(|r| (input.tag, r)).collect()]
+    };
+
+    MapTaskOutput { partitions, digests, work }
+}
+
+/// Executes one reduce (or collector) task over one partition.
+pub(crate) fn run_reduce_task(
+    job: &ExecJob,
+    mut incoming: Vec<Tagged>,
+    fate: TaskFate,
+) -> ReduceTaskOutput {
+    debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
+    let plan = &job.plan;
+    let mut work = Work {
+        bytes_in: incoming.iter().map(|(_, r)| r.byte_size()).sum(),
+        ..Work::default()
+    };
+    if fate == TaskFate::Corrupt {
+        for (_, r) in &mut incoming {
+            corrupt_record(r);
+        }
+    }
+
+    let mut digests = Vec::new();
+    let mut start_pos = 0usize;
+    let mut records = match (&job.combiner, job.shuffle) {
+        (Some(comb), Some(_)) => {
+            // The merge produces the fused projection's output directly —
+            // identical, record for record, to group + project, so digest
+            // sites at reduce position 0 still correspond across replicas
+            // regardless of combining. A shuffle-site point cannot be
+            // served (no materialized bags); the caller must not combine
+            // in that case.
+            debug_assert!(
+                !job
+                    .verification_points
+                    .iter()
+                    .any(|vp| matches!(vp.site, Site::Shuffle { .. })),
+                "combiner active with a shuffle verification point"
+            );
+            let raw: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            work.record_ops += 2 * raw.len() as u64;
+            let merged = comb.merge(&raw);
+            for vp in &job.verification_points {
+                if matches!(vp.site, Site::Reduce { pos: 0, .. }) {
+                    digests.push((
+                        *vp,
+                        digest_stream(&merged, job.digest_granularity, &mut work),
+                    ));
+                }
+            }
+            start_pos = 1;
+            merged
+        }
+        (None, Some(shuffle)) => {
+            let out = materialize_shuffle(plan, shuffle, incoming, &mut work);
+            for vp in &job.verification_points {
+                if matches!(vp.site, Site::Shuffle { .. }) && vp.vertex == shuffle {
+                    digests.push((*vp, digest_stream(&out, job.digest_granularity, &mut work)));
+                }
+            }
+            out
+        }
+        (_, None) => incoming.into_iter().map(|(_, r)| r).collect(),
+    };
+
+    for (pos, &vid) in job.reduce.iter().enumerate().skip(start_pos) {
+        records = apply_op(plan, vid, records, &mut work);
+        for vp in &job.verification_points {
+            if let Site::Reduce { pos: vp_pos, .. } = vp.site {
+                if vp.vertex == vid && vp_pos == pos {
+                    digests.push((*vp, digest_stream(&records, job.digest_granularity, &mut work)));
+                }
+            }
+        }
+    }
+
+    work.bytes_out = byte_size(&records);
+    ReduceTaskOutput { records, digests, work }
+}
+
+/// Applies one per-record operator to a stream. `LOAD`, `UNION` and
+/// `STORE` appear in pipelines only as pass-through markers.
+fn apply_op(
+    plan: &LogicalPlan,
+    vid: VertexId,
+    records: Vec<Record>,
+    work: &mut Work,
+) -> Vec<Record> {
+    let op = plan.vertex(vid).op();
+    work.record_ops += records.len() as u64;
+    match op {
+        Operator::Load { .. } | Operator::Union | Operator::Store { .. } => records,
+        Operator::Filter { predicate } => records
+            .into_iter()
+            .filter(|r| {
+                predicate
+                    .eval(&cbft_dataflow::EvalContext::new(r))
+                    .is_truthy()
+            })
+            .collect(),
+        Operator::Project { exprs, .. } => records
+            .iter()
+            .map(|r| project_record(r, exprs))
+            .collect(),
+        Operator::Limit { count } => {
+            records.into_iter().take(*count as usize).collect()
+        }
+        blocking => {
+            debug_assert!(false, "blocking operator {} in a pipeline", blocking.name());
+            records
+        }
+    }
+}
+
+/// Partitions a map task's output by shuffle key.
+fn partition_records(
+    plan: &LogicalPlan,
+    shuffle: VertexId,
+    tag: usize,
+    records: Vec<Record>,
+    n_partitions: usize,
+    work: &mut Work,
+) -> Vec<Vec<Tagged>> {
+    let n = n_partitions.max(1);
+    let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); n];
+    let op = plan.vertex(shuffle).op().clone();
+    work.record_ops += records.len() as u64;
+    for r in records {
+        work.bytes_out += r.byte_size();
+        let p = match &op {
+            Operator::Group { key } => key_partition(r.get(*key), n),
+            Operator::Join { left_key, right_key } => {
+                let key = if tag == 0 { *left_key } else { *right_key };
+                key_partition(r.get(key), n)
+            }
+            Operator::Distinct => {
+                (fnv1a(&r.to_canonical_bytes()) % n as u64) as usize
+            }
+            // Global sort: a single range partition (the engine forces one
+            // reduce task for ORDER).
+            Operator::Order { .. } => 0,
+            other => {
+                debug_assert!(false, "non-blocking shuffle {}", other.name());
+                0
+            }
+        };
+        parts[p].push((tag, r));
+    }
+    parts
+}
+
+fn key_partition(key: Option<&Value>, n: usize) -> usize {
+    let mut buf = Vec::with_capacity(16);
+    key.unwrap_or(&Value::Null).write_canonical(&mut buf);
+    (fnv1a(&buf) % n as u64) as usize
+}
+
+/// Materializes the shuffle semantics for one partition.
+fn materialize_shuffle(
+    plan: &LogicalPlan,
+    shuffle: VertexId,
+    incoming: Vec<Tagged>,
+    work: &mut Work,
+) -> Vec<Record> {
+    let op = plan.vertex(shuffle).op().clone();
+    // Grouping/joining/sorting costs roughly two passes per record.
+    work.record_ops += 2 * incoming.len() as u64;
+    match op {
+        Operator::Group { key } => {
+            let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            group_records(&records, key)
+        }
+        Operator::Join { left_key, right_key } => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for (tag, r) in incoming {
+                if tag == 0 {
+                    left.push(r);
+                } else {
+                    right.push(r);
+                }
+            }
+            join_records(&left, left_key, &right, right_key)
+        }
+        Operator::Distinct => {
+            let mut records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            records.sort();
+            records.dedup();
+            records
+        }
+        Operator::Order { key, order } => {
+            let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            order_records(&records, key, order)
+        }
+        other => {
+            debug_assert!(false, "non-blocking shuffle {}", other.name());
+            incoming.into_iter().map(|(_, r)| r).collect()
+        }
+    }
+}
+
+fn digest_stream(records: &[Record], granularity: usize, work: &mut Work) -> ChunkedSummary {
+    let mut cd = ChunkedDigest::new(granularity);
+    let mut buf = Vec::new();
+    for r in records {
+        buf.clear();
+        r.write_canonical(&mut buf);
+        cd.append(&buf);
+        work.digest_bytes += buf.len() as u64;
+    }
+    // Intercepting each tuple costs about one operator pass (the paper's
+    // Penny agents sit between script stages), on top of the hash bytes.
+    work.record_ops += records.len() as u64;
+    cd.finish()
+}
+
+fn byte_size(records: &[Record]) -> u64 {
+    records.iter().map(Record::byte_size).sum()
+}
+
+/// FNV-1a, used for deterministic, platform-independent partitioning and
+/// split placement.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExecInput;
+    use cbft_dataflow::compile::{compile_plan, DataSource, JobOutput};
+    use cbft_dataflow::{Script, Value};
+    use std::sync::Arc;
+
+    /// Builds an ExecJob straight from a single-job script, for testing
+    /// the task layer without the engine.
+    fn exec_job(src: &str, vps: Vec<VpSite>) -> ExecJob {
+        let plan = Arc::new(Script::parse(src).unwrap().into_plan());
+        let graph = compile_plan(&plan);
+        assert_eq!(graph.len(), 1, "test helper expects single-job scripts");
+        let job = &graph.jobs()[0];
+        ExecJob {
+            plan: plan.clone(),
+            inputs: job
+                .inputs
+                .iter()
+                .map(|i| ExecInput {
+                    file: match &i.source {
+                        DataSource::Hdfs(f) => f.clone(),
+                        DataSource::Intermediate(_) => unreachable!(),
+                    },
+                    pipeline: i.pipeline.clone(),
+                    tag: i.tag,
+                })
+                .collect(),
+            shuffle: job.shuffle,
+            reduce: job.reduce.clone(),
+            output_file: match &job.output {
+                JobOutput::Store(f) => f.clone(),
+                JobOutput::Intermediate => "tmp".to_owned(),
+            },
+            reduce_task_count: if job.single_reduce { 1 } else { 2 },
+            map_split_records: 1000,
+            verification_points: vps,
+            digest_granularity: usize::MAX,
+            sid: "s".to_owned(),
+            replica: 0,
+            combiner: None,
+        }
+    }
+
+    fn ints(rows: &[&[i64]]) -> Vec<Record> {
+        rows.iter()
+            .map(|r| r.iter().map(|&v| Value::Int(v)).collect())
+            .collect()
+    }
+
+    const FOLLOWER: &str = "raw = LOAD 'twitter' AS (user, follower);
+         clean = FILTER raw BY follower IS NOT NULL;
+         grp = GROUP clean BY user;
+         cnt = FOREACH grp GENERATE group, COUNT(clean) AS n;
+         STORE cnt INTO 'counts';";
+
+    #[test]
+    fn map_task_filters_and_partitions() {
+        let job = exec_job(FOLLOWER, vec![]);
+        let mut records = ints(&[&[1, 10], &[2, 20], &[1, 30]]);
+        records.push(Record::new(vec![Value::Int(9), Value::Null]));
+        let out = run_map_task(&job, 0, records, TaskFate::Faithful);
+        let total: usize = out.partitions.iter().map(Vec::len).sum();
+        assert_eq!(total, 3, "null follower filtered out");
+        assert_eq!(out.partitions.len(), 2);
+        // Same user always lands in the same partition.
+        for part in &out.partitions {
+            let users: Vec<i64> = part
+                .iter()
+                .filter_map(|(_, r)| r.get(0).and_then(Value::as_int))
+                .collect();
+            for u in &users {
+                let home = out
+                    .partitions
+                    .iter()
+                    .position(|p| {
+                        p.iter()
+                            .any(|(_, r)| r.get(0).and_then(Value::as_int) == Some(*u))
+                    })
+                    .unwrap();
+                let _ = home;
+            }
+            let _ = users;
+        }
+    }
+
+    #[test]
+    fn reduce_task_groups_and_aggregates() {
+        let job = exec_job(FOLLOWER, vec![]);
+        let incoming: Vec<Tagged> = ints(&[&[1, 10], &[1, 30], &[2, 20]])
+            .into_iter()
+            .map(|r| (0, r))
+            .collect();
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        assert_eq!(out.records, ints(&[&[1, 2], &[2, 1]]));
+    }
+
+    #[test]
+    fn corrupt_map_task_changes_digest_and_output() {
+        let plan_vps = |job: &ExecJob| {
+            // Verification point after the map-side filter (input 0, pos 1).
+            vec![VpSite {
+                vertex: job.inputs[0].pipeline[1],
+                site: Site::MapInput {
+                    job: cbft_dataflow::compile::JobId(0),
+                    input: 0,
+                    pos: 1,
+                },
+            }]
+        };
+        let mut job = exec_job(FOLLOWER, vec![]);
+        job.verification_points = plan_vps(&job);
+        let records = ints(&[&[1, 10], &[2, 20]]);
+        let honest = run_map_task(&job, 0, records.clone(), TaskFate::Faithful);
+        let corrupt = run_map_task(&job, 0, records, TaskFate::Corrupt);
+        assert_eq!(honest.digests.len(), 1);
+        assert_eq!(corrupt.digests.len(), 1);
+        assert!(!honest.digests[0]
+            .1
+            .compare(&corrupt.digests[0].1)
+            .is_match());
+    }
+
+    #[test]
+    fn replicated_tasks_produce_identical_digests() {
+        let mut job = exec_job(FOLLOWER, vec![]);
+        job.verification_points = vec![VpSite {
+            vertex: job.inputs[0].pipeline[1],
+            site: Site::MapInput {
+                job: cbft_dataflow::compile::JobId(0),
+                input: 0,
+                pos: 1,
+            },
+        }];
+        let records = ints(&[&[1, 10], &[2, 20], &[3, 30]]);
+        let a = run_map_task(&job, 0, records.clone(), TaskFate::Faithful);
+        let b = run_map_task(&job, 0, records, TaskFate::Faithful);
+        assert!(a.digests[0].1.compare(&b.digests[0].1).is_match());
+        assert_eq!(a.partitions, b.partitions, "partitioning is deterministic");
+    }
+
+    #[test]
+    fn join_reduce_respects_tags() {
+        let job = exec_job(
+            "a = LOAD 'e' AS (user, follower);
+             b = LOAD 'e' AS (user, follower);
+             j = JOIN a BY follower, b BY user;
+             STORE j INTO 'o';",
+            vec![],
+        );
+        let incoming: Vec<Tagged> = vec![
+            (0, Record::new(vec![Value::Int(1), Value::Int(2)])),
+            (1, Record::new(vec![Value::Int(2), Value::Int(3)])),
+        ];
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        assert_eq!(out.records, ints(&[&[1, 2, 2, 3]]));
+    }
+
+    #[test]
+    fn order_uses_single_partition() {
+        let job = exec_job(
+            "a = LOAD 'f' AS (x);
+             o = ORDER a BY x DESC;
+             STORE o INTO 'out';",
+            vec![],
+        );
+        assert_eq!(job.reduce_task_count, 1);
+        let out = run_map_task(&job, 0, ints(&[&[1], &[3], &[2]]), TaskFate::Faithful);
+        assert_eq!(out.partitions.len(), 1);
+        let reduced = run_reduce_task(
+            &job,
+            out.partitions.into_iter().next().unwrap(),
+            TaskFate::Faithful,
+        );
+        assert_eq!(reduced.records, ints(&[&[3], &[2], &[1]]));
+    }
+
+    #[test]
+    fn shuffle_digest_site_fires_on_reduce() {
+        let mut job = exec_job(FOLLOWER, vec![]);
+        let shuffle = job.shuffle.unwrap();
+        job.verification_points = vec![VpSite {
+            vertex: shuffle,
+            site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+        }];
+        let incoming: Vec<Tagged> =
+            ints(&[&[1, 10]]).into_iter().map(|r| (0, r)).collect();
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        assert_eq!(out.digests.len(), 1);
+        assert_eq!(out.digests[0].0.vertex, shuffle);
+    }
+
+    #[test]
+    fn work_counters_are_filled() {
+        let job = exec_job(FOLLOWER, vec![]);
+        let out = run_map_task(&job, 0, ints(&[&[1, 2], &[3, 4]]), TaskFate::Faithful);
+        assert!(out.work.bytes_in > 0);
+        assert!(out.work.bytes_out > 0);
+        assert!(out.work.record_ops > 0);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Regression pin: partitioning must never change across versions,
+        // or replica correspondence would silently break.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

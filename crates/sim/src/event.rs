@@ -1,0 +1,200 @@
+//! Deterministic future-event list.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// An event scheduled for a specific virtual time.
+#[derive(Clone, Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// The payload.
+    pub event: E,
+    seq: u64,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to pop the earliest event first,
+        // breaking time ties by insertion order for determinism.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list delivering events in non-decreasing time order.
+///
+/// Events scheduled for the same instant are delivered in the order they
+/// were scheduled, which keeps simulations bit-for-bit reproducible across
+/// runs with the same seed.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_micros(20), "late");
+/// q.schedule(SimTime::from_micros(10), "early");
+/// q.schedule(SimTime::from_micros(10), "early-second");
+///
+/// assert_eq!(q.pop().map(|e| e.event), Some("early"));
+/// assert_eq!(q.pop().map(|e| e.event), Some("early-second"));
+/// assert_eq!(q.pop().map(|e| e.event), Some("late"));
+/// assert!(q.is_empty());
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (the clock never moves backwards).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire at time `at`.
+    ///
+    /// Events scheduled in the past fire "now": the queue clamps their
+    /// timestamp to the current clock so time stays monotone.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, event, seq });
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.at;
+        Some(ev)
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        for t in [5u64, 1, 9, 3, 7] {
+            q.schedule(SimTime::from_micros(t), t);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(4);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.event)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_tracks_pops_and_clamps_past_schedules() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), "a");
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(10));
+        // Scheduling "in the past" fires at the current clock instead.
+        q.schedule(SimTime::from_micros(3), "b");
+        let ev = q.pop().unwrap();
+        assert_eq!(ev.at, SimTime::from_micros(10));
+        assert_eq!(q.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_micros(2), ());
+        q.schedule(SimTime::from_micros(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(1)));
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out in non-decreasing time order, and same-time events
+        /// preserve their scheduling order, for any schedule.
+        #[test]
+        fn queue_is_a_stable_time_sort(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), (t, i));
+            }
+            let mut popped = Vec::new();
+            while let Some(ev) = q.pop() {
+                popped.push(ev.event);
+            }
+            prop_assert_eq!(popped.len(), times.len());
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "time order");
+                if w[0].0 == w[1].0 {
+                    prop_assert!(w[0].1 < w[1].1, "stability within a tick");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Discrete-event simulation core for the ClusterBFT reproduction.
+//!
+//! The paper evaluates ClusterBFT on real clusters (Vicci, EC2); this
+//! reproduction replaces the physical testbed with a deterministic
+//! discrete-event simulation. The crates building on this one
+//! (`cbft-mapreduce`, `cbft-bft`) *actually execute* the data-flow operators
+//! over real records — only the passage of time (CPU, disk, network) is
+//! modelled, which is what makes latency *ratios* (the paper reports
+//! multipliers and percent overheads) meaningful.
+//!
+//! Contents:
+//! * [`SimTime`] / [`SimDuration`] — the virtual clock, in microseconds.
+//! * [`EventQueue`] — a deterministic future-event list: ties in time break
+//!   by insertion order, so identical seeds replay identical histories.
+//! * [`CostModel`] — converts work (records processed, bytes moved) into
+//!   virtual time, mirroring a Hadoop worker's cost profile.
+//! * [`SeedSpawner`] — deterministic per-entity RNG derivation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cost;
+mod event;
+mod rng;
+mod time;
+
+pub use cost::CostModel;
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SeedSpawner;
+pub use time::{SimDuration, SimTime};

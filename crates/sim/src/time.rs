@@ -1,0 +1,212 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured in microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_sim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(5);
+/// assert_eq!(t.as_micros(), 5_000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than every reachable simulation instant; useful as an
+    /// "infinite" timeout sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates a time from microseconds since the epoch.
+    pub fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Microseconds since the epoch.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float (for reporting).
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_sim::SimDuration;
+///
+/// let d = SimDuration::from_secs_f64(1.5);
+/// assert_eq!(d.as_micros(), 1_500_000);
+/// assert_eq!((d + d).as_secs_f64(), 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(millis: u64) -> Self {
+        SimDuration(millis.saturating_mul(1_000))
+    }
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(secs: u64) -> Self {
+        SimDuration(secs.saturating_mul(1_000_000))
+    }
+
+    /// Creates a duration from fractional seconds, saturating on overflow
+    /// and clamping negatives to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let micros = secs * 1e6;
+        if micros >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(micros as u64)
+        }
+    }
+
+    /// Microseconds in this duration.
+    pub fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this duration (truncating).
+    pub fn as_millis(&self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds, as a float.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the duration by a non-negative factor, saturating.
+    pub fn mul_f64(&self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_micros(10);
+        let d = SimDuration::from_micros(5);
+        assert_eq!((t + d).as_micros(), 15);
+        assert_eq!((t + d).since(t), d);
+        assert_eq!(t.since(t + d), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_millis(2).as_micros(), 2_000);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e300).as_micros(), u64::MAX);
+    }
+
+    #[test]
+    fn saturating_add_at_max() {
+        let t = SimTime::MAX + SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::MAX);
+    }
+
+    #[test]
+    fn sum_and_scale() {
+        let total: SimDuration =
+            [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+        assert_eq!(total.mul_f64(0.5), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_millis(250).to_string(), "0.250s");
+    }
+}

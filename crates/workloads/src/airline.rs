@@ -1,0 +1,113 @@
+//! RITA airline on-time data (§6.2) — schema `(origin, dest, month)`.
+//!
+//! The paper's multi-store query "finds the top 20 airports with respect
+//! to incoming flights, outgoing flights, and overall" (Fig. 8(iii)).
+//! Synthetic traffic is hub-and-spoke: a few large hubs dominate both
+//! directions, as in the real data.
+
+use cbft_dataflow::{Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Workload;
+
+/// Storage name used by the script.
+pub const INPUT: &str = "airline";
+
+/// Number of distinct airports in the synthetic network.
+pub const AIRPORTS: i64 = 120;
+
+/// The multi-store top-20-airports query (Fig. 8(iii)): three independent
+/// branches — outbound, inbound and overall — off one input.
+pub const TOP_AIRPORTS_SCRIPT: &str = "
+    fl = LOAD 'airline' AS (origin, dest, month);
+
+    go = GROUP fl BY origin;
+    outc = FOREACH go GENERATE group AS airport, COUNT(fl) AS n;
+    oord = ORDER outc BY n DESC;
+    topout = LIMIT oord 20;
+    STORE topout INTO 'top_outbound';
+
+    gi = GROUP fl BY dest;
+    inc = FOREACH gi GENERATE group AS airport, COUNT(fl) AS n;
+    iord = ORDER inc BY n DESC;
+    topin = LIMIT iord 20;
+    STORE topin INTO 'top_inbound';
+
+    org = FOREACH fl GENERATE origin AS airport;
+    dst = FOREACH fl GENERATE dest AS airport;
+    both = UNION org, dst;
+    gb = GROUP both BY airport;
+    allc = FOREACH gb GENERATE group AS airport, COUNT(both) AS n;
+    aord = ORDER allc BY n DESC;
+    topall = LIMIT aord 20;
+    STORE topall INTO 'top_overall';
+";
+
+/// Generates `flights` flight records. Airport popularity is quadratically
+/// skewed toward low ids, so the "top 20" is a stable, meaningful set.
+pub fn generate(seed: u64, flights: usize) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pick_airport = {
+        move |rng: &mut StdRng| {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            Value::Int(((x * x) * AIRPORTS as f64) as i64)
+        }
+    };
+    (0..flights)
+        .map(|_| {
+            let origin = pick_airport(&mut rng);
+            let mut dest = pick_airport(&mut rng);
+            if dest == origin {
+                dest = Value::Int((origin.as_int().unwrap() + 1) % AIRPORTS);
+            }
+            let month = Value::Int(rng.gen_range(1..=12));
+            Record::new(vec![origin, dest, month])
+        })
+        .collect()
+}
+
+/// The IRTA Airline Traffic Analysis workload of §6.2.
+pub fn top_airports(seed: u64, flights: usize) -> Workload {
+    Workload {
+        input_name: INPUT,
+        records: generate(seed, flights),
+        script: TOP_AIRPORTS_SCRIPT,
+        outputs: &["top_outbound", "top_inbound", "top_overall"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = generate(5, 300);
+        assert_eq!(a, generate(5, 300));
+        assert_eq!(a.len(), 300);
+        assert!(a.iter().all(|r| r.arity() == 3));
+    }
+
+    #[test]
+    fn no_self_loops_and_valid_months() {
+        for r in generate(6, 500) {
+            assert_ne!(r.get(0), r.get(1), "origin != dest");
+            let m = r.get(2).unwrap().as_int().unwrap();
+            assert!((1..=12).contains(&m));
+        }
+    }
+
+    #[test]
+    fn hubs_dominate() {
+        let flights = generate(7, 3000);
+        let low_id = flights
+            .iter()
+            .filter(|r| r.get(0).unwrap().as_int().unwrap() < AIRPORTS / 4)
+            .count();
+        assert!(
+            low_id * 2 > flights.len(),
+            "the first quartile of airports should carry most traffic ({low_id}/3000)"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Synthetic data sets and the analysis scripts of the ClusterBFT
+//! evaluation (§6).
+//!
+//! The paper evaluates on three real data sets we cannot redistribute:
+//! the Kwak et al. Twitter follower graph (§6.1), a 1.3 GB subset of the
+//! RITA airline on-time data (§6.2) and a 640 MB subset of the NCDC
+//! "Daily Surface Summary of Day" weather data (§6.4). The generators
+//! here produce synthetic records with the same schemas and skew
+//! characteristics (power-law follower counts, hub-and-spoke airport
+//! traffic, per-station temperature series), scaled to run in seconds —
+//! the evaluation reports *relative* overheads, which survive scaling.
+//!
+//! Each module exposes `generate(seed, n)` plus the Pig-style script(s)
+//! the paper runs over that data (Fig. 8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod airline;
+pub mod twitter;
+pub mod weather;
+
+use cbft_dataflow::Record;
+
+/// A named input data set plus the script(s) run over it — everything a
+/// harness needs to set up one of the paper's experiments.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Storage name the script's `LOAD` statements expect.
+    pub input_name: &'static str,
+    /// The generated records.
+    pub records: Vec<Record>,
+    /// The script source.
+    pub script: &'static str,
+    /// Output names the script `STORE`s into.
+    pub outputs: &'static [&'static str],
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbft_dataflow::interp::interpret;
+    use cbft_dataflow::Script;
+    use std::collections::HashMap;
+
+    /// Every bundled workload must parse, compile and interpret cleanly —
+    /// the single most important invariant of this crate.
+    #[test]
+    fn all_workloads_parse_and_interpret() {
+        let workloads = [
+            twitter::follower_analysis(7, 500),
+            twitter::two_hop_analysis(7, 120),
+            airline::top_airports(7, 600),
+            weather::average_temperature(7, 400),
+        ];
+        for w in workloads {
+            let plan = Script::parse(w.script)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.input_name))
+                .into_plan();
+            let inputs = HashMap::from([(w.input_name.to_owned(), w.records.clone())]);
+            let result = interpret(&plan, &inputs)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.input_name));
+            for out in w.outputs {
+                assert!(
+                    result.output(out).is_some(),
+                    "{}: missing output {out}",
+                    w.input_name
+                );
+            }
+            let graph = cbft_dataflow::compile::compile_plan(&plan);
+            assert!(!graph.is_empty(), "{}", w.input_name);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Twitter follower data (§6.1) — schema `(user, follower)`.
+//!
+//! The Kwak et al. data set is a directed follower graph with a heavily
+//! skewed in-degree distribution; we synthesize edges whose *followee*
+//! popularity follows a Zipf-like law so GROUP keys are skewed the same
+//! way (which is what stresses partitioning and digesting).
+
+use cbft_dataflow::{Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Workload;
+
+/// Storage name used by the scripts.
+pub const INPUT: &str = "twitter";
+
+/// Twitter Follower Analysis (Fig. 8(i)): count followers per user.
+pub const FOLLOWER_SCRIPT: &str = "
+    raw = LOAD 'twitter' AS (user, follower);
+    clean = FILTER raw BY follower IS NOT NULL;
+    grp = GROUP clean BY user;
+    cnt = FOREACH grp GENERATE group AS user, COUNT(clean) AS followers;
+    STORE cnt INTO 'follower_counts';
+";
+
+/// Twitter Two Hop Analysis (Fig. 8(ii)): pairs of users two hops apart,
+/// via a self-join matching a user's followers with their followers.
+/// The filter/project/join stages are the digest placements Fig. 10
+/// sweeps over (Join, Project, Filter, J&F, J,P&F).
+pub const TWO_HOP_SCRIPT: &str = "
+    a = LOAD 'twitter' AS (user, follower);
+    fa = FILTER a BY follower IS NOT NULL;
+    b = LOAD 'twitter' AS (user, follower);
+    fb = FILTER b BY follower IS NOT NULL;
+    j = JOIN fa BY follower, fb BY user;
+    hops = FOREACH j GENERATE fa::user AS user, fb::follower AS twohop;
+    dedup = DISTINCT hops;
+    STORE dedup INTO 'two_hop_pairs';
+";
+
+/// Generates `edges` follower edges over `edges / 10 + 2` users with
+/// Zipf-skewed followee popularity. About 2% of rows carry a null
+/// follower (the paper's first script filters empty records).
+pub fn generate(seed: u64, edges: usize) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let users = (edges / 10 + 2) as i64;
+    (0..edges)
+        .map(|_| {
+            // Zipf-ish: popularity ∝ 1/rank via inverse-CDF sampling.
+            let u: f64 = rng.gen_range(0.0001..1.0f64);
+            let followee = ((users as f64).powf(u) - 1.0) as i64 % users;
+            let follower = if rng.gen_ratio(1, 50) {
+                Value::Null
+            } else {
+                Value::Int(rng.gen_range(0..users))
+            };
+            Record::new(vec![Value::Int(followee), follower])
+        })
+        .collect()
+}
+
+/// The Twitter Follower Analysis workload.
+pub fn follower_analysis(seed: u64, edges: usize) -> Workload {
+    Workload {
+        input_name: INPUT,
+        records: generate(seed, edges),
+        script: FOLLOWER_SCRIPT,
+        outputs: &["follower_counts"],
+    }
+}
+
+/// The Twitter Two Hop Analysis workload. Keep `edges` moderate: the
+/// self-join output grows quadratically in hub degree, as it does on the
+/// real data set (the paper's Fig. 10 runs take 25+ minutes).
+pub fn two_hop_analysis(seed: u64, edges: usize) -> Workload {
+    Workload {
+        input_name: INPUT,
+        records: generate(seed, edges),
+        script: TWO_HOP_SCRIPT,
+        outputs: &["two_hop_pairs"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate(1, 100), generate(1, 100));
+        assert_ne!(generate(1, 100), generate(2, 100));
+    }
+
+    #[test]
+    fn edge_count_and_schema() {
+        let edges = generate(3, 500);
+        assert_eq!(edges.len(), 500);
+        assert!(edges.iter().all(|r| r.arity() == 2));
+        let nulls = edges.iter().filter(|r| r.get(1) == Some(&Value::Null)).count();
+        assert!(nulls > 0, "some null followers for the FILTER to drop");
+        assert!(nulls < 50, "but only a few");
+    }
+
+    #[test]
+    fn followee_distribution_is_skewed() {
+        let edges = generate(4, 2000);
+        let mut counts = std::collections::HashMap::new();
+        for r in &edges {
+            *counts.entry(r.get(0).unwrap().as_int().unwrap()).or_insert(0u32) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = edges.len() as u32 / counts.len() as u32;
+        assert!(max > 3 * mean, "hub users exist (max {max} vs mean {mean})");
+    }
+}

@@ -1,0 +1,89 @@
+//! NCDC daily weather summaries (§6.4) — schema `(station, date, temp)`.
+//!
+//! The paper's script "involves finding average temperature over multiple
+//! years for each weather station followed by counting the number of
+//! stations with the same average". Temperatures are integers (tenths of
+//! a degree), which keeps replicas deterministic (§5.4).
+
+use cbft_dataflow::{Record, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Workload;
+
+/// Storage name used by the script.
+pub const INPUT: &str = "weather";
+
+/// Average temperature per station, then a histogram of averages.
+pub const AVERAGE_TEMPERATURE_SCRIPT: &str = "
+    w = LOAD 'weather' AS (station, date, temp);
+    valid = FILTER w BY temp IS NOT NULL;
+    g = GROUP valid BY station;
+    avgs = FOREACH g GENERATE group AS station, AVG(valid.temp) AS t;
+    g2 = GROUP avgs BY t;
+    hist = FOREACH g2 GENERATE group AS t, COUNT(avgs) AS stations;
+    STORE hist INTO 'temp_histogram';
+";
+
+/// Generates `readings` daily observations across `readings / 40 + 1`
+/// stations. Each station has a base climate; daily readings jitter
+/// around it; ~1% are missing (null).
+pub fn generate(seed: u64, readings: usize) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let stations = (readings / 40 + 1) as i64;
+    (0..readings)
+        .map(|i| {
+            let station = rng.gen_range(0..stations);
+            // Base climate in tenths of °C, deterministic per station.
+            let base = (station * 37 % 400) - 100;
+            let temp = if rng.gen_ratio(1, 100) {
+                Value::Null
+            } else {
+                Value::Int(base + rng.gen_range(-60..=60))
+            };
+            Record::new(vec![
+                Value::Int(station),
+                Value::Int(20_200_101 + (i % 365) as i64),
+                temp,
+            ])
+        })
+        .collect()
+}
+
+/// The Weather Average Temperature workload of §6.4.
+pub fn average_temperature(seed: u64, readings: usize) -> Workload {
+    Workload {
+        input_name: INPUT,
+        records: generate(seed, readings),
+        script: AVERAGE_TEMPERATURE_SCRIPT,
+        outputs: &["temp_histogram"],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let w = generate(9, 400);
+        assert_eq!(w, generate(9, 400));
+        assert_eq!(w.len(), 400);
+    }
+
+    #[test]
+    fn some_missing_readings() {
+        let w = generate(10, 2000);
+        let nulls = w.iter().filter(|r| r.get(2) == Some(&Value::Null)).count();
+        assert!(nulls > 0 && nulls < 100, "{nulls}");
+    }
+
+    #[test]
+    fn temperatures_are_bounded_integers() {
+        for r in generate(11, 1000) {
+            if let Some(t) = r.get(2).unwrap().as_int() {
+                assert!((-200..=500).contains(&t), "{t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Prints, for each of the paper's evaluation scripts, the logical plan,
+//! the compiled MapReduce job DAG, the per-vertex input ratios, and where
+//! the marker function (Fig. 3) puts 1–3 verification points. Pipe the
+//! emitted dot blocks through Graphviz to draw Fig. 8.
+//!
+//! ```sh
+//! cargo run --release --example marker_gallery
+//! ```
+
+use std::collections::HashMap;
+
+use clusterbft_repro::dataflow::analyze::{analyze_plan, mark_seeded, Adversary, eligible_under};
+use clusterbft_repro::dataflow::compile::compile_plan;
+use clusterbft_repro::dataflow::Script;
+use clusterbft_repro::workloads::{airline, twitter, weather};
+
+fn main() {
+    let scripts = [
+        ("Twitter Follower Analysis (Fig. 8 i)", twitter::FOLLOWER_SCRIPT, "twitter", 200u64),
+        ("Twitter Two Hop Analysis (Fig. 8 ii)", twitter::TWO_HOP_SCRIPT, "twitter", 200),
+        ("Air Traffic Analysis (Fig. 8 iii)", airline::TOP_AIRPORTS_SCRIPT, "airline", 1_300),
+        ("Weather Average Temperature (§6.4)", weather::AVERAGE_TEMPERATURE_SCRIPT, "weather", 640),
+    ];
+
+    for (title, script, input, mb) in scripts {
+        println!("==================== {title} ====================");
+        let plan = Script::parse(script).expect("bundled script parses").into_plan();
+        let sizes = HashMap::from([(input.to_owned(), mb << 20)]);
+        let analysis = analyze_plan(&plan, &sizes);
+
+        println!("-- plan (level / input ratio) --");
+        for v in plan.vertices() {
+            println!(
+                "  {:>3} {:<8} level {}  ir {:.3}  {}",
+                v.id().to_string(),
+                v.op().name(),
+                analysis.level(v.id()),
+                analysis.input_ratio(v.id()),
+                v.alias().unwrap_or("-"),
+            );
+        }
+
+        let graph = compile_plan(&plan);
+        println!("-- {} MapReduce job(s) --", graph.len());
+        print!("{}", graph.render(&plan));
+
+        let stores = plan.stores();
+        for n in 1..=3usize {
+            let marked = mark_seeded(
+                &plan,
+                &analysis,
+                n,
+                eligible_under(Adversary::Weak),
+                &stores,
+            );
+            let names: Vec<String> = marked
+                .iter()
+                .map(|&v| format!("{}:{}", v, plan.vertex(v).op().name()))
+                .collect();
+            println!("marker n={n}: {}", names.join(", "));
+        }
+
+        println!("-- graphviz (plan, marked n=2) --");
+        let marked = mark_seeded(&plan, &analysis, 2, eligible_under(Adversary::Weak), &stores);
+        println!("{}", plan.to_dot(&marked));
+    }
+}

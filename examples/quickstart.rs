@@ -1,0 +1,66 @@
+//! Quickstart: run a verified data-flow script on an untrusted cluster
+//! with one Byzantine node.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use clusterbft_repro::core::{
+    Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, Value, VpPolicy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-node untrusted tier. Node 3 corrupts every task it executes —
+    // a classic commission fault.
+    let cluster = Cluster::builder()
+        .nodes(8)
+        .slots_per_node(3)
+        .seed(42)
+        .node_behavior(3, Behavior::Commission { probability: 1.0 })
+        .build();
+
+    // Tolerate f = 1 fault with 3f + 1 = 4 replicas and two marker-chosen
+    // verification points (plus the final outputs, always verified).
+    let config = JobConfig::builder()
+        .expected_failures(1)
+        .replication(Replication::Full)
+        .vp_policy(VpPolicy::marked(2))
+        .map_split_records(200)
+        .build();
+    let mut cbft = ClusterBft::new(cluster, config);
+
+    // A small follower graph: user = i % 13 gains follower i.
+    let edges: Vec<Record> = (0..2_000)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i)]))
+        .collect();
+    cbft.load_input("edges", edges)?;
+
+    let outcome = cbft.submit_script(
+        "raw   = LOAD 'edges' AS (user, follower);
+         grp   = GROUP raw BY user;
+         cnt   = FOREACH grp GENERATE group AS user, COUNT(raw) AS followers;
+         ranked = ORDER cnt BY followers DESC;
+         top   = LIMIT ranked 5;
+         STORE top INTO 'top_users';",
+    )?;
+
+    println!("{outcome}");
+    assert!(outcome.verified(), "f+1 digest quorum must form");
+
+    println!("\ntop users by follower count (verified output):");
+    for record in cbft.cluster().storage().peek("top_users").expect("published") {
+        println!("  {record:?}");
+    }
+
+    println!("\nsuspicion table after the run:");
+    for node in cbft.suspicion().nodes() {
+        let s = cbft.suspicion().level(node);
+        if s > 0.0 {
+            println!("  {node}: s = {s:.2}");
+        }
+    }
+    if let Some(analyzer) = cbft.fault_analyzer() {
+        println!("fault analyzer suspects: {:?}", analyzer.suspects());
+    }
+    Ok(())
+}

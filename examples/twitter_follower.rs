@@ -1,0 +1,60 @@
+//! The paper's §6.1 scenario: Twitter follower analysis with verification
+//! points chosen by the marker function, comparing the unreplicated
+//! baseline against full BFT execution.
+//!
+//! ```sh
+//! cargo run --release --example twitter_follower
+//! ```
+
+use clusterbft_repro::core::{Cluster, ClusterBft, JobConfig, Replication, VpPolicy};
+use clusterbft_repro::workloads::twitter;
+
+fn run(label: &str, config: JobConfig) -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = Cluster::builder().nodes(32).slots_per_node(9).seed(7).build();
+    let mut cbft = ClusterBft::new(cluster, config);
+    let workload = twitter::follower_analysis(7, 50_000);
+    cbft.load_input(workload.input_name, workload.records)?;
+    let outcome = cbft.submit_script(workload.script)?;
+    println!(
+        "{label:<22} latency {:>8}  cpu {:>8}  verified {}",
+        outcome.latency(),
+        outcome.metrics().cpu_time,
+        outcome.verified()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Twitter follower analysis, 50k synthetic edges, 32 nodes\n");
+    run(
+        "pure pig (baseline)",
+        JobConfig::builder()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::None)
+            .build(),
+    )?;
+    run(
+        "single + digests",
+        JobConfig::builder()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::marked(2))
+            .build(),
+    )?;
+    for (label, replication) in [
+        ("bft optimistic (f+1)", Replication::Optimistic),
+        ("bft quorum (2f+1)", Replication::Quorum),
+        ("bft full (3f+1)", Replication::Full),
+    ] {
+        run(
+            label,
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(replication)
+                .vp_policy(VpPolicy::marked(2))
+                .build(),
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! `cbft` — run a data-flow script with BFT-verified execution on a
+//! simulated cluster. See `cbft --help` and [`clusterbft_repro::cli`].
+
+use clusterbft_repro::cli;
+
+fn main() {
+    let opts = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&opts) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Argument parsing and driver logic for the `cbft` command-line tool.
+//!
+//! Kept in the library (rather than the binary) so the parsing rules are
+//! unit-testable. No external argument-parsing dependency: the grammar is
+//! small and fixed.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::core::{
+    Adversary, Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, Value, VpPolicy,
+};
+use crate::dataflow::Script;
+
+/// Parsed command-line options for one `cbft` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliOptions {
+    /// Path of the script file to execute.
+    pub script: String,
+    /// Inputs as `name=path` pairs (CSV-ish record files).
+    pub inputs: Vec<(String, String)>,
+    /// Untrusted-tier size.
+    pub nodes: usize,
+    /// Slots per node.
+    pub slots: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Fault bound `f`.
+    pub f: usize,
+    /// Replication policy.
+    pub replication: Replication,
+    /// Marker-chosen verification points.
+    pub points: u32,
+    /// Adversary model.
+    pub adversary: Adversary,
+    /// Digest granularity `d`.
+    pub granularity: usize,
+    /// Injected faults: `(node, behavior)`.
+    pub faults: Vec<(usize, Behavior)>,
+    /// Enable map-side combiners.
+    pub combiners: bool,
+    /// Run the logical-plan optimizer before execution.
+    pub optimize: bool,
+    /// Print the instrumented plan in Graphviz dot and exit.
+    pub emit_dot: bool,
+    /// Rows of each output to print.
+    pub show_rows: usize,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            script: String::new(),
+            inputs: Vec::new(),
+            nodes: 16,
+            slots: 3,
+            seed: 1,
+            f: 1,
+            replication: Replication::Full,
+            points: 2,
+            adversary: Adversary::Strong,
+            granularity: usize::MAX,
+            faults: Vec::new(),
+            combiners: false,
+            optimize: false,
+            emit_dot: false,
+            show_rows: 10,
+        }
+    }
+}
+
+/// A CLI usage error, printed with the usage text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Error for UsageError {}
+
+/// The usage text for `cbft --help`.
+pub const USAGE: &str = "\
+cbft — run a data-flow script with BFT-verified execution on a simulated cluster
+
+USAGE:
+    cbft <script.pig> --input NAME=FILE [--input NAME=FILE ...] [OPTIONS]
+
+OPTIONS:
+    --nodes N            untrusted-tier size            [default: 16]
+    --slots N            task slots per node            [default: 3]
+    --seed N             simulation seed                [default: 1]
+    --f N                fault bound f                  [default: 1]
+    --replication R      optimistic | quorum | full | an integer  [default: full]
+    --points N           marker-chosen verification points        [default: 2]
+    --adversary A        strong | weak                  [default: strong]
+    --granularity D      records per digest chunk       [default: whole stream]
+    --fault N:KIND[:P]   inject a fault on node N; KIND = commission | omission
+                         (with probability P, default 1.0) | crash
+    --combiners          enable map-side combiners
+    --optimize           run the logical-plan optimizer first
+    --dot                print the plan in Graphviz dot and exit
+    --show N             rows of each output to print   [default: 10]
+
+Input files are one record per line, comma-separated; fields parse as
+integers when possible, the literal `null` as null, anything else as text.";
+
+/// Parses command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the offending argument.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, UsageError> {
+    let mut opts = CliOptions::default();
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| UsageError(format!("{flag} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--input" => {
+                let v = need(&mut it, "--input")?;
+                let (name, path) = v
+                    .split_once('=')
+                    .ok_or_else(|| UsageError(format!("--input wants NAME=FILE, got '{v}'")))?;
+                opts.inputs.push((name.to_owned(), path.to_owned()));
+            }
+            "--nodes" => opts.nodes = parse_num(&need(&mut it, "--nodes")?, "--nodes")?,
+            "--slots" => opts.slots = parse_num(&need(&mut it, "--slots")?, "--slots")?,
+            "--seed" => opts.seed = parse_num(&need(&mut it, "--seed")?, "--seed")?,
+            "--f" => opts.f = parse_num(&need(&mut it, "--f")?, "--f")?,
+            "--points" => opts.points = parse_num(&need(&mut it, "--points")?, "--points")?,
+            "--granularity" => {
+                opts.granularity = parse_num(&need(&mut it, "--granularity")?, "--granularity")?
+            }
+            "--show" => opts.show_rows = parse_num(&need(&mut it, "--show")?, "--show")?,
+            "--replication" => {
+                let v = need(&mut it, "--replication")?;
+                opts.replication = match v.as_str() {
+                    "optimistic" => Replication::Optimistic,
+                    "quorum" => Replication::Quorum,
+                    "full" => Replication::Full,
+                    n => Replication::Exact(parse_num(n, "--replication")?),
+                };
+            }
+            "--adversary" => {
+                let v = need(&mut it, "--adversary")?;
+                opts.adversary = match v.as_str() {
+                    "strong" => Adversary::Strong,
+                    "weak" => Adversary::Weak,
+                    other => {
+                        return Err(UsageError(format!(
+                            "--adversary wants strong|weak, got '{other}'"
+                        )))
+                    }
+                };
+            }
+            "--fault" => {
+                let v = need(&mut it, "--fault")?;
+                opts.faults.push(parse_fault(&v)?);
+            }
+            "--combiners" => opts.combiners = true,
+            "--optimize" => opts.optimize = true,
+            "--dot" => opts.emit_dot = true,
+            "--help" | "-h" => return Err(UsageError(USAGE.to_owned())),
+            other if !other.starts_with('-') && opts.script.is_empty() => {
+                opts.script = other.to_owned();
+            }
+            other => return Err(UsageError(format!("unknown argument '{other}'"))),
+        }
+    }
+    if opts.script.is_empty() {
+        return Err(UsageError("missing script file (see --help)".to_owned()));
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError> {
+    s.parse()
+        .map_err(|_| UsageError(format!("{flag}: '{s}' is not a valid number")))
+}
+
+/// Parses `N:KIND[:P]` fault specs.
+pub fn parse_fault(spec: &str) -> Result<(usize, Behavior), UsageError> {
+    let mut parts = spec.split(':');
+    let node: usize = parse_num(
+        parts.next().ok_or_else(|| UsageError("empty --fault".into()))?,
+        "--fault",
+    )?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| UsageError(format!("--fault '{spec}' is missing a kind")))?;
+    let probability: f64 = match parts.next() {
+        Some(p) => parse_num(p, "--fault probability")?,
+        None => 1.0,
+    };
+    let behavior = match kind {
+        "commission" => Behavior::Commission { probability },
+        "omission" => Behavior::Omission { probability },
+        "crash" => Behavior::Crashed,
+        other => {
+            return Err(UsageError(format!(
+                "--fault kind must be commission|omission|crash, got '{other}'"
+            )))
+        }
+    };
+    Ok((node, behavior))
+}
+
+/// Parses one CSV-ish line into a record: integers where possible,
+/// `null` as null, everything else as text. Empty lines are skipped by
+/// the caller.
+pub fn parse_record(line: &str) -> Record {
+    line.split(',')
+        .map(|field| {
+            let field = field.trim();
+            if field.eq_ignore_ascii_case("null") {
+                Value::Null
+            } else if let Ok(i) = field.parse::<i64>() {
+                Value::Int(i)
+            } else {
+                Value::str(field)
+            }
+        })
+        .collect()
+}
+
+/// Renders one record as a CSV-ish line (inverse of [`parse_record`] for
+/// flat records).
+pub fn render_record(r: &Record) -> String {
+    r.fields()
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Executes a parsed invocation: loads inputs, runs the script through
+/// ClusterBFT and returns the human-readable report.
+///
+/// # Errors
+///
+/// IO errors reading the script/input files, and any ClusterBFT submission
+/// error.
+pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    let source = std::fs::read_to_string(&opts.script)?;
+    if opts.emit_dot {
+        let plan = Script::parse(&source)?.into_plan();
+        return Ok(plan.to_dot(&[]));
+    }
+
+    let mut inputs: HashMap<String, Vec<Record>> = HashMap::new();
+    for (name, path) in &opts.inputs {
+        let text = std::fs::read_to_string(path)?;
+        let records: Vec<Record> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(parse_record)
+            .collect();
+        inputs.insert(name.clone(), records);
+    }
+
+    let mut builder = Cluster::builder()
+        .nodes(opts.nodes)
+        .slots_per_node(opts.slots)
+        .seed(opts.seed);
+    for &(node, behavior) in &opts.faults {
+        builder = builder.node_behavior(node, behavior);
+    }
+    let config = JobConfig::builder()
+        .expected_failures(opts.f)
+        .replication(opts.replication)
+        .vp_policy(VpPolicy::Marked(opts.points))
+        .adversary(opts.adversary)
+        .digest_granularity(opts.granularity)
+        .combiners(opts.combiners)
+        .optimize_plans(opts.optimize)
+        .build();
+    let mut cbft = ClusterBft::new(builder.build(), config);
+    for (name, records) in inputs {
+        cbft.load_input(&name, records)?;
+    }
+
+    let outcome = cbft.submit_script(&source)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{outcome}");
+    let _ = writeln!(
+        out,
+        "replicas per attempt: {:?}   digest reports: {}",
+        outcome.replicas_per_attempt(),
+        outcome.digest_reports()
+    );
+    for name in outcome.outputs() {
+        let records = cbft
+            .cluster()
+            .storage()
+            .peek(name)
+            .expect("published outputs exist");
+        let _ = writeln!(out, "\n== {name} ({} records) ==", records.len());
+        for r in records.iter().take(opts.show_rows) {
+            let _ = writeln!(out, "{}", render_record(r));
+        }
+        if records.len() > opts.show_rows {
+            let _ = writeln!(out, "... ({} more)", records.len() - opts.show_rows);
+        }
+    }
+    if let Some(analyzer) = cbft.fault_analyzer() {
+        if !analyzer.suspects().is_empty() {
+            let _ = writeln!(out, "\nsuspect sets: {:?}", analyzer.suspects());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, UsageError> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let opts = parse(&[
+            "job.pig",
+            "--input",
+            "edges=edges.csv",
+            "--nodes",
+            "32",
+            "--f",
+            "2",
+            "--replication",
+            "quorum",
+            "--points",
+            "3",
+            "--adversary",
+            "weak",
+            "--fault",
+            "4:commission:0.5",
+            "--fault",
+            "7:crash",
+            "--combiners",
+            "--show",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(opts.script, "job.pig");
+        assert_eq!(opts.inputs, vec![("edges".to_owned(), "edges.csv".to_owned())]);
+        assert_eq!(opts.nodes, 32);
+        assert_eq!(opts.f, 2);
+        assert_eq!(opts.replication, Replication::Quorum);
+        assert_eq!(opts.points, 3);
+        assert_eq!(opts.adversary, Adversary::Weak);
+        assert_eq!(opts.faults.len(), 2);
+        assert_eq!(opts.faults[0], (4, Behavior::Commission { probability: 0.5 }));
+        assert_eq!(opts.faults[1], (7, Behavior::Crashed));
+        assert!(opts.combiners);
+        assert_eq!(opts.show_rows, 5);
+    }
+
+    #[test]
+    fn exact_replication_parses_from_integer() {
+        let opts = parse(&["s.pig", "--replication", "5"]).unwrap();
+        assert_eq!(opts.replication, Replication::Exact(5));
+    }
+
+    #[test]
+    fn missing_script_is_an_error() {
+        let err = parse(&["--nodes", "4"]).unwrap_err();
+        assert!(err.0.contains("missing script"));
+    }
+
+    #[test]
+    fn bad_arguments_are_reported() {
+        assert!(parse(&["s.pig", "--nodes"]).is_err());
+        assert!(parse(&["s.pig", "--nodes", "four"]).is_err());
+        assert!(parse(&["s.pig", "--wat"]).is_err());
+        assert!(parse(&["s.pig", "--fault", "3"]).is_err());
+        assert!(parse(&["s.pig", "--fault", "3:meteor"]).is_err());
+        assert!(parse(&["s.pig", "--input", "justname"]).is_err());
+        assert!(parse(&["s.pig", "--adversary", "medium"]).is_err());
+    }
+
+    #[test]
+    fn record_parsing_round_trips() {
+        let r = parse_record("3, hello ,null,-42");
+        assert_eq!(
+            r.fields(),
+            &[Value::Int(3), Value::str("hello"), Value::Null, Value::Int(-42)]
+        );
+        assert_eq!(render_record(&r), "3,hello,null,-42");
+    }
+
+    #[test]
+    fn end_to_end_run_from_files() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            &format!("edges={}", data.to_str().unwrap()),
+            "--fault",
+            "2:commission",
+        ])
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("VERIFIED"), "{report}");
+        assert!(report.contains("== counts (5 records) =="), "{report}");
+        assert!(report.contains("0,10"), "each user has 10 followers: {report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dot_mode_emits_graphviz() {
+        let dir = std::env::temp_dir().join(format!("cbft_dot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(&script, "a = LOAD 'x' AS (y); STORE a INTO 'o';").unwrap();
+        let opts = parse(&[script.to_str().unwrap(), "--dot"]).unwrap();
+        let dot = run(&opts).unwrap();
+        assert!(dot.starts_with("digraph plan {"), "{dot}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the ClusterBFT reproduction workspace.
+//!
+//! This crate exists to host the repository-level [examples] and integration
+//! tests; the actual functionality lives in the member crates, re-exported
+//! here under stable names so examples can write `clusterbft_repro::...`.
+//!
+//! - [`digest`] — SHA-256 and chunked stream digests ([`cbft_digest`]).
+//! - [`dataflow`] — Pig-Latin-like scripts, logical plans, the marker
+//!   function ([`cbft_dataflow`]).
+//! - [`sim`] — discrete-event simulation core ([`cbft_sim`]).
+//! - [`mapreduce`] — the Hadoop-style execution substrate
+//!   ([`cbft_mapreduce`]).
+//! - [`bft`] — PBFT-style state machine replication ([`cbft_bft`]).
+//! - [`core`] — the ClusterBFT system itself ([`clusterbft`]).
+//! - [`workloads`] — synthetic data generators and the paper's analysis
+//!   scripts ([`cbft_workloads`]).
+//! - [`faultsim`] — the 250-node fault-isolation simulator of §6.3
+//!   ([`cbft_faultsim`]).
+//!
+//! [examples]: https://github.com/rust-lang/cargo/blob/master/src/doc/src/reference/cargo-targets.md#examples
+
+pub mod cli;
+
+pub use cbft_bft as bft;
+pub use cbft_dataflow as dataflow;
+pub use cbft_digest as digest;
+pub use cbft_faultsim as faultsim;
+pub use cbft_mapreduce as mapreduce;
+pub use cbft_sim as sim;
+pub use cbft_workloads as workloads;
+pub use clusterbft as core;

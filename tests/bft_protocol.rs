@@ -1,0 +1,202 @@
+//! Integration tests for the PBFT substrate: safety and liveness of the
+//! replicated control tier under crashes, equivocation, message loss and
+//! view changes.
+
+use clusterbft_repro::bft::{BftBehavior, BftCluster, KvStore, ReplicaId};
+use clusterbft_repro::sim::SimDuration;
+use proptest::prelude::*;
+
+fn assert_prefix_consistent(cluster: &BftCluster<KvStore>, n: usize) {
+    // Honest replicas' executed logs must be prefix-ordered: no two
+    // replicas ever execute different requests at the same sequence
+    // number — the PBFT safety property.
+    let logs: Vec<_> = (0..n)
+        .map(|i| cluster.replica(ReplicaId(i)).executed_log().to_vec())
+        .collect();
+    for a in &logs {
+        for b in &logs {
+            let common = a.len().min(b.len());
+            assert_eq!(&a[..common], &b[..common], "diverging histories");
+        }
+    }
+}
+
+#[test]
+fn sequence_of_operations_commits_and_applies_in_order() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 1);
+    for i in 0..10 {
+        let req = cluster.submit(format!("put k{i} v{i}").into_bytes());
+        assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    }
+    let req = cluster.submit(b"get k7".to_vec());
+    assert_eq!(cluster.run_until_reply(req), Some(b"v7".to_vec()));
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn f_crashed_backups_preserve_liveness() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 2);
+    cluster.set_behavior(ReplicaId(3), BftBehavior::Crashed);
+    let req = cluster.submit(b"put a 1".to_vec());
+    assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    assert_prefix_consistent(&cluster, 3);
+}
+
+#[test]
+fn crashed_primary_triggers_view_change() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 3);
+    cluster.set_behavior(ReplicaId(0), BftBehavior::Crashed);
+    let req = cluster.submit(b"put a 1".to_vec());
+    assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    assert!(
+        cluster.replica(ReplicaId(1)).view() >= 1,
+        "live replicas must have moved past view 0"
+    );
+    assert!(cluster.metrics().view_changes >= 1);
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn equivocating_primary_cannot_split_the_state() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 4);
+    cluster.set_behavior(ReplicaId(0), BftBehavior::Equivocate);
+    let req = cluster.submit(b"put a 1".to_vec());
+    // The request eventually commits (after the equivocator is unseated)…
+    assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    // …and no honest replica executed the forged variant.
+    let honest = clusterbft_repro::bft::Request::new(100, 1, b"put a 1".to_vec()).digest();
+    for i in 1..4 {
+        for (_, digest) in cluster.replica(ReplicaId(i)).executed_log() {
+            assert_eq!(*digest, honest, "replica {i} executed a forgery");
+        }
+    }
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn lossy_network_still_commits() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 5);
+    cluster.set_drop_probability(0.1);
+    for i in 0..5 {
+        let req = cluster.submit(format!("put k{i} v").into_bytes());
+        assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()), "op {i}");
+    }
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn f2_group_handles_two_crashes() {
+    let mut cluster = BftCluster::new(2, KvStore::default(), 6);
+    cluster.set_behavior(ReplicaId(0), BftBehavior::Crashed); // primary
+    cluster.set_behavior(ReplicaId(4), BftBehavior::Crashed);
+    let req = cluster.submit(b"put x 9".to_vec());
+    assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    assert_prefix_consistent(&cluster, 7);
+}
+
+#[test]
+fn more_than_f_crashes_lose_liveness_but_not_safety() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 7);
+    cluster.set_behavior(ReplicaId(1), BftBehavior::Crashed);
+    cluster.set_behavior(ReplicaId(2), BftBehavior::Crashed);
+    let req = cluster.submit(b"put a 1".to_vec());
+    assert_eq!(cluster.run_until_reply(req), None, "2 of 4 crashed: no quorum");
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn slow_network_does_not_break_agreement() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 8);
+    cluster.set_latency(SimDuration::from_millis(80));
+    let req = cluster.submit(b"put slow 1".to_vec());
+    assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    assert_prefix_consistent(&cluster, 4);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Safety holds across random drop rates, crash patterns and op
+    /// sequences: every committed reply is correct and histories stay
+    /// prefix-consistent. Liveness is only asserted when at most f
+    /// replicas are faulty and the network is reliable enough.
+    #[test]
+    fn pbft_safety_under_random_conditions(
+        seed in 0u64..1000,
+        drop in 0.0f64..0.25,
+        crash_one in any::<bool>(),
+        ops in 1usize..6,
+    ) {
+        let mut cluster = BftCluster::new(1, KvStore::default(), seed);
+        cluster.set_drop_probability(drop);
+        if crash_one {
+            cluster.set_behavior(ReplicaId(1), BftBehavior::Crashed);
+        }
+        for i in 0..ops {
+            let req = cluster.submit(format!("put k{i} v{i}").into_bytes());
+            if let Some(reply) = cluster.run_until_reply(req) {
+                prop_assert_eq!(reply, b"ok".to_vec());
+            }
+        }
+        // Safety regardless of whether everything committed.
+        let logs: Vec<_> = (0..4)
+            .map(|i| cluster.replica(ReplicaId(i)).executed_log().to_vec())
+            .collect();
+        for a in &logs {
+            for b in &logs {
+                let common = a.len().min(b.len());
+                prop_assert_eq!(&a[..common], &b[..common]);
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpoints_garbage_collect_protocol_state() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 21);
+    cluster.set_checkpoint_interval(4);
+    for i in 0..20 {
+        let req = cluster.submit(format!("put k{i} v").into_bytes());
+        assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    }
+    cluster.run_to_quiescence();
+    for i in 0..4 {
+        let r = cluster.replica(ReplicaId(i));
+        let (stable, _) = r.stable_checkpoint();
+        assert!(stable >= 16, "replica {i} stable at {stable}");
+        assert!(
+            r.live_entries() <= 8,
+            "replica {i} keeps only the window above the checkpoint ({})",
+            r.live_entries()
+        );
+        assert_eq!(r.executed_log().len(), 20);
+    }
+    assert_prefix_consistent(&cluster, 4);
+}
+
+#[test]
+fn partitioned_replica_catches_up_via_checkpoint_transfer() {
+    let mut cluster = BftCluster::new(1, KvStore::default(), 22);
+    cluster.set_checkpoint_interval(4);
+    cluster.set_link_down(ReplicaId(3), true);
+    for i in 0..12 {
+        let req = cluster.submit(format!("put k{i} v").into_bytes());
+        assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    }
+    assert_eq!(cluster.replica(ReplicaId(3)).executed_log().len(), 0);
+
+    // Reconnect; subsequent traffic carries checkpoint votes whose quorum
+    // triggers the log transfer.
+    cluster.set_link_down(ReplicaId(3), false);
+    for i in 12..20 {
+        let req = cluster.submit(format!("put k{i} v").into_bytes());
+        assert_eq!(cluster.run_until_reply(req), Some(b"ok".to_vec()));
+    }
+    cluster.run_to_quiescence();
+    let lagged = cluster.replica(ReplicaId(3)).executed_log().len();
+    assert!(
+        lagged >= 16,
+        "replica 3 must recover the partitioned prefix via catch-up, has {lagged}"
+    );
+    assert_prefix_consistent(&cluster, 4);
+}

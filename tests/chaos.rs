@@ -1,0 +1,136 @@
+//! Chaos soak test: random scripts, random faults, one global invariant.
+//!
+//! The system-level safety claim of ClusterBFT is simple to state:
+//! **whenever the verifier reports a script as verified, the published
+//! outputs equal what a fault-free execution would have produced** —
+//! provided at most `f` nodes are faulty. This test grinds many randomized
+//! deployments (fault kinds, probabilities, replication degrees, scripts,
+//! digest granularities) against the reference interpreter.
+
+use std::collections::HashMap;
+
+use clusterbft_repro::core::{
+    Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, Value, VpPolicy,
+};
+use clusterbft_repro::dataflow::interp::interpret;
+use clusterbft_repro::dataflow::Script;
+use clusterbft_repro::sim::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SCRIPTS: [&str; 4] = [
+    "a = LOAD 'in' AS (k, v);
+     g = GROUP a BY k;
+     c = FOREACH g GENERATE group, COUNT(a) AS n, SUM(a.v) AS s;
+     STORE c INTO 'out0';",
+    "a = LOAD 'in' AS (k, v);
+     f = FILTER a BY v % 3 == 0;
+     g = GROUP f BY k;
+     c = FOREACH g GENERATE group, MAX(f.v) AS m;
+     o = ORDER c BY m DESC;
+     t = LIMIT o 5;
+     STORE t INTO 'out1';",
+    "a = LOAD 'in' AS (k, v);
+     b = LOAD 'in' AS (k, v);
+     j = JOIN a BY k, b BY k;
+     p = FOREACH j GENERATE a::v AS x, b::v AS y;
+     d = DISTINCT p;
+     STORE d INTO 'out2';",
+    "a = LOAD 'in' AS (k, v);
+     l = FOREACH a GENERATE k AS x;
+     r = FOREACH a GENERATE v AS x;
+     u = UNION l, r;
+     g = GROUP u BY x;
+     c = FOREACH g GENERATE group, COUNT(u) AS n;
+     STORE c INTO 'out3';",
+];
+
+fn random_behavior(rng: &mut StdRng) -> Behavior {
+    match rng.gen_range(0..3) {
+        0 => Behavior::Commission { probability: rng.gen_range(0.2..1.0) },
+        1 => Behavior::Omission { probability: rng.gen_range(0.2..0.8) },
+        _ => Behavior::Crashed,
+    }
+}
+
+#[test]
+fn verified_always_means_correct() {
+    let mut rng = StdRng::seed_from_u64(0xC1A0);
+    let mut verified_runs = 0;
+    for round in 0..25u32 {
+        let nodes = rng.gen_range(8..=16);
+        let faulty_node = rng.gen_range(0..nodes);
+        let behavior = random_behavior(&mut rng);
+        let replication = match rng.gen_range(0..3) {
+            0 => Replication::Optimistic,
+            1 => Replication::Quorum,
+            _ => Replication::Full,
+        };
+        let script = SCRIPTS[rng.gen_range(0..SCRIPTS.len())];
+        let granularity = [usize::MAX, 50, 7][rng.gen_range(0..3)];
+        let points = rng.gen_range(0..3u32);
+        let n_records = rng.gen_range(50..400);
+        let records: Vec<Record> = (0..n_records)
+            .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i * 7 % 101)]))
+            .collect();
+
+        // Reference result on a perfect machine.
+        let plan = Script::parse(script).unwrap().into_plan();
+        let inputs = HashMap::from([("in".to_owned(), records.clone())]);
+        let reference = interpret(&plan, &inputs).unwrap();
+
+        let cluster = Cluster::builder()
+            .nodes(nodes)
+            .slots_per_node(3)
+            .seed(round as u64 * 977 + 5)
+            .node_behavior(faulty_node, behavior)
+            .build();
+        let mut cbft = ClusterBft::new(
+            cluster,
+            JobConfig::builder()
+                .expected_failures(1)
+                .replication(replication)
+                .vp_policy(VpPolicy::Marked(points))
+                .digest_granularity(granularity)
+                .map_split_records(rng.gen_range(20..80))
+                .verifier_timeout(SimDuration::from_secs(90))
+                .max_attempts(4)
+                .combiners(round % 2 == 0)
+                .early_cancel(round % 3 == 0)
+                .build(),
+        );
+        cbft.load_input("in", records).unwrap();
+        let outcome = cbft.submit_script(script).expect("submission never errors here");
+
+        if outcome.verified() {
+            verified_runs += 1;
+            for (name, truth) in reference.outputs() {
+                let mut ours = cbft
+                    .cluster()
+                    .storage()
+                    .peek(name)
+                    .unwrap_or_else(|| panic!("round {round}: output {name} missing"))
+                    .to_vec();
+                let mut truth = truth.clone();
+                ours.sort();
+                truth.sort();
+                assert_eq!(
+                    ours, truth,
+                    "round {round} ({behavior:?}, {replication:?}): verified ≠ correct"
+                );
+            }
+        } else {
+            // Unverified is allowed (e.g. omission faults with optimistic
+            // replication running out of attempts) — but nothing may have
+            // been published.
+            assert!(
+                outcome.outputs().is_empty(),
+                "round {round}: unverified must publish nothing"
+            );
+        }
+    }
+    assert!(
+        verified_runs >= 15,
+        "the chaos mix should still verify most runs, got {verified_runs}/25"
+    );
+}

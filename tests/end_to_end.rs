@@ -1,0 +1,256 @@
+//! End-to-end integration tests: script → replicated execution → verified,
+//! published outputs, across the paper's replication degrees and failure
+//! modes.
+
+use std::collections::HashMap;
+
+use clusterbft_repro::core::{
+    Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, ScriptOutcome, Value, VpPolicy,
+};
+use clusterbft_repro::dataflow::interp::interpret;
+use clusterbft_repro::dataflow::Script;
+use clusterbft_repro::sim::SimDuration;
+use clusterbft_repro::workloads::{airline, twitter, weather, Workload};
+
+fn run_workload(
+    workload: &Workload,
+    config: JobConfig,
+    faults: &[(usize, Behavior)],
+    seed: u64,
+) -> (ClusterBft, ScriptOutcome) {
+    let mut builder = Cluster::builder().nodes(16).slots_per_node(4).seed(seed);
+    for &(n, b) in faults {
+        builder = builder.node_behavior(n, b);
+    }
+    let mut cbft = ClusterBft::new(builder.build(), config);
+    cbft.load_input(workload.input_name, workload.records.clone())
+        .expect("load input");
+    let outcome = cbft.submit_script(workload.script).expect("submit");
+    (cbft, outcome)
+}
+
+fn reference_outputs(workload: &Workload) -> HashMap<String, Vec<Record>> {
+    let plan = Script::parse(workload.script).unwrap().into_plan();
+    let inputs = HashMap::from([(workload.input_name.to_owned(), workload.records.clone())]);
+    interpret(&plan, &inputs).unwrap().outputs().clone()
+}
+
+fn assert_outputs_match(cbft: &ClusterBft, workload: &Workload) {
+    let reference = reference_outputs(workload);
+    for name in workload.outputs {
+        let mut ours = cbft
+            .cluster()
+            .storage()
+            .peek(name)
+            .unwrap_or_else(|| panic!("output {name} published"))
+            .to_vec();
+        let mut truth = reference[*name].clone();
+        ours.sort();
+        truth.sort();
+        assert_eq!(ours, truth, "output {name} differs from reference");
+    }
+}
+
+fn default_config(r: Replication) -> JobConfig {
+    JobConfig::builder()
+        .expected_failures(1)
+        .replication(r)
+        .vp_policy(VpPolicy::marked(2))
+        .map_split_records(500)
+        .verifier_timeout(SimDuration::from_secs(120))
+        .build()
+}
+
+#[test]
+fn healthy_cluster_verifies_every_workload() {
+    let workloads = [
+        twitter::follower_analysis(1, 2_000),
+        twitter::two_hop_analysis(1, 600),
+        airline::top_airports(1, 2_000),
+        weather::average_temperature(1, 2_000),
+    ];
+    for w in &workloads {
+        let (cbft, outcome) = run_workload(w, default_config(Replication::Full), &[], 5);
+        assert!(outcome.verified(), "{}: {outcome}", w.input_name);
+        assert_eq!(outcome.attempts(), 1, "{}", w.input_name);
+        assert_outputs_match(&cbft, w);
+    }
+}
+
+#[test]
+fn commission_fault_is_survived_at_every_replication_degree() {
+    let w = airline::top_airports(2, 3_000);
+    for (r, label) in [
+        (Replication::Optimistic, "f+1"),
+        (Replication::Quorum, "2f+1"),
+        (Replication::Full, "3f+1"),
+    ] {
+        let (cbft, outcome) = run_workload(
+            &w,
+            default_config(r),
+            &[(0, Behavior::Commission { probability: 1.0 })],
+            7,
+        );
+        assert!(outcome.verified(), "{label}: {outcome}");
+        assert_outputs_match(&cbft, &w);
+    }
+}
+
+#[test]
+fn optimistic_replication_needs_retries_under_faults() {
+    // With r = f + 1 = 2 a single commission fault forces at least one
+    // re-execution (1-vs-1 digests can never reach a quorum).
+    let w = twitter::follower_analysis(3, 2_000);
+    let (cbft, outcome) = run_workload(
+        &w,
+        default_config(Replication::Optimistic),
+        &[(0, Behavior::Commission { probability: 1.0 })],
+        11,
+    );
+    assert!(outcome.verified(), "{outcome}");
+    assert!(outcome.attempts() > 1, "retry expected: {outcome}");
+    assert_outputs_match(&cbft, &w);
+}
+
+#[test]
+fn omission_fault_times_out_and_recovers() {
+    let w = weather::average_temperature(4, 1_500);
+    let (cbft, outcome) = run_workload(
+        &w,
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Optimistic)
+            .vp_policy(VpPolicy::marked(1))
+            .map_split_records(300)
+            .verifier_timeout(SimDuration::from_secs(30))
+            .build(),
+        &[(2, Behavior::Crashed)],
+        13,
+    );
+    assert!(outcome.verified(), "{outcome}");
+    assert_outputs_match(&cbft, &w);
+}
+
+#[test]
+fn corrupting_node_is_eventually_isolated() {
+    let w = airline::top_airports(5, 2_000);
+    let mut builder = Cluster::builder().nodes(16).slots_per_node(4).seed(17);
+    builder = builder.node_behavior(3, Behavior::Commission { probability: 1.0 });
+    let mut cbft = ClusterBft::new(
+        builder.build(),
+        JobConfig::builder()
+            .expected_failures(1)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::marked(2))
+            .map_split_records(400)
+            .build(),
+    );
+    cbft.load_input(w.input_name, w.records.clone()).unwrap();
+    // Several scripts give the analyzer material to narrow on.
+    for i in 0..4 {
+        let script = w
+            .script
+            .replace("top_outbound", &format!("out{i}"))
+            .replace("top_inbound", &format!("in{i}"))
+            .replace("top_overall", &format!("all{i}"));
+        let outcome = cbft.submit_script(&script).expect("submit");
+        assert!(outcome.verified(), "round {i}: {outcome}");
+    }
+    let analyzer = cbft.fault_analyzer().expect("f >= 1");
+    assert!(
+        analyzer.suspected_nodes().contains(&clusterbft_repro::core::NodeId(3)),
+        "the corrupting node must be suspected: {:?}",
+        analyzer.suspects()
+    );
+}
+
+#[test]
+fn verified_output_matches_reference_even_with_two_weak_faults() {
+    // Two intermittently faulty nodes with f = 2 and 3f + 1 = 7 replicas.
+    let w = twitter::follower_analysis(6, 2_500);
+    let (cbft, outcome) = run_workload(
+        &w,
+        JobConfig::builder()
+            .expected_failures(2)
+            .replication(Replication::Full)
+            .vp_policy(VpPolicy::marked(2))
+            .map_split_records(500)
+            .build(),
+        &[
+            (1, Behavior::Commission { probability: 0.7 }),
+            (9, Behavior::Commission { probability: 0.7 }),
+        ],
+        23,
+    );
+    assert!(outcome.verified(), "{outcome}");
+    assert_outputs_match(&cbft, &w);
+}
+
+#[test]
+fn unverified_baseline_publishes_without_verification() {
+    let w = weather::average_temperature(7, 1_000);
+    let (cbft, outcome) = run_workload(
+        &w,
+        JobConfig::builder()
+            .expected_failures(0)
+            .replication(Replication::Exact(1))
+            .vp_policy(VpPolicy::None)
+            .map_split_records(300)
+            .build(),
+        &[],
+        29,
+    );
+    assert!(!outcome.verified(), "baseline never claims verification");
+    assert_eq!(outcome.outputs().len(), 1);
+    assert_outputs_match(&cbft, &w);
+}
+
+#[test]
+fn sequential_scripts_share_one_deployment() {
+    let cluster = Cluster::builder().nodes(12).slots_per_node(3).seed(31).build();
+    let mut cbft = ClusterBft::new(cluster, default_config(Replication::Full));
+    let edges: Vec<Record> = (0..600)
+        .map(|i| Record::new(vec![Value::Int(i % 9), Value::Int(i)]))
+        .collect();
+    cbft.load_input("edges", edges).unwrap();
+    for i in 0..3 {
+        let outcome = cbft
+            .submit_script(&format!(
+                "raw = LOAD 'edges' AS (user, follower);
+                 grp = GROUP raw BY user;
+                 cnt = FOREACH grp GENERATE group, COUNT(raw) AS n;
+                 STORE cnt INTO 'counts{i}';"
+            ))
+            .expect("submit");
+        assert!(outcome.verified(), "round {i}");
+    }
+    // All three outputs identical (same input, deterministic pipeline).
+    let a = cbft.cluster().storage().peek("counts0").unwrap().to_vec();
+    let b = cbft.cluster().storage().peek("counts1").unwrap().to_vec();
+    let c = cbft.cluster().storage().peek("counts2").unwrap().to_vec();
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn safety_verified_output_is_never_wrong() {
+    // The core safety claim: whenever ClusterBFT reports `verified`, the
+    // published outputs equal the reference — across seeds and fault
+    // placements, with at most f = 1 faulty node.
+    for seed in 0..6u64 {
+        let w = weather::average_temperature(seed, 1_200);
+        let faulty_node = (seed as usize * 3) % 16;
+        let (cbft, outcome) = run_workload(
+            &w,
+            default_config(Replication::Full),
+            &[(faulty_node, Behavior::Commission { probability: 0.9 })],
+            seed * 41 + 1,
+        );
+        if outcome.verified() {
+            assert_outputs_match(&cbft, &w);
+        }
+        // With 3f+1 replicas and one faulty node, verification must in
+        // fact always succeed.
+        assert!(outcome.verified(), "seed {seed}: {outcome}");
+    }
+}

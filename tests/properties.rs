@@ -1,0 +1,407 @@
+//! Property-based tests on the core data structures and invariants.
+
+use std::collections::{BTreeSet, HashMap};
+
+use clusterbft_repro::core::{FaultAnalyzer, NodeId, Record, SuspicionTable, Value};
+use clusterbft_repro::dataflow::analyze::{analyze_plan, mark, Adversary, eligible_under};
+use clusterbft_repro::dataflow::interp::{group_records, join_records, order_records};
+use clusterbft_repro::dataflow::{Expr, PlanBuilder, Script};
+use clusterbft_repro::digest::{quorum_digest, ChunkedDigest, Digest};
+use proptest::prelude::*;
+
+// --- digest invariants -----------------------------------------------------
+
+fn record_strategy() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..64)
+}
+
+proptest! {
+    /// Identical record streams produce identical chunked summaries at any
+    /// granularity; corrupting any single record changes the summary.
+    #[test]
+    fn chunked_digest_detects_any_single_record_change(
+        records in proptest::collection::vec(record_strategy(), 1..60),
+        granularity in 1usize..20,
+        victim in any::<proptest::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let summarize = |recs: &[Vec<u8>]| {
+            let mut cd = ChunkedDigest::new(granularity);
+            for r in recs {
+                cd.append(r);
+            }
+            cd.finish()
+        };
+        let a = summarize(&records);
+        let b = summarize(&records);
+        prop_assert!(a.compare(&b).is_match());
+        prop_assert_eq!(a.combined(), b.combined());
+
+        let mut corrupted = records.clone();
+        let i = victim.index(corrupted.len());
+        if corrupted[i].is_empty() {
+            corrupted[i].push(1);
+        } else {
+            let j = corrupted[i].len() - 1;
+            corrupted[i][j] ^= 1 << flip_bit;
+        }
+        let c = summarize(&corrupted);
+        prop_assert!(!a.compare(&c).is_match(), "corruption must be visible");
+        prop_assert_ne!(a.combined(), c.combined());
+    }
+
+    /// SHA-256 incremental updates match one-shot hashing at arbitrary
+    /// split points.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let whole = Digest::of(&data);
+        let s = split.index(data.len() + 1);
+        let mut h = clusterbft_repro::digest::Sha256::new();
+        h.update(&data[..s]);
+        h.update(&data[s..]);
+        prop_assert_eq!(whole, h.finish());
+    }
+
+    /// `quorum_digest` returns a digest only when at least f+1 replicas
+    /// agree, and the result is one of the inputs.
+    #[test]
+    fn quorum_digest_respects_threshold(
+        payloads in proptest::collection::vec(0u8..4, 1..12),
+        f in 0usize..4,
+    ) {
+        let digests: Vec<Digest> =
+            payloads.iter().map(|p| Digest::of(&[*p])).collect();
+        let result = quorum_digest(&digests, f);
+        let mut counts: HashMap<Digest, usize> = HashMap::new();
+        for d in &digests {
+            *counts.entry(*d).or_default() += 1;
+        }
+        match result {
+            Some(d) => prop_assert!(counts[&d] >= f + 1),
+            None => prop_assert!(counts.values().all(|&c| c < f + 1)),
+        }
+    }
+}
+
+// --- value / record invariants ----------------------------------------------
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,8}".prop_map(Value::str),
+    ]
+}
+
+fn flat_record_strategy() -> impl Strategy<Value = Record> {
+    proptest::collection::vec(value_strategy(), 0..5).prop_map(Record::new)
+}
+
+proptest! {
+    /// Canonical encoding is injective: distinct records encode
+    /// differently, equal records identically.
+    #[test]
+    fn canonical_encoding_is_injective(
+        a in flat_record_strategy(),
+        b in flat_record_strategy(),
+    ) {
+        let ea = a.to_canonical_bytes();
+        let eb = b.to_canonical_bytes();
+        prop_assert_eq!(a == b, ea == eb);
+    }
+
+    /// Value ordering is a total order (antisymmetric + transitive on
+    /// samples).
+    #[test]
+    fn value_order_is_consistent(
+        a in value_strategy(),
+        b in value_strategy(),
+        c in value_strategy(),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Grouping preserves every record and orders keys canonically.
+    #[test]
+    fn group_records_is_a_partition(
+        rows in proptest::collection::vec(
+            (0i64..6, any::<i64>()), 0..40
+        ),
+    ) {
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(k, v)| Record::new(vec![Value::Int(*k), Value::Int(*v)]))
+            .collect();
+        let grouped = group_records(&records, 0);
+        let total: usize = grouped
+            .iter()
+            .map(|g| g.get(1).unwrap().as_bag().unwrap().len())
+            .sum();
+        prop_assert_eq!(total, records.len());
+        let keys: Vec<&Value> = grouped.iter().map(|g| g.get(0).unwrap()).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys strictly ordered");
+    }
+
+    /// Join output size equals the sum over keys of |left| x |right|,
+    /// nulls excluded.
+    #[test]
+    fn join_size_is_product_of_matches(
+        left in proptest::collection::vec(0i64..5, 0..20),
+        right in proptest::collection::vec(0i64..5, 0..20),
+    ) {
+        let lrec: Vec<Record> =
+            left.iter().map(|k| Record::new(vec![Value::Int(*k)])).collect();
+        let rrec: Vec<Record> =
+            right.iter().map(|k| Record::new(vec![Value::Int(*k)])).collect();
+        let out = join_records(&lrec, 0, &rrec, 0);
+        let expected: usize = (0..5)
+            .map(|k| {
+                left.iter().filter(|&&x| x == k).count()
+                    * right.iter().filter(|&&x| x == k).count()
+            })
+            .sum();
+        prop_assert_eq!(out.len(), expected);
+    }
+
+    /// Sorting is a permutation and respects the key order.
+    #[test]
+    fn order_records_sorts_and_preserves(
+        rows in proptest::collection::vec(any::<i64>(), 0..40),
+    ) {
+        let records: Vec<Record> =
+            rows.iter().map(|v| Record::new(vec![Value::Int(*v)])).collect();
+        let sorted = order_records(
+            &records,
+            0,
+            clusterbft_repro::dataflow::SortOrder::Asc,
+        );
+        prop_assert_eq!(sorted.len(), records.len());
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = records;
+        let mut b = sorted;
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// --- fault analyzer soundness ------------------------------------------------
+
+proptest! {
+    /// Whatever clusters the analyzer observes, as long as each observed
+    /// cluster contains the true faulty node, the faulty node is never
+    /// pruned out of the suspect sets, and D stays pairwise disjoint with
+    /// |D| <= f.
+    #[test]
+    fn analyzer_never_loses_the_faulty_node(
+        clusters in proptest::collection::vec(
+            proptest::collection::btree_set(1usize..30, 1..8),
+            1..20
+        ),
+        faulty in 100usize..103,
+    ) {
+        let mut fa = FaultAnalyzer::new(1);
+        for c in &clusters {
+            let mut cluster: BTreeSet<NodeId> =
+                c.iter().map(|&n| NodeId(n)).collect();
+            cluster.insert(NodeId(faulty)); // every faulty cluster contains it
+            fa.observe_faulty_cluster(cluster);
+            prop_assert!(fa.suspected_nodes().contains(&NodeId(faulty)));
+            let d = fa.suspects();
+            prop_assert!(d.len() <= 1);
+            for i in 0..d.len() {
+                for j in (i + 1)..d.len() {
+                    prop_assert!(d[i].is_disjoint(&d[j]));
+                }
+            }
+        }
+    }
+
+    /// With two faulty nodes (f = 2), both survive in the union of D ∪ O
+    /// whenever every observed cluster contains at least one of them.
+    #[test]
+    fn analyzer_f2_suspects_cover_observed_faults(
+        picks in proptest::collection::vec((any::<bool>(), proptest::collection::btree_set(1usize..40, 1..10)), 1..25),
+    ) {
+        let fa_nodes = [NodeId(100), NodeId(101)];
+        let mut fa = FaultAnalyzer::new(2);
+        for (which, extra) in &picks {
+            let mut cluster: BTreeSet<NodeId> =
+                extra.iter().map(|&n| NodeId(n)).collect();
+            cluster.insert(fa_nodes[*which as usize]);
+            fa.observe_faulty_cluster(cluster);
+            prop_assert!(fa.suspects().len() <= 2, "|D| capped at f");
+        }
+        // Convergence is not guaranteed, but whenever |D| = 2, each set
+        // holds exactly one of the true faults.
+        if fa.converged() {
+            let suspects = fa.suspected_nodes();
+            let seen: Vec<bool> = picks.iter().map(|(w, _)| *w).collect();
+            if seen.iter().any(|w| !*w) {
+                prop_assert!(suspects.contains(&fa_nodes[0]) || !fa.converged());
+            }
+            if seen.iter().any(|w| *w) {
+                prop_assert!(suspects.contains(&fa_nodes[1]) || !fa.converged());
+            }
+        }
+    }
+}
+
+// --- suspicion table ----------------------------------------------------------
+
+proptest! {
+    /// Suspicion levels always stay in [0, 1] regardless of the
+    /// record_jobs / record_faults interleaving.
+    #[test]
+    fn suspicion_levels_bounded(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..6), 0..60),
+    ) {
+        let mut t = SuspicionTable::new();
+        for (is_fault, node) in ops {
+            if is_fault {
+                t.record_faults([NodeId(node)]);
+            } else {
+                t.record_jobs([NodeId(node)]);
+            }
+        }
+        for n in 0..6 {
+            let s = t.level(NodeId(n));
+            prop_assert!((0.0..=1.0).contains(&s), "s = {s}");
+        }
+    }
+}
+
+// --- marker function ------------------------------------------------------------
+
+proptest! {
+    /// The marker returns distinct, eligible vertices, never more than
+    /// requested, on randomly shaped linear plans.
+    #[test]
+    fn marker_output_is_bounded_and_distinct(
+        stages in 1usize..6,
+        n in 0usize..8,
+        input_size in 1u64..1_000_000,
+    ) {
+        let mut b = PlanBuilder::new();
+        let mut tip = b.add_load("in", &["k", "v"]).unwrap();
+        for s in 0..stages {
+            tip = if s % 2 == 0 {
+                b.add_group(tip, 0).unwrap()
+            } else {
+                b.add_project(tip, vec![(Expr::Col(0), format!("c{s}"))]).unwrap()
+            };
+        }
+        b.add_store(tip, "out").unwrap();
+        let plan = b.build().unwrap();
+        let sizes = HashMap::from([("in".to_owned(), input_size)]);
+        let analysis = analyze_plan(&plan, &sizes);
+        for adversary in [Adversary::Weak, Adversary::Strong] {
+            let marked = mark(&plan, &analysis, n, eligible_under(adversary));
+            prop_assert!(marked.len() <= n);
+            let set: BTreeSet<_> = marked.iter().collect();
+            prop_assert_eq!(set.len(), marked.len(), "no duplicates");
+        }
+    }
+
+    /// Levels increase strictly along every edge, and input ratios are
+    /// non-negative.
+    #[test]
+    fn levels_monotone_along_edges(seed_cols in 1usize..4, stages in 1usize..5) {
+        let mut b = PlanBuilder::new();
+        let cols: Vec<String> = (0..seed_cols).map(|i| format!("c{i}")).collect();
+        let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        let mut tip = b.add_load("in", &refs).unwrap();
+        for _ in 0..stages {
+            tip = b.add_filter(tip, Expr::IntLit(1)).unwrap();
+        }
+        b.add_store(tip, "out").unwrap();
+        let plan = b.build().unwrap();
+        let analysis = analyze_plan(&plan, &HashMap::new());
+        for v in plan.vertices() {
+            prop_assert!(analysis.input_ratio(v.id()) >= 0.0);
+            for &p in v.parents() {
+                prop_assert!(analysis.level(v.id()) > analysis.level(p));
+            }
+        }
+    }
+}
+
+// --- parser round-trip --------------------------------------------------------
+
+proptest! {
+    /// Any combination of generated filters parses and interprets without
+    /// panicking (totality of expression evaluation).
+    #[test]
+    fn generated_filters_never_panic(
+        threshold in any::<i32>(),
+        use_and in any::<bool>(),
+        rows in proptest::collection::vec((any::<i32>(), any::<i32>()), 0..30),
+    ) {
+        let op = if use_and { "AND" } else { "OR" };
+        let negative = -(threshold as i64);
+        let script = format!(
+            "a = LOAD 'in' AS (x, y);
+             b = FILTER a BY x > {threshold} {op} y < {negative} AND x IS NOT NULL;
+             STORE b INTO 'out';"
+        );
+        let plan = Script::parse(&script).unwrap().into_plan();
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(x, y)| Record::new(vec![Value::Int(*x as i64), Value::Int(*y as i64)]))
+            .collect();
+        let inputs = HashMap::from([("in".to_owned(), records)]);
+        let result = clusterbft_repro::dataflow::interp::interpret(&plan, &inputs);
+        prop_assert!(result.is_ok());
+    }
+}
+
+// --- plan optimizer equivalence -----------------------------------------------
+
+proptest! {
+    /// Randomized filter/project chains: the optimizer never changes the
+    /// interpreted result.
+    #[test]
+    fn optimizer_preserves_semantics(
+        thresholds in proptest::collection::vec(-20i64..20, 1..5),
+        tautology_mask in proptest::collection::vec(any::<bool>(), 1..5),
+        rows in proptest::collection::vec((-30i64..30, -30i64..30), 0..40),
+    ) {
+        use clusterbft_repro::dataflow::optimize::optimize;
+
+        let mut script = String::from("a0 = LOAD 'in' AS (x, y);\n");
+        let mut prev = "a0".to_owned();
+        for (i, t) in thresholds.iter().enumerate() {
+            let alias = format!("a{}", i + 1);
+            let tautology = *tautology_mask.get(i).copied().get_or_insert(false);
+            if tautology {
+                script.push_str(&format!("{alias} = FILTER {prev} BY 1 == 1 AND x > {t};\n"));
+            } else {
+                script.push_str(&format!("{alias} = FILTER {prev} BY x > {t};\n"));
+            }
+            prev = alias;
+        }
+        script.push_str(&format!(
+            "g = GROUP {prev} BY x;\nc = FOREACH g GENERATE group, COUNT({prev}) AS n;\nSTORE c INTO 'out';"
+        ));
+
+        let plan = Script::parse(&script).unwrap().into_plan();
+        let optimized = optimize(&plan);
+        prop_assert!(optimized.len() <= plan.len());
+
+        let records: Vec<Record> = rows
+            .iter()
+            .map(|(x, y)| Record::new(vec![Value::Int(*x), Value::Int(*y)]))
+            .collect();
+        let inputs = HashMap::from([("in".to_owned(), records)]);
+        let a = clusterbft_repro::dataflow::interp::interpret(&plan, &inputs).unwrap();
+        let b = clusterbft_repro::dataflow::interp::interpret(&optimized, &inputs).unwrap();
+        prop_assert_eq!(a.output("out"), b.output("out"));
+    }
+}

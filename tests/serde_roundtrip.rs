@@ -1,0 +1,86 @@
+//! Serde round-trips for the data-structure types (C-SERDE): anything a
+//! harness persists (bench records, configs, plans, digests) must survive
+//! JSON serialization unchanged.
+
+use clusterbft_repro::core::{JobConfig, Record, Replication, Value, VpPolicy};
+use clusterbft_repro::dataflow::{LogicalPlan, Script};
+use clusterbft_repro::digest::{ChunkedDigest, ChunkedSummary, Digest};
+use clusterbft_repro::mapreduce::JobMetrics;
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serialize");
+    serde_json::from_str(&json).expect("deserialize")
+}
+
+#[test]
+fn digests_round_trip() {
+    let d = Digest::of(b"payload");
+    assert_eq!(round_trip(&d), d);
+
+    let mut cd = ChunkedDigest::new(2);
+    for r in [b"a".as_slice(), b"bb", b"ccc"] {
+        cd.append(r);
+    }
+    let summary: ChunkedSummary = cd.finish();
+    assert_eq!(round_trip(&summary), summary);
+}
+
+#[test]
+fn records_round_trip_including_bags() {
+    let r = Record::new(vec![
+        Value::Null,
+        Value::Int(-42),
+        Value::str("text"),
+        Value::Bag(vec![Record::new(vec![Value::Int(1)])]),
+    ]);
+    assert_eq!(round_trip(&r), r);
+}
+
+#[test]
+fn logical_plans_round_trip() {
+    let plan = Script::parse(
+        "a = LOAD 'e' AS (user, follower);
+         b = LOAD 'e' AS (user, follower);
+         j = JOIN a BY follower, b BY user;
+         p = FOREACH j GENERATE a::user, b::follower;
+         g = GROUP p BY user;
+         c = FOREACH g GENERATE group, COUNT(p) AS n;
+         o = ORDER c BY n DESC;
+         t = LIMIT o 3;
+         STORE t INTO 'out';",
+    )
+    .unwrap()
+    .into_plan();
+    let back: LogicalPlan = round_trip(&plan);
+    assert_eq!(back.len(), plan.len());
+    assert_eq!(back.render(), plan.render());
+    // The restored plan still compiles identically.
+    let a = clusterbft_repro::dataflow::compile::compile_plan(&plan);
+    let b = clusterbft_repro::dataflow::compile::compile_plan(&back);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn configs_and_metrics_round_trip() {
+    let config = JobConfig::builder()
+        .expected_failures(2)
+        .replication(Replication::Exact(5))
+        .vp_policy(VpPolicy::Individual)
+        .digest_granularity(1_000)
+        .combiners(true)
+        .reuse_digests(true)
+        .build();
+    assert_eq!(round_trip(&config), config);
+
+    let metrics = JobMetrics {
+        local_read_bytes: 1,
+        hdfs_write_bytes: 2,
+        map_tasks: 3,
+        data_local_tasks: 2,
+        ..JobMetrics::default()
+    };
+    assert_eq!(round_trip(&metrics), metrics);
+}
