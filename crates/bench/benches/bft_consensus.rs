@@ -35,15 +35,19 @@ fn view_change_recovery(c: &mut Criterion) {
     c.bench_function("pbft_f1_crashed_primary_recovery", |b| {
         b.iter(|| {
             let mut cluster = BftCluster::new(1, KvStore::default(), 3);
-            cluster.set_behavior(
-                cbft_bft::ReplicaId(0),
-                cbft_bft::BftBehavior::Crashed,
-            );
+            cluster.set_behavior(cbft_bft::ReplicaId(0), cbft_bft::BftBehavior::Crashed);
             let req = cluster.submit(b"put a 1".to_vec());
-            cluster.run_until_reply(req).expect("commits after view change")
+            cluster
+                .run_until_reply(req)
+                .expect("commits after view change")
         });
     });
 }
 
-criterion_group!(benches, consensus_commit, consensus_pipeline, view_change_recovery);
+criterion_group!(
+    benches,
+    consensus_commit,
+    consensus_pipeline,
+    view_change_recovery
+);
 criterion_main!(benches);

@@ -12,8 +12,9 @@ fn analyzer_throughput(c: &mut Criterion) {
     // containing the faulty node 7.
     let clusters: Vec<BTreeSet<NodeId>> = (0..200)
         .map(|i| {
-            let mut s: BTreeSet<NodeId> =
-                (0..19).map(|j| NodeId((i * 13 + j * 7) % 250 + 10)).collect();
+            let mut s: BTreeSet<NodeId> = (0..19)
+                .map(|j| NodeId((i * 13 + j * 7) % 250 + 10))
+                .collect();
             s.insert(NodeId(7));
             s
         })

@@ -22,10 +22,19 @@ fn verification_overhead(c: &mut Criterion) {
     group.sample_size(10);
     let cases = [
         ("pure_pig", config(Replication::Exact(1), VpPolicy::None, 0)),
-        ("single_2vp", config(Replication::Exact(1), VpPolicy::Marked(2), 0)),
-        ("bft_r2", config(Replication::Optimistic, VpPolicy::Marked(2), 1)),
+        (
+            "single_2vp",
+            config(Replication::Exact(1), VpPolicy::Marked(2), 0),
+        ),
+        (
+            "bft_r2",
+            config(Replication::Optimistic, VpPolicy::Marked(2), 1),
+        ),
         ("bft_r4", config(Replication::Full, VpPolicy::Marked(2), 1)),
-        ("bft_r4_individual", config(Replication::Full, VpPolicy::Individual, 1)),
+        (
+            "bft_r4_individual",
+            config(Replication::Full, VpPolicy::Individual, 1),
+        ),
     ];
     for (label, cfg) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(label), &cfg, |b, cfg| {

@@ -40,7 +40,12 @@ fn main() {
         "Map-side combiners: shuffle volume and latency, r=4 follower analysis",
         &format!("{EDGES} synthetic edges, 32 nodes, f=1, 1 marked point + output digests"),
     );
-    record.push("latency without", "s", None, without.latency().as_secs_f64());
+    record.push(
+        "latency without",
+        "s",
+        None,
+        without.latency().as_secs_f64(),
+    );
     record.push("latency with", "s", None, with.latency().as_secs_f64());
     record.push(
         "shuffle bytes without",
@@ -48,7 +53,12 @@ fn main() {
         None,
         without.metrics().local_write_bytes as f64,
     );
-    record.push("shuffle bytes with", "B", None, with.metrics().local_write_bytes as f64);
+    record.push(
+        "shuffle bytes with",
+        "B",
+        None,
+        with.metrics().local_write_bytes as f64,
+    );
     record.push(
         "shuffle reduction",
         "x",
@@ -61,6 +71,11 @@ fn main() {
         None,
         without.metrics().network_bytes as f64,
     );
-    record.push("network bytes with", "B", None, with.metrics().network_bytes as f64);
+    record.push(
+        "network bytes with",
+        "B",
+        None,
+        with.metrics().network_bytes as f64,
+    );
     record.finish();
 }

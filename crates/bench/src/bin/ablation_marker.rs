@@ -65,11 +65,14 @@ fn run_avg(make_vp: impl Fn() -> VpPolicy) -> (f64, f64, f64) {
         .execute()
         .expect("baseline");
         let timeout = SimDuration::from_secs_f64(base.latency().as_secs_f64() * 1.5);
-        let out = RunSpec::vicci(airline::top_airports(seed, FLIGHTS), config(make_vp(), timeout))
-            .with_seed(seed)
-            .with_fault(0, Behavior::Commission { probability: 0.3 })
-            .execute()
-            .expect("ablation run");
+        let out = RunSpec::vicci(
+            airline::top_airports(seed, FLIGHTS),
+            config(make_vp(), timeout),
+        )
+        .with_seed(seed)
+        .with_fault(0, Behavior::Commission { probability: 0.3 })
+        .execute()
+        .expect("ablation run");
         cpu += out.metrics().cpu_multiplier(base.metrics());
         file += out.metrics().file_read_multiplier(base.metrics());
         attempts += out.attempts() as f64;
@@ -90,14 +93,15 @@ fn main() {
     );
 
     let marker = run_avg(|| VpPolicy::Marked(2));
-    let earliest = run_avg(|| {
-        VpPolicy::Explicit(earliest_vertices(airline::TOP_AIRPORTS_SCRIPT, 2))
-    });
+    let earliest =
+        run_avg(|| VpPolicy::Explicit(earliest_vertices(airline::TOP_AIRPORTS_SCRIPT, 2)));
     let final_only = run_avg(|| VpPolicy::FinalOnly);
 
-    for (label, (cpu, file, attempts)) in
-        [("marker", marker), ("earliest", earliest), ("final-only", final_only)]
-    {
+    for (label, (cpu, file, attempts)) in [
+        ("marker", marker),
+        ("earliest", earliest),
+        ("final-only", final_only),
+    ] {
         record.push(format!("{label} cpu"), "x", None, cpu);
         record.push(format!("{label} file read"), "x", None, file);
         record.push(format!("{label} attempts"), "count", None, attempts);

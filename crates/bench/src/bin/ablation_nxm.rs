@@ -52,9 +52,8 @@ fn main() {
     let outcome = run_chain(VpPolicy::Marked(2));
     assert!(outcome.verified());
     let jobs = 2f64; // the weather chain compiles to two MapReduce jobs
-    let tasks = (outcome.metrics().map_tasks + outcome.metrics().reduce_tasks) as f64
-        / R as f64
-        / jobs; // tasks per job per replica
+    let tasks =
+        (outcome.metrics().map_tasks + outcome.metrics().reduce_tasks) as f64 / R as f64 / jobs; // tasks per job per replica
 
     // Naive per-job BFT: consensus after every job + n×m mesh.
     let naive_consensus_instances = jobs;
@@ -74,13 +73,23 @@ fn main() {
              per boundary; no paper values — this reproduces the argument of Fig. 1/§3.2"
         ),
     );
-    record.push("naive consensus instances", "count", None, naive_consensus_instances);
+    record.push(
+        "naive consensus instances",
+        "count",
+        None,
+        naive_consensus_instances,
+    );
     record.push("clusterbft consensus instances", "count", None, 0.0);
     record.push("naive sync messages", "msgs", None, naive_messages);
     record.push("clusterbft digest messages", "msgs", None, cbft_messages);
     record.push("naive latency", "s", None, naive_latency);
     record.push("clusterbft latency", "s", None, cbft_latency);
-    record.push("message ratio naive/cbft", "x", None, naive_messages / cbft_messages.max(1.0));
+    record.push(
+        "message ratio naive/cbft",
+        "x",
+        None,
+        naive_messages / cbft_messages.max(1.0),
+    );
 
     record.finish();
 }

@@ -63,7 +63,10 @@ fn observe(overlap: bool, seed: u64) -> Observation {
             break;
         }
     }
-    Observation { suspects_after_first, scripts_to_isolate }
+    Observation {
+        suspects_after_first,
+        scripts_to_isolate,
+    }
 }
 
 fn main() {

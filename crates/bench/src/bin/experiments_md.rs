@@ -16,68 +16,90 @@ use cbft_bench::{results_dir, ExperimentRecord};
 /// document can always be regenerated.
 fn commentary(id: &str) -> &'static str {
     match id {
-        "fig9" => "Shape check: digest computation costs single-digit percents per \
+        "fig9" => {
+            "Shape check: digest computation costs single-digit percents per \
                    verification point and grows with the point count; replicated (BFT) \
                    execution tracks single execution plus a small constant. Our worst-case \
                    overheads land within a few points of the paper's 9/14/19% for 1/2/3 \
                    points. The 8% 'minimal overhead' corresponds to our single-execution \
-                   range.",
-        "fig10" => "Shape check: the paper reports only bars, so the comparison is \
+                   range."
+        }
+        "fig10" => {
+            "Shape check: the paper reports only bars, so the comparison is \
                     qualitative — digesting bigger streams (Join/Project outputs) costs \
                     more than small ones (Filter), combinations stack roughly additively, \
                     and replicated execution stays within tens of percent of single \
-                    execution rather than multiples. All hold.",
-        "table3" => "Shape check (the paper's core claim): C (ClusterBFT, intermediate \
+                    execution rather than multiples. All hold."
+        }
+        "table3" => {
+            "Shape check (the paper's core claim): C (ClusterBFT, intermediate \
                      verification points, early cancel, suspect-exclusion retry) beats or \
                      matches P (final-output-only) on every resource at every replication \
                      degree, with the gap largest at r=2 and r=3-case-2 — exactly the \
                      paper's pattern (C 3.5x vs P 4.1x cpu at r=2; C 4.5x vs P 6.2x at \
                      r=3 case 2). Absolute multipliers differ by tens of percent because \
-                     our always-faulty node poisons a placement-dependent subset of jobs.",
-        "fig11" => "Shape check: jobs-to-isolation falls monotonically with commission \
+                     our always-faulty node poisons a placement-dependent subset of jobs."
+        }
+        "fig11" => {
+            "Shape check: jobs-to-isolation falls monotonically with commission \
                     probability; f=2 needs several times more jobs than f=1; both paper \
                     calibration points hold for f=1 (< 20 jobs at p ≥ 0.6, ~10 at high p). \
                     One f=2/p=1.0 seed exhibits the algorithm's pathological corner: when \
                     both faulty nodes keep landing in overlapping clusters, no second \
                     disjoint set forms for a long time — an effect the paper's averages \
-                    hide.",
-        "fig12" => "Shape check: nothing is suspected until the first commission fault \
+                    hide."
+        }
+        "fig12" => {
+            "Shape check: nothing is suspected until the first commission fault \
                     surfaces; the suspected population stops growing once |D| = f; the \
                     planted faulty node is the only resident of the High band shortly \
-                    after (paper: by t=50, ours by t≈25).",
-        "fig13" => "Shape check: before |D| = f, two large faulty clusters mass-suspect \
+                    after (paper: by t=50, ours by t≈25)."
+        }
+        "fig13" => {
+            "Shape check: before |D| = f, two large faulty clusters mass-suspect \
                     tens of nodes; within a few more completed jobs the analyzer prunes \
                     the list back to the true faults. Our peak is ~30-40 suspects versus \
                     the paper's ~80 (their allocator spread large jobs across more \
-                    nodes), but the spike-then-prune dynamic is identical.",
-        "fig14" => "Shape check: ClusterBFT's latency stays within ~16-33% of \
+                    nodes), but the spike-then-prune dynamic is identical."
+        }
+        "fig14" => {
+            "Shape check: ClusterBFT's latency stays within ~16-33% of \
                     full replication as digest granularity d tightens from 10k to 100 \
                     records (paper: 10-18%), and Individual digesting costs more than \
                     ClusterBFT at every (f, d). The control-tier consensus round is \
-                    measured from the real cbft-bft group.",
-        "ablation_nxm" => "Reproduces the §3.2/Fig. 1 argument quantitatively: clustered \
+                    measured from the real cbft-bft group."
+        }
+        "ablation_nxm" => {
+            "Reproduces the §3.2/Fig. 1 argument quantitatively: clustered \
                            replication eliminates all data-path consensus instances and \
                            cuts synchronization messages by an order of magnitude for \
-                           even a two-job chain.",
-        "ablation_marker" => "Design-choice check for the Fig. 3 marker: with the same \
+                           even a two-job chain."
+        }
+        "ablation_marker" => {
+            "Design-choice check for the Fig. 3 marker: with the same \
                               verification-point budget, marker placement trusts more of \
                               the verified frontier and re-executes ~6% less work than \
                               final-output-only, while naive near-source placement pays \
                               the digest cost without any trust payoff (worse than \
                               final-only). The gap is bounded by how many jobs the \
-                              always-present faulty node manages to poison.",
-        "ablation_combiner" => "Substrate optimization check: map-side combining of \
+                              always-present faulty node manages to poison."
+        }
+        "ablation_combiner" => {
+            "Substrate optimization check: map-side combining of \
                                 algebraic aggregates cuts shuffle and network volume \
                                 ~3x on the replicated follower analysis while the \
                                 verified outputs and the digests at the fused \
                                 projection stay bit-identical (see \
-                                cbft_dataflow::combiner).",
-        "ablation_overlap" => "Design-choice check for the §4.2 scheduler: the \
+                                cbft_dataflow::combiner)."
+        }
+        "ablation_overlap" => {
+            "Design-choice check for the §4.2 scheduler: the \
                                intersection-maximising placement isolates the faulty \
                                node in ~5.3 scripts versus ~7.7 under FIFO — overlapping \
                                job clusters give the Fig. 7 analyzer more informative \
                                intersections per unit of work, exactly the paper's \
-                               argument for the strategy.",
+                               argument for the strategy."
+        }
         _ => "",
     }
 }
@@ -85,8 +107,17 @@ fn commentary(id: &str) -> &'static str {
 fn main() {
     let dir = results_dir();
     let order = [
-        "fig9", "fig10", "table3", "fig11", "fig12", "fig13", "fig14", "ablation_nxm",
-        "ablation_marker", "ablation_overlap", "ablation_combiner",
+        "fig9",
+        "fig10",
+        "table3",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "ablation_nxm",
+        "ablation_marker",
+        "ablation_overlap",
+        "ablation_combiner",
     ];
     let mut out = String::new();
     let _ = writeln!(
@@ -141,7 +172,10 @@ fn main() {
     }
 
     // EXPERIMENTS.md lives at the workspace root, next to bench_results/.
-    let target = dir.parent().expect("results dir has a parent").join("EXPERIMENTS.md");
+    let target = dir
+        .parent()
+        .expect("results dir has a parent")
+        .join("EXPERIMENTS.md");
     std::fs::write(&target, out).expect("write EXPERIMENTS.md");
     println!("wrote {}", target.display());
 }

@@ -45,7 +45,12 @@ fn main() {
     let project = vertices_by_op(script, &["Project"]);
     let filter = vertices_by_op(script, &["Filter"]);
     let jf: Vec<VertexId> = join.iter().chain(&filter).copied().collect();
-    let jpf: Vec<VertexId> = join.iter().chain(&project).chain(&filter).copied().collect();
+    let jpf: Vec<VertexId> = join
+        .iter()
+        .chain(&project)
+        .chain(&filter)
+        .copied()
+        .collect();
 
     let configs: Vec<(&str, Vec<VertexId>)> = vec![
         ("Join", join),
@@ -72,14 +77,24 @@ fn main() {
         let single = run(vps.clone(), false);
         let bft = run(vps, true);
         assert!(bft.verified());
-        record.push(format!("single {label}"), "s", None, single.latency().as_secs_f64());
+        record.push(
+            format!("single {label}"),
+            "s",
+            None,
+            single.latency().as_secs_f64(),
+        );
         record.push(
             format!("single {label} overhead"),
             "%",
             None,
             (single.latency().as_secs_f64() / base_s - 1.0) * 100.0,
         );
-        record.push(format!("bft {label}"), "s", None, bft.latency().as_secs_f64());
+        record.push(
+            format!("bft {label}"),
+            "s",
+            None,
+            bft.latency().as_secs_f64(),
+        );
         record.push(
             format!("bft {label} overhead"),
             "%",

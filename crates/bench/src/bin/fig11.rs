@@ -8,8 +8,8 @@
 //! points: with p ≥ 0.6 fewer than 20 jobs suffice; with very high p the
 //! fault isolates within about 10 jobs.
 
-use cbft_faultsim::{FaultSim, FaultSimConfig, JobMix};
 use cbft_bench::ExperimentRecord;
+use cbft_faultsim::{FaultSim, FaultSimConfig, JobMix};
 
 const SEEDS: u64 = 10;
 const MAX_STEPS: u64 = 40_000;
@@ -25,7 +25,9 @@ fn avg_jobs(mix: JobMix, f: usize, replicas: usize, p: f64) -> f64 {
             seed: 1000 * seed + 7,
             ..FaultSimConfig::default()
         });
-        total += sim.run_until_converged(MAX_STEPS).unwrap_or(u64::MAX.min(100_000)) as f64;
+        total += sim
+            .run_until_converged(MAX_STEPS)
+            .unwrap_or(u64::MAX.min(100_000)) as f64;
     }
     total / SEEDS as f64
 }

@@ -29,9 +29,24 @@ fn main() {
     );
 
     for snap in sim.history().iter().filter(|s| s.time % 15 == 0) {
-        record.push(format!("t={:<3} low", snap.time), "nodes", None, snap.low as f64);
-        record.push(format!("t={:<3} med", snap.time), "nodes", None, snap.med as f64);
-        record.push(format!("t={:<3} high", snap.time), "nodes", None, snap.high as f64);
+        record.push(
+            format!("t={:<3} low", snap.time),
+            "nodes",
+            None,
+            snap.low as f64,
+        );
+        record.push(
+            format!("t={:<3} med", snap.time),
+            "nodes",
+            None,
+            snap.med as f64,
+        );
+        record.push(
+            format!("t={:<3} high", snap.time),
+            "nodes",
+            None,
+            snap.high as f64,
+        );
     }
 
     // Qualitative checkpoints the paper states.
@@ -50,16 +65,18 @@ fn main() {
         .find(|s| {
             s.converged
                 && s.high == truth.len()
-                && truth.iter().all(|n| {
-                    matches!(
-                        sim.suspicion().band(*n),
-                        clusterbft::SuspicionBand::High
-                    )
-                })
+                && truth
+                    .iter()
+                    .all(|n| matches!(sim.suspicion().band(*n), clusterbft::SuspicionBand::High))
         })
         .map(|s| s.time as f64)
         .unwrap_or(f64::NAN);
-    record.push("time high = only faulty", "t", Some(50.0), high_only_faulty_at);
+    record.push(
+        "time high = only faulty",
+        "t",
+        Some(50.0),
+        high_only_faulty_at,
+    );
 
     record.finish();
 }

@@ -62,7 +62,12 @@ fn main() {
             "see fig13.rs; spike criterion: >=30 suspects pre-convergence, halved afterwards",
         );
         for snap in history.iter().filter(|s| s.time % 15 == 0) {
-            record.push(format!("t={:<3} suspected", snap.time), "nodes", None, snap.suspected as f64);
+            record.push(
+                format!("t={:<3} suspected", snap.time),
+                "nodes",
+                None,
+                snap.suspected as f64,
+            );
         }
         record.finish();
         return;
@@ -85,7 +90,12 @@ fn main() {
             None,
             snap.suspected as f64,
         );
-        record.push(format!("t={:<3} high", snap.time), "nodes", None, snap.high as f64);
+        record.push(
+            format!("t={:<3} high", snap.time),
+            "nodes",
+            None,
+            snap.high as f64,
+        );
     }
     record.push("spike peak", "nodes", Some(80.0), peak_n as f64);
     record.push("spike time", "t", Some(30.0), peak_t as f64);

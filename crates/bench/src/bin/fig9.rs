@@ -66,15 +66,30 @@ fn main() {
             2 => 14.0,
             _ => 19.0,
         };
-        record.push(format!("single {n}vp latency"), "s", None, single.latency().as_secs_f64());
+        record.push(
+            format!("single {n}vp latency"),
+            "s",
+            None,
+            single.latency().as_secs_f64(),
+        );
         record.push(
             format!("single {n}vp overhead"),
             "%",
             if n == 1 { Some(8.0) } else { None },
             single_oh,
         );
-        record.push(format!("bft {n}vp latency"), "s", None, bft.latency().as_secs_f64());
-        record.push(format!("bft {n}vp overhead"), "%", Some(paper_worst), bft_oh);
+        record.push(
+            format!("bft {n}vp latency"),
+            "s",
+            None,
+            bft.latency().as_secs_f64(),
+        );
+        record.push(
+            format!("bft {n}vp overhead"),
+            "%",
+            Some(paper_worst),
+            bft_oh,
+        );
     }
 
     record.finish();

@@ -88,11 +88,31 @@ fn run_avg(make_config: impl Fn(SimDuration) -> JobConfig, crash_extra_node: boo
 }
 
 fn push_case(record: &mut ExperimentRecord, label: &str, paper: Multipliers, m: Multipliers) {
-    record.push(format!("{label} latency"), "x", Some(paper.latency), m.latency);
+    record.push(
+        format!("{label} latency"),
+        "x",
+        Some(paper.latency),
+        m.latency,
+    );
     record.push(format!("{label} cpu"), "x", Some(paper.cpu), m.cpu);
-    record.push(format!("{label} file read"), "x", Some(paper.file_read), m.file_read);
-    record.push(format!("{label} file write"), "x", Some(paper.file_write), m.file_write);
-    record.push(format!("{label} hdfs write"), "x", Some(paper.hdfs_write), m.hdfs_write);
+    record.push(
+        format!("{label} file read"),
+        "x",
+        Some(paper.file_read),
+        m.file_read,
+    );
+    record.push(
+        format!("{label} file write"),
+        "x",
+        Some(paper.file_write),
+        m.file_write,
+    );
+    record.push(
+        format!("{label} hdfs write"),
+        "x",
+        Some(paper.hdfs_write),
+        m.hdfs_write,
+    );
 }
 
 fn main() {
@@ -136,14 +156,54 @@ fn main() {
         hdfs_write: h,
     };
 
-    push_case(&mut record, "r=2 C", paper(1.6, 3.5, 3.6, 3.4, 2.0), run_avg(cluster_cfg(2), false));
-    push_case(&mut record, "r=2 P", paper(2.1, 4.1, 4.0, 4.0, 4.0), run_avg(final_only_cfg(2), false));
-    push_case(&mut record, "r=3c1 C", paper(1.1, 3.1, 2.6, 2.4, 2.0), run_avg(cluster_cfg(3), false));
-    push_case(&mut record, "r=3c1 P", paper(1.1, 3.1, 3.0, 3.0, 3.0), run_avg(final_only_cfg(3), false));
-    push_case(&mut record, "r=3c2 C", paper(1.6, 4.5, 4.7, 4.7, 2.0), run_avg(cluster_cfg(3), true));
-    push_case(&mut record, "r=3c2 P", paper(2.1, 6.2, 6.0, 6.0, 6.0), run_avg(final_only_cfg(3), true));
-    push_case(&mut record, "r=4 C", paper(1.1, 4.2, 3.6, 3.4, 3.0), run_avg(cluster_cfg(4), false));
-    push_case(&mut record, "r=4 P", paper(1.1, 4.2, 4.0, 4.0, 4.0), run_avg(final_only_cfg(4), false));
+    push_case(
+        &mut record,
+        "r=2 C",
+        paper(1.6, 3.5, 3.6, 3.4, 2.0),
+        run_avg(cluster_cfg(2), false),
+    );
+    push_case(
+        &mut record,
+        "r=2 P",
+        paper(2.1, 4.1, 4.0, 4.0, 4.0),
+        run_avg(final_only_cfg(2), false),
+    );
+    push_case(
+        &mut record,
+        "r=3c1 C",
+        paper(1.1, 3.1, 2.6, 2.4, 2.0),
+        run_avg(cluster_cfg(3), false),
+    );
+    push_case(
+        &mut record,
+        "r=3c1 P",
+        paper(1.1, 3.1, 3.0, 3.0, 3.0),
+        run_avg(final_only_cfg(3), false),
+    );
+    push_case(
+        &mut record,
+        "r=3c2 C",
+        paper(1.6, 4.5, 4.7, 4.7, 2.0),
+        run_avg(cluster_cfg(3), true),
+    );
+    push_case(
+        &mut record,
+        "r=3c2 P",
+        paper(2.1, 6.2, 6.0, 6.0, 6.0),
+        run_avg(final_only_cfg(3), true),
+    );
+    push_case(
+        &mut record,
+        "r=4 C",
+        paper(1.1, 4.2, 3.6, 3.4, 3.0),
+        run_avg(cluster_cfg(4), false),
+    );
+    push_case(
+        &mut record,
+        "r=4 P",
+        paper(1.1, 4.2, 4.0, 4.0, 4.0),
+        run_avg(final_only_cfg(4), false),
+    );
 
     record.finish();
 }

@@ -84,7 +84,13 @@ impl ExperimentRecord {
     }
 
     /// Appends a row.
-    pub fn push(&mut self, label: impl Into<String>, unit: &str, paper: Option<f64>, measured: f64) {
+    pub fn push(
+        &mut self,
+        label: impl Into<String>,
+        unit: &str,
+        paper: Option<f64>,
+        measured: f64,
+    ) {
         self.rows.push(Row {
             label: label.into(),
             unit: unit.to_owned(),
@@ -100,8 +106,18 @@ impl ExperimentRecord {
         if !self.notes.is_empty() {
             let _ = writeln!(out, "   {}", self.notes);
         }
-        let width = self.rows.iter().map(|r| r.label.len()).max().unwrap_or(10).max(10);
-        let _ = writeln!(out, "   {:<width$}  {:>12}  {:>12}  unit", "row", "paper", "measured");
+        let width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(10)
+            .max(10);
+        let _ = writeln!(
+            out,
+            "   {:<width$}  {:>12}  {:>12}  unit",
+            "row", "paper", "measured"
+        );
         for r in &self.rows {
             let paper = r
                 .paper
@@ -171,7 +187,15 @@ impl RunSpec {
     /// A 32-node cluster (the paper's Vicci tier: 12-core Xeons, so ~9
     /// task slots per node at the paper's 3-4 slots per 4 cores).
     pub fn vicci(workload: Workload, config: JobConfig) -> Self {
-        RunSpec { nodes: 32, slots: 9, seed: 1, faulty: Vec::new(), cost: None, config, workload }
+        RunSpec {
+            nodes: 32,
+            slots: 9,
+            seed: 1,
+            faulty: Vec::new(),
+            cost: None,
+            config,
+            workload,
+        }
     }
 
     /// Adds a faulty node.
@@ -222,7 +246,9 @@ impl RunSpec {
 ///
 /// Panics when the script does not parse; bench inputs are static.
 pub fn vertices_by_op(script: &str, names: &[&str]) -> Vec<VertexId> {
-    let plan = Script::parse(script).expect("bench script parses").into_plan();
+    let plan = Script::parse(script)
+        .expect("bench script parses")
+        .into_plan();
     plan.vertices()
         .iter()
         .filter(|v| names.contains(&v.op().name()))

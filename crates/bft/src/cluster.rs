@@ -34,8 +34,15 @@ pub struct BftMetrics {
 
 #[derive(Debug)]
 enum NetEvent {
-    Deliver { to: ReplicaId, from: ReplicaId, msg: Message },
-    Timer { replica: ReplicaId, id: TimerId },
+    Deliver {
+        to: ReplicaId,
+        from: ReplicaId,
+        msg: Message,
+    },
+    Timer {
+        replica: ReplicaId,
+        id: TimerId,
+    },
 }
 
 /// A group of `n = 3f + 1` replicas plus a client, over a simulated
@@ -152,7 +159,10 @@ impl<S: StateMachine + Clone> BftCluster<S> {
         self.submitted_ops
             .insert((self.client, timestamp), req.op.clone());
         self.broadcast_request(&req);
-        RequestId { client: self.client, timestamp }
+        RequestId {
+            client: self.client,
+            timestamp,
+        }
     }
 
     fn broadcast_request(&mut self, req: &Request) {
@@ -208,8 +218,7 @@ impl<S: StateMachine + Clone> BftCluster<S> {
             retransmits += 1;
             // The client re-transmits; any replica that executed replies
             // from cache, others re-arm progress timers.
-            let original =
-                Request::new(req.client, req.timestamp, self.reconstruct_op(req)?);
+            let original = Request::new(req.client, req.timestamp, self.reconstruct_op(req)?);
             self.broadcast_request(&original);
         }
     }
@@ -229,12 +238,14 @@ impl<S: StateMachine + Clone> BftCluster<S> {
         }
         counts
             .into_iter()
-            .find(|(_, c)| *c >= self.f + 1)
+            .find(|(_, c)| *c > self.f)
             .map(|(r, _)| r.to_vec())
     }
 
     fn reconstruct_op(&self, req: RequestId) -> Option<Vec<u8>> {
-        self.submitted_ops.get(&(req.client, req.timestamp)).cloned()
+        self.submitted_ops
+            .get(&(req.client, req.timestamp))
+            .cloned()
     }
 
     fn dispatch(&mut self, ev: NetEvent) {
@@ -266,7 +277,12 @@ impl<S: StateMachine + Clone> BftCluster<S> {
                         }
                     }
                 }
-                Action::ToClient(client, Message::Reply { timestamp, result, .. }) => {
+                Action::ToClient(
+                    client,
+                    Message::Reply {
+                        timestamp, result, ..
+                    },
+                ) => {
                     self.replies
                         .entry((client, timestamp))
                         .or_default()
@@ -275,7 +291,8 @@ impl<S: StateMachine + Clone> BftCluster<S> {
                 Action::ToClient(..) => {}
                 Action::SetTimer(d, id) => {
                     let at = self.queue.now() + d;
-                    self.queue.schedule(at, NetEvent::Timer { replica: from, id });
+                    self.queue
+                        .schedule(at, NetEvent::Timer { replica: from, id });
                 }
             }
         }

@@ -40,7 +40,12 @@ impl Request {
     /// Creates an authenticated request.
     pub fn new(client: u64, timestamp: u64, op: Vec<u8>) -> Self {
         let auth = Self::mac(client, timestamp, &op);
-        Request { client, timestamp, op, auth }
+        Request {
+            client,
+            timestamp,
+            op,
+            auth,
+        }
     }
 
     fn mac(client: u64, timestamp: u64, op: &[u8]) -> Digest {
@@ -247,7 +252,12 @@ mod tests {
         let m = Message::Request(req.clone());
         assert_eq!(m.kind(), "request");
         assert!(m.wire_size() >= 100);
-        let pp = Message::PrePrepare { view: 0, seq: 1, digest: req.digest(), request: req };
+        let pp = Message::PrePrepare {
+            view: 0,
+            seq: 1,
+            digest: req.digest(),
+            request: req,
+        };
         assert!(pp.wire_size() > m.wire_size());
     }
 }

@@ -154,7 +154,10 @@ impl<S: StateMachine> Replica<S> {
     ///
     /// Panics unless `n == 3f + 1` for some `f ≥ 1` and `id < n`.
     pub fn new(id: ReplicaId, n: usize, state: S) -> Self {
-        assert!(n >= 4 && (n - 1) % 3 == 0, "n must be 3f+1, got {n}");
+        assert!(
+            n >= 4 && (n - 1).is_multiple_of(3),
+            "n must be 3f+1, got {n}"
+        );
         assert!(id.0 < n, "replica id out of range");
         Replica {
             id,
@@ -270,30 +273,29 @@ impl<S: StateMachine> Replica<S> {
         }
         match msg {
             Message::Request(req) => self.on_request(req, out),
-            Message::PrePrepare { view, seq, digest, request } => {
-                self.on_pre_prepare(from, view, seq, digest, request, out)
-            }
-            Message::Prepare { view, seq, digest } => {
-                self.on_prepare(from, view, seq, digest, out)
-            }
-            Message::Commit { view, seq, digest } => {
-                self.on_commit(from, view, seq, digest, out)
-            }
-            Message::ViewChange { new_view, stable_seq, prepared } => {
-                self.on_view_change(from, new_view, stable_seq, prepared, out)
-            }
-            Message::NewView { view, proposals } => {
-                self.on_new_view(from, view, proposals, out)
-            }
-            Message::Checkpoint { seq, history } => {
-                self.on_checkpoint(from, seq, history, out)
-            }
+            Message::PrePrepare {
+                view,
+                seq,
+                digest,
+                request,
+            } => self.on_pre_prepare(from, view, seq, digest, request, out),
+            Message::Prepare { view, seq, digest } => self.on_prepare(from, view, seq, digest, out),
+            Message::Commit { view, seq, digest } => self.on_commit(from, view, seq, digest, out),
+            Message::ViewChange {
+                new_view,
+                stable_seq,
+                prepared,
+            } => self.on_view_change(from, new_view, stable_seq, prepared, out),
+            Message::NewView { view, proposals } => self.on_new_view(from, view, proposals, out),
+            Message::Checkpoint { seq, history } => self.on_checkpoint(from, seq, history, out),
             Message::CatchUpRequest { from: from_seq } => {
                 self.on_catch_up_request(from, from_seq, out)
             }
-            Message::CatchUp { through, history, entries } => {
-                self.on_catch_up(through, history, entries, out)
-            }
+            Message::CatchUp {
+                through,
+                history,
+                entries,
+            } => self.on_catch_up(through, history, entries, out),
             Message::Reply { .. } => {} // replicas never receive replies
         }
     }
@@ -347,7 +349,10 @@ impl<S: StateMachine> Replica<S> {
         }
         out.push(Action::SetTimer(
             self.progress_timeout,
-            TimerId::Progress { view: self.view, request: digest },
+            TimerId::Progress {
+                view: self.view,
+                request: digest,
+            },
         ));
         if self.is_primary() && !self.in_view_change {
             self.assign(req, out);
@@ -441,7 +446,10 @@ impl<S: StateMachine> Replica<S> {
             self.pending.push_back(request.clone());
             out.push(Action::SetTimer(
                 self.progress_timeout,
-                TimerId::Progress { view: self.view, request: digest },
+                TimerId::Progress {
+                    view: self.view,
+                    request: digest,
+                },
             ));
         }
         self.entries.insert(
@@ -464,7 +472,11 @@ impl<S: StateMachine> Replica<S> {
             .entry((self.view, seq, digest))
             .or_default()
             .insert(self.id);
-        out.push(Action::Broadcast(Message::Prepare { view: self.view, seq, digest }));
+        out.push(Action::Broadcast(Message::Prepare {
+            view: self.view,
+            seq,
+            digest,
+        }));
     }
 
     fn on_prepare(
@@ -478,14 +490,19 @@ impl<S: StateMachine> Replica<S> {
         if view != self.view || self.in_view_change {
             return;
         }
-        self.prepares.entry((view, seq, digest)).or_default().insert(from);
+        self.prepares
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from);
         self.check_prepared(seq, out);
     }
 
     fn check_prepared(&mut self, seq: u64, out: &mut Vec<Action>) {
         let quorum = self.quorum();
         let view = self.view;
-        let Some(entry) = self.entries.get_mut(&seq) else { return };
+        let Some(entry) = self.entries.get_mut(&seq) else {
+            return;
+        };
         if entry.view != view || entry.commit_sent {
             return;
         }
@@ -498,7 +515,8 @@ impl<S: StateMachine> Replica<S> {
             entry.commit_sent = true;
             let digest = entry.digest;
             if let Some(request) = entry.request.clone() {
-                self.prepared_history.insert(seq, PreparedEntry { seq, view, request });
+                self.prepared_history
+                    .insert(seq, PreparedEntry { seq, view, request });
             }
             self.commits
                 .entry((view, seq, digest))
@@ -520,14 +538,19 @@ impl<S: StateMachine> Replica<S> {
         if view != self.view || self.in_view_change {
             return;
         }
-        self.commits.entry((view, seq, digest)).or_default().insert(from);
+        self.commits
+            .entry((view, seq, digest))
+            .or_default()
+            .insert(from);
         self.check_committed(seq, out);
     }
 
     fn check_committed(&mut self, seq: u64, out: &mut Vec<Action>) {
         let quorum = self.quorum();
         let view = self.view;
-        let Some(entry) = self.entries.get_mut(&seq) else { return };
+        let Some(entry) = self.entries.get_mut(&seq) else {
+            return;
+        };
         if entry.view != view || !entry.prepared || entry.committed {
             return;
         }
@@ -544,11 +567,15 @@ impl<S: StateMachine> Replica<S> {
     fn try_execute(&mut self, out: &mut Vec<Action>) {
         loop {
             let next = self.executed_through + 1;
-            let Some(entry) = self.entries.get(&next) else { return };
+            let Some(entry) = self.entries.get(&next) else {
+                return;
+            };
             if !entry.committed {
                 return;
             }
-            let Some(request) = entry.request.clone() else { return };
+            let Some(request) = entry.request.clone() else {
+                return;
+            };
             let digest = entry.digest;
             let result = self.state.apply(&request.op);
             self.executed_through = next;
@@ -561,13 +588,16 @@ impl<S: StateMachine> Replica<S> {
             self.executed_digests.insert(digest);
             self.pending_digests.remove(&digest);
             self.pending.retain(|r| r.digest() != digest);
-            if self.checkpoint_interval > 0 && next % self.checkpoint_interval == 0 {
+            if self.checkpoint_interval > 0 && next.is_multiple_of(self.checkpoint_interval) {
                 let history = self.history;
                 self.checkpoint_votes
                     .entry((next, history))
                     .or_default()
                     .insert(self.id);
-                out.push(Action::Broadcast(Message::Checkpoint { seq: next, history }));
+                out.push(Action::Broadcast(Message::Checkpoint {
+                    seq: next,
+                    history,
+                }));
                 self.try_stabilize(next, history, out);
             }
             out.push(Action::ToClient(
@@ -592,7 +622,11 @@ impl<S: StateMachine> Replica<S> {
         self.in_view_change = true;
         let prepared: Vec<PreparedEntry> = self.prepared_history.values().cloned().collect();
         let stable_seq = self.stable_checkpoint.0;
-        let msg = Message::ViewChange { new_view, stable_seq, prepared: prepared.clone() };
+        let msg = Message::ViewChange {
+            new_view,
+            stable_seq,
+            prepared: prepared.clone(),
+        };
         // Record our own vote (broadcast does not loop back).
         self.vc_votes
             .entry(new_view)
@@ -601,7 +635,9 @@ impl<S: StateMachine> Replica<S> {
         out.push(Action::Broadcast(msg));
         out.push(Action::SetTimer(
             self.progress_timeout,
-            TimerId::ViewChangeRetry { attempted: new_view },
+            TimerId::ViewChangeRetry {
+                attempted: new_view,
+            },
         ));
         self.maybe_install_new_view(new_view, out);
     }
@@ -635,7 +671,9 @@ impl<S: StateMachine> Replica<S> {
         if self.primary_of(new_view) != self.id || self.view >= new_view {
             return;
         }
-        let Some(votes) = self.vc_votes.get(&new_view) else { return };
+        let Some(votes) = self.vc_votes.get(&new_view) else {
+            return;
+        };
         if votes.len() < self.quorum() {
             return;
         }
@@ -657,12 +695,9 @@ impl<S: StateMachine> Replica<S> {
                 }
             }
         }
-        let mut proposals: Vec<(u64, Request)> = by_seq
-            .into_values()
-            .map(|e| (e.seq, e.request))
-            .collect();
-        let mut covered: HashSet<Digest> =
-            proposals.iter().map(|(_, r)| r.digest()).collect();
+        let mut proposals: Vec<(u64, Request)> =
+            by_seq.into_values().map(|e| (e.seq, e.request)).collect();
+        let mut covered: HashSet<Digest> = proposals.iter().map(|(_, r)| r.digest()).collect();
         // Fresh assignments start above everything any voter has seen:
         // certificates, our execution, and — crucially — the highest voted
         // stable checkpoint (its log was garbage-collected, so no
@@ -683,7 +718,10 @@ impl<S: StateMachine> Replica<S> {
                 next += 1;
             }
         }
-        let msg = Message::NewView { view: new_view, proposals: proposals.clone() };
+        let msg = Message::NewView {
+            view: new_view,
+            proposals: proposals.clone(),
+        };
         out.push(Action::Broadcast(msg));
         self.install_view(new_view, proposals, out);
     }
@@ -737,7 +775,10 @@ impl<S: StateMachine> Replica<S> {
         for req in self.pending.clone() {
             out.push(Action::SetTimer(
                 self.progress_timeout,
-                TimerId::Progress { view: self.view, request: req.digest() },
+                TimerId::Progress {
+                    view: self.view,
+                    request: req.digest(),
+                },
             ));
         }
         // Replay messages that raced ahead of this installation.
@@ -749,13 +790,7 @@ impl<S: StateMachine> Replica<S> {
 
     // --- checkpoints & catch-up ---------------------------------------------
 
-    fn on_checkpoint(
-        &mut self,
-        from: ReplicaId,
-        seq: u64,
-        history: Digest,
-        out: &mut Vec<Action>,
-    ) {
+    fn on_checkpoint(&mut self, from: ReplicaId, seq: u64, history: Digest, out: &mut Vec<Action>) {
         if seq <= self.stable_checkpoint.0 {
             return;
         }
@@ -808,7 +843,14 @@ impl<S: StateMachine> Replica<S> {
         if entries.len() as u64 != through - from_seq {
             return;
         }
-        out.push(Action::Send(from, Message::CatchUp { through, history, entries }));
+        out.push(Action::Send(
+            from,
+            Message::CatchUp {
+                through,
+                history,
+                entries,
+            },
+        ));
     }
 
     /// Applies a fetched committed log after verifying its request-digest
@@ -965,7 +1007,10 @@ mod tests {
             .iter()
             .flat_map(|r| r.executed_log().iter().map(|(_, d)| *d))
             .collect();
-        assert!(digests.len() <= 1, "equivocation must not split execution: {committed:?}");
+        assert!(
+            digests.len() <= 1,
+            "equivocation must not split execution: {committed:?}"
+        );
     }
 
     #[test]
@@ -980,7 +1025,13 @@ mod tests {
             .iter()
             .any(|a| matches!(a, Action::SetTimer(_, TimerId::Progress { .. }))));
         let mut out = Vec::new();
-        group[1].on_timer(TimerId::Progress { view: 0, request: d }, &mut out);
+        group[1].on_timer(
+            TimerId::Progress {
+                view: 0,
+                request: d,
+            },
+            &mut out,
+        );
         assert!(out.iter().any(|a| matches!(
             a,
             Action::Broadcast(Message::ViewChange { new_view: 1, .. })
@@ -994,8 +1045,17 @@ mod tests {
         let d = r.digest();
         client_broadcast(&mut group, r);
         let mut out = Vec::new();
-        group[1].on_timer(TimerId::Progress { view: 0, request: d }, &mut out);
-        assert!(out.is_empty(), "executed request must not trigger view change");
+        group[1].on_timer(
+            TimerId::Progress {
+                view: 0,
+                request: d,
+            },
+            &mut out,
+        );
+        assert!(
+            out.is_empty(),
+            "executed request must not trigger view change"
+        );
     }
 
     #[test]
@@ -1014,7 +1074,13 @@ mod tests {
         let mut inbox = Vec::new();
         for i in 1..4 {
             let mut out = Vec::new();
-            group[i].on_timer(TimerId::Progress { view: 0, request: d }, &mut out);
+            group[i].on_timer(
+                TimerId::Progress {
+                    view: 0,
+                    request: d,
+                },
+                &mut out,
+            );
             for a in out {
                 if let Action::Broadcast(m) = a {
                     for to in 0..4 {
@@ -1044,7 +1110,8 @@ mod tests {
         let mut out = Vec::new();
         group[0].on_message(ReplicaId(4), Message::Request(r), &mut out);
         assert!(
-            out.iter().any(|a| matches!(a, Action::ToClient(1, Message::Reply { .. }))),
+            out.iter()
+                .any(|a| matches!(a, Action::ToClient(1, Message::Reply { .. }))),
             "{out:?}"
         );
         assert_eq!(group[0].executed_log().len(), 1, "not executed twice");
@@ -1052,9 +1119,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_group_sizes() {
-        let result = std::panic::catch_unwind(|| {
-            Replica::new(ReplicaId(0), 5, KvStore::default())
-        });
+        let result = std::panic::catch_unwind(|| Replica::new(ReplicaId(0), 5, KvStore::default()));
         assert!(result.is_err());
     }
 
@@ -1084,7 +1149,12 @@ mod tests {
         let mut out = Vec::new();
         group[2].on_message(
             ReplicaId(1), // not the view-0 primary
-            Message::PrePrepare { view: 0, seq: 1, digest: d, request: r },
+            Message::PrePrepare {
+                view: 0,
+                seq: 1,
+                digest: d,
+                request: r,
+            },
             &mut out,
         );
         assert!(out.is_empty());
@@ -1173,13 +1243,20 @@ mod checkpoint_tests {
         for voter in 1..4 {
             victim.on_message(
                 ReplicaId(voter),
-                Message::Checkpoint { seq: through, history },
+                Message::Checkpoint {
+                    seq: through,
+                    history,
+                },
                 &mut out,
             );
         }
         victim.on_message(
             ReplicaId(2),
-            Message::CatchUp { through, history, entries },
+            Message::CatchUp {
+                through,
+                history,
+                entries,
+            },
             &mut out,
         );
         assert_eq!(
@@ -1206,13 +1283,20 @@ mod checkpoint_tests {
         for voter in 0..3 {
             victim.on_message(
                 ReplicaId(voter),
-                Message::Checkpoint { seq: through, history },
+                Message::Checkpoint {
+                    seq: through,
+                    history,
+                },
                 &mut out,
             );
         }
         victim.on_message(
             ReplicaId(1),
-            Message::CatchUp { through, history, entries },
+            Message::CatchUp {
+                through,
+                history,
+                entries,
+            },
             &mut out,
         );
         assert_eq!(victim.executed_log().len(), through as usize);
@@ -1234,9 +1318,12 @@ mod checkpoint_tests {
         let reply = out
             .iter()
             .find_map(|a| match a {
-                Action::Send(to, Message::CatchUp { through, entries, .. }) => {
-                    Some((*to, *through, entries.len()))
-                }
+                Action::Send(
+                    to,
+                    Message::CatchUp {
+                        through, entries, ..
+                    },
+                ) => Some((*to, *through, entries.len())),
                 _ => None,
             })
             .expect("a stable peer answers");

@@ -136,7 +136,9 @@ pub struct JobConfig {
 impl JobConfig {
     /// Starts building a configuration.
     pub fn builder() -> JobConfigBuilder {
-        JobConfigBuilder { config: JobConfig::base() }
+        JobConfigBuilder {
+            config: JobConfig::base(),
+        }
     }
 
     fn base() -> Self {

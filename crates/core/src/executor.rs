@@ -1,0 +1,752 @@
+//! Parallel replica execution with streaming verification.
+//!
+//! The sequential [`ClusterBft`](crate::ClusterBft) pipeline interleaves
+//! all `r` replicas inside one discrete-event simulation. This module
+//! instead gives **each replica its own isolated simulated cluster** and
+//! runs the replicas on worker threads, the way a real deployment runs
+//! them on disjoint sub-clusters: digest reports stream through a channel
+//! into the trusted [`Verifier`] *while sibling replicas are still
+//! executing*, so comparison overlaps execution (§3.3's offline
+//! verification made literal).
+//!
+//! # Determinism
+//!
+//! The verdict is bit-identical no matter how many threads run or how the
+//! channel messages interleave:
+//!
+//! * every replica's entire world derives from
+//!   [`SeedSpawner::replica_seed`]`(uid)` — node RNGs, fault draws and
+//!   event ordering never depend on sibling replicas or on the thread
+//!   that hosts the simulation;
+//! * the verifier's table is keyed storage, so ingest order cannot change
+//!   any verdict;
+//! * the published transcript is sorted by
+//!   [`StreamedReport::ordering_key`] — *(verification point, replica,
+//!   sequence)* — collapsing every interleaving to one canonical order.
+//!
+//! # Escalation
+//!
+//! Rounds follow the paper's §4.1 step 6: start at `f + 1` replicas and,
+//! while any final output lacks an `f + 1` digest quorum (a deviant
+//! replica caused a mismatch, or an omitted one wedged), add fresh
+//! replicas up to `2f + 1` and then `3f + 1`. Digests from earlier rounds
+//! keep counting — replica ids are globally unique, so a fresh honest run
+//! can complete a quorum started two rounds ago.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use cbft_dataflow::analyze::Adversary;
+use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, Site};
+use cbft_dataflow::{LogicalPlan, Record, Script};
+use cbft_mapreduce::{
+    Behavior, Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, RunHandle, Storage, VpSite,
+};
+use cbft_sim::{CostModel, SeedSpawner};
+use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
+
+use crate::config::VpPolicy;
+use crate::outcome::SubmitError;
+use crate::pipeline::{choose_points, job_output_sites, vp_sites_by_job};
+use crate::verifier::{DigestKey, StreamedReport, Verifier};
+
+/// Configuration for a [`ParallelExecutor`].
+///
+/// Serializable so harnesses can persist the exact executor setup next to
+/// the results it produced.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Worker threads executing replica simulations. `1` is the sequential
+    /// baseline (same code path, one worker); `0` means one thread per
+    /// replica of the current round.
+    pub threads: usize,
+    /// Expected number of simultaneously faulty replicas, `f`.
+    pub expected_failures: usize,
+    /// Cumulative replica-count targets per escalation round. Empty means
+    /// the paper's schedule `[f + 1, 2f + 1, 3f + 1]`. Entries are clamped
+    /// to at least `f + 1` and must grow to start a new round.
+    pub escalation: Vec<usize>,
+    /// Verification-point placement (shared with the sequential pipeline,
+    /// so both executors instrument identical vertices).
+    pub vp_policy: VpPolicy,
+    /// Adversary model restricting eligible verification points.
+    pub adversary: Adversary,
+    /// Records per digest chunk (`d` of §6.4).
+    pub digest_granularity: usize,
+    /// Reduce tasks per shuffled job (identical across replicas).
+    pub reduce_tasks: usize,
+    /// Records per map split.
+    pub map_split_records: usize,
+    /// Nodes in each replica's isolated cluster.
+    pub nodes: usize,
+    /// Task slots per node.
+    pub slots_per_node: usize,
+    /// Master seed; replica `uid` simulates under
+    /// [`SeedSpawner::replica_seed`]`(uid)`.
+    pub master_seed: u64,
+    /// Cost model for every replica's simulation.
+    pub cost: CostModel,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            threads: 1,
+            expected_failures: 1,
+            escalation: Vec::new(),
+            vp_policy: VpPolicy::Marked(2),
+            adversary: Adversary::Strong,
+            digest_granularity: usize::MAX,
+            reduce_tasks: 4,
+            map_split_records: 10_000,
+            nodes: 16,
+            slots_per_node: 3,
+            master_seed: 1,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// The sanitized escalation schedule: strictly increasing cumulative
+    /// replica targets, each at least `f + 1`.
+    pub fn escalation_targets(&self) -> Vec<usize> {
+        let f = self.expected_failures;
+        let schedule: Vec<usize> = if self.escalation.is_empty() {
+            vec![f + 1, 2 * f + 1, 3 * f + 1]
+        } else {
+            self.escalation.clone()
+        };
+        let mut targets = Vec::new();
+        let mut prev = 0usize;
+        for t in schedule {
+            let t = t.max(f + 1);
+            if t > prev {
+                targets.push(t);
+                prev = t;
+            }
+        }
+        targets
+    }
+}
+
+/// What one replica brought home from its isolated simulation.
+#[derive(Clone, Debug)]
+struct ReplicaRun {
+    uid: usize,
+    /// Whether every job of the graph completed (wedging on omission or
+    /// crash faults leaves this false — the replica simply never reports).
+    complete: bool,
+    /// Store-name → records for every STORE job the replica completed.
+    outputs: BTreeMap<String, Vec<Record>>,
+}
+
+/// The result of one parallel, streamed-verification execution.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParallelOutcome {
+    verified: bool,
+    replicas_per_round: Vec<usize>,
+    transcript: Vec<StreamedReport>,
+    outputs: BTreeMap<String, Vec<Record>>,
+    deviant_replicas: BTreeSet<usize>,
+    omitted_replicas: BTreeSet<usize>,
+}
+
+impl ParallelOutcome {
+    /// Whether every final output reached an `f + 1` digest quorum.
+    pub fn verified(&self) -> bool {
+        self.verified
+    }
+
+    /// Fresh replicas started by each escalation round.
+    pub fn replicas_per_round(&self) -> &[usize] {
+        &self.replicas_per_round
+    }
+
+    /// Total replicas executed across all rounds.
+    pub fn total_replicas(&self) -> usize {
+        self.replicas_per_round.iter().sum()
+    }
+
+    /// The canonical digest transcript, sorted by
+    /// [`StreamedReport::ordering_key`]. Identical across thread counts
+    /// for the same master seed and fault plan.
+    pub fn transcript(&self) -> &[StreamedReport] {
+        &self.transcript
+    }
+
+    /// Published outputs by store name (empty when unverified).
+    pub fn outputs(&self) -> &BTreeMap<String, Vec<Record>> {
+        &self.outputs
+    }
+
+    /// One published output, if verified.
+    pub fn output(&self, name: &str) -> Option<&[Record]> {
+        self.outputs.get(name).map(Vec::as_slice)
+    }
+
+    /// Replicas whose digests contradicted an established quorum.
+    pub fn deviant_replicas(&self) -> &BTreeSet<usize> {
+        &self.deviant_replicas
+    }
+
+    /// Replicas that wedged before completing every job (omission /
+    /// crash faults, or an engine-level failure).
+    pub fn omitted_replicas(&self) -> &BTreeSet<usize> {
+        &self.omitted_replicas
+    }
+}
+
+/// Runs `r` replicated sub-graph simulations on worker threads, streaming
+/// digests into the verifier as they are produced.
+///
+/// # Examples
+///
+/// ```
+/// use cbft_dataflow::{Record, Value};
+/// use clusterbft::{ExecutorConfig, ParallelExecutor};
+///
+/// let mut exec = ParallelExecutor::new(ExecutorConfig {
+///     threads: 2,
+///     ..ExecutorConfig::default()
+/// });
+/// let rows: Vec<Record> = (0..200)
+///     .map(|i| Record::new(vec![Value::Int(i % 7), Value::Int(i)]))
+///     .collect();
+/// exec.load_input("edges", rows)?;
+/// let outcome = exec.run_script(
+///     "raw = LOAD 'edges' AS (user, follower);
+///      grp = GROUP raw BY user;
+///      cnt = FOREACH grp GENERATE group, COUNT(raw) AS n;
+///      STORE cnt INTO 'counts';",
+/// )?;
+/// assert!(outcome.verified());
+/// assert_eq!(outcome.output("counts").unwrap().len(), 7);
+/// # Ok::<(), clusterbft::SubmitError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ParallelExecutor {
+    config: ExecutorConfig,
+    inputs: BTreeMap<String, Vec<Record>>,
+    faults: BTreeMap<usize, Behavior>,
+}
+
+impl ParallelExecutor {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: ExecutorConfig) -> Self {
+        ParallelExecutor {
+            config,
+            inputs: BTreeMap::new(),
+            faults: BTreeMap::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Loads an input data set, shared read-only by every replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `name` was already loaded (inputs are
+    /// write-once, like trusted storage).
+    pub fn load_input(&mut self, name: &str, records: Vec<Record>) -> Result<(), SubmitError> {
+        if self.inputs.contains_key(name) {
+            return Err(SubmitError::Engine(format!(
+                "input '{name}' already loaded"
+            )));
+        }
+        self.inputs.insert(name.to_owned(), records);
+        Ok(())
+    }
+
+    /// Injects a fault into replica `uid`'s isolated cluster: every node
+    /// of that replica adopts `behavior`. Commission makes the replica a
+    /// digest deviant; omission or crash wedges it so its keys stay
+    /// pending and escalation kicks in.
+    pub fn inject_fault(&mut self, uid: usize, behavior: Behavior) {
+        self.faults.insert(uid, behavior);
+    }
+
+    /// Parses and executes a script (see [`ParallelExecutor::run_plan`]).
+    ///
+    /// # Errors
+    ///
+    /// Parse and plan errors, missing inputs, and worker-thread panics.
+    pub fn run_script(&self, source: &str) -> Result<ParallelOutcome, SubmitError> {
+        let plan = Script::parse(source)?.into_plan();
+        self.run_plan(plan)
+    }
+
+    /// Executes a logical plan: each escalation round fans its fresh
+    /// replicas out over the worker pool, digests stream into the verifier
+    /// live, and the round's verdict decides whether to publish or
+    /// escalate.
+    ///
+    /// # Errors
+    ///
+    /// Missing inputs and worker-thread panics. Running out of escalation
+    /// rounds is *not* an error — the outcome reports `verified() ==
+    /// false` with empty outputs.
+    pub fn run_plan(&self, plan: LogicalPlan) -> Result<ParallelOutcome, SubmitError> {
+        let plan = Arc::new(plan);
+        let graph = compile_plan(&plan);
+        for job in graph.jobs() {
+            for input in &job.inputs {
+                if let DataSource::Hdfs(name) = &input.source {
+                    if !self.inputs.contains_key(name) {
+                        return Err(SubmitError::Engine(format!("missing input '{name}'")));
+                    }
+                }
+            }
+        }
+
+        // Identical instrumentation to the sequential pipeline: same
+        // marker, same seeds, same sites — digests stay comparable.
+        let sizes = {
+            let mut sizing = Storage::new();
+            for (name, records) in &self.inputs {
+                let _ = sizing.write(name, records.clone());
+            }
+            sizing.sizes()
+        };
+        let vps = choose_points(
+            &plan,
+            &graph,
+            &self.config.vp_policy,
+            self.config.adversary,
+            &sizes,
+        );
+        let vp_map = vp_sites_by_job(&graph, &vps);
+        let store_sites: BTreeMap<JobId, (String, Vec<Site>)> = graph
+            .jobs()
+            .iter()
+            .filter_map(|j| match &j.output {
+                JobOutput::Store(name) => Some((j.id(), (name.clone(), job_output_sites(j)))),
+                JobOutput::Intermediate => None,
+            })
+            .collect();
+
+        let f = self.config.expected_failures;
+        let mut verifier = Verifier::new(f, 0);
+        let mut transcript: Vec<StreamedReport> = Vec::new();
+        let mut runs: BTreeMap<usize, ReplicaRun> = BTreeMap::new();
+        let mut replicas_per_round = Vec::new();
+        let mut total_uids = 0usize;
+        let mut published: Option<BTreeMap<String, Vec<Record>>> = None;
+
+        for target in self.config.escalation_targets() {
+            let fresh = target - total_uids; // targets are strictly increasing
+            let uid_base = total_uids;
+            total_uids = target;
+            verifier.set_expected(total_uids);
+            replicas_per_round.push(fresh);
+
+            let workers = match self.config.threads {
+                0 => fresh,
+                t => t.min(fresh),
+            };
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = crossbeam::channel::unbounded::<StreamedReport>();
+
+            let round = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let plan = &plan;
+                    let graph = &graph;
+                    let vp_map = &vp_map;
+                    handles.push(scope.spawn(move |_| {
+                        // Work queue: replicas are claimed, not
+                        // pre-assigned, so a slow replica never idles the
+                        // other workers.
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= fresh {
+                                break;
+                            }
+                            mine.push(self.run_replica(uid_base + i, plan, graph, vp_map, &tx));
+                        }
+                        mine
+                    }));
+                }
+                drop(tx);
+                // Streaming ingest: the verifier works while replicas are
+                // still executing. The loop ends when the last worker
+                // drops its sender.
+                let mut received = Vec::new();
+                for sr in &rx {
+                    verifier.ingest(&sr);
+                    received.push(sr);
+                }
+                let mut finished = Vec::new();
+                for handle in handles {
+                    match handle.join() {
+                        Ok(mine) => finished.extend(mine),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+                (finished, received)
+            })
+            .map_err(|_| SubmitError::Engine("replica worker thread panicked".to_owned()))?;
+
+            let (finished, received) = round;
+            transcript.extend(received);
+            for run in finished {
+                runs.insert(run.uid, run);
+            }
+
+            published = self.decide(&store_sites, &verifier, &runs);
+            if published.is_some() {
+                break;
+            }
+        }
+
+        // Canonical order: any thread interleaving sorts to this exact
+        // transcript, so downstream consumers (tests, persisted logs)
+        // never see scheduling noise.
+        transcript.sort_by_key(StreamedReport::ordering_key);
+
+        let omitted = runs
+            .values()
+            .filter(|r| !r.complete)
+            .map(|r| r.uid)
+            .collect();
+        Ok(ParallelOutcome {
+            verified: published.is_some(),
+            replicas_per_round,
+            transcript,
+            outputs: published.unwrap_or_default(),
+            deviant_replicas: verifier.deviant_replicas(),
+            omitted_replicas: omitted,
+        })
+    }
+
+    /// Publishes iff every STORE job's output keys are quorum-verified and
+    /// a completed replica agrees with the quorum at all of them. Winner
+    /// selection scans ascending uid, so the decision is deterministic.
+    fn decide(
+        &self,
+        store_sites: &BTreeMap<JobId, (String, Vec<Site>)>,
+        verifier: &Verifier,
+        runs: &BTreeMap<usize, ReplicaRun>,
+    ) -> Option<BTreeMap<String, Vec<Record>>> {
+        let mut out = BTreeMap::new();
+        for (name, sites) in store_sites.values() {
+            let keys: Vec<DigestKey> = verifier
+                .keys()
+                .filter(|k| sites.contains(&k.1))
+                .copied()
+                .collect();
+            if keys.is_empty() || !keys.iter().all(|k| verifier.verdict(k).is_verified()) {
+                return None;
+            }
+            let winner = runs.values().find(|run| {
+                run.outputs.contains_key(name) && verifier.replica_verified_at(run.uid, keys.iter())
+            })?;
+            out.insert(name.clone(), winner.outputs[name].clone());
+        }
+        Some(out)
+    }
+
+    /// Runs one replica start-to-finish in its own isolated cluster,
+    /// streaming every digest through `tx` as the simulation produces it.
+    fn run_replica(
+        &self,
+        uid: usize,
+        plan: &Arc<LogicalPlan>,
+        graph: &JobGraph,
+        vp_map: &HashMap<JobId, Vec<VpSite>>,
+        tx: &Sender<StreamedReport>,
+    ) -> ReplicaRun {
+        let spawner = SeedSpawner::new(self.config.master_seed);
+        let mut builder = Cluster::builder()
+            .nodes(self.config.nodes)
+            .slots_per_node(self.config.slots_per_node)
+            .cost_model(self.config.cost)
+            .seed(spawner.replica_seed(uid));
+        if let Some(&behavior) = self.faults.get(&uid) {
+            for node in 0..self.config.nodes {
+                builder = builder.node_behavior(node, behavior);
+            }
+        }
+        let mut cluster = builder.build();
+        for (name, records) in &self.inputs {
+            cluster
+                .storage_mut()
+                .write(name, records.clone())
+                .expect("fresh replica storage accepts every input once");
+        }
+
+        let mut submitted: HashSet<JobId> = HashSet::new();
+        let mut completed: HashMap<JobId, String> = HashMap::new();
+        let mut handle_jobs: HashMap<RunHandle, JobId> = HashMap::new();
+        let mut seq = 0u64;
+        let mut wedged = false;
+
+        self.submit_ready(
+            &mut cluster,
+            uid,
+            plan,
+            graph,
+            vp_map,
+            &mut submitted,
+            &completed,
+            &mut handle_jobs,
+        );
+        loop {
+            match cluster.step() {
+                Some(EngineEvent::Digest(report)) => {
+                    // Coordinator gone means the round was abandoned;
+                    // finish quietly.
+                    let _ = tx.send(StreamedReport { uid, seq, report });
+                    seq += 1;
+                }
+                Some(EngineEvent::JobCompleted { handle, outcome }) => {
+                    let Some(job) = handle_jobs.get(&handle).copied() else {
+                        continue;
+                    };
+                    match outcome {
+                        JobOutcome::Success { output_file, .. } => {
+                            completed.insert(job, output_file);
+                            if completed.len() == graph.len() {
+                                break;
+                            }
+                            self.submit_ready(
+                                &mut cluster,
+                                uid,
+                                plan,
+                                graph,
+                                vp_map,
+                                &mut submitted,
+                                &completed,
+                                &mut handle_jobs,
+                            );
+                        }
+                        JobOutcome::Failed { .. } => {
+                            // Per-replica isolation: one replica's engine
+                            // failure is an omission from the verifier's
+                            // point of view, not a global abort.
+                            wedged = true;
+                            break;
+                        }
+                    }
+                }
+                Some(EngineEvent::Timer(_)) => continue,
+                // Wake-driven engine: a drained queue with incomplete jobs
+                // is the omission/crash wedge. No timers needed — the
+                // coordinator escalates instead of waiting.
+                None => break,
+            }
+        }
+
+        let complete = !wedged && completed.len() == graph.len();
+        let mut outputs = BTreeMap::new();
+        for job in graph.jobs() {
+            if let JobOutput::Store(name) = &job.output {
+                if let Some(file) = completed.get(&job.id()) {
+                    if let Some(records) = cluster.storage().peek(file) {
+                        outputs.insert(name.clone(), records.to_vec());
+                    }
+                }
+            }
+        }
+        ReplicaRun {
+            uid,
+            complete,
+            outputs,
+        }
+    }
+
+    /// Submits every not-yet-submitted job whose dependencies have
+    /// materialized in this replica's cluster (wave-by-wave, like the
+    /// sequential pipeline but for a single replica).
+    #[allow(clippy::too_many_arguments)]
+    fn submit_ready(
+        &self,
+        cluster: &mut Cluster,
+        uid: usize,
+        plan: &Arc<LogicalPlan>,
+        graph: &JobGraph,
+        vp_map: &HashMap<JobId, Vec<VpSite>>,
+        submitted: &mut HashSet<JobId>,
+        completed: &HashMap<JobId, String>,
+        handle_jobs: &mut HashMap<RunHandle, JobId>,
+    ) {
+        let ns = format!("par/r{uid}");
+        for job in graph.jobs() {
+            let job_id = job.id();
+            if submitted.contains(&job_id) || !job.deps().iter().all(|d| completed.contains_key(d))
+            {
+                continue;
+            }
+            let resolve = |src: &DataSource| -> String {
+                match src {
+                    DataSource::Hdfs(f) => f.clone(),
+                    DataSource::Intermediate(j) => completed[j].clone(),
+                }
+            };
+            let spec = ExecJob {
+                plan: Arc::clone(plan),
+                inputs: job
+                    .inputs
+                    .iter()
+                    .map(|i| ExecInput {
+                        file: resolve(&i.source),
+                        pipeline: i.pipeline.clone(),
+                        tag: i.tag,
+                    })
+                    .collect(),
+                shuffle: job.shuffle,
+                reduce: job.reduce.clone(),
+                output_file: match &job.output {
+                    JobOutput::Store(name) => format!("{ns}/{name}"),
+                    JobOutput::Intermediate => format!("{ns}/j{}", job_id.index()),
+                },
+                reduce_task_count: if job.single_reduce {
+                    1
+                } else {
+                    self.config.reduce_tasks
+                },
+                map_split_records: self.config.map_split_records,
+                verification_points: vp_map.get(&job_id).cloned().unwrap_or_default(),
+                digest_granularity: self.config.digest_granularity,
+                sid: format!("j{}", job_id.index()),
+                replica: uid,
+                // Combiners stay off here so shuffle-site digests are
+                // always materialized identically across both executors.
+                combiner: None,
+            };
+            let handle = cluster
+                .submit(spec)
+                .expect("replica-private namespace never collides");
+            submitted.insert(job_id);
+            handle_jobs.insert(handle, job_id);
+        }
+    }
+}
+
+// The executor's own invariant, checked at compile time: everything a
+// worker thread touches crosses threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ParallelExecutor>();
+    const fn assert_send<T: Send>() {}
+    assert_send::<StreamedReport>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbft_dataflow::Value;
+
+    const SCRIPT: &str = "
+        a = LOAD 'in' AS (k, v);
+        g = GROUP a BY k;
+        c = FOREACH g GENERATE group, COUNT(a) AS n, SUM(a.v) AS s;
+        o = ORDER c BY n DESC;
+        t = LIMIT o 5;
+        STORE t INTO 'out';
+    ";
+
+    fn rows(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(vec![Value::Int(i % 11), Value::Int(i * 3 % 97)]))
+            .collect()
+    }
+
+    fn executor(threads: usize, escalation: Vec<usize>) -> ParallelExecutor {
+        let mut exec = ParallelExecutor::new(ExecutorConfig {
+            threads,
+            escalation,
+            master_seed: 77,
+            ..ExecutorConfig::default()
+        });
+        exec.load_input("in", rows(300)).unwrap();
+        exec
+    }
+
+    #[test]
+    fn healthy_run_verifies_in_one_round() {
+        let outcome = executor(2, vec![2]).run_script(SCRIPT).unwrap();
+        assert!(outcome.verified());
+        assert_eq!(outcome.replicas_per_round(), &[2]);
+        assert!(outcome.deviant_replicas().is_empty());
+        assert!(outcome.omitted_replicas().is_empty());
+        assert_eq!(outcome.output("out").unwrap().len(), 5);
+        assert!(!outcome.transcript().is_empty());
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_outcome() {
+        let baseline = executor(1, vec![2]).run_script(SCRIPT).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = executor(threads, vec![2]).run_script(SCRIPT).unwrap();
+            assert_eq!(baseline, parallel, "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn commission_deviant_escalates_and_still_verifies() {
+        let mut exec = executor(4, vec![2, 3]);
+        exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(
+            outcome.verified(),
+            "one honest round-2 replica completes the quorum"
+        );
+        assert_eq!(outcome.replicas_per_round(), &[2, 1]);
+        assert!(outcome.deviant_replicas().contains(&0));
+
+        // The published output matches a fault-free reference run.
+        let honest = executor(1, vec![2]).run_script(SCRIPT).unwrap();
+        assert_eq!(outcome.outputs(), honest.outputs());
+    }
+
+    #[test]
+    fn crashed_replica_wedges_and_escalation_recovers() {
+        let mut exec = executor(4, vec![2, 3]);
+        exec.inject_fault(1, Behavior::Crashed);
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(outcome.verified());
+        assert_eq!(outcome.replicas_per_round(), &[2, 1]);
+        assert!(outcome.omitted_replicas().contains(&1));
+    }
+
+    #[test]
+    fn exhausted_escalation_reports_unverified() {
+        let mut exec = executor(2, vec![2]);
+        exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(
+            !outcome.verified(),
+            "1-vs-1 with f = 1 can never reach quorum"
+        );
+        assert!(outcome.outputs().is_empty(), "unverified publishes nothing");
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        let exec = ParallelExecutor::new(ExecutorConfig::default());
+        let err = exec.run_script(SCRIPT).unwrap_err();
+        assert!(err.to_string().contains("missing input"), "{err}");
+    }
+
+    #[test]
+    fn escalation_schedule_is_sanitized() {
+        let config = ExecutorConfig {
+            expected_failures: 1,
+            escalation: vec![0, 3, 3, 2, 5],
+            ..ExecutorConfig::default()
+        };
+        assert_eq!(config.escalation_targets(), vec![2, 3, 5]);
+        let default = ExecutorConfig::default();
+        assert_eq!(default.escalation_targets(), vec![2, 3, 4]);
+    }
+}

@@ -59,7 +59,12 @@ impl FaultAnalyzer {
     /// Panics when `f == 0` (nothing to isolate).
     pub fn new(f: usize) -> Self {
         assert!(f > 0, "fault analyzer needs f >= 1");
-        FaultAnalyzer { f, disjoint: Vec::new(), overlapping: Vec::new(), observations: 0 }
+        FaultAnalyzer {
+            f,
+            disjoint: Vec::new(),
+            overlapping: Vec::new(),
+            observations: 0,
+        }
     }
 
     /// The configured fault bound.
@@ -229,9 +234,9 @@ mod tests {
         // Overlap arrives BEFORE convergence; once |D| = 2, stage 2 must
         // revisit it.
         fa.observe_faulty_cluster(set(&[1, 2]));
-        fa.observe_faulty_cluster(set(&[2, 3]));           // overlaps, goes to O
-        fa.observe_faulty_cluster(set(&[7, 8]));           // |D| = 2 → narrow
-        // {2,3} hits only {1,2} → {2}.
+        fa.observe_faulty_cluster(set(&[2, 3])); // overlaps, goes to O
+        fa.observe_faulty_cluster(set(&[7, 8])); // |D| = 2 → narrow
+                                                 // {2,3} hits only {1,2} → {2}.
         assert!(fa.suspects().contains(&set(&[2])));
         assert_eq!(fa.isolated_faulty_nodes(), vec![NodeId(2)]);
     }

@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod executor;
 mod isolation;
 mod outcome;
 mod pipeline;
@@ -70,12 +71,13 @@ mod suspicion;
 mod verifier;
 
 pub use config::{JobConfig, JobConfigBuilder, Replication, VpPolicy};
+pub use executor::{ExecutorConfig, ParallelExecutor, ParallelOutcome};
 pub use isolation::FaultAnalyzer;
 pub use outcome::{ScriptOutcome, SubmitError};
 pub use pipeline::ClusterBft;
 pub use probe::ProbeReport;
 pub use suspicion::{SuspicionBand, SuspicionTable};
-pub use verifier::{DigestKey, KeyVerdict, Verifier};
+pub use verifier::{DigestKey, KeyVerdict, StreamedReport, Verifier};
 
 // Re-export the types users need to drive the system without spelling out
 // every substrate crate.

@@ -133,7 +133,11 @@ impl fmt::Display for ScriptOutcome {
         write!(
             f,
             "{} after {} attempt(s), latency {}, {} output(s), {}",
-            if self.verified { "VERIFIED" } else { "UNVERIFIED" },
+            if self.verified {
+                "VERIFIED"
+            } else {
+                "UNVERIFIED"
+            },
             self.attempts,
             self.latency,
             self.outputs.len(),

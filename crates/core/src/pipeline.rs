@@ -28,8 +28,7 @@ use cbft_dataflow::analyze::{analyze_plan, mark_seeded, Adversary};
 use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, MrJob, Site};
 use cbft_dataflow::{LogicalPlan, Script, VertexId};
 use cbft_mapreduce::{
-    Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle,
-    TimerToken, VpSite,
+    Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle, TimerToken, VpSite,
 };
 use cbft_sim::SimDuration;
 
@@ -215,7 +214,11 @@ impl ClusterBft {
         let base_r = self.config.initial_replicas();
         let max_r = base_r.max(3 * f + 1);
         let unverified_baseline = matches!(self.config.vp_policy, VpPolicy::None);
-        let max_attempts = if unverified_baseline { 1 } else { self.config.max_attempts };
+        let max_attempts = if unverified_baseline {
+            1
+        } else {
+            self.config.max_attempts
+        };
 
         let mut trusted: HashMap<JobId, String> = HashMap::new();
         let mut total = cbft_mapreduce::JobMetrics::new();
@@ -283,9 +286,20 @@ impl ClusterBft {
 
             for rep in 0..r {
                 self.submit_ready(
-                    &plan, &graph, &run_jobs, &trusted, &vp_map, &sid_prefix, script_id,
-                    attempt, rep, uid_base, &mut submitted[rep], &completed[rep],
-                    &blocked[rep], &mut handles,
+                    &plan,
+                    &graph,
+                    &run_jobs,
+                    &trusted,
+                    &vp_map,
+                    &sid_prefix,
+                    script_id,
+                    attempt,
+                    rep,
+                    uid_base,
+                    &mut submitted[rep],
+                    &completed[rep],
+                    &blocked[rep],
+                    &mut handles,
                 )?;
             }
 
@@ -320,16 +334,33 @@ impl ClusterBft {
                             continue;
                         };
                         match outcome {
-                            JobOutcome::Success { metrics, nodes, output_file } => {
+                            JobOutcome::Success {
+                                metrics,
+                                nodes,
+                                output_file,
+                            } => {
                                 total += metrics;
                                 self.suspicion.record_jobs(nodes.iter().copied());
-                                let done = CompletedJob { file: output_file, nodes };
+                                let done = CompletedJob {
+                                    file: output_file,
+                                    nodes,
+                                };
                                 completed_by_uid.insert((uid_base + rep, job), done.clone());
                                 completed[rep].insert(job, done);
                                 self.submit_ready(
-                                    &plan, &graph, &run_jobs, &trusted, &vp_map,
-                                    &sid_prefix, script_id, attempt, rep, uid_base,
-                                    &mut submitted[rep], &completed[rep], &blocked[rep],
+                                    &plan,
+                                    &graph,
+                                    &run_jobs,
+                                    &trusted,
+                                    &vp_map,
+                                    &sid_prefix,
+                                    script_id,
+                                    attempt,
+                                    rep,
+                                    uid_base,
+                                    &mut submitted[rep],
+                                    &completed[rep],
+                                    &blocked[rep],
                                     &mut handles,
                                 )?;
                                 let all_done = (0..r).all(|i| {
@@ -403,7 +434,12 @@ impl ClusterBft {
                 // dependency already deviated merely inherited corrupt
                 // input — its own cluster is innocent.
                 for &job in &faulty_jobs {
-                    if graph.job(job).deps().iter().any(|d| faulty_jobs.contains(d)) {
+                    if graph
+                        .job(job)
+                        .deps()
+                        .iter()
+                        .any(|d| faulty_jobs.contains(d))
+                    {
                         continue;
                     }
                     if let Some(c) = completed_by_uid.get(&(uid, job)) {
@@ -418,8 +454,11 @@ impl ClusterBft {
             // Quorum-less mismatches (e.g. 1-vs-1 at r = f + 1): the fault
             // cannot be attributed to a replica, but the union of the
             // disagreeing clusters is known to contain it.
-            let mismatched_jobs: BTreeSet<JobId> =
-                verifier.mismatched_keys().iter().map(|k| k.1.job()).collect();
+            let mismatched_jobs: BTreeSet<JobId> = verifier
+                .mismatched_keys()
+                .iter()
+                .map(|k| k.1.job())
+                .collect();
             let mismatch_frontier: Vec<JobId> = mismatched_jobs
                 .iter()
                 .copied()
@@ -460,8 +499,10 @@ impl ClusterBft {
                     .copied()
                     .collect();
                 if std::env::var_os("CBFT_DEBUG").is_some() {
-                    let verdicts: Vec<String> =
-                        keys.iter().map(|k| format!("{:?}", verifier.verdict(k))).collect();
+                    let verdicts: Vec<String> = keys
+                        .iter()
+                        .map(|k| format!("{:?}", verifier.verdict(k)))
+                        .collect();
                     eprintln!(
                         "[cbft] attempt {attempt} job {job} output sites {sites:?} keys {} verdicts {:?}",
                         keys.len(),
@@ -482,10 +523,10 @@ impl ClusterBft {
 
             // Threshold exclusion (§4.2) plus precise exclusion of nodes
             // the fault analyzer has isolated down to a singleton set.
-            for node in self
-                .suspicion
-                .over_threshold(self.config.suspicion_threshold, self.config.suspicion_min_jobs)
-            {
+            for node in self.suspicion.over_threshold(
+                self.config.suspicion_threshold,
+                self.config.suspicion_min_jobs,
+            ) {
                 self.cluster.set_node_excluded(node, true);
             }
             if let Some(analyzer) = &self.analyzer {
@@ -603,51 +644,13 @@ impl ClusterBft {
         plan: &LogicalPlan,
         graph: &JobGraph,
     ) -> BTreeSet<VertexId> {
-        let stores: BTreeSet<VertexId> = plan.stores().into_iter().collect();
-        match &self.config.vp_policy {
-            VpPolicy::None => BTreeSet::new(),
-            VpPolicy::FinalOnly => stores,
-            VpPolicy::Marked(n) => {
-                let sizes = self.cluster.storage().sizes();
-                let analysis = analyze_plan(plan, &sizes);
-                let eligible = self.eligible_vertices(plan, graph);
-                // The final outputs are implicitly verified; seeding them
-                // as marked makes the n requested points land at
-                // intermediate job boundaries.
-                let seeds: Vec<VertexId> = stores.iter().copied().collect();
-                let marked = mark_seeded(
-                    plan,
-                    &analysis,
-                    *n as usize,
-                    |v| eligible.contains(&v.id()),
-                    &seeds,
-                );
-                marked.into_iter().chain(stores).collect()
-            }
-            VpPolicy::Individual => {
-                let mut all = self.eligible_vertices(plan, graph);
-                all.extend(stores);
-                all
-            }
-            VpPolicy::Explicit(vertices) => {
-                vertices.iter().copied().chain(stores).collect()
-            }
-        }
-    }
-
-    /// Eligible verification vertices under the adversary model: any
-    /// vertex for a weak adversary; only *job boundaries* (the vertices
-    /// whose streams are materialized between jobs) for a strong one
-    /// (§4.1).
-    fn eligible_vertices(&self, plan: &LogicalPlan, graph: &JobGraph) -> BTreeSet<VertexId> {
-        match self.config.adversary {
-            Adversary::Weak => plan.vertices().iter().map(|v| v.id()).collect(),
-            Adversary::Strong => graph
-                .jobs()
-                .iter()
-                .filter_map(job_output_vertex)
-                .collect(),
-        }
+        choose_points(
+            plan,
+            graph,
+            &self.config.vp_policy,
+            self.config.adversary,
+            &self.cluster.storage().sizes(),
+        )
     }
 
     /// Submits every not-yet-submitted job of `rep` whose inputs exist.
@@ -675,9 +678,10 @@ impl ClusterBft {
                 continue;
             }
             let job = graph.job(job_id);
-            let ready = job.deps().iter().all(|d| {
-                trusted.contains_key(d) || completed.contains_key(d)
-            });
+            let ready = job
+                .deps()
+                .iter()
+                .all(|d| trusted.contains_key(d) || completed.contains_key(d));
             if !ready {
                 continue;
             }
@@ -694,9 +698,7 @@ impl ClusterBft {
             // Combine only when no verification point needs the shuffle's
             // materialized bags.
             let combiner = if self.config.combiners
-                && !vps
-                    .iter()
-                    .any(|vp| matches!(vp.site, Site::Shuffle { .. }))
+                && !vps.iter().any(|vp| matches!(vp.site, Site::Shuffle { .. }))
             {
                 match (job.shuffle, job.reduce.first()) {
                     (Some(sh), Some(&first)) => cbft_dataflow::combiner::Combiner::for_job(
@@ -725,7 +727,11 @@ impl ClusterBft {
                     JobOutput::Store(name) => format!("{ns}/{name}"),
                     JobOutput::Intermediate => format!("{ns}/j{}", job_id.index()),
                 },
-                reduce_task_count: if job.single_reduce { 1 } else { self.config.reduce_tasks },
+                reduce_task_count: if job.single_reduce {
+                    1
+                } else {
+                    self.config.reduce_tasks
+                },
                 map_split_records: self.config.map_split_records,
                 verification_points: vps,
                 digest_granularity: self.config.digest_granularity,
@@ -758,7 +764,9 @@ impl ClusterBft {
                 let job = key.1.job();
                 for uid in deviant {
                     // Only the current attempt has cancellable work.
-                    let Some(rep) = uid.checked_sub(uid_base) else { continue };
+                    let Some(rep) = uid.checked_sub(uid_base) else {
+                        continue;
+                    };
                     if rep >= blocked.len() {
                         continue;
                     }
@@ -803,7 +811,10 @@ impl ClusterBft {
     fn restore_exclusions(&mut self, temp_excluded: &BTreeSet<NodeId>) {
         let mut keep: BTreeSet<NodeId> = self
             .suspicion
-            .over_threshold(self.config.suspicion_threshold, self.config.suspicion_min_jobs)
+            .over_threshold(
+                self.config.suspicion_threshold,
+                self.config.suspicion_min_jobs,
+            )
             .into_iter()
             .collect();
         if let Some(analyzer) = &self.analyzer {
@@ -827,7 +838,9 @@ impl ClusterBft {
             let JobOutput::Store(name) = &graph.job(job_id).output else {
                 continue;
             };
-            let Some(file) = file_of(job_id) else { continue };
+            let Some(file) = file_of(job_id) else {
+                continue;
+            };
             let records = self
                 .cluster
                 .storage()
@@ -850,9 +863,64 @@ impl std::fmt::Debug for ClusterBft {
     }
 }
 
+/// Chooses the instrumented vertices for `plan` under `policy`: the
+/// policy's points plus the final outputs. A free function (rather than a
+/// [`ClusterBft`] method) so the sequential pipeline and the parallel
+/// executor place *identical* verification points — digests are only
+/// comparable across executors when the instrumented vertex sets match.
+pub(crate) fn choose_points(
+    plan: &LogicalPlan,
+    graph: &JobGraph,
+    policy: &VpPolicy,
+    adversary: Adversary,
+    sizes: &HashMap<String, u64>,
+) -> BTreeSet<VertexId> {
+    let stores: BTreeSet<VertexId> = plan.stores().into_iter().collect();
+    match policy {
+        VpPolicy::None => BTreeSet::new(),
+        VpPolicy::FinalOnly => stores,
+        VpPolicy::Marked(n) => {
+            let analysis = analyze_plan(plan, sizes);
+            let eligible = eligible_vertices(plan, graph, adversary);
+            // The final outputs are implicitly verified; seeding them
+            // as marked makes the n requested points land at
+            // intermediate job boundaries.
+            let seeds: Vec<VertexId> = stores.iter().copied().collect();
+            let marked = mark_seeded(
+                plan,
+                &analysis,
+                *n as usize,
+                |v| eligible.contains(&v.id()),
+                &seeds,
+            );
+            marked.into_iter().chain(stores).collect()
+        }
+        VpPolicy::Individual => {
+            let mut all = eligible_vertices(plan, graph, adversary);
+            all.extend(stores);
+            all
+        }
+        VpPolicy::Explicit(vertices) => vertices.iter().copied().chain(stores).collect(),
+    }
+}
+
+/// Eligible verification vertices under the adversary model: any vertex
+/// for a weak adversary; only *job boundaries* (the vertices whose streams
+/// are materialized between jobs) for a strong one (§4.1).
+pub(crate) fn eligible_vertices(
+    plan: &LogicalPlan,
+    graph: &JobGraph,
+    adversary: Adversary,
+) -> BTreeSet<VertexId> {
+    match adversary {
+        Adversary::Weak => plan.vertices().iter().map(|v| v.id()).collect(),
+        Adversary::Strong => graph.jobs().iter().filter_map(job_output_vertex).collect(),
+    }
+}
+
 /// The vertex whose stream is this job's output (`None` for an empty job,
 /// which compilation never produces).
-fn job_output_vertex(job: &MrJob) -> Option<VertexId> {
+pub(crate) fn job_output_vertex(job: &MrJob) -> Option<VertexId> {
     if let Some(&v) = job.reduce.last() {
         return Some(v);
     }
@@ -863,9 +931,12 @@ fn job_output_vertex(job: &MrJob) -> Option<VertexId> {
 }
 
 /// The digest sites that cover this job's output stream.
-fn job_output_sites(job: &MrJob) -> Vec<Site> {
+pub(crate) fn job_output_sites(job: &MrJob) -> Vec<Site> {
     if !job.reduce.is_empty() {
-        return vec![Site::Reduce { job: job.id(), pos: job.reduce.len() - 1 }];
+        return vec![Site::Reduce {
+            job: job.id(),
+            pos: job.reduce.len() - 1,
+        }];
     }
     if job.shuffle.is_some() {
         return vec![Site::Shuffle { job: job.id() }];
@@ -874,7 +945,11 @@ fn job_output_sites(job: &MrJob) -> Vec<Site> {
         .iter()
         .enumerate()
         .filter(|(_, i)| !i.pipeline.is_empty())
-        .map(|(idx, i)| Site::MapInput { job: job.id(), input: idx, pos: i.pipeline.len() - 1 })
+        .map(|(idx, i)| Site::MapInput {
+            job: job.id(),
+            input: idx,
+            pos: i.pipeline.len() - 1,
+        })
         .collect()
 }
 
@@ -902,14 +977,16 @@ fn job_descendants(graph: &JobGraph) -> Vec<BTreeSet<JobId>> {
 }
 
 /// Groups the chosen vertices' execution sites by job.
-fn vp_sites_by_job(
+pub(crate) fn vp_sites_by_job(
     graph: &JobGraph,
     vps: &BTreeSet<VertexId>,
 ) -> HashMap<JobId, Vec<VpSite>> {
     let mut map: HashMap<JobId, Vec<VpSite>> = HashMap::new();
     for &v in vps {
         for site in graph.vertex_sites(v) {
-            map.entry(site.job()).or_default().push(VpSite { vertex: v, site });
+            map.entry(site.job())
+                .or_default()
+                .push(VpSite { vertex: v, site });
         }
     }
     map
@@ -930,17 +1007,20 @@ mod tests {
         let l = b.add_load("f", &["x"]).unwrap();
         let g = b.add_group(l, 0).unwrap();
         let c = b
-            .add_project(
-                g,
-                vec![(cbft_dataflow::Expr::Col(0), "k".into())],
-            )
+            .add_project(g, vec![(cbft_dataflow::Expr::Col(0), "k".into())])
             .unwrap();
         b.add_store(c, "o").unwrap();
         let plan = b.build().unwrap();
         let graph = compile_plan(&plan);
         let job = &graph.jobs()[0];
         let sites = job_output_sites(job);
-        assert_eq!(sites, vec![Site::Reduce { job: job.id(), pos: job.reduce.len() - 1 }]);
+        assert_eq!(
+            sites,
+            vec![Site::Reduce {
+                job: job.id(),
+                pos: job.reduce.len() - 1
+            }]
+        );
         assert_eq!(job_output_vertex(job), job.reduce.last().copied());
     }
 
@@ -955,7 +1035,11 @@ mod tests {
         let graph = compile_plan(&plan);
         let job = &graph.jobs()[0];
         let sites = job_output_sites(job);
-        assert_eq!(sites.len(), 2, "both union branches digest the store marker");
+        assert_eq!(
+            sites.len(),
+            2,
+            "both union branches digest the store marker"
+        );
     }
 
     #[test]

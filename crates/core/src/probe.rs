@@ -45,7 +45,9 @@ impl ClusterBft {
     pub fn probe_suspects(&mut self, max_probes: u32) -> Result<ProbeReport, SubmitError> {
         let mut probes_run = 0;
         for _ in 0..max_probes {
-            let Some(analyzer) = self.fault_analyzer() else { break };
+            let Some(analyzer) = self.fault_analyzer() else {
+                break;
+            };
             let suspects = analyzer.suspected_nodes();
             let unresolved: Vec<NodeId> = analyzer
                 .suspects()
@@ -66,10 +68,9 @@ impl ClusterBft {
 
             let node_count = self.cluster().node_count();
             let helper_target = (node_count / 3).max(6).min(node_count);
-            let mut keep: std::collections::BTreeSet<NodeId> =
-                std::iter::once(target).collect();
+            let mut keep: std::collections::BTreeSet<NodeId> = std::iter::once(target).collect();
             for i in 0..node_count {
-                if keep.len() >= 1 + helper_target {
+                if keep.len() > helper_target {
                     break;
                 }
                 let node = NodeId(i);
@@ -83,7 +84,8 @@ impl ClusterBft {
                 .collect();
             for i in 0..node_count {
                 let node = NodeId(i);
-                self.cluster_mut().set_node_excluded(node, !keep.contains(&node));
+                self.cluster_mut()
+                    .set_node_excluded(node, !keep.contains(&node));
             }
 
             let result = self.run_one_probe(probes_run);
@@ -102,7 +104,11 @@ impl ClusterBft {
             Some(a) => (a.isolated_faulty_nodes(), a.suspected_nodes().len()),
             None => (Vec::new(), 0),
         };
-        Ok(ProbeReport { probes_run, isolated, remaining_suspects })
+        Ok(ProbeReport {
+            probes_run,
+            isolated,
+            remaining_suspects,
+        })
     }
 
     /// One dummy job: a tiny group-and-count over synthetic records with a
@@ -188,7 +194,10 @@ mod tests {
         let excluded: Vec<usize> = (0..12)
             .filter(|&i| cbft.cluster().node_excluded(NodeId(i)))
             .collect();
-        assert!(excluded.iter().all(|&i| i == 4), "only the faulty node may stay excluded: {excluded:?}");
+        assert!(
+            excluded.iter().all(|&i| i == 4),
+            "only the faulty node may stay excluded: {excluded:?}"
+        );
     }
 
     #[test]

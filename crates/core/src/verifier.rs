@@ -18,6 +18,34 @@ use serde::{Deserialize, Serialize};
 /// identically.
 pub type DigestKey = (VertexId, Site, TaskKind, usize);
 
+/// A digest report as it crosses the replica-to-verifier channel of the
+/// parallel executor: the raw [`DigestReport`] plus the globally unique
+/// replica id that produced it and a per-replica sequence number.
+///
+/// Each replica's simulation is deterministic, so `(uid, seq)` pins the
+/// report to one exact position in that replica's event stream no matter
+/// which worker thread ran it or how channel messages interleaved.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StreamedReport {
+    /// Globally unique replica id (unique across escalation rounds).
+    pub uid: usize,
+    /// Position of this report within the replica's own digest stream.
+    pub seq: u64,
+    /// The digest report.
+    pub report: DigestReport,
+}
+
+impl StreamedReport {
+    /// The canonical transcript ordering key: *(correspondence key,
+    /// replica, sequence)*. Sorting any thread interleaving of streamed
+    /// reports by this key produces one and the same transcript, which is
+    /// what makes the parallel executor's verdict independent of
+    /// scheduling.
+    pub fn ordering_key(&self) -> (DigestKey, usize, u64) {
+        (self.report.correspondence_key(), self.uid, self.seq)
+    }
+}
+
 /// Verdict for one correspondence key.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum KeyVerdict {
@@ -61,7 +89,11 @@ impl Verifier {
     /// Creates a verifier for `expected_replicas` replicas tolerating `f`
     /// faults.
     pub fn new(f: usize, expected_replicas: usize) -> Self {
-        Verifier { f, expected_replicas, table: BTreeMap::new() }
+        Verifier {
+            f,
+            expected_replicas,
+            table: BTreeMap::new(),
+        }
     }
 
     /// Updates the expected replica count — grows when later attempts add
@@ -81,6 +113,23 @@ impl Verifier {
             .insert(report.replica, report.summary.clone());
     }
 
+    /// Streaming ingest: records a report from the parallel executor's
+    /// channel under its globally unique replica id and returns the key's
+    /// verdict *after* insertion, so callers can react (early-cancel,
+    /// escalate) while sibling replicas are still executing.
+    ///
+    /// Ingest order does not matter: the verdict reached once all reports
+    /// are in is the same for every interleaving, because the table is
+    /// keyed — not ordered — storage.
+    pub fn ingest(&mut self, streamed: &StreamedReport) -> KeyVerdict {
+        let key = streamed.report.correspondence_key();
+        self.table
+            .entry(key)
+            .or_default()
+            .insert(streamed.uid, streamed.report.summary.clone());
+        self.verdict(&key)
+    }
+
     /// Number of correspondence keys seen so far.
     pub fn keys_seen(&self) -> usize {
         self.table.len()
@@ -98,11 +147,14 @@ impl Verifier {
         };
         let mut counts: BTreeMap<Digest, BTreeSet<usize>> = BTreeMap::new();
         for (&replica, summary) in reports {
-            counts.entry(summary.combined()).or_default().insert(replica);
+            counts
+                .entry(summary.combined())
+                .or_default()
+                .insert(replica);
         }
         if let Some((digest, matching)) = counts
             .iter()
-            .find(|(_, replicas)| replicas.len() >= self.f + 1)
+            .find(|(_, replicas)| replicas.len() > self.f)
             .map(|(d, r)| (*d, r.clone()))
         {
             let deviant = reports
@@ -110,11 +162,15 @@ impl Verifier {
                 .filter(|(_, s)| s.combined() != digest)
                 .map(|(r, _)| *r)
                 .collect();
-            return KeyVerdict::Verified { digest, matching, deviant };
+            return KeyVerdict::Verified {
+                digest,
+                matching,
+                deviant,
+            };
         }
         let best = counts.values().map(BTreeSet::len).max().unwrap_or(0);
         let missing = self.expected_replicas.saturating_sub(reports.len());
-        if best + missing >= self.f + 1 {
+        if best + missing > self.f {
             KeyVerdict::Pending
         } else {
             KeyVerdict::Mismatch
@@ -178,9 +234,7 @@ impl Verifier {
         let summaries: Vec<&ChunkedSummary> = reports.values().collect();
         for i in 0..summaries.len() {
             for j in (i + 1)..summaries.len() {
-                if let StreamVerdict::DivergedAt { chunk } =
-                    summaries[i].compare(summaries[j])
-                {
+                if let StreamVerdict::DivergedAt { chunk } = summaries[i].compare(summaries[j]) {
                     min_chunk = Some(min_chunk.map_or(chunk, |m| m.min(chunk)));
                 }
             }
@@ -221,7 +275,12 @@ mod tests {
     }
 
     fn key() -> DigestKey {
-        (VertexId(3), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0)
+        (
+            VertexId(3),
+            Site::Shuffle { job: JobId(0) },
+            TaskKind::Reduce,
+            0,
+        )
     }
 
     #[test]
@@ -231,7 +290,9 @@ mod tests {
         assert_eq!(v.verdict(&key()), KeyVerdict::Pending);
         v.record(&report(1, b"good"));
         match v.verdict(&key()) {
-            KeyVerdict::Verified { matching, deviant, .. } => {
+            KeyVerdict::Verified {
+                matching, deviant, ..
+            } => {
                 assert_eq!(matching, BTreeSet::from([0, 1]));
                 assert!(deviant.is_empty());
             }
@@ -259,9 +320,17 @@ mod tests {
     fn mismatch_when_agreement_impossible() {
         let mut v = Verifier::new(1, 2);
         v.record(&report(0, b"a"));
-        assert_eq!(v.verdict(&key()), KeyVerdict::Pending, "replica 1 could still agree");
+        assert_eq!(
+            v.verdict(&key()),
+            KeyVerdict::Pending,
+            "replica 1 could still agree"
+        );
         v.record(&report(1, b"b"));
-        assert_eq!(v.verdict(&key()), KeyVerdict::Mismatch, "1-vs-1 with f=1 can never quorum");
+        assert_eq!(
+            v.verdict(&key()),
+            KeyVerdict::Mismatch,
+            "1-vs-1 with f=1 can never quorum"
+        );
         assert_eq!(v.mismatched_keys().len(), 1);
     }
 
@@ -291,6 +360,71 @@ mod tests {
         let v = Verifier::new(1, 4);
         assert_eq!(v.verdict(&key()), KeyVerdict::Pending);
         assert_eq!(v.keys_seen(), 0);
+    }
+
+    #[test]
+    fn ingest_returns_live_verdict_and_matches_record() {
+        let mut streamed = Verifier::new(1, 3);
+        let sr = |uid: usize, payload: &[u8]| StreamedReport {
+            uid,
+            seq: 0,
+            report: report(uid, payload),
+        };
+        assert_eq!(streamed.ingest(&sr(0, b"good")), KeyVerdict::Pending);
+        let verdict = streamed.ingest(&sr(1, b"good"));
+        assert!(verdict.is_verified(), "{verdict:?}");
+
+        let mut recorded = Verifier::new(1, 3);
+        recorded.record(&report(0, b"good"));
+        recorded.record(&report(1, b"good"));
+        assert_eq!(streamed, recorded, "ingest and record build the same table");
+    }
+
+    #[test]
+    fn ingest_uses_the_streamed_uid() {
+        // The channel wrapper's uid wins even if the inner report disagrees
+        // (fresh escalation rounds re-number replicas globally).
+        let mut v = Verifier::new(1, 3);
+        v.ingest(&StreamedReport {
+            uid: 7,
+            seq: 0,
+            report: report(0, b"x"),
+        });
+        v.ingest(&StreamedReport {
+            uid: 8,
+            seq: 0,
+            report: report(0, b"x"),
+        });
+        match v.verdict(&key()) {
+            KeyVerdict::Verified { matching, .. } => {
+                assert_eq!(matching, BTreeSet::from([7, 8]))
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordering_key_is_interleaving_independent() {
+        let mk = |uid: usize, seq: u64, payload: &[u8]| StreamedReport {
+            uid,
+            seq,
+            report: report(uid, payload),
+        };
+        let mut a = vec![
+            mk(1, 1, b"x"),
+            mk(0, 0, b"x"),
+            mk(0, 1, b"y"),
+            mk(1, 0, b"z"),
+        ];
+        let mut b = vec![
+            mk(0, 1, b"y"),
+            mk(1, 0, b"z"),
+            mk(1, 1, b"x"),
+            mk(0, 0, b"x"),
+        ];
+        a.sort_by_key(StreamedReport::ordering_key);
+        b.sort_by_key(StreamedReport::ordering_key);
+        assert_eq!(a, b, "any arrival order sorts to one canonical transcript");
     }
 }
 
@@ -323,7 +457,12 @@ mod divergence_tests {
     fn fine_granularity_localizes_the_corruption() {
         let good: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e", b"f"];
         let bad: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"X", b"f"];
-        let key = (VertexId(1), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0);
+        let key = (
+            VertexId(1),
+            Site::Shuffle { job: JobId(0) },
+            TaskKind::Reduce,
+            0,
+        );
 
         // Granularity 2: record 4 corrupt → chunk 2.
         let mut v = Verifier::new(1, 2);
@@ -342,7 +481,12 @@ mod divergence_tests {
     #[test]
     fn agreement_has_no_divergence() {
         let recs: Vec<&[u8]> = vec![b"a", b"b"];
-        let key = (VertexId(1), Site::Shuffle { job: JobId(0) }, TaskKind::Reduce, 0);
+        let key = (
+            VertexId(1),
+            Site::Shuffle { job: JobId(0) },
+            TaskKind::Reduce,
+            0,
+        );
         let mut v = Verifier::new(1, 2);
         v.record(&report_chunked(0, &recs, 1));
         v.record(&report_chunked(1, &recs, 1));

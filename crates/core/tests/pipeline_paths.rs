@@ -161,12 +161,12 @@ fn publish_collision_is_reported_as_storage_error() {
             .build(),
     );
     // Occupy the output name before the run publishes.
-    cbft.cluster_mut().storage_mut().write("counts", vec![]).unwrap();
+    cbft.cluster_mut()
+        .storage_mut()
+        .write("counts", vec![])
+        .unwrap();
     let err = cbft.submit_script(SCRIPT).unwrap_err();
-    assert!(
-        matches!(err, clusterbft::SubmitError::Storage(_)),
-        "{err}"
-    );
+    assert!(matches!(err, clusterbft::SubmitError::Storage(_)), "{err}");
 }
 
 #[test]
@@ -191,7 +191,10 @@ fn exhausted_attempts_return_unverified_without_publishing() {
     );
     let outcome = cbft.submit_script(SCRIPT).unwrap();
     assert!(!outcome.verified());
-    assert!(outcome.outputs().is_empty(), "unverified output must not publish");
+    assert!(
+        outcome.outputs().is_empty(),
+        "unverified output must not publish"
+    );
     assert!(!cbft.cluster().storage().exists("counts"));
     assert_eq!(outcome.attempts(), 2);
 }
@@ -208,7 +211,9 @@ fn missing_input_fails_before_any_execution() {
 fn parse_errors_surface_with_line_numbers() {
     let cluster = Cluster::builder().nodes(4).seed(7).build();
     let mut cbft = ClusterBft::new(cluster, JobConfig::default());
-    let err = cbft.submit_script("a = LOAD 'x' AS (y);\nb = WAT a;").unwrap_err();
+    let err = cbft
+        .submit_script("a = LOAD 'x' AS (y);\nb = WAT a;")
+        .unwrap_err();
     assert!(matches!(err, clusterbft::SubmitError::Parse(_)), "{err}");
 }
 
@@ -250,7 +255,11 @@ fn combiners_preserve_outputs_and_verification() {
     // And the verified output still equals the reference interpreter.
     let plan = Script::parse(SCRIPT).unwrap().into_plan();
     let inputs = HashMap::from([("edges".to_owned(), edges(500))]);
-    let mut reference = interpret(&plan, &inputs).unwrap().output("counts").unwrap().to_vec();
+    let mut reference = interpret(&plan, &inputs)
+        .unwrap()
+        .output("counts")
+        .unwrap()
+        .to_vec();
     reference.sort();
     assert_eq!(a, reference);
 }
@@ -297,7 +306,8 @@ fn administrator_cycle_patches_and_readmits_a_node() {
     assert!(
         cbft.cluster().node_excluded(NodeId(2)),
         "isolated node must be excluded: {:?}",
-        cbft.fault_analyzer().map(clusterbft::FaultAnalyzer::suspects)
+        cbft.fault_analyzer()
+            .map(clusterbft::FaultAnalyzer::suspects)
     );
 
     // The administrator patches the node and reinserts it.

@@ -131,11 +131,7 @@ pub fn analyze_plan(plan: &LogicalPlan, input_sizes: &HashMap<String, u64>) -> P
                 input_sizes.get(input).copied().unwrap_or(0) as f64 / total as f64
             }
         } else {
-            let parent_sum: f64 = vert
-                .parents()
-                .iter()
-                .map(|p| input_ratios[p.index()])
-                .sum();
+            let parent_sum: f64 = vert.parents().iter().map(|p| input_ratios[p.index()]).sum();
             let denom = level_mass[lvl - 1];
             if denom == 0.0 {
                 0.0
@@ -147,7 +143,10 @@ pub fn analyze_plan(plan: &LogicalPlan, input_sizes: &HashMap<String, u64>) -> P
         level_mass[lvl] += ir;
     }
 
-    PlanAnalysis { levels, input_ratios }
+    PlanAnalysis {
+        levels,
+        input_ratios,
+    }
 }
 
 /// The marker function of Fig. 3: selects `n` verification points.

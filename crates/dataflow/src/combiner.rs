@@ -80,7 +80,11 @@ impl Combiner {
         for e in exprs {
             let slot = match e {
                 Expr::Col(0) => CombineSlot::Key,
-                Expr::Agg { func, bag_col: 1, field } => match (func, field) {
+                Expr::Agg {
+                    func,
+                    bag_col: 1,
+                    field,
+                } => match (func, field) {
                     (AggFunc::Count, _) => CombineSlot::Count,
                     (AggFunc::Sum, Some(f)) => CombineSlot::Sum { field: *f },
                     (AggFunc::Min, Some(f)) => CombineSlot::Min { field: *f },
@@ -138,9 +142,7 @@ impl Combiner {
                             fields.push(Value::Int(int_fold(&bag, *field, 0, i64::wrapping_add)));
                             fields.push(Value::Int(
                                 bag.iter()
-                                    .filter(|r| {
-                                        r.get(*field).and_then(Value::as_int).is_some()
-                                    })
+                                    .filter(|r| r.get(*field).and_then(Value::as_int).is_some())
                                     .count() as i64,
                             ));
                         }
@@ -192,7 +194,11 @@ impl Combiner {
                                 .iter()
                                 .filter_map(|p| p.get(idx + 1).and_then(Value::as_int))
                                 .fold(0i64, i64::wrapping_add);
-                            out.push(if n == 0 { Value::Null } else { Value::Int(sum / n) });
+                            out.push(if n == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(sum / n)
+                            });
                         }
                     }
                     idx += slot.partial_width().min(2) * usize::from(*slot != CombineSlot::Key);
@@ -210,13 +216,17 @@ fn int_fold(bag: &[&Record], field: usize, init: i64, f: fn(i64, i64) -> i64) ->
 }
 
 fn int_extreme(bag: &[&Record], field: usize, min: bool) -> Value {
-    let it = bag.iter().filter_map(|r| r.get(field).and_then(Value::as_int));
+    let it = bag
+        .iter()
+        .filter_map(|r| r.get(field).and_then(Value::as_int));
     let v = if min { it.min() } else { it.max() };
     v.map_or(Value::Null, Value::Int)
 }
 
 fn merge_extreme(parts: &[&Record], idx: usize, min: bool) -> Value {
-    let it = parts.iter().filter_map(|p| p.get(idx).and_then(Value::as_int));
+    let it = parts
+        .iter()
+        .filter_map(|p| p.get(idx).and_then(Value::as_int));
     let v = if min { it.min() } else { it.max() };
     v.map_or(Value::Null, Value::Int)
 }
@@ -233,11 +243,31 @@ mod tests {
     fn full_exprs() -> Vec<Expr> {
         vec![
             Expr::Col(0),
-            Expr::Agg { func: AggFunc::Count, bag_col: 1, field: None },
-            Expr::Agg { func: AggFunc::Sum, bag_col: 1, field: Some(1) },
-            Expr::Agg { func: AggFunc::Min, bag_col: 1, field: Some(1) },
-            Expr::Agg { func: AggFunc::Max, bag_col: 1, field: Some(1) },
-            Expr::Agg { func: AggFunc::Avg, bag_col: 1, field: Some(1) },
+            Expr::Agg {
+                func: AggFunc::Count,
+                bag_col: 1,
+                field: None,
+            },
+            Expr::Agg {
+                func: AggFunc::Sum,
+                bag_col: 1,
+                field: Some(1),
+            },
+            Expr::Agg {
+                func: AggFunc::Min,
+                bag_col: 1,
+                field: Some(1),
+            },
+            Expr::Agg {
+                func: AggFunc::Max,
+                bag_col: 1,
+                field: Some(1),
+            },
+            Expr::Agg {
+                func: AggFunc::Avg,
+                bag_col: 1,
+                field: Some(1),
+            },
         ]
     }
 
@@ -260,13 +290,21 @@ mod tests {
         .is_none());
         assert!(Combiner::for_group_projection(
             0,
-            &[Expr::arith(crate::expr::ArithOp::Add, Expr::Col(0), Expr::IntLit(1))]
+            &[Expr::arith(
+                crate::expr::ArithOp::Add,
+                Expr::Col(0),
+                Expr::IntLit(1)
+            )]
         )
         .is_none());
         // SUM without a field is malformed and not combinable.
         assert!(Combiner::for_group_projection(
             0,
-            &[Expr::Agg { func: AggFunc::Sum, bag_col: 1, field: None }]
+            &[Expr::Agg {
+                func: AggFunc::Sum,
+                bag_col: 1,
+                field: None
+            }]
         )
         .is_none());
     }
@@ -327,7 +365,11 @@ mod tests {
 
     #[test]
     fn projection_without_key_column_still_merges() {
-        let exprs = vec![Expr::Agg { func: AggFunc::Count, bag_col: 1, field: None }];
+        let exprs = vec![Expr::Agg {
+            func: AggFunc::Count,
+            bag_col: 1,
+            field: None,
+        }];
         let comb = Combiner::for_group_projection(0, &exprs).unwrap();
         let records = vec![rec(&[1, 0]), rec(&[2, 0]), rec(&[1, 0])];
         let merged = comb.merge(&comb.partials(&records));
@@ -337,7 +379,11 @@ mod tests {
 
     #[test]
     fn partial_records_carry_leading_key() {
-        let exprs = vec![Expr::Agg { func: AggFunc::Sum, bag_col: 1, field: Some(1) }];
+        let exprs = vec![Expr::Agg {
+            func: AggFunc::Sum,
+            bag_col: 1,
+            field: Some(1),
+        }];
         let comb = Combiner::for_group_projection(0, &exprs).unwrap();
         let partials = comb.partials(&[rec(&[7, 3]), rec(&[7, 4])]);
         assert_eq!(partials, vec![rec(&[7, 7])], "[key, partial-sum]");

@@ -197,7 +197,11 @@ impl JobGraph {
             for (i, input) in job.inputs.iter().enumerate() {
                 for (pos, &pv) in input.pipeline.iter().enumerate() {
                     if pv == v {
-                        sites.push(Site::MapInput { job: job.id, input: i, pos });
+                        sites.push(Site::MapInput {
+                            job: job.id,
+                            input: i,
+                            pos,
+                        });
                     }
                 }
             }
@@ -226,8 +230,11 @@ impl JobGraph {
                         DataSource::Hdfs(f) => format!("hdfs:{f}"),
                         DataSource::Intermediate(j) => format!("{j}"),
                     };
-                    let ops: Vec<&str> =
-                        i.pipeline.iter().map(|&v| plan.vertex(v).op().name()).collect();
+                    let ops: Vec<&str> = i
+                        .pipeline
+                        .iter()
+                        .map(|&v| plan.vertex(v).op().name())
+                        .collect();
                     format!("{src}→[{}]", ops.join(","))
                 })
                 .collect();
@@ -235,8 +242,11 @@ impl JobGraph {
                 .shuffle
                 .map(|v| plan.vertex(v).op().name())
                 .unwrap_or("-");
-            let reduce: Vec<&str> =
-                job.reduce.iter().map(|&v| plan.vertex(v).op().name()).collect();
+            let reduce: Vec<&str> = job
+                .reduce
+                .iter()
+                .map(|&v| plan.vertex(v).op().name())
+                .collect();
             let output = match &job.output {
                 JobOutput::Store(f) => format!("store:{f}"),
                 JobOutput::Intermediate => "tmp".to_owned(),
@@ -261,15 +271,17 @@ impl JobGraph {
     /// materialized dependency.
     pub fn to_dot(&self, plan: &LogicalPlan) -> String {
         use std::fmt::Write as _;
-        let mut out =
-            String::from("digraph jobs {\n  rankdir=TB;\n  node [shape=record];\n");
+        let mut out = String::from("digraph jobs {\n  rankdir=TB;\n  node [shape=record];\n");
         for job in &self.jobs {
             let inputs: Vec<String> = job
                 .inputs
                 .iter()
                 .map(|i| {
-                    let ops: Vec<&str> =
-                        i.pipeline.iter().map(|&v| plan.vertex(v).op().name()).collect();
+                    let ops: Vec<&str> = i
+                        .pipeline
+                        .iter()
+                        .map(|&v| plan.vertex(v).op().name())
+                        .collect();
                     ops.join("\\>")
                 })
                 .collect();
@@ -277,8 +289,11 @@ impl JobGraph {
                 .shuffle
                 .map(|v| plan.vertex(v).op().name())
                 .unwrap_or("-");
-            let reduce: Vec<&str> =
-                job.reduce.iter().map(|&v| plan.vertex(v).op().name()).collect();
+            let reduce: Vec<&str> = job
+                .reduce
+                .iter()
+                .map(|&v| plan.vertex(v).op().name())
+                .collect();
             let output = match &job.output {
                 JobOutput::Store(f) => format!("store {f}"),
                 JobOutput::Intermediate => "tmp".to_owned(),

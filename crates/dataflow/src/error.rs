@@ -14,7 +14,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(message: impl Into<String>, line: Option<usize>) -> Self {
-        ParseError { message: message.into(), line }
+        ParseError {
+            message: message.into(),
+            line,
+        }
     }
 
     /// The 1-based source line of the error, when known.
@@ -73,12 +76,22 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::BadArity { op, expected, actual } => {
-                write!(f, "operator {op} requires {expected} input(s), got {actual}")
+            PlanError::BadArity {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "operator {op} requires {expected} input(s), got {actual}"
+                )
             }
             PlanError::UnknownVertex(id) => write!(f, "unknown vertex id {id}"),
             PlanError::ColumnOutOfRange { index, width } => {
-                write!(f, "column index {index} out of range for schema of width {width}")
+                write!(
+                    f,
+                    "column index {index} out of range for schema of width {width}"
+                )
             }
             PlanError::UnionArityMismatch { left, right } => {
                 write!(f, "union inputs have differing arities ({left} vs {right})")

@@ -171,7 +171,11 @@ impl Expr {
             }
             Expr::Not(e) => Value::Int(!e.eval(ctx).is_truthy() as i64),
             Expr::IsNull(e) => Value::Int(e.eval(ctx).is_null() as i64),
-            Expr::Agg { func, bag_col, field } => {
+            Expr::Agg {
+                func,
+                bag_col,
+                field,
+            } => {
                 let Some(Value::Bag(bag)) = ctx.record.get(*bag_col) else {
                     return Value::Null;
                 };
@@ -200,7 +204,10 @@ fn eval_agg(func: AggFunc, bag: &[Record], field: Option<usize>) -> Value {
         AggFunc::Count => Value::Int(bag.len() as i64),
         AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max => {
             let Some(f) = field else { return Value::Null };
-            let ints = bag.iter().filter_map(|r| r.get(f)).filter_map(Value::as_int);
+            let ints = bag
+                .iter()
+                .filter_map(|r| r.get(f))
+                .filter_map(Value::as_int);
             match func {
                 AggFunc::Sum => Value::Int(ints.fold(0i64, i64::wrapping_add)),
                 AggFunc::Avg => {
@@ -260,26 +267,65 @@ mod tests {
     #[test]
     fn comparisons_yield_bool_ints() {
         let r = rec(vec![Value::Int(5), Value::str("b")]);
-        assert_eq!(eval(&Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::IntLit(9)), &r), Value::Int(1));
-        assert_eq!(eval(&Expr::cmp(CmpOp::Eq, Expr::Col(1), Expr::StrLit("b".into())), &r), Value::Int(1));
-        assert_eq!(eval(&Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::IntLit(9)), &r), Value::Int(0));
+        assert_eq!(
+            eval(&Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::IntLit(9)), &r),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(
+                &Expr::cmp(CmpOp::Eq, Expr::Col(1), Expr::StrLit("b".into())),
+                &r
+            ),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval(&Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::IntLit(9)), &r),
+            Value::Int(0)
+        );
     }
 
     #[test]
     fn arithmetic_and_division_by_zero() {
         let r = rec(vec![Value::Int(7)]);
-        assert_eq!(eval(&Expr::arith(ArithOp::Mul, Expr::Col(0), Expr::IntLit(3)), &r), Value::Int(21));
-        assert_eq!(eval(&Expr::arith(ArithOp::Div, Expr::Col(0), Expr::IntLit(0)), &r), Value::Null);
-        assert_eq!(eval(&Expr::arith(ArithOp::Mod, Expr::Col(0), Expr::IntLit(4)), &r), Value::Int(3));
+        assert_eq!(
+            eval(
+                &Expr::arith(ArithOp::Mul, Expr::Col(0), Expr::IntLit(3)),
+                &r
+            ),
+            Value::Int(21)
+        );
+        assert_eq!(
+            eval(
+                &Expr::arith(ArithOp::Div, Expr::Col(0), Expr::IntLit(0)),
+                &r
+            ),
+            Value::Null
+        );
+        assert_eq!(
+            eval(
+                &Expr::arith(ArithOp::Mod, Expr::Col(0), Expr::IntLit(4)),
+                &r
+            ),
+            Value::Int(3)
+        );
         // Type mismatch → null, not panic.
         let s = rec(vec![Value::str("x")]);
-        assert_eq!(eval(&Expr::arith(ArithOp::Add, Expr::Col(0), Expr::IntLit(1)), &s), Value::Null);
+        assert_eq!(
+            eval(
+                &Expr::arith(ArithOp::Add, Expr::Col(0), Expr::IntLit(1)),
+                &s
+            ),
+            Value::Null
+        );
     }
 
     #[test]
     fn logic_and_null_tests() {
         let r = rec(vec![Value::Null, Value::Int(1)]);
-        assert_eq!(eval(&Expr::IsNull(Box::new(Expr::Col(0))), &r), Value::Int(1));
+        assert_eq!(
+            eval(&Expr::IsNull(Box::new(Expr::Col(0))), &r),
+            Value::Int(1)
+        );
         assert_eq!(eval(&Expr::is_not_null(Expr::Col(1)), &r), Value::Int(1));
         let both = Expr::And(
             Box::new(Expr::is_not_null(Expr::Col(1))),
@@ -303,10 +349,18 @@ mod tests {
             rec(vec![Value::Int(3), Value::Int(31)]),
         ]);
         let r = rec(vec![Value::str("k"), bag]);
-        let agg = |func, field| Expr::Agg { func, bag_col: 1, field };
+        let agg = |func, field| Expr::Agg {
+            func,
+            bag_col: 1,
+            field,
+        };
         assert_eq!(eval(&agg(AggFunc::Count, None), &r), Value::Int(3));
         assert_eq!(eval(&agg(AggFunc::Sum, Some(1)), &r), Value::Int(61));
-        assert_eq!(eval(&agg(AggFunc::Avg, Some(1)), &r), Value::Int(20), "truncated avg");
+        assert_eq!(
+            eval(&agg(AggFunc::Avg, Some(1)), &r),
+            Value::Int(20),
+            "truncated avg"
+        );
         assert_eq!(eval(&agg(AggFunc::Min, Some(1)), &r), Value::Int(10));
         assert_eq!(eval(&agg(AggFunc::Max, Some(1)), &r), Value::Int(31));
     }
@@ -314,14 +368,22 @@ mod tests {
     #[test]
     fn aggregate_on_non_bag_is_null() {
         let r = rec(vec![Value::Int(5)]);
-        let e = Expr::Agg { func: AggFunc::Count, bag_col: 0, field: None };
+        let e = Expr::Agg {
+            func: AggFunc::Count,
+            bag_col: 0,
+            field: None,
+        };
         assert_eq!(eval(&e, &r), Value::Null);
     }
 
     #[test]
     fn avg_of_empty_bag_is_null() {
         let r = rec(vec![Value::Bag(vec![])]);
-        let e = Expr::Agg { func: AggFunc::Avg, bag_col: 0, field: Some(0) };
+        let e = Expr::Agg {
+            func: AggFunc::Avg,
+            bag_col: 0,
+            field: Some(0),
+        };
         assert_eq!(eval(&e, &r), Value::Null);
     }
 

@@ -120,10 +120,11 @@ pub fn interpret(
                 .iter()
                 .map(|r| project_record(r, exprs))
                 .collect(),
-            Operator::Group { key } => {
-                group_records(&streams[vert.parents()[0].index()], *key)
-            }
-            Operator::Join { left_key, right_key } => join_records(
+            Operator::Group { key } => group_records(&streams[vert.parents()[0].index()], *key),
+            Operator::Join {
+                left_key,
+                right_key,
+            } => join_records(
                 &streams[vert.parents()[0].index()],
                 *left_key,
                 &streams[vert.parents()[1].index()],
@@ -355,11 +356,9 @@ mod tests {
 
     #[test]
     fn vertex_streams_are_recorded() {
-        let plan = Script::parse(
-            "a = LOAD 'i' AS (x); b = FILTER a BY x > 1; STORE b INTO 'o';",
-        )
-        .unwrap()
-        .into_plan();
+        let plan = Script::parse("a = LOAD 'i' AS (x); b = FILTER a BY x > 1; STORE b INTO 'o';")
+            .unwrap()
+            .into_plan();
         let inputs = HashMap::from([("i".to_owned(), ints(&[&[1], &[2], &[3]]))]);
         let result = interpret(&plan, &inputs).unwrap();
         assert_eq!(result.stream(VertexId(0)).len(), 3);

@@ -48,8 +48,8 @@ pub mod compile;
 mod error;
 mod expr;
 pub mod interp;
-pub mod optimize;
 mod op;
+pub mod optimize;
 mod parser;
 mod plan;
 mod value;

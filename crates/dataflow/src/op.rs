@@ -138,9 +138,23 @@ mod tests {
 
     #[test]
     fn arity_per_operator() {
-        assert_eq!(Operator::Load { input: "f".into(), columns: vec![] }.arity(), 0);
+        assert_eq!(
+            Operator::Load {
+                input: "f".into(),
+                columns: vec![]
+            }
+            .arity(),
+            0
+        );
         assert_eq!(Operator::Union.arity(), 2);
-        assert_eq!(Operator::Join { left_key: 0, right_key: 0 }.arity(), 2);
+        assert_eq!(
+            Operator::Join {
+                left_key: 0,
+                right_key: 0
+            }
+            .arity(),
+            2
+        );
         assert_eq!(Operator::Distinct.arity(), 1);
         assert_eq!(Operator::Store { output: "o".into() }.arity(), 1);
     }
@@ -148,11 +162,22 @@ mod tests {
     #[test]
     fn blocking_operators_are_the_shuffles() {
         assert!(Operator::Group { key: 0 }.is_blocking());
-        assert!(Operator::Join { left_key: 0, right_key: 1 }.is_blocking());
+        assert!(Operator::Join {
+            left_key: 0,
+            right_key: 1
+        }
+        .is_blocking());
         assert!(Operator::Distinct.is_blocking());
-        assert!(Operator::Order { key: 0, order: SortOrder::Asc }.is_blocking());
+        assert!(Operator::Order {
+            key: 0,
+            order: SortOrder::Asc
+        }
+        .is_blocking());
         assert!(!Operator::Union.is_blocking());
-        assert!(!Operator::Filter { predicate: Expr::IntLit(1) }.is_blocking());
+        assert!(!Operator::Filter {
+            predicate: Expr::IntLit(1)
+        }
+        .is_blocking());
         assert!(!Operator::Limit { count: 5 }.is_blocking());
     }
 }

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use crate::expr::{Expr, EvalContext};
+use crate::expr::{EvalContext, Expr};
 use crate::op::Operator;
 use crate::plan::{LogicalPlan, PlanBuilder, VertexId};
 use crate::value::{Record, Value};
@@ -50,9 +50,7 @@ pub fn fold_expr(e: &Expr) -> Expr {
             e.clone()
         }
         Expr::Cmp(op, l, r) => Expr::Cmp(*op, Box::new(fold_expr(l)), Box::new(fold_expr(r))),
-        Expr::Arith(op, l, r) => {
-            Expr::Arith(*op, Box::new(fold_expr(l)), Box::new(fold_expr(r)))
-        }
+        Expr::Arith(op, l, r) => Expr::Arith(*op, Box::new(fold_expr(l)), Box::new(fold_expr(r))),
         Expr::And(l, r) => Expr::And(Box::new(fold_expr(l)), Box::new(fold_expr(r))),
         Expr::Or(l, r) => Expr::Or(Box::new(fold_expr(l)), Box::new(fold_expr(r))),
         Expr::Not(inner) => Expr::Not(Box::new(fold_expr(inner))),
@@ -162,7 +160,10 @@ pub fn optimize(plan: &LogicalPlan) -> LogicalPlan {
                 let parent = mapped(&b, &remap, parents[0]);
                 b.add_group(parent, *key).expect("valid group")
             }
-            Operator::Join { left_key, right_key } => {
+            Operator::Join {
+                left_key,
+                right_key,
+            } => {
                 let l = mapped(&b, &remap, parents[0]);
                 let r = mapped(&b, &remap, parents[1]);
                 b.add_join(l, *left_key, r, *right_key).expect("valid join")
@@ -201,9 +202,9 @@ pub fn optimize(plan: &LogicalPlan) -> LogicalPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::{ArithOp, CmpOp};
     use crate::interp::interpret;
     use crate::parser::Script;
-    use crate::expr::{ArithOp, CmpOp};
     use std::collections::HashMap as Map;
 
     fn ints(rows: &[&[i64]]) -> Vec<Record> {
@@ -239,7 +240,11 @@ mod tests {
     fn folding_stops_at_columns_and_aggregates() {
         let col = Expr::arith(ArithOp::Add, Expr::Col(0), Expr::IntLit(0));
         assert_eq!(fold_expr(&col), col, "column math is runtime work");
-        let agg = Expr::Agg { func: crate::expr::AggFunc::Count, bag_col: 1, field: None };
+        let agg = Expr::Agg {
+            func: crate::expr::AggFunc::Count,
+            bag_col: 1,
+            field: None,
+        };
         assert_eq!(fold_expr(&agg), agg);
     }
 

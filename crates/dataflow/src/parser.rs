@@ -73,7 +73,10 @@ impl Script {
             .builder
             .build()
             .map_err(|e| ParseError::new(e.to_string(), None))?;
-        Ok(Script { plan, source: source.to_owned() })
+        Ok(Script {
+            plan,
+            source: source.to_owned(),
+        })
     }
 
     /// The logical plan of the script.
@@ -217,10 +220,13 @@ fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     j += 1;
                 }
                 let text: String = bytes[i..j].iter().collect();
-                let n: i64 = text
-                    .parse()
-                    .map_err(|_| ParseError::new(format!("integer literal too large: {text}"), Some(line)))?;
-                out.push(Spanned { tok: Tok::Int(n), line });
+                let n: i64 = text.parse().map_err(|_| {
+                    ParseError::new(format!("integer literal too large: {text}"), Some(line))
+                })?;
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    line,
+                });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -247,7 +253,10 @@ fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
                     _ => None,
                 };
                 if let Some(s) = sym2 {
-                    out.push(Spanned { tok: Tok::Sym(s), line });
+                    out.push(Spanned {
+                        tok: Tok::Sym(s),
+                        line,
+                    });
                     i += 2;
                     continue;
                 }
@@ -272,7 +281,10 @@ fn tokenize(source: &str) -> Result<Vec<Spanned>, ParseError> {
                         ))
                     }
                 };
-                out.push(Spanned { tok: Tok::Sym(sym1), line });
+                out.push(Spanned {
+                    tok: Tok::Sym(sym1),
+                    line,
+                });
                 i += 1;
             }
         }
@@ -337,7 +349,11 @@ impl Parser {
         if self.eat_kw(Kw::Filter) {
             let src = self.expect_alias()?;
             self.expect_kw(Kw::By)?;
-            let schema = self.builder.schema_of(src).map_err(|e| self.err(e.to_string()))?.clone();
+            let schema = self
+                .builder
+                .schema_of(src)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let pred = self.parse_expr(&schema)?;
             return self
                 .builder
@@ -347,7 +363,11 @@ impl Parser {
         if self.eat_kw(Kw::Group) {
             let src = self.expect_alias()?;
             self.expect_kw(Kw::By)?;
-            let schema = self.builder.schema_of(src).map_err(|e| self.err(e.to_string()))?.clone();
+            let schema = self
+                .builder
+                .schema_of(src)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let col = self.expect_column(&schema)?;
             let id = self
                 .builder
@@ -359,7 +379,11 @@ impl Parser {
         if self.eat_kw(Kw::Foreach) {
             let src = self.expect_alias()?;
             self.expect_kw(Kw::Generate)?;
-            let schema = self.builder.schema_of(src).map_err(|e| self.err(e.to_string()))?.clone();
+            let schema = self
+                .builder
+                .schema_of(src)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let elem = self.bag_elem.get(&src).cloned();
             let mut gens = Vec::new();
             loop {
@@ -382,12 +406,20 @@ impl Parser {
         if self.eat_kw(Kw::Join) {
             let left = self.expect_alias()?;
             self.expect_kw(Kw::By)?;
-            let ls = self.builder.schema_of(left).map_err(|e| self.err(e.to_string()))?.clone();
+            let ls = self
+                .builder
+                .schema_of(left)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let lk = self.expect_column(&ls)?;
             self.expect_sym(",")?;
             let right = self.expect_alias()?;
             self.expect_kw(Kw::By)?;
-            let rs = self.builder.schema_of(right).map_err(|e| self.err(e.to_string()))?.clone();
+            let rs = self
+                .builder
+                .schema_of(right)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let rk = self.expect_column(&rs)?;
             return self
                 .builder
@@ -413,7 +445,11 @@ impl Parser {
         if self.eat_kw(Kw::Order) {
             let src = self.expect_alias()?;
             self.expect_kw(Kw::By)?;
-            let schema = self.builder.schema_of(src).map_err(|e| self.err(e.to_string()))?.clone();
+            let schema = self
+                .builder
+                .schema_of(src)
+                .map_err(|e| self.err(e.to_string()))?
+                .clone();
             let col = self.expect_column(&schema)?;
             let order = if self.eat_kw(Kw::Desc) {
                 SortOrder::Desc
@@ -446,7 +482,11 @@ impl Parser {
         self.parse_gen_expr(schema, None)
     }
 
-    fn parse_gen_expr(&mut self, schema: &Schema, elem: Option<&Schema>) -> Result<Expr, ParseError> {
+    fn parse_gen_expr(
+        &mut self,
+        schema: &Schema,
+        elem: Option<&Schema>,
+    ) -> Result<Expr, ParseError> {
         self.parse_or(schema, elem)
     }
 
@@ -482,7 +522,11 @@ impl Parser {
             let negated = self.eat_kw(Kw::Not);
             self.expect_kw(Kw::Null)?;
             let test = Expr::IsNull(Box::new(lhs));
-            return Ok(if negated { Expr::Not(Box::new(test)) } else { test });
+            return Ok(if negated {
+                Expr::Not(Box::new(test))
+            } else {
+                test
+            });
         }
         let op = match self.peek_sym() {
             Some("==") => CmpOp::Eq,
@@ -558,7 +602,10 @@ impl Parser {
                 let name = self.qualified_name(name)?;
                 match s.resolve(&name) {
                     Some(i) => Ok(Expr::Col(i)),
-                    None => Err(ParseError::new(format!("unknown column `{name}`"), Some(line))),
+                    None => Err(ParseError::new(
+                        format!("unknown column `{name}`"),
+                        Some(line),
+                    )),
                 }
             }
             // Soft keywords double as column names.
@@ -567,7 +614,10 @@ impl Parser {
                 let name = self.qualified_name(name.to_owned())?;
                 match s.resolve(&name) {
                     Some(i) => Ok(Expr::Col(i)),
-                    None => Err(ParseError::new(format!("unknown column `{name}`"), Some(line))),
+                    None => Err(ParseError::new(
+                        format!("unknown column `{name}`"),
+                        Some(line),
+                    )),
                 }
             }
             // `group` is a keyword but also the key column name after GROUP.
@@ -614,7 +664,11 @@ impl Parser {
                 "{func:?} requires a field, e.g. SUM({bag_name}.column)"
             )));
         }
-        Ok(Expr::Agg { func, bag_col, field })
+        Ok(Expr::Agg {
+            func,
+            bag_col,
+            field,
+        })
     }
 
     /// Consumes an optional `::`-qualified continuation of an identifier
@@ -717,9 +771,10 @@ impl Parser {
             Some((ref tok, _)) if Self::soft_ident(tok).is_some() => {
                 Ok(Self::soft_ident(tok).expect("just checked").to_owned())
             }
-            Some((other, line)) => {
-                Err(ParseError::new(format!("expected identifier, found {other:?}"), Some(line)))
-            }
+            Some((other, line)) => Err(ParseError::new(
+                format!("expected identifier, found {other:?}"),
+                Some(line),
+            )),
             None => Err(self.err("expected identifier, found end of script")),
         }
     }
@@ -738,9 +793,10 @@ impl Parser {
     fn expect_int(&mut self) -> Result<i64, ParseError> {
         match self.next_tok() {
             Some((Tok::Int(n), _)) => Ok(n),
-            Some((other, line)) => {
-                Err(ParseError::new(format!("expected integer, found {other:?}"), Some(line)))
-            }
+            Some((other, line)) => Err(ParseError::new(
+                format!("expected integer, found {other:?}"),
+                Some(line),
+            )),
             None => Err(self.err("expected integer, found end of script")),
         }
     }
@@ -816,7 +872,13 @@ mod tests {
         )
         .unwrap();
         let j = &s.plan().vertices()[2];
-        assert_eq!(j.op(), &Operator::Join { left_key: 1, right_key: 0 });
+        assert_eq!(
+            j.op(),
+            &Operator::Join {
+                left_key: 1,
+                right_key: 0
+            }
+        );
         let proj = &s.plan().vertices()[3];
         assert_eq!(proj.schema().columns(), &["a::user", "b::follower"]);
     }
@@ -854,9 +916,20 @@ mod tests {
             Operator::Project { exprs, .. } => {
                 assert_eq!(
                     exprs[1],
-                    Expr::Agg { func: AggFunc::Avg, bag_col: 1, field: Some(2) }
+                    Expr::Agg {
+                        func: AggFunc::Avg,
+                        bag_col: 1,
+                        field: Some(2)
+                    }
                 );
-                assert_eq!(exprs[2], Expr::Agg { func: AggFunc::Count, bag_col: 1, field: None });
+                assert_eq!(
+                    exprs[2],
+                    Expr::Agg {
+                        func: AggFunc::Count,
+                        bag_col: 1,
+                        field: None
+                    }
+                );
             }
             other => panic!("expected Project, got {other:?}"),
         }
@@ -873,17 +946,18 @@ mod tests {
         // OR binds loosest: (x+ (1*2) == 3 AND NOT (y IS NULL)) OR (x > 10).
         let filt = &s.plan().vertices()[1];
         match filt.op() {
-            Operator::Filter { predicate: Expr::Or(_, _) } => {}
+            Operator::Filter {
+                predicate: Expr::Or(_, _),
+            } => {}
             other => panic!("expected top-level Or, got {other:?}"),
         }
     }
 
     #[test]
     fn comments_and_case_insensitive_keywords() {
-        let s = Script::parse(
-            "-- a comment\n a = load 'f' As (x); -- trailing\n store a into 'o';",
-        )
-        .unwrap();
+        let s =
+            Script::parse("-- a comment\n a = load 'f' As (x); -- trailing\n store a into 'o';")
+                .unwrap();
         assert_eq!(s.plan().len(), 2);
     }
 
@@ -895,10 +969,9 @@ mod tests {
 
     #[test]
     fn error_on_unknown_column_with_line() {
-        let err = Script::parse(
-            "a = LOAD 'f' AS (x);\nb = FILTER a BY nope == 1;\nSTORE b INTO 'o';",
-        )
-        .unwrap_err();
+        let err =
+            Script::parse("a = LOAD 'f' AS (x);\nb = FILTER a BY nope == 1;\nSTORE b INTO 'o';")
+                .unwrap_err();
         assert!(err.to_string().contains("unknown column"), "{err}");
         assert_eq!(err.line(), Some(2));
     }
@@ -988,7 +1061,13 @@ mod parser_corner_tests {
             .iter()
             .find(|v| v.op().name() == "Order")
             .unwrap();
-        assert_eq!(order.op(), &Operator::Order { key: 1, order: SortOrder::Desc });
+        assert_eq!(
+            order.op(),
+            &Operator::Order {
+                key: 1,
+                order: SortOrder::Desc
+            }
+        );
         let group = s
             .plan()
             .vertices()

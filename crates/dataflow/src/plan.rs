@@ -169,7 +169,11 @@ impl LogicalPlan {
     }
 
     fn filter_ids(&self, pred: impl Fn(&Vertex) -> bool) -> Vec<VertexId> {
-        self.vertices.iter().filter(|v| pred(v)).map(|v| v.id).collect()
+        self.vertices
+            .iter()
+            .filter(|v| pred(v))
+            .map(|v| v.id)
+            .collect()
     }
 
     /// Renders the plan in Graphviz dot format; `marked` vertices (e.g.
@@ -287,7 +291,10 @@ impl PlanBuilder {
     pub fn add_group(&mut self, parent: VertexId, key: usize) -> Result<VertexId, PlanError> {
         let input = self.schema_of(parent)?;
         if key >= input.arity() {
-            return Err(PlanError::ColumnOutOfRange { index: key, width: input.arity() });
+            return Err(PlanError::ColumnOutOfRange {
+                index: key,
+                width: input.arity(),
+            });
         }
         let bag_name = self.vertices[parent.0]
             .alias
@@ -309,15 +316,34 @@ impl PlanBuilder {
         let ls = self.schema_of(left)?.clone();
         let rs = self.schema_of(right)?.clone();
         if left_key >= ls.arity() {
-            return Err(PlanError::ColumnOutOfRange { index: left_key, width: ls.arity() });
+            return Err(PlanError::ColumnOutOfRange {
+                index: left_key,
+                width: ls.arity(),
+            });
         }
         if right_key >= rs.arity() {
-            return Err(PlanError::ColumnOutOfRange { index: right_key, width: rs.arity() });
+            return Err(PlanError::ColumnOutOfRange {
+                index: right_key,
+                width: rs.arity(),
+            });
         }
-        let la = self.vertices[left.0].alias.clone().unwrap_or_else(|| "l".to_owned());
-        let ra = self.vertices[right.0].alias.clone().unwrap_or_else(|| "r".to_owned());
+        let la = self.vertices[left.0]
+            .alias
+            .clone()
+            .unwrap_or_else(|| "l".to_owned());
+        let ra = self.vertices[right.0]
+            .alias
+            .clone()
+            .unwrap_or_else(|| "r".to_owned());
         let schema = ls.prefixed(&la).concat(&rs.prefixed(&ra));
-        self.push(Operator::Join { left_key, right_key }, vec![left, right], schema)
+        self.push(
+            Operator::Join {
+                left_key,
+                right_key,
+            },
+            vec![left, right],
+            schema,
+        )
     }
 
     /// Adds a `UNION` vertex over two inputs of equal arity.
@@ -325,7 +351,10 @@ impl PlanBuilder {
         let ls = self.schema_of(left)?.clone();
         let rs = self.schema_of(right)?;
         if ls.arity() != rs.arity() {
-            return Err(PlanError::UnionArityMismatch { left: ls.arity(), right: rs.arity() });
+            return Err(PlanError::UnionArityMismatch {
+                left: ls.arity(),
+                right: rs.arity(),
+            });
         }
         self.push(Operator::Union, vec![left, right], ls)
     }
@@ -345,7 +374,10 @@ impl PlanBuilder {
     ) -> Result<VertexId, PlanError> {
         let schema = self.schema_of(parent)?.clone();
         if key >= schema.arity() {
-            return Err(PlanError::ColumnOutOfRange { index: key, width: schema.arity() });
+            return Err(PlanError::ColumnOutOfRange {
+                index: key,
+                width: schema.arity(),
+            });
         }
         self.push(Operator::Order { key, order }, vec![parent], schema)
     }
@@ -359,7 +391,13 @@ impl PlanBuilder {
     /// Adds a `STORE` sink vertex.
     pub fn add_store(&mut self, parent: VertexId, output: &str) -> Result<VertexId, PlanError> {
         let schema = self.schema_of(parent)?.clone();
-        self.push(Operator::Store { output: output.to_owned() }, vec![parent], schema)
+        self.push(
+            Operator::Store {
+                output: output.to_owned(),
+            },
+            vec![parent],
+            schema,
+        )
     }
 
     /// Binds a script alias to a vertex, improving join/group schema names
@@ -403,7 +441,10 @@ impl PlanBuilder {
                 children[p.0].push(v.id);
             }
         }
-        Ok(LogicalPlan { vertices: self.vertices, children })
+        Ok(LogicalPlan {
+            vertices: self.vertices,
+            children,
+        })
     }
 
     fn push(
@@ -414,7 +455,11 @@ impl PlanBuilder {
     ) -> Result<VertexId, PlanError> {
         let expected = op.arity();
         if parents.len() != expected {
-            return Err(PlanError::BadArity { op: op.name(), expected, actual: parents.len() });
+            return Err(PlanError::BadArity {
+                op: op.name(),
+                expected,
+                actual: parents.len(),
+            });
         }
         for p in &parents {
             if p.0 >= self.vertices.len() {
@@ -422,14 +467,23 @@ impl PlanBuilder {
             }
         }
         let id = VertexId(self.vertices.len());
-        self.vertices.push(Vertex { id, op, parents, schema, alias: None });
+        self.vertices.push(Vertex {
+            id,
+            op,
+            parents,
+            schema,
+            alias: None,
+        });
         Ok(id)
     }
 
     fn check_expr(&self, e: &Expr, input: &Schema) -> Result<(), PlanError> {
         if let Some(max) = e.max_col() {
             if max >= input.arity() {
-                return Err(PlanError::ColumnOutOfRange { index: max, width: input.arity() });
+                return Err(PlanError::ColumnOutOfRange {
+                    index: max,
+                    width: input.arity(),
+                });
             }
         }
         Ok(())
@@ -446,9 +500,7 @@ mod tests {
         let mut b = PlanBuilder::new();
         let load = b.add_load("edges", &["user", "follower"]).unwrap();
         b.set_alias(load, "raw").unwrap();
-        let filt = b
-            .add_filter(load, Expr::is_not_null(Expr::Col(1)))
-            .unwrap();
+        let filt = b.add_filter(load, Expr::is_not_null(Expr::Col(1))).unwrap();
         b.set_alias(filt, "good").unwrap();
         let grp = b.add_group(filt, 0).unwrap();
         let cnt = b
@@ -457,7 +509,11 @@ mod tests {
                 vec![
                     (Expr::Col(0), "group".to_owned()),
                     (
-                        Expr::Agg { func: AggFunc::Count, bag_col: 1, field: None },
+                        Expr::Agg {
+                            func: AggFunc::Count,
+                            bag_col: 1,
+                            field: None,
+                        },
                         "n".to_owned(),
                     ),
                 ],
@@ -501,8 +557,13 @@ mod tests {
     fn column_out_of_range_rejected() {
         let mut b = PlanBuilder::new();
         let l = b.add_load("f", &["a"]).unwrap();
-        let err = b.add_filter(l, Expr::cmp(CmpOp::Eq, Expr::Col(4), Expr::IntLit(1))).unwrap_err();
-        assert!(matches!(err, PlanError::ColumnOutOfRange { index: 4, width: 1 }));
+        let err = b
+            .add_filter(l, Expr::cmp(CmpOp::Eq, Expr::Col(4), Expr::IntLit(1)))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::ColumnOutOfRange { index: 4, width: 1 }
+        ));
         let err = b.add_group(l, 3).unwrap_err();
         assert!(matches!(err, PlanError::ColumnOutOfRange { .. }));
         let err = b.add_order(l, 1, SortOrder::Desc).unwrap_err();
@@ -515,7 +576,10 @@ mod tests {
         let l = b.add_load("f", &["a"]).unwrap();
         let r = b.add_load("g", &["a", "b"]).unwrap();
         let err = b.add_union(l, r).unwrap_err();
-        assert!(matches!(err, PlanError::UnionArityMismatch { left: 1, right: 2 }));
+        assert!(matches!(
+            err,
+            PlanError::UnionArityMismatch { left: 1, right: 2 }
+        ));
     }
 
     #[test]
@@ -582,7 +646,10 @@ mod dot_tests {
         assert!(dot.starts_with("digraph plan {"));
         assert!(dot.contains("v0 -> v1;"));
         assert!(dot.contains("v1 -> v2;"));
-        assert!(dot.contains("peripheries=2"), "marked vertex double-outlined");
+        assert!(
+            dot.contains("peripheries=2"),
+            "marked vertex double-outlined"
+        );
         assert_eq!(dot.matches("label=").count(), 3);
     }
 }

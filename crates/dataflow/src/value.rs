@@ -274,7 +274,9 @@ impl Schema {
 
     /// Creates a schema from string slices.
     pub fn from_names(names: &[&str]) -> Self {
-        Schema { columns: names.iter().map(|s| (*s).to_owned()) .collect() }
+        Schema {
+            columns: names.iter().map(|s| (*s).to_owned()).collect(),
+        }
     }
 
     /// Number of columns.

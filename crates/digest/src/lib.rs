@@ -65,7 +65,7 @@ pub fn quorum_digest(digests: &[Digest], f: usize) -> Option<Digest> {
     }
     counts
         .into_iter()
-        .filter(|&(_, c)| c >= f + 1)
+        .filter(|&(_, c)| c > f)
         .max_by_key(|&(_, c)| c)
         .map(|(d, _)| d)
 }

@@ -93,7 +93,11 @@ impl fmt::Display for Digest {
 impl fmt::Debug for Digest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Eight hex chars are plenty to tell digests apart in test output.
-        write!(f, "Digest({:02x}{:02x}{:02x}{:02x})", self.0[0], self.0[1], self.0[2], self.0[3])
+        write!(
+            f,
+            "Digest({:02x}{:02x}{:02x}{:02x})",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
     }
 }
 
@@ -165,7 +169,12 @@ pub struct Sha256 {
 impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

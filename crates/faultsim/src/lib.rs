@@ -60,9 +60,17 @@ pub struct JobMix {
 
 impl JobMix {
     /// The paper's ratio `r1 = 6:3:1`.
-    pub const R1: JobMix = JobMix { large: 6, medium: 3, small: 1 };
+    pub const R1: JobMix = JobMix {
+        large: 6,
+        medium: 3,
+        small: 1,
+    };
     /// The paper's ratio `r2 = 2:2:1`.
-    pub const R2: JobMix = JobMix { large: 2, medium: 2, small: 1 };
+    pub const R2: JobMix = JobMix {
+        large: 2,
+        medium: 2,
+        small: 1,
+    };
 
     fn draw(&self, rng: &mut StdRng) -> JobSize {
         let total = self.large + self.medium + self.small;
@@ -230,8 +238,10 @@ impl FaultSim {
 
         // Complete due jobs.
         let due: Vec<RunningJob> = {
-            let (done, still): (Vec<_>, Vec<_>) =
-                self.running.drain(..).partition(|j| j.finish_at <= self.time);
+            let (done, still): (Vec<_>, Vec<_>) = self
+                .running
+                .drain(..)
+                .partition(|j| j.finish_at <= self.time);
             self.running = still;
             done
         };
@@ -248,7 +258,9 @@ impl FaultSim {
             for replica in &job.replicas {
                 let misbehaved = replica.iter().any(|n| {
                     self.faulty.contains(n)
-                        && self.rng.gen_bool(self.config.commission_probability.clamp(0.0, 1.0))
+                        && self
+                            .rng
+                            .gen_bool(self.config.commission_probability.clamp(0.0, 1.0))
                 });
                 if misbehaved {
                     self.suspicion.record_faults(replica.iter().copied());
@@ -273,7 +285,10 @@ impl FaultSim {
                         .rng
                         .gen_range(self.config.length_range.0..=self.config.length_range.1)
                         as u64;
-                    self.running.push(RunningJob { replicas, finish_at: self.time + len });
+                    self.running.push(RunningJob {
+                        replicas,
+                        finish_at: self.time + len,
+                    });
                 }
                 None => {
                     self.pending.push_front(slots);
@@ -362,7 +377,11 @@ mod tests {
     use super::*;
 
     fn config(p: f64, seed: u64) -> FaultSimConfig {
-        FaultSimConfig { commission_probability: p, seed, ..FaultSimConfig::default() }
+        FaultSimConfig {
+            commission_probability: p,
+            seed,
+            ..FaultSimConfig::default()
+        }
     }
 
     #[test]
@@ -382,7 +401,10 @@ mod tests {
     fn always_faulty_converges_quickly() {
         let mut sim = FaultSim::new(config(1.0, 2));
         let jobs = sim.run_until_converged(10_000).expect("must converge");
-        assert!(jobs <= 20, "p=1.0 should isolate within a handful of jobs, took {jobs}");
+        assert!(
+            jobs <= 20,
+            "p=1.0 should isolate within a handful of jobs, took {jobs}"
+        );
     }
 
     #[test]
@@ -392,7 +414,10 @@ mod tests {
             sim.run_until_converged(10_000).unwrap();
             let suspects = sim.analyzer().suspected_nodes();
             for truth in sim.ground_truth() {
-                assert!(suspects.contains(truth), "seed {seed}: lost the faulty node");
+                assert!(
+                    suspects.contains(truth),
+                    "seed {seed}: lost the faulty node"
+                );
             }
         }
     }
@@ -495,7 +520,11 @@ mod queue_tests {
             nodes: 130,
             slots_per_node: 1,
             replicas: 4,
-            mix: JobMix { large: 1, medium: 0, small: 0 },
+            mix: JobMix {
+                large: 1,
+                medium: 0,
+                small: 0,
+            },
             commission_probability: 0.5,
             length_range: (2, 2),
             seed: 8,

@@ -28,6 +28,19 @@ use crate::spec::{DigestReport, ExecJob, RunHandle, TaskKind};
 use crate::storage::{Storage, StorageError};
 use crate::task::{run_map_task, run_reduce_task, MapTaskOutput, ReduceTaskOutput, Tagged};
 
+// The parallel replica executor gives every replica its own `Cluster` and
+// moves it (plus the jobs submitted to it and the events it emits) onto a
+// worker thread. These assertions keep the whole per-run state `Send`; a
+// new `Rc`/`RefCell`/raw-pointer field anywhere inside would fail the
+// build here instead of far away in the executor.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Cluster>();
+    assert_send::<ExecJob>();
+    assert_send::<EngineEvent>();
+    assert_send::<Storage>();
+};
+
 /// Token identifying a caller-set timer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TimerToken(pub u64);
@@ -78,10 +91,18 @@ impl JobOutcome {
 #[derive(Debug)]
 enum Event {
     Heartbeat(NodeId),
-    TaskDone { handle: RunHandle, kind: TaskKind, index: usize },
+    TaskDone {
+        handle: RunHandle,
+        kind: TaskKind,
+        index: usize,
+    },
     /// Speculative-execution check: if the task has not completed by now,
     /// re-queue it on another node (Hadoop's task-timeout recovery).
-    TaskCheck { handle: RunHandle, kind: TaskKind, index: usize },
+    TaskCheck {
+        handle: RunHandle,
+        kind: TaskKind,
+        index: usize,
+    },
     Timer(TimerToken),
 }
 
@@ -94,7 +115,10 @@ enum ComputedTask {
 #[derive(Debug)]
 enum TaskSt {
     Pending,
-    Running { node: NodeId, result: Box<ComputedTask> },
+    Running {
+        node: NodeId,
+        result: Box<ComputedTask>,
+    },
     Hung,
     Done,
 }
@@ -393,8 +417,7 @@ impl Cluster {
                 // is a stable hash of (file, split index).
                 let mut key = input.file.clone().into_bytes();
                 key.extend_from_slice(&(split_idx as u64).to_be_bytes());
-                map_task_homes
-                    .push(NodeId((crate::task::fnv1a(&key) % node_count) as usize));
+                map_task_homes.push(NodeId((crate::task::fnv1a(&key) % node_count) as usize));
                 map_task_inputs.push((i, chunk));
             }
         }
@@ -491,10 +514,16 @@ impl Cluster {
             let ev = self.queue.pop()?;
             match ev.event {
                 Event::Heartbeat(node) => self.on_heartbeat(node),
-                Event::TaskDone { handle, kind, index } => self.on_task_done(handle, kind, index),
-                Event::TaskCheck { handle, kind, index } => {
-                    self.on_task_check(handle, kind, index)
-                }
+                Event::TaskDone {
+                    handle,
+                    kind,
+                    index,
+                } => self.on_task_done(handle, kind, index),
+                Event::TaskCheck {
+                    handle,
+                    kind,
+                    index,
+                } => self.on_task_check(handle, kind, index),
                 Event::Timer(token) => self.outbox.push_back(EngineEvent::Timer(token)),
             }
         }
@@ -540,7 +569,9 @@ impl Cluster {
         picks.dedup();
         picks.truncate(self.nodes[node.0].free_slots);
         for p in picks {
-            let Some(choice) = candidates.get(p) else { continue };
+            let Some(choice) = candidates.get(p) else {
+                continue;
+            };
             self.assign(node, choice.clone());
         }
         // If work remains that this node could take, heartbeat again.
@@ -611,7 +642,9 @@ impl Cluster {
     }
 
     fn assign(&mut self, node: NodeId, choice: TaskChoice) {
-        let Some(job) = self.jobs.get_mut(&choice.handle) else { return };
+        let Some(job) = self.jobs.get_mut(&choice.handle) else {
+            return;
+        };
         let states = match choice.kind {
             TaskKind::Map => &mut job.map_states,
             TaskKind::Reduce => &mut job.reduce_states,
@@ -714,11 +747,18 @@ impl Cluster {
             TaskKind::Map => &mut job.map_states,
             TaskKind::Reduce => &mut job.reduce_states,
         };
-        states[choice.task_index] = TaskSt::Running { node, result: Box::new(computed) };
+        states[choice.task_index] = TaskSt::Running {
+            node,
+            result: Box::new(computed),
+        };
         let done_at = self.now() + duration;
         self.queue.schedule(
             done_at,
-            Event::TaskDone { handle: choice.handle, kind: choice.kind, index: choice.task_index },
+            Event::TaskDone {
+                handle: choice.handle,
+                kind: choice.kind,
+                index: choice.task_index,
+            },
         );
     }
 
@@ -726,7 +766,9 @@ impl Cluster {
     /// anything else (done, running with a pending completion event, or a
     /// cancelled job) is left alone.
     fn on_task_check(&mut self, handle: RunHandle, kind: TaskKind, index: usize) {
-        let Some(job) = self.jobs.get_mut(&handle) else { return };
+        let Some(job) = self.jobs.get_mut(&handle) else {
+            return;
+        };
         let states = match kind {
             TaskKind::Map => &mut job.map_states,
             TaskKind::Reduce => &mut job.reduce_states,
@@ -739,7 +781,9 @@ impl Cluster {
 
     fn on_task_done(&mut self, handle: RunHandle, kind: TaskKind, index: usize) {
         let now = self.queue.now();
-        let Some(job) = self.jobs.get_mut(&handle) else { return };
+        let Some(job) = self.jobs.get_mut(&handle) else {
+            return;
+        };
         let states = match kind {
             TaskKind::Map => &mut job.map_states,
             TaskKind::Reduce => &mut job.reduce_states,
@@ -842,8 +886,7 @@ impl Cluster {
                     }
                 }
                 job.reduce_inputs = inputs;
-                job.reduce_states =
-                    (0..n_partitions).map(|_| TaskSt::Pending).collect();
+                job.reduce_states = (0..n_partitions).map(|_| TaskSt::Pending).collect();
                 job.reduce_outputs = (0..n_partitions).map(|_| None).collect();
                 job.in_reduce_phase = true;
             }
@@ -871,7 +914,9 @@ impl Cluster {
                 nodes: job.nodes_used.clone(),
                 output_file: job.spec.output_file.clone(),
             },
-            Err(e) => JobOutcome::Failed { reason: e.to_string() },
+            Err(e) => JobOutcome::Failed {
+                reason: e.to_string(),
+            },
         };
         self.release_sid_if_unused(&job.spec.sid);
         self.outbox
@@ -972,7 +1017,9 @@ mod tests {
     fn runs_a_job_end_to_end() {
         let mut cluster = Cluster::builder().nodes(4).seed(1).build();
         cluster.storage_mut().write("twitter", edges(20)).unwrap();
-        let h = cluster.submit(follower_spec("s0", 0, "counts", vec![])).unwrap();
+        let h = cluster
+            .submit(follower_spec("s0", 0, "counts", vec![]))
+            .unwrap();
         let events = cluster.run_to_quiescence();
         let completed = events.iter().any(|e| {
             matches!(e, EngineEvent::JobCompleted { handle, outcome } if *handle == h && outcome.is_success())
@@ -985,13 +1032,14 @@ mod tests {
     #[test]
     fn output_matches_reference_interpreter() {
         let plan = Script::parse(FOLLOWER).unwrap().into_plan();
-        let inputs =
-            std::collections::HashMap::from([("twitter".to_owned(), edges(37))]);
+        let inputs = std::collections::HashMap::from([("twitter".to_owned(), edges(37))]);
         let reference = cbft_dataflow::interp::interpret(&plan, &inputs).unwrap();
 
         let mut cluster = Cluster::builder().nodes(6).seed(2).build();
         cluster.storage_mut().write("twitter", edges(37)).unwrap();
-        cluster.submit(follower_spec("s0", 0, "counts", vec![])).unwrap();
+        cluster
+            .submit(follower_spec("s0", 0, "counts", vec![]))
+            .unwrap();
         cluster.run_to_quiescence();
         let engine_out = sorted(cluster.storage().peek("counts").unwrap().to_vec());
         let ref_out = sorted(reference.output("counts").unwrap().to_vec());
@@ -1005,7 +1053,9 @@ mod tests {
         let vps = |spec: &ExecJob| {
             vec![VpSite {
                 vertex: spec.shuffle.unwrap(),
-                site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+                site: Site::Shuffle {
+                    job: cbft_dataflow::compile::JobId(0),
+                },
             }]
         };
         let mut s0 = follower_spec("s0", 0, "r0/counts", vec![]);
@@ -1045,15 +1095,27 @@ mod tests {
 
     #[test]
     fn replicas_never_share_a_node() {
-        let mut cluster = Cluster::builder().nodes(4).slots_per_node(4).seed(4).build();
+        let mut cluster = Cluster::builder()
+            .nodes(4)
+            .slots_per_node(4)
+            .seed(4)
+            .build();
         cluster.storage_mut().write("twitter", edges(40)).unwrap();
-        let h0 = cluster.submit(follower_spec("s0", 0, "r0/c", vec![])).unwrap();
-        let h1 = cluster.submit(follower_spec("s0", 1, "r1/c", vec![])).unwrap();
+        let h0 = cluster
+            .submit(follower_spec("s0", 0, "r0/c", vec![]))
+            .unwrap();
+        let h1 = cluster
+            .submit(follower_spec("s0", 1, "r1/c", vec![]))
+            .unwrap();
         let events = cluster.run_to_quiescence();
         let mut nodes0 = BTreeSet::new();
         let mut nodes1 = BTreeSet::new();
         for e in events {
-            if let EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { nodes, .. } } = e {
+            if let EngineEvent::JobCompleted {
+                handle,
+                outcome: JobOutcome::Success { nodes, .. },
+            } = e
+            {
                 if handle == h0 {
                     nodes0 = nodes;
                 } else if handle == h1 {
@@ -1078,7 +1140,9 @@ mod tests {
             let mut s = follower_spec("s0", replica, out, vec![]);
             s.verification_points = vec![VpSite {
                 vertex: s.shuffle.unwrap(),
-                site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+                site: Site::Shuffle {
+                    job: cbft_dataflow::compile::JobId(0),
+                },
             }];
             s
         };
@@ -1113,7 +1177,9 @@ mod tests {
         cluster.storage_mut().write("twitter", edges(10)).unwrap();
         let h = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
         let events = cluster.run_to_quiescence();
-        assert!(events.iter().all(|e| !matches!(e, EngineEvent::JobCompleted { .. })));
+        assert!(events
+            .iter()
+            .all(|e| !matches!(e, EngineEvent::JobCompleted { .. })));
         assert!(cluster.has_incomplete_jobs());
         assert_eq!(cluster.incomplete_jobs(), vec![h]);
     }
@@ -1142,7 +1208,11 @@ mod tests {
         let h = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
         let events = cluster.run_to_quiescence();
         for e in events {
-            if let EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { nodes, .. } } = e {
+            if let EngineEvent::JobCompleted {
+                handle,
+                outcome: JobOutcome::Success { nodes, .. },
+            } = e
+            {
                 assert_eq!(handle, h);
                 assert!(!nodes.contains(&NodeId(0)));
             }
@@ -1152,7 +1222,9 @@ mod tests {
     #[test]
     fn submit_missing_input_fails_fast() {
         let mut cluster = Cluster::builder().nodes(2).seed(9).build();
-        let err = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap_err();
+        let err = cluster
+            .submit(follower_spec("s0", 0, "c", vec![]))
+            .unwrap_err();
         assert!(matches!(err, StorageError::NotFound(_)));
     }
 
@@ -1161,7 +1233,9 @@ mod tests {
         let mut cluster = Cluster::builder().nodes(2).seed(10).build();
         cluster.storage_mut().write("twitter", edges(5)).unwrap();
         cluster.storage_mut().write("c", vec![]).unwrap();
-        let err = cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap_err();
+        let err = cluster
+            .submit(follower_spec("s0", 0, "c", vec![]))
+            .unwrap_err();
         assert!(matches!(err, StorageError::AlreadyExists(_)));
     }
 
@@ -1172,10 +1246,7 @@ mod tests {
             cluster.storage_mut().write("twitter", edges(25)).unwrap();
             cluster.submit(follower_spec("s0", 0, "c", vec![])).unwrap();
             cluster.run_to_quiescence();
-            (
-                cluster.now(),
-                cluster.storage().peek("c").unwrap().to_vec(),
-            )
+            (cluster.now(), cluster.storage().peek("c").unwrap().to_vec())
         };
         assert_eq!(run(), run());
     }
@@ -1189,11 +1260,10 @@ mod tests {
         let metrics = events
             .iter()
             .find_map(|e| match e {
-                EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { metrics, .. } }
-                    if *handle == h =>
-                {
-                    Some(*metrics)
-                }
+                EngineEvent::JobCompleted {
+                    handle,
+                    outcome: JobOutcome::Success { metrics, .. },
+                } if *handle == h => Some(*metrics),
                 _ => None,
             })
             .expect("job completed");
@@ -1201,7 +1271,10 @@ mod tests {
         assert!(metrics.cpu_time > SimDuration::ZERO);
         assert!(metrics.hdfs_read_bytes > 0);
         assert!(metrics.hdfs_write_bytes > 0);
-        assert!(metrics.local_write_bytes > 0, "shuffle spills to local disk");
+        assert!(
+            metrics.local_write_bytes > 0,
+            "shuffle spills to local disk"
+        );
         assert!(metrics.map_tasks > 0);
         assert!(metrics.reduce_tasks > 0);
     }
@@ -1215,16 +1288,23 @@ mod tests {
             .node_behavior(0, Behavior::Honest)
             .build();
         cluster.storage_mut().write("twitter", edges(10)).unwrap();
-        let h = cluster.submit(follower_spec("s0", 0, "c1", vec![])).unwrap();
+        let h = cluster
+            .submit(follower_spec("s0", 0, "c1", vec![]))
+            .unwrap();
         assert!(cluster.cancel(h));
         assert!(!cluster.cancel(h), "double cancel is false");
-        let h2 = cluster.submit(follower_spec("s1", 0, "c2", vec![])).unwrap();
+        let h2 = cluster
+            .submit(follower_spec("s1", 0, "c2", vec![]))
+            .unwrap();
         let events = cluster.run_to_quiescence();
         assert!(events.iter().any(|e| matches!(
             e,
             EngineEvent::JobCompleted { handle, outcome } if *handle == h2 && outcome.is_success()
         )));
-        assert!(!cluster.storage().exists("c1"), "cancelled job never writes");
+        assert!(
+            !cluster.storage().exists("c1"),
+            "cancelled job never writes"
+        );
     }
 }
 
@@ -1389,7 +1469,11 @@ mod locality_tests {
 
     #[test]
     fn locality_is_tracked_and_mostly_achieved_when_uncontended() {
-        let mut cluster = Cluster::builder().nodes(8).slots_per_node(3).seed(9).build();
+        let mut cluster = Cluster::builder()
+            .nodes(8)
+            .slots_per_node(3)
+            .seed(9)
+            .build();
         let records: Vec<Record> = (0..200)
             .map(|i| Record::new(vec![Value::Int(i % 7), Value::Int(i)]))
             .collect();
@@ -1399,11 +1483,10 @@ mod locality_tests {
         let metrics = events
             .iter()
             .find_map(|e| match e {
-                EngineEvent::JobCompleted { handle, outcome: JobOutcome::Success { metrics, .. } }
-                    if *handle == h =>
-                {
-                    Some(*metrics)
-                }
+                EngineEvent::JobCompleted {
+                    handle,
+                    outcome: JobOutcome::Success { metrics, .. },
+                } if *handle == h => Some(*metrics),
                 _ => None,
             })
             .expect("completes");

@@ -99,7 +99,11 @@ impl WorkerNode {
     /// Creates a node with `slots` resource units (the paper configures 3-4
     /// slots on 4-core nodes, §5.1).
     pub fn new(id: NodeId, slots: usize, behavior: Behavior) -> Self {
-        WorkerNode { id, slots, behavior }
+        WorkerNode {
+            id,
+            slots,
+            behavior,
+        }
     }
 
     /// The node id.

@@ -60,17 +60,26 @@ impl JobMetrics {
 
     /// Local file read multiplier relative to `baseline`.
     pub fn file_read_multiplier(&self, baseline: &JobMetrics) -> f64 {
-        ratio(self.local_read_bytes as f64, baseline.local_read_bytes as f64)
+        ratio(
+            self.local_read_bytes as f64,
+            baseline.local_read_bytes as f64,
+        )
     }
 
     /// Local file write multiplier relative to `baseline`.
     pub fn file_write_multiplier(&self, baseline: &JobMetrics) -> f64 {
-        ratio(self.local_write_bytes as f64, baseline.local_write_bytes as f64)
+        ratio(
+            self.local_write_bytes as f64,
+            baseline.local_write_bytes as f64,
+        )
     }
 
     /// HDFS write multiplier relative to `baseline`.
     pub fn hdfs_write_multiplier(&self, baseline: &JobMetrics) -> f64 {
-        ratio(self.hdfs_write_bytes as f64, baseline.hdfs_write_bytes as f64)
+        ratio(
+            self.hdfs_write_bytes as f64,
+            baseline.hdfs_write_bytes as f64,
+        )
     }
 
     pub(crate) fn observe_span(&mut self, submitted: SimTime, completed: SimTime) {
@@ -173,8 +182,16 @@ mod tests {
 
     #[test]
     fn sum_adds_componentwise() {
-        let a = JobMetrics { map_tasks: 2, hdfs_write_bytes: 10, ..Default::default() };
-        let b = JobMetrics { map_tasks: 3, hdfs_write_bytes: 5, ..Default::default() };
+        let a = JobMetrics {
+            map_tasks: 2,
+            hdfs_write_bytes: 10,
+            ..Default::default()
+        };
+        let b = JobMetrics {
+            map_tasks: 3,
+            hdfs_write_bytes: 5,
+            ..Default::default()
+        };
         let s: JobMetrics = [a, b].into_iter().sum();
         assert_eq!(s.map_tasks, 5);
         assert_eq!(s.hdfs_write_bytes, 15);

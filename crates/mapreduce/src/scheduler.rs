@@ -91,9 +91,7 @@ impl Scheduler for OverlapScheduler {
             let chosen = candidates
                 .iter()
                 .enumerate()
-                .filter(|(j, d)| {
-                    !taken[*j] && d.sid == c.sid && d.replica == c.replica && d.local
-                })
+                .filter(|(j, d)| !taken[*j] && d.sid == c.sid && d.replica == c.replica && d.local)
                 .map(|(j, _)| j)
                 .next()
                 .unwrap_or(i);
@@ -133,7 +131,10 @@ mod tests {
     }
 
     pub(super) fn local_choice(sid: &str, idx: usize) -> TaskChoice {
-        TaskChoice { local: true, ..choice(sid, idx) }
+        TaskChoice {
+            local: true,
+            ..choice(sid, idx)
+        }
     }
 
     pub(super) fn ctx(free: usize, sids: &[&str]) -> SchedContext {
@@ -154,7 +155,10 @@ mod tests {
     #[test]
     fn fifo_respects_free_slots() {
         let cands = vec![choice("a", 0)];
-        assert_eq!(FifoScheduler.pick(&ctx(0, &[]), &cands), Vec::<usize>::new());
+        assert_eq!(
+            FifoScheduler.pick(&ctx(0, &[]), &cands),
+            Vec::<usize>::new()
+        );
         assert_eq!(FifoScheduler.pick(&ctx(5, &[]), &cands), vec![0]);
     }
 
@@ -168,7 +172,11 @@ mod tests {
         ];
         let picks = OverlapScheduler.pick(&ctx(3, &[]), &cands);
         let sids: Vec<&str> = picks.iter().map(|&i| cands[i].sid.as_str()).collect();
-        assert_eq!(sids, vec!["a", "b", "c"], "three slots, three distinct jobs");
+        assert_eq!(
+            sids,
+            vec!["a", "b", "c"],
+            "three slots, three distinct jobs"
+        );
     }
 
     #[test]
@@ -188,14 +196,17 @@ mod tests {
 
 #[cfg(test)]
 mod locality_tests {
-    use super::*;
     use super::tests::*;
+    use super::*;
 
     #[test]
     fn overlap_prefers_local_candidate_within_a_sid() {
         let cands = vec![choice("a", 0), local_choice("a", 1), choice("b", 0)];
         let picks = OverlapScheduler.pick(&ctx(2, &[]), &cands);
-        assert!(picks.contains(&1), "the local copy of sid a wins: {picks:?}");
+        assert!(
+            picks.contains(&1),
+            "the local copy of sid a wins: {picks:?}"
+        );
         assert!(picks.contains(&2), "sid b still gets its slot");
     }
 

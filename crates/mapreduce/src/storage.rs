@@ -26,7 +26,10 @@ impl fmt::Display for StorageError {
         match self {
             StorageError::NotFound(n) => write!(f, "storage file '{n}' not found"),
             StorageError::AlreadyExists(n) => {
-                write!(f, "storage file '{n}' already exists (files are write-once)")
+                write!(
+                    f,
+                    "storage file '{n}' already exists (files are write-once)"
+                )
             }
         }
     }
@@ -81,7 +84,8 @@ impl Storage {
         }
         let bytes: u64 = records.iter().map(Record::byte_size).sum();
         self.written_bytes += bytes;
-        self.files.insert(name.to_owned(), StoredFile { records, bytes });
+        self.files
+            .insert(name.to_owned(), StoredFile { records, bytes });
         Ok(bytes)
     }
 
@@ -119,7 +123,10 @@ impl Storage {
     /// Map of every file name to its size, e.g. for
     /// [`cbft_dataflow::analyze::analyze_plan`]'s input-size table.
     pub fn sizes(&self) -> HashMap<String, u64> {
-        self.files.iter().map(|(k, v)| (k.clone(), v.bytes)).collect()
+        self.files
+            .iter()
+            .map(|(k, v)| (k.clone(), v.bytes))
+            .collect()
     }
 
     /// Total bytes read so far (accounted reads only).
@@ -188,7 +195,10 @@ mod tests {
     #[test]
     fn missing_file_errors() {
         let mut s = Storage::new();
-        assert_eq!(s.read("x").unwrap_err(), StorageError::NotFound("x".to_owned()));
+        assert_eq!(
+            s.read("x").unwrap_err(),
+            StorageError::NotFound("x".to_owned())
+        );
         assert!(!s.exists("x"));
         assert_eq!(s.size_bytes("x"), None);
     }

@@ -80,9 +80,17 @@ pub(crate) fn run_map_task(
     for (pos, &vid) in input.pipeline.iter().enumerate() {
         records = apply_op(plan, vid, records, &mut work);
         for vp in &job.verification_points {
-            if let Site::MapInput { input: vi, pos: vp_pos, .. } = vp.site {
+            if let Site::MapInput {
+                input: vi,
+                pos: vp_pos,
+                ..
+            } = vp.site
+            {
                 if vi == input_index && vp_pos == pos {
-                    digests.push((*vp, digest_stream(&records, job.digest_granularity, &mut work)));
+                    digests.push((
+                        *vp,
+                        digest_stream(&records, job.digest_granularity, &mut work),
+                    ));
                 }
             }
         }
@@ -104,7 +112,14 @@ pub(crate) fn run_map_task(
             }
             parts
         } else {
-            partition_records(plan, shuffle, input.tag, records, job.reduce_task_count, &mut work)
+            partition_records(
+                plan,
+                shuffle,
+                input.tag,
+                records,
+                job.reduce_task_count,
+                &mut work,
+            )
         }
     } else {
         let bytes = byte_size(&records);
@@ -112,7 +127,11 @@ pub(crate) fn run_map_task(
         vec![records.into_iter().map(|r| (input.tag, r)).collect()]
     };
 
-    MapTaskOutput { partitions, digests, work }
+    MapTaskOutput {
+        partitions,
+        digests,
+        work,
+    }
 }
 
 /// Executes one reduce (or collector) task over one partition.
@@ -144,8 +163,7 @@ pub(crate) fn run_reduce_task(
             // served (no materialized bags); the caller must not combine
             // in that case.
             debug_assert!(
-                !job
-                    .verification_points
+                !job.verification_points
                     .iter()
                     .any(|vp| matches!(vp.site, Site::Shuffle { .. })),
                 "combiner active with a shuffle verification point"
@@ -181,14 +199,21 @@ pub(crate) fn run_reduce_task(
         for vp in &job.verification_points {
             if let Site::Reduce { pos: vp_pos, .. } = vp.site {
                 if vp.vertex == vid && vp_pos == pos {
-                    digests.push((*vp, digest_stream(&records, job.digest_granularity, &mut work)));
+                    digests.push((
+                        *vp,
+                        digest_stream(&records, job.digest_granularity, &mut work),
+                    ));
                 }
             }
         }
     }
 
     work.bytes_out = byte_size(&records);
-    ReduceTaskOutput { records, digests, work }
+    ReduceTaskOutput {
+        records,
+        digests,
+        work,
+    }
 }
 
 /// Applies one per-record operator to a stream. `LOAD`, `UNION` and
@@ -211,13 +236,10 @@ fn apply_op(
                     .is_truthy()
             })
             .collect(),
-        Operator::Project { exprs, .. } => records
-            .iter()
-            .map(|r| project_record(r, exprs))
-            .collect(),
-        Operator::Limit { count } => {
-            records.into_iter().take(*count as usize).collect()
+        Operator::Project { exprs, .. } => {
+            records.iter().map(|r| project_record(r, exprs)).collect()
         }
+        Operator::Limit { count } => records.into_iter().take(*count as usize).collect(),
         blocking => {
             debug_assert!(false, "blocking operator {} in a pipeline", blocking.name());
             records
@@ -242,13 +264,14 @@ fn partition_records(
         work.bytes_out += r.byte_size();
         let p = match &op {
             Operator::Group { key } => key_partition(r.get(*key), n),
-            Operator::Join { left_key, right_key } => {
+            Operator::Join {
+                left_key,
+                right_key,
+            } => {
                 let key = if tag == 0 { *left_key } else { *right_key };
                 key_partition(r.get(key), n)
             }
-            Operator::Distinct => {
-                (fnv1a(&r.to_canonical_bytes()) % n as u64) as usize
-            }
+            Operator::Distinct => (fnv1a(&r.to_canonical_bytes()) % n as u64) as usize,
             // Global sort: a single range partition (the engine forces one
             // reduce task for ORDER).
             Operator::Order { .. } => 0,
@@ -283,7 +306,10 @@ fn materialize_shuffle(
             let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
             group_records(&records, key)
         }
-        Operator::Join { left_key, right_key } => {
+        Operator::Join {
+            left_key,
+            right_key,
+        } => {
             let (mut left, mut right) = (Vec::new(), Vec::new());
             for (tag, r) in incoming {
                 if tag == 0 {
@@ -525,10 +551,11 @@ mod tests {
         let shuffle = job.shuffle.unwrap();
         job.verification_points = vec![VpSite {
             vertex: shuffle,
-            site: Site::Shuffle { job: cbft_dataflow::compile::JobId(0) },
+            site: Site::Shuffle {
+                job: cbft_dataflow::compile::JobId(0),
+            },
         }];
-        let incoming: Vec<Tagged> =
-            ints(&[&[1, 10]]).into_iter().map(|r| (0, r)).collect();
+        let incoming: Vec<Tagged> = ints(&[&[1, 10]]).into_iter().map(|r| (0, r)).collect();
         let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
         assert_eq!(out.digests.len(), 1);
         assert_eq!(out.digests[0].0.vertex, shuffle);

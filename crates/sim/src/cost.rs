@@ -107,7 +107,10 @@ mod tests {
             2 * c.cpu_records(1_000).as_micros()
         );
         assert_eq!(c.disk(0), SimDuration::ZERO);
-        assert!(c.hdfs(1 << 20) > c.disk(1 << 20), "HDFS slower than local disk");
+        assert!(
+            c.hdfs(1 << 20) > c.disk(1 << 20),
+            "HDFS slower than local disk"
+        );
     }
 
     #[test]

@@ -52,6 +52,17 @@ impl SeedSpawner {
     pub fn rng(&self, label: &str, index: u64) -> StdRng {
         StdRng::seed_from_u64(self.seed(label, index))
     }
+
+    /// The master seed for replica `uid`'s *isolated* simulation.
+    ///
+    /// This is the shared convention (`("replica", uid)`) between the
+    /// sequential and the parallel replica executors: every replica's
+    /// whole world — node RNGs, fault draws, event jitter — derives from
+    /// this one seed, so a replica behaves bit-identically no matter which
+    /// worker thread (or how many sibling replicas) the harness runs.
+    pub fn replica_seed(&self, uid: usize) -> u64 {
+        self.seed("replica", uid as u64)
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -79,11 +90,21 @@ mod tests {
     }
 
     #[test]
+    fn replica_seed_follows_the_convention() {
+        let s = SeedSpawner::new(42);
+        assert_eq!(s.replica_seed(3), s.seed("replica", 3));
+        assert_ne!(s.replica_seed(0), s.replica_seed(1));
+    }
+
+    #[test]
     fn different_labels_or_indices_differ() {
         let s = SeedSpawner::new(7);
         assert_ne!(s.seed("task", 0), s.seed("task", 1));
         assert_ne!(s.seed("task", 0), s.seed("node", 0));
-        assert_ne!(SeedSpawner::new(1).seed("x", 0), SeedSpawner::new(2).seed("x", 0));
+        assert_ne!(
+            SeedSpawner::new(1).seed("x", 0),
+            SeedSpawner::new(2).seed("x", 0)
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(5);
 /// assert_eq!(t.as_micros(), 5_000);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -78,7 +80,9 @@ impl fmt::Display for SimTime {
 /// assert_eq!(d.as_micros(), 1_500_000);
 /// assert_eq!((d + d).as_secs_f64(), 3.0);
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -198,8 +202,10 @@ mod tests {
 
     #[test]
     fn sum_and_scale() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&s| SimDuration::from_secs(s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
         assert_eq!(total.mul_f64(0.5), SimDuration::from_secs(3));
     }

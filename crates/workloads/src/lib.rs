@@ -58,8 +58,8 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.input_name))
                 .into_plan();
             let inputs = HashMap::from([(w.input_name.to_owned(), w.records.clone())]);
-            let result = interpret(&plan, &inputs)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.input_name));
+            let result =
+                interpret(&plan, &inputs).unwrap_or_else(|e| panic!("{}: {e}", w.input_name));
             for out in w.outputs {
                 assert!(
                     result.output(out).is_some(),

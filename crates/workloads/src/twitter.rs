@@ -96,7 +96,10 @@ mod tests {
         let edges = generate(3, 500);
         assert_eq!(edges.len(), 500);
         assert!(edges.iter().all(|r| r.arity() == 2));
-        let nulls = edges.iter().filter(|r| r.get(1) == Some(&Value::Null)).count();
+        let nulls = edges
+            .iter()
+            .filter(|r| r.get(1) == Some(&Value::Null))
+            .count();
         assert!(nulls > 0, "some null followers for the FILTER to drop");
         assert!(nulls < 50, "but only a few");
     }
@@ -106,7 +109,9 @@ mod tests {
         let edges = generate(4, 2000);
         let mut counts = std::collections::HashMap::new();
         for r in &edges {
-            *counts.entry(r.get(0).unwrap().as_int().unwrap()).or_insert(0u32) += 1;
+            *counts
+                .entry(r.get(0).unwrap().as_int().unwrap())
+                .or_insert(0u32) += 1;
         }
         let max = counts.values().copied().max().unwrap();
         let mean = edges.len() as u32 / counts.len() as u32;

@@ -39,7 +39,7 @@ pub fn generate(seed: u64, readings: usize) -> Vec<Record> {
             let temp = if rng.gen_ratio(1, 100) {
                 Value::Null
             } else {
-                Value::Int(base + rng.gen_range(-60..=60))
+                Value::Int(base + rng.gen_range(-60i64..=60))
             };
             Record::new(vec![
                 Value::Int(station),

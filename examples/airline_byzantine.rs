@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ours.sort();
         truth.sort();
         assert_eq!(ours, truth, "{name} must match the reference");
-        println!("output '{name}': {} records, matches reference ✓", ours.len());
+        println!(
+            "output '{name}': {} records, matches reference ✓",
+            ours.len()
+        );
     }
 
     if let Some(analyzer) = cbft.fault_analyzer() {

@@ -28,7 +28,10 @@ fn main() {
         println!("  |D| reached f after {jobs} completed jobs");
         sim.run_steps(100); // keep narrowing
         println!("  suspect sets: {:?}", sim.analyzer().suspects());
-        println!("  isolated faulty nodes: {:?}", sim.analyzer().isolated_faulty_nodes());
+        println!(
+            "  isolated faulty nodes: {:?}",
+            sim.analyzer().isolated_faulty_nodes()
+        );
         for truth in sim.ground_truth() {
             assert!(
                 sim.analyzer().suspected_nodes().contains(truth),

@@ -9,22 +9,44 @@
 
 use std::collections::HashMap;
 
-use clusterbft_repro::dataflow::analyze::{analyze_plan, mark_seeded, Adversary, eligible_under};
+use clusterbft_repro::dataflow::analyze::{analyze_plan, eligible_under, mark_seeded, Adversary};
 use clusterbft_repro::dataflow::compile::compile_plan;
 use clusterbft_repro::dataflow::Script;
 use clusterbft_repro::workloads::{airline, twitter, weather};
 
 fn main() {
     let scripts = [
-        ("Twitter Follower Analysis (Fig. 8 i)", twitter::FOLLOWER_SCRIPT, "twitter", 200u64),
-        ("Twitter Two Hop Analysis (Fig. 8 ii)", twitter::TWO_HOP_SCRIPT, "twitter", 200),
-        ("Air Traffic Analysis (Fig. 8 iii)", airline::TOP_AIRPORTS_SCRIPT, "airline", 1_300),
-        ("Weather Average Temperature (§6.4)", weather::AVERAGE_TEMPERATURE_SCRIPT, "weather", 640),
+        (
+            "Twitter Follower Analysis (Fig. 8 i)",
+            twitter::FOLLOWER_SCRIPT,
+            "twitter",
+            200u64,
+        ),
+        (
+            "Twitter Two Hop Analysis (Fig. 8 ii)",
+            twitter::TWO_HOP_SCRIPT,
+            "twitter",
+            200,
+        ),
+        (
+            "Air Traffic Analysis (Fig. 8 iii)",
+            airline::TOP_AIRPORTS_SCRIPT,
+            "airline",
+            1_300,
+        ),
+        (
+            "Weather Average Temperature (§6.4)",
+            weather::AVERAGE_TEMPERATURE_SCRIPT,
+            "weather",
+            640,
+        ),
     ];
 
     for (title, script, input, mb) in scripts {
         println!("==================== {title} ====================");
-        let plan = Script::parse(script).expect("bundled script parses").into_plan();
+        let plan = Script::parse(script)
+            .expect("bundled script parses")
+            .into_plan();
         let sizes = HashMap::from([(input.to_owned(), mb << 20)]);
         let analysis = analyze_plan(&plan, &sizes);
 
@@ -61,7 +83,13 @@ fn main() {
         }
 
         println!("-- graphviz (plan, marked n=2) --");
-        let marked = mark_seeded(&plan, &analysis, 2, eligible_under(Adversary::Weak), &stores);
+        let marked = mark_seeded(
+            &plan,
+            &analysis,
+            2,
+            eligible_under(Adversary::Weak),
+            &stores,
+        );
         println!("{}", plan.to_dot(&marked));
     }
 }

@@ -63,7 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Phase 3: the administrator patches the node and reinserts it.
-    cbft.cluster_mut().set_node_behavior(villain, Behavior::Honest);
+    cbft.cluster_mut()
+        .set_node_behavior(villain, Behavior::Honest);
     cbft.readmit_node(villain);
     println!("node {villain} patched and readmitted");
 

@@ -48,7 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.verified(), "f+1 digest quorum must form");
 
     println!("\ntop users by follower count (verified output):");
-    for record in cbft.cluster().storage().peek("top_users").expect("published") {
+    for record in cbft
+        .cluster()
+        .storage()
+        .peek("top_users")
+        .expect("published")
+    {
         println!("  {record:?}");
     }
 

@@ -10,7 +10,11 @@ use clusterbft_repro::core::{Cluster, ClusterBft, JobConfig, Replication, VpPoli
 use clusterbft_repro::workloads::twitter;
 
 fn run(label: &str, config: JobConfig) -> Result<(), Box<dyn std::error::Error>> {
-    let cluster = Cluster::builder().nodes(32).slots_per_node(9).seed(7).build();
+    let cluster = Cluster::builder()
+        .nodes(32)
+        .slots_per_node(9)
+        .seed(7)
+        .build();
     let mut cbft = ClusterBft::new(cluster, config);
     let workload = twitter::follower_analysis(7, 50_000);
     cbft.load_input(workload.input_name, workload.records)?;

@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     control.set_behavior(ReplicaId(0), BftBehavior::Crashed);
 
     // --- data tier: the weather analysis with one digest per 100 records -
-    let cluster = Cluster::builder().nodes(8).slots_per_node(3).seed(5).build();
+    let cluster = Cluster::builder()
+        .nodes(8)
+        .slots_per_node(3)
+        .seed(5)
+        .build();
     let config = JobConfig::builder()
         .expected_failures(1)
         .replication(Replication::Optimistic)

@@ -9,7 +9,8 @@ use std::error::Error;
 use std::fmt;
 
 use crate::core::{
-    Adversary, Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, Value, VpPolicy,
+    Adversary, Behavior, Cluster, ClusterBft, ExecutorConfig, JobConfig, ParallelExecutor, Record,
+    Replication, Value, VpPolicy,
 };
 use crate::dataflow::Script;
 
@@ -42,6 +43,10 @@ pub struct CliOptions {
     pub combiners: bool,
     /// Run the logical-plan optimizer before execution.
     pub optimize: bool,
+    /// Worker threads for the parallel replica executor. `None` keeps the
+    /// classic sequential pipeline; `Some(0)` means one thread per replica.
+    /// In this mode `--fault N:...` targets replica `N`, not node `N`.
+    pub threads: Option<usize>,
     /// Print the instrumented plan in Graphviz dot and exit.
     pub emit_dot: bool,
     /// Rows of each output to print.
@@ -64,6 +69,7 @@ impl Default for CliOptions {
             faults: Vec::new(),
             combiners: false,
             optimize: false,
+            threads: None,
             emit_dot: false,
             show_rows: 10,
         }
@@ -102,6 +108,10 @@ OPTIONS:
                          (with probability P, default 1.0) | crash
     --combiners          enable map-side combiners
     --optimize           run the logical-plan optimizer first
+    --threads N          run replicas on N worker threads (0 = one per
+                         replica), streaming digests into the verifier as
+                         they are produced; --fault then targets replica N
+                         instead of node N                [default: sequential]
     --dot                print the plan in Graphviz dot and exit
     --show N             rows of each output to print   [default: 10]
 
@@ -117,7 +127,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     let mut opts = CliOptions::default();
     let mut it = args.into_iter();
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-        it.next().ok_or_else(|| UsageError(format!("{flag} requires a value")))
+        it.next()
+            .ok_or_else(|| UsageError(format!("{flag} requires a value")))
     };
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -162,6 +173,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 let v = need(&mut it, "--fault")?;
                 opts.faults.push(parse_fault(&v)?);
             }
+            "--threads" => {
+                opts.threads = Some(parse_num(&need(&mut it, "--threads")?, "--threads")?)
+            }
             "--combiners" => opts.combiners = true,
             "--optimize" => opts.optimize = true,
             "--dot" => opts.emit_dot = true,
@@ -187,7 +201,9 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError>
 pub fn parse_fault(spec: &str) -> Result<(usize, Behavior), UsageError> {
     let mut parts = spec.split(':');
     let node: usize = parse_num(
-        parts.next().ok_or_else(|| UsageError("empty --fault".into()))?,
+        parts
+            .next()
+            .ok_or_else(|| UsageError("empty --fault".into()))?,
         "--fault",
     )?;
     let kind = parts
@@ -265,6 +281,10 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
         inputs.insert(name.clone(), records);
     }
 
+    if opts.threads.is_some() {
+        return run_parallel(opts, &source, inputs);
+    }
+
     let mut builder = Cluster::builder()
         .nodes(opts.nodes)
         .slots_per_node(opts.slots)
@@ -317,6 +337,75 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     Ok(out)
 }
 
+/// The `--threads` path: replicas run on worker threads in isolated
+/// clusters, digests stream into the verifier live, and faults target
+/// replicas rather than nodes.
+fn run_parallel(
+    opts: &CliOptions,
+    source: &str,
+    inputs: HashMap<String, Vec<Record>>,
+) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    let f = opts.f;
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: opts.threads.unwrap_or(1),
+        expected_failures: f,
+        // Start at the requested replication degree, escalate along the
+        // paper's schedule from there.
+        escalation: vec![opts.replication.replicas(f), 2 * f + 1, 3 * f + 1],
+        vp_policy: VpPolicy::Marked(opts.points),
+        adversary: opts.adversary,
+        digest_granularity: opts.granularity,
+        nodes: opts.nodes,
+        slots_per_node: opts.slots,
+        master_seed: opts.seed,
+        ..ExecutorConfig::default()
+    });
+    for (name, records) in inputs {
+        exec.load_input(&name, records)?;
+    }
+    for &(uid, behavior) in &opts.faults {
+        exec.inject_fault(uid, behavior);
+    }
+    let plan = Script::parse(source)?.into_plan();
+    let plan = if opts.optimize {
+        crate::dataflow::optimize::optimize(&plan)
+    } else {
+        plan
+    };
+    let outcome = exec.run_plan(plan)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}   replicas per round: {:?}   digest reports: {}",
+        if outcome.verified() {
+            "VERIFIED"
+        } else {
+            "NOT VERIFIED"
+        },
+        outcome.replicas_per_round(),
+        outcome.transcript().len(),
+    );
+    if !outcome.deviant_replicas().is_empty() {
+        let _ = writeln!(out, "deviant replicas: {:?}", outcome.deviant_replicas());
+    }
+    if !outcome.omitted_replicas().is_empty() {
+        let _ = writeln!(out, "omitted replicas: {:?}", outcome.omitted_replicas());
+    }
+    for (name, records) in outcome.outputs() {
+        let _ = writeln!(out, "\n== {name} ({} records) ==", records.len());
+        for r in records.iter().take(opts.show_rows) {
+            let _ = writeln!(out, "{}", render_record(r));
+        }
+        if records.len() > opts.show_rows {
+            let _ = writeln!(out, "... ({} more)", records.len() - opts.show_rows);
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,14 +440,20 @@ mod tests {
         ])
         .unwrap();
         assert_eq!(opts.script, "job.pig");
-        assert_eq!(opts.inputs, vec![("edges".to_owned(), "edges.csv".to_owned())]);
+        assert_eq!(
+            opts.inputs,
+            vec![("edges".to_owned(), "edges.csv".to_owned())]
+        );
         assert_eq!(opts.nodes, 32);
         assert_eq!(opts.f, 2);
         assert_eq!(opts.replication, Replication::Quorum);
         assert_eq!(opts.points, 3);
         assert_eq!(opts.adversary, Adversary::Weak);
         assert_eq!(opts.faults.len(), 2);
-        assert_eq!(opts.faults[0], (4, Behavior::Commission { probability: 0.5 }));
+        assert_eq!(
+            opts.faults[0],
+            (4, Behavior::Commission { probability: 0.5 })
+        );
         assert_eq!(opts.faults[1], (7, Behavior::Crashed));
         assert!(opts.combiners);
         assert_eq!(opts.show_rows, 5);
@@ -392,7 +487,12 @@ mod tests {
         let r = parse_record("3, hello ,null,-42");
         assert_eq!(
             r.fields(),
-            &[Value::Int(3), Value::str("hello"), Value::Null, Value::Int(-42)]
+            &[
+                Value::Int(3),
+                Value::str("hello"),
+                Value::Null,
+                Value::Int(-42)
+            ]
         );
         assert_eq!(render_record(&r), "3,hello,null,-42");
     }
@@ -425,7 +525,68 @@ mod tests {
         let report = run(&opts).unwrap();
         assert!(report.contains("VERIFIED"), "{report}");
         assert!(report.contains("== counts (5 records) =="), "{report}");
-        assert!(report.contains("0,10"), "each user has 10 followers: {report}");
+        assert!(
+            report.contains("0,10"),
+            "each user has 10 followers: {report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn threads_flag_parses() {
+        assert_eq!(parse(&["s.pig"]).unwrap().threads, None);
+        assert_eq!(
+            parse(&["s.pig", "--threads", "4"]).unwrap().threads,
+            Some(4)
+        );
+        assert_eq!(
+            parse(&["s.pig", "--threads", "0"]).unwrap().threads,
+            Some(0)
+        );
+        assert!(parse(&["s.pig", "--threads"]).is_err());
+        assert!(parse(&["s.pig", "--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_parallel_run_from_files() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_par_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        // --fault targets replica 0 here: the deviant replica forces an
+        // escalation round, and the run still verifies.
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            &format!("edges={}", data.to_str().unwrap()),
+            "--threads",
+            "2",
+            "--replication",
+            "optimistic",
+            "--fault",
+            "0:commission",
+        ])
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.starts_with("VERIFIED"), "{report}");
+        assert!(report.contains("replicas per round: [2, 1]"), "{report}");
+        assert!(report.contains("deviant replicas: {0}"), "{report}");
+        assert!(report.contains("== counts (5 records) =="), "{report}");
+        assert!(
+            report.contains("0,10"),
+            "each user has 10 followers: {report}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,7 +10,8 @@
 use std::collections::HashMap;
 
 use clusterbft_repro::core::{
-    Behavior, Cluster, ClusterBft, JobConfig, Record, Replication, Value, VpPolicy,
+    Behavior, Cluster, ClusterBft, ExecutorConfig, JobConfig, ParallelExecutor, Record,
+    Replication, Value, VpPolicy,
 };
 use clusterbft_repro::dataflow::interp::interpret;
 use clusterbft_repro::dataflow::Script;
@@ -47,8 +48,12 @@ const SCRIPTS: [&str; 4] = [
 
 fn random_behavior(rng: &mut StdRng) -> Behavior {
     match rng.gen_range(0..3) {
-        0 => Behavior::Commission { probability: rng.gen_range(0.2..1.0) },
-        1 => Behavior::Omission { probability: rng.gen_range(0.2..0.8) },
+        0 => Behavior::Commission {
+            probability: rng.gen_range(0.2..1.0),
+        },
+        1 => Behavior::Omission {
+            probability: rng.gen_range(0.2..0.8),
+        },
         _ => Behavior::Crashed,
     }
 }
@@ -67,7 +72,7 @@ fn verified_always_means_correct() {
             _ => Replication::Full,
         };
         let script = SCRIPTS[rng.gen_range(0..SCRIPTS.len())];
-        let granularity = [usize::MAX, 50, 7][rng.gen_range(0..3)];
+        let granularity = [usize::MAX, 50, 7][rng.gen_range(0..3usize)];
         let points = rng.gen_range(0..3u32);
         let n_records = rng.gen_range(50..400);
         let records: Vec<Record> = (0..n_records)
@@ -100,7 +105,9 @@ fn verified_always_means_correct() {
                 .build(),
         );
         cbft.load_input("in", records).unwrap();
-        let outcome = cbft.submit_script(script).expect("submission never errors here");
+        let outcome = cbft
+            .submit_script(script)
+            .expect("submission never errors here");
 
         if outcome.verified() {
             verified_runs += 1;
@@ -132,5 +139,175 @@ fn verified_always_means_correct() {
     assert!(
         verified_runs >= 15,
         "the chaos mix should still verify most runs, got {verified_runs}/25"
+    );
+}
+
+/// The same invariant under the parallel replica executor, with the
+/// paper's escalation schedule: a faulty replica (deviant digests or a
+/// silent wedge) forces re-execution at a higher replica count, and
+/// whatever finally verifies must equal the reference interpreter.
+#[test]
+fn parallel_escalation_verified_always_means_correct() {
+    let mut rng = StdRng::seed_from_u64(0xE5CA);
+    let mut escalated_runs = 0;
+    for round in 0..12u32 {
+        let script = SCRIPTS[rng.gen_range(0..SCRIPTS.len())];
+        let behavior = random_behavior(&mut rng);
+        let faulty_uid = rng.gen_range(0..2usize); // within the f+1 first round
+        let n_records = rng.gen_range(50..400);
+        let records: Vec<Record> = (0..n_records)
+            .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i * 7 % 101)]))
+            .collect();
+
+        let plan = Script::parse(script).unwrap().into_plan();
+        let inputs = HashMap::from([("in".to_owned(), records.clone())]);
+        let reference = interpret(&plan, &inputs).unwrap();
+
+        let mut exec = ParallelExecutor::new(ExecutorConfig {
+            threads: 4,
+            expected_failures: 1,
+            // f+1 → 2f+1 → 3f+1, the default — spelled out for the reader.
+            escalation: vec![2, 3, 4],
+            digest_granularity: [usize::MAX, 50, 7][rng.gen_range(0..3usize)],
+            map_split_records: rng.gen_range(20..80),
+            master_seed: round as u64 * 977 + 5,
+            ..ExecutorConfig::default()
+        });
+        exec.load_input("in", records).unwrap();
+        exec.inject_fault(faulty_uid, behavior);
+        let outcome = exec
+            .run_script(script)
+            .expect("submission never errors here");
+
+        // One faulty replica against f = 1 and three rounds of escalation:
+        // two honest replicas must always emerge and out-vote it.
+        assert!(
+            outcome.verified(),
+            "round {round} ({behavior:?} on uid {faulty_uid}): escalation should recover"
+        );
+        match behavior {
+            Behavior::Commission { .. } => {
+                // A deviant replica contradicts the quorum at some key —
+                // unless its corruption draws never hit a digested record.
+                if outcome.replicas_per_round().len() > 1 {
+                    assert!(
+                        outcome.deviant_replicas().contains(&faulty_uid)
+                            || outcome.omitted_replicas().contains(&faulty_uid),
+                        "round {round}: escalation without implicating uid {faulty_uid}"
+                    );
+                }
+            }
+            Behavior::Crashed => {
+                assert!(
+                    outcome.omitted_replicas().contains(&faulty_uid),
+                    "round {round}: a crashed replica must wedge"
+                );
+                assert!(
+                    outcome.replicas_per_round().len() > 1,
+                    "round {round}: a wedged first round cannot reach quorum at f+1"
+                );
+            }
+            Behavior::Omission { .. } | Behavior::Honest => {}
+        }
+        if outcome.replicas_per_round().len() > 1 {
+            escalated_runs += 1;
+        }
+
+        for (name, truth) in reference.outputs() {
+            let mut ours = outcome
+                .output(name)
+                .unwrap_or_else(|| panic!("round {round}: output {name} missing"))
+                .to_vec();
+            let mut truth = truth.clone();
+            ours.sort();
+            truth.sort();
+            assert_eq!(
+                ours, truth,
+                "round {round} ({behavior:?}): verified ≠ correct"
+            );
+        }
+    }
+    assert!(
+        escalated_runs >= 4,
+        "the fault mix should force escalation regularly, got {escalated_runs}/12"
+    );
+}
+
+/// Escalation bottoms out honestly: when every round's replicas are
+/// faulty (one deviant, the rest wedged — faults that cannot collude into
+/// a fake quorum), no `f + 1` agreement ever forms and nothing is
+/// published.
+#[test]
+fn parallel_escalation_exhausts_to_unverified() {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 4,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 11,
+        ..ExecutorConfig::default()
+    });
+    let records: Vec<Record> = (0..120)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i)]))
+        .collect();
+    exec.load_input("in", records).unwrap();
+    exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    for uid in 1..4 {
+        exec.inject_fault(uid, Behavior::Crashed);
+    }
+    let outcome = exec.run_script(SCRIPTS[0]).unwrap();
+    assert!(
+        !outcome.verified(),
+        "a single deviant digest stream has no quorum partner"
+    );
+    assert!(
+        outcome.outputs().is_empty(),
+        "unverified must publish nothing"
+    );
+    assert_eq!(
+        outcome.replicas_per_round(),
+        &[2, 1, 1],
+        "all rounds were spent"
+    );
+    assert_eq!(
+        outcome.omitted_replicas().len(),
+        3,
+        "the crashed replicas all wedged"
+    );
+}
+
+/// The flip side of the invariant — and of [`parallel_escalation_exhausts_to_unverified`]:
+/// more than `f` *identically corrupting* replicas CAN form a quorum of
+/// wrong digests. ClusterBFT's guarantee is explicitly conditional on at
+/// most `f` correlated faults (paper §3.1); this pins the boundary so the
+/// condition stays visible in the test suite.
+#[test]
+fn colluding_majority_defeats_verification_by_design() {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2],
+        master_seed: 11,
+        ..ExecutorConfig::default()
+    });
+    let records: Vec<Record> = (0..120)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i)]))
+        .collect();
+    exec.load_input("in", records).unwrap();
+    // Probability 1.0 makes the (deterministic) corruption identical on
+    // both replicas: their wrong digests agree everywhere.
+    exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    exec.inject_fault(1, Behavior::Commission { probability: 1.0 });
+    let outcome = exec.run_script(SCRIPTS[0]).unwrap();
+    assert!(outcome.verified(), "f+1 colluding replicas look unanimous");
+
+    let plan = Script::parse(SCRIPTS[0]).unwrap().into_plan();
+    let records: Vec<Record> = (0..120)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i)]))
+        .collect();
+    let reference = interpret(&plan, &HashMap::from([("in".to_owned(), records)])).unwrap();
+    assert_ne!(
+        outcome.output("out0").unwrap(),
+        reference.outputs()["out0"].as_slice(),
+        "…and what they agree on is wrong, which is why f must bound collusion"
     );
 }

@@ -51,7 +51,10 @@ fn core_pipeline_is_deterministic_per_seed() {
     // Different seeds are not *guaranteed* to differ in any one statistic,
     // but across a handful of seeds some placement difference must show.
     let varied = (78..84u64).any(|s| run_core(s).0 != o1);
-    assert!(varied, "six different seeds never changing anything would mean the seed is dead");
+    assert!(
+        varied,
+        "six different seeds never changing anything would mean the seed is dead"
+    );
 }
 
 #[test]
@@ -63,7 +66,11 @@ fn faultsim_is_deterministic_per_seed() {
             ..FaultSimConfig::default()
         });
         sim.run_steps(60);
-        (sim.jobs_completed(), sim.history().to_vec(), sim.ground_truth().clone())
+        (
+            sim.jobs_completed(),
+            sim.history().to_vec(),
+            sim.ground_truth().clone(),
+        )
     };
     assert_eq!(run(5), run(5));
 }

@@ -158,7 +158,9 @@ fn corrupting_node_is_eventually_isolated() {
     }
     let analyzer = cbft.fault_analyzer().expect("f >= 1");
     assert!(
-        analyzer.suspected_nodes().contains(&clusterbft_repro::core::NodeId(3)),
+        analyzer
+            .suspected_nodes()
+            .contains(&clusterbft_repro::core::NodeId(3)),
         "the corrupting node must be suspected: {:?}",
         analyzer.suspects()
     );
@@ -207,7 +209,11 @@ fn unverified_baseline_publishes_without_verification() {
 
 #[test]
 fn sequential_scripts_share_one_deployment() {
-    let cluster = Cluster::builder().nodes(12).slots_per_node(3).seed(31).build();
+    let cluster = Cluster::builder()
+        .nodes(12)
+        .slots_per_node(3)
+        .seed(31)
+        .build();
     let mut cbft = ClusterBft::new(cluster, default_config(Replication::Full));
     let edges: Vec<Record> = (0..600)
         .map(|i| Record::new(vec![Value::Int(i % 9), Value::Int(i)]))

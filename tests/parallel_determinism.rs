@@ -1,0 +1,133 @@
+//! Parallelism must be invisible: for a fixed master seed and fault plan,
+//! the parallel executor's verdict, published outputs and canonical digest
+//! transcript are bit-identical across every replica count and thread
+//! count. Worker threads only change *when* digests reach the verifier,
+//! never *what* they say.
+
+use clusterbft_repro::core::{Behavior, ExecutorConfig, ParallelExecutor, ParallelOutcome};
+use clusterbft_repro::dataflow::{Record, Value};
+
+const SCRIPT: &str = "
+    users = LOAD 'users' AS (uid, region);
+    clicks = LOAD 'clicks' AS (uid, url, ms);
+    fast = FILTER clicks BY ms < 700;
+    j = JOIN users BY uid, fast BY uid;
+    g = GROUP j BY region;
+    s = FOREACH g GENERATE group, COUNT(j) AS hits, SUM(j.ms) AS total;
+    o = ORDER s BY hits DESC;
+    STORE o INTO 'by_region';
+";
+
+fn users(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| Record::new(vec![Value::Int(i), Value::Int(i % 7)]))
+        .collect()
+}
+
+fn clicks(n: i64) -> Vec<Record> {
+    (0..n)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i % 40),
+                Value::str(format!("/page/{}", i % 13)),
+                Value::Int(i * 37 % 1000),
+            ])
+        })
+        .collect()
+}
+
+fn run(replicas: usize, threads: usize, fault: Option<(usize, Behavior)>) -> ParallelOutcome {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads,
+        expected_failures: 1,
+        escalation: vec![replicas],
+        master_seed: 2013,
+        ..ExecutorConfig::default()
+    });
+    exec.load_input("users", users(40)).unwrap();
+    exec.load_input("clicks", clicks(600)).unwrap();
+    if let Some((uid, behavior)) = fault {
+        exec.inject_fault(uid, behavior);
+    }
+    exec.run_script(SCRIPT).unwrap()
+}
+
+#[test]
+fn healthy_runs_are_interleaving_independent() {
+    for replicas in [2, 3, 4] {
+        let baseline = run(replicas, 1, None);
+        assert!(baseline.verified(), "r={replicas} baseline must verify");
+        assert!(!baseline.transcript().is_empty());
+        for threads in [2, 8] {
+            let parallel = run(replicas, threads, None);
+            assert_eq!(
+                baseline, parallel,
+                "r={replicas} threads={threads}: outcome diverged from sequential"
+            );
+        }
+    }
+}
+
+#[test]
+fn transcripts_are_byte_identical_across_thread_counts() {
+    // The strongest form of the claim: not just the verdict but the full
+    // ordered digest transcript — every (key, replica, seq, payload) —
+    // survives any interleaving.
+    let baseline = run(4, 1, None);
+    let wide = run(4, 8, None);
+    assert_eq!(baseline.transcript(), wide.transcript());
+    let a = serde_json::to_string(&baseline).unwrap();
+    let b = serde_json::to_string(&wide).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn faulty_runs_are_interleaving_independent_too() {
+    // A commission-faulty replica makes digest *content* diverge; the
+    // canonical ordering still pins every report to the same slot.
+    let fault = Some((1, Behavior::Commission { probability: 1.0 }));
+    let baseline = run(3, 1, fault);
+    assert!(
+        baseline.verified(),
+        "two honest replicas out-vote the deviant"
+    );
+    assert!(baseline.deviant_replicas().contains(&1));
+    for threads in [2, 8] {
+        assert_eq!(baseline, run(3, threads, fault), "threads={threads}");
+    }
+}
+
+#[test]
+fn omission_wedges_are_interleaving_independent() {
+    let fault = Some((0, Behavior::Omission { probability: 0.4 }));
+    let baseline = run(3, 1, fault);
+    for threads in [2, 8] {
+        assert_eq!(baseline, run(3, threads, fault), "threads={threads}");
+    }
+}
+
+#[test]
+fn zero_threads_means_one_thread_per_replica() {
+    assert_eq!(run(3, 1, None), run(3, 0, None));
+}
+
+#[test]
+fn different_seeds_still_agree_on_outputs() {
+    // Replica simulations differ per seed (scheduling, node draws), but
+    // honest replicas always compute the same records, so the verified
+    // outputs — though not the timing-dependent metrics — match.
+    let a = run(2, 4, None);
+    let b = {
+        let mut exec = ParallelExecutor::new(ExecutorConfig {
+            threads: 4,
+            escalation: vec![2],
+            master_seed: 999,
+            ..ExecutorConfig::default()
+        });
+        exec.load_input("users", users(40)).unwrap();
+        exec.load_input("clicks", clicks(600)).unwrap();
+        exec.run_script(SCRIPT).unwrap()
+    };
+    assert!(a.verified() && b.verified());
+    assert_eq!(a.outputs(), b.outputs());
+}

@@ -2,10 +2,14 @@
 //! harness persists (bench records, configs, plans, digests) must survive
 //! JSON serialization unchanged.
 
-use clusterbft_repro::core::{JobConfig, Record, Replication, Value, VpPolicy};
-use clusterbft_repro::dataflow::{LogicalPlan, Script};
+use clusterbft_repro::core::{
+    Adversary, ExecutorConfig, JobConfig, Record, Replication, StreamedReport, Value, VpPolicy,
+};
+use clusterbft_repro::dataflow::compile::{JobId, Site};
+use clusterbft_repro::dataflow::{LogicalPlan, Script, VertexId};
 use clusterbft_repro::digest::{ChunkedDigest, ChunkedSummary, Digest};
-use clusterbft_repro::mapreduce::JobMetrics;
+use clusterbft_repro::mapreduce::{DigestReport, JobMetrics, RunHandle, TaskKind};
+use clusterbft_repro::sim::SimTime;
 
 fn round_trip<T>(value: &T) -> T
 where
@@ -83,4 +87,73 @@ fn configs_and_metrics_round_trip() {
         ..JobMetrics::default()
     };
     assert_eq!(round_trip(&metrics), metrics);
+}
+
+fn streamed(uid: usize, seq: u64, payload: &[u8]) -> StreamedReport {
+    let mut cd = ChunkedDigest::whole_stream();
+    cd.append(payload);
+    StreamedReport {
+        uid,
+        seq,
+        report: DigestReport {
+            handle: RunHandle::from_raw(9),
+            sid: "j2".to_owned(),
+            replica: uid,
+            vertex: VertexId(4),
+            site: Site::Shuffle { job: JobId(2) },
+            kind: TaskKind::Reduce,
+            task_index: 1,
+            summary: cd.finish(),
+            at: SimTime::ZERO,
+        },
+    }
+}
+
+#[test]
+fn streamed_reports_round_trip_with_their_ordering_key() {
+    // The canonical transcript is persisted by harnesses; the ordering
+    // key — (verification point, replica, sequence) — must survive JSON
+    // intact or a restored transcript would sort differently.
+    let sr = streamed(3, 17, b"payload");
+    let back = round_trip(&sr);
+    assert_eq!(back, sr);
+    assert_eq!(back.ordering_key(), sr.ordering_key());
+
+    // And a whole transcript keeps its canonical order through the trip.
+    let transcript = vec![
+        streamed(0, 0, b"a"),
+        streamed(0, 1, b"b"),
+        streamed(1, 0, b"a"),
+    ];
+    let back: Vec<StreamedReport> = round_trip(&transcript);
+    assert!(back
+        .windows(2)
+        .all(|w| w[0].ordering_key() <= w[1].ordering_key()));
+    assert_eq!(back, transcript);
+}
+
+#[test]
+fn executor_configs_round_trip() {
+    // Default (exercises granularity = usize::MAX, the JSON u64 extreme).
+    let config = ExecutorConfig::default();
+    assert_eq!(round_trip(&config), config);
+
+    let config = ExecutorConfig {
+        threads: 8,
+        expected_failures: 2,
+        escalation: vec![3, 5, 7],
+        vp_policy: VpPolicy::Marked(4),
+        adversary: Adversary::Weak,
+        digest_granularity: 250,
+        reduce_tasks: 6,
+        map_split_records: 1_000,
+        nodes: 32,
+        slots_per_node: 9,
+        master_seed: 0xDEAD_BEEF,
+        ..ExecutorConfig::default()
+    };
+    let back = round_trip(&config);
+    assert_eq!(back, config);
+    // Derived behavior survives too, not just field equality.
+    assert_eq!(back.escalation_targets(), config.escalation_targets());
 }

@@ -1,0 +1,6 @@
+//! Crossbeam-compatible scoped threads and channels, implemented on top
+//! of `std::thread::scope` (stable since 1.63) and `std::sync::mpsc`.
+//! Only the API surface the workspace uses is provided.
+
+pub mod channel;
+pub mod thread;

@@ -1,0 +1,60 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::{Strategy, TestRng};
+use rand::Rng as _;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(!sizes.is_empty(), "vec strategy: empty size range");
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.0.gen_range(self.sizes.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+pub fn btree_set<S>(element: S, sizes: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(!sizes.is_empty(), "btree_set strategy: empty size range");
+    BTreeSetStrategy { element, sizes }
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.0.gen_range(self.sizes.clone());
+        let mut set = BTreeSet::new();
+        // Duplicates don't grow the set; bound the retries in case the
+        // element domain is smaller than the requested size.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(100) + 100 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

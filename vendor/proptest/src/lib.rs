@@ -1,0 +1,375 @@
+//! A compact property-testing framework exposing the subset of the
+//! `proptest` 1.x API this workspace uses. Differences from upstream:
+//! no shrinking (failures report the generated inputs via `Debug`
+//! instead), and checked-in `.proptest-regressions` seeds are replayed
+//! as deterministic extra cases (hashed to seeds) rather than replaying
+//! upstream's byte-exact value trees.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Random source handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let pick = rng.0.gen_range(0..self.0.len());
+        self.0[pick].generate(rng)
+    }
+}
+
+// -------------------------------------------------------- any / Arbitrary
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.gen()
+            }
+        }
+    )*};
+}
+
+arbitrary_via_gen!(u8, u16, u32, u64, usize, i8, i32, i64, bool, f64);
+
+// ------------------------------------------------------ range strategies
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ------------------------------------------------------ tuple strategies
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_matching(self, rng)
+    }
+}
+
+// ------------------------------------------------------------ the runner
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: replays any checked-in regression seeds for the
+/// enclosing file, then runs `config.cases` fresh cases seeded from the
+/// test name (deterministic run to run).
+pub fn run_property<F>(config: &ProptestConfig, source_file: &str, test_name: &str, body: F)
+where
+    F: Fn(u64),
+{
+    let mut seeds: Vec<(String, u64)> = Vec::new();
+    for token in regression_tokens(source_file) {
+        seeds.push((format!("regression {token}"), fnv1a(token.as_bytes())));
+    }
+    let base = fnv1a(test_name.as_bytes());
+    for case in 0..config.cases {
+        seeds.push((
+            format!("case {case}"),
+            base.wrapping_add(splitmix(case as u64)),
+        ));
+    }
+
+    for (label, seed) in seeds {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(seed)));
+        if let Err(payload) = result {
+            eprintln!("proptest: {test_name} failed on {label} (seed {seed:#x})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// `cc <hex>` tokens from the file's sibling `.proptest-regressions`.
+fn regression_tokens(source_file: &str) -> Vec<String> {
+    let path = std::path::Path::new(source_file).with_extension("proptest-regressions");
+    let Ok(contents) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            line.strip_prefix("cc ")
+                .map(|rest| rest.split_whitespace().next().unwrap_or("").to_string())
+        })
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// --------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property(&config, file!(), stringify!($name), |seed| {
+                let mut rng = $crate::TestRng::from_seed(seed);
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps_compose(
+            x in 0u64..100,
+            label in "[a-z]{0,8}",
+            pair in (0i64..5, any::<bool>()),
+            xs in crate::collection::vec(any::<u8>(), 1..10),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(label.len() <= 8);
+            prop_assert!(label.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!((0..5).contains(&pair.0));
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn oneof_and_sets_work(
+            v in prop_oneof![Just(0u64), 1u64..10, Just(99u64)],
+            s in crate::collection::btree_set(0usize..30, 2..6),
+        ) {
+            prop_assert!(v == 0 || v == 99 || (1..10).contains(&v));
+            prop_assert!(s.len() >= 2 && s.len() < 6);
+        }
+    }
+
+    #[test]
+    fn index_is_in_bounds() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for _ in 0..100 {
+            let idx = crate::sample::Index::arbitrary(&mut rng);
+            assert!(idx.index(13) < 13);
+        }
+    }
+
+    use crate::Arbitrary;
+}

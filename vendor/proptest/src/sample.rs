@@ -1,0 +1,22 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+use rand::Rng as _;
+
+/// An index into a collection whose length is only known at use-time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `0..len`. Panics if `len == 0`, like upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.0.gen())
+    }
+}

@@ -1,0 +1,138 @@
+//! A tiny regex-shaped string generator. Supports the pattern subset
+//! used as strategies in this workspace: literal characters, character
+//! classes `[a-z0-9_]` (ranges and singletons), and the repetition
+//! operators `{m,n}`, `{n}`, `?`, `*`, `+` (star/plus capped at 8).
+
+use crate::TestRng;
+use rand::Rng as _;
+
+enum Unit {
+    Class(Vec<(char, char)>),
+    Literal(char),
+}
+
+struct Piece {
+    unit: Unit,
+    min: usize,
+    max: usize,
+}
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.0.gen_range(piece.min..=piece.max);
+        for _ in 0..count {
+            match &piece.unit {
+                Unit::Literal(c) => out.push(*c),
+                Unit::Class(ranges) => {
+                    let total: u32 = ranges
+                        .iter()
+                        .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                        .sum();
+                    let mut pick = rng.0.gen_range(0..total);
+                    for (lo, hi) in ranges {
+                        let span = *hi as u32 - *lo as u32 + 1;
+                        if pick < span {
+                            out.push(char::from_u32(*lo as u32 + pick).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let unit = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                Unit::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Unit::Literal(c)
+            }
+            c => {
+                i += 1;
+                Unit::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { unit, min, max });
+    }
+    pieces
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn generates_matching_strings() {
+        let mut rng = crate::TestRng::from_seed(11);
+        for _ in 0..200 {
+            let s = super::generate_matching("[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let t = super::generate_matching("ab[0-9]c?", &mut rng);
+        assert!(t.starts_with("ab"));
+    }
+}

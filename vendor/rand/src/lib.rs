@@ -1,0 +1,320 @@
+//! Minimal, dependency-free re-implementation of the subset of the `rand`
+//! 0.8 API this workspace uses. Deterministic across platforms: `StdRng`
+//! is a small splitmix64-seeded xoshiro256** generator, so seeded streams
+//! are stable forever (the real `rand` makes no such promise across
+//! versions, which matters for our replayable simulations).
+
+pub mod rngs;
+pub mod seq;
+
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+/// Core source of randomness: 32/64-bit outputs plus byte filling.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64::new(state);
+        let bytes = seed.as_mut();
+        let mut i = 0;
+        while i < bytes.len() {
+            let word = sm.next().to_le_bytes();
+            let n = (bytes.len() - i).min(8);
+            bytes[i..i + n].copy_from_slice(&word[..n]);
+            i += n;
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling helpers, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformSample,
+        R: IntoRangeBounds<T>,
+    {
+        let (lo, hi_inclusive) = range.into_bounds();
+        T::sample_range(self, lo, hi_inclusive)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p));
+        f64::sample(self) < p
+    }
+
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!(denominator > 0 && numerator <= denominator);
+        u32::sample_range(self, 0, denominator - 1) < numerator
+    }
+
+    fn fill<T: AsMut<[u8]>>(&mut self, dest: &mut T)
+    where
+        Self: Sized,
+    {
+        self.fill_bytes(dest.as_mut());
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the uniform "standard" distribution.
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard for u16 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard for i8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+impl Standard for i32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard for i64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable over a (lo, hi-inclusive) span.
+pub trait UniformSample: PartialOrd + Copy {
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformSample for $t {
+            fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+                assert!(lo <= hi_inclusive, "gen_range: empty range");
+                let span = (hi_inclusive as $wide).wrapping_sub(lo as $wide);
+                if span == <$wide>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Debiased via 128-bit multiply-shift (Lemire).
+                let span = span + 1;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as $wide;
+                lo.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+impl UniformSample for f64 {
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        assert!(lo <= hi_inclusive, "gen_range: empty range");
+        lo + f64::sample(rng) * (hi_inclusive - lo)
+    }
+}
+
+impl UniformSample for f32 {
+    fn sample_range<R: RngCore>(rng: &mut R, lo: Self, hi_inclusive: Self) -> Self {
+        assert!(lo <= hi_inclusive, "gen_range: empty range");
+        lo + f32::sample(rng) * (hi_inclusive - lo)
+    }
+}
+
+/// Range-argument adapter so `gen_range(a..b)` and `gen_range(a..=b)`
+/// both work, mirroring rand 0.8's `SampleRange`.
+pub trait IntoRangeBounds<T> {
+    /// Returns (low, high-inclusive).
+    fn into_bounds(self) -> (T, T);
+}
+
+macro_rules! range_bounds_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoRangeBounds<$t> for core::ops::Range<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoRangeBounds<$t> for core::ops::RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+range_bounds_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_bounds_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl IntoRangeBounds<$t> for core::ops::Range<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "gen_range: empty range");
+                (self.start, self.end)
+            }
+        }
+        impl IntoRangeBounds<$t> for core::ops::RangeInclusive<$t> {
+            fn into_bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+range_bounds_float!(f32, f64);
+
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: i64 = rng.gen_range(-60..=60);
+            assert!((-60..=60).contains(&w));
+            let f = rng.gen_range(0.2..1.0);
+            assert!((0.2..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use crate::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut xs: Vec<u32> = (0..50).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,48 @@
+//! Named generators. `StdRng` here is xoshiro256** — small, fast, and
+//! (unlike the upstream `StdRng`) guaranteed stable across releases of
+//! this vendored stub, which the simulations rely on for replayability.
+
+use crate::{RngCore, SeedableRng, SplitMix64};
+
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // An all-zero state is a fixed point for xoshiro; nudge it.
+        if s == [0; 4] {
+            let mut sm = SplitMix64::new(0xDEAD_BEEF);
+            for slot in &mut s {
+                *slot = sm.next();
+            }
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}

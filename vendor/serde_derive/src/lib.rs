@@ -1,0 +1,454 @@
+//! Derive macros for the vendored `serde` facade. Implemented directly
+//! on `proc_macro` token trees (no `syn`/`quote` available offline): we
+//! only need field names and variant shapes, never full type analysis.
+//! Supports non-generic structs (named / tuple / unit) and enums with
+//! unit, tuple and struct variants — exactly the shapes this workspace
+//! derives. Generic parameters and `#[serde(...)]` attributes are
+//! rejected at compile time rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Unit,
+    /// Tuple with this arity; arity 1 is serde's "newtype" (transparent).
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Input {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => gen_struct_serialize(name, shape),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let code = match &parsed {
+        Input::Struct { name, shape } => gen_struct_deserialize(name, shape),
+        Input::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => Input::Struct {
+            name,
+            shape: parse_struct_body(tokens.get(i)),
+        },
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            Input::Enum {
+                name,
+                variants: parse_variants(body.stream()),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` plus the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(token: Option<&TokenTree>) -> Shape {
+    match token {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        None => Shape::Unit,
+        other => panic!("serde_derive: unexpected struct body {other:?}"),
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body. Types are consumed by
+/// skipping to the next comma at angle-bracket depth zero; delimiter
+/// groups are single opaque tokens so only `<`/`>` need tracking.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        fields.push(field);
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = true;
+    for tok in &tokens {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens_since_comma = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit discriminants are not supported")
+            }
+            None => {}
+            other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- codegen
+
+fn gen_struct_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => "::serde::Content::Null".to_string(),
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Named(fields) => named_fields_to_map(fields, "self."),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_fields_to_map(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::serde::Content::Str(::std::string::String::from(\"{f}\")), \
+                 ::serde::Serialize::to_content(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_struct_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Unit => format!(
+            "match c {{\n\
+                 ::serde::Content::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                     \"{name}: expected null, found {{other:?}}\"))),\n\
+             }}"
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match c {{\n\
+                     ::serde::Content::Seq(items) if items.len() == {n} =>\n\
+                         ::std::result::Result::Ok({name}({items})),\n\
+                     other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                         \"{name}: expected {n}-element sequence, found {{other:?}}\"))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::Named(fields) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            named_fields_from_map(name, fields)
+        ),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_fields_from_map(context: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_content(\n\
+                     c.map_get(\"{f}\").unwrap_or(&::serde::Content::Null))\n\
+                     .map_err(|e| ::serde::Error(format!(\"{context}.{f}: {{}}\", e.0)))?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vname = &v.name;
+            let tag = format!("::serde::Content::Str(::std::string::String::from(\"{vname}\"))");
+            match &v.shape {
+                Shape::Unit => format!("{name}::{vname} => {tag},"),
+                Shape::Tuple(1) => format!(
+                    "{name}::{vname}(f0) => ::serde::Content::Map(vec![({tag}, \
+                     ::serde::Serialize::to_content(f0))]),"
+                ),
+                Shape::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                        .collect();
+                    format!(
+                        "{name}::{vname}({binds}) => ::serde::Content::Map(vec![({tag}, \
+                         ::serde::Content::Seq(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let payload = named_fields_to_map(fields, "");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => \
+                         ::serde::Content::Map(vec![({tag}, {payload})]),"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 match self {{\n{}\n}}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.shape, Shape::Unit))
+        .map(|v| {
+            format!(
+                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                vname = v.name
+            )
+        })
+        .collect();
+
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.shape {
+                Shape::Unit => None,
+                Shape::Tuple(1) => Some(format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_content(payload)\
+                     .map_err(|e| ::serde::Error(format!(\"{name}::{vname}: {{}}\", e.0)))?)),"
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match payload {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {n} =>\n\
+                                 ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                                 \"{name}::{vname}: expected {n}-element sequence, found {{other:?}}\"))),\n\
+                         }},",
+                        items = items.join(", ")
+                    ))
+                }
+                Shape::Named(fields) => {
+                    let field_exprs = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(\n\
+                                     payload.map_get(\"{f}\").unwrap_or(&::serde::Content::Null))\n\
+                                     .map_err(|e| ::serde::Error(format!(\"{name}::{vname}.{f}: {{}}\", e.0)))?,"
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                    Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {field_exprs} }}),"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match c {{\n\
+                     ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                             \"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, payload) = &entries[0];\n\
+                         let _ = payload;\n\
+                         let tag = match key {{\n\
+                             ::serde::Content::Str(s) => s.as_str(),\n\
+                             other => return ::std::result::Result::Err(::serde::Error(format!(\n\
+                                 \"{name}: variant tag must be a string, found {{other:?}}\"))),\n\
+                         }};\n\
+                         match tag {{\n\
+                             {payload_arms}\n\
+                             other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                                 \"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::Error(format!(\n\
+                         \"{name}: expected variant tag, found {{other:?}}\"))),\n\
+                 }}\n\
+             }}\n\
+         }}",
+        unit_arms = unit_arms.join("\n"),
+        payload_arms = payload_arms.join("\n"),
+    )
+}
