@@ -1,0 +1,257 @@
+//! Data-plane cost: the seed's cloning record path vs the zero-copy path.
+//!
+//! The original record path copied data four times before a single digest
+//! byte was hashed: `Storage::read` cloned the whole file out of storage,
+//! `Cluster::submit` copied each split into its own `Vec`, task
+//! assignment cloned the split again, and every record was encoded into a
+//! fresh heap buffer before two separate hasher updates. The zero-copy
+//! path shares the write-once file behind an `Arc`, hands each task a
+//! borrowed window, and encodes into one reused framed buffer that the
+//! hasher absorbs in a single update.
+//!
+//! The `baseline` rows below reproduce the original flow *faithfully*
+//! (same copies, same per-record allocation, same two-update digesting)
+//! over the same dataset as the `zero-copy` rows, and both passes must
+//! produce byte-identical digest summaries — the speedup is real work
+//! avoided, not work skipped. The counter rows then demonstrate the
+//! zero-copy invariant on the real storage layer: seeding any number of
+//! replica reads from one file clones zero records, and a full
+//! `ParallelExecutor` run clones records only where the pipeline must
+//! own them (partition boundaries and output publication).
+//!
+//! Results land in `bench_results/data_plane.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use cbft_bench::{pig_like_cost, ExperimentRecord};
+use cbft_dataflow::{Record, Value};
+use cbft_digest::{ChunkedDigest, ChunkedSummary};
+use cbft_mapreduce::{data_plane, Storage};
+use cbft_workloads::twitter;
+use clusterbft::{Adversary, ExecutorConfig, ParallelExecutor, VpPolicy};
+
+/// Records in the digested file.
+const RECORDS: usize = 200_000;
+/// Records per map split (window size).
+const SPLIT: usize = 5_000;
+/// Digest chunk granularity (records per sealed chunk).
+const GRANULARITY: usize = 64;
+/// Replica clusters seeded from the same input file.
+const REPLICAS: usize = 4;
+
+/// A record shaped like real workload rows: two integers plus a string
+/// key, so cloning costs a heap allocation (as it does for any workload
+/// with non-trivial values).
+fn dataset() -> Arc<[Record]> {
+    (0..RECORDS)
+        .map(|i| {
+            Record::new(vec![
+                Value::Int(i as i64),
+                Value::Str(format!("user-{}", i % 997)),
+                Value::Int((i * i) as i64),
+            ])
+        })
+        .collect::<Vec<Record>>()
+        .into()
+}
+
+/// The seed's record path: clone out of storage, copy per split, clone
+/// per task, fresh encode buffer per record, two hasher updates.
+fn baseline_pass(file: &Arc<[Record]>) -> (Vec<ChunkedSummary>, u64) {
+    let records: Vec<Record> = file.to_vec(); // Storage::read().to_vec()
+    let splits: Vec<Vec<Record>> = records.chunks(SPLIT).map(<[Record]>::to_vec).collect();
+    let mut summaries = Vec::new();
+    let mut payload_bytes = 0u64;
+    for split in &splits {
+        let task_records: Vec<Record> = split.clone(); // task assignment
+        let mut cd = ChunkedDigest::new(GRANULARITY);
+        for r in &task_records {
+            let buf = r.to_canonical_bytes(); // fresh buffer per record
+            payload_bytes += buf.len() as u64;
+            cd.append(&buf); // length prefix + payload: two updates
+        }
+        summaries.push(cd.finish());
+    }
+    (summaries, payload_bytes)
+}
+
+/// The zero-copy path: shared handle, borrowed split windows, one reused
+/// framed buffer, single hasher update per record.
+fn zero_copy_pass(file: &Arc<[Record]>) -> (Vec<ChunkedSummary>, u64) {
+    let shared = Arc::clone(file); // Storage::read(): handle only
+    let mut summaries = Vec::new();
+    let mut payload_bytes = 0u64;
+    let mut buf = Vec::new();
+    for split in shared.chunks(SPLIT) {
+        let mut cd = ChunkedDigest::new(GRANULARITY);
+        for r in split {
+            ChunkedDigest::begin_frame(&mut buf);
+            r.write_canonical(&mut buf);
+            ChunkedDigest::seal_frame(&mut buf);
+            payload_bytes += (buf.len() - 8) as u64;
+            cd.append_framed(&buf);
+        }
+        summaries.push(cd.finish());
+    }
+    (summaries, payload_bytes)
+}
+
+/// Best-of-three wall time of `pass`, returning its last output too.
+fn measure<T>(mut pass: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let value = pass();
+        best = best.min(start.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (out.expect("three passes ran"), best)
+}
+
+fn main() {
+    let file = dataset();
+
+    // Warmup both passes (allocator + page cache), then measure.
+    let warm_base = baseline_pass(&file);
+    let warm_zero = zero_copy_pass(&file);
+    assert_eq!(
+        warm_base, warm_zero,
+        "both passes must produce byte-identical digest streams"
+    );
+
+    let ((_, payload_bytes), wall_base) = measure(|| baseline_pass(&file));
+    let (_, wall_zero) = measure(|| zero_copy_pass(&file));
+    let mrec = RECORDS as f64 / 1e6;
+    let speedup = wall_base / wall_zero;
+
+    // Zero-copy invariant on the real storage layer: seeding REPLICAS
+    // worth of reads from one write-once file clones no records.
+    let before = data_plane::snapshot();
+    let mut storage = Storage::new();
+    storage
+        .write_shared("in", Arc::clone(&file))
+        .expect("fresh storage");
+    let mut split_windows = 0usize;
+    for _ in 0..REPLICAS {
+        let handle = storage.read("in").expect("file exists");
+        split_windows += handle.chunks(SPLIT).count();
+    }
+    let seeding = data_plane::snapshot().since(&before);
+
+    // Full pipeline context: a small parallel run. Records are cloned
+    // only where the pipeline must own them (partition boundaries,
+    // output publication) — never on the storage-read path measured
+    // above.
+    let before_run = data_plane::snapshot();
+    let workload = twitter::follower_analysis(3, 50_000);
+    let input_records = workload.records.len() as f64;
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2],
+        vp_policy: VpPolicy::Marked(1),
+        adversary: Adversary::Weak,
+        map_split_records: 5_000,
+        nodes: 8,
+        slots_per_node: 3,
+        master_seed: 5,
+        cost: pig_like_cost(),
+        ..ExecutorConfig::default()
+    });
+    exec.load_input(workload.input_name, workload.records)
+        .expect("fresh input");
+    let outcome = exec.run_script(workload.script).expect("runs");
+    assert!(outcome.verified(), "healthy run verifies");
+    let run = data_plane::snapshot().since(&before_run);
+
+    let mut record = ExperimentRecord::new(
+        "data_plane",
+        "Zero-copy data plane: record-digest throughput and clone counters",
+        &format!(
+            "{RECORDS} three-column records (int, string, int), {SPLIT}-record splits, \
+             digest granularity {GRANULARITY}. Baseline reproduces the original record \
+             path (storage clone, per-split copy, per-task clone, per-record encode \
+             allocation, two-update digesting); zero-copy shares the file behind an Arc, \
+             borrows split windows and reuses one framed encode buffer. Both passes \
+             produce byte-identical digest summaries. Counter rows measure the real \
+             storage layer seeding {REPLICAS} replica reads, then a full 2-replica \
+             ParallelExecutor run (records are owned only at partition boundaries and \
+             output publication, never on the read path)."
+        ),
+    );
+    record.set_flag("digests_byte_identical", true);
+    record.push("baseline wall (clone path)", "s", None, wall_base);
+    record.push("zero-copy wall", "s", None, wall_zero);
+    record.push(
+        "baseline record-digest throughput",
+        "Mrec/s",
+        None,
+        mrec / wall_base,
+    );
+    record.push(
+        "zero-copy record-digest throughput",
+        "Mrec/s",
+        None,
+        mrec / wall_zero,
+    );
+    record.push("digest throughput speedup", "x", Some(2.0), speedup);
+    record.push(
+        "digested payload per pass",
+        "MB",
+        None,
+        payload_bytes as f64 / 1e6,
+    );
+    record.push(
+        "read path records cloned (4 replica reads)",
+        "records",
+        None,
+        seeding.records_cloned as f64,
+    );
+    record.push(
+        "read path arcs shared (4 replica reads)",
+        "handles",
+        None,
+        seeding.arcs_shared as f64,
+    );
+    record.push(
+        "read path split windows (no copies)",
+        "splits",
+        None,
+        split_windows as f64,
+    );
+    record.push("full run input records", "records", None, input_records);
+    record.push(
+        "full run records cloned",
+        "records",
+        None,
+        run.records_cloned as f64,
+    );
+    record.push(
+        "full run arcs shared",
+        "handles",
+        None,
+        run.arcs_shared as f64,
+    );
+    record.push(
+        "full run bytes encoded",
+        "MB",
+        None,
+        run.bytes_encoded as f64 / 1e6,
+    );
+    record.push(
+        "full run digest bytes hashed",
+        "MB",
+        None,
+        run.digest_bytes_hashed as f64 / 1e6,
+    );
+
+    assert_eq!(
+        seeding.records_cloned, 0,
+        "the storage-read path must clone zero records"
+    );
+    assert_eq!(seeding.arcs_shared as usize, REPLICAS);
+
+    record.finish();
+}

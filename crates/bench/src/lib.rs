@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -68,6 +69,10 @@ pub struct ExperimentRecord {
     pub title: String,
     /// Free-form notes (workload scale, substitutions).
     pub notes: String,
+    /// Named boolean facts about the run environment (e.g. `cpu_bound`),
+    /// so downstream readers can filter records without parsing notes.
+    /// `None` for records written before flags existed.
+    pub flags: Option<BTreeMap<String, bool>>,
     /// The measurements.
     pub rows: Vec<Row>,
 }
@@ -79,8 +84,16 @@ impl ExperimentRecord {
             id: id.to_owned(),
             title: title.to_owned(),
             notes: notes.to_owned(),
+            flags: None,
             rows: Vec::new(),
         }
+    }
+
+    /// Sets a named boolean flag on the record.
+    pub fn set_flag(&mut self, name: &str, value: bool) {
+        self.flags
+            .get_or_insert_with(BTreeMap::new)
+            .insert(name.to_owned(), value);
     }
 
     /// Appends a row.
@@ -105,6 +118,10 @@ impl ExperimentRecord {
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         if !self.notes.is_empty() {
             let _ = writeln!(out, "   {}", self.notes);
+        }
+        if let Some(flags) = &self.flags {
+            let rendered: Vec<String> = flags.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let _ = writeln!(out, "   flags: {}", rendered.join(" "));
         }
         let width = self
             .rows

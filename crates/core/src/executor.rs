@@ -41,7 +41,8 @@ use cbft_dataflow::analyze::Adversary;
 use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, Site};
 use cbft_dataflow::{LogicalPlan, Record, Script};
 use cbft_mapreduce::{
-    Behavior, Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, RunHandle, Storage, VpSite,
+    data_plane, Behavior, Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, RunHandle, Storage,
+    VpSite,
 };
 use cbft_sim::{CostModel, SeedSpawner};
 use crossbeam::channel::Sender;
@@ -139,8 +140,10 @@ struct ReplicaRun {
     /// Whether every job of the graph completed (wedging on omission or
     /// crash faults leaves this false — the replica simply never reports).
     complete: bool,
-    /// Store-name → records for every STORE job the replica completed.
-    outputs: BTreeMap<String, Vec<Record>>,
+    /// Store-name → records for every STORE job the replica completed,
+    /// as shared handles into the replica's storage (no copy until one
+    /// replica's output is actually published).
+    outputs: BTreeMap<String, Arc<[Record]>>,
 }
 
 /// The result of one parallel, streamed-verification execution.
@@ -229,7 +232,9 @@ impl ParallelOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct ParallelExecutor {
     config: ExecutorConfig,
-    inputs: BTreeMap<String, Vec<Record>>,
+    /// Write-once inputs behind `Arc`s: every replica cluster is seeded
+    /// with shared handles to the same record allocations.
+    inputs: BTreeMap<String, Arc<[Record]>>,
     faults: BTreeMap<usize, Behavior>,
 }
 
@@ -260,7 +265,7 @@ impl ParallelExecutor {
                 "input '{name}' already loaded"
             )));
         }
-        self.inputs.insert(name.to_owned(), records);
+        self.inputs.insert(name.to_owned(), records.into());
         Ok(())
     }
 
@@ -310,7 +315,7 @@ impl ParallelExecutor {
         let sizes = {
             let mut sizing = Storage::new();
             for (name, records) in &self.inputs {
-                let _ = sizing.write(name, records.clone());
+                let _ = sizing.write_shared(name, Arc::clone(records));
             }
             sizing.sizes()
         };
@@ -450,7 +455,11 @@ impl ParallelExecutor {
             let winner = runs.values().find(|run| {
                 run.outputs.contains_key(name) && verifier.replica_verified_at(run.uid, keys.iter())
             })?;
-            out.insert(name.clone(), winner.outputs[name].clone());
+            // Publication is the one deep copy on the output path: the
+            // winning replica's records leave its private storage.
+            let records = &winner.outputs[name];
+            data_plane::count_records_cloned(records.len() as u64);
+            out.insert(name.clone(), records.to_vec());
         }
         Some(out)
     }
@@ -478,9 +487,11 @@ impl ParallelExecutor {
         }
         let mut cluster = builder.build();
         for (name, records) in &self.inputs {
+            // Every replica's storage holds a handle to the same write-once
+            // allocation — r replicas share one copy of each input.
             cluster
                 .storage_mut()
-                .write(name, records.clone())
+                .write_shared(name, Arc::clone(records))
                 .expect("fresh replica storage accepts every input once");
         }
 
@@ -551,8 +562,8 @@ impl ParallelExecutor {
         for job in graph.jobs() {
             if let JobOutput::Store(name) = &job.output {
                 if let Some(file) = completed.get(&job.id()) {
-                    if let Some(records) = cluster.storage().peek(file) {
-                        outputs.insert(name.clone(), records.to_vec());
+                    if let Some(records) = cluster.storage().share(file) {
+                        outputs.insert(name.clone(), records);
                     }
                 }
             }

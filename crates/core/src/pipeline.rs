@@ -841,13 +841,14 @@ impl ClusterBft {
             let Some(file) = file_of(job_id) else {
                 continue;
             };
-            let records = self
-                .cluster
-                .storage()
-                .peek(&file)
-                .ok_or_else(|| SubmitError::Engine(format!("verified file '{file}' vanished")))?
-                .to_vec();
-            self.cluster.storage_mut().write(name, records)?;
+            // Publication republishes the verified replica file under its
+            // STORE name by sharing the write-once payload — no records
+            // are copied.
+            let records =
+                self.cluster.storage().share(&file).ok_or_else(|| {
+                    SubmitError::Engine(format!("verified file '{file}' vanished"))
+                })?;
+            self.cluster.storage_mut().write_shared(name, records)?;
             outputs.push(name.clone());
         }
         Ok(outputs)

@@ -171,11 +171,34 @@ pub fn project_record(r: &Record, exprs: &[crate::expr::Expr]) -> Record {
 
 /// Groups `records` by the value in column `key`, producing canonical
 /// `(key, sorted bag)` records ordered by key.
+///
+/// Groups by reference and clones each record exactly once into its output
+/// bag; callers that own their records should use [`group_records_owned`],
+/// which moves them instead.
 pub fn group_records(records: &[Record], key: usize) -> Vec<Record> {
+    let mut groups: BTreeMap<&Value, Vec<&Record>> = BTreeMap::new();
+    for r in records {
+        let k = r.get(key).unwrap_or(&Value::Null);
+        groups.entry(k).or_default().push(r);
+    }
+    groups
+        .into_iter()
+        .map(|(k, bag)| {
+            let mut bag: Vec<Record> = bag.into_iter().cloned().collect();
+            bag.sort();
+            Record::new(vec![k.clone(), Value::Bag(bag)])
+        })
+        .collect()
+}
+
+/// [`group_records`] for owned inputs: records are moved into their bags,
+/// so only the group key is cloned. Output is identical to
+/// `group_records(&records, key)`.
+pub fn group_records_owned(records: Vec<Record>, key: usize) -> Vec<Record> {
     let mut groups: BTreeMap<Value, Vec<Record>> = BTreeMap::new();
     for r in records {
         let k = r.get(key).cloned().unwrap_or(Value::Null);
-        groups.entry(k).or_default().push(r.clone());
+        groups.entry(k).or_default().push(r);
     }
     groups
         .into_iter()
@@ -195,20 +218,20 @@ pub fn join_records(
     right: &[Record],
     right_key: usize,
 ) -> Vec<Record> {
-    let mut by_key: BTreeMap<Value, Vec<&Record>> = BTreeMap::new();
+    let mut by_key: BTreeMap<&Value, Vec<&Record>> = BTreeMap::new();
     for r in right {
-        let k = r.get(right_key).cloned().unwrap_or(Value::Null);
+        let k = r.get(right_key).unwrap_or(&Value::Null);
         if !k.is_null() {
             by_key.entry(k).or_default().push(r);
         }
     }
     let mut out = Vec::new();
     for l in left {
-        let k = l.get(left_key).cloned().unwrap_or(Value::Null);
+        let k = l.get(left_key).unwrap_or(&Value::Null);
         if k.is_null() {
             continue;
         }
-        if let Some(matches) = by_key.get(&k) {
+        if let Some(matches) = by_key.get(k) {
             for r in matches {
                 let mut fields = l.fields().to_vec();
                 fields.extend(r.fields().iter().cloned());
@@ -223,17 +246,22 @@ pub fn join_records(
 /// Globally sorts `records` by column `key`, with the full record as a
 /// deterministic tie-break.
 pub fn order_records(records: &[Record], key: usize, order: SortOrder) -> Vec<Record> {
-    let mut out = records.to_vec();
-    out.sort_by(|a, b| {
-        let ka = a.get(key).cloned().unwrap_or(Value::Null);
-        let kb = b.get(key).cloned().unwrap_or(Value::Null);
+    order_records_owned(records.to_vec(), key, order)
+}
+
+/// [`order_records`] for owned inputs: sorts in place, comparing keys by
+/// reference (no per-comparison clones).
+pub fn order_records_owned(mut records: Vec<Record>, key: usize, order: SortOrder) -> Vec<Record> {
+    records.sort_by(|a, b| {
+        let ka = a.get(key).unwrap_or(&Value::Null);
+        let kb = b.get(key).unwrap_or(&Value::Null);
         let primary = match order {
-            SortOrder::Asc => ka.cmp(&kb),
-            SortOrder::Desc => kb.cmp(&ka),
+            SortOrder::Asc => ka.cmp(kb),
+            SortOrder::Desc => kb.cmp(ka),
         };
         primary.then_with(|| a.cmp(b))
     });
-    out
+    records
 }
 
 #[cfg(test)]

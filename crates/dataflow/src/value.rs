@@ -92,6 +92,15 @@ impl Value {
         }
     }
 
+    /// Canonical byte encoding as an owned buffer — the allocating sibling
+    /// of [`Value::write_canonical`]; both produce identical bytes. Hot
+    /// paths should prefer `write_canonical` with a reused buffer.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_canonical(&mut out);
+        out
+    }
+
     fn type_rank(&self) -> u8 {
         match self {
             Value::Null => 0,
@@ -296,12 +305,17 @@ impl Schema {
         if let Some(i) = self.columns.iter().position(|c| c == name) {
             return Some(i);
         }
-        let suffix = format!("::{name}");
+        // Suffix match without materializing a `::{name}` string per lookup:
+        // `c` ends with `::name` iff stripping `name` leaves a `::` tail.
+        let is_suffix_hit = |c: &String| -> bool {
+            c.strip_suffix(name)
+                .is_some_and(|head| head.ends_with("::"))
+        };
         let mut hits = self
             .columns
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.ends_with(&suffix));
+            .filter(|(_, c)| is_suffix_hit(c));
         let first = hits.next()?;
         if hits.next().is_some() {
             return None; // ambiguous
@@ -323,7 +337,8 @@ impl Schema {
 
     /// Concatenates two schemas (join output).
     pub fn concat(&self, other: &Schema) -> Schema {
-        let mut columns = self.columns.clone();
+        let mut columns = Vec::with_capacity(self.columns.len() + other.columns.len());
+        columns.extend(self.columns.iter().cloned());
         columns.extend(other.columns.iter().cloned());
         Schema { columns }
     }
@@ -335,7 +350,7 @@ mod tests {
 
     #[test]
     fn canonical_encoding_is_injective_on_samples() {
-        let samples = vec![
+        let samples = [
             Record::new(vec![Value::Null]),
             Record::new(vec![Value::Int(0)]),
             Record::new(vec![Value::Int(1)]),

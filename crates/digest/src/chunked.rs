@@ -87,6 +87,56 @@ impl ChunkedDigest {
         }
     }
 
+    /// Appends one record that the caller has already framed as
+    /// `(len as u64).to_be_bytes() ++ payload` into a reused buffer.
+    ///
+    /// Digests exactly the same byte stream as [`ChunkedDigest::append`] on
+    /// the payload, but hands the hasher one contiguous slice, so whole
+    /// 64-byte blocks take [`crate::Sha256::update`]'s multi-block fast path
+    /// instead of trickling through the internal buffer in two calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `framed` is shorter than the 8-byte length prefix or the
+    /// prefix does not match the payload length.
+    pub fn append_framed(&mut self, framed: &[u8]) {
+        assert!(framed.len() >= 8, "framed record missing length prefix");
+        let prefix = u64::from_be_bytes(framed[..8].try_into().expect("8-byte prefix"));
+        assert_eq!(
+            prefix,
+            (framed.len() - 8) as u64,
+            "length prefix does not match payload length"
+        );
+        self.hasher.update(framed);
+        self.records_in_chunk += 1;
+        self.total_records += 1;
+        self.total_bytes += prefix;
+        if self.records_in_chunk == self.granularity {
+            self.seal_chunk();
+        }
+    }
+
+    /// Writes the framing prefix for [`ChunkedDigest::append_framed`] into
+    /// `buf`: clears it and appends a placeholder length prefix. After the
+    /// caller encodes the payload into `buf`, [`ChunkedDigest::seal_frame`]
+    /// fixes the prefix up.
+    pub fn begin_frame(buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.extend_from_slice(&[0u8; 8]);
+    }
+
+    /// Patches the length prefix written by [`ChunkedDigest::begin_frame`]
+    /// once the payload has been encoded after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` does not start with an 8-byte prefix region.
+    pub fn seal_frame(buf: &mut [u8]) {
+        assert!(buf.len() >= 8, "frame buffer missing prefix region");
+        let len = (buf.len() - 8) as u64;
+        buf[..8].copy_from_slice(&len.to_be_bytes());
+    }
+
     /// Number of chunk digests sealed so far (not counting a pending partial
     /// chunk). Lets the verifier start comparing before the stream ends.
     pub fn sealed_chunks(&self) -> &[Digest] {
@@ -266,5 +316,32 @@ mod tests {
     #[should_panic(expected = "granularity must be positive")]
     fn zero_granularity_panics() {
         let _ = ChunkedDigest::new(0);
+    }
+
+    #[test]
+    fn append_framed_equals_append() {
+        let records: Vec<&[u8]> = vec![b"", b"a", b"bb", b"a longer record payload"];
+        for g in [1usize, 2, 100] {
+            let plain = summarize(g, &records);
+            let mut cd = ChunkedDigest::new(g);
+            let mut buf = Vec::new();
+            for r in &records {
+                ChunkedDigest::begin_frame(&mut buf);
+                buf.extend_from_slice(r);
+                ChunkedDigest::seal_frame(&mut buf);
+                cd.append_framed(&buf);
+            }
+            let framed = cd.finish();
+            assert!(plain.compare(&framed).is_match(), "granularity {g}");
+            assert_eq!(plain.records(), framed.records());
+            assert_eq!(plain.bytes(), framed.bytes());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length prefix does not match")]
+    fn append_framed_rejects_bad_prefix() {
+        let mut cd = ChunkedDigest::new(1);
+        cd.append_framed(&[0u8; 9]); // prefix says 0 bytes, payload has 1
     }
 }

@@ -178,6 +178,11 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Whole 64-byte blocks are compressed directly from the caller's slice
+    /// (the multi-block fast path); only a trailing partial block — or the
+    /// bytes needed to complete a previously buffered partial block — pass
+    /// through the internal 64-byte buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
         let mut input = data;
@@ -188,8 +193,7 @@ impl Sha256 {
             self.buf_len += take;
             input = &input[take..];
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress_block(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
             if input.is_empty() {
@@ -201,9 +205,10 @@ impl Sha256 {
         }
         let mut chunks = input.chunks_exact(64);
         for block in &mut chunks {
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            let block: &[u8; 64] = block
+                .try_into()
+                .expect("chunks_exact yields 64-byte blocks");
+            compress_block(&mut self.state, block);
         }
         let rem = chunks.remainder();
         self.buf[..rem.len()].copy_from_slice(rem);
@@ -234,58 +239,108 @@ impl Sha256 {
             self.buf[self.buf_len] = byte;
             self.buf_len += 1;
             if self.buf_len == 64 {
-                let block = self.buf;
-                self.compress(&block);
+                compress_block(&mut self.state, &self.buf);
                 self.buf_len = 0;
             }
         }
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
 
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// The SHA-256 compression function (FIPS 180-4 §6.2.2) as a free function
+/// over the hash state, so callers can feed it blocks borrowed from input
+/// slices without copying them into the hasher first.
+///
+/// The 64 rounds are unrolled in groups of 16 with the message schedule kept
+/// in a 16-word ring (`w[t mod 16]` is expanded in place), which avoids both
+/// the 64-word schedule array and the per-round rotation of the eight working
+/// variables.
+fn compress_block(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    // One SHA-256 round with the working variables statically renamed; the
+    // callers below rotate the argument order instead of the registers.
+    macro_rules! round {
+        ($a:ident,$b:ident,$c:ident,$e:ident,$f:ident,$g:ident,$h:ident => $d:ident, $wi:expr, $k:expr) => {
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+                .wrapping_add($k)
+                .wrapping_add($wi);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        };
     }
+
+    // Sixteen rounds consuming w[0..16] against K[base..base+16].
+    macro_rules! round16 {
+        ($base:expr) => {
+            round!(a,b,c,e,f,g,h => d, w[0], K[$base]);
+            round!(h,a,b,d,e,f,g => c, w[1], K[$base + 1]);
+            round!(g,h,a,c,d,e,f => b, w[2], K[$base + 2]);
+            round!(f,g,h,b,c,d,e => a, w[3], K[$base + 3]);
+            round!(e,f,g,a,b,c,d => h, w[4], K[$base + 4]);
+            round!(d,e,f,h,a,b,c => g, w[5], K[$base + 5]);
+            round!(c,d,e,g,h,a,b => f, w[6], K[$base + 6]);
+            round!(b,c,d,f,g,h,a => e, w[7], K[$base + 7]);
+            round!(a,b,c,e,f,g,h => d, w[8], K[$base + 8]);
+            round!(h,a,b,d,e,f,g => c, w[9], K[$base + 9]);
+            round!(g,h,a,c,d,e,f => b, w[10], K[$base + 10]);
+            round!(f,g,h,b,c,d,e => a, w[11], K[$base + 11]);
+            round!(e,f,g,a,b,c,d => h, w[12], K[$base + 12]);
+            round!(d,e,f,h,a,b,c => g, w[13], K[$base + 13]);
+            round!(c,d,e,g,h,a,b => f, w[14], K[$base + 14]);
+            round!(b,c,d,f,g,h,a => e, w[15], K[$base + 15]);
+        };
+    }
+
+    // Expand the next 16 schedule words in place: after this, w[t] holds
+    // W[base+16+t] for the following round16 group.
+    macro_rules! schedule16 {
+        () => {
+            for t in 0..16 {
+                w[t] = w[t]
+                    .wrapping_add(small_sigma0(w[(t + 1) & 15]))
+                    .wrapping_add(w[(t + 9) & 15])
+                    .wrapping_add(small_sigma1(w[(t + 14) & 15]));
+            }
+        };
+    }
+
+    round16!(0);
+    schedule16!();
+    round16!(16);
+    schedule16!();
+    round16!(32);
+    schedule16!();
+    round16!(48);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 impl Default for Sha256 {
@@ -387,6 +442,72 @@ mod tests {
         let d = Digest::of(b"x");
         assert_eq!(d.to_string().len(), 64);
         assert!(format!("{d:?}").starts_with("Digest("));
+    }
+
+    #[test]
+    fn multi_block_update_matches_block_at_a_time() {
+        // A single large update exercises the fast path (direct compression
+        // from the caller's slice); feeding the same bytes in 64-byte pieces
+        // exercises the buffered path. NIST's million-a vector pins the
+        // absolute value; this pins the two paths against each other.
+        let data: Vec<u8> = (0..=255u8).cycle().take(64 * 37 + 13).collect();
+        let mut fast = Sha256::new();
+        fast.update(&data);
+        let mut slow = Sha256::new();
+        for block in data.chunks(64) {
+            slow.update(block);
+        }
+        assert_eq!(fast.finish(), slow.finish());
+    }
+
+    #[test]
+    fn misaligned_prefix_then_large_slice() {
+        // A partial block followed by a large slice forces the buffer-fill
+        // path to hand off mid-stream to the multi-block fast path.
+        let data = vec![0x3cu8; 7 + 64 * 9 + 50];
+        let whole = Digest::of(&data);
+        let mut h = Sha256::new();
+        h.update(&data[..7]);
+        h.update(&data[7..]);
+        assert_eq!(whole, h.finish());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Byte-at-a-time updates (always buffered) and slice-at-once
+            /// updates (multi-block fast path) agree for random data and
+            /// random split points.
+            #[test]
+            fn byte_at_a_time_equals_slice_at_once(
+                data in proptest::collection::vec(any::<u8>(), 0..700),
+                split_a in any::<proptest::sample::Index>(),
+                split_b in any::<proptest::sample::Index>(),
+            ) {
+                let mut oneshot = Sha256::new();
+                oneshot.update(&data);
+                let whole = oneshot.finish();
+
+                let mut bytewise = Sha256::new();
+                for b in &data {
+                    bytewise.update(std::slice::from_ref(b));
+                }
+                prop_assert_eq!(bytewise.finish(), whole);
+
+                let mut i = split_a.index(data.len() + 1);
+                let mut j = split_b.index(data.len() + 1);
+                if i > j {
+                    std::mem::swap(&mut i, &mut j);
+                }
+                let mut split = Sha256::new();
+                split.update(&data[..i]);
+                split.update(&data[i..j]);
+                split.update(&data[j..]);
+                prop_assert_eq!(split.finish(), whole);
+            }
+        }
     }
 
     #[test]

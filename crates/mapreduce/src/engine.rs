@@ -16,6 +16,7 @@
 //! with [`Cluster::set_timer`].
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use cbft_dataflow::Record;
 use cbft_sim::{CostModel, EventQueue, SeedSpawner, SimDuration, SimTime};
@@ -133,12 +134,32 @@ impl TaskSt {
     }
 }
 
+/// One map task's share of an input file: a window into the `Arc`-shared
+/// write-once payload. Splitting a file across tasks costs only handle
+/// clones; the records themselves are never copied at submission.
+#[derive(Clone, Debug)]
+struct MapSplit {
+    /// Index into [`ExecJob::inputs`].
+    input: usize,
+    /// Shared handle to the whole input file.
+    file: Arc<[Record]>,
+    /// Split window `[start, end)` within `file`.
+    start: usize,
+    end: usize,
+}
+
+impl MapSplit {
+    fn records(&self) -> &[Record] {
+        &self.file[self.start..self.end]
+    }
+}
+
 #[derive(Debug)]
 struct RunningJob {
     spec: ExecJob,
     submitted_at: SimTime,
-    /// Per map task: the split records (input index, records).
-    map_task_inputs: Vec<(usize, Vec<Record>)>,
+    /// Per map task: its window into the shared input file.
+    map_task_inputs: Vec<MapSplit>,
     /// HDFS-style home node of each map split (block placement).
     map_task_homes: Vec<NodeId>,
     map_states: Vec<TaskSt>,
@@ -403,22 +424,32 @@ impl Cluster {
         let mut map_task_homes = Vec::new();
         let node_count = self.nodes.len() as u64;
         for (i, input) in spec.inputs.iter().enumerate() {
-            let records = self.storage.read(&input.file)?.to_vec();
+            let records = self.storage.read(&input.file)?;
             let split = spec.map_split_records.max(1);
-            let chunks: Vec<Vec<Record>> = if records.is_empty() {
-                // Even an empty input runs one map task so that digest
-                // correspondence across replicas is preserved.
-                vec![Vec::new()]
+            // Splits are `[start, end)` windows into the shared file — no
+            // record is copied at submission. Even an empty input runs one
+            // map task so that digest correspondence across replicas is
+            // preserved.
+            let bounds: Vec<(usize, usize)> = if records.is_empty() {
+                vec![(0, 0)]
             } else {
-                records.chunks(split).map(<[Record]>::to_vec).collect()
+                (0..records.len())
+                    .step_by(split)
+                    .map(|s| (s, (s + split).min(records.len())))
+                    .collect()
             };
-            for (split_idx, chunk) in chunks.into_iter().enumerate() {
+            for (split_idx, (start, end)) in bounds.into_iter().enumerate() {
                 // HDFS block placement surrogate: the split's "home" node
                 // is a stable hash of (file, split index).
                 let mut key = input.file.clone().into_bytes();
                 key.extend_from_slice(&(split_idx as u64).to_be_bytes());
                 map_task_homes.push(NodeId((crate::task::fnv1a(&key) % node_count) as usize));
-                map_task_inputs.push((i, chunk));
+                map_task_inputs.push(MapSplit {
+                    input: i,
+                    file: Arc::clone(&records),
+                    start,
+                    end,
+                });
             }
         }
         let n_maps = map_task_inputs.len();
@@ -705,9 +736,9 @@ impl Cluster {
 
         let (computed, duration) = match choice.kind {
             TaskKind::Map => {
-                let (input_idx, records) = job.map_task_inputs[choice.task_index].clone();
+                let split = &job.map_task_inputs[choice.task_index];
                 let local = job.map_task_homes[choice.task_index] == node;
-                let out = run_map_task(&job.spec, input_idx, records, fate);
+                let out = run_map_task(&job.spec, split.input, split.records(), fate);
                 let w = out.work;
                 let write = if job.spec.is_map_only() {
                     self.cost.hdfs(w.bytes_out)
@@ -729,7 +760,11 @@ impl Cluster {
                 (ComputedTask::Map(out), d)
             }
             TaskKind::Reduce => {
-                let incoming = job.reduce_inputs[choice.task_index].clone();
+                // Each reduce index executes at most once (omission faults
+                // never reach here, and a hung task re-queues as Pending
+                // without having run), so the input can be moved out
+                // instead of cloned.
+                let incoming = std::mem::take(&mut job.reduce_inputs[choice.task_index]);
                 let out = run_reduce_task(&job.spec, incoming, fate);
                 let w = out.work;
                 let d = self.cost.task_startup

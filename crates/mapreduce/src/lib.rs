@@ -35,7 +35,7 @@ mod task;
 
 pub use engine::{Cluster, ClusterBuilder, EngineEvent, JobOutcome, TimerToken};
 pub use fault::{Behavior, NodeId, WorkerNode};
-pub use metrics::JobMetrics;
+pub use metrics::{data_plane, JobMetrics};
 pub use scheduler::{FifoScheduler, OverlapScheduler, SchedContext, Scheduler, TaskChoice};
 pub use spec::{DigestReport, ExecInput, ExecJob, RunHandle, TaskKind, VpSite};
 pub use storage::{Storage, StorageError};

@@ -87,6 +87,85 @@ impl JobMetrics {
     }
 }
 
+/// Process-wide data-plane counters.
+///
+/// [`JobMetrics`] charges *simulated* resources; these counters instead
+/// observe the *host-side* cost of the data plane — how many records were
+/// physically cloned, how many storage reads were satisfied by sharing an
+/// `Arc`, and how many bytes flowed through canonical encoding and the
+/// digest hasher. They exist to make the zero-copy invariants measurable:
+/// after a run, `records_cloned` on the storage-read path should be zero
+/// while `arcs_shared` counts every read.
+///
+/// Counters are cumulative atomics; callers interested in one region take a
+/// [`data_plane::snapshot`] before and after and subtract.
+pub mod data_plane {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use serde::{Deserialize, Serialize};
+
+    static RECORDS_CLONED: AtomicU64 = AtomicU64::new(0);
+    static ARCS_SHARED: AtomicU64 = AtomicU64::new(0);
+    static BYTES_ENCODED: AtomicU64 = AtomicU64::new(0);
+    static DIGEST_BYTES_HASHED: AtomicU64 = AtomicU64::new(0);
+
+    /// Records that were physically deep-copied (e.g. when publishing final
+    /// outputs out of a replica's storage).
+    pub fn count_records_cloned(n: u64) {
+        RECORDS_CLONED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Storage reads/shares satisfied by handing out an `Arc` handle.
+    pub fn count_arcs_shared(n: u64) {
+        ARCS_SHARED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bytes written through canonical record encoding.
+    pub fn count_bytes_encoded(n: u64) {
+        BYTES_ENCODED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Bytes absorbed by digest hashers at verification points.
+    pub fn count_digest_bytes(n: u64) {
+        DIGEST_BYTES_HASHED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the cumulative counters.
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct DataPlaneSnapshot {
+        /// Records physically deep-copied.
+        pub records_cloned: u64,
+        /// Storage reads satisfied by sharing an `Arc` handle.
+        pub arcs_shared: u64,
+        /// Bytes written through canonical record encoding.
+        pub bytes_encoded: u64,
+        /// Bytes absorbed by digest hashers.
+        pub digest_bytes_hashed: u64,
+    }
+
+    impl DataPlaneSnapshot {
+        /// Counter deltas accumulated since `earlier`.
+        pub fn since(&self, earlier: &DataPlaneSnapshot) -> DataPlaneSnapshot {
+            DataPlaneSnapshot {
+                records_cloned: self.records_cloned - earlier.records_cloned,
+                arcs_shared: self.arcs_shared - earlier.arcs_shared,
+                bytes_encoded: self.bytes_encoded - earlier.bytes_encoded,
+                digest_bytes_hashed: self.digest_bytes_hashed - earlier.digest_bytes_hashed,
+            }
+        }
+    }
+
+    /// Reads all counters at once.
+    pub fn snapshot() -> DataPlaneSnapshot {
+        DataPlaneSnapshot {
+            records_cloned: RECORDS_CLONED.load(Ordering::Relaxed),
+            arcs_shared: ARCS_SHARED.load(Ordering::Relaxed),
+            bytes_encoded: BYTES_ENCODED.load(Ordering::Relaxed),
+            digest_bytes_hashed: DIGEST_BYTES_HASHED.load(Ordering::Relaxed),
+        }
+    }
+}
+
 fn ratio(a: f64, b: f64) -> f64 {
     if b == 0.0 {
         f64::NAN

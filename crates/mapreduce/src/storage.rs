@@ -9,8 +9,11 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use cbft_dataflow::Record;
+
+use crate::metrics::data_plane;
 
 /// Error from the storage layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -39,7 +42,10 @@ impl Error for StorageError {}
 
 #[derive(Clone, Debug)]
 struct StoredFile {
-    records: Vec<Record>,
+    /// Write-once payload behind an [`Arc`]: readers get cheap shared
+    /// handles instead of cloning record vectors, and replicated clusters
+    /// seeded from the same file share one allocation.
+    records: Arc<[Record]>,
     bytes: u64,
 }
 
@@ -79,6 +85,22 @@ impl Storage {
     /// out ("in many cloud storage systems data modification is replaced
     /// with data creation").
     pub fn write(&mut self, name: &str, records: Vec<Record>) -> Result<u64, StorageError> {
+        self.write_shared(name, records.into())
+    }
+
+    /// Writes a new file from an already-shared payload without copying it.
+    /// All storages seeded with clones of the same `Arc` share one record
+    /// allocation — how the executor gives every replica cluster the same
+    /// write-once inputs for free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::AlreadyExists`] when `name` is taken.
+    pub fn write_shared(
+        &mut self,
+        name: &str,
+        records: Arc<[Record]>,
+    ) -> Result<u64, StorageError> {
         if self.files.contains_key(name) {
             return Err(StorageError::AlreadyExists(name.to_owned()));
         }
@@ -89,16 +111,18 @@ impl Storage {
         Ok(bytes)
     }
 
-    /// Reads a file's records.
+    /// Reads a file's records, returning a shared handle to the write-once
+    /// payload (no records are copied).
     ///
     /// # Errors
     ///
     /// Returns [`StorageError::NotFound`] for missing files.
-    pub fn read(&mut self, name: &str) -> Result<&[Record], StorageError> {
+    pub fn read(&mut self, name: &str) -> Result<Arc<[Record]>, StorageError> {
         match self.files.get(name) {
             Some(f) => {
                 self.read_bytes += f.bytes;
-                Ok(&f.records)
+                data_plane::count_arcs_shared(1);
+                Ok(Arc::clone(&f.records))
             }
             None => Err(StorageError::NotFound(name.to_owned())),
         }
@@ -107,7 +131,16 @@ impl Storage {
     /// Like [`Storage::read`] but without charging read bytes — for
     /// harness/verifier inspection that would not exist on a real cluster.
     pub fn peek(&self, name: &str) -> Option<&[Record]> {
-        self.files.get(name).map(|f| f.records.as_slice())
+        self.files.get(name).map(|f| &*f.records)
+    }
+
+    /// A free (uncharged) shared handle to a file's payload, for harness
+    /// plumbing that republishes data rather than reading it.
+    pub fn share(&self, name: &str) -> Option<Arc<[Record]>> {
+        self.files.get(name).map(|f| {
+            data_plane::count_arcs_shared(1);
+            Arc::clone(&f.records)
+        })
     }
 
     /// Whether `name` exists.

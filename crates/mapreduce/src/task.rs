@@ -6,15 +6,88 @@
 //! pure (no cluster state) makes the task semantics directly testable.
 
 use cbft_dataflow::compile::Site;
-use cbft_dataflow::interp::{group_records, join_records, order_records, project_record};
+use cbft_dataflow::interp::{
+    group_records_owned, join_records, order_records_owned, project_record,
+};
 use cbft_dataflow::{LogicalPlan, Operator, Record, Value, VertexId};
 use cbft_digest::{ChunkedDigest, ChunkedSummary};
 
 use crate::fault::{corrupt_record, TaskFate};
+use crate::metrics::data_plane;
 use crate::spec::{ExecJob, VpSite};
 
 /// A record tagged with its join side.
 pub(crate) type Tagged = (usize, Record);
+
+/// A stream of records flowing through a task pipeline.
+///
+/// Map tasks read their split as a borrowed slice of the `Arc`-shared input
+/// file; per-record operators keep records borrowed as long as possible
+/// (filters collect surviving *references*, only projections produce owned
+/// records), and records are cloned at most once — at the partition/output
+/// boundary, and only when the pipeline never produced owned records.
+enum RecordStream<'a> {
+    /// A contiguous borrowed slice (the untouched input split).
+    Slice(&'a [Record]),
+    /// A filtered subset of borrowed records.
+    Refs(Vec<&'a Record>),
+    /// Records owned by the task (produced by projections or corruption).
+    Owned(Vec<Record>),
+}
+
+enum RecordStreamIter<'b, 'a> {
+    Slice(std::slice::Iter<'b, Record>),
+    Refs(std::iter::Copied<std::slice::Iter<'b, &'a Record>>),
+}
+
+impl<'b, 'a: 'b> Iterator for RecordStreamIter<'b, 'a> {
+    type Item = &'b Record;
+
+    fn next(&mut self) -> Option<&'b Record> {
+        match self {
+            RecordStreamIter::Slice(i) => i.next(),
+            RecordStreamIter::Refs(i) => i.next(),
+        }
+    }
+}
+
+impl<'a> RecordStream<'a> {
+    fn len(&self) -> usize {
+        match self {
+            RecordStream::Slice(s) => s.len(),
+            RecordStream::Refs(v) => v.len(),
+            RecordStream::Owned(v) => v.len(),
+        }
+    }
+
+    fn iter(&self) -> RecordStreamIter<'_, 'a> {
+        match self {
+            RecordStream::Slice(s) => RecordStreamIter::Slice(s.iter()),
+            RecordStream::Owned(v) => RecordStreamIter::Slice(v.iter()),
+            RecordStream::Refs(v) => RecordStreamIter::Refs(v.iter().copied()),
+        }
+    }
+
+    fn byte_size(&self) -> u64 {
+        self.iter().map(Record::byte_size).sum()
+    }
+
+    /// Materializes the stream as owned records, cloning only when the
+    /// records are still borrowed from the input split.
+    fn into_owned(self) -> Vec<Record> {
+        match self {
+            RecordStream::Owned(v) => v,
+            RecordStream::Slice(s) => {
+                data_plane::count_records_cloned(s.len() as u64);
+                s.to_vec()
+            }
+            RecordStream::Refs(v) => {
+                data_plane::count_records_cloned(v.len() as u64);
+                v.into_iter().cloned().collect()
+            }
+        }
+    }
+}
 
 /// Work performed by a task, in units the cost model can price.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,30 +128,39 @@ pub(crate) struct ReduceTaskOutput {
 /// Executes one map task: applies the input pipeline to a split, digests
 /// at map-side verification points, and partitions the result for the
 /// shuffle.
+///
+/// The split is borrowed (a window into the `Arc`-shared input file);
+/// records are cloned only where they must become owned — at the partition
+/// boundary, and only if the pipeline kept them borrowed until then.
 pub(crate) fn run_map_task(
     job: &ExecJob,
     input_index: usize,
-    mut records: Vec<Record>,
+    records: &[Record],
     fate: TaskFate,
 ) -> MapTaskOutput {
     debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
     let plan = &job.plan;
     let input = &job.inputs[input_index];
     let mut work = Work {
-        bytes_in: byte_size(&records),
+        bytes_in: byte_size(records),
         ..Work::default()
     };
-    if fate == TaskFate::Corrupt {
+    let mut stream = if fate == TaskFate::Corrupt {
         // A commission fault: the node processes a corrupted view of the
-        // data, so every downstream digest and output reflects it.
-        for r in &mut records {
+        // data, so every downstream digest and output reflects it. The
+        // corrupting clone happens only on this (cold) fault path.
+        let mut owned = records.to_vec();
+        for r in &mut owned {
             corrupt_record(r);
         }
-    }
+        RecordStream::Owned(owned)
+    } else {
+        RecordStream::Slice(records)
+    };
 
     let mut digests = Vec::new();
     for (pos, &vid) in input.pipeline.iter().enumerate() {
-        records = apply_op(plan, vid, records, &mut work);
+        stream = apply_op(plan, vid, stream, &mut work);
         for vp in &job.verification_points {
             if let Site::MapInput {
                 input: vi,
@@ -89,7 +171,7 @@ pub(crate) fn run_map_task(
                 if vi == input_index && vp_pos == pos {
                     digests.push((
                         *vp,
-                        digest_stream(&records, job.digest_granularity, &mut work),
+                        digest_stream(stream.iter(), job.digest_granularity, &mut work),
                     ));
                 }
             }
@@ -101,13 +183,15 @@ pub(crate) fn run_map_task(
             // Map-side combining: one [key, partials...] record per local
             // key; partition by the leading key (same hash as the raw
             // records would have used).
-            work.record_ops += 2 * records.len() as u64;
-            let partials = comb.partials(&records);
+            work.record_ops += 2 * stream.len() as u64;
+            let owned = stream.into_owned();
+            let partials = comb.partials(&owned);
             let n = job.reduce_task_count.max(1);
             let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); n];
+            let mut key_buf = Vec::new();
             for r in partials {
                 work.bytes_out += r.byte_size();
-                let p = key_partition(r.get(0), n);
+                let p = key_partition(r.get(0), n, &mut key_buf);
                 parts[p].push((input.tag, r));
             }
             parts
@@ -116,15 +200,18 @@ pub(crate) fn run_map_task(
                 plan,
                 shuffle,
                 input.tag,
-                records,
+                stream,
                 job.reduce_task_count,
                 &mut work,
             )
         }
     } else {
-        let bytes = byte_size(&records);
-        work.bytes_out = bytes;
-        vec![records.into_iter().map(|r| (input.tag, r)).collect()]
+        work.bytes_out = stream.byte_size();
+        vec![stream
+            .into_owned()
+            .into_iter()
+            .map(|r| (input.tag, r))
+            .collect()]
     };
 
     MapTaskOutput {
@@ -175,7 +262,7 @@ pub(crate) fn run_reduce_task(
                 if matches!(vp.site, Site::Reduce { pos: 0, .. }) {
                     digests.push((
                         *vp,
-                        digest_stream(&merged, job.digest_granularity, &mut work),
+                        digest_stream(merged.iter(), job.digest_granularity, &mut work),
                     ));
                 }
             }
@@ -186,7 +273,10 @@ pub(crate) fn run_reduce_task(
             let out = materialize_shuffle(plan, shuffle, incoming, &mut work);
             for vp in &job.verification_points {
                 if matches!(vp.site, Site::Shuffle { .. }) && vp.vertex == shuffle {
-                    digests.push((*vp, digest_stream(&out, job.digest_granularity, &mut work)));
+                    digests.push((
+                        *vp,
+                        digest_stream(out.iter(), job.digest_granularity, &mut work),
+                    ));
                 }
             }
             out
@@ -195,13 +285,18 @@ pub(crate) fn run_reduce_task(
     };
 
     for (pos, &vid) in job.reduce.iter().enumerate().skip(start_pos) {
-        records = apply_op(plan, vid, records, &mut work);
+        records = match apply_op(plan, vid, RecordStream::Owned(records), &mut work) {
+            // The stream entered owned, and per-record operators never
+            // borrow an owned stream back out.
+            RecordStream::Owned(v) => v,
+            _ => unreachable!("owned streams stay owned through apply_op"),
+        };
         for vp in &job.verification_points {
             if let Site::Reduce { pos: vp_pos, .. } = vp.site {
                 if vp.vertex == vid && vp_pos == pos {
                     digests.push((
                         *vp,
-                        digest_stream(&records, job.digest_granularity, &mut work),
+                        digest_stream(records.iter(), job.digest_granularity, &mut work),
                     ));
                 }
             }
@@ -218,28 +313,52 @@ pub(crate) fn run_reduce_task(
 
 /// Applies one per-record operator to a stream. `LOAD`, `UNION` and
 /// `STORE` appear in pipelines only as pass-through markers.
-fn apply_op(
+///
+/// Borrowed streams stay borrowed through filters and limits; only
+/// projections materialize new (owned) records.
+fn apply_op<'a>(
     plan: &LogicalPlan,
     vid: VertexId,
-    records: Vec<Record>,
+    records: RecordStream<'a>,
     work: &mut Work,
-) -> Vec<Record> {
+) -> RecordStream<'a> {
     let op = plan.vertex(vid).op();
     work.record_ops += records.len() as u64;
     match op {
         Operator::Load { .. } | Operator::Union | Operator::Store { .. } => records,
-        Operator::Filter { predicate } => records
-            .into_iter()
-            .filter(|r| {
+        Operator::Filter { predicate } => {
+            let keep = |r: &Record| {
                 predicate
                     .eval(&cbft_dataflow::EvalContext::new(r))
                     .is_truthy()
-            })
-            .collect(),
-        Operator::Project { exprs, .. } => {
-            records.iter().map(|r| project_record(r, exprs)).collect()
+            };
+            match records {
+                RecordStream::Slice(s) => {
+                    RecordStream::Refs(s.iter().filter(|r| keep(r)).collect())
+                }
+                RecordStream::Refs(v) => {
+                    RecordStream::Refs(v.into_iter().filter(|r| keep(r)).collect())
+                }
+                RecordStream::Owned(v) => RecordStream::Owned(v.into_iter().filter(keep).collect()),
+            }
         }
-        Operator::Limit { count } => records.into_iter().take(*count as usize).collect(),
+        Operator::Project { exprs, .. } => {
+            RecordStream::Owned(records.iter().map(|r| project_record(r, exprs)).collect())
+        }
+        Operator::Limit { count } => {
+            let count = *count as usize;
+            match records {
+                RecordStream::Slice(s) => RecordStream::Slice(&s[..count.min(s.len())]),
+                RecordStream::Refs(mut v) => {
+                    v.truncate(count);
+                    RecordStream::Refs(v)
+                }
+                RecordStream::Owned(mut v) => {
+                    v.truncate(count);
+                    RecordStream::Owned(v)
+                }
+            }
+        }
         blocking => {
             debug_assert!(false, "blocking operator {} in a pipeline", blocking.name());
             records
@@ -247,12 +366,14 @@ fn apply_op(
     }
 }
 
-/// Partitions a map task's output by shuffle key.
+/// Partitions a map task's output by shuffle key. Records still borrowed
+/// from the input split are cloned here — the single unavoidable copy on
+/// the map path, since partitions outlive the split borrow.
 fn partition_records(
     plan: &LogicalPlan,
     shuffle: VertexId,
     tag: usize,
-    records: Vec<Record>,
+    records: RecordStream<'_>,
     n_partitions: usize,
     work: &mut Work,
 ) -> Vec<Vec<Tagged>> {
@@ -260,18 +381,23 @@ fn partition_records(
     let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); n];
     let op = plan.vertex(shuffle).op().clone();
     work.record_ops += records.len() as u64;
-    for r in records {
+    let mut key_buf = Vec::new();
+    for r in records.into_owned() {
         work.bytes_out += r.byte_size();
         let p = match &op {
-            Operator::Group { key } => key_partition(r.get(*key), n),
+            Operator::Group { key } => key_partition(r.get(*key), n, &mut key_buf),
             Operator::Join {
                 left_key,
                 right_key,
             } => {
                 let key = if tag == 0 { *left_key } else { *right_key };
-                key_partition(r.get(key), n)
+                key_partition(r.get(key), n, &mut key_buf)
             }
-            Operator::Distinct => (fnv1a(&r.to_canonical_bytes()) % n as u64) as usize,
+            Operator::Distinct => {
+                key_buf.clear();
+                r.write_canonical(&mut key_buf);
+                (fnv1a(&key_buf) % n as u64) as usize
+            }
             // Global sort: a single range partition (the engine forces one
             // reduce task for ORDER).
             Operator::Order { .. } => 0,
@@ -285,10 +411,10 @@ fn partition_records(
     parts
 }
 
-fn key_partition(key: Option<&Value>, n: usize) -> usize {
-    let mut buf = Vec::with_capacity(16);
-    key.unwrap_or(&Value::Null).write_canonical(&mut buf);
-    (fnv1a(&buf) % n as u64) as usize
+fn key_partition(key: Option<&Value>, n: usize, buf: &mut Vec<u8>) -> usize {
+    buf.clear();
+    key.unwrap_or(&Value::Null).write_canonical(buf);
+    (fnv1a(buf) % n as u64) as usize
 }
 
 /// Materializes the shuffle semantics for one partition.
@@ -304,7 +430,7 @@ fn materialize_shuffle(
     match op {
         Operator::Group { key } => {
             let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
-            group_records(&records, key)
+            group_records_owned(records, key)
         }
         Operator::Join {
             left_key,
@@ -328,7 +454,7 @@ fn materialize_shuffle(
         }
         Operator::Order { key, order } => {
             let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
-            order_records(&records, key, order)
+            order_records_owned(records, key, order)
         }
         other => {
             debug_assert!(false, "non-blocking shuffle {}", other.name());
@@ -337,18 +463,33 @@ fn materialize_shuffle(
     }
 }
 
-fn digest_stream(records: &[Record], granularity: usize, work: &mut Work) -> ChunkedSummary {
+/// Digests a record stream: each record is canonically encoded (with its
+/// length-prefix frame) into one reused buffer and fed to the hasher as a
+/// single contiguous slice — no per-record allocation, and whole blocks
+/// take the SHA-256 multi-block fast path.
+fn digest_stream<'a>(
+    records: impl Iterator<Item = &'a Record>,
+    granularity: usize,
+    work: &mut Work,
+) -> ChunkedSummary {
     let mut cd = ChunkedDigest::new(granularity);
     let mut buf = Vec::new();
+    let mut count = 0u64;
+    let mut payload_bytes = 0u64;
     for r in records {
-        buf.clear();
+        ChunkedDigest::begin_frame(&mut buf);
         r.write_canonical(&mut buf);
-        cd.append(&buf);
-        work.digest_bytes += buf.len() as u64;
+        ChunkedDigest::seal_frame(&mut buf);
+        cd.append_framed(&buf);
+        payload_bytes += (buf.len() - 8) as u64;
+        count += 1;
     }
+    work.digest_bytes += payload_bytes;
     // Intercepting each tuple costs about one operator pass (the paper's
     // Penny agents sit between script stages), on top of the hash bytes.
-    work.record_ops += records.len() as u64;
+    work.record_ops += count;
+    data_plane::count_bytes_encoded(payload_bytes);
+    data_plane::count_digest_bytes(payload_bytes + 8 * count);
     cd.finish()
 }
 
@@ -429,7 +570,7 @@ mod tests {
         let job = exec_job(FOLLOWER, vec![]);
         let mut records = ints(&[&[1, 10], &[2, 20], &[1, 30]]);
         records.push(Record::new(vec![Value::Int(9), Value::Null]));
-        let out = run_map_task(&job, 0, records, TaskFate::Faithful);
+        let out = run_map_task(&job, 0, &records, TaskFate::Faithful);
         let total: usize = out.partitions.iter().map(Vec::len).sum();
         assert_eq!(total, 3, "null follower filtered out");
         assert_eq!(out.partitions.len(), 2);
@@ -481,8 +622,8 @@ mod tests {
         let mut job = exec_job(FOLLOWER, vec![]);
         job.verification_points = plan_vps(&job);
         let records = ints(&[&[1, 10], &[2, 20]]);
-        let honest = run_map_task(&job, 0, records.clone(), TaskFate::Faithful);
-        let corrupt = run_map_task(&job, 0, records, TaskFate::Corrupt);
+        let honest = run_map_task(&job, 0, &records, TaskFate::Faithful);
+        let corrupt = run_map_task(&job, 0, &records, TaskFate::Corrupt);
         assert_eq!(honest.digests.len(), 1);
         assert_eq!(corrupt.digests.len(), 1);
         assert!(!honest.digests[0]
@@ -503,8 +644,8 @@ mod tests {
             },
         }];
         let records = ints(&[&[1, 10], &[2, 20], &[3, 30]]);
-        let a = run_map_task(&job, 0, records.clone(), TaskFate::Faithful);
-        let b = run_map_task(&job, 0, records, TaskFate::Faithful);
+        let a = run_map_task(&job, 0, &records, TaskFate::Faithful);
+        let b = run_map_task(&job, 0, &records, TaskFate::Faithful);
         assert!(a.digests[0].1.compare(&b.digests[0].1).is_match());
         assert_eq!(a.partitions, b.partitions, "partitioning is deterministic");
     }
@@ -535,7 +676,7 @@ mod tests {
             vec![],
         );
         assert_eq!(job.reduce_task_count, 1);
-        let out = run_map_task(&job, 0, ints(&[&[1], &[3], &[2]]), TaskFate::Faithful);
+        let out = run_map_task(&job, 0, &ints(&[&[1], &[3], &[2]]), TaskFate::Faithful);
         assert_eq!(out.partitions.len(), 1);
         let reduced = run_reduce_task(
             &job,
@@ -564,7 +705,7 @@ mod tests {
     #[test]
     fn work_counters_are_filled() {
         let job = exec_job(FOLLOWER, vec![]);
-        let out = run_map_task(&job, 0, ints(&[&[1, 2], &[3, 4]]), TaskFate::Faithful);
+        let out = run_map_task(&job, 0, &ints(&[&[1, 2], &[3, 4]]), TaskFate::Faithful);
         assert!(out.work.bytes_in > 0);
         assert!(out.work.bytes_out > 0);
         assert!(out.work.record_ops > 0);

@@ -100,6 +100,19 @@ fn flat_record_strategy() -> impl Strategy<Value = Record> {
     proptest::collection::vec(value_strategy(), 0..5).prop_map(Record::new)
 }
 
+/// Values including nested bags, the GROUP-produced shape the digest path
+/// must keep injective.
+fn nested_value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        value_strategy(),
+        proptest::collection::vec(
+            proptest::collection::vec(value_strategy(), 0..3).prop_map(Record::new),
+            0..3
+        )
+        .prop_map(Value::Bag),
+    ]
+}
+
 proptest! {
     /// Canonical encoding is injective: distinct records encode
     /// differently, equal records identically.
@@ -111,6 +124,38 @@ proptest! {
         let ea = a.to_canonical_bytes();
         let eb = b.to_canonical_bytes();
         prop_assert_eq!(a == b, ea == eb);
+    }
+
+    /// Value-level injectivity, including nested bags: two values encode
+    /// to the same bytes iff they are equal — the digest path's core
+    /// soundness assumption.
+    #[test]
+    fn value_encoding_is_injective(
+        a in nested_value_strategy(),
+        b in nested_value_strategy(),
+    ) {
+        let ea = a.to_canonical_bytes();
+        let eb = b.to_canonical_bytes();
+        prop_assert_eq!(a == b, ea == eb);
+    }
+
+    /// The encode-into sibling appends exactly the bytes the owned
+    /// encoding produces, for values and records alike — so hot paths can
+    /// reuse one buffer without changing a single digest byte.
+    #[test]
+    fn encode_into_matches_owned_encoding(
+        v in nested_value_strategy(),
+        r in flat_record_strategy(),
+        prefix in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let mut buf = prefix.clone();
+        v.write_canonical(&mut buf);
+        prop_assert_eq!(&buf[prefix.len()..], v.to_canonical_bytes().as_slice());
+
+        let mut buf = prefix.clone();
+        r.write_canonical(&mut buf);
+        prop_assert_eq!(&buf[..prefix.len()], prefix.as_slice(), "prefix untouched");
+        prop_assert_eq!(&buf[prefix.len()..], r.to_canonical_bytes().as_slice());
     }
 
     /// Value ordering is a total order (antisymmetric + transitive on
