@@ -116,6 +116,15 @@ fn commentary(id: &str) -> &'static str {
                         byte-identical chunk summaries, and the data-plane counters \
                         prove the replica read path clones zero records."
         }
+        "verification_lag" => {
+            "Observability check (§6's completion-to-verdict gap): per-key \
+                              verification lag is first-digest-report to f+1 quorum, \
+                              read off the cbft-trace quorum events. With replica 0 \
+                              always commission-faulty, keys wait for the escalation \
+                              round's fresh replica — a nonzero tail — while the \
+                              canonical trace stays bit-identical across 1 and 4 \
+                              worker threads (tracing observes, never steers)."
+        }
         _ => "",
     }
 }
@@ -136,6 +145,7 @@ fn main() {
         "ablation_combiner",
         "parallel_speedup",
         "data_plane",
+        "verification_lag",
     ];
     let mut out = String::new();
     let _ = writeln!(

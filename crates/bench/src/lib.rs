@@ -16,6 +16,7 @@
 //! | `ablation_marker` | §4.1 | verification-point placement: marker vs earliest vs final-only |
 //! | `ablation_overlap` | §4.2 | overlap vs FIFO scheduling for isolation speed |
 //! | `ablation_combiner` | substrate | map-side combiners: shuffle volume & digest equivalence |
+//! | `verification_lag` | §6 | per-key first-report-to-quorum lag from the trace subsystem |
 //! | `experiments_md` | — | regenerates `EXPERIMENTS.md` from the recorded results |
 //!
 //! Every binary prints a paper-vs-measured table and appends a JSON record

@@ -45,6 +45,7 @@ use cbft_mapreduce::{
     VpSite,
 };
 use cbft_sim::{CostModel, SeedSpawner};
+use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
 use crossbeam::channel::Sender;
 use serde::{Deserialize, Serialize};
 
@@ -154,6 +155,7 @@ pub struct ParallelOutcome {
     transcript: Vec<StreamedReport>,
     outputs: BTreeMap<String, Vec<Record>>,
     deviant_replicas: BTreeSet<usize>,
+    clean_replicas: BTreeSet<usize>,
     omitted_replicas: BTreeSet<usize>,
 }
 
@@ -193,6 +195,13 @@ impl ParallelOutcome {
     /// Replicas whose digests contradicted an established quorum.
     pub fn deviant_replicas(&self) -> &BTreeSet<usize> {
         &self.deviant_replicas
+    }
+
+    /// Replicas that reported digests and agreed with the quorum at every
+    /// key. Always a subset of the uids that actually ran, and disjoint
+    /// from [`ParallelOutcome::deviant_replicas`].
+    pub fn clean_replicas(&self) -> &BTreeSet<usize> {
+        &self.clean_replicas
     }
 
     /// Replicas that wedged before completing every job (omission /
@@ -236,6 +245,7 @@ pub struct ParallelExecutor {
     /// with shared handles to the same record allocations.
     inputs: BTreeMap<String, Arc<[Record]>>,
     faults: BTreeMap<usize, Behavior>,
+    tracer: Tracer,
 }
 
 impl ParallelExecutor {
@@ -245,7 +255,15 @@ impl ParallelExecutor {
             config,
             inputs: BTreeMap::new(),
             faults: BTreeMap::new(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace sink. Each replica's engine events land on a
+    /// track labelled by its globally unique uid; coordinator and
+    /// verifier events use reserved tracks. Disabled by default.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The active configuration.
@@ -344,12 +362,24 @@ impl ParallelExecutor {
         let mut total_uids = 0usize;
         let mut published: Option<BTreeMap<String, Vec<Record>>> = None;
 
-        for target in self.config.escalation_targets() {
-            let fresh = target - total_uids; // targets are strictly increasing
+        for (round, target) in self.config.escalation_targets().into_iter().enumerate() {
+            if total_uids >= target {
+                continue; // targets are strictly increasing; defensive
+            }
+            let fresh = target - total_uids;
             let uid_base = total_uids;
             total_uids = target;
             verifier.set_expected(total_uids);
             replicas_per_round.push(fresh);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    TraceEvent::instant("round_start", "executor")
+                        .on(COORDINATOR_PID, 0)
+                        .seq(round as u64)
+                        .arg("target", target)
+                        .arg("fresh", fresh),
+                );
+            }
 
             let workers = match self.config.threads {
                 0 => fresh,
@@ -358,7 +388,7 @@ impl ParallelExecutor {
             let next = AtomicUsize::new(0);
             let (tx, rx) = crossbeam::channel::unbounded::<StreamedReport>();
 
-            let round = crossbeam::thread::scope(|scope| {
+            let round_result = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for _ in 0..workers {
                     let tx = tx.clone();
@@ -387,7 +417,7 @@ impl ParallelExecutor {
                 // drops its sender.
                 let mut received = Vec::new();
                 for sr in &rx {
-                    verifier.ingest(&sr);
+                    verifier.ingest_traced(&sr, &self.tracer);
                     received.push(sr);
                 }
                 let mut finished = Vec::new();
@@ -401,17 +431,28 @@ impl ParallelExecutor {
             })
             .map_err(|_| SubmitError::Engine("replica worker thread panicked".to_owned()))?;
 
-            let (finished, received) = round;
+            let (finished, received) = round_result;
             transcript.extend(received);
             for run in finished {
                 runs.insert(run.uid, run);
             }
 
             published = self.decide(&store_sites, &verifier, &runs);
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    TraceEvent::instant("round_end", "executor")
+                        .on(COORDINATOR_PID, 0)
+                        .seq(round as u64)
+                        .arg("verified", if published.is_some() { 1u64 } else { 0 }),
+                );
+            }
             if published.is_some() {
                 break;
             }
         }
+        // Deterministic verification-lag timeline, derived from the final
+        // table state rather than live channel arrivals.
+        verifier.emit_quorum_events(&self.tracer);
 
         // Canonical order: any thread interleaving sorts to this exact
         // transcript, so downstream consumers (tests, persisted logs)
@@ -429,6 +470,7 @@ impl ParallelExecutor {
             transcript,
             outputs: published.unwrap_or_default(),
             deviant_replicas: verifier.deviant_replicas(),
+            clean_replicas: verifier.clean_replicas(),
             omitted_replicas: omitted,
         })
     }
@@ -474,12 +516,20 @@ impl ParallelExecutor {
         vp_map: &HashMap<JobId, Vec<VpSite>>,
         tx: &Sender<StreamedReport>,
     ) -> ReplicaRun {
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::begin("replica", "executor")
+                    .on(uid as u32, 0)
+                    .seq(uid as u64),
+            );
+        }
         let spawner = SeedSpawner::new(self.config.master_seed);
         let mut builder = Cluster::builder()
             .nodes(self.config.nodes)
             .slots_per_node(self.config.slots_per_node)
             .cost_model(self.config.cost)
-            .seed(spawner.replica_seed(uid));
+            .seed(spawner.replica_seed(uid))
+            .tracer(self.tracer.clone(), uid as u32);
         if let Some(&behavior) = self.faults.get(&uid) {
             for node in 0..self.config.nodes {
                 builder = builder.node_behavior(node, behavior);
@@ -558,6 +608,15 @@ impl ParallelExecutor {
         }
 
         let complete = !wedged && completed.len() == graph.len();
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::end("replica", "executor")
+                    .on(uid as u32, 0)
+                    .at_sim(cluster.now().as_micros())
+                    .seq(uid as u64)
+                    .arg("complete", if complete { 1u64 } else { 0 }),
+            );
+        }
         let mut outputs = BTreeMap::new();
         for job in graph.jobs() {
             if let JobOutput::Store(name) = &job.output {
@@ -718,6 +777,33 @@ mod tests {
         // The published output matches a fault-free reference run.
         let honest = executor(1, vec![2]).run_script(SCRIPT).unwrap();
         assert_eq!(outcome.outputs(), honest.outputs());
+    }
+
+    #[test]
+    fn escalation_clean_and_deviant_agree_with_reporting_uids() {
+        // Regression for the `clean_replicas` fix: after escalation the
+        // live uids are 0, 1 (round one) and 2 (round two) — not
+        // 0..expected_replicas — and cleanliness must be claimed only
+        // for uids that actually reported digests.
+        let mut exec = executor(4, vec![2, 3]);
+        exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(outcome.verified());
+
+        let reported: BTreeSet<usize> = outcome.transcript().iter().map(|sr| sr.uid).collect();
+        assert_eq!(reported, BTreeSet::from([0, 1, 2]));
+        assert_eq!(outcome.deviant_replicas(), &BTreeSet::from([0]));
+        assert_eq!(outcome.clean_replicas(), &BTreeSet::from([1, 2]));
+        assert!(outcome
+            .clean_replicas()
+            .is_disjoint(outcome.deviant_replicas()));
+        assert!(
+            outcome
+                .clean_replicas()
+                .iter()
+                .all(|u| reported.contains(u)),
+            "cleanliness may only be claimed for uids that reported"
+        );
     }
 
     #[test]

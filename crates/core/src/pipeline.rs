@@ -31,6 +31,7 @@ use cbft_mapreduce::{
     Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle, TimerToken, VpSite,
 };
 use cbft_sim::SimDuration;
+use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
 
 use crate::config::{JobConfig, VpPolicy};
 use crate::isolation::FaultAnalyzer;
@@ -70,6 +71,7 @@ pub struct ClusterBft {
     analyzer: Option<FaultAnalyzer>,
     script_counter: u64,
     timer_counter: u64,
+    tracer: Tracer,
 }
 
 /// Per-replica bookkeeping of one completed job.
@@ -94,7 +96,16 @@ impl ClusterBft {
             analyzer,
             script_counter: 0,
             timer_counter: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: the control loop records attempt spans,
+    /// verification timeouts and per-key quorum events, and the inner
+    /// engine records task/heartbeat/shuffle events on node tracks.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.cluster.set_tracer(tracer.clone(), 0);
+        self.tracer = tracer;
     }
 
     /// The underlying cluster.
@@ -260,6 +271,17 @@ impl ClusterBft {
                 break; // everything verified in earlier attempts
             }
             jobs_per_attempt.push(run_jobs.len());
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    TraceEvent::begin("attempt", "control")
+                        .on(COORDINATOR_PID, 0)
+                        .at_sim(self.cluster.now().as_micros())
+                        .seq(attempt as u64)
+                        .arg("script", script_id)
+                        .arg("replicas", r as u64)
+                        .arg("jobs", run_jobs.len()),
+                );
+            }
 
             // Each MR job gets its own sub-graph id (`sub.graph.id`, §5.3):
             // replica disjointness is enforced per job, so different jobs'
@@ -412,6 +434,15 @@ impl ClusterBft {
                 }
             }
             self.cancel_all(&handles, &completed);
+            if timed_out && self.tracer.enabled() {
+                self.tracer.emit(
+                    TraceEvent::instant("verify_timeout", "control")
+                        .on(COORDINATOR_PID, 0)
+                        .at_sim(self.cluster.now().as_micros())
+                        .seq(attempt as u64)
+                        .arg("timeout_us", timeout.as_micros()),
+                );
+            }
 
             // Account commission deviants and feed the fault analyzer with
             // the per-job clusters that produced wrong digests.
@@ -535,6 +566,18 @@ impl ClusterBft {
                 }
             }
 
+            if self.tracer.enabled() {
+                let verified = store_jobs.iter().all(|j| trusted.contains_key(j));
+                self.tracer.emit(
+                    TraceEvent::end("attempt", "control")
+                        .on(COORDINATOR_PID, 0)
+                        .at_sim(self.cluster.now().as_micros())
+                        .seq(attempt as u64)
+                        .arg("verified", u64::from(verified))
+                        .arg("timed_out", u64::from(timed_out)),
+                );
+            }
+
             // Unverified baseline: publish replica 0's outputs as-is.
             if unverified_baseline {
                 let rep0_done = completed[0].len() == run_jobs.len();
@@ -545,6 +588,7 @@ impl ClusterBft {
                 } else {
                     Vec::new()
                 };
+                verifier.emit_quorum_events(&self.tracer);
                 return Ok(ScriptOutcome::new(
                     false,
                     attempt + 1,
@@ -565,6 +609,7 @@ impl ClusterBft {
                 let outputs =
                     self.publish_from(&graph, &store_jobs, |job| trusted.get(&job).cloned())?;
                 self.restore_exclusions(&temp_excluded);
+                verifier.emit_quorum_events(&self.tracer);
                 return Ok(ScriptOutcome::new(
                     true,
                     attempt + 1,
@@ -618,6 +663,7 @@ impl ClusterBft {
             Vec::new()
         };
         self.restore_exclusions(&temp_excluded);
+        verifier.emit_quorum_events(&self.tracer);
         Ok(ScriptOutcome::new(
             all_trusted,
             replicas_per_attempt.len() as u32,

@@ -66,11 +66,16 @@ impl SuspicionTable {
     ///
     /// Fault counts are capped at the job count so `s` stays in `[0, 1]`
     /// (a node cannot be more suspicious than "every job it touched was
-    /// faulty").
+    /// faulty"). A fault observed on a node with no recorded job implies
+    /// the node *did* run something, so the job count is raised to one —
+    /// previously such evidence was stored as `faults = 1, jobs = 0`,
+    /// which `level()` rendered as `0.0`, hiding the fault until an
+    /// unrelated job landed on the node.
     pub fn record_faults(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
         for n in nodes {
             let s = self.stats.entry(n).or_default();
-            s.faults = (s.faults + 1).min(s.jobs.max(1));
+            s.jobs = s.jobs.max(1);
+            s.faults = (s.faults + 1).min(s.jobs);
         }
     }
 
@@ -204,6 +209,21 @@ mod tests {
         let t = SuspicionTable::new();
         assert_eq!(t.level(NodeId(99)), 0.0);
         assert_eq!(t.band(NodeId(99)), SuspicionBand::None);
+    }
+
+    #[test]
+    fn fault_without_prior_job_is_visible() {
+        // Regression: a timeout can charge nodes before any job was
+        // recorded for them; the evidence used to be stored as
+        // faults=1/jobs=0, which level() showed as 0.0.
+        let mut t = SuspicionTable::new();
+        t.record_faults([NodeId(5)]);
+        assert_eq!(t.level(NodeId(5)), 1.0);
+        assert_eq!(t.band(NodeId(5)), SuspicionBand::High);
+        // The implied job participates in later ratios: one more clean
+        // job halves the level rather than resetting history.
+        t.record_jobs([NodeId(5)]);
+        assert!((t.level(NodeId(5)) - 0.5).abs() < 1e-9);
     }
 }
 

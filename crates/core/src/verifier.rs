@@ -12,6 +12,8 @@ use cbft_dataflow::compile::Site;
 use cbft_dataflow::VertexId;
 use cbft_digest::{ChunkedSummary, Digest, StreamVerdict};
 use cbft_mapreduce::{DigestReport, TaskKind};
+use cbft_sim::{SimDuration, SimTime};
+use cbft_trace::{TraceEvent, Tracer, QUORUM_EVENT, VERIFIER_PID};
 use serde::{Deserialize, Serialize};
 
 /// Correspondence key: replicas' streams with equal keys must digest
@@ -72,6 +74,25 @@ impl KeyVerdict {
     }
 }
 
+/// One replica's digest report as retained by the verifier: the chunked
+/// summary plus the virtual time the replica produced it, so
+/// time-to-quorum (verification lag, §6's completion-to-verdict gap) can
+/// be computed after the fact.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RecordedReport {
+    /// The replica's chunked digest summary.
+    pub summary: ChunkedSummary,
+    /// Virtual time the report was produced (the digest event's `at`).
+    pub at: SimTime,
+}
+
+/// Renders a correspondence key as a compact stable label, used for
+/// trace-event arguments and summary rows.
+pub fn key_label(key: &DigestKey) -> String {
+    let (vertex, site, kind, index) = key;
+    format!("v{}/{:?}/{:?}/{}", vertex.0, site, kind, index)
+}
+
 /// Collects digest reports for one replica set and decides verification.
 ///
 /// # Examples
@@ -82,7 +103,7 @@ impl KeyVerdict {
 pub struct Verifier {
     f: usize,
     expected_replicas: usize,
-    table: BTreeMap<DigestKey, BTreeMap<usize, ChunkedSummary>>,
+    table: BTreeMap<DigestKey, BTreeMap<usize, RecordedReport>>,
 }
 
 impl Verifier {
@@ -110,7 +131,13 @@ impl Verifier {
         self.table
             .entry(report.correspondence_key())
             .or_default()
-            .insert(report.replica, report.summary.clone());
+            .insert(
+                report.replica,
+                RecordedReport {
+                    summary: report.summary.clone(),
+                    at: report.at,
+                },
+            );
     }
 
     /// Streaming ingest: records a report from the parallel executor's
@@ -123,11 +150,65 @@ impl Verifier {
     /// keyed — not ordered — storage.
     pub fn ingest(&mut self, streamed: &StreamedReport) -> KeyVerdict {
         let key = streamed.report.correspondence_key();
-        self.table
-            .entry(key)
-            .or_default()
-            .insert(streamed.uid, streamed.report.summary.clone());
+        self.table.entry(key).or_default().insert(
+            streamed.uid,
+            RecordedReport {
+                summary: streamed.report.summary.clone(),
+                at: streamed.report.at,
+            },
+        );
         self.verdict(&key)
+    }
+
+    /// [`Verifier::ingest`] plus a live trace instant on the verifier
+    /// track. The instant is *non-canonical*: which ingest flips a key's
+    /// verdict depends on channel arrival order, so it is excluded from
+    /// determinism comparisons; the deterministic quorum timeline comes
+    /// from [`Verifier::emit_quorum_events`] at end of run.
+    pub fn ingest_traced(&mut self, streamed: &StreamedReport, tracer: &Tracer) -> KeyVerdict {
+        let verdict = self.ingest(streamed);
+        if tracer.enabled() {
+            let state = match &verdict {
+                KeyVerdict::Pending => "pending",
+                KeyVerdict::Verified { .. } => "verified",
+                KeyVerdict::Mismatch => "mismatch",
+            };
+            tracer.emit(
+                TraceEvent::instant("report_ingested", "verifier")
+                    .on(VERIFIER_PID, 0)
+                    .at_sim(streamed.report.at.as_micros())
+                    .seq(streamed.seq)
+                    .arg("uid", streamed.uid)
+                    .arg("key", key_label(&streamed.report.correspondence_key()))
+                    .arg("verdict", state)
+                    .non_canonical(),
+            );
+        }
+        verdict
+    }
+
+    /// Emits one canonical [`QUORUM_EVENT`] instant per verified key,
+    /// computed from the *final* table state: the quorum time is the
+    /// virtual time of the `(f+1)`-th earliest matching report, and the
+    /// lag is measured from the key's first report of any kind. Both are
+    /// functions of the table contents alone, so the emitted events are
+    /// identical for every thread count and channel interleaving.
+    pub fn emit_quorum_events(&self, tracer: &Tracer) {
+        if !tracer.enabled() {
+            return;
+        }
+        for key in self.table.keys() {
+            if let Some(quorum_at) = self.quorum_time(key) {
+                let lag = self.verification_lag(key).unwrap_or(SimDuration::ZERO);
+                tracer.emit(
+                    TraceEvent::instant(QUORUM_EVENT, "verifier")
+                        .on(VERIFIER_PID, 0)
+                        .at_sim(quorum_at.as_micros())
+                        .arg("key", key_label(key))
+                        .arg("lag_us", lag.as_micros()),
+                );
+            }
+        }
     }
 
     /// Number of correspondence keys seen so far.
@@ -146,9 +227,9 @@ impl Verifier {
             return KeyVerdict::Pending;
         };
         let mut counts: BTreeMap<Digest, BTreeSet<usize>> = BTreeMap::new();
-        for (&replica, summary) in reports {
+        for (&replica, rec) in reports {
             counts
-                .entry(summary.combined())
+                .entry(rec.summary.combined())
                 .or_default()
                 .insert(replica);
         }
@@ -159,7 +240,7 @@ impl Verifier {
         {
             let deviant = reports
                 .iter()
-                .filter(|(_, s)| s.combined() != digest)
+                .filter(|(_, rec)| rec.summary.combined() != digest)
                 .map(|(r, _)| *r)
                 .collect();
             return KeyVerdict::Verified {
@@ -189,13 +270,59 @@ impl Verifier {
         out
     }
 
+    /// Every replica id that has reported at least one digest. This is
+    /// the candidate set for cleanliness: the parallel executor ingests
+    /// under globally unique uids (renumbered across escalation rounds),
+    /// so replica ids are *not* `0..expected_replicas`.
+    pub fn seen_replicas(&self) -> BTreeSet<usize> {
+        self.table
+            .values()
+            .flat_map(|reports| reports.keys().copied())
+            .collect()
+    }
+
     /// Replicas that agree with the quorum at every key they reported
     /// (candidates for publishing / trusting intermediates).
+    ///
+    /// Derived from the replicas actually present in the table — never
+    /// from the nominal `0..expected_replicas` range, which would invent
+    /// "clean" ids that no report ever carried — and always disjoint from
+    /// [`Verifier::deviant_replicas`].
     pub fn clean_replicas(&self) -> BTreeSet<usize> {
         let deviants = self.deviant_replicas();
-        (0..self.expected_replicas)
+        self.seen_replicas()
+            .into_iter()
             .filter(|r| !deviants.contains(r))
             .collect()
+    }
+
+    /// Virtual time at which `key` reached its `f + 1` matching quorum:
+    /// the `(f+1)`-th earliest `at` among the reports matching the
+    /// verified digest. `None` while the key is unverified.
+    pub fn quorum_time(&self, key: &DigestKey) -> Option<SimTime> {
+        let KeyVerdict::Verified { matching, .. } = self.verdict(key) else {
+            return None;
+        };
+        let reports = self.table.get(key)?;
+        let mut times: Vec<SimTime> = matching
+            .iter()
+            .filter_map(|r| reports.get(r).map(|rec| rec.at))
+            .collect();
+        times.sort();
+        times.get(self.f).copied()
+    }
+
+    /// Virtual time of the first report (matching or not) for `key`.
+    pub fn first_report_time(&self, key: &DigestKey) -> Option<SimTime> {
+        self.table.get(key)?.values().map(|rec| rec.at).min()
+    }
+
+    /// Verification lag for `key`: virtual time from its first report to
+    /// its quorum. `None` while the key is unverified.
+    pub fn verification_lag(&self, key: &DigestKey) -> Option<SimDuration> {
+        let quorum = self.quorum_time(key)?;
+        let first = self.first_report_time(key)?;
+        Some(quorum.since(first))
     }
 
     /// True when replica `r` agrees with a verified quorum at every key in
@@ -231,7 +358,7 @@ impl Verifier {
     pub fn divergence_chunk(&self, key: &DigestKey) -> Option<usize> {
         let reports = self.table.get(key)?;
         let mut min_chunk: Option<usize> = None;
-        let summaries: Vec<&ChunkedSummary> = reports.values().collect();
+        let summaries: Vec<&ChunkedSummary> = reports.values().map(|rec| &rec.summary).collect();
         for i in 0..summaries.len() {
             for j in (i + 1)..summaries.len() {
                 if let StreamVerdict::DivergedAt { chunk } = summaries[i].compare(summaries[j]) {
@@ -258,7 +385,7 @@ mod tests {
     use cbft_digest::ChunkedDigest;
     use cbft_sim::SimTime;
 
-    fn report(replica: usize, payload: &[u8]) -> DigestReport {
+    fn report_at(replica: usize, payload: &[u8], at_us: u64) -> DigestReport {
         let mut cd = ChunkedDigest::whole_stream();
         cd.append(payload);
         DigestReport {
@@ -270,8 +397,12 @@ mod tests {
             kind: TaskKind::Reduce,
             task_index: 0,
             summary: cd.finish(),
-            at: SimTime::ZERO,
+            at: SimTime::from_micros(at_us),
         }
+    }
+
+    fn report(replica: usize, payload: &[u8]) -> DigestReport {
+        report_at(replica, payload, 0)
     }
 
     fn key() -> DigestKey {
@@ -401,6 +532,104 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn clean_replicas_only_contains_replicas_that_reported() {
+        // Regression: the parallel executor ingests under globally
+        // unique uids (renumbered across escalation rounds, e.g. 3..6 in
+        // round two); the old implementation enumerated
+        // 0..expected_replicas and reported never-seen ids as "clean".
+        let mut v = Verifier::new(1, 3);
+        for uid in [3usize, 4, 5] {
+            v.ingest(&StreamedReport {
+                uid,
+                seq: 0,
+                report: report(0, if uid == 5 { b"bad" } else { b"good" }),
+            });
+        }
+        assert_eq!(v.seen_replicas(), BTreeSet::from([3, 4, 5]));
+        assert_eq!(v.deviant_replicas(), BTreeSet::from([5]));
+        assert_eq!(
+            v.clean_replicas(),
+            BTreeSet::from([3, 4]),
+            "clean is seen-minus-deviant, not a 0..n enumeration"
+        );
+        assert!(v.clean_replicas().is_disjoint(&v.deviant_replicas()));
+    }
+
+    #[test]
+    fn clean_replicas_empty_before_any_report() {
+        let v = Verifier::new(1, 4);
+        assert!(
+            v.clean_replicas().is_empty(),
+            "no report, no cleanliness claim"
+        );
+    }
+
+    #[test]
+    fn quorum_time_is_the_f_plus_first_matching_report() {
+        let mut v = Verifier::new(1, 3);
+        v.record(&report_at(0, b"good", 50));
+        v.record(&report_at(1, b"bad", 10)); // deviant arrives first
+        v.record(&report_at(2, b"good", 30));
+        let k = key();
+        // Matching replicas report at 30us and 50us; the quorum needs
+        // f + 1 = 2 of them, so it completes at 50us. Lag is measured
+        // from the key's very first report (the deviant at 10us).
+        assert_eq!(v.quorum_time(&k), Some(SimTime::from_micros(50)));
+        assert_eq!(v.first_report_time(&k), Some(SimTime::from_micros(10)));
+        assert_eq!(v.verification_lag(&k), Some(SimDuration::from_micros(40)));
+    }
+
+    #[test]
+    fn quorum_time_none_while_unverified() {
+        let mut v = Verifier::new(1, 3);
+        v.record(&report_at(0, b"x", 5));
+        assert_eq!(v.quorum_time(&key()), None);
+        assert_eq!(v.verification_lag(&key()), None);
+    }
+
+    #[test]
+    fn quorum_events_are_deterministic_across_ingest_orders() {
+        use cbft_trace::{canonicalize, TraceSummary, Tracer};
+
+        let sr = |uid: usize, payload: &[u8], at_us: u64| StreamedReport {
+            uid,
+            seq: 0,
+            report: report_at(0, payload, at_us),
+        };
+        let reports = [sr(0, b"good", 50), sr(1, b"bad", 10), sr(2, b"good", 30)];
+
+        let mut canon = Vec::new();
+        for order in [[0usize, 1, 2], [2, 1, 0], [1, 2, 0]] {
+            let mut v = Verifier::new(1, 3);
+            let (tracer, sink) = Tracer::memory();
+            for i in order {
+                v.ingest_traced(&reports[i], &tracer);
+            }
+            v.emit_quorum_events(&tracer);
+            canon.push(canonicalize(&sink.take()));
+        }
+        assert_eq!(canon[0], canon[1]);
+        assert_eq!(canon[1], canon[2]);
+        // Live ingest instants are non-canonical; only the quorum
+        // instant survives into the canonical trace.
+        assert_eq!(canon[0].len(), 1);
+        assert_eq!(canon[0][0].name, "quorum");
+        assert_eq!(canon[0][0].sim_us, 50);
+
+        // And the summary extracts the per-key lag from it.
+        let mut v = Verifier::new(1, 3);
+        let (tracer, sink) = Tracer::memory();
+        for r in &reports {
+            v.ingest_traced(r, &tracer);
+        }
+        v.emit_quorum_events(&tracer);
+        let summary = TraceSummary::from_events(&sink.take());
+        assert_eq!(summary.key_lags.len(), 1);
+        assert_eq!(summary.key_lags[0].lag_us, 40);
+        assert_eq!(summary.key_lags[0].quorum_sim_us, 50);
     }
 
     #[test]

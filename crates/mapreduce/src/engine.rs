@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use cbft_dataflow::Record;
 use cbft_sim::{CostModel, EventQueue, SeedSpawner, SimDuration, SimTime};
+use cbft_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 
 use crate::fault::{Behavior, NodeId, TaskFate, WorkerNode};
@@ -217,6 +218,8 @@ pub struct ClusterBuilder {
     behaviors: Vec<(usize, Behavior)>,
     use_overlap_scheduler: bool,
     task_timeout: Option<SimDuration>,
+    tracer: Tracer,
+    trace_pid: u32,
 }
 
 impl ClusterBuilder {
@@ -267,6 +270,16 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a trace sink; `trace_pid` labels this cluster's events
+    /// (the parallel executor passes the replica's globally unique uid,
+    /// so traces from different replicas land on different tracks). The
+    /// default is a disabled tracer — zero cost on every hot path.
+    pub fn tracer(mut self, tracer: Tracer, trace_pid: u32) -> Self {
+        self.tracer = tracer;
+        self.trace_pid = trace_pid;
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -311,6 +324,8 @@ impl ClusterBuilder {
             placement_salt: seeds.seed("placement", 0) as usize,
             rotation_nonce: 0,
             task_timeout: self.task_timeout,
+            tracer: self.tracer,
+            trace_pid: self.trace_pid,
         }
     }
 }
@@ -341,6 +356,20 @@ pub struct Cluster {
     rotation_nonce: usize,
     /// Speculative-execution deadline, if enabled.
     task_timeout: Option<SimDuration>,
+    /// Trace sink (disabled by default: a plain `Option` check per site).
+    tracer: Tracer,
+    /// Track id for this cluster's trace events (replica uid under the
+    /// parallel executor; 0 in standalone use).
+    trace_pid: u32,
+}
+
+/// Span name for a task of the given kind (static so disabled tracing
+/// never formats).
+fn task_span_name(kind: TaskKind) -> &'static str {
+    match kind {
+        TaskKind::Map => "map_task",
+        TaskKind::Reduce => "reduce_task",
+    }
 }
 
 impl Cluster {
@@ -354,7 +383,16 @@ impl Cluster {
             behaviors: Vec::new(),
             use_overlap_scheduler: true,
             task_timeout: None,
+            tracer: Tracer::disabled(),
+            trace_pid: 0,
         }
+    }
+
+    /// Attaches (or replaces) the trace sink after construction; see
+    /// [`ClusterBuilder::tracer`].
+    pub fn set_tracer(&mut self, tracer: Tracer, trace_pid: u32) {
+        self.tracer = tracer;
+        self.trace_pid = trace_pid;
     }
 
     /// The current virtual time.
@@ -470,6 +508,17 @@ impl Cluster {
             nodes_used: BTreeSet::new(),
             spec,
         };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("job_submitted", "engine")
+                    .on(self.trace_pid, 0)
+                    .at_sim(self.now().as_micros())
+                    .seq(handle.raw())
+                    .arg("sid", job.spec.sid.as_str())
+                    .arg("replica", job.spec.replica)
+                    .arg("maps", n_maps),
+            );
+        }
         self.jobs.insert(handle, job);
         // Nodes pick the job up on their next heartbeat; half an interval
         // models the expected heartbeat wait.
@@ -584,6 +633,14 @@ impl Cluster {
 
     fn on_heartbeat(&mut self, node: NodeId) {
         self.nodes[node.0].heartbeat_pending = false;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("heartbeat", "engine")
+                    .on(self.trace_pid, node.0 as u32)
+                    .at_sim(self.now().as_micros())
+                    .arg("free_slots", self.nodes[node.0].free_slots),
+            );
+        }
         if self.nodes[node.0].excluded || self.nodes[node.0].free_slots == 0 {
             return;
         }
@@ -710,6 +767,27 @@ impl Cluster {
             let n = &mut self.nodes[node.0];
             n.worker.behavior().draw(&mut n.rng)
         };
+        if self.tracer.enabled() {
+            let ev = if fate == TaskFate::Omitted {
+                TraceEvent::instant("task_omitted", "engine")
+            } else {
+                TraceEvent::begin(task_span_name(choice.kind), "engine").arg(
+                    "fate",
+                    if fate == TaskFate::Corrupt {
+                        "corrupt"
+                    } else {
+                        "faithful"
+                    },
+                )
+            };
+            self.tracer.emit(
+                ev.on(self.trace_pid, node.0 as u32)
+                    .at_sim(self.queue.now().as_micros())
+                    .seq(choice.task_index as u64)
+                    .arg("sid", choice.sid.as_str())
+                    .arg("replica", choice.replica),
+            );
+        }
         if fate == TaskFate::Omitted {
             // The slot is wedged: the task never reports back. The paper
             // handles this at the verifier via timeout and re-execution;
@@ -829,6 +907,14 @@ impl Cluster {
             return;
         };
         self.nodes[node.0].free_slots += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::end(task_span_name(kind), "engine")
+                    .on(self.trace_pid, node.0 as u32)
+                    .at_sim(now.as_micros())
+                    .seq(index as u64),
+            );
+        }
 
         let spec_sid = job.spec.sid.clone();
         let spec_replica = job.spec.replica;
@@ -890,6 +976,20 @@ impl Cluster {
                 job.reduce_outputs[index] = Some(out.records);
             }
         }
+        if self.tracer.enabled() {
+            for ev in &digest_events {
+                if let EngineEvent::Digest(d) = ev {
+                    self.tracer.emit(
+                        TraceEvent::instant("digest", "engine")
+                            .on(self.trace_pid, node.0 as u32)
+                            .at_sim(now.as_micros())
+                            .seq(index as u64)
+                            .arg("vertex", d.vertex.0 as u64)
+                            .arg("chunks", d.summary.chunks().len()),
+                    );
+                }
+            }
+        }
         self.outbox.extend(digest_events);
 
         // Phase transitions.
@@ -924,6 +1024,15 @@ impl Cluster {
                 job.reduce_states = (0..n_partitions).map(|_| TaskSt::Pending).collect();
                 job.reduce_outputs = (0..n_partitions).map(|_| None).collect();
                 job.in_reduce_phase = true;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        TraceEvent::instant("shuffle_start", "engine")
+                            .on(self.trace_pid, 0)
+                            .at_sim(now.as_micros())
+                            .seq(handle.raw())
+                            .arg("reduces", n_partitions),
+                    );
+                }
             }
         } else if kind == TaskKind::Reduce && job.reduces_done() {
             let records: Vec<Record> = job
@@ -953,6 +1062,16 @@ impl Cluster {
                 reason: e.to_string(),
             },
         };
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("job_completed", "engine")
+                    .on(self.trace_pid, 0)
+                    .at_sim(self.now().as_micros())
+                    .seq(handle.raw())
+                    .arg("sid", job.spec.sid.as_str())
+                    .arg("success", if outcome.is_success() { 1u64 } else { 0 }),
+            );
+        }
         self.release_sid_if_unused(&job.spec.sid);
         self.outbox
             .push_back(EngineEvent::JobCompleted { handle, outcome });

@@ -46,20 +46,30 @@ pub enum Behavior {
     Crashed,
 }
 
+/// `clamp` propagates NaN, and `rng.gen_bool(NaN)` panics mid-simulation;
+/// treat a NaN probability as "never" instead.
+fn sanitize_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        0.0
+    } else {
+        p.clamp(0.0, 1.0)
+    }
+}
+
 impl Behavior {
     /// What this node does with its next task, drawn with `rng`.
     pub fn draw(&self, rng: &mut StdRng) -> TaskFate {
         match self {
             Behavior::Honest => TaskFate::Faithful,
             Behavior::Commission { probability } => {
-                if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                if rng.gen_bool(sanitize_probability(*probability)) {
                     TaskFate::Corrupt
                 } else {
                     TaskFate::Faithful
                 }
             }
             Behavior::Omission { probability } => {
-                if rng.gen_bool(probability.clamp(0.0, 1.0)) {
+                if rng.gen_bool(sanitize_probability(*probability)) {
                     TaskFate::Omitted
                 } else {
                     TaskFate::Faithful
@@ -201,6 +211,29 @@ mod tests {
             Behavior::Omission { probability: -1.0 }.draw(&mut rng),
             TaskFate::Faithful
         );
+    }
+
+    #[test]
+    fn nan_probability_never_fires() {
+        // Regression: NaN survives `clamp` (it propagates), and
+        // `gen_bool(NaN)` panics; a NaN probability must read as 0.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(
+                Behavior::Commission {
+                    probability: f64::NAN
+                }
+                .draw(&mut rng),
+                TaskFate::Faithful
+            );
+            assert_eq!(
+                Behavior::Omission {
+                    probability: f64::NAN
+                }
+                .draw(&mut rng),
+                TaskFate::Faithful
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Trace sinks and the [`Tracer`] handle.
+//!
+//! A [`Tracer`] is cheap to clone and cheap to carry around disabled: it
+//! wraps `Option<Arc<dyn TraceSink>>`, so the disabled fast path is a
+//! single `Option` discriminant check with no allocation, formatting, or
+//! locking. Instrumented call sites guard event construction with
+//! [`Tracer::enabled`] so argument rendering never runs when tracing is
+//! off.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::TraceEvent;
+
+/// A destination for trace events. Implementations must tolerate
+/// concurrent `record` calls from the parallel executor's worker
+/// threads.
+pub trait TraceSink: Send + Sync {
+    /// Records one event. The sink stamps `wall_ns` itself so callers
+    /// never touch the host clock.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A buffering in-memory sink. Events are appended under a mutex and
+/// stamped with nanoseconds elapsed since the sink was created.
+pub struct MemorySink {
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink; its wall-clock epoch is "now".
+    pub fn new() -> Self {
+        MemorySink {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Drains and returns all recorded events in record order.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink poisoned"))
+    }
+
+    /// Returns a copy of all recorded events in record order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink poisoned").clone()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, mut event: TraceEvent) {
+        event.wall_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.lock().expect("trace sink poisoned").push(event);
+    }
+}
+
+/// The handle instrumented code holds. Cloning shares the sink.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl Tracer {
+    /// A tracer with no sink: every [`Tracer::emit`] is a no-op and
+    /// [`Tracer::enabled`] is `false`.
+    pub fn disabled() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// A tracer recording into `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// Convenience: a tracer backed by a fresh [`MemorySink`], returning
+    /// both. The sink handle is used later to drain / export events.
+    pub fn memory() -> (Self, Arc<MemorySink>) {
+        let sink = Arc::new(MemorySink::new());
+        (Tracer::new(sink.clone()), sink)
+    }
+
+    /// Whether a sink is attached. Instrumented sites must check this
+    /// before building events so the disabled path stays allocation-free.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records `event` if a sink is attached.
+    #[inline]
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(event);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit(TraceEvent::instant("x", "c"));
+    }
+
+    #[test]
+    fn memory_sink_stamps_wall_clock() {
+        let (t, sink) = Tracer::memory();
+        assert!(t.enabled());
+        t.emit(TraceEvent::instant("a", "c").at_sim(5));
+        t.emit(TraceEvent::instant("b", "c").at_sim(6));
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].wall_ns >= events[0].wall_ns);
+        assert!(sink.is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    fn cloned_tracers_share_the_sink() {
+        let (t, sink) = Tracer::memory();
+        let t2 = t.clone();
+        t.emit(TraceEvent::instant("a", "c"));
+        t2.emit(TraceEvent::instant("b", "c"));
+        assert_eq!(sink.len(), 2);
+    }
+}

@@ -1,0 +1,232 @@
+//! Trace summarisation: per-phase span totals, instant counts,
+//! per-key verification lag, and externally-supplied counters (the
+//! `data_plane` atomics live above this crate in the dependency graph,
+//! so their snapshot deltas are passed in rather than read here).
+
+use std::collections::BTreeMap;
+
+use crate::event::{ArgValue, Phase, TraceEvent};
+
+/// Name used by verifier instrumentation for deterministic quorum
+/// events; [`TraceSummary::from_events`] extracts [`KeyLag`] rows from
+/// events with this name.
+pub const QUORUM_EVENT: &str = "quorum";
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed Begin/End pairs.
+    pub count: u64,
+    /// Total virtual time across completed pairs, microseconds.
+    pub sim_us_total: u64,
+    /// Total wall time across completed pairs, nanoseconds.
+    pub wall_ns_total: u64,
+}
+
+/// Verification lag for one correspondence key: virtual time between the
+/// first digest report for the key and the report that completed its
+/// f+1 matching quorum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyLag {
+    /// Rendered correspondence key.
+    pub key: String,
+    /// Virtual time at which the quorum completed, microseconds.
+    pub quorum_sim_us: u64,
+    /// `quorum_sim_us - first_report_sim_us`, microseconds.
+    pub lag_us: u64,
+}
+
+/// An aggregated view over a recorded trace.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Span totals keyed by event name.
+    pub spans: BTreeMap<&'static str, SpanStats>,
+    /// Instant counts keyed by event name.
+    pub instants: BTreeMap<&'static str, u64>,
+    /// Per-key verification lag rows, in key order.
+    pub key_lags: Vec<KeyLag>,
+    /// External counters (label, value) — e.g. `data_plane` snapshot
+    /// deltas — attached via [`TraceSummary::with_counter`].
+    pub counters: Vec<(String, u64)>,
+}
+
+impl TraceSummary {
+    /// Builds a summary from recorded events. Span Begin/End events are
+    /// paired per `(pid, tid, name)` in record order; unbalanced
+    /// boundaries are ignored rather than panicking.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut spans: BTreeMap<&'static str, SpanStats> = BTreeMap::new();
+        let mut instants: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut key_lags = Vec::new();
+        // Open Begin timestamps, stacked per (pid, tid, name) track.
+        type OpenSpans = BTreeMap<(u32, u32, &'static str), Vec<(u64, u64)>>;
+        let mut open: OpenSpans = BTreeMap::new();
+
+        for e in events {
+            match e.phase {
+                Phase::Begin => {
+                    open.entry((e.pid, e.tid, e.name))
+                        .or_default()
+                        .push((e.sim_us, e.wall_ns));
+                }
+                Phase::End => {
+                    if let Some(stack) = open.get_mut(&(e.pid, e.tid, e.name)) {
+                        if let Some((begin_sim, begin_wall)) = stack.pop() {
+                            let s = spans.entry(e.name).or_default();
+                            s.count += 1;
+                            s.sim_us_total += e.sim_us.saturating_sub(begin_sim);
+                            s.wall_ns_total += e.wall_ns.saturating_sub(begin_wall);
+                        }
+                    }
+                }
+                Phase::Instant => {
+                    *instants.entry(e.name).or_default() += 1;
+                    if e.name == QUORUM_EVENT {
+                        if let Some(lag) = key_lag_from(e) {
+                            key_lags.push(lag);
+                        }
+                    }
+                }
+                Phase::Counter => {}
+            }
+        }
+        key_lags.sort_by(|a, b| a.key.cmp(&b.key));
+
+        TraceSummary {
+            spans,
+            instants,
+            key_lags,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Attaches an external counter row.
+    pub fn with_counter(mut self, label: impl Into<String>, value: u64) -> Self {
+        self.counters.push((label.into(), value));
+        self
+    }
+
+    /// Maximum per-key verification lag, microseconds.
+    pub fn max_lag_us(&self) -> u64 {
+        self.key_lags.iter().map(|l| l.lag_us).max().unwrap_or(0)
+    }
+
+    /// Mean per-key verification lag, microseconds (0 when no keys).
+    pub fn mean_lag_us(&self) -> f64 {
+        if self.key_lags.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.key_lags.iter().map(|l| l.lag_us).sum();
+        total as f64 / self.key_lags.len() as f64
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("trace summary\n");
+        if !self.spans.is_empty() {
+            out.push_str("  spans (name: count, sim total, wall total):\n");
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "    {name}: {} x, {} us sim, {:.3} ms wall\n",
+                    s.count,
+                    s.sim_us_total,
+                    s.wall_ns_total as f64 / 1e6
+                ));
+            }
+        }
+        if !self.instants.is_empty() {
+            out.push_str("  instants:\n");
+            for (name, n) in &self.instants {
+                out.push_str(&format!("    {name}: {n}\n"));
+            }
+        }
+        if !self.key_lags.is_empty() {
+            out.push_str("  verification lag per key (quorum at / lag):\n");
+            for l in &self.key_lags {
+                out.push_str(&format!(
+                    "    {}: {} us / {} us\n",
+                    l.key, l.quorum_sim_us, l.lag_us
+                ));
+            }
+            out.push_str(&format!(
+                "  lag: mean {:.1} us, max {} us over {} keys\n",
+                self.mean_lag_us(),
+                self.max_lag_us(),
+                self.key_lags.len()
+            ));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for (label, value) in &self.counters {
+                out.push_str(&format!("    {label}: {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn key_lag_from(e: &TraceEvent) -> Option<KeyLag> {
+    let mut key = None;
+    let mut lag_us = None;
+    for (k, v) in &e.args {
+        match (*k, v) {
+            ("key", ArgValue::Str(s)) => key = Some(s.clone()),
+            ("lag_us", ArgValue::Uint(u)) => lag_us = Some(*u),
+            _ => {}
+        }
+    }
+    Some(KeyLag {
+        key: key?,
+        quorum_sim_us: e.sim_us,
+        lag_us: lag_us?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    #[test]
+    fn pairs_spans_and_counts_instants() {
+        let events = vec![
+            TraceEvent::begin("task", "engine").on(1, 0).at_sim(10),
+            TraceEvent::instant("digest", "engine").on(1, 0).at_sim(15),
+            TraceEvent::end("task", "engine").on(1, 0).at_sim(30),
+            // unbalanced End on another track is ignored
+            TraceEvent::end("task", "engine").on(2, 0).at_sim(40),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.spans["task"].count, 1);
+        assert_eq!(s.spans["task"].sim_us_total, 20);
+        assert_eq!(s.instants["digest"], 1);
+    }
+
+    #[test]
+    fn extracts_key_lags_from_quorum_events() {
+        let events = vec![
+            TraceEvent::instant(QUORUM_EVENT, "verifier")
+                .at_sim(100)
+                .arg("key", "v2/s0")
+                .arg("lag_us", 40u64),
+            TraceEvent::instant(QUORUM_EVENT, "verifier")
+                .at_sim(80)
+                .arg("key", "v1/s0")
+                .arg("lag_us", 10u64),
+        ];
+        let s = TraceSummary::from_events(&events);
+        assert_eq!(s.key_lags.len(), 2);
+        assert_eq!(s.key_lags[0].key, "v1/s0", "sorted by key");
+        assert_eq!(s.max_lag_us(), 40);
+        assert!((s.mean_lag_us() - 25.0).abs() < 1e-9);
+        let text = s.render();
+        assert!(text.contains("v2/s0: 100 us / 40 us"));
+    }
+
+    #[test]
+    fn counters_attach_and_render() {
+        let s = TraceSummary::from_events(&[]).with_counter("digest_bytes_hashed", 1234);
+        assert!(s.render().contains("digest_bytes_hashed: 1234"));
+    }
+}

@@ -7,12 +7,15 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::core::{
     Adversary, Behavior, Cluster, ClusterBft, ExecutorConfig, JobConfig, ParallelExecutor, Record,
     Replication, Value, VpPolicy,
 };
 use crate::dataflow::Script;
+use crate::mapreduce::data_plane::{self, DataPlaneSnapshot};
+use crate::trace::{chrome_trace_json, MemorySink, TraceSummary, Tracer};
 
 /// Parsed command-line options for one `cbft` invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,6 +54,11 @@ pub struct CliOptions {
     pub emit_dot: bool,
     /// Rows of each output to print.
     pub show_rows: usize,
+    /// Write a Chrome-trace-format (Perfetto-loadable) JSON trace here.
+    pub trace: Option<String>,
+    /// Print an aggregated trace summary (per-phase time, verification
+    /// lag per key, data-plane counters) after the run report.
+    pub trace_summary: bool,
 }
 
 impl Default for CliOptions {
@@ -72,6 +80,8 @@ impl Default for CliOptions {
             threads: None,
             emit_dot: false,
             show_rows: 10,
+            trace: None,
+            trace_summary: false,
         }
     }
 }
@@ -114,6 +124,10 @@ OPTIONS:
                          instead of node N                [default: sequential]
     --dot                print the plan in Graphviz dot and exit
     --show N             rows of each output to print   [default: 10]
+    --trace FILE         record a Chrome-trace-format JSON trace of the run
+                         (load it in Perfetto or chrome://tracing)
+    --trace-summary      print per-phase timings, per-key verification lag
+                         and data-plane counters after the report
 
 Input files are one record per line, comma-separated; fields parse as
 integers when possible, the literal `null` as null, anything else as text.";
@@ -176,6 +190,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             "--threads" => {
                 opts.threads = Some(parse_num(&need(&mut it, "--threads")?, "--threads")?)
             }
+            "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
+            "--trace-summary" => opts.trace_summary = true,
             "--combiners" => opts.combiners = true,
             "--optimize" => opts.optimize = true,
             "--dot" => opts.emit_dot = true,
@@ -285,6 +301,9 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
         return run_parallel(opts, &source, inputs);
     }
 
+    let (tracer, sink) = make_tracer(opts);
+    let dp_before = data_plane::snapshot();
+
     let mut builder = Cluster::builder()
         .nodes(opts.nodes)
         .slots_per_node(opts.slots)
@@ -302,6 +321,7 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
         .optimize_plans(opts.optimize)
         .build();
     let mut cbft = ClusterBft::new(builder.build(), config);
+    cbft.set_tracer(tracer);
     for (name, records) in inputs {
         cbft.load_input(&name, records)?;
     }
@@ -334,7 +354,46 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
             let _ = writeln!(out, "\nsuspect sets: {:?}", analyzer.suspects());
         }
     }
+    finish_trace(&mut out, opts, sink, dp_before)?;
     Ok(out)
+}
+
+/// Builds the tracer for one run: a buffering in-memory sink when either
+/// trace flag is set, the zero-cost disabled tracer otherwise.
+fn make_tracer(opts: &CliOptions) -> (Tracer, Option<Arc<MemorySink>>) {
+    if opts.trace.is_some() || opts.trace_summary {
+        let (tracer, sink) = Tracer::memory();
+        (tracer, Some(sink))
+    } else {
+        (Tracer::disabled(), None)
+    }
+}
+
+/// Drains the sink: writes the Chrome-trace JSON file (`--trace`) and
+/// appends the aggregated summary (`--trace-summary`) to the report.
+fn finish_trace(
+    out: &mut String,
+    opts: &CliOptions,
+    sink: Option<Arc<MemorySink>>,
+    dp_before: DataPlaneSnapshot,
+) -> Result<(), Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    let Some(sink) = sink else { return Ok(()) };
+    let events = sink.take();
+    if let Some(path) = &opts.trace {
+        std::fs::write(path, chrome_trace_json(&events))?;
+    }
+    if opts.trace_summary {
+        let delta = data_plane::snapshot().since(&dp_before);
+        let summary = TraceSummary::from_events(&events)
+            .with_counter("records_cloned", delta.records_cloned)
+            .with_counter("arcs_shared", delta.arcs_shared)
+            .with_counter("bytes_encoded", delta.bytes_encoded)
+            .with_counter("digest_bytes_hashed", delta.digest_bytes_hashed);
+        let _ = writeln!(out, "\n{}", summary.render());
+    }
+    Ok(())
 }
 
 /// The `--threads` path: replicas run on worker threads in isolated
@@ -346,6 +405,9 @@ fn run_parallel(
     inputs: HashMap<String, Vec<Record>>,
 ) -> Result<String, Box<dyn Error>> {
     use std::fmt::Write as _;
+
+    let (tracer, sink) = make_tracer(opts);
+    let dp_before = data_plane::snapshot();
 
     let f = opts.f;
     let mut exec = ParallelExecutor::new(ExecutorConfig {
@@ -362,6 +424,7 @@ fn run_parallel(
         master_seed: opts.seed,
         ..ExecutorConfig::default()
     });
+    exec.set_tracer(tracer);
     for (name, records) in inputs {
         exec.load_input(&name, records)?;
     }
@@ -403,6 +466,7 @@ fn run_parallel(
             let _ = writeln!(out, "... ({} more)", records.len() - opts.show_rows);
         }
     }
+    finish_trace(&mut out, opts, sink, dp_before)?;
     Ok(out)
 }
 
@@ -587,6 +651,61 @@ mod tests {
             report.contains("0,10"),
             "each user has 10 followers: {report}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_flags_parse() {
+        assert_eq!(parse(&["s.pig"]).unwrap().trace, None);
+        assert!(!parse(&["s.pig"]).unwrap().trace_summary);
+        let opts = parse(&["s.pig", "--trace", "out.json", "--trace-summary"]).unwrap();
+        assert_eq!(opts.trace.as_deref(), Some("out.json"));
+        assert!(opts.trace_summary);
+        assert!(parse(&["s.pig", "--trace"]).is_err());
+    }
+
+    #[test]
+    fn trace_run_writes_chrome_json_and_summary() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+        let trace_file = dir.join("trace.json");
+
+        for threads in [None, Some("2")] {
+            let mut args = vec![
+                script.to_str().unwrap().to_owned(),
+                "--input".to_owned(),
+                format!("edges={}", data.to_str().unwrap()),
+                "--trace".to_owned(),
+                trace_file.to_str().unwrap().to_owned(),
+                "--trace-summary".to_owned(),
+            ];
+            if let Some(t) = threads {
+                args.push("--threads".to_owned());
+                args.push(t.to_owned());
+            }
+            let opts = parse_args(args).unwrap();
+            let report = run(&opts).unwrap();
+            assert!(report.contains("VERIFIED"), "{report}");
+            assert!(report.contains("verification lag"), "{report}");
+            assert!(report.contains("digest_bytes_hashed"), "{report}");
+
+            let json = std::fs::read_to_string(&trace_file).unwrap();
+            assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+            assert!(json.contains("\"ph\":\"B\""), "spans recorded: {json}");
+            assert!(json.contains("\"name\":\"quorum\""), "{json}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -8,6 +8,8 @@
 //! - [`dataflow`] — Pig-Latin-like scripts, logical plans, the marker
 //!   function ([`cbft_dataflow`]).
 //! - [`sim`] — discrete-event simulation core ([`cbft_sim`]).
+//! - [`trace`] — structured span/event tracing and the Chrome-trace
+//!   exporter ([`cbft_trace`]).
 //! - [`mapreduce`] — the Hadoop-style execution substrate
 //!   ([`cbft_mapreduce`]).
 //! - [`bft`] — PBFT-style state machine replication ([`cbft_bft`]).
@@ -27,5 +29,6 @@ pub use cbft_digest as digest;
 pub use cbft_faultsim as faultsim;
 pub use cbft_mapreduce as mapreduce;
 pub use cbft_sim as sim;
+pub use cbft_trace as trace;
 pub use cbft_workloads as workloads;
 pub use clusterbft as core;

@@ -6,6 +6,7 @@
 
 use clusterbft_repro::core::{Behavior, ExecutorConfig, ParallelExecutor, ParallelOutcome};
 use clusterbft_repro::dataflow::{Record, Value};
+use clusterbft_repro::trace::{canonicalize, TraceEvent, Tracer, QUORUM_EVENT};
 
 const SCRIPT: &str = "
     users = LOAD 'users' AS (uid, region);
@@ -50,6 +51,89 @@ fn run(replicas: usize, threads: usize, fault: Option<(usize, Behavior)>) -> Par
         exec.inject_fault(uid, behavior);
     }
     exec.run_script(SCRIPT).unwrap()
+}
+
+/// Like [`run`], but with a memory trace sink attached; returns the raw
+/// trace events alongside the outcome.
+fn run_traced(
+    replicas: usize,
+    threads: usize,
+    fault: Option<(usize, Behavior)>,
+) -> (ParallelOutcome, Vec<TraceEvent>) {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads,
+        expected_failures: 1,
+        escalation: vec![replicas, 3, 4],
+        master_seed: 2013,
+        ..ExecutorConfig::default()
+    });
+    let (tracer, sink) = Tracer::memory();
+    exec.set_tracer(tracer);
+    exec.load_input("users", users(40)).unwrap();
+    exec.load_input("clicks", clicks(600)).unwrap();
+    if let Some((uid, behavior)) = fault {
+        exec.inject_fault(uid, behavior);
+    }
+    let outcome = exec.run_script(SCRIPT).unwrap();
+    (outcome, sink.take())
+}
+
+#[test]
+fn canonical_traces_identical_across_thread_counts() {
+    let (outcome, events) = run_traced(3, 1, None);
+    assert!(outcome.verified());
+    let baseline = canonicalize(&events);
+    assert!(!baseline.is_empty(), "the traced run recorded events");
+    assert!(
+        baseline.iter().any(|e| e.name == QUORUM_EVENT),
+        "per-key quorum events are part of the canonical trace"
+    );
+    assert!(
+        baseline.iter().any(|e| e.name == "replica"),
+        "replica lifecycle spans are part of the canonical trace"
+    );
+    for threads in [2, 8] {
+        let (_, wide) = run_traced(3, threads, None);
+        assert_eq!(
+            baseline,
+            canonicalize(&wide),
+            "threads={threads}: canonical trace diverged from sequential"
+        );
+    }
+}
+
+#[test]
+fn canonical_traces_identical_under_faults_too() {
+    // A deviant replica triggers an escalation round; the extra rounds,
+    // spans and quorum events must still be interleaving-independent.
+    let fault = Some((1, Behavior::Commission { probability: 1.0 }));
+    let (outcome, events) = run_traced(2, 1, fault);
+    assert!(outcome.verified(), "escalation recovers the quorum");
+    let baseline = canonicalize(&events);
+    assert!(baseline.iter().any(|e| e.name == "round_start"));
+    for threads in [2, 8] {
+        let (_, wide) = run_traced(2, threads, fault);
+        assert_eq!(baseline, canonicalize(&wide), "threads={threads}");
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_outcome() {
+    // The instrumented run and the untraced run agree bit-for-bit: the
+    // trace layer observes the execution, it never steers it.
+    let fault = Some((1, Behavior::Commission { probability: 1.0 }));
+    let (traced, _) = run_traced(2, 4, fault);
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 4,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 2013,
+        ..ExecutorConfig::default()
+    });
+    exec.load_input("users", users(40)).unwrap();
+    exec.load_input("clicks", clicks(600)).unwrap();
+    exec.inject_fault(1, Behavior::Commission { probability: 1.0 });
+    assert_eq!(traced, exec.run_script(SCRIPT).unwrap());
 }
 
 #[test]

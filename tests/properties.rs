@@ -321,6 +321,30 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&s), "s = {s}");
         }
     }
+
+    /// A recorded fault is never invisible: every node with at least one
+    /// `record_faults` has a strictly positive suspicion level, whatever
+    /// the interleaving with `record_jobs`. (Regression for the
+    /// faults=1/jobs=0 state that `level()` rendered as 0.)
+    #[test]
+    fn suspicion_nonzero_after_any_fault(
+        ops in proptest::collection::vec((any::<bool>(), 0usize..6), 1..60),
+    ) {
+        let mut t = SuspicionTable::new();
+        let mut faulted: BTreeSet<usize> = BTreeSet::new();
+        for (is_fault, node) in ops {
+            if is_fault {
+                t.record_faults([NodeId(node)]);
+                faulted.insert(node);
+            } else {
+                t.record_jobs([NodeId(node)]);
+            }
+        }
+        for &n in &faulted {
+            let s = t.level(NodeId(n));
+            prop_assert!(s > 0.0, "node {n} recorded a fault but s = {s}");
+        }
+    }
 }
 
 // --- marker function ------------------------------------------------------------
