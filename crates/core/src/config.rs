@@ -94,6 +94,11 @@ pub struct JobConfig {
     pub reduce_tasks: usize,
     /// Records per map split.
     pub map_split_records: usize,
+    /// Compute-pool threads for data-parallel task payloads inside the
+    /// engine (map/reduce UDF evaluation, digesting, shuffle gather).
+    /// `1` runs payloads inline; `0` sizes the pool to the host's cores.
+    /// Verdicts and canonical traces are bit-identical for any value.
+    pub compute_threads: usize,
     /// Verifier timeout per attempt; doubles on each re-execution
     /// (§6.2 case 2: "scheduled again with higher timeout value").
     pub verifier_timeout: SimDuration,
@@ -150,6 +155,7 @@ impl JobConfig {
             digest_granularity: usize::MAX,
             reduce_tasks: 4,
             map_split_records: 10_000,
+            compute_threads: cbft_mapreduce::default_compute_threads(),
             verifier_timeout: SimDuration::from_secs(600),
             max_attempts: 5,
             suspicion_threshold: 0.9,
@@ -227,6 +233,12 @@ impl JobConfigBuilder {
     /// Sets records per map split.
     pub fn map_split_records(mut self, n: usize) -> Self {
         self.config.map_split_records = n.max(1);
+        self
+    }
+
+    /// Sets the compute-pool thread count (`0` = host cores, `1` = inline).
+    pub fn compute_threads(mut self, n: usize) -> Self {
+        self.config.compute_threads = n;
         self
     }
 

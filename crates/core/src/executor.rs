@@ -41,8 +41,8 @@ use cbft_dataflow::analyze::Adversary;
 use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, Site};
 use cbft_dataflow::{LogicalPlan, Record, Script};
 use cbft_mapreduce::{
-    data_plane, Behavior, Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, RunHandle, Storage,
-    VpSite,
+    data_plane, default_compute_threads, Behavior, Cluster, ComputePool, EngineEvent, ExecInput,
+    ExecJob, JobOutcome, RunHandle, Storage, VpSite,
 };
 use cbft_sim::{CostModel, SeedSpawner};
 use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
@@ -64,6 +64,12 @@ pub struct ExecutorConfig {
     /// baseline (same code path, one worker); `0` means one thread per
     /// replica of the current round.
     pub threads: usize,
+    /// Compute-pool threads shared by every replica for data-parallel task
+    /// payloads (map/reduce UDF evaluation, digesting, shuffle gather).
+    /// `1` runs payloads inline; `0` sizes the pool to the host's cores.
+    /// Orthogonal to [`ExecutorConfig::threads`]: any value yields
+    /// bit-identical verdicts and canonical transcripts.
+    pub compute_threads: usize,
     /// Expected number of simultaneously faulty replicas, `f`.
     pub expected_failures: usize,
     /// Cumulative replica-count targets per escalation round. Empty means
@@ -96,6 +102,7 @@ impl Default for ExecutorConfig {
     fn default() -> Self {
         ExecutorConfig {
             threads: 1,
+            compute_threads: default_compute_threads(),
             expected_failures: 1,
             escalation: Vec::new(),
             vp_policy: VpPolicy::Marked(2),
@@ -354,6 +361,11 @@ impl ParallelExecutor {
             })
             .collect();
 
+        // One pool for the whole execution: replica worker threads share
+        // its compute workers instead of spawning r pools that fight for
+        // the same cores.
+        let pool = ComputePool::new(self.config.compute_threads);
+
         let f = self.config.expected_failures;
         let mut verifier = Verifier::new(f, 0);
         let mut transcript: Vec<StreamedReport> = Vec::new();
@@ -396,6 +408,7 @@ impl ParallelExecutor {
                     let plan = &plan;
                     let graph = &graph;
                     let vp_map = &vp_map;
+                    let pool = &pool;
                     handles.push(scope.spawn(move |_| {
                         // Work queue: replicas are claimed, not
                         // pre-assigned, so a slow replica never idles the
@@ -406,7 +419,14 @@ impl ParallelExecutor {
                             if i >= fresh {
                                 break;
                             }
-                            mine.push(self.run_replica(uid_base + i, plan, graph, vp_map, &tx));
+                            mine.push(self.run_replica(
+                                uid_base + i,
+                                plan,
+                                graph,
+                                vp_map,
+                                pool,
+                                &tx,
+                            ));
                         }
                         mine
                     }));
@@ -508,12 +528,14 @@ impl ParallelExecutor {
 
     /// Runs one replica start-to-finish in its own isolated cluster,
     /// streaming every digest through `tx` as the simulation produces it.
+    #[allow(clippy::too_many_arguments)]
     fn run_replica(
         &self,
         uid: usize,
         plan: &Arc<LogicalPlan>,
         graph: &JobGraph,
         vp_map: &HashMap<JobId, Vec<VpSite>>,
+        pool: &ComputePool,
         tx: &Sender<StreamedReport>,
     ) -> ReplicaRun {
         if self.tracer.enabled() {
@@ -529,6 +551,7 @@ impl ParallelExecutor {
             .slots_per_node(self.config.slots_per_node)
             .cost_model(self.config.cost)
             .seed(spawner.replica_seed(uid))
+            .compute_pool(pool.clone())
             .tracer(self.tracer.clone(), uid as u32);
         if let Some(&behavior) = self.faults.get(&uid) {
             for node in 0..self.config.nodes {

@@ -28,7 +28,8 @@ use cbft_dataflow::analyze::{analyze_plan, mark_seeded, Adversary};
 use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutput, MrJob, Site};
 use cbft_dataflow::{LogicalPlan, Script, VertexId};
 use cbft_mapreduce::{
-    Cluster, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle, TimerToken, VpSite,
+    Cluster, ComputePool, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle,
+    TimerToken, VpSite,
 };
 use cbft_sim::SimDuration;
 use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
@@ -83,7 +84,15 @@ struct CompletedJob {
 
 impl ClusterBft {
     /// Creates a ClusterBFT deployment over `cluster`.
-    pub fn new(cluster: Cluster, config: JobConfig) -> Self {
+    ///
+    /// When [`JobConfig::compute_threads`] disagrees with the pool the
+    /// cluster was built with, a fresh pool of the configured size is
+    /// installed; a cluster whose pool already matches (including one
+    /// deliberately shared with other engines) is left untouched.
+    pub fn new(mut cluster: Cluster, config: JobConfig) -> Self {
+        if cluster.compute_pool().threads() != config.compute_threads {
+            cluster.set_compute_pool(ComputePool::new(config.compute_threads));
+        }
         let analyzer = if config.expected_failures > 0 {
             Some(FaultAnalyzer::new(config.expected_failures))
         } else {

@@ -185,7 +185,9 @@ pub fn group_records(records: &[Record], key: usize) -> Vec<Record> {
         .into_iter()
         .map(|(k, bag)| {
             let mut bag: Vec<Record> = bag.into_iter().cloned().collect();
-            bag.sort();
+            // Whole-record sort: equal elements are byte-identical, so
+            // instability is unobservable.
+            bag.sort_unstable();
             Record::new(vec![k.clone(), Value::Bag(bag)])
         })
         .collect()
@@ -203,7 +205,7 @@ pub fn group_records_owned(records: Vec<Record>, key: usize) -> Vec<Record> {
     groups
         .into_iter()
         .map(|(k, mut bag)| {
-            bag.sort();
+            bag.sort_unstable();
             Record::new(vec![k, Value::Bag(bag)])
         })
         .collect()
@@ -239,7 +241,8 @@ pub fn join_records(
             }
         }
     }
-    out.sort();
+    // Whole concatenated record as the sort key: ties are byte-identical.
+    out.sort_unstable();
     out
 }
 
@@ -252,7 +255,9 @@ pub fn order_records(records: &[Record], key: usize, order: SortOrder) -> Vec<Re
 /// [`order_records`] for owned inputs: sorts in place, comparing keys by
 /// reference (no per-comparison clones).
 pub fn order_records_owned(mut records: Vec<Record>, key: usize, order: SortOrder) -> Vec<Record> {
-    records.sort_by(|a, b| {
+    // The full record is the tie-break, so the comparator only reports
+    // equality for byte-identical records — unstable is safe.
+    records.sort_unstable_by(|a, b| {
         let ka = a.get(key).unwrap_or(&Value::Null);
         let kb = b.get(key).unwrap_or(&Value::Null);
         let primary = match order {

@@ -23,6 +23,7 @@ use cbft_sim::{CostModel, EventQueue, SeedSpawner, SimDuration, SimTime};
 use cbft_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 
+use crate::compute::{default_compute_threads, ComputePool, Ticket};
 use crate::fault::{Behavior, NodeId, TaskFate, WorkerNode};
 use crate::metrics::JobMetrics;
 use crate::scheduler::{FifoScheduler, SchedContext, Scheduler, TaskChoice};
@@ -117,6 +118,13 @@ enum ComputedTask {
 #[derive(Debug)]
 enum TaskSt {
     Pending,
+    /// Payload handed to the compute pool; joined (and priced into a
+    /// `TaskDone` event) by [`Cluster::settle_dispatched`] before the
+    /// sim clock can advance past the dispatch instant.
+    Dispatched {
+        node: NodeId,
+        ticket: Ticket<ComputedTask>,
+    },
     Running {
         node: NodeId,
         result: Box<ComputedTask>,
@@ -155,9 +163,19 @@ impl MapSplit {
     }
 }
 
+/// A dispatched payload awaiting its join, in dispatch (FIFO) order —
+/// the order is part of the deterministic event schedule.
+#[derive(Clone, Copy, Debug)]
+struct PendingJoin {
+    handle: RunHandle,
+    kind: TaskKind,
+    index: usize,
+}
+
 #[derive(Debug)]
 struct RunningJob {
-    spec: ExecJob,
+    /// Shared with in-flight payload closures on the compute pool.
+    spec: Arc<ExecJob>,
     submitted_at: SimTime,
     /// Per map task: its window into the shared input file.
     map_task_inputs: Vec<MapSplit>,
@@ -220,6 +238,7 @@ pub struct ClusterBuilder {
     task_timeout: Option<SimDuration>,
     tracer: Tracer,
     trace_pid: u32,
+    compute_pool: Option<ComputePool>,
 }
 
 impl ClusterBuilder {
@@ -268,6 +287,26 @@ impl ClusterBuilder {
     pub fn task_timeout(mut self, timeout: SimDuration) -> Self {
         self.task_timeout = Some(timeout);
         self
+    }
+
+    /// Shares a compute pool with this cluster: task payloads (the
+    /// map/reduce UDFs plus digest hashing) execute on the pool's
+    /// workers while the engine keeps sole authority over scheduling,
+    /// fault draws and virtual time. Payloads are pure, so verdicts,
+    /// outputs and canonical traces are identical for every pool size.
+    /// The parallel executor passes one pool shared by all replicas;
+    /// the default is sized by [`default_compute_threads`] (inline
+    /// unless `CBFT_COMPUTE_THREADS` is set).
+    pub fn compute_pool(mut self, pool: ComputePool) -> Self {
+        self.compute_pool = Some(pool);
+        self
+    }
+
+    /// Convenience for [`ClusterBuilder::compute_pool`]: builds a
+    /// dedicated pool of `threads` workers (`0` = host cores, `1` =
+    /// inline).
+    pub fn compute_threads(self, threads: usize) -> Self {
+        self.compute_pool(ComputePool::new(threads))
     }
 
     /// Attaches a trace sink; `trace_pid` labels this cluster's events
@@ -326,6 +365,10 @@ impl ClusterBuilder {
             task_timeout: self.task_timeout,
             tracer: self.tracer,
             trace_pid: self.trace_pid,
+            pool: self
+                .compute_pool
+                .unwrap_or_else(|| ComputePool::new(default_compute_threads())),
+            pending_joins: VecDeque::new(),
         }
     }
 }
@@ -361,6 +404,10 @@ pub struct Cluster {
     /// Track id for this cluster's trace events (replica uid under the
     /// parallel executor; 0 in standalone use).
     trace_pid: u32,
+    /// Executes task payloads; possibly shared with other replicas.
+    pool: ComputePool,
+    /// Dispatched payloads not yet joined back into the simulation.
+    pending_joins: VecDeque<PendingJoin>,
 }
 
 /// Span name for a task of the given kind (static so disabled tracing
@@ -385,6 +432,7 @@ impl Cluster {
             task_timeout: None,
             tracer: Tracer::disabled(),
             trace_pid: 0,
+            compute_pool: None,
         }
     }
 
@@ -393,6 +441,20 @@ impl Cluster {
     pub fn set_tracer(&mut self, tracer: Tracer, trace_pid: u32) {
         self.tracer = tracer;
         self.trace_pid = trace_pid;
+    }
+
+    /// The compute pool executing task payloads; see
+    /// [`ClusterBuilder::compute_pool`].
+    pub fn compute_pool(&self) -> &ComputePool {
+        &self.pool
+    }
+
+    /// Replaces the compute pool after construction. Safe between events:
+    /// any payload still in flight keeps a handle to the old pool, and
+    /// joining a ticket makes progress inline even after its pool's
+    /// workers shut down.
+    pub fn set_compute_pool(&mut self, pool: ComputePool) {
+        self.pool = pool;
     }
 
     /// The current virtual time.
@@ -506,7 +568,7 @@ impl Cluster {
             in_reduce_phase: false,
             metrics: JobMetrics::new(),
             nodes_used: BTreeSet::new(),
-            spec,
+            spec: Arc::new(spec),
         };
         if self.tracer.enabled() {
             self.tracer.emit(
@@ -535,8 +597,14 @@ impl Cluster {
             return false;
         };
         for st in job.map_states.iter().chain(job.reduce_states.iter()) {
-            if let TaskSt::Running { node, .. } = st {
-                self.nodes[node.0].free_slots += 1;
+            match st {
+                // Dispatched payloads also occupy a slot; their tickets
+                // drop with the job (an orphaned pool result is simply
+                // discarded on completion).
+                TaskSt::Running { node, .. } | TaskSt::Dispatched { node, .. } => {
+                    self.nodes[node.0].free_slots += 1;
+                }
+                _ => {}
             }
             // Hung tasks' nodes are recorded in nodes_used but their slot
             // accounting is handled below via recount.
@@ -590,6 +658,15 @@ impl Cluster {
         loop {
             if let Some(ev) = self.outbox.pop_front() {
                 return Some(ev);
+            }
+            // Dispatched payloads must rejoin the simulation before the
+            // clock can advance past their dispatch instant (their
+            // completion events are scheduled relative to it). Settling
+            // only once no same-instant events remain maximizes the
+            // batch width handed to the pool: every heartbeat at this
+            // instant dispatches before the first join blocks.
+            if !self.pending_joins.is_empty() && self.queue.peek_time() != Some(self.queue.now()) {
+                self.settle_dispatched();
             }
             let ev = self.queue.pop()?;
             match ev.event {
@@ -812,47 +889,30 @@ impl Cluster {
             return;
         }
 
-        let (computed, duration) = match choice.kind {
+        // Hand the pure payload to the compute pool; the simulation
+        // rejoins it in `settle_dispatched` before the clock can move
+        // past this instant. Payloads are pure functions of
+        // `(spec, input, fate)`, so nothing about the pool (size, steal
+        // order, host timing) can reach the simulated history.
+        let spec = Arc::clone(&job.spec);
+        let task_pool = self.pool.worker_handle();
+        let ticket = match choice.kind {
             TaskKind::Map => {
-                let split = &job.map_task_inputs[choice.task_index];
-                let local = job.map_task_homes[choice.task_index] == node;
-                let out = run_map_task(&job.spec, split.input, split.records(), fate);
-                let w = out.work;
-                let write = if job.spec.is_map_only() {
-                    self.cost.hdfs(w.bytes_out)
-                } else {
-                    self.cost.disk(w.bytes_out)
-                };
-                // A data-local task streams its split from the local disk;
-                // a remote one pays the storage network path.
-                let read = if local {
-                    self.cost.disk(w.bytes_in)
-                } else {
-                    self.cost.hdfs(w.bytes_in) + self.cost.net_latency
-                };
-                let d = self.cost.task_startup
-                    + read
-                    + self.cost.cpu_records(w.record_ops)
-                    + self.cost.digest_bytes(w.digest_bytes)
-                    + write;
-                (ComputedTask::Map(out), d)
+                let split = job.map_task_inputs[choice.task_index].clone();
+                self.pool.dispatch(move || {
+                    ComputedTask::Map(run_map_task(&spec, split.input, split.records(), fate))
+                })
             }
             TaskKind::Reduce => {
                 // Each reduce index executes at most once (omission faults
                 // never reach here, and a hung task re-queues as Pending
                 // without having run), so the input can be moved out
-                // instead of cloned.
+                // instead of cloned. The payload gets a worker handle to
+                // the pool for its chunked shuffle sort.
                 let incoming = std::mem::take(&mut job.reduce_inputs[choice.task_index]);
-                let out = run_reduce_task(&job.spec, incoming, fate);
-                let w = out.work;
-                let d = self.cost.task_startup
-                    + self.cost.network(w.bytes_in)
-                    + self.cost.net_latency
-                    + self.cost.disk(w.bytes_in)
-                    + self.cost.cpu_records(w.record_ops)
-                    + self.cost.digest_bytes(w.digest_bytes)
-                    + self.cost.hdfs(w.bytes_out);
-                (ComputedTask::Reduce(out), d)
+                self.pool.dispatch(move || {
+                    ComputedTask::Reduce(run_reduce_task(&spec, incoming, fate, &task_pool))
+                })
             }
         };
 
@@ -860,19 +920,89 @@ impl Cluster {
             TaskKind::Map => &mut job.map_states,
             TaskKind::Reduce => &mut job.reduce_states,
         };
-        states[choice.task_index] = TaskSt::Running {
-            node,
-            result: Box::new(computed),
-        };
-        let done_at = self.now() + duration;
-        self.queue.schedule(
-            done_at,
-            Event::TaskDone {
-                handle: choice.handle,
-                kind: choice.kind,
-                index: choice.task_index,
-            },
-        );
+        states[choice.task_index] = TaskSt::Dispatched { node, ticket };
+        self.pending_joins.push_back(PendingJoin {
+            handle: choice.handle,
+            kind: choice.kind,
+            index: choice.task_index,
+        });
+    }
+
+    /// Joins every dispatched payload, in dispatch order, pricing each
+    /// result through the cost model and scheduling its `TaskDone` at
+    /// `now + duration`. Called from [`Cluster::step`] while the clock
+    /// still reads the dispatch instant, so completion times are
+    /// identical to computing payloads synchronously at assignment —
+    /// the join order (and thus event insertion order) is part of the
+    /// deterministic schedule, independent of which pool worker ran
+    /// what when.
+    fn settle_dispatched(&mut self) {
+        while let Some(p) = self.pending_joins.pop_front() {
+            // The job may have been cancelled after dispatch; its ticket
+            // already dropped with the task state.
+            let Some(job) = self.jobs.get_mut(&p.handle) else {
+                continue;
+            };
+            let states = match p.kind {
+                TaskKind::Map => &mut job.map_states,
+                TaskKind::Reduce => &mut job.reduce_states,
+            };
+            let st = std::mem::replace(&mut states[p.index], TaskSt::Pending);
+            let TaskSt::Dispatched { node, ticket } = st else {
+                states[p.index] = st;
+                continue;
+            };
+            let computed = ticket.join();
+            let duration = match &computed {
+                ComputedTask::Map(out) => {
+                    let w = out.work;
+                    let write = if job.spec.is_map_only() {
+                        self.cost.hdfs(w.bytes_out)
+                    } else {
+                        self.cost.disk(w.bytes_out)
+                    };
+                    // A data-local task streams its split from the local
+                    // disk; a remote one pays the storage network path.
+                    let read = if job.map_task_homes[p.index] == node {
+                        self.cost.disk(w.bytes_in)
+                    } else {
+                        self.cost.hdfs(w.bytes_in) + self.cost.net_latency
+                    };
+                    self.cost.task_startup
+                        + read
+                        + self.cost.cpu_records(w.record_ops)
+                        + self.cost.digest_bytes(w.digest_bytes)
+                        + write
+                }
+                ComputedTask::Reduce(out) => {
+                    let w = out.work;
+                    self.cost.task_startup
+                        + self.cost.network(w.bytes_in)
+                        + self.cost.net_latency
+                        + self.cost.disk(w.bytes_in)
+                        + self.cost.cpu_records(w.record_ops)
+                        + self.cost.digest_bytes(w.digest_bytes)
+                        + self.cost.hdfs(w.bytes_out)
+                }
+            };
+            let states = match p.kind {
+                TaskKind::Map => &mut job.map_states,
+                TaskKind::Reduce => &mut job.reduce_states,
+            };
+            states[p.index] = TaskSt::Running {
+                node,
+                result: Box::new(computed),
+            };
+            let done_at = self.queue.now() + duration;
+            self.queue.schedule(
+                done_at,
+                Event::TaskDone {
+                    handle: p.handle,
+                    kind: p.kind,
+                    index: p.index,
+                },
+            );
+        }
     }
 
     /// Speculative-execution deadline: a task still hung gets re-queued;
@@ -1010,17 +1140,41 @@ impl Cluster {
                 } else {
                     job.spec.reduce_task_count.max(1)
                 };
-                let mut inputs: Vec<Vec<Tagged>> = vec![Vec::new(); n_partitions];
+                // Shuffle gather. First transpose ownership — collect
+                // each partition's per-map runs, moving `Vec` handles
+                // only — then concatenate the partitions concurrently on
+                // the compute pool into buffers pre-sized from the
+                // summed run lengths. Records move, never clone, so the
+                // zero-copy invariant (`records_cloned == 0` on the
+                // replica read path) is preserved; per-partition outputs
+                // are independent of the pool, keeping the gather
+                // deterministic.
+                let mut per_part: Vec<Vec<Vec<Tagged>>> =
+                    (0..n_partitions).map(|_| Vec::new()).collect();
                 for out in job.map_outputs.iter_mut() {
                     let parts = out.take().expect("done map has output");
                     for (p, records) in parts.into_iter().enumerate() {
                         // Collector jobs concatenate everything into one
                         // partition; shuffled jobs keep partition indices.
                         let target = if job.spec.is_collector() { 0 } else { p };
-                        inputs[target].extend(records);
+                        per_part[target].push(records);
                     }
                 }
-                job.reduce_inputs = inputs;
+                let pool = self.pool.clone();
+                let gathers: Vec<Ticket<Vec<Tagged>>> = per_part
+                    .into_iter()
+                    .map(|runs| {
+                        pool.dispatch(move || {
+                            let total = runs.iter().map(Vec::len).sum();
+                            let mut buf: Vec<Tagged> = Vec::with_capacity(total);
+                            for run in runs {
+                                buf.extend(run);
+                            }
+                            buf
+                        })
+                    })
+                    .collect();
+                job.reduce_inputs = gathers.into_iter().map(Ticket::join).collect();
                 job.reduce_states = (0..n_partitions).map(|_| TaskSt::Pending).collect();
                 job.reduce_outputs = (0..n_partitions).map(|_| None).collect();
                 job.in_reduce_phase = true;

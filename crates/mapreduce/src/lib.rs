@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compute;
 mod engine;
 mod fault;
 mod metrics;
@@ -33,6 +34,7 @@ mod spec;
 mod storage;
 mod task;
 
+pub use compute::{default_compute_threads, ComputePool, Ticket};
 pub use engine::{Cluster, ClusterBuilder, EngineEvent, JobOutcome, TimerToken};
 pub use fault::{Behavior, NodeId, WorkerNode};
 pub use metrics::{data_plane, JobMetrics};

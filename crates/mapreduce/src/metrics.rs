@@ -108,6 +108,9 @@ pub mod data_plane {
     static ARCS_SHARED: AtomicU64 = AtomicU64::new(0);
     static BYTES_ENCODED: AtomicU64 = AtomicU64::new(0);
     static DIGEST_BYTES_HASHED: AtomicU64 = AtomicU64::new(0);
+    static TASKS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
+    static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
+    static POOL_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
 
     /// Records that were physically deep-copied (e.g. when publishing final
     /// outputs out of a replica's storage).
@@ -130,6 +133,22 @@ pub mod data_plane {
         DIGEST_BYTES_HASHED.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Payloads handed to the compute pool (including inline execution).
+    pub fn count_tasks_dispatched(n: u64) {
+        TASKS_DISPATCHED.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Payloads a pool worker stole from a sibling's local deque.
+    pub fn count_tasks_stolen(n: u64) {
+        TASKS_STOLEN.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Observes the pool queue depth after a dispatch; the snapshot
+    /// keeps the high-water mark.
+    pub fn record_pool_queue_depth(depth: u64) {
+        POOL_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// A point-in-time copy of the cumulative counters.
     #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
     pub struct DataPlaneSnapshot {
@@ -141,16 +160,28 @@ pub mod data_plane {
         pub bytes_encoded: u64,
         /// Bytes absorbed by digest hashers.
         pub digest_bytes_hashed: u64,
+        /// Payloads handed to the compute pool.
+        pub tasks_dispatched: u64,
+        /// Payloads stolen between pool workers.
+        pub tasks_stolen: u64,
+        /// High-water mark of the pool queue depth. Not a delta: a peak
+        /// cannot be meaningfully subtracted, so [`Self::since`] carries
+        /// the later snapshot's mark through unchanged.
+        pub pool_queue_peak: u64,
     }
 
     impl DataPlaneSnapshot {
-        /// Counter deltas accumulated since `earlier`.
+        /// Counter deltas accumulated since `earlier` (the queue peak,
+        /// which is a mark rather than a count, passes through as-is).
         pub fn since(&self, earlier: &DataPlaneSnapshot) -> DataPlaneSnapshot {
             DataPlaneSnapshot {
                 records_cloned: self.records_cloned - earlier.records_cloned,
                 arcs_shared: self.arcs_shared - earlier.arcs_shared,
                 bytes_encoded: self.bytes_encoded - earlier.bytes_encoded,
                 digest_bytes_hashed: self.digest_bytes_hashed - earlier.digest_bytes_hashed,
+                tasks_dispatched: self.tasks_dispatched - earlier.tasks_dispatched,
+                tasks_stolen: self.tasks_stolen - earlier.tasks_stolen,
+                pool_queue_peak: self.pool_queue_peak,
             }
         }
     }
@@ -162,6 +193,9 @@ pub mod data_plane {
             arcs_shared: ARCS_SHARED.load(Ordering::Relaxed),
             bytes_encoded: BYTES_ENCODED.load(Ordering::Relaxed),
             digest_bytes_hashed: DIGEST_BYTES_HASHED.load(Ordering::Relaxed),
+            tasks_dispatched: TASKS_DISPATCHED.load(Ordering::Relaxed),
+            tasks_stolen: TASKS_STOLEN.load(Ordering::Relaxed),
+            pool_queue_peak: POOL_QUEUE_PEAK.load(Ordering::Relaxed),
         }
     }
 }

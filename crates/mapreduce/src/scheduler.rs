@@ -8,6 +8,12 @@
 //! there are resource units in a node ... if one node has three resource
 //! units, we try to pick tasks from three different jobs"* — overlapping
 //! job clusters is what powers fault isolation.
+//!
+//! Schedulers run strictly *before* payload dispatch: the engine draws the
+//! task's fate and picks its slot here, then hands the pure payload to the
+//! [compute pool](crate::compute). Placement therefore never observes pool
+//! size or host-thread timing, which is half of the §5e determinism
+//! argument (the simulation owns time, the pool owns compute).
 
 use std::collections::BTreeSet;
 

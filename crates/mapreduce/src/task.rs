@@ -12,6 +12,7 @@ use cbft_dataflow::interp::{
 use cbft_dataflow::{LogicalPlan, Operator, Record, Value, VertexId};
 use cbft_digest::{ChunkedDigest, ChunkedSummary};
 
+use crate::compute::ComputePool;
 use crate::fault::{corrupt_record, TaskFate};
 use crate::metrics::data_plane;
 use crate::spec::{ExecJob, VpSite};
@@ -221,11 +222,15 @@ pub(crate) fn run_map_task(
     }
 }
 
-/// Executes one reduce (or collector) task over one partition.
+/// Executes one reduce (or collector) task over one partition. `pool`
+/// accelerates the shuffle-side sort; since the chunked parallel sort is
+/// pool-size-invariant, results are identical for every pool (the engine
+/// passes its own pool, standalone tests the inline default).
 pub(crate) fn run_reduce_task(
     job: &ExecJob,
     mut incoming: Vec<Tagged>,
     fate: TaskFate,
+    pool: &ComputePool,
 ) -> ReduceTaskOutput {
     debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
     let plan = &job.plan;
@@ -270,7 +275,7 @@ pub(crate) fn run_reduce_task(
             merged
         }
         (None, Some(shuffle)) => {
-            let out = materialize_shuffle(plan, shuffle, incoming, &mut work);
+            let out = materialize_shuffle(plan, shuffle, incoming, &mut work, pool);
             for vp in &job.verification_points {
                 if matches!(vp.site, Site::Shuffle { .. }) && vp.vertex == shuffle {
                     digests.push((
@@ -423,6 +428,7 @@ fn materialize_shuffle(
     shuffle: VertexId,
     incoming: Vec<Tagged>,
     work: &mut Work,
+    pool: &ComputePool,
 ) -> Vec<Record> {
     let op = plan.vertex(shuffle).op().clone();
     // Grouping/joining/sorting costs roughly two passes per record.
@@ -448,7 +454,9 @@ fn materialize_shuffle(
         }
         Operator::Distinct => {
             let mut records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
-            records.sort();
+            // Sorts the whole record, so ties are byte-identical and
+            // instability (and chunked parallel merging) cannot show.
+            pool.par_sort_unstable(&mut records);
             records.dedup();
             records
         }
@@ -602,7 +610,7 @@ mod tests {
             .into_iter()
             .map(|r| (0, r))
             .collect();
-        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful, &ComputePool::default());
         assert_eq!(out.records, ints(&[&[1, 2], &[2, 1]]));
     }
 
@@ -663,7 +671,7 @@ mod tests {
             (0, Record::new(vec![Value::Int(1), Value::Int(2)])),
             (1, Record::new(vec![Value::Int(2), Value::Int(3)])),
         ];
-        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful, &ComputePool::default());
         assert_eq!(out.records, ints(&[&[1, 2, 2, 3]]));
     }
 
@@ -682,6 +690,7 @@ mod tests {
             &job,
             out.partitions.into_iter().next().unwrap(),
             TaskFate::Faithful,
+            &ComputePool::default(),
         );
         assert_eq!(reduced.records, ints(&[&[3], &[2], &[1]]));
     }
@@ -697,7 +706,7 @@ mod tests {
             },
         }];
         let incoming: Vec<Tagged> = ints(&[&[1, 10]]).into_iter().map(|r| (0, r)).collect();
-        let out = run_reduce_task(&job, incoming, TaskFate::Faithful);
+        let out = run_reduce_task(&job, incoming, TaskFate::Faithful, &ComputePool::default());
         assert_eq!(out.digests.len(), 1);
         assert_eq!(out.digests[0].0.vertex, shuffle);
     }

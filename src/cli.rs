@@ -50,6 +50,11 @@ pub struct CliOptions {
     /// classic sequential pipeline; `Some(0)` means one thread per replica.
     /// In this mode `--fault N:...` targets replica `N`, not node `N`.
     pub threads: Option<usize>,
+    /// Compute-pool threads for data-parallel task payloads inside the
+    /// engine. `None` defers to `CBFT_COMPUTE_THREADS` (inline when unset);
+    /// `Some(0)` sizes the pool to the host's cores. Works in both the
+    /// sequential and `--threads` modes without changing any verdict.
+    pub compute_threads: Option<usize>,
     /// Print the instrumented plan in Graphviz dot and exit.
     pub emit_dot: bool,
     /// Rows of each output to print.
@@ -78,6 +83,7 @@ impl Default for CliOptions {
             combiners: false,
             optimize: false,
             threads: None,
+            compute_threads: None,
             emit_dot: false,
             show_rows: 10,
             trace: None,
@@ -122,6 +128,10 @@ OPTIONS:
                          replica), streaming digests into the verifier as
                          they are produced; --fault then targets replica N
                          instead of node N                [default: sequential]
+    --compute-threads N  share an N-thread compute pool for task payloads
+                         (map/reduce evaluation, digesting, shuffle gather);
+                         0 = one thread per host core. Verdicts and traces
+                         are identical for any value     [default: inline]
     --dot                print the plan in Graphviz dot and exit
     --show N             rows of each output to print   [default: 10]
     --trace FILE         record a Chrome-trace-format JSON trace of the run
@@ -189,6 +199,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             }
             "--threads" => {
                 opts.threads = Some(parse_num(&need(&mut it, "--threads")?, "--threads")?)
+            }
+            "--compute-threads" => {
+                opts.compute_threads = Some(parse_num(
+                    &need(&mut it, "--compute-threads")?,
+                    "--compute-threads",
+                )?)
             }
             "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--trace-summary" => opts.trace_summary = true,
@@ -311,15 +327,18 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     for &(node, behavior) in &opts.faults {
         builder = builder.node_behavior(node, behavior);
     }
-    let config = JobConfig::builder()
+    let mut config = JobConfig::builder()
         .expected_failures(opts.f)
         .replication(opts.replication)
         .vp_policy(VpPolicy::Marked(opts.points))
         .adversary(opts.adversary)
         .digest_granularity(opts.granularity)
         .combiners(opts.combiners)
-        .optimize_plans(opts.optimize)
-        .build();
+        .optimize_plans(opts.optimize);
+    if let Some(n) = opts.compute_threads {
+        config = config.compute_threads(n);
+    }
+    let config = config.build();
     let mut cbft = ClusterBft::new(builder.build(), config);
     cbft.set_tracer(tracer);
     for (name, records) in inputs {
@@ -390,7 +409,10 @@ fn finish_trace(
             .with_counter("records_cloned", delta.records_cloned)
             .with_counter("arcs_shared", delta.arcs_shared)
             .with_counter("bytes_encoded", delta.bytes_encoded)
-            .with_counter("digest_bytes_hashed", delta.digest_bytes_hashed);
+            .with_counter("digest_bytes_hashed", delta.digest_bytes_hashed)
+            .with_counter("tasks_dispatched", delta.tasks_dispatched)
+            .with_counter("tasks_stolen", delta.tasks_stolen)
+            .with_counter("pool_queue_peak", delta.pool_queue_peak);
         let _ = writeln!(out, "\n{}", summary.render());
     }
     Ok(())
@@ -410,8 +432,10 @@ fn run_parallel(
     let dp_before = data_plane::snapshot();
 
     let f = opts.f;
+    let default_exec = ExecutorConfig::default();
     let mut exec = ParallelExecutor::new(ExecutorConfig {
         threads: opts.threads.unwrap_or(1),
+        compute_threads: opts.compute_threads.unwrap_or(default_exec.compute_threads),
         expected_failures: f,
         // Start at the requested replication degree, escalate along the
         // paper's schedule from there.
@@ -609,6 +633,56 @@ mod tests {
         );
         assert!(parse(&["s.pig", "--threads"]).is_err());
         assert!(parse(&["s.pig", "--threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn compute_threads_flag_parses() {
+        assert_eq!(parse(&["s.pig"]).unwrap().compute_threads, None);
+        assert_eq!(
+            parse(&["s.pig", "--compute-threads", "8"])
+                .unwrap()
+                .compute_threads,
+            Some(8)
+        );
+        assert_eq!(
+            parse(&["s.pig", "--compute-threads", "0"])
+                .unwrap()
+                .compute_threads,
+            Some(0)
+        );
+        assert!(parse(&["s.pig", "--compute-threads"]).is_err());
+        assert!(parse(&["s.pig", "--compute-threads", "lots"]).is_err());
+    }
+
+    #[test]
+    fn compute_threads_run_matches_inline_report() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_pool_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        let base = vec![
+            script.to_str().unwrap().to_owned(),
+            "--input".to_owned(),
+            format!("edges={}", data.to_str().unwrap()),
+        ];
+        let inline = run(&parse_args(base.clone()).unwrap()).unwrap();
+        let mut pooled_args = base;
+        pooled_args.extend(["--compute-threads".to_owned(), "4".to_owned()]);
+        let pooled = run(&parse_args(pooled_args).unwrap()).unwrap();
+        assert!(inline.contains("VERIFIED"), "{inline}");
+        assert_eq!(inline, pooled, "pool size must not change the report");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

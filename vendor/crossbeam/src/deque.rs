@@ -1,0 +1,201 @@
+//! Work-stealing deques with the `crossbeam-deque` API surface: a global
+//! [`Injector`] plus per-worker [`Worker`]/[`Stealer`] pairs. The upstream
+//! crate uses lock-free Chase-Lev deques; this vendored stand-in keeps the
+//! same types and methods on top of `Mutex<VecDeque>`, which is plenty for
+//! the coarse-grained task payloads the workspace schedules (each queued
+//! closure does milliseconds of record processing, so queue operations are
+//! nowhere near the contention point).
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Outcome of a steal attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and may be retried.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// Returns the stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True when the queue was observed empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+}
+
+/// A FIFO queue owned by one worker thread. Cheap handle clones of the
+/// underlying buffer are handed out as [`Stealer`]s.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Worker<T> {
+    /// Creates a FIFO worker queue.
+    pub fn new_fifo() -> Self {
+        Worker {
+            inner: Arc::new(Mutex::new(VecDeque::new())),
+        }
+    }
+
+    /// Pushes a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Pops the next task in FIFO order.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Creates a stealer handle onto this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// A shared handle that steals from the front of a [`Worker`]'s queue.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempts to steal one task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A global FIFO injector queue shared by all workers.
+#[derive(Debug)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    /// Creates an empty injector.
+    pub fn new() -> Self {
+        Injector {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Pushes a task onto the back of the queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().unwrap().push_back(task);
+    }
+
+    /// Attempts to steal one task from the front of the queue.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().unwrap().pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_is_fifo_and_stealable() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn injector_round_trips_across_threads() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let got: Vec<i32> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let mut out = Vec::new();
+                    while let Steal::Success(v) = inj.steal() {
+                        out.push(v);
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        let mut got = got;
+        got.sort_unstable();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

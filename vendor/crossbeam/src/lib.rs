@@ -1,6 +1,8 @@
-//! Crossbeam-compatible scoped threads and channels, implemented on top
-//! of `std::thread::scope` (stable since 1.63) and `std::sync::mpsc`.
-//! Only the API surface the workspace uses is provided.
+//! Crossbeam-compatible scoped threads, channels and work-stealing
+//! deques, implemented on top of `std::thread::scope` (stable since
+//! 1.63), `std::sync::mpsc` and `Mutex<VecDeque>`. Only the API surface
+//! the workspace uses is provided.
 
 pub mod channel;
+pub mod deque;
 pub mod thread;
