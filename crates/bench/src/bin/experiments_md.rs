@@ -137,6 +137,16 @@ fn commentary(id: &str) -> &'static str {
                               canonical trace stays bit-identical across 1 and 4 \
                               worker threads (tracing observes, never steers)."
         }
+        "metrics_overhead" => {
+            "Observability cost check: instrumented code holds a Metrics \
+                              handle whose disabled form is a single branch per call — \
+                              the synthetic engine-shaped loop (one counter add + one \
+                              histogram observe per task) must stay under 2% over the \
+                              uninstrumented baseline, and the binary asserts it. The \
+                              enabled path prices a live registry update (shard lock + \
+                              label hash); the pipeline rows show both vanish inside a \
+                              real run."
+        }
         _ => "",
     }
 }
@@ -159,6 +169,7 @@ fn main() {
         "task_parallelism",
         "data_plane",
         "verification_lag",
+        "metrics_overhead",
     ];
     let mut out = String::new();
     let _ = writeln!(

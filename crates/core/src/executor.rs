@@ -44,6 +44,7 @@ use cbft_mapreduce::{
     data_plane, default_compute_threads, Behavior, Cluster, ComputePool, EngineEvent, ExecInput,
     ExecJob, JobOutcome, RunHandle, Storage, VpSite,
 };
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::{CostModel, SeedSpawner};
 use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
 use crossbeam::channel::Sender;
@@ -253,6 +254,7 @@ pub struct ParallelExecutor {
     inputs: BTreeMap<String, Arc<[Record]>>,
     faults: BTreeMap<usize, Behavior>,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl ParallelExecutor {
@@ -263,6 +265,7 @@ impl ParallelExecutor {
             inputs: BTreeMap::new(),
             faults: BTreeMap::new(),
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -271,6 +274,15 @@ impl ParallelExecutor {
     /// verifier events use reserved tracks. Disabled by default.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a metrics hub. Replica engines record task latency,
+    /// shuffle bytes and heartbeats labeled by uid; the coordinator
+    /// records per-round replica counts and verdicts; the verifier
+    /// contributes lag histograms and per-replica forensics. Disabled
+    /// by default.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The active configuration.
@@ -364,7 +376,7 @@ impl ParallelExecutor {
         // One pool for the whole execution: replica worker threads share
         // its compute workers instead of spawning r pools that fight for
         // the same cores.
-        let pool = ComputePool::new(self.config.compute_threads);
+        let pool = ComputePool::with_metrics(self.config.compute_threads, self.metrics.clone());
 
         let f = self.config.expected_failures;
         let mut verifier = Verifier::new(f, 0);
@@ -466,6 +478,32 @@ impl ParallelExecutor {
                         .arg("verified", if published.is_some() { 1u64 } else { 0 }),
                 );
             }
+            if self.metrics.enabled() {
+                // Escalation-cost forensics, recorded on the coordinator
+                // in round order (1-indexed for the health report).
+                let label = [("round", cbft_metrics::LabelValue::U64(round as u64 + 1))];
+                self.metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::ROUND_REPLICAS,
+                    &label,
+                    fresh as u64,
+                );
+                self.metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::ROUND_VERIFIED,
+                    &label,
+                    u64::from(published.is_some()),
+                );
+                let records: u64 = published
+                    .iter()
+                    .flat_map(|outs| outs.values())
+                    .map(|recs| recs.len() as u64)
+                    .sum();
+                if records > 0 {
+                    self.metrics
+                        .add(Domain::Sim, metric_names::ROUND_RECORDS, &label, records);
+                }
+            }
             if published.is_some() {
                 break;
             }
@@ -473,6 +511,27 @@ impl ParallelExecutor {
         // Deterministic verification-lag timeline, derived from the final
         // table state rather than live channel arrivals.
         verifier.emit_quorum_events(&self.tracer);
+        verifier.record_metrics(&self.metrics);
+        if self.metrics.enabled() {
+            // Fully silent replicas never reach the verifier table, so
+            // their omission forensics are charged here: they missed
+            // every key their siblings reported.
+            let seen = verifier.seen_replicas();
+            let keys = verifier.keys_seen() as u64;
+            for run in runs.values() {
+                if !seen.contains(&run.uid) {
+                    let labels = [("replica", cbft_metrics::LabelValue::U64(run.uid as u64))];
+                    self.metrics
+                        .add(Domain::Sim, metric_names::REPLICA_REPORTS, &labels, 0);
+                    self.metrics.add(
+                        Domain::Sim,
+                        metric_names::REPLICA_OMISSIONS,
+                        &labels,
+                        keys.max(1),
+                    );
+                }
+            }
+        }
 
         // Canonical order: any thread interleaving sorts to this exact
         // transcript, so downstream consumers (tests, persisted logs)
@@ -552,7 +611,8 @@ impl ParallelExecutor {
             .cost_model(self.config.cost)
             .seed(spawner.replica_seed(uid))
             .compute_pool(pool.clone())
-            .tracer(self.tracer.clone(), uid as u32);
+            .tracer(self.tracer.clone(), uid as u32)
+            .metrics(self.metrics.clone());
         if let Some(&behavior) = self.faults.get(&uid) {
             for node in 0..self.config.nodes {
                 builder = builder.node_behavior(node, behavior);

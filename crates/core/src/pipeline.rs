@@ -31,6 +31,7 @@ use cbft_mapreduce::{
     Cluster, ComputePool, EngineEvent, ExecInput, ExecJob, JobOutcome, NodeId, RunHandle,
     TimerToken, VpSite,
 };
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::SimDuration;
 use cbft_trace::{TraceEvent, Tracer, COORDINATOR_PID};
 
@@ -73,6 +74,7 @@ pub struct ClusterBft {
     script_counter: u64,
     timer_counter: u64,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 /// Per-replica bookkeeping of one completed job.
@@ -106,6 +108,7 @@ impl ClusterBft {
             script_counter: 0,
             timer_counter: 0,
             tracer: Tracer::disabled(),
+            metrics: Metrics::disabled(),
         }
     }
 
@@ -115,6 +118,15 @@ impl ClusterBft {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.cluster.set_tracer(tracer.clone(), 0);
         self.tracer = tracer;
+    }
+
+    /// Attaches a metrics hub: the control loop records per-attempt
+    /// replica counts, suspicion band transitions and fault forensics,
+    /// and the inner engine records task latency, shuffle volume and
+    /// heartbeat counters.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.cluster.set_metrics(metrics.clone());
+        self.metrics = metrics;
     }
 
     /// The underlying cluster.
@@ -280,6 +292,14 @@ impl ClusterBft {
                 break; // everything verified in earlier attempts
             }
             jobs_per_attempt.push(run_jobs.len());
+            if self.metrics.enabled() {
+                self.metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::ROUND_REPLICAS,
+                    &[("round", (attempt as u64 + 1).into())],
+                    r as u64,
+                );
+            }
             if self.tracer.enabled() {
                 self.tracer.emit(
                     TraceEvent::begin("attempt", "control")
@@ -371,7 +391,8 @@ impl ClusterBft {
                                 output_file,
                             } => {
                                 total += metrics;
-                                self.suspicion.record_jobs(nodes.iter().copied());
+                                self.suspicion
+                                    .record_jobs_metered(nodes.iter().copied(), &self.metrics);
                                 let done = CompletedJob {
                                     file: output_file,
                                     nodes,
@@ -439,7 +460,8 @@ impl ClusterBft {
                 // data-flow → the suspicion level of all involved nodes is
                 // updated" (§4.3).
                 if timed_out {
-                    self.suspicion.record_faults(nodes.iter().copied());
+                    self.suspicion
+                        .record_faults_metered(nodes.iter().copied(), &self.metrics);
                 }
             }
             self.cancel_all(&handles, &completed);
@@ -483,7 +505,8 @@ impl ClusterBft {
                         continue;
                     }
                     if let Some(c) = completed_by_uid.get(&(uid, job)) {
-                        self.suspicion.record_faults(c.nodes.iter().copied());
+                        self.suspicion
+                            .record_faults_metered(c.nodes.iter().copied(), &self.metrics);
                         if let Some(analyzer) = &mut self.analyzer {
                             analyzer.observe_faulty_cluster(c.nodes.clone());
                         }
@@ -515,7 +538,8 @@ impl ClusterBft {
                 for uid in 0..total_uids {
                     if let Some(c) = completed_by_uid.get(&(uid, job)) {
                         if uid >= uid_base {
-                            self.suspicion.record_faults(c.nodes.iter().copied());
+                            self.suspicion
+                                .record_faults_metered(c.nodes.iter().copied(), &self.metrics);
                         }
                         union.extend(c.nodes.iter().copied());
                     }
@@ -598,6 +622,7 @@ impl ClusterBft {
                     Vec::new()
                 };
                 verifier.emit_quorum_events(&self.tracer);
+                verifier.record_metrics(&self.metrics);
                 return Ok(ScriptOutcome::new(
                     false,
                     attempt + 1,
@@ -619,6 +644,7 @@ impl ClusterBft {
                     self.publish_from(&graph, &store_jobs, |job| trusted.get(&job).cloned())?;
                 self.restore_exclusions(&temp_excluded);
                 verifier.emit_quorum_events(&self.tracer);
+                verifier.record_metrics(&self.metrics);
                 return Ok(ScriptOutcome::new(
                     true,
                     attempt + 1,
@@ -673,6 +699,7 @@ impl ClusterBft {
         };
         self.restore_exclusions(&temp_excluded);
         verifier.emit_quorum_events(&self.tracer);
+        verifier.record_metrics(&self.metrics);
         Ok(ScriptOutcome::new(
             all_trusted,
             replicas_per_attempt.len() as u32,

@@ -8,6 +8,7 @@
 use std::collections::BTreeMap;
 
 use cbft_mapreduce::NodeId;
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 use serde::{Deserialize, Serialize};
 
 /// Suspicion bucket used in the paper's Figs. 12–13.
@@ -21,6 +22,28 @@ pub enum SuspicionBand {
     Med,
     /// `0.66 < s`.
     High,
+}
+
+impl SuspicionBand {
+    /// Band rank, 0 (`None`) through 3 (`High`).
+    pub fn rank(self) -> u64 {
+        match self {
+            SuspicionBand::None => 0,
+            SuspicionBand::Low => 1,
+            SuspicionBand::Med => 2,
+            SuspicionBand::High => 3,
+        }
+    }
+
+    /// Stable lowercase band name, matching `cbft_metrics::BAND_NAMES`.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuspicionBand::None => "none",
+            SuspicionBand::Low => "low",
+            SuspicionBand::Med => "med",
+            SuspicionBand::High => "high",
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,6 +100,62 @@ impl SuspicionTable {
             s.jobs = s.jobs.max(1);
             s.faults = (s.faults + 1).min(s.jobs);
         }
+    }
+
+    /// [`SuspicionTable::record_jobs`] plus band-transition metrics: a
+    /// node whose band changed gets a
+    /// `cbft_suspicion_transitions_total{node, from, to}` tick and its
+    /// `cbft_suspicion_band{node}` gauge updated. Updates run on the
+    /// coordinator in sim order, so both are sim-deterministic.
+    pub fn record_jobs_metered(
+        &mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        metrics: &Metrics,
+    ) {
+        for n in nodes {
+            let before = self.band(n);
+            self.record_jobs([n]);
+            self.note_band(n, before, metrics);
+        }
+    }
+
+    /// [`SuspicionTable::record_faults`] plus band-transition metrics;
+    /// see [`SuspicionTable::record_jobs_metered`].
+    pub fn record_faults_metered(
+        &mut self,
+        nodes: impl IntoIterator<Item = NodeId>,
+        metrics: &Metrics,
+    ) {
+        for n in nodes {
+            let before = self.band(n);
+            self.record_faults([n]);
+            self.note_band(n, before, metrics);
+        }
+    }
+
+    fn note_band(&self, node: NodeId, before: SuspicionBand, metrics: &Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        let after = self.band(node);
+        if after != before {
+            metrics.add(
+                Domain::Sim,
+                metric_names::SUSPICION_TRANSITIONS,
+                &[
+                    ("node", node.0.into()),
+                    ("from", before.name().into()),
+                    ("to", after.name().into()),
+                ],
+                1,
+            );
+        }
+        metrics.gauge_set(
+            Domain::Sim,
+            metric_names::SUSPICION_BAND,
+            &[("node", node.0.into())],
+            after.rank(),
+        );
     }
 
     /// The suspicion level `s = faults / jobs` (0 when the node has run

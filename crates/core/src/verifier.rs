@@ -12,6 +12,7 @@ use cbft_dataflow::compile::Site;
 use cbft_dataflow::VertexId;
 use cbft_digest::{ChunkedSummary, Digest, StreamVerdict};
 use cbft_mapreduce::{DigestReport, TaskKind};
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::{SimDuration, SimTime};
 use cbft_trace::{TraceEvent, Tracer, QUORUM_EVENT, VERIFIER_PID};
 use serde::{Deserialize, Serialize};
@@ -206,6 +207,69 @@ impl Verifier {
                         .at_sim(quorum_at.as_micros())
                         .arg("key", key_label(key))
                         .arg("lag_us", lag.as_micros()),
+                );
+            }
+        }
+    }
+
+    /// Records the verifier's forensics into a metrics hub, computed —
+    /// like [`Verifier::emit_quorum_events`] — from the *final* table
+    /// state, so every sample is sim-domain deterministic:
+    ///
+    /// - a report→quorum lag histogram per verified key
+    ///   (`cbft_verification_lag_us{key}`),
+    /// - per-replica report counts (`cbft_replica_reports_total`),
+    /// - per-replica quorum contradictions
+    ///   (`cbft_replica_mismatches_total`), and
+    /// - per-replica missed keys (`cbft_replica_omissions_total`): keys
+    ///   where sibling replicas reported but this one stayed silent.
+    pub fn record_metrics(&self, metrics: &Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        for key in self.table.keys() {
+            if self.quorum_time(key).is_some() {
+                let lag = self.verification_lag(key).unwrap_or(SimDuration::ZERO);
+                metrics.observe(
+                    Domain::Sim,
+                    metric_names::VERIFICATION_LAG_US,
+                    &[("key", key_label(key).into())],
+                    lag.as_micros(),
+                );
+            }
+            if let KeyVerdict::Verified { deviant, .. } = self.verdict(key) {
+                for replica in deviant {
+                    metrics.add(
+                        Domain::Sim,
+                        metric_names::REPLICA_MISMATCHES,
+                        &[("replica", replica.into())],
+                        1,
+                    );
+                }
+            }
+        }
+        for replica in self.seen_replicas() {
+            let mut reports = 0u64;
+            let mut missed = 0u64;
+            for key_reports in self.table.values() {
+                if key_reports.contains_key(&replica) {
+                    reports += 1;
+                } else {
+                    missed += 1;
+                }
+            }
+            metrics.add(
+                Domain::Sim,
+                metric_names::REPLICA_REPORTS,
+                &[("replica", replica.into())],
+                reports,
+            );
+            if missed > 0 {
+                metrics.add(
+                    Domain::Sim,
+                    metric_names::REPLICA_OMISSIONS,
+                    &[("replica", replica.into())],
+                    missed,
                 );
             }
         }

@@ -32,6 +32,7 @@ use std::thread::JoinHandle;
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use crate::metrics::data_plane;
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 
 /// A queued payload: type-erased, returns through its ticket.
 type Job = Box<dyn FnOnce() + Send>;
@@ -114,6 +115,11 @@ struct Shared {
     stealers: Vec<Stealer<Job>>,
     sleep: Mutex<SleepState>,
     wake: Condvar,
+    /// Per-pool labeled metrics (disabled unless the pool was built
+    /// with [`ComputePool::with_metrics`]); steal counts are
+    /// wall-domain — which worker steals what is host scheduling.
+    metrics: Metrics,
+    threads: u64,
 }
 
 struct SleepState {
@@ -143,6 +149,12 @@ impl Shared {
         for s in &self.stealers {
             if let Steal::Success(job) = s.steal() {
                 data_plane::count_tasks_stolen(1);
+                self.metrics.add(
+                    Domain::Wall,
+                    metric_names::POOL_STOLEN,
+                    &[("threads", self.threads.into())],
+                    1,
+                );
                 return Some(job);
             }
         }
@@ -205,6 +217,8 @@ pub struct ComputePool {
     /// `None` on worker handles; see [`PoolCore`].
     _core: Option<Arc<PoolCore>>,
     threads: usize,
+    /// Per-pool labeled metrics; disabled by default.
+    metrics: Metrics,
 }
 
 impl std::fmt::Debug for ComputePool {
@@ -226,6 +240,13 @@ impl ComputePool {
     /// host core; `1` (the default everywhere) means inline execution
     /// with no threads at all.
     pub fn new(threads: usize) -> Self {
+        Self::with_metrics(threads, Metrics::disabled())
+    }
+
+    /// Like [`ComputePool::new`], but records dispatch/steal/queue-depth
+    /// into `metrics`, labeled by pool size. Dispatch counts are
+    /// sim-deterministic; steals and queue depth are wall-domain.
+    pub fn with_metrics(threads: usize, metrics: Metrics) -> Self {
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
@@ -236,6 +257,7 @@ impl ComputePool {
                 shared: None,
                 _core: None,
                 threads: 1,
+                metrics,
             };
         }
         let locals: Vec<Worker<Job>> = (0..threads).map(|_| Worker::new_fifo()).collect();
@@ -247,6 +269,8 @@ impl ComputePool {
                 shutdown: false,
             }),
             wake: Condvar::new(),
+            metrics: metrics.clone(),
+            threads: threads as u64,
         });
         let handles = locals
             .into_iter()
@@ -265,6 +289,7 @@ impl ComputePool {
             })),
             shared: Some(shared),
             threads,
+            metrics,
         }
     }
 
@@ -286,6 +311,7 @@ impl ComputePool {
             shared: self.shared.clone(),
             _core: None,
             threads: self.threads,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -297,6 +323,17 @@ impl ComputePool {
         F: FnOnce() -> T + Send + 'static,
     {
         data_plane::count_tasks_dispatched(1);
+        if self.metrics.enabled() {
+            // Wall-domain: the inline pool runs (and never dispatches)
+            // chunk sorts that a threaded pool queues, so dispatch
+            // counts are a function of pool size.
+            self.metrics.add(
+                Domain::Wall,
+                metric_names::POOL_DISPATCHED,
+                &[("threads", (self.threads as u64).into())],
+                1,
+            );
+        }
         let Some(shared) = &self.shared else {
             return Ticket {
                 inner: TicketInner::Ready(Box::new(f())),
@@ -330,6 +367,14 @@ impl ComputePool {
         }
         let depth = shared.injector.len() as u64 + u64::from(queued_locally);
         data_plane::record_pool_queue_depth(depth);
+        if self.metrics.enabled() {
+            self.metrics.gauge_max(
+                Domain::Wall,
+                metric_names::POOL_QUEUE_PEAK,
+                &[("threads", (self.threads as u64).into())],
+                depth,
+            );
+        }
         shared.notify_push();
         Ticket {
             inner: TicketInner::Pending {

@@ -19,6 +19,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
 use cbft_dataflow::Record;
+use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::{CostModel, EventQueue, SeedSpawner, SimDuration, SimTime};
 use cbft_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
@@ -238,6 +239,7 @@ pub struct ClusterBuilder {
     task_timeout: Option<SimDuration>,
     tracer: Tracer,
     trace_pid: u32,
+    metrics: Metrics,
     compute_pool: Option<ComputePool>,
 }
 
@@ -319,6 +321,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a metrics hub; the cluster records task sim-latency
+    /// histograms, shuffle bytes and heartbeat counts labeled by this
+    /// cluster's `trace_pid` (the replica uid under the parallel
+    /// executor). The default is a disabled hub — one branch per site.
+    pub fn metrics(mut self, metrics: Metrics) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
     /// Builds the cluster.
     ///
     /// # Panics
@@ -365,6 +376,7 @@ impl ClusterBuilder {
             task_timeout: self.task_timeout,
             tracer: self.tracer,
             trace_pid: self.trace_pid,
+            metrics: self.metrics,
             pool: self
                 .compute_pool
                 .unwrap_or_else(|| ComputePool::new(default_compute_threads())),
@@ -404,6 +416,9 @@ pub struct Cluster {
     /// Track id for this cluster's trace events (replica uid under the
     /// parallel executor; 0 in standalone use).
     trace_pid: u32,
+    /// Metrics hub (disabled by default); samples are labeled with
+    /// `trace_pid` as the replica dimension.
+    metrics: Metrics,
     /// Executes task payloads; possibly shared with other replicas.
     pool: ComputePool,
     /// Dispatched payloads not yet joined back into the simulation.
@@ -432,6 +447,7 @@ impl Cluster {
             task_timeout: None,
             tracer: Tracer::disabled(),
             trace_pid: 0,
+            metrics: Metrics::disabled(),
             compute_pool: None,
         }
     }
@@ -441,6 +457,12 @@ impl Cluster {
     pub fn set_tracer(&mut self, tracer: Tracer, trace_pid: u32) {
         self.tracer = tracer;
         self.trace_pid = trace_pid;
+    }
+
+    /// Attaches (or replaces) the metrics hub after construction; see
+    /// [`ClusterBuilder::metrics`].
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.metrics = metrics;
     }
 
     /// The compute pool executing task payloads; see
@@ -718,6 +740,16 @@ impl Cluster {
                     .arg("free_slots", self.nodes[node.0].free_slots),
             );
         }
+        if self.metrics.enabled() {
+            // Heartbeats are wake-driven simulation events: their count
+            // is a function of the schedule, not of host threading.
+            self.metrics.add(
+                Domain::Sim,
+                metric_names::HEARTBEATS,
+                &[("replica", self.trace_pid.into())],
+                1,
+            );
+        }
         if self.nodes[node.0].excluded || self.nodes[node.0].free_slots == 0 {
             return;
         }
@@ -985,6 +1017,26 @@ impl Cluster {
                         + self.cost.hdfs(w.bytes_out)
                 }
             };
+            if self.metrics.enabled() {
+                // Task sim latency is the cost-model duration: a pure
+                // function of the task's work, so sim-domain.
+                self.metrics.observe(
+                    Domain::Sim,
+                    metric_names::TASK_SIM_US,
+                    &[
+                        ("replica", self.trace_pid.into()),
+                        (
+                            "kind",
+                            match p.kind {
+                                TaskKind::Map => "map",
+                                TaskKind::Reduce => "reduce",
+                            }
+                            .into(),
+                        ),
+                    ],
+                    duration.as_micros(),
+                );
+            }
             let states = match p.kind {
                 TaskKind::Map => &mut job.map_states,
                 TaskKind::Reduce => &mut job.reduce_states,
@@ -1064,6 +1116,12 @@ impl Cluster {
                     job.metrics.hdfs_write_bytes += w.bytes_out;
                 } else {
                     job.metrics.local_write_bytes += w.bytes_out;
+                    self.metrics.add(
+                        Domain::Sim,
+                        metric_names::SHUFFLE_BYTES,
+                        &[("replica", self.trace_pid.into())],
+                        w.bytes_out,
+                    );
                 }
                 job.metrics.map_tasks += 1;
                 for (vp, summary) in out.digests {

@@ -97,56 +97,83 @@ impl JobMetrics {
 /// after a run, `records_cloned` on the storage-read path should be zero
 /// while `arcs_shared` counts every read.
 ///
-/// Counters are cumulative atomics; callers interested in one region take a
+/// Counters are cumulative; callers interested in one region take a
 /// [`data_plane::snapshot`] before and after and subtract.
+///
+/// Since the `cbft-metrics` registry landed this module is a *compat
+/// shim*: the free functions forward into the process-global default
+/// registry (`cbft_metrics::global()`), under `cbft_data_plane_*`
+/// metric names, so the same totals show up in `--metrics` output and
+/// the historical [`DataPlaneSnapshot`] API keeps working. Counts that
+/// are functions of the deterministic simulation (clones, shares,
+/// encoded/hashed bytes, dispatches) are tagged [`Domain::Sim`];
+/// scheduling-dependent ones (steals, queue peak) are [`Domain::Wall`].
+/// Code that wants per-run isolation — the fix for snapshot bleed when
+/// several runs share one process — should thread an explicit
+/// [`cbft_metrics::Metrics`] handle instead (see `ComputePool` and the
+/// engine's labeled metrics).
+///
+/// [`Domain::Sim`]: cbft_metrics::Domain::Sim
+/// [`Domain::Wall`]: cbft_metrics::Domain::Wall
 pub mod data_plane {
-    use std::sync::atomic::{AtomicU64, Ordering};
-
+    use cbft_metrics::{global, Domain};
     use serde::{Deserialize, Serialize};
 
-    static RECORDS_CLONED: AtomicU64 = AtomicU64::new(0);
-    static ARCS_SHARED: AtomicU64 = AtomicU64::new(0);
-    static BYTES_ENCODED: AtomicU64 = AtomicU64::new(0);
-    static DIGEST_BYTES_HASHED: AtomicU64 = AtomicU64::new(0);
-    static TASKS_DISPATCHED: AtomicU64 = AtomicU64::new(0);
-    static TASKS_STOLEN: AtomicU64 = AtomicU64::new(0);
-    static POOL_QUEUE_PEAK: AtomicU64 = AtomicU64::new(0);
+    /// Registry metric names backing the shim (all label-free).
+    pub mod names {
+        /// Counter (sim): records physically deep-copied.
+        pub const RECORDS_CLONED: &str = "cbft_data_plane_records_cloned_total";
+        /// Counter (sim): storage reads satisfied by `Arc` sharing.
+        pub const ARCS_SHARED: &str = "cbft_data_plane_arcs_shared_total";
+        /// Counter (sim): bytes through canonical record encoding.
+        pub const BYTES_ENCODED: &str = "cbft_data_plane_bytes_encoded_total";
+        /// Counter (sim): bytes absorbed by digest hashers.
+        pub const DIGEST_BYTES: &str = "cbft_data_plane_digest_bytes_hashed_total";
+        /// Counter (wall): payloads handed to the compute pool. Wall,
+        /// not sim: the inline pool elides the chunk-sort dispatches a
+        /// threaded pool queues, so the count depends on pool size.
+        pub const TASKS_DISPATCHED: &str = "cbft_data_plane_tasks_dispatched_total";
+        /// Counter (wall): payloads stolen between pool workers.
+        pub const TASKS_STOLEN: &str = "cbft_data_plane_tasks_stolen_total";
+        /// Gauge (wall): high-water mark of the pool queue depth.
+        pub const POOL_QUEUE_PEAK: &str = "cbft_data_plane_pool_queue_peak";
+    }
 
     /// Records that were physically deep-copied (e.g. when publishing final
     /// outputs out of a replica's storage).
     pub fn count_records_cloned(n: u64) {
-        RECORDS_CLONED.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Sim, names::RECORDS_CLONED, &[], n);
     }
 
     /// Storage reads/shares satisfied by handing out an `Arc` handle.
     pub fn count_arcs_shared(n: u64) {
-        ARCS_SHARED.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Sim, names::ARCS_SHARED, &[], n);
     }
 
     /// Bytes written through canonical record encoding.
     pub fn count_bytes_encoded(n: u64) {
-        BYTES_ENCODED.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Sim, names::BYTES_ENCODED, &[], n);
     }
 
     /// Bytes absorbed by digest hashers at verification points.
     pub fn count_digest_bytes(n: u64) {
-        DIGEST_BYTES_HASHED.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Sim, names::DIGEST_BYTES, &[], n);
     }
 
     /// Payloads handed to the compute pool (including inline execution).
     pub fn count_tasks_dispatched(n: u64) {
-        TASKS_DISPATCHED.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Wall, names::TASKS_DISPATCHED, &[], n);
     }
 
     /// Payloads a pool worker stole from a sibling's local deque.
     pub fn count_tasks_stolen(n: u64) {
-        TASKS_STOLEN.fetch_add(n, Ordering::Relaxed);
+        global().add(Domain::Wall, names::TASKS_STOLEN, &[], n);
     }
 
     /// Observes the pool queue depth after a dispatch; the snapshot
     /// keeps the high-water mark.
     pub fn record_pool_queue_depth(depth: u64) {
-        POOL_QUEUE_PEAK.fetch_max(depth, Ordering::Relaxed);
+        global().gauge_max(Domain::Wall, names::POOL_QUEUE_PEAK, &[], depth);
     }
 
     /// A point-in-time copy of the cumulative counters.
@@ -186,16 +213,18 @@ pub mod data_plane {
         }
     }
 
-    /// Reads all counters at once.
+    /// Reads all counters at once (from the global registry).
     pub fn snapshot() -> DataPlaneSnapshot {
+        let snap = global().snapshot();
+        let read = |name| snap.scalar(name, &[]).unwrap_or(0);
         DataPlaneSnapshot {
-            records_cloned: RECORDS_CLONED.load(Ordering::Relaxed),
-            arcs_shared: ARCS_SHARED.load(Ordering::Relaxed),
-            bytes_encoded: BYTES_ENCODED.load(Ordering::Relaxed),
-            digest_bytes_hashed: DIGEST_BYTES_HASHED.load(Ordering::Relaxed),
-            tasks_dispatched: TASKS_DISPATCHED.load(Ordering::Relaxed),
-            tasks_stolen: TASKS_STOLEN.load(Ordering::Relaxed),
-            pool_queue_peak: POOL_QUEUE_PEAK.load(Ordering::Relaxed),
+            records_cloned: read(names::RECORDS_CLONED),
+            arcs_shared: read(names::ARCS_SHARED),
+            bytes_encoded: read(names::BYTES_ENCODED),
+            digest_bytes_hashed: read(names::DIGEST_BYTES),
+            tasks_dispatched: read(names::TASKS_DISPATCHED),
+            tasks_stolen: read(names::TASKS_STOLEN),
+            pool_queue_peak: read(names::POOL_QUEUE_PEAK),
         }
     }
 }

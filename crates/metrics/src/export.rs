@@ -1,0 +1,418 @@
+//! Exporters: Prometheus text exposition and a JSON snapshot, plus a
+//! line-format validator used by tests and the `promcheck` tool.
+//!
+//! Both writers are hand-rolled (this crate is dependency-free) and
+//! consume the sorted [`Snapshot`], so their output is byte-stable for
+//! a given registry state.
+
+use crate::histogram::{bucket_upper, Histogram, BUCKETS};
+use crate::registry::{Sample, SampleValue, Snapshot};
+use std::fmt::Write as _;
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&'static str, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(n, v)| format!("{n}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((n, v)) = extra {
+        parts.push(format!("{n}=\"{}\"", escape_label(&v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn write_histogram(out: &mut String, s: &Sample, h: &Histogram) {
+    // Cumulative `le` buckets as Prometheus requires; empty leading /
+    // trailing buckets are elided but cumulation is preserved.
+    let mut cum = 0u64;
+    for b in 0..BUCKETS {
+        let n = h.buckets()[b];
+        cum += n;
+        if n == 0 {
+            continue;
+        }
+        let le = label_block(&s.labels, Some(("le", bucket_upper(b).to_string())));
+        let _ = writeln!(out, "{}_bucket{} {}", s.name, le, cum);
+    }
+    let inf = label_block(&s.labels, Some(("le", "+Inf".to_string())));
+    let _ = writeln!(out, "{}_bucket{} {}", s.name, inf, h.count());
+    let plain = label_block(&s.labels, None);
+    let _ = writeln!(out, "{}_sum{} {}", s.name, plain, h.sum());
+    let _ = writeln!(out, "{}_count{} {}", s.name, plain, h.count());
+}
+
+/// Render a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` comments, one line per sample, histograms
+/// expanded into cumulative `_bucket{le=...}` series plus `_sum` and
+/// `_count`. A `domain` label distinguishes sim- from wall-derived
+/// metrics.
+pub fn prometheus_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let mut last_name = "";
+    for s in &snapshot.samples {
+        let kind = match &s.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        };
+        if s.name != last_name {
+            let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+            last_name = s.name;
+        }
+        let mut labels = s.labels.clone();
+        labels.push(("domain", s.domain.as_str().to_string()));
+        let with_domain = Sample {
+            labels,
+            ..s.clone()
+        };
+        match &s.value {
+            SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    s.name,
+                    label_block(&with_domain.labels, None),
+                    v
+                );
+            }
+            SampleValue::Histogram(h) => write_histogram(&mut out, &with_domain, h),
+        }
+    }
+    out
+}
+
+fn json_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a snapshot as a JSON document: an object with a `metrics`
+/// array; histograms carry count/sum/min/max, p50/p90/p99, and their
+/// non-empty `[lower, upper, count]` buckets.
+pub fn json_snapshot(snapshot: &Snapshot) -> String {
+    let mut out = String::from("{\"metrics\":[");
+    for (i, s) in snapshot.samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"domain\":\"{}\",\"labels\":{{",
+            json_escape(s.name),
+            s.domain.as_str()
+        );
+        for (j, (n, v)) in s.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(n), json_escape(v));
+        }
+        out.push_str("},");
+        match &s.value {
+            SampleValue::Counter(v) => {
+                let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+            }
+            SampleValue::Gauge(v) => {
+                let _ = write!(out, "\"type\":\"gauge\",\"value\":{v}");
+            }
+            SampleValue::Histogram(h) => {
+                let (p50, p90, p99) = h.p50_p90_p99();
+                let _ = write!(
+                    out,
+                    "\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                     \"p50\":{p50},\"p90\":{p90},\"p99\":{p99},\"buckets\":[",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                );
+                let mut first = true;
+                for b in 0..BUCKETS {
+                    let n = h.buckets()[b];
+                    if n == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        out,
+                        "[{},{},{}]",
+                        crate::histogram::bucket_lower(b),
+                        bucket_upper(b),
+                        n
+                    );
+                }
+                out.push(']');
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Parse the label block of one exposition line, returning the rest of
+/// the line after the closing `}` or an error. A real scanner rather
+/// than `split(',')`: label values are quoted strings that may contain
+/// commas and braces (e.g. debug-rendered verification-point keys).
+fn check_labels(line: &str, lineno: usize) -> Result<&str, String> {
+    // line starts at '{'
+    let mut rest = &line[1..];
+    if let Some(tail) = rest.strip_prefix('}') {
+        return Ok(tail); // empty label block
+    }
+    loop {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("line {lineno}: label pair without '='"))?;
+        let name = &rest[..eq];
+        if !valid_label_name(name) {
+            return Err(format!("line {lineno}: bad label name {name:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            let value: String = rest
+                .chars()
+                .take_while(|c| *c != ',' && *c != '}')
+                .collect();
+            return Err(format!("line {lineno}: unquoted label value {value:?}"));
+        }
+        // Scan the quoted value, honouring \\ \" \n escapes.
+        let mut chars = rest[1..].char_indices();
+        let close = loop {
+            match chars.next() {
+                Some((i, '"')) => break i,
+                Some((_, '\\')) => match chars.next() {
+                    Some((_, '\\')) | Some((_, '"')) | Some((_, 'n')) => {}
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: bad escape \\{} in label value",
+                            other.map(|(_, c)| String::from(c)).unwrap_or_default()
+                        ))
+                    }
+                },
+                Some(_) => {}
+                None => return Err(format!("line {lineno}: unterminated label value")),
+            }
+        };
+        rest = &rest[1 + close + 1..];
+        match rest.as_bytes().first() {
+            Some(b',') => rest = &rest[1..],
+            Some(b'}') => return Ok(&rest[1..]),
+            _ => {
+                return Err(format!(
+                    "line {lineno}: expected ',' or '}}' after label value"
+                ))
+            }
+        }
+    }
+}
+
+/// Validate a Prometheus text-exposition document line by line.
+///
+/// Checks: `# TYPE`/`# HELP` comment structure, metric and label name
+/// character sets, quoted and correctly escaped label values, and
+/// parseable sample values. Returns the first error with its line
+/// number, or `Ok(lines_checked)`.
+pub fn validate_prometheus_text(text: &str) -> Result<usize, String> {
+    let mut checked = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        checked += 1;
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in TYPE: {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: bad metric type {kind:?}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split_whitespace().next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: bad metric name in HELP: {name:?}"));
+                }
+            }
+            // Other comments are free-form.
+            continue;
+        }
+        let name_end = line
+            .find(|c: char| c == '{' || c.is_ascii_whitespace())
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_metric_name(name) {
+            return Err(format!("line {lineno}: bad metric name {name:?}"));
+        }
+        let rest = &line[name_end..];
+        let rest = if rest.starts_with('{') {
+            check_labels(rest, lineno)?
+        } else {
+            rest
+        };
+        let mut fields = rest.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {lineno}: missing sample value"))?;
+        if !valid_value(value) {
+            return Err(format!("line {lineno}: bad sample value {value:?}"));
+        }
+        if let Some(ts) = fields.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {lineno}: bad timestamp {ts:?}"));
+            }
+        }
+        if fields.next().is_some() {
+            return Err(format!("line {lineno}: trailing garbage"));
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Domain, Metrics};
+
+    fn sample_snapshot() -> Snapshot {
+        let m = Metrics::new();
+        m.add(
+            Domain::Sim,
+            "cbft_tasks_total",
+            &[("replica", 0u64.into()), ("kind", "map".into())],
+            4,
+        );
+        m.gauge_max(Domain::Wall, "cbft_pool_queue_peak", &[], 3);
+        m.observe(
+            Domain::Sim,
+            "cbft_verification_lag_us",
+            &[("key", "v2/s0".into())],
+            100,
+        );
+        m.observe(
+            Domain::Sim,
+            "cbft_verification_lag_us",
+            &[("key", "v2/s0".into())],
+            40,
+        );
+        m.snapshot()
+    }
+
+    #[test]
+    fn prometheus_output_passes_validator() {
+        let text = prometheus_text(&sample_snapshot());
+        let checked = validate_prometheus_text(&text).expect("valid exposition");
+        assert!(checked >= 6, "expected several lines, got {checked}");
+        assert!(text.contains("# TYPE cbft_tasks_total counter"));
+        assert!(text.contains("cbft_tasks_total{replica=\"0\",kind=\"map\",domain=\"sim\"} 4"));
+        assert!(text.contains("cbft_verification_lag_us_count"));
+        assert!(text.contains("le=\"+Inf\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate_prometheus_text("1bad_name 3").is_err());
+        assert!(validate_prometheus_text("name{l=unquoted} 3").is_err());
+        assert!(validate_prometheus_text("name 3 4 5").is_err());
+        assert!(validate_prometheus_text("name notanumber").is_err());
+        assert!(validate_prometheus_text("# TYPE name nonsense").is_err());
+        assert!(validate_prometheus_text("name{l=\"a\\qb\"} 3").is_err());
+        assert!(validate_prometheus_text("name{l=\"ok\"} 3 12345").is_ok());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let m = Metrics::new();
+        m.add(
+            Domain::Sim,
+            "weird_total",
+            &[("k", String::from("a\"b\\c\nd").into())],
+            1,
+        );
+        let text = prometheus_text(&m.snapshot());
+        validate_prometheus_text(&text).expect("escaped output validates");
+        assert!(text.contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let json = json_snapshot(&sample_snapshot());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"replica\":\"0\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let text = prometheus_text(&sample_snapshot());
+        // 40 falls in bucket [32,63], 100 in [64,127]; cumulative counts 1 then 2.
+        assert!(text.contains("le=\"63\"} 1"));
+        assert!(text.contains("le=\"127\"} 2"));
+        assert!(text.contains("cbft_verification_lag_us_sum{key=\"v2/s0\",domain=\"sim\"} 140"));
+    }
+}

@@ -1,0 +1,396 @@
+//! End-of-run fault-forensics health report.
+//!
+//! [`HealthReport`] is assembled from a metrics [`Snapshot`] by scanning
+//! the conventional ClusterBFT metric names (see [`names`]): per-replica
+//! digest mismatch / omission counters, per-node suspicion band
+//! transitions, per-verification-point lag histograms, and per-round
+//! escalation cost. Rendering is purely a function of the (sorted)
+//! snapshot, so the report is byte-stable for a deterministic run.
+
+use crate::histogram::Histogram;
+use crate::registry::{SampleValue, Snapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Conventional metric names shared by the instrumented crates and the
+/// health-report scanner. Keeping them here (the bottom of the crate
+/// graph) lets cbft-core, cbft-mapreduce and the CLI agree without a
+/// dependency cycle.
+pub mod names {
+    /// Counter, labels `{replica}`: digest reports streamed per replica.
+    pub const REPLICA_REPORTS: &str = "cbft_replica_reports_total";
+    /// Counter, labels `{replica}`: verification points where the
+    /// replica's digest diverged from the quorum.
+    pub const REPLICA_MISMATCHES: &str = "cbft_replica_mismatches_total";
+    /// Counter, labels `{replica}`: verification points the replica
+    /// never reported (omission faults).
+    pub const REPLICA_OMISSIONS: &str = "cbft_replica_omissions_total";
+    /// Histogram, labels `{key}`: report→quorum lag per verification
+    /// point, in sim µs.
+    pub const VERIFICATION_LAG_US: &str = "cbft_verification_lag_us";
+    /// Counter, labels `{node, from, to}`: suspicion band transitions.
+    pub const SUSPICION_TRANSITIONS: &str = "cbft_suspicion_transitions_total";
+    /// Gauge, labels `{node}`: final suspicion band rank (0=None..3=High).
+    pub const SUSPICION_BAND: &str = "cbft_suspicion_band";
+    /// Gauge, labels `{round}`: replicas launched in an escalation round.
+    pub const ROUND_REPLICAS: &str = "cbft_round_replicas";
+    /// Counter, labels `{round}`: output records produced in a round.
+    pub const ROUND_RECORDS: &str = "cbft_round_records_total";
+    /// Gauge, labels `{round}`: 1 if the round reached a verified quorum.
+    pub const ROUND_VERIFIED: &str = "cbft_round_verified";
+    /// Histogram, labels `{replica, kind}`: per-task sim latency, µs.
+    pub const TASK_SIM_US: &str = "cbft_task_sim_us";
+    /// Counter, labels `{replica}`: bytes written into the shuffle.
+    pub const SHUFFLE_BYTES: &str = "cbft_shuffle_bytes_total";
+    /// Counter, labels `{replica}`: heartbeats processed by the engine.
+    pub const HEARTBEATS: &str = "cbft_heartbeats_total";
+    /// Counter (wall): compute-pool payload dispatches. Wall-domain
+    /// because the inline pool elides chunk-sort dispatches.
+    pub const POOL_DISPATCHED: &str = "cbft_pool_tasks_dispatched_total";
+    /// Counter (wall): compute-pool sibling steals.
+    pub const POOL_STOLEN: &str = "cbft_pool_tasks_stolen_total";
+    /// Gauge (wall): peak compute-pool queue depth.
+    pub const POOL_QUEUE_PEAK: &str = "cbft_pool_queue_peak";
+}
+
+/// Ordered suspicion band names, rank 0..=3.
+pub const BAND_NAMES: [&str; 4] = ["none", "low", "med", "high"];
+
+fn band_rank(name: &str) -> usize {
+    BAND_NAMES.iter().position(|b| *b == name).unwrap_or(0)
+}
+
+#[derive(Clone, Debug, Default)]
+struct ReplicaHealth {
+    reports: u64,
+    mismatches: u64,
+    omissions: u64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct NodeHealth {
+    /// `(from_rank, to_rank, count)` transitions, sorted by rank.
+    transitions: Vec<(usize, usize, u64)>,
+    final_band: usize,
+}
+
+#[derive(Clone, Debug, Default)]
+struct RoundHealth {
+    replicas: u64,
+    records: u64,
+    verified: bool,
+}
+
+/// Fault-forensics summary assembled from a metrics snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct HealthReport {
+    replicas: BTreeMap<u64, ReplicaHealth>,
+    nodes: BTreeMap<u64, NodeHealth>,
+    points: BTreeMap<String, Histogram>,
+    rounds: BTreeMap<u64, RoundHealth>,
+}
+
+fn label<'a>(sample_labels: &'a [(&'static str, String)], name: &str) -> Option<&'a str> {
+    sample_labels
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn label_u64(sample_labels: &[(&'static str, String)], name: &str) -> Option<u64> {
+    label(sample_labels, name)?.parse().ok()
+}
+
+impl HealthReport {
+    /// Scan a snapshot for the conventional ClusterBFT metrics.
+    pub fn from_snapshot(snap: &Snapshot) -> Self {
+        let mut report = HealthReport::default();
+        for s in &snap.samples {
+            let scalar = match &s.value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => *v,
+                SampleValue::Histogram(_) => 0,
+            };
+            match s.name {
+                names::REPLICA_REPORTS => {
+                    if let Some(r) = label_u64(&s.labels, "replica") {
+                        report.replicas.entry(r).or_default().reports = scalar;
+                    }
+                }
+                names::REPLICA_MISMATCHES => {
+                    if let Some(r) = label_u64(&s.labels, "replica") {
+                        report.replicas.entry(r).or_default().mismatches = scalar;
+                    }
+                }
+                names::REPLICA_OMISSIONS => {
+                    if let Some(r) = label_u64(&s.labels, "replica") {
+                        report.replicas.entry(r).or_default().omissions = scalar;
+                    }
+                }
+                names::VERIFICATION_LAG_US => {
+                    if let (Some(key), SampleValue::Histogram(h)) =
+                        (label(&s.labels, "key"), &s.value)
+                    {
+                        report.points.entry(key.to_string()).or_default().merge(h);
+                    }
+                }
+                names::SUSPICION_TRANSITIONS => {
+                    if let (Some(node), Some(from), Some(to)) = (
+                        label_u64(&s.labels, "node"),
+                        label(&s.labels, "from"),
+                        label(&s.labels, "to"),
+                    ) {
+                        report.nodes.entry(node).or_default().transitions.push((
+                            band_rank(from),
+                            band_rank(to),
+                            scalar,
+                        ));
+                    }
+                }
+                names::SUSPICION_BAND => {
+                    if let Some(node) = label_u64(&s.labels, "node") {
+                        report.nodes.entry(node).or_default().final_band = scalar as usize;
+                    }
+                }
+                names::ROUND_REPLICAS => {
+                    if let Some(r) = label_u64(&s.labels, "round") {
+                        report.rounds.entry(r).or_default().replicas = scalar;
+                    }
+                }
+                names::ROUND_RECORDS => {
+                    if let Some(r) = label_u64(&s.labels, "round") {
+                        report.rounds.entry(r).or_default().records = scalar;
+                    }
+                }
+                names::ROUND_VERIFIED => {
+                    if let Some(r) = label_u64(&s.labels, "round") {
+                        report.rounds.entry(r).or_default().verified = scalar != 0;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for node in report.nodes.values_mut() {
+            node.transitions.sort_unstable();
+        }
+        report
+    }
+
+    /// Replicas with at least one digest mismatch or omission, ascending.
+    pub fn suspect_replicas(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .filter(|(_, h)| h.mismatches > 0 || h.omissions > 0)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Whether the snapshot contained any of the conventional metrics.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+            && self.nodes.is_empty()
+            && self.points.is_empty()
+            && self.rounds.is_empty()
+    }
+
+    /// Render the report as terminal text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("=== ClusterBFT health report ===\n");
+
+        if !self.replicas.is_empty() {
+            out.push_str("\nreplica forensics:\n");
+            for (r, h) in &self.replicas {
+                let verdict = if h.mismatches > 0 || h.omissions > 0 {
+                    "SUSPECT"
+                } else {
+                    "clean"
+                };
+                let _ = writeln!(
+                    out,
+                    "  replica {r}: reports={}  mismatches={}  omissions={}  [{verdict}]",
+                    h.reports, h.mismatches, h.omissions
+                );
+            }
+            let suspects = self.suspect_replicas();
+            if suspects.is_empty() {
+                out.push_str("  suspected faulty replicas: none\n");
+            } else {
+                let list: Vec<String> = suspects.iter().map(u64::to_string).collect();
+                let _ = writeln!(out, "  suspected faulty replicas: {{{}}}", list.join(", "));
+            }
+        }
+
+        if !self.nodes.is_empty() {
+            out.push_str("\nsuspicion bands:\n");
+            for (node, h) in &self.nodes {
+                let mut trajectory = String::new();
+                // Transitions are sorted by (from, to) rank; bands only
+                // move along that order within a run, so this re-reads
+                // as the visit sequence.
+                let mut current = usize::MAX;
+                for (from, to, n) in &h.transitions {
+                    if *from != current {
+                        if !trajectory.is_empty() {
+                            trajectory.push_str(" -> ");
+                        }
+                        trajectory.push_str(BAND_NAMES[*from]);
+                    }
+                    trajectory.push_str(" -> ");
+                    trajectory.push_str(BAND_NAMES[*to]);
+                    if *n > 1 {
+                        let _ = write!(trajectory, " (x{n})");
+                    }
+                    current = *to;
+                }
+                if trajectory.is_empty() {
+                    trajectory = BAND_NAMES[h.final_band].to_string();
+                }
+                let _ = writeln!(
+                    out,
+                    "  node {node}: {trajectory}  [final: {}]",
+                    BAND_NAMES[h.final_band.min(3)]
+                );
+            }
+        }
+
+        if !self.points.is_empty() {
+            out.push_str("\nverification lag quantiles (sim us):\n");
+            for (key, h) in &self.points {
+                let (p50, p90, p99) = h.p50_p90_p99();
+                let _ = writeln!(
+                    out,
+                    "  {key}: n={}  p50={p50}  p90={p90}  p99={p99}  max={}",
+                    h.count(),
+                    h.max()
+                );
+            }
+        }
+
+        if !self.rounds.is_empty() {
+            out.push_str("\nescalation rounds:\n");
+            for (round, h) in &self.rounds {
+                let _ = writeln!(
+                    out,
+                    "  round {round}: replicas={}  output records={}  verified={}",
+                    h.replicas,
+                    h.records,
+                    if h.verified { "yes" } else { "no" }
+                );
+            }
+            let escalations = self.rounds.len().saturating_sub(1);
+            let _ = writeln!(out, "  escalations: {escalations}");
+        }
+
+        if self.is_empty() {
+            out.push_str("(no health metrics recorded)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Domain, Metrics};
+
+    #[test]
+    fn report_names_suspect_replicas() {
+        let m = Metrics::new();
+        for r in 0..3u64 {
+            m.add(
+                Domain::Sim,
+                names::REPLICA_REPORTS,
+                &[("replica", r.into())],
+                6,
+            );
+        }
+        m.add(
+            Domain::Sim,
+            names::REPLICA_MISMATCHES,
+            &[("replica", 1u64.into())],
+            2,
+        );
+        m.add(
+            Domain::Sim,
+            names::REPLICA_OMISSIONS,
+            &[("replica", 2u64.into())],
+            1,
+        );
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert_eq!(report.suspect_replicas(), vec![1, 2]);
+        let text = report.render();
+        assert!(text.contains("replica 1: reports=6  mismatches=2  omissions=0  [SUSPECT]"));
+        assert!(text.contains("replica 0: reports=6  mismatches=0  omissions=0  [clean]"));
+        assert!(text.contains("suspected faulty replicas: {1, 2}"));
+    }
+
+    #[test]
+    fn report_renders_bands_points_rounds() {
+        let m = Metrics::new();
+        m.add(
+            Domain::Sim,
+            names::SUSPICION_TRANSITIONS,
+            &[
+                ("node", 3u64.into()),
+                ("from", "none".into()),
+                ("to", "low".into()),
+            ],
+            1,
+        );
+        m.gauge_set(
+            Domain::Sim,
+            names::SUSPICION_BAND,
+            &[("node", 3u64.into())],
+            1,
+        );
+        m.observe(
+            Domain::Sim,
+            names::VERIFICATION_LAG_US,
+            &[("key", "v2/s0".into())],
+            40,
+        );
+        m.gauge_set(
+            Domain::Sim,
+            names::ROUND_REPLICAS,
+            &[("round", 1u64.into())],
+            2,
+        );
+        m.add(
+            Domain::Sim,
+            names::ROUND_RECORDS,
+            &[("round", 1u64.into())],
+            900,
+        );
+        m.gauge_set(
+            Domain::Sim,
+            names::ROUND_VERIFIED,
+            &[("round", 1u64.into())],
+            0,
+        );
+        m.gauge_set(
+            Domain::Sim,
+            names::ROUND_REPLICAS,
+            &[("round", 2u64.into())],
+            3,
+        );
+        m.gauge_set(
+            Domain::Sim,
+            names::ROUND_VERIFIED,
+            &[("round", 2u64.into())],
+            1,
+        );
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        let text = report.render();
+        assert!(text.contains("node 3: none -> low  [final: low]"));
+        assert!(text.contains("v2/s0: n=1"));
+        assert!(text.contains("round 1: replicas=2  output records=900  verified=no"));
+        assert!(text.contains("round 2: replicas=3  output records=0  verified=yes"));
+        assert!(text.contains("escalations: 1"));
+    }
+
+    #[test]
+    fn empty_snapshot_yields_empty_report() {
+        let report = HealthReport::from_snapshot(&Snapshot::default());
+        assert!(report.is_empty());
+        assert!(report.render().contains("no health metrics recorded"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Fixed-shape log₂-bucketed histogram.
+//!
+//! Bucket `0` holds the value `0`; bucket `b ≥ 1` holds the half-open
+//! power-of-two range `[2^(b-1), 2^b - 1]` — i.e. the bucket index of a
+//! non-zero value is its bit width. With 64-bit samples that gives a
+//! fixed 65-slot layout, so two histograms always share the same bucket
+//! boundaries and [`Histogram::merge`] is exact and associative: merging
+//! is element-wise addition, never re-bucketing.
+
+/// Number of buckets: one for zero plus one per possible bit width.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// All operations are integer-only and commutative/associative, so a
+/// histogram filled from any interleaving of the same multiset of
+/// samples — across threads, across merge orders — is bit-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Index of the bucket a value falls into (its bit width; 0 for 0).
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `b`.
+pub fn bucket_lower(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        _ => 1u64 << (b - 1),
+    }
+}
+
+/// Inclusive upper bound of bucket `b`.
+pub fn bucket_upper(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one. Exact: both sides share the
+    /// fixed log₂ bucket layout, so this is element-wise addition and is
+    /// associative and commutative.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Raw bucket counts (index = bit width of the sample).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`).
+    ///
+    /// Finds the bucket holding the ceil(q·count)-th smallest sample and
+    /// returns that bucket's upper bound clamped to the recorded
+    /// maximum, so the estimate never exceeds any observed value. Exact
+    /// whenever every sample in the target bucket is equal (always true
+    /// for buckets 0 and 1). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Integer target rank in [1, count]: ceil(q * count), using a
+        // single widening multiply so the result is deterministic.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b).min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+
+    /// Convenience: (p50, p90, p99).
+    pub fn p50_p90_p99(&self) -> (u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_bit_widths() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 1..BUCKETS {
+            assert_eq!(bucket_index(bucket_lower(b)), b);
+            assert_eq!(bucket_index(bucket_upper(b)), b);
+        }
+    }
+
+    #[test]
+    fn record_and_merge_agree() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for v in [0u64, 1, 2, 3, 512, 513, 1 << 40, u64::MAX] {
+            all.record(v);
+            if v < 100 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, all);
+        // Commutes.
+        let mut flipped = right.clone();
+        flipped.merge(&left);
+        assert_eq!(flipped, all);
+    }
+
+    #[test]
+    fn quantiles_bounded_by_observations() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        assert!(h.quantile(0.5) >= 10);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert!(h.quantile(0.99) <= h.max());
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn exact_for_single_valued_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1);
+        }
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1);
+        assert_eq!(h.count(), 11);
+        assert_eq!(h.sum(), 10);
+    }
+}

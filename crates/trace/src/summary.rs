@@ -6,6 +6,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::{ArgValue, Phase, TraceEvent};
+use cbft_metrics::Histogram;
 
 /// Name used by verifier instrumentation for deterministic quorum
 /// events; [`TraceSummary::from_events`] extracts [`KeyLag`] rows from
@@ -120,6 +121,17 @@ impl TraceSummary {
         total as f64 / self.key_lags.len() as f64
     }
 
+    /// Per-key lags folded into the shared log₂ histogram. `key_lags`
+    /// is sorted canonically, and histogram recording is commutative,
+    /// so the result is byte-stable for a given canonical trace.
+    pub fn lag_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for l in &self.key_lags {
+            h.record(l.lag_us);
+        }
+        h
+    }
+
     /// Renders a human-readable report.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -142,13 +154,14 @@ impl TraceSummary {
             }
         }
         if !self.key_lags.is_empty() {
-            out.push_str("  verification lag per key (quorum at / lag):\n");
-            for l in &self.key_lags {
-                out.push_str(&format!(
-                    "    {}: {} us / {} us\n",
-                    l.key, l.quorum_sim_us, l.lag_us
-                ));
-            }
+            // Quantiles over the canonically sorted per-key lags rather
+            // than a raw per-key listing: byte-stable and O(1) lines no
+            // matter how many verification points a run has.
+            let h = self.lag_histogram();
+            let (p50, p90, p99) = h.p50_p90_p99();
+            out.push_str(&format!(
+                "  verification lag quantiles (sim us): p50={p50} p90={p90} p99={p99}\n"
+            ));
             out.push_str(&format!(
                 "  lag: mean {:.1} us, max {} us over {} keys\n",
                 self.mean_lag_us(),
@@ -220,8 +233,13 @@ mod tests {
         assert_eq!(s.key_lags[0].key, "v1/s0", "sorted by key");
         assert_eq!(s.max_lag_us(), 40);
         assert!((s.mean_lag_us() - 25.0).abs() < 1e-9);
+        let h = s.lag_histogram();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 40);
         let text = s.render();
-        assert!(text.contains("v2/s0: 100 us / 40 us"));
+        // Lags 10 and 40 land in log2 buckets [8,15] and [32,63].
+        assert!(text.contains("verification lag quantiles (sim us): p50=15 p90=40 p99=40"));
+        assert!(text.contains("mean 25.0 us, max 40 us over 2 keys"));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Validate a Prometheus text-exposition file produced by `--metrics`.
+//!
+//! Usage: `promcheck FILE [FILE...]` — exits nonzero (with the line
+//! number of the first violation) if any file fails the format checks;
+//! used by CI to keep the `--metrics` output scrapeable.
+
+use std::process::ExitCode;
+
+use clusterbft_repro::metrics::validate_prometheus_text;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: promcheck FILE [FILE...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &files {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match validate_prometheus_text(&text) {
+                Ok(lines) => println!("{path}: OK ({lines} lines)"),
+                Err(e) => {
+                    eprintln!("{path}: INVALID — {e}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: unreadable — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

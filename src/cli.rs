@@ -15,6 +15,7 @@ use crate::core::{
 };
 use crate::dataflow::Script;
 use crate::mapreduce::data_plane::{self, DataPlaneSnapshot};
+use crate::metrics::{json_snapshot, prometheus_text, HealthReport, Metrics};
 use crate::trace::{chrome_trace_json, MemorySink, TraceSummary, Tracer};
 
 /// Parsed command-line options for one `cbft` invocation.
@@ -64,6 +65,13 @@ pub struct CliOptions {
     /// Print an aggregated trace summary (per-phase time, verification
     /// lag per key, data-plane counters) after the run report.
     pub trace_summary: bool,
+    /// Write a Prometheus text-exposition metrics dump here.
+    pub metrics: Option<String>,
+    /// Write a JSON metrics snapshot here.
+    pub metrics_json: Option<String>,
+    /// Append the per-replica fault-forensics health report to the
+    /// run report.
+    pub health_report: bool,
 }
 
 impl Default for CliOptions {
@@ -88,6 +96,9 @@ impl Default for CliOptions {
             show_rows: 10,
             trace: None,
             trace_summary: false,
+            metrics: None,
+            metrics_json: None,
+            health_report: false,
         }
     }
 }
@@ -138,6 +149,14 @@ OPTIONS:
                          (load it in Perfetto or chrome://tracing)
     --trace-summary      print per-phase timings, per-key verification lag
                          and data-plane counters after the report
+    --metrics FILE       write run metrics in Prometheus text exposition
+                         format (counters, gauges, log2-bucket histograms;
+                         every sample carries a domain=\"sim\"|\"wall\" label)
+    --metrics-json FILE  write the same metrics snapshot as JSON
+    --health-report      print the fault-forensics health report: per-replica
+                         digest mismatch/omission counters, suspicion band
+                         trajectories, verification lag quantiles and
+                         escalation round costs
 
 Input files are one record per line, comma-separated; fields parse as
 integers when possible, the literal `null` as null, anything else as text.";
@@ -208,6 +227,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             }
             "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--trace-summary" => opts.trace_summary = true,
+            "--metrics" => opts.metrics = Some(need(&mut it, "--metrics")?),
+            "--metrics-json" => opts.metrics_json = Some(need(&mut it, "--metrics-json")?),
+            "--health-report" => opts.health_report = true,
             "--combiners" => opts.combiners = true,
             "--optimize" => opts.optimize = true,
             "--dot" => opts.emit_dot = true,
@@ -318,6 +340,7 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     }
 
     let (tracer, sink) = make_tracer(opts);
+    let metrics = make_metrics(opts);
     let dp_before = data_plane::snapshot();
 
     let mut builder = Cluster::builder()
@@ -341,6 +364,7 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     let config = config.build();
     let mut cbft = ClusterBft::new(builder.build(), config);
     cbft.set_tracer(tracer);
+    cbft.set_metrics(metrics.clone());
     for (name, records) in inputs {
         cbft.load_input(&name, records)?;
     }
@@ -374,6 +398,7 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
         }
     }
     finish_trace(&mut out, opts, sink, dp_before)?;
+    finish_metrics(&mut out, opts, &metrics)?;
     Ok(out)
 }
 
@@ -429,6 +454,7 @@ fn run_parallel(
     use std::fmt::Write as _;
 
     let (tracer, sink) = make_tracer(opts);
+    let metrics = make_metrics(opts);
     let dp_before = data_plane::snapshot();
 
     let f = opts.f;
@@ -449,6 +475,7 @@ fn run_parallel(
         ..ExecutorConfig::default()
     });
     exec.set_tracer(tracer);
+    exec.set_metrics(metrics.clone());
     for (name, records) in inputs {
         exec.load_input(&name, records)?;
     }
@@ -491,7 +518,47 @@ fn run_parallel(
         }
     }
     finish_trace(&mut out, opts, sink, dp_before)?;
+    finish_metrics(&mut out, opts, &metrics)?;
     Ok(out)
+}
+
+/// Builds the metrics hub for one run: a live registry when any metrics
+/// flag is set, the zero-cost disabled handle otherwise.
+fn make_metrics(opts: &CliOptions) -> Metrics {
+    if opts.metrics.is_some() || opts.metrics_json.is_some() || opts.health_report {
+        Metrics::new()
+    } else {
+        Metrics::disabled()
+    }
+}
+
+/// Drains the metrics hub: writes the Prometheus (`--metrics`) and JSON
+/// (`--metrics-json`) dumps and appends the fault-forensics health report
+/// (`--health-report`) to the run report.
+fn finish_metrics(
+    out: &mut String,
+    opts: &CliOptions,
+    metrics: &Metrics,
+) -> Result<(), Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    if !metrics.enabled() {
+        return Ok(());
+    }
+    let snap = metrics.snapshot();
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, prometheus_text(&snap))?;
+    }
+    if let Some(path) = &opts.metrics_json {
+        std::fs::write(path, json_snapshot(&snap))?;
+    }
+    if opts.health_report {
+        // Built from the sim-domain slice only, so the report is identical
+        // for any worker/compute-pool thread count.
+        let report = HealthReport::from_snapshot(&snap.sim_only());
+        let _ = writeln!(out, "\n{}", report.render());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -780,6 +847,86 @@ mod tests {
             assert!(json.contains("\"ph\":\"B\""), "spans recorded: {json}");
             assert!(json.contains("\"name\":\"quorum\""), "{json}");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_flags_parse() {
+        let defaults = parse(&["s.pig"]).unwrap();
+        assert_eq!(defaults.metrics, None);
+        assert_eq!(defaults.metrics_json, None);
+        assert!(!defaults.health_report);
+        let opts = parse(&[
+            "s.pig",
+            "--metrics",
+            "m.prom",
+            "--metrics-json",
+            "m.json",
+            "--health-report",
+        ])
+        .unwrap();
+        assert_eq!(opts.metrics.as_deref(), Some("m.prom"));
+        assert_eq!(opts.metrics_json.as_deref(), Some("m.json"));
+        assert!(opts.health_report);
+        assert!(parse(&["s.pig", "--metrics"]).is_err());
+        assert!(parse(&["s.pig", "--metrics-json"]).is_err());
+    }
+
+    #[test]
+    fn metrics_run_writes_exports_and_health_report() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_metrics_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+        let prom_file = dir.join("m.prom");
+        let json_file = dir.join("m.json");
+
+        // Chaos run: replica 0 commits commission faults, so the health
+        // report must name it with nonzero mismatch counters.
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            &format!("edges={}", data.to_str().unwrap()),
+            "--threads",
+            "2",
+            "--replication",
+            "optimistic",
+            "--fault",
+            "0:commission",
+            "--metrics",
+            prom_file.to_str().unwrap(),
+            "--metrics-json",
+            json_file.to_str().unwrap(),
+            "--health-report",
+        ])
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("VERIFIED"), "{report}");
+        assert!(report.contains("health report"), "{report}");
+        assert!(report.contains("replica 0:"), "{report}");
+        assert!(report.contains("[SUSPECT]"), "{report}");
+        assert!(
+            report.contains("suspected faulty replicas: {0}"),
+            "{report}"
+        );
+
+        let prom = std::fs::read_to_string(&prom_file).unwrap();
+        crate::metrics::validate_prometheus_text(&prom)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{prom}"));
+        assert!(prom.contains("cbft_replica_mismatches_total"), "{prom}");
+        let json = std::fs::read_to_string(&json_file).unwrap();
+        assert!(json.starts_with("{\"metrics\":["), "{json}");
+        assert!(json.contains("cbft_task_sim_us"), "{json}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,6 +10,9 @@
 //! - [`sim`] — discrete-event simulation core ([`cbft_sim`]).
 //! - [`trace`] — structured span/event tracing and the Chrome-trace
 //!   exporter ([`cbft_trace`]).
+//! - [`metrics`] — labeled counters/gauges/histograms, Prometheus and
+//!   JSON exposition, and the fault-forensics health report
+//!   ([`cbft_metrics`]).
 //! - [`mapreduce`] — the Hadoop-style execution substrate
 //!   ([`cbft_mapreduce`]).
 //! - [`bft`] — PBFT-style state machine replication ([`cbft_bft`]).
@@ -28,6 +31,7 @@ pub use cbft_dataflow as dataflow;
 pub use cbft_digest as digest;
 pub use cbft_faultsim as faultsim;
 pub use cbft_mapreduce as mapreduce;
+pub use cbft_metrics as metrics;
 pub use cbft_sim as sim;
 pub use cbft_trace as trace;
 pub use cbft_workloads as workloads;

@@ -215,3 +215,55 @@ fn different_seeds_still_agree_on_outputs() {
     assert!(a.verified() && b.verified());
     assert_eq!(a.outputs(), b.outputs());
 }
+
+#[test]
+fn sim_metric_snapshots_identical_across_thread_matrix() {
+    // The sim-domain metric slice is part of the determinism contract:
+    // for a fixed seed and fault plan, the JSON rendering of the
+    // sim-only snapshot is byte-identical for every worker-thread ×
+    // compute-pool-thread combination. Wall-domain samples (pool
+    // dispatch/steal counts, queue peaks) are excluded — they genuinely
+    // depend on host scheduling.
+    use clusterbft_repro::metrics::{json_snapshot, Metrics};
+
+    let fault = Some((1, Behavior::Commission { probability: 1.0 }));
+    let mut baseline: Option<String> = None;
+    for threads in [1, 8] {
+        for compute_threads in [1, 8] {
+            let mut exec = ParallelExecutor::new(ExecutorConfig {
+                threads,
+                compute_threads,
+                expected_failures: 1,
+                escalation: vec![2, 3, 4],
+                master_seed: 2013,
+                ..ExecutorConfig::default()
+            });
+            let metrics = Metrics::new();
+            exec.set_metrics(metrics.clone());
+            exec.load_input("users", users(40)).unwrap();
+            exec.load_input("clicks", clicks(600)).unwrap();
+            if let Some((uid, behavior)) = fault {
+                exec.inject_fault(uid, behavior);
+            }
+            let outcome = exec.run_script(SCRIPT).unwrap();
+            assert!(outcome.verified());
+            let sim = json_snapshot(&metrics.snapshot().sim_only());
+            assert!(
+                sim.contains("cbft_task_sim_us"),
+                "task latency histogram present: {sim}"
+            );
+            assert!(
+                sim.contains("cbft_replica_mismatches_total"),
+                "deviant replica forensics present: {sim}"
+            );
+            match &baseline {
+                None => baseline = Some(sim),
+                Some(b) => assert_eq!(
+                    b, &sim,
+                    "threads={threads} compute_threads={compute_threads}: \
+                     sim metrics diverged"
+                ),
+            }
+        }
+    }
+}

@@ -506,3 +506,78 @@ fn regression_filter_precedence_threshold_1_or_empty_rows() {
     // the conjunct's null guard, row 4 fails both disjuncts.
     assert_eq!(result.output("out").unwrap().len(), 2);
 }
+
+// --- metrics histogram invariants ------------------------------------------
+
+use clusterbft_repro::metrics::{bucket_index, bucket_lower, bucket_upper, Histogram, BUCKETS};
+
+fn fold(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    /// Recording is order-independent and merging is associative: any way
+    /// of splitting a value stream across histograms and merging them
+    /// back yields the same state. This is what makes sim-domain
+    /// histograms deterministic across thread counts.
+    #[test]
+    fn histogram_record_and_merge_are_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..80),
+        b in proptest::collection::vec(any::<u64>(), 0..80),
+        c in proptest::collection::vec(any::<u64>(), 0..80),
+    ) {
+        let whole = fold(&[a.clone(), b.clone(), c.clone()].concat());
+
+        // (a + b) + c
+        let mut left = fold(&a);
+        left.merge(&fold(&b));
+        left.merge(&fold(&c));
+        // a + (b + c)
+        let mut right_tail = fold(&b);
+        right_tail.merge(&fold(&c));
+        let mut right = fold(&a);
+        right.merge(&right_tail);
+
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+
+        // Reversed record order, interleaved differently.
+        let mut rev: Vec<u64> = [c, b, a].concat();
+        rev.reverse();
+        prop_assert_eq!(&fold(&rev), &whole);
+    }
+
+    /// Every value lands in exactly the log₂ bucket that covers it:
+    /// bucket 0 is {0}, bucket b covers [2^(b-1), 2^b - 1], and the
+    /// per-bucket counts are exact (no sampling, no saturation).
+    #[test]
+    fn histogram_buckets_are_exact_log2(
+        values in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let h = fold(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        for &v in &values {
+            let b = bucket_index(v);
+            prop_assert!(b < BUCKETS);
+            prop_assert!(bucket_lower(b) <= v && v <= bucket_upper(b));
+            if v > 0 {
+                prop_assert_eq!(b, 64 - v.leading_zeros() as usize);
+            }
+        }
+        for (b, &n) in h.buckets().iter().enumerate() {
+            let expected = values.iter().filter(|&&v| bucket_index(v) == b).count() as u64;
+            prop_assert_eq!(n, expected, "bucket {}", b);
+        }
+        let (p50, p90, p99) = h.p50_p90_p99();
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        for q in [p50, p90, p99] {
+            prop_assert!((lo..=hi).contains(&q), "quantile {} outside [{}, {}]", q, lo, hi);
+        }
+        prop_assert!(p50 <= p90 && p90 <= p99);
+    }
+}
