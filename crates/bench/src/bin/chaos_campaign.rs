@@ -1,0 +1,89 @@
+//! Chaos-campaign record: 1000 seeded fault scenarios against the real
+//! engine/verifier/suspicion stack, every verdict checked by the
+//! campaign oracle (no false suspicions, deterministic faults named,
+//! `≤ f` faults verified, verified outputs equal the reference
+//! interpreter's).
+//!
+//! The campaign is run twice — 1 and 8 worker threads, with 1 and 4
+//! compute-pool threads — and the rendered reports must be
+//! byte-identical; the `campaign_report_thread_invariant` flag records
+//! the comparison. Results land in `bench_results/chaos_campaign.json`.
+
+use cbft_bench::ExperimentRecord;
+use cbft_campaign::{run_campaign, CampaignConfig, RunOptions};
+
+fn main() {
+    let narrow = CampaignConfig {
+        seed: 42,
+        scenarios: 1000,
+        threads: 1,
+        run: RunOptions::default(),
+    };
+    let (report, _) = run_campaign(&narrow);
+    let wide = CampaignConfig {
+        threads: 8,
+        run: RunOptions {
+            compute_threads: 4,
+            ..RunOptions::default()
+        },
+        ..narrow
+    };
+    let (report_wide, _) = run_campaign(&wide);
+    let invariant = report.render() == report_wide.render();
+    assert!(invariant, "campaign reports must not depend on threading");
+    assert_eq!(
+        report.divergences(),
+        0,
+        "healthy build conforms: {:?}",
+        report.divergent
+    );
+
+    let mut rec = ExperimentRecord::new(
+        "chaos_campaign",
+        "Chaos campaign: 1000 seeded fault scenarios vs. the verdict oracle",
+        "campaign seed 42; scenarios sweep r in {2,3,4} (escalation ladder \
+         suffixes), digest granularity in {whole-stream, 50, 7}, 0-3 \
+         verification points, 24-160 records, and 0-3 injected faults drawn \
+         from a uniform commission/omission/crash/colluding mix. Each scenario \
+         drives the real ParallelExecutor; the oracle checks suspects against \
+         the injected fault plan. Run at 1x1 and 8x4 worker-by-compute \
+         threads; the rendered reports are compared byte-for-byte.",
+    );
+    rec.set_flag("campaign_report_thread_invariant", invariant);
+    rec.set_flag("oracle_conformant", report.divergences() == 0);
+    rec.push("scenarios", "runs", None, report.scenarios as f64);
+    rec.push("verified", "runs", None, report.verified as f64);
+    rec.push(
+        "faults injected",
+        "faults",
+        None,
+        report.faults_injected as f64,
+    );
+    rec.push(
+        "oracle divergences",
+        "runs",
+        None,
+        report.divergences() as f64,
+    );
+    rec.push(
+        "false suspicions",
+        "replicas",
+        None,
+        report.false_suspicions as f64,
+    );
+    let (p50, p90, p99) = report.detection_lag.p50_p90_p99();
+    rec.push("detection lag p50", "sim us", None, p50 as f64);
+    rec.push("detection lag p90", "sim us", None, p90 as f64);
+    rec.push("detection lag p99", "sim us", None, p99 as f64);
+    for (rounds, n) in &report.escalation_rounds {
+        let converged = report.converged.get(rounds).copied().unwrap_or(0);
+        rec.push(format!("{rounds}-round scenarios"), "runs", None, *n as f64);
+        rec.push(
+            format!("{rounds}-round forensic convergence"),
+            "runs",
+            None,
+            converged as f64,
+        );
+    }
+    rec.finish();
+}

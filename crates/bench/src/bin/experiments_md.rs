@@ -147,6 +147,16 @@ fn commentary(id: &str) -> &'static str {
                               label hash); the pipeline rows show both vanish inside a \
                               real run."
         }
+        "chaos_campaign" => {
+            "Campaign gate: a thousand seeded scenarios drive the real \
+                            engine and every verdict is checked against the injected \
+                            fault plan — zero divergences and zero false suspicions \
+                            on a healthy build, with the aggregate report \
+                            byte-identical across worker/compute thread matrices \
+                            (both asserted by the binary). The convergence rows show \
+                            how often the forensics named exactly the scheduled \
+                            injected faults, by escalation depth."
+        }
         _ => "",
     }
 }
@@ -170,6 +180,7 @@ fn main() {
         "data_plane",
         "verification_lag",
         "metrics_overhead",
+        "chaos_campaign",
     ];
     let mut out = String::new();
     let _ = writeln!(

@@ -1,0 +1,45 @@
+//! # cbft-campaign — deterministic chaos campaigns with shrinking
+//!
+//! The paper evaluates the fault analyzer on a handful of hand-picked
+//! setups (Figs. 7, 11–13, §6.3). This crate makes "as many scenarios
+//! as you can imagine" a reproducible artifact: a **campaign** fans
+//! thousands of seeded fault scenarios — commission / omission / crash /
+//! colluding mixes swept over the replication degree `r`, the digest
+//! granularity `d`, verification-point counts and fault probabilities —
+//! across the compute pool, driving the *real* engine, verifier and
+//! suspicion stack (`ParallelExecutor`, not just `cbft-faultsim`).
+//!
+//! Three properties make the campaign a regression gate rather than a
+//! fuzzer:
+//!
+//! 1. **Purity.** Each [`Scenario`] is a pure function of
+//!    `(campaign seed, index)` via [`cbft_sim::SeedSpawner`], and each
+//!    run is a pure function of the scenario. The aggregate
+//!    [`CampaignReport`] folds per-scenario results in index order, so
+//!    its rendering is byte-identical at any `--threads` /
+//!    `--compute-threads` setting.
+//! 2. **An oracle.** Every run's verdict is checked against what the
+//!    injected fault plan *implies* (see [`oracle`]): suspects must be
+//!    injected, deterministic faults must be named, `≤ f` faults must
+//!    verify, and verified outputs must equal the reference
+//!    interpreter's. Any violation is a [`Divergence`].
+//! 3. **Shrinking.** A diverging scenario is deterministically
+//!    minimized — fewer faults, smaller input, fewer escalation rungs,
+//!    fewer verification points — to a minimal counterexample emitted
+//!    as a ready-to-pin regression test ([`shrink`], [`Counterexample`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod runner;
+mod scenario;
+mod shrink;
+
+pub use report::CampaignReport;
+pub use runner::{
+    oracle, run_campaign, run_scenario, CampaignConfig, Divergence, RunOptions, ScenarioResult,
+    SCRIPTS,
+};
+pub use scenario::Scenario;
+pub use shrink::{shrink, Counterexample};

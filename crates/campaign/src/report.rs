@@ -1,0 +1,239 @@
+//! The aggregate campaign report.
+//!
+//! Everything in the report is a fold over [`ScenarioResult`]s in index
+//! order, built from commutative pieces (counters, histogram merges,
+//! suspicion tallies) — so the rendering is byte-identical however the
+//! campaign was threaded. No wall-clock material ever enters it.
+
+use std::collections::BTreeMap;
+
+use cbft_metrics::{names, prometheus_text, Domain, Histogram, Metrics};
+use clusterbft::{NodeId, SuspicionTable};
+
+use crate::runner::{CampaignConfig, ScenarioResult};
+
+/// Deterministic summary of a whole campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Campaign seed the report derives from.
+    pub seed: u64,
+    /// Scenarios executed.
+    pub scenarios: u64,
+    /// Scenarios whose run verified.
+    pub verified: u64,
+    /// Total injected faults across the campaign.
+    pub faults_injected: u64,
+    /// Honest replicas blamed as suspects (oracle rule violations).
+    pub false_suspicions: u64,
+    /// Merged per-key report→quorum lag over every scenario (sim µs).
+    pub detection_lag: Histogram,
+    /// Scenario count by escalation-round count.
+    pub escalation_rounds: BTreeMap<usize, u64>,
+    /// Scenario count, by round count, where forensics converged: the
+    /// named set equals exactly the scheduled injected faults.
+    pub converged: BTreeMap<usize, u64>,
+    /// Suspicion-band population after replaying every scenario's
+    /// job/fault record into one campaign-wide table (replica uid =
+    /// node id).
+    pub suspicion_bands: BTreeMap<&'static str, usize>,
+    /// Divergence count per oracle rule.
+    pub divergence_rules: BTreeMap<&'static str, u64>,
+    /// Indices of diverging scenarios, ascending.
+    pub divergent: Vec<u64>,
+}
+
+impl CampaignReport {
+    /// Folds per-scenario results (in index order) into the report.
+    pub fn aggregate(config: &CampaignConfig, results: &[ScenarioResult]) -> CampaignReport {
+        let mut report = CampaignReport {
+            seed: config.seed,
+            scenarios: results.len() as u64,
+            verified: 0,
+            faults_injected: 0,
+            false_suspicions: 0,
+            detection_lag: Histogram::new(),
+            escalation_rounds: BTreeMap::new(),
+            converged: BTreeMap::new(),
+            suspicion_bands: BTreeMap::new(),
+            divergence_rules: BTreeMap::new(),
+            divergent: Vec::new(),
+        };
+        let mut suspicion = SuspicionTable::new();
+        for r in results {
+            if r.verified {
+                report.verified += 1;
+            }
+            report.faults_injected += r.scenario.faults.len() as u64;
+            report.detection_lag.merge(&r.detection_lag);
+            let rounds = r.rounds.len();
+            *report.escalation_rounds.entry(rounds).or_default() += 1;
+            if r.named == r.injected_scheduled() {
+                *report.converged.entry(rounds).or_default() += 1;
+            }
+            let scheduled: usize = r.rounds.iter().sum();
+            suspicion.record_jobs((0..scheduled).map(NodeId));
+            suspicion.record_faults(r.named.iter().copied().map(NodeId));
+            for d in &r.divergences {
+                *report.divergence_rules.entry(d.rule).or_default() += 1;
+                if d.rule == crate::oracle::FALSE_SUSPICION {
+                    report.false_suspicions += 1;
+                }
+            }
+            if !r.divergences.is_empty() {
+                report.divergent.push(r.index);
+            }
+        }
+        report.suspicion_bands = suspicion
+            .band_counts()
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .collect();
+        report
+    }
+
+    /// Total oracle divergences across all rules.
+    pub fn divergences(&self) -> u64 {
+        self.divergence_rules.values().sum()
+    }
+
+    /// Re-expresses the report as a `cbft-metrics` registry, so the
+    /// campaign exports through the same Prometheus/JSON pipeline as
+    /// the engine itself.
+    pub fn to_metrics(&self) -> Metrics {
+        let m = Metrics::new();
+        m.add(Domain::Sim, names::CAMPAIGN_SCENARIOS, &[], self.scenarios);
+        m.add(Domain::Sim, names::CAMPAIGN_VERIFIED, &[], self.verified);
+        m.add(
+            Domain::Sim,
+            names::CAMPAIGN_FAULTS_INJECTED,
+            &[],
+            self.faults_injected,
+        );
+        m.add(
+            Domain::Sim,
+            names::CAMPAIGN_FALSE_SUSPICIONS,
+            &[],
+            self.false_suspicions,
+        );
+        m.observe_hist(
+            Domain::Sim,
+            names::CAMPAIGN_DETECTION_LAG_US,
+            &[],
+            &self.detection_lag,
+        );
+        for (&rounds, &n) in &self.escalation_rounds {
+            m.add(
+                Domain::Sim,
+                names::CAMPAIGN_ESCALATION_ROUNDS,
+                &[("rounds", rounds.into())],
+                n,
+            );
+        }
+        for (&rounds, &n) in &self.converged {
+            m.add(
+                Domain::Sim,
+                names::CAMPAIGN_CONVERGED,
+                &[("rounds", rounds.into())],
+                n,
+            );
+        }
+        for (&band, &n) in &self.suspicion_bands {
+            m.add(
+                Domain::Sim,
+                names::CAMPAIGN_SUSPICION_BAND,
+                &[("band", band.into())],
+                n as u64,
+            );
+        }
+        for (&rule, &n) in &self.divergence_rules {
+            m.add(
+                Domain::Sim,
+                names::CAMPAIGN_DIVERGENCES,
+                &[("rule", rule.into())],
+                n,
+            );
+        }
+        m
+    }
+
+    /// Renders the human-readable report followed by the Prometheus
+    /// exposition. Byte-identical across thread counts: every line is a
+    /// function of the result fold only.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# ClusterBFT chaos campaign report\n");
+        out.push_str(&format!("seed: {:#x}\n", self.seed));
+        out.push_str(&format!(
+            "scenarios: {}  verified: {}  faults injected: {}\n",
+            self.scenarios, self.verified, self.faults_injected
+        ));
+        let (p50, p90, p99) = self.detection_lag.p50_p90_p99();
+        out.push_str(&format!(
+            "detection lag (sim us): keys={}  p50={}  p90={}  p99={}  max={}\n",
+            self.detection_lag.count(),
+            p50,
+            p90,
+            p99,
+            self.detection_lag.max()
+        ));
+        out.push_str("escalation rounds:\n");
+        for (rounds, n) in &self.escalation_rounds {
+            let converged = self.converged.get(rounds).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "  {rounds} round(s): {n} scenario(s), {converged} forensically converged\n"
+            ));
+        }
+        out.push_str("campaign suspicion bands:\n");
+        for (band, n) in &self.suspicion_bands {
+            out.push_str(&format!("  {band}: {n} replica slot(s)\n"));
+        }
+        out.push_str(&format!(
+            "false suspicions: {}\ndivergences: {}\n",
+            self.false_suspicions,
+            self.divergences()
+        ));
+        for (rule, n) in &self.divergence_rules {
+            out.push_str(&format!("  {rule}: {n}\n"));
+        }
+        if !self.divergent.is_empty() {
+            let shown: Vec<String> = self.divergent.iter().take(20).map(u64::to_string).collect();
+            out.push_str(&format!(
+                "divergent scenario indices (first 20): {}\n",
+                shown.join(", ")
+            ));
+        }
+        out.push('\n');
+        out.push_str(&prometheus_text(&self.to_metrics().snapshot()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_scenario, RunOptions};
+    use crate::Scenario;
+
+    #[test]
+    fn the_report_rendering_is_deterministic_and_exports_campaign_metrics() {
+        let config = CampaignConfig {
+            seed: 3,
+            scenarios: 6,
+            ..CampaignConfig::default()
+        };
+        let results: Vec<_> = (0..config.scenarios)
+            .map(|i| {
+                run_scenario(
+                    i,
+                    &Scenario::generate(config.seed, i),
+                    &RunOptions::default(),
+                )
+            })
+            .collect();
+        let a = CampaignReport::aggregate(&config, &results).render();
+        let b = CampaignReport::aggregate(&config, &results).render();
+        assert_eq!(a, b);
+        assert!(a.contains("cbft_campaign_scenarios_total{domain=\"sim\"} 6"));
+        assert!(a.contains("escalation rounds:"));
+    }
+}

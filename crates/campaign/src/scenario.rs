@@ -1,0 +1,210 @@
+//! The seeded scenario grammar.
+//!
+//! A [`Scenario`] is everything one chaos run needs: the script, the
+//! input shape, the escalation schedule (the `r` sweep), the digest
+//! granularity `d`, the verification-point count, and the fault plan.
+//! Generation is a pure function of `(campaign_seed, index)`; execution
+//! is a pure function of the scenario. Both facts together are what let
+//! the aggregate report be byte-identical at any thread count — and
+//! what let the shrinker re-run mutated scenarios standalone.
+
+use cbft_faultsim::FaultMix;
+use cbft_sim::SeedSpawner;
+use clusterbft::{Behavior, Record, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::runner::SCRIPTS;
+
+/// One fully-specified chaos run, derived from a seed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Master seed handed to the engine (`ExecutorConfig::master_seed`).
+    pub seed: u64,
+    /// Index into [`SCRIPTS`].
+    pub script: usize,
+    /// Input records generated for the run.
+    pub records: usize,
+    /// Modulus of the record key column (controls group fan-in).
+    pub key_mod: i64,
+    /// Escalation schedule: cumulative replica targets per round. A
+    /// suffix of the paper's `f+1 → 2f+1 → 3f+1` ladder, so the first
+    /// entry is the swept initial replication degree `r`.
+    pub escalation: Vec<usize>,
+    /// Marker-chosen verification points.
+    pub points: u32,
+    /// Digest granularity `d` (records per digest chunk).
+    pub granularity: usize,
+    /// Map-task input split size.
+    pub map_split_records: usize,
+    /// Injected faults, `(replica uid, behavior)`, ascending by uid.
+    pub faults: Vec<(usize, Behavior)>,
+}
+
+impl Scenario {
+    /// Derives scenario `index` of the campaign rooted at
+    /// `campaign_seed`. Pure: the same pair always yields the same
+    /// scenario, independent of every other scenario and of any thread
+    /// count.
+    pub fn generate(campaign_seed: u64, index: u64) -> Scenario {
+        let seed = SeedSpawner::new(campaign_seed).seed("scenario", index);
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let script = rng.gen_range(0..SCRIPTS.len());
+        let records = rng.gen_range(24..=160);
+        let key_mod = rng.gen_range(5..=16);
+        // The r sweep: start the ladder at f+1, 2f+1 or 3f+1.
+        let escalation = match rng.gen_range(0..3u32) {
+            0 => vec![2, 3, 4],
+            1 => vec![3, 4],
+            _ => vec![4],
+        };
+        let points = rng.gen_range(0..=3u32);
+        let granularity = [usize::MAX, 50, 7][rng.gen_range(0..3usize)];
+        let map_split_records = rng.gen_range(20..80);
+
+        // Fault plan: mostly ≤ f faults (the regime the paper's
+        // guarantee covers), with a tail of 2–3 fault scenarios that
+        // exercise exhaustion, conflict forensics and the collusion
+        // boundary. Uids are drawn without replacement from the full
+        // ladder, so some faults only manifest if escalation reaches
+        // their round.
+        let n_faults = match rng.gen_range(0..10u32) {
+            0 => 0,
+            1..=5 => 1,
+            6..=8 => 2,
+            _ => 3,
+        };
+        let mut uids: Vec<usize> = (0..4).collect();
+        uids.shuffle(&mut rng);
+        let mut uids: Vec<usize> = uids.into_iter().take(n_faults).collect();
+        uids.sort_unstable();
+        let faults = uids
+            .into_iter()
+            .map(|uid| (uid, FaultMix::UNIFORM.draw(&mut rng)))
+            .collect();
+
+        Scenario {
+            seed,
+            script,
+            records,
+            key_mod,
+            escalation,
+            points,
+            granularity,
+            map_split_records,
+            faults,
+        }
+    }
+
+    /// The deterministic input table for this scenario.
+    pub fn input(&self) -> Vec<Record> {
+        (0..self.records as i64)
+            .map(|i| Record::new(vec![Value::Int(i % self.key_mod), Value::Int(i * 7 % 101)]))
+            .collect()
+    }
+
+    /// Number of commission faults in the plan (any probability). Two or
+    /// more can collude: corruption is a deterministic function of the
+    /// record, so replicas that corrupt the same tasks produce identical
+    /// wrong digests and — beyond `f` of them — can fake a quorum.
+    pub fn commission_faults(&self) -> usize {
+        self.faults
+            .iter()
+            .filter(|(_, b)| matches!(b, Behavior::Commission { .. }))
+            .count()
+    }
+
+    /// Renders the scenario as a Rust expression, for ready-to-pin
+    /// regression tests emitted by the shrinker.
+    pub fn to_rust_literal(&self) -> String {
+        let faults: Vec<String> = self
+            .faults
+            .iter()
+            .map(|(uid, b)| {
+                let b = match b {
+                    Behavior::Honest => "Behavior::Honest".to_owned(),
+                    Behavior::Crashed => "Behavior::Crashed".to_owned(),
+                    Behavior::Commission { probability } => {
+                        format!("Behavior::Commission {{ probability: {probability:?} }}")
+                    }
+                    Behavior::Omission { probability } => {
+                        format!("Behavior::Omission {{ probability: {probability:?} }}")
+                    }
+                };
+                format!("({uid}, {b})")
+            })
+            .collect();
+        let granularity = if self.granularity == usize::MAX {
+            "usize::MAX".to_owned()
+        } else {
+            self.granularity.to_string()
+        };
+        format!(
+            "Scenario {{\n        seed: {seed:#x},\n        script: {script},\n        records: {records},\n        key_mod: {key_mod},\n        escalation: vec!{escalation:?},\n        points: {points},\n        granularity: {granularity},\n        map_split_records: {msr},\n        faults: vec![{faults}],\n    }}",
+            seed = self.seed,
+            script = self.script,
+            records = self.records,
+            key_mod = self.key_mod,
+            escalation = self.escalation,
+            points = self.points,
+            msr = self.map_split_records,
+            faults = faults.join(", "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed_and_index() {
+        for index in 0..50u64 {
+            let a = Scenario::generate(42, index);
+            let b = Scenario::generate(42, index);
+            assert_eq!(a, b);
+        }
+        assert_ne!(Scenario::generate(42, 0), Scenario::generate(42, 1));
+        assert_ne!(Scenario::generate(42, 0), Scenario::generate(43, 0));
+    }
+
+    #[test]
+    fn the_sweep_covers_the_advertised_dimensions() {
+        let scenarios: Vec<Scenario> = (0..300).map(|i| Scenario::generate(7, i)).collect();
+        let rs: std::collections::BTreeSet<usize> =
+            scenarios.iter().map(|s| s.escalation[0]).collect();
+        assert_eq!(rs, [2, 3, 4].into(), "r sweep");
+        let ds: std::collections::BTreeSet<usize> =
+            scenarios.iter().map(|s| s.granularity).collect();
+        assert_eq!(ds.len(), 3, "granularity sweep");
+        let points: std::collections::BTreeSet<u32> = scenarios.iter().map(|s| s.points).collect();
+        assert_eq!(points, [0, 1, 2, 3].into(), "verification-point sweep");
+        let fault_counts: std::collections::BTreeSet<usize> =
+            scenarios.iter().map(|s| s.faults.len()).collect();
+        assert_eq!(fault_counts, [0, 1, 2, 3].into(), "fault-count sweep");
+        assert!(
+            scenarios.iter().flat_map(|s| &s.faults).any(
+                |(_, b)| matches!(b, Behavior::Commission { probability } if *probability >= 1.0)
+            ),
+            "colluding commissions appear in the mix"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .flat_map(|s| &s.faults)
+                .any(|(_, b)| matches!(b, Behavior::Crashed)),
+            "crashes appear in the mix"
+        );
+    }
+
+    #[test]
+    fn rust_literal_round_trips_the_shape() {
+        let s = Scenario::generate(9, 3);
+        let lit = s.to_rust_literal();
+        assert!(lit.contains("seed:"));
+        assert!(lit.contains("escalation: vec!"));
+    }
+}

@@ -1,0 +1,307 @@
+//! Deterministic counterexample minimization.
+//!
+//! When a scenario diverges from the oracle, [`shrink`] walks a fixed
+//! candidate order — drop faults last-first, halve then decrement the
+//! input, drop the last escalation rung, remove verification points,
+//! coarsen the digest granularity, normalize the split size and script —
+//! re-running each candidate standalone and keeping the first that
+//! still reproduces, until no candidate does. The order is fixed and
+//! every re-run is pure, so the same divergence always shrinks to the
+//! same minimal scenario. [`Counterexample`] renders the result as a
+//! ready-to-pin regression test.
+
+use serde::Serialize;
+
+use crate::runner::{run_scenario, Divergence, RunOptions};
+use crate::scenario::Scenario;
+
+/// Smallest input the shrinker will propose: enough records for every
+/// script in the corpus to produce non-trivial output.
+const MIN_RECORDS: usize = 8;
+
+/// All single-step simplifications of `s`, in the fixed preference
+/// order. Earlier candidates remove more of the scenario.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // 1. Drop one injected fault, last-first.
+    for i in (0..s.faults.len()).rev() {
+        let mut c = s.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+    // 2. Shrink the input: halve, then decrement.
+    let halved = (s.records / 2).max(MIN_RECORDS);
+    if halved < s.records {
+        let mut c = s.clone();
+        c.records = halved;
+        out.push(c);
+    }
+    if s.records > MIN_RECORDS {
+        let mut c = s.clone();
+        c.records = s.records - 1;
+        out.push(c);
+    }
+    // 3. Drop the last escalation rung.
+    if s.escalation.len() > 1 {
+        let mut c = s.clone();
+        c.escalation.pop();
+        out.push(c);
+    }
+    // 4. Remove a verification point.
+    if s.points > 0 {
+        let mut c = s.clone();
+        c.points -= 1;
+        out.push(c);
+    }
+    // 5. Coarsen the digest granularity to one digest per task.
+    if s.granularity != usize::MAX {
+        let mut c = s.clone();
+        c.granularity = usize::MAX;
+        out.push(c);
+    }
+    // 6. Normalize the map split.
+    if s.map_split_records != 64 {
+        let mut c = s.clone();
+        c.map_split_records = 64;
+        out.push(c);
+    }
+    // 7. Normalize to the first corpus script.
+    if s.script != 0 {
+        let mut c = s.clone();
+        c.script = 0;
+        out.push(c);
+    }
+    out
+}
+
+/// Minimizes `scenario` while `reproduces` holds, returning the shrunk
+/// scenario and the number of accepted shrink steps. Greedy first-fit
+/// over [`candidates`] until fixpoint; deterministic because both the
+/// candidate order and `reproduces` (a standalone scenario run) are.
+pub fn shrink<F: Fn(&Scenario) -> bool>(scenario: &Scenario, reproduces: F) -> (Scenario, usize) {
+    let mut current = scenario.clone();
+    let mut steps = 0;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if reproduces(&candidate) {
+                current = candidate;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        return (current, steps);
+    }
+}
+
+/// A shrunk oracle divergence, ready to pin as a regression test.
+#[derive(Clone, Debug, Serialize)]
+pub struct Counterexample {
+    /// Seed of the campaign that surfaced the divergence.
+    pub campaign_seed: u64,
+    /// Index of the diverging scenario within that campaign.
+    pub index: u64,
+    /// The scenario as the campaign generated it.
+    pub original: Scenario,
+    /// The minimal scenario that still diverges.
+    pub shrunk: Scenario,
+    /// Accepted shrink steps between the two.
+    pub steps: usize,
+    /// The divergences the shrunk scenario still produces.
+    pub divergences: Vec<Divergence>,
+    /// Whether the run used the oracle fault injection
+    /// (`truncate_naming`); recorded so the pinned test replays the
+    /// same conditions.
+    pub truncate_naming: bool,
+}
+
+impl Counterexample {
+    /// Shrinks the diverging `scenario` under `opts` and packages the
+    /// result. The caller must have observed a divergence already; if
+    /// the scenario does not reproduce, the "shrunk" form is the
+    /// original.
+    pub fn minimize(
+        campaign_seed: u64,
+        index: u64,
+        scenario: &Scenario,
+        opts: &RunOptions,
+    ) -> Counterexample {
+        let standalone = RunOptions {
+            compute_threads: 1,
+            cross_check: opts.cross_check,
+            truncate_naming: opts.truncate_naming,
+        };
+        let (shrunk, steps) = shrink(scenario, |s| {
+            !run_scenario(index, s, &standalone).divergences.is_empty()
+        });
+        let divergences = run_scenario(index, &shrunk, &standalone).divergences;
+        Counterexample {
+            campaign_seed,
+            index,
+            original: scenario.clone(),
+            shrunk,
+            steps,
+            divergences,
+            truncate_naming: opts.truncate_naming,
+        }
+    }
+
+    /// Renders a self-contained `#[test]` that replays the shrunk
+    /// scenario and asserts it still diverges — paste into
+    /// `tests/campaign.rs` (or any crate depending on `cbft-campaign`)
+    /// to pin the bug.
+    pub fn to_regression_test(&self) -> String {
+        let rules: Vec<&str> = self.divergences.iter().map(|d| d.rule).collect();
+        format!(
+            "/// Pinned by the campaign shrinker: campaign seed {seed:#x},\n\
+             /// scenario {index}, shrunk in {steps} step(s). Violates: {rules}.\n\
+             #[test]\n\
+             fn campaign_counterexample_seed_{seed:x}_scenario_{index}() {{\n\
+             \x20   use cbft_campaign::{{run_scenario, RunOptions, Scenario}};\n\
+             \x20   #[allow(unused_imports)]\n\
+             \x20   use clusterbft::Behavior;\n\
+             \n\
+             \x20   let scenario = {literal};\n\
+             \x20   let opts = RunOptions {{\n\
+             \x20       compute_threads: 1,\n\
+             \x20       cross_check: false,\n\
+             \x20       truncate_naming: {truncate},\n\
+             \x20   }};\n\
+             \x20   let result = run_scenario({index}, &scenario, &opts);\n\
+             \x20   assert!(\n\
+             \x20       !result.divergences.is_empty(),\n\
+             \x20       \"pinned counterexample no longer diverges — bug fixed? remove this test\"\n\
+             \x20   );\n\
+             }}\n",
+            seed = self.campaign_seed,
+            index = self.index,
+            steps = self.steps,
+            rules = rules.join(", "),
+            literal = self.shrunk.to_rust_literal(),
+            truncate = self.truncate_naming,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clusterbft::Behavior;
+
+    fn truncating() -> RunOptions {
+        RunOptions {
+            truncate_naming: true,
+            ..RunOptions::default()
+        }
+    }
+
+    fn diverges(s: &Scenario, opts: &RunOptions) -> bool {
+        !run_scenario(0, s, opts).divergences.is_empty()
+    }
+
+    /// A deliberately-bloated scenario whose divergence (under the
+    /// naming-truncation fault injection) only needs two crashes.
+    fn bloated() -> Scenario {
+        Scenario {
+            seed: 0x2a,
+            script: 2,
+            records: 120,
+            key_mod: 9,
+            escalation: vec![2, 3, 4],
+            points: 3,
+            granularity: 7,
+            map_split_records: 33,
+            faults: vec![(0, Behavior::Crashed), (1, Behavior::Crashed)],
+        }
+    }
+
+    #[test]
+    fn the_shrinker_reaches_a_minimal_fixpoint() {
+        let opts = truncating();
+        assert!(diverges(&bloated(), &opts), "premise: bloated diverges");
+        let (shrunk, steps) = shrink(&bloated(), |s| diverges(s, &opts));
+        assert!(steps > 0, "at least one simplification lands");
+        assert!(diverges(&shrunk, &opts), "shrunk still reproduces");
+        assert!(shrunk.records <= bloated().records);
+        assert_eq!(shrunk.faults.len(), 2, "both crashes are load-bearing");
+        // Fixpoint: a second pass finds nothing more to remove.
+        let (again, more) = shrink(&shrunk, |s| diverges(s, &opts));
+        assert_eq!(more, 0);
+        assert_eq!(again, shrunk);
+    }
+
+    #[test]
+    fn minimize_packages_a_replayable_counterexample() {
+        let ce = Counterexample::minimize(0x2a, 0, &bloated(), &truncating());
+        assert!(!ce.divergences.is_empty());
+        assert!(ce.steps > 0);
+        // Standalone replay of the shrunk scenario, from scratch.
+        assert!(diverges(&ce.shrunk, &truncating()));
+        let test = ce.to_regression_test();
+        assert!(test.contains("#[test]"));
+        assert!(test.contains("truncate_naming: true"));
+        assert!(test.contains("Behavior::Crashed"));
+    }
+
+    /// Pinned shrunk counterexample #1 (two crashes, naming truncated):
+    /// the minimal form the shrinker converges to from [`bloated`].
+    #[test]
+    fn pinned_counterexample_two_crashes_truncated_naming() {
+        let scenario = Scenario {
+            seed: 0x2a,
+            script: 0,
+            records: 8,
+            key_mod: 9,
+            escalation: vec![2, 3],
+            points: 0,
+            granularity: usize::MAX,
+            map_split_records: 64,
+            faults: vec![(0, Behavior::Crashed), (1, Behavior::Crashed)],
+        };
+        let opts = truncating();
+        let result = run_scenario(0, &scenario, &opts);
+        assert!(
+            result
+                .divergences
+                .iter()
+                .any(|d| d.rule == crate::oracle::MISSED_NAMING),
+            "dropping the second crash's name must trip the naming rule: {:?}",
+            result.divergences
+        );
+        let (again, more) = shrink(&scenario, |s| diverges(s, &opts));
+        assert_eq!(more, 0, "pinned case is a shrink fixpoint");
+        assert_eq!(again, scenario);
+    }
+
+    /// Pinned shrunk counterexample #2 (commission + crash, naming
+    /// truncated): exercises the deviant-plus-omitted naming path.
+    #[test]
+    fn pinned_counterexample_commission_and_crash_truncated_naming() {
+        let scenario = Scenario {
+            seed: 0x2a,
+            script: 0,
+            records: 8,
+            key_mod: 5,
+            escalation: vec![4],
+            points: 0,
+            granularity: usize::MAX,
+            map_split_records: 64,
+            faults: vec![
+                (0, Behavior::Commission { probability: 1.0 }),
+                (1, Behavior::Crashed),
+            ],
+        };
+        let opts = truncating();
+        let result = run_scenario(0, &scenario, &opts);
+        assert!(
+            result
+                .divergences
+                .iter()
+                .any(|d| d.rule == crate::oracle::MISSED_NAMING),
+            "truncated naming must miss one of the two faults: {:?}",
+            result.divergences
+        );
+        let (again, more) = shrink(&scenario, |s| diverges(s, &opts));
+        assert_eq!(more, 0, "pinned case is a shrink fixpoint");
+        assert_eq!(again, scenario);
+    }
+}

@@ -165,6 +165,7 @@ pub struct ParallelOutcome {
     deviant_replicas: BTreeSet<usize>,
     clean_replicas: BTreeSet<usize>,
     omitted_replicas: BTreeSet<usize>,
+    conflict_replicas: BTreeSet<usize>,
 }
 
 impl ParallelOutcome {
@@ -216,6 +217,26 @@ impl ParallelOutcome {
     /// crash faults, or an engine-level failure).
     pub fn omitted_replicas(&self) -> &BTreeSet<usize> {
         &self.omitted_replicas
+    }
+
+    /// Replicas party to a digest conflict at a key that never reached a
+    /// quorum (see [`crate::Verifier::conflict_replicas`]). The conflict
+    /// evidence is set-valued: each such key's reporters contain at
+    /// least one faulty replica, but no quorum singles it out.
+    pub fn conflict_replicas(&self) -> &BTreeSet<usize> {
+        &self.conflict_replicas
+    }
+
+    /// Every replica the run's forensics implicate: quorum deviants,
+    /// wedged replicas and unresolved-conflict parties. The campaign
+    /// oracle checks injected faults against this set — any *manifest*
+    /// fault (a scheduled replica that corrupted a digested record or
+    /// wedged) must appear here.
+    pub fn named_replicas(&self) -> BTreeSet<usize> {
+        let mut out = self.deviant_replicas.clone();
+        out.extend(self.omitted_replicas.iter().copied());
+        out.extend(self.conflict_replicas.iter().copied());
+        out
     }
 }
 
@@ -551,6 +572,7 @@ impl ParallelExecutor {
             deviant_replicas: verifier.deviant_replicas(),
             clean_replicas: verifier.clean_replicas(),
             omitted_replicas: omitted,
+            conflict_replicas: verifier.conflict_replicas(),
         })
     }
 

@@ -220,7 +220,11 @@ impl Verifier {
     ///   (`cbft_verification_lag_us{key}`),
     /// - per-replica report counts (`cbft_replica_reports_total`),
     /// - per-replica quorum contradictions
-    ///   (`cbft_replica_mismatches_total`), and
+    ///   (`cbft_replica_mismatches_total`),
+    /// - per-replica unresolved-conflict parties
+    ///   (`cbft_replica_conflicts_total`): keys stuck in
+    ///   [`KeyVerdict::Mismatch`], where no quorum assigns blame but the
+    ///   reporter set provably contains a faulty replica, and
     /// - per-replica missed keys (`cbft_replica_omissions_total`): keys
     ///   where sibling replicas reported but this one stayed silent.
     pub fn record_metrics(&self, metrics: &Metrics) {
@@ -237,14 +241,35 @@ impl Verifier {
                     lag.as_micros(),
                 );
             }
-            if let KeyVerdict::Verified { deviant, .. } = self.verdict(key) {
-                for replica in deviant {
-                    metrics.add(
-                        Domain::Sim,
-                        metric_names::REPLICA_MISMATCHES,
-                        &[("replica", replica.into())],
-                        1,
-                    );
+            match self.verdict(key) {
+                KeyVerdict::Verified { deviant, .. } => {
+                    for replica in deviant {
+                        metrics.add(
+                            Domain::Sim,
+                            metric_names::REPLICA_MISMATCHES,
+                            &[("replica", replica.into())],
+                            1,
+                        );
+                    }
+                }
+                // An unresolved conflict never forms a quorum, so no
+                // single side can be blamed — but the set of reporters
+                // provably contains a faulty replica (§4.2 fault sets).
+                // Without this charge, a Byzantine replica in a
+                // quorumless run escapes the health report entirely
+                // while its crashed siblings are named. Recording runs
+                // at end-of-run, so the closed-world reading applies to
+                // `Pending` keys too: replicas that never reported are
+                // never going to.
+                KeyVerdict::Mismatch | KeyVerdict::Pending => {
+                    for replica in self.conflict_parties(key) {
+                        metrics.add(
+                            Domain::Sim,
+                            metric_names::REPLICA_CONFLICTS,
+                            &[("replica", replica.into())],
+                            1,
+                        );
+                    }
                 }
             }
         }
@@ -330,6 +355,41 @@ impl Verifier {
             if let KeyVerdict::Verified { deviant, .. } = self.verdict(key) {
                 out.extend(deviant);
             }
+        }
+        out
+    }
+
+    /// The parties to an unresolved digest conflict at `key`, under a
+    /// closed-world (end-of-run) reading: at least two distinct digests
+    /// were reported and none reached an `f + 1` quorum. Empty when the
+    /// key is verified or has at most one digest value (a lone stream
+    /// cannot implicate anyone).
+    fn conflict_parties(&self, key: &DigestKey) -> Vec<usize> {
+        let Some(reports) = self.table.get(key) else {
+            return Vec::new();
+        };
+        let mut counts: BTreeMap<Digest, usize> = BTreeMap::new();
+        for rec in reports.values() {
+            *counts.entry(rec.summary.combined()).or_default() += 1;
+        }
+        if counts.len() < 2 || counts.values().any(|&n| n > self.f) {
+            return Vec::new();
+        }
+        reports.keys().copied().collect()
+    }
+
+    /// Replicas party to an unresolved digest conflict: reporters at a
+    /// key where distinct digests disagree and no quorum ever formed
+    /// (closed-world — a still-`Pending` key at end of run counts). No
+    /// member can be individually blamed, but each such key's reporter
+    /// set contains at least one faulty replica — the §4.2 fault sets
+    /// the analyzer intersects. Campaign oracles use this with
+    /// [`Verifier::deviant_replicas`] to check that every manifest
+    /// injected fault is named by the forensics.
+    pub fn conflict_replicas(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        for key in self.table.keys() {
+            out.extend(self.conflict_parties(key));
         }
         out
     }

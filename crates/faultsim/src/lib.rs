@@ -18,11 +18,78 @@
 
 use std::collections::BTreeSet;
 
-use clusterbft::{FaultAnalyzer, NodeId, SuspicionTable};
+use clusterbft::{Behavior, FaultAnalyzer, NodeId, SuspicionTable};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Weighted grammar over the fault behaviors a chaos scenario injects.
+///
+/// This is the shared scenario vocabulary between the §6.3 simulator
+/// (commission-only, per the paper) and the campaign runner in
+/// `cbft-campaign`, which sweeps full commission/omission/crash/colluding
+/// mixes over the real engine. Weights of zero remove a kind from the
+/// mix; an all-zero mix degenerates to commission (the paper's default).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultMix {
+    /// Weight of commission faults (corrupt digests, probability drawn
+    /// in `0.2..1.0` per fault).
+    pub commission: u32,
+    /// Weight of omission faults (wedged tasks, probability drawn in
+    /// `0.2..0.8` per fault).
+    pub omission: u32,
+    /// Weight of crash faults (the replica never reports anything).
+    pub crash: u32,
+    /// Weight of *colluding* commission faults: probability pinned to
+    /// 1.0, so every task is corrupted and — corruption being a
+    /// deterministic function of the record — two colluding replicas
+    /// produce byte-identical wrong digests. More than `f` of these can
+    /// fake a quorum (the boundary pinned by `tests/chaos.rs`).
+    pub colluding: u32,
+}
+
+impl FaultMix {
+    /// Every kind equally likely.
+    pub const UNIFORM: FaultMix = FaultMix {
+        commission: 1,
+        omission: 1,
+        crash: 1,
+        colluding: 1,
+    };
+
+    /// The paper's §6.3 grammar: commission faults only.
+    pub const COMMISSION_ONLY: FaultMix = FaultMix {
+        commission: 1,
+        omission: 0,
+        crash: 0,
+        colluding: 0,
+    };
+
+    /// Draws one behavior from the weighted mix.
+    pub fn draw(&self, rng: &mut StdRng) -> Behavior {
+        let total = self.commission + self.omission + self.crash + self.colluding;
+        if total == 0 {
+            return Behavior::Commission {
+                probability: rng.gen_range(0.2..1.0),
+            };
+        }
+        let x = rng.gen_range(0..total);
+        if x < self.commission {
+            Behavior::Commission {
+                probability: rng.gen_range(0.2..1.0),
+            }
+        } else if x < self.commission + self.omission {
+            Behavior::Omission {
+                probability: rng.gen_range(0.2..0.8),
+            }
+        } else if x < self.commission + self.omission + self.crash {
+            Behavior::Crashed
+        } else {
+            Behavior::Commission { probability: 1.0 }
+        }
+    }
+}
 
 /// Job size classes (§6.3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -536,5 +603,56 @@ mod queue_tests {
             "queued placement keeps the cluster busy: {}",
             sim.jobs_completed()
         );
+    }
+
+    #[test]
+    fn fault_mix_draws_follow_the_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut commission = 0;
+        let mut omission = 0;
+        let mut crash = 0;
+        let mut colluding = 0;
+        for _ in 0..400 {
+            match FaultMix::UNIFORM.draw(&mut rng) {
+                Behavior::Commission { probability } if probability >= 1.0 => colluding += 1,
+                Behavior::Commission { probability } => {
+                    assert!((0.2..1.0).contains(&probability));
+                    commission += 1;
+                }
+                Behavior::Omission { probability } => {
+                    assert!((0.2..0.8).contains(&probability));
+                    omission += 1;
+                }
+                Behavior::Crashed => crash += 1,
+                Behavior::Honest => panic!("the mix never draws honest"),
+            }
+        }
+        for (kind, n) in [
+            ("commission", commission),
+            ("omission", omission),
+            ("crash", crash),
+            ("colluding", colluding),
+        ] {
+            assert!(n > 40, "{kind} under-drawn: {n}/400");
+        }
+    }
+
+    #[test]
+    fn commission_only_mix_matches_the_paper() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(matches!(
+                FaultMix::COMMISSION_ONLY.draw(&mut rng),
+                Behavior::Commission { .. }
+            ));
+        }
+        // A degenerate all-zero mix falls back to commission too.
+        let zero = FaultMix {
+            commission: 0,
+            omission: 0,
+            crash: 0,
+            colluding: 0,
+        };
+        assert!(matches!(zero.draw(&mut rng), Behavior::Commission { .. }));
     }
 }

@@ -449,6 +449,32 @@ impl ComputePool {
         }
         *items = sorted.pop_front().unwrap_or_default();
     }
+
+    /// Maps `f` over `0..n` on the pool, returning results in index
+    /// order. The join order — and therefore any order-sensitive fold
+    /// over the results — is a function of `n` only, never of the pool
+    /// size: dispatch at any thread count yields the same `Vec`. This is
+    /// the fan-out primitive of the campaign runner, which executes
+    /// thousands of independent seeded scenarios and needs the aggregate
+    /// report to be byte-identical at every `--threads` setting.
+    ///
+    /// On the inline pool each payload runs at dispatch, so the whole
+    /// map degenerates to a sequential loop — the deterministic baseline
+    /// every other size must match.
+    pub fn par_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let tickets: Vec<Ticket<T>> = (0..n)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                self.dispatch(move || f(i))
+            })
+            .collect();
+        tickets.into_iter().map(Ticket::join).collect()
+    }
 }
 
 /// Merges two sorted runs, preferring the left run on ties.
@@ -543,6 +569,21 @@ mod tests {
         let t: Ticket<()> = pool.dispatch(|| panic!("payload bug"));
         let err = std::panic::catch_unwind(AssertUnwindSafe(|| t.join()));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn par_map_is_ordered_and_pool_size_independent() {
+        let baseline: Vec<u64> = ComputePool::new(1).par_map(100, |i| (i as u64) * 31 % 97);
+        assert_eq!(baseline.len(), 100);
+        assert_eq!(baseline[3], 3 * 31 % 97);
+        for threads in [2, 8] {
+            let pool = ComputePool::new(threads);
+            assert_eq!(
+                baseline,
+                pool.par_map(100, |i| (i as u64) * 31 % 97),
+                "pool of {threads}"
+            );
+        }
     }
 
     #[test]

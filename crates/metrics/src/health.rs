@@ -25,6 +25,12 @@ pub mod names {
     /// Counter, labels `{replica}`: verification points the replica
     /// never reported (omission faults).
     pub const REPLICA_OMISSIONS: &str = "cbft_replica_omissions_total";
+    /// Counter, labels `{replica}`: verification points where the
+    /// replica is party to an *unresolved* digest conflict — the key
+    /// never reached a quorum, so blame cannot be assigned to one side,
+    /// but the conflict set provably contains a faulty replica (the
+    /// paper's §4.2 fault sets).
+    pub const REPLICA_CONFLICTS: &str = "cbft_replica_conflicts_total";
     /// Histogram, labels `{key}`: report→quorum lag per verification
     /// point, in sim µs.
     pub const VERIFICATION_LAG_US: &str = "cbft_verification_lag_us";
@@ -51,6 +57,30 @@ pub mod names {
     pub const POOL_STOLEN: &str = "cbft_pool_tasks_stolen_total";
     /// Gauge (wall): peak compute-pool queue depth.
     pub const POOL_QUEUE_PEAK: &str = "cbft_pool_queue_peak";
+
+    // --- campaign aggregation (cbft-campaign) ---------------------------
+
+    /// Counter: scenarios executed by a campaign run.
+    pub const CAMPAIGN_SCENARIOS: &str = "cbft_campaign_scenarios_total";
+    /// Counter: scenarios whose run ended verified.
+    pub const CAMPAIGN_VERIFIED: &str = "cbft_campaign_verified_total";
+    /// Counter, labels `{rule}`: oracle divergences by rule name.
+    pub const CAMPAIGN_DIVERGENCES: &str = "cbft_campaign_divergences_total";
+    /// Counter: scenarios where an honest replica was named suspect.
+    pub const CAMPAIGN_FALSE_SUSPICIONS: &str = "cbft_campaign_false_suspicions_total";
+    /// Histogram: per-key report→quorum detection lag, merged across
+    /// every scenario, in sim µs.
+    pub const CAMPAIGN_DETECTION_LAG_US: &str = "cbft_campaign_detection_lag_us";
+    /// Counter, labels `{rounds}`: scenarios by escalation rounds used.
+    pub const CAMPAIGN_ESCALATION_ROUNDS: &str = "cbft_campaign_escalation_rounds_total";
+    /// Counter, labels `{rounds}`: scenarios whose named-suspect set
+    /// converged exactly to the injected manifest fault set, by rounds.
+    pub const CAMPAIGN_CONVERGED: &str = "cbft_campaign_converged_total";
+    /// Counter, labels `{band}`: replica slots by final campaign-level
+    /// suspicion band.
+    pub const CAMPAIGN_SUSPICION_BAND: &str = "cbft_campaign_suspicion_band_total";
+    /// Counter: faults injected across all scenarios.
+    pub const CAMPAIGN_FAULTS_INJECTED: &str = "cbft_campaign_faults_injected_total";
 }
 
 /// Ordered suspicion band names, rank 0..=3.
@@ -65,6 +95,7 @@ struct ReplicaHealth {
     reports: u64,
     mismatches: u64,
     omissions: u64,
+    conflicts: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -126,6 +157,11 @@ impl HealthReport {
                         report.replicas.entry(r).or_default().omissions = scalar;
                     }
                 }
+                names::REPLICA_CONFLICTS => {
+                    if let Some(r) = label_u64(&s.labels, "replica") {
+                        report.replicas.entry(r).or_default().conflicts = scalar;
+                    }
+                }
                 names::VERIFICATION_LAG_US => {
                     if let (Some(key), SampleValue::Histogram(h)) =
                         (label(&s.labels, "key"), &s.value)
@@ -176,10 +212,39 @@ impl HealthReport {
     }
 
     /// Replicas with at least one digest mismatch or omission, ascending.
+    /// These contradicted an *established* quorum (or went silent), so
+    /// every member is individually implicated.
     pub fn suspect_replicas(&self) -> Vec<u64> {
         self.replicas
             .iter()
             .filter(|(_, h)| h.mismatches > 0 || h.omissions > 0)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Replicas party to an unresolved digest conflict, ascending: the
+    /// key never formed a quorum, so no single side can be blamed, but
+    /// each conflict provably contains a faulty replica (§4.2 fault
+    /// sets). Disjoint evidence from [`HealthReport::suspect_replicas`];
+    /// a replica can appear in both.
+    pub fn conflict_replicas(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .filter(|(_, h)| h.conflicts > 0)
+            .map(|(r, _)| *r)
+            .collect()
+    }
+
+    /// Every replica the forensics implicate at all: the union of
+    /// [`HealthReport::suspect_replicas`] and
+    /// [`HealthReport::conflict_replicas`], ascending. A chaos run that
+    /// injects ≥ 2 faults of any kind names *all* of them here (plus,
+    /// for unresolved conflicts, their honest counterparties — which
+    /// only the fault analyzer's set intersection can exonerate).
+    pub fn named_replicas(&self) -> Vec<u64> {
+        self.replicas
+            .iter()
+            .filter(|(_, h)| h.mismatches > 0 || h.omissions > 0 || h.conflicts > 0)
             .map(|(r, _)| *r)
             .collect()
     }
@@ -201,13 +266,15 @@ impl HealthReport {
             for (r, h) in &self.replicas {
                 let verdict = if h.mismatches > 0 || h.omissions > 0 {
                     "SUSPECT"
+                } else if h.conflicts > 0 {
+                    "CONFLICT"
                 } else {
                     "clean"
                 };
                 let _ = writeln!(
                     out,
-                    "  replica {r}: reports={}  mismatches={}  omissions={}  [{verdict}]",
-                    h.reports, h.mismatches, h.omissions
+                    "  replica {r}: reports={}  mismatches={}  omissions={}  conflicts={}  [{verdict}]",
+                    h.reports, h.mismatches, h.omissions, h.conflicts
                 );
             }
             let suspects = self.suspect_replicas();
@@ -216,6 +283,15 @@ impl HealthReport {
             } else {
                 let list: Vec<String> = suspects.iter().map(u64::to_string).collect();
                 let _ = writeln!(out, "  suspected faulty replicas: {{{}}}", list.join(", "));
+            }
+            let conflicts = self.conflict_replicas();
+            if !conflicts.is_empty() {
+                let list: Vec<String> = conflicts.iter().map(u64::to_string).collect();
+                let _ = writeln!(
+                    out,
+                    "  unresolved digest conflicts: {{{}}} (one of these is faulty)",
+                    list.join(", ")
+                );
             }
         }
 
@@ -318,9 +394,57 @@ mod tests {
         let report = HealthReport::from_snapshot(&m.snapshot());
         assert_eq!(report.suspect_replicas(), vec![1, 2]);
         let text = report.render();
-        assert!(text.contains("replica 1: reports=6  mismatches=2  omissions=0  [SUSPECT]"));
-        assert!(text.contains("replica 0: reports=6  mismatches=0  omissions=0  [clean]"));
+        assert!(text
+            .contains("replica 1: reports=6  mismatches=2  omissions=0  conflicts=0  [SUSPECT]"));
+        assert!(
+            text.contains("replica 0: reports=6  mismatches=0  omissions=0  conflicts=0  [clean]")
+        );
         assert!(text.contains("suspected faulty replicas: {1, 2}"));
+    }
+
+    /// The ≥2-fault naming regression: before conflict forensics were
+    /// charged, a Byzantine replica whose keys never reached a quorum
+    /// vanished from the report while its crash/omission siblings were
+    /// named — `named_replicas` must cover every implicated replica.
+    #[test]
+    fn report_names_every_implicated_replica() {
+        let m = Metrics::new();
+        // Replica 0: party to unresolved conflicts only (no quorum ever
+        // formed at its keys). Replicas 1 and 2: classic omission.
+        m.add(
+            Domain::Sim,
+            names::REPLICA_REPORTS,
+            &[("replica", 0u64.into())],
+            5,
+        );
+        m.add(
+            Domain::Sim,
+            names::REPLICA_CONFLICTS,
+            &[("replica", 0u64.into())],
+            5,
+        );
+        m.add(
+            Domain::Sim,
+            names::REPLICA_CONFLICTS,
+            &[("replica", 3u64.into())],
+            5,
+        );
+        for r in 1..3u64 {
+            m.add(
+                Domain::Sim,
+                names::REPLICA_OMISSIONS,
+                &[("replica", r.into())],
+                4,
+            );
+        }
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert_eq!(report.suspect_replicas(), vec![1, 2]);
+        assert_eq!(report.conflict_replicas(), vec![0, 3]);
+        assert_eq!(report.named_replicas(), vec![0, 1, 2, 3]);
+        let text = report.render();
+        assert!(text
+            .contains("replica 0: reports=5  mismatches=0  omissions=0  conflicts=5  [CONFLICT]"));
+        assert!(text.contains("unresolved digest conflicts: {0, 3}"));
     }
 
     #[test]

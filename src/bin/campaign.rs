@@ -1,0 +1,170 @@
+//! `campaign` — run a deterministic chaos campaign against the
+//! ClusterBFT engine.
+//!
+//! Fans `--scenarios` seeded fault scenarios (commission / omission /
+//! crash / colluding mixes swept over the replication degree, digest
+//! granularity and verification-point counts) across `--threads`
+//! campaign workers, checks every verdict against the oracle, and
+//! prints the aggregate report — byte-identical for any `--threads` /
+//! `--compute-threads` combination. On oracle divergence the offending
+//! scenarios are shrunk to minimal counterexamples, emitted as
+//! ready-to-pin regression tests, and the process exits 1.
+//!
+//! `--inject-divergence` turns on the oracle's naming-truncation fault
+//! (only the first implicated replica is kept), demonstrating the whole
+//! divergence → shrink → regression-test path on a healthy build.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use clusterbft_repro::campaign::{run_campaign, CampaignConfig, Counterexample, Scenario};
+use clusterbft_repro::cli::resolve_seed;
+use clusterbft_repro::metrics::prometheus_text;
+
+const USAGE: &str = "\
+campaign — deterministic chaos campaign runner for the ClusterBFT engine
+
+USAGE:
+    campaign [OPTIONS]
+
+OPTIONS:
+    --scenarios N        seeded scenarios to run        [default: 1000]
+    --seed N             campaign seed; takes precedence over the
+                         CBFT_SEED environment variable [default: 1]
+    --threads N          campaign worker threads (scenario fan-out)
+                                                        [default: 1]
+    --compute-threads N  compute-pool threads inside each engine run
+                                                        [default: 1]
+    --cross-check        additionally re-run every scenario on the
+                         inline pool and require identical outcomes
+    --inject-divergence  truncate the named-suspect set to one element
+                         before the oracle check (demonstrates the
+                         shrinker on a healthy build)
+    --no-shrink          report divergences without minimizing them
+    --report FILE        write the aggregate report here as well
+    --metrics FILE       write the campaign metrics in Prometheus text
+                         exposition format
+
+The report is a pure function of (--seed, --scenarios, --cross-check,
+--inject-divergence): any thread setting produces identical bytes.
+Exits 0 when every scenario conforms to the oracle, 1 on divergence,
+2 on usage errors.";
+
+struct Args {
+    config: CampaignConfig,
+    shrink: bool,
+    report: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Args, String> {
+    let mut out = Args {
+        config: CampaignConfig::default(),
+        shrink: true,
+        report: None,
+        metrics: None,
+    };
+    let mut seed_flag = None;
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or_else(|| format!("{flag} requires a value"))
+    };
+    let num = |v: String, flag: &str| -> Result<u64, String> {
+        v.parse()
+            .map_err(|_| format!("{flag}: '{v}' is not a valid number"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scenarios" => {
+                out.config.scenarios = num(need(&mut it, "--scenarios")?, "--scenarios")?
+            }
+            "--seed" => seed_flag = Some(num(need(&mut it, "--seed")?, "--seed")?),
+            "--threads" => {
+                out.config.threads = num(need(&mut it, "--threads")?, "--threads")? as usize
+            }
+            "--compute-threads" => {
+                out.config.run.compute_threads =
+                    num(need(&mut it, "--compute-threads")?, "--compute-threads")? as usize
+            }
+            "--cross-check" => out.config.run.cross_check = true,
+            "--inject-divergence" => out.config.run.truncate_naming = true,
+            "--no-shrink" => out.shrink = false,
+            "--report" => out.report = Some(need(&mut it, "--report")?),
+            "--metrics" => out.metrics = Some(need(&mut it, "--metrics")?),
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    out.config.seed = resolve_seed(seed_flag).map_err(|e| e.0)?;
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<bool, Box<dyn Error>> {
+    let (report, results) = run_campaign(&args.config);
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = &args.report {
+        std::fs::write(path, &rendered)?;
+    }
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, prometheus_text(&report.to_metrics().snapshot()))?;
+    }
+    if report.divergences() == 0 {
+        return Ok(true);
+    }
+
+    eprintln!(
+        "\n{} scenario(s) diverged from the oracle",
+        report.divergent.len()
+    );
+    if args.shrink {
+        for index in report.divergent.iter().take(5) {
+            let scenario = Scenario::generate(args.config.seed, *index);
+            let ce =
+                Counterexample::minimize(args.config.seed, *index, &scenario, &args.config.run);
+            eprintln!(
+                "\nscenario {index}: shrunk in {} step(s); pin with:\n\n{}",
+                ce.steps,
+                ce.to_regression_test()
+            );
+        }
+        if report.divergent.len() > 5 {
+            eprintln!(
+                "... ({} more divergent scenarios)",
+                report.divergent.len() - 5
+            );
+        }
+    } else {
+        for r in results
+            .iter()
+            .filter(|r| !r.divergences.is_empty())
+            .take(20)
+        {
+            for d in &r.divergences {
+                eprintln!("scenario {}: [{}] {}", r.index, d.rule, d.detail);
+            }
+        }
+    }
+    Ok(false)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            if !e.starts_with("campaign —") {
+                eprintln!("\n{USAGE}");
+            }
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

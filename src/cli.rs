@@ -29,7 +29,11 @@ pub struct CliOptions {
     pub nodes: usize,
     /// Slots per node.
     pub slots: usize,
-    /// Simulation seed.
+    /// Simulation seed. Resolved by [`resolve_seed`]: `--seed` wins,
+    /// then the `CBFT_SEED` environment variable, then the default of 1.
+    /// Both execution paths consume exactly this one value — the
+    /// sequential pipeline as the cluster seed, the `--threads` path as
+    /// the executor's master seed.
     pub seed: u64,
     /// Fault bound `f`.
     pub f: usize,
@@ -125,7 +129,8 @@ USAGE:
 OPTIONS:
     --nodes N            untrusted-tier size            [default: 16]
     --slots N            task slots per node            [default: 3]
-    --seed N             simulation seed                [default: 1]
+    --seed N             simulation seed; takes precedence over the
+                         CBFT_SEED environment variable [default: 1]
     --f N                fault bound f                  [default: 1]
     --replication R      optimistic | quorum | full | an integer  [default: full]
     --points N           marker-chosen verification points        [default: 2]
@@ -158,8 +163,32 @@ OPTIONS:
                          trajectories, verification lag quantiles and
                          escalation round costs
 
+ENVIRONMENT:
+    CBFT_SEED            simulation seed used when --seed is absent; the
+                         flag always wins over the variable
+
 Input files are one record per line, comma-separated; fields parse as
 integers when possible, the literal `null` as null, anything else as text.";
+
+/// Resolves the simulation seed: an explicit `--seed` flag wins, then a
+/// set-and-valid `CBFT_SEED` environment variable, then the default of 1.
+/// Shared by the `cbft` CLI (both the sequential and `--threads` paths
+/// receive the resolved value via [`CliOptions::seed`]) and the
+/// `campaign` binary, so every entry point agrees on precedence.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] when the flag is absent and `CBFT_SEED` is
+/// set to something that does not parse as a `u64`.
+pub fn resolve_seed(flag: Option<u64>) -> Result<u64, UsageError> {
+    if let Some(seed) = flag {
+        return Ok(seed);
+    }
+    match std::env::var("CBFT_SEED") {
+        Ok(v) => parse_num(&v, "CBFT_SEED"),
+        Err(_) => Ok(1),
+    }
+}
 
 /// Parses command-line arguments (excluding `argv[0]`).
 ///
@@ -168,6 +197,7 @@ integers when possible, the literal `null` as null, anything else as text.";
 /// Returns a [`UsageError`] describing the offending argument.
 pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions, UsageError> {
     let mut opts = CliOptions::default();
+    let mut seed_flag = None;
     let mut it = args.into_iter();
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next()
@@ -184,7 +214,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             }
             "--nodes" => opts.nodes = parse_num(&need(&mut it, "--nodes")?, "--nodes")?,
             "--slots" => opts.slots = parse_num(&need(&mut it, "--slots")?, "--slots")?,
-            "--seed" => opts.seed = parse_num(&need(&mut it, "--seed")?, "--seed")?,
+            "--seed" => seed_flag = Some(parse_num(&need(&mut it, "--seed")?, "--seed")?),
             "--f" => opts.f = parse_num(&need(&mut it, "--f")?, "--f")?,
             "--points" => opts.points = parse_num(&need(&mut it, "--points")?, "--points")?,
             "--granularity" => {
@@ -243,6 +273,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     if opts.script.is_empty() {
         return Err(UsageError("missing script file (see --help)".to_owned()));
     }
+    opts.seed = resolve_seed(seed_flag)?;
     Ok(opts)
 }
 
@@ -669,12 +700,16 @@ mod tests {
         let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
         std::fs::write(&data, lines.join("\n")).unwrap();
 
+        // Explicit --seed: immune to CBFT_SEED set by the seed-resolution
+        // test running in a sibling thread.
         let opts = parse(&[
             script.to_str().unwrap(),
             "--input",
             &format!("edges={}", data.to_str().unwrap()),
             "--fault",
             "2:commission",
+            "--seed",
+            "1",
         ])
         .unwrap();
         let report = run(&opts).unwrap();
@@ -742,6 +777,8 @@ mod tests {
             script.to_str().unwrap().to_owned(),
             "--input".to_owned(),
             format!("edges={}", data.to_str().unwrap()),
+            "--seed".to_owned(),
+            "1".to_owned(),
         ];
         let inline = run(&parse_args(base.clone()).unwrap()).unwrap();
         let mut pooled_args = base;
@@ -781,6 +818,8 @@ mod tests {
             "optimistic",
             "--fault",
             "0:commission",
+            "--seed",
+            "1",
         ])
         .unwrap();
         let report = run(&opts).unwrap();
@@ -831,6 +870,8 @@ mod tests {
                 "--trace".to_owned(),
                 trace_file.to_str().unwrap().to_owned(),
                 "--trace-summary".to_owned(),
+                "--seed".to_owned(),
+                "1".to_owned(),
             ];
             if let Some(t) = threads {
                 args.push("--threads".to_owned());
@@ -908,6 +949,8 @@ mod tests {
             "--metrics-json",
             json_file.to_str().unwrap(),
             "--health-report",
+            "--seed",
+            "1",
         ])
         .unwrap();
         let report = run(&opts).unwrap();
@@ -927,6 +970,80 @@ mod tests {
         let json = std::fs::read_to_string(&json_file).unwrap();
         assert!(json.starts_with("{\"metrics\":["), "{json}");
         assert!(json.contains("cbft_task_sim_us"), "{json}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The whole seed-resolution story in one test function: precedence
+    /// (flag > CBFT_SEED > default) and the round trip that an
+    /// env-seeded run equals a flag-seeded run on both execution paths.
+    /// Kept as a single `#[test]` because it mutates process-global
+    /// environment state — splitting it would race under the parallel
+    /// test harness.
+    #[test]
+    fn seed_resolution_precedence_and_round_trip() {
+        // Precedence, via resolve_seed directly.
+        std::env::remove_var("CBFT_SEED");
+        assert_eq!(resolve_seed(None).unwrap(), 1, "default");
+        assert_eq!(resolve_seed(Some(9)).unwrap(), 9, "flag");
+        std::env::set_var("CBFT_SEED", "7");
+        assert_eq!(resolve_seed(None).unwrap(), 7, "environment");
+        assert_eq!(resolve_seed(Some(9)).unwrap(), 9, "flag beats environment");
+        std::env::set_var("CBFT_SEED", "not-a-seed");
+        assert!(resolve_seed(None).is_err(), "invalid CBFT_SEED is an error");
+        assert_eq!(resolve_seed(Some(9)).unwrap(), 9, "flag ignores bad env");
+        std::env::remove_var("CBFT_SEED");
+
+        // Precedence, via parse_args.
+        assert_eq!(parse(&["s.pig"]).unwrap().seed, 1);
+        assert_eq!(parse(&["s.pig", "--seed", "9"]).unwrap().seed, 9);
+        std::env::set_var("CBFT_SEED", "7");
+        assert_eq!(parse(&["s.pig"]).unwrap().seed, 7);
+        assert_eq!(parse(&["s.pig", "--seed", "9"]).unwrap().seed, 9);
+        std::env::remove_var("CBFT_SEED");
+
+        // Round trip: an env-seeded run is byte-identical to the same
+        // run seeded by flag, on the sequential and --threads paths.
+        let dir = std::env::temp_dir().join(format!("cbft_cli_seed_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        for extra in [&[][..], &["--threads", "2"][..]] {
+            let mut flag_args = vec![
+                script.to_str().unwrap().to_owned(),
+                "--input".to_owned(),
+                format!("edges={}", data.to_str().unwrap()),
+                "--seed".to_owned(),
+                "7".to_owned(),
+            ];
+            flag_args.extend(extra.iter().map(|s| (*s).to_owned()));
+            let flag_report = run(&parse_args(flag_args.clone()).unwrap()).unwrap();
+
+            std::env::set_var("CBFT_SEED", "7");
+            let env_args: Vec<String> = flag_args
+                .iter()
+                .filter(|a| *a != "--seed" && *a != "7")
+                .cloned()
+                .collect();
+            let env_opts = parse_args(env_args).unwrap();
+            std::env::remove_var("CBFT_SEED");
+            assert_eq!(env_opts.seed, 7);
+            let env_report = run(&env_opts).unwrap();
+            assert_eq!(
+                flag_report, env_report,
+                "CBFT_SEED and --seed runs must match (extra: {extra:?})"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -21,12 +21,15 @@
 //!   scripts ([`cbft_workloads`]).
 //! - [`faultsim`] — the 250-node fault-isolation simulator of §6.3
 //!   ([`cbft_faultsim`]).
+//! - [`campaign`] — deterministic chaos campaigns with counterexample
+//!   shrinking ([`cbft_campaign`]).
 //!
 //! [examples]: https://github.com/rust-lang/cargo/blob/master/src/doc/src/reference/cargo-targets.md#examples
 
 pub mod cli;
 
 pub use cbft_bft as bft;
+pub use cbft_campaign as campaign;
 pub use cbft_dataflow as dataflow;
 pub use cbft_digest as digest;
 pub use cbft_faultsim as faultsim;

@@ -1,0 +1,171 @@
+//! Integration tests for the chaos campaign runner: oracle conformance
+//! on a healthy build, byte-identical aggregation across the thread
+//! matrix, and the divergence → shrink → pinned-regression-test path.
+
+use cbft_campaign::{
+    run_campaign, run_scenario, shrink, CampaignConfig, Counterexample, RunOptions, Scenario,
+};
+
+/// A healthy build conforms to the oracle over a real campaign: no
+/// false suspicions, no missed namings, no wrong outputs.
+#[test]
+fn a_healthy_build_produces_zero_divergences() {
+    let (report, results) = run_campaign(&CampaignConfig {
+        seed: 1,
+        scenarios: 50,
+        threads: 4,
+        run: RunOptions::default(),
+    });
+    assert_eq!(report.divergences(), 0, "divergent: {:?}", report.divergent);
+    assert_eq!(report.scenarios, 50);
+    assert!(report.verified > 0);
+    assert!(results.iter().all(|r| r.divergences.is_empty()));
+}
+
+/// The acceptance gate: the aggregate report is byte-identical at every
+/// `--threads` × `--compute-threads` combination.
+#[test]
+fn aggregate_report_is_byte_identical_across_the_thread_matrix() {
+    let mut renderings = Vec::new();
+    for threads in [1, 8] {
+        for compute_threads in [1, 8] {
+            let (report, _) = run_campaign(&CampaignConfig {
+                seed: 42,
+                scenarios: 24,
+                threads,
+                run: RunOptions {
+                    compute_threads,
+                    ..RunOptions::default()
+                },
+            });
+            renderings.push((threads, compute_threads, report.render()));
+        }
+    }
+    let (_, _, reference) = &renderings[0];
+    for (threads, compute_threads, rendering) in &renderings[1..] {
+        assert_eq!(
+            rendering, reference,
+            "report differs at threads={threads} compute_threads={compute_threads}"
+        );
+    }
+}
+
+/// The shrinker's output reproduces standalone: minimize a divergence
+/// found by a real (fault-injected) campaign, then re-run the shrunk
+/// scenario from scratch and watch it diverge again, already minimal.
+#[test]
+fn shrunk_counterexamples_reproduce_standalone() {
+    let opts = RunOptions {
+        truncate_naming: true,
+        ..RunOptions::default()
+    };
+    let (report, _) = run_campaign(&CampaignConfig {
+        seed: 42,
+        scenarios: 60,
+        threads: 4,
+        run: opts.clone(),
+    });
+    assert!(
+        !report.divergent.is_empty(),
+        "the naming-truncation fault must surface divergences"
+    );
+
+    let index = report.divergent[0];
+    let original = Scenario::generate(42, index);
+    let ce = Counterexample::minimize(42, index, &original, &opts);
+    assert!(ce.steps > 0, "the campaign scenario is not already minimal");
+    assert!(!ce.divergences.is_empty());
+
+    // Standalone replay — nothing carried over from the campaign run.
+    let replay = run_scenario(index, &ce.shrunk, &opts);
+    assert!(!replay.divergences.is_empty(), "shrunk case must reproduce");
+
+    // Already minimal: a second shrink pass finds nothing to remove.
+    let (again, more) = shrink(&ce.shrunk, |s| {
+        !run_scenario(index, s, &opts).divergences.is_empty()
+    });
+    assert_eq!(more, 0);
+    assert_eq!(again, ce.shrunk);
+
+    // The emitted regression test carries the exact shrunk literal.
+    let test = ce.to_regression_test();
+    assert!(test.contains("#[test]"));
+    assert!(test.contains(&format!("records: {}", ce.shrunk.records)));
+}
+
+// The two tests below were emitted verbatim by
+// `campaign --scenarios 60 --seed 42 --inject-divergence` and pinned
+// per the tool's instructions.
+
+/// Pinned by the campaign shrinker: campaign seed 0x2a,
+/// scenario 1, shrunk in 8 step(s). Violates: fault-not-named.
+#[test]
+fn campaign_counterexample_seed_2a_scenario_1() {
+    use cbft_campaign::{run_scenario, RunOptions, Scenario};
+    #[allow(unused_imports)]
+    use clusterbft::Behavior;
+
+    let scenario = Scenario {
+        seed: 0xa9c48c0e89bbf8e0,
+        script: 0,
+        records: 8,
+        key_mod: 8,
+        escalation: vec![3],
+        points: 0,
+        granularity: usize::MAX,
+        map_split_records: 64,
+        faults: vec![
+            (0, Behavior::Crashed),
+            (1, Behavior::Commission { probability: 1.0 }),
+        ],
+    };
+    let opts = RunOptions {
+        compute_threads: 1,
+        cross_check: false,
+        truncate_naming: true,
+    };
+    let result = run_scenario(1, &scenario, &opts);
+    assert!(
+        !result.divergences.is_empty(),
+        "pinned counterexample no longer diverges — bug fixed? remove this test"
+    );
+}
+
+/// Pinned by the campaign shrinker: campaign seed 0x2a,
+/// scenario 2, shrunk in 11 step(s). Violates: fault-not-named.
+#[test]
+fn campaign_counterexample_seed_2a_scenario_2() {
+    use cbft_campaign::{run_scenario, RunOptions, Scenario};
+    #[allow(unused_imports)]
+    use clusterbft::Behavior;
+
+    let scenario = Scenario {
+        seed: 0xbf1b930d8280d956,
+        script: 0,
+        records: 8,
+        key_mod: 5,
+        escalation: vec![2, 3],
+        points: 0,
+        granularity: usize::MAX,
+        map_split_records: 64,
+        faults: vec![
+            (
+                0,
+                Behavior::Omission {
+                    probability: 0.4060966684522439,
+                },
+            ),
+            (2, Behavior::Crashed),
+        ],
+    };
+    let opts = RunOptions {
+        compute_threads: 1,
+        cross_check: false,
+        truncate_naming: true,
+    };
+    let result = run_scenario(2, &scenario, &opts);
+    assert!(
+        !result.divergences.is_empty(),
+        "pinned counterexample no longer diverges — bug fixed? remove this test"
+    );
+}

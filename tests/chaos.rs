@@ -15,6 +15,7 @@ use clusterbft_repro::core::{
 };
 use clusterbft_repro::dataflow::interp::interpret;
 use clusterbft_repro::dataflow::Script;
+use clusterbft_repro::metrics::{HealthReport, Metrics};
 use clusterbft_repro::sim::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -273,6 +274,119 @@ fn parallel_escalation_exhausts_to_unverified() {
         3,
         "the crashed replicas all wedged"
     );
+}
+
+/// A mixed-fault chaos run — commission, omission and crash in ONE run —
+/// must climb the escalation ladder in order (one fresh replica per
+/// extra round) and end with a clean-replica set disjoint from every
+/// injected fault that manifested.
+#[test]
+fn mixed_fault_run_climbs_the_ladder_and_isolates_the_clean_set() {
+    let metrics = Metrics::new();
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        // One extra rung past 3f+1 so two honest replicas emerge even
+        // with three faulty ones in front of them.
+        escalation: vec![2, 3, 4, 5],
+        master_seed: 7,
+        ..ExecutorConfig::default()
+    });
+    exec.set_metrics(metrics.clone());
+    let records: Vec<Record> = (0..150)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i * 7 % 101)]))
+        .collect();
+    exec.load_input("in", records.clone()).unwrap();
+    exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    exec.inject_fault(1, Behavior::Omission { probability: 0.8 });
+    exec.inject_fault(2, Behavior::Crashed);
+    let outcome = exec.run_script(SCRIPTS[0]).unwrap();
+
+    // Ladder order: f+1 first, then exactly one fresh replica per rung.
+    assert_eq!(
+        outcome.replicas_per_round(),
+        &[2, 1, 1, 1],
+        "every rung of the ladder was climbed in order"
+    );
+    assert!(
+        outcome.verified(),
+        "two honest replicas out-vote the mixed faults"
+    );
+    assert!(outcome.deviant_replicas().contains(&0), "commission named");
+    assert!(outcome.omitted_replicas().contains(&1), "omission wedged");
+    assert!(outcome.omitted_replicas().contains(&2), "crash wedged");
+
+    // The final clean set: exactly the honest late-round replicas, and
+    // never any replica whose injected fault manifested.
+    let clean = outcome.clean_replicas();
+    assert!(clean.contains(&3) && clean.contains(&4), "honest are clean");
+    for faulty in [0usize, 2] {
+        assert!(!clean.contains(&faulty), "replica {faulty} is not clean");
+    }
+
+    // The published result equals the reference interpreter's.
+    let plan = Script::parse(SCRIPTS[0]).unwrap().into_plan();
+    let reference = interpret(&plan, &HashMap::from([("in".to_owned(), records)])).unwrap();
+    let mut ours = outcome.output("out0").unwrap().to_vec();
+    let mut truth = reference.outputs()["out0"].clone();
+    ours.sort();
+    truth.sort();
+    assert_eq!(ours, truth);
+
+    // And the health report names every injected replica.
+    let named = HealthReport::from_snapshot(&metrics.snapshot().sim_only()).named_replicas();
+    for faulty in [0u64, 1, 2] {
+        assert!(named.contains(&faulty), "health report names {faulty}");
+    }
+}
+
+/// Regression for the ≥2-fault forensics gap: in a run where NO key ever
+/// reaches a quorum, the Byzantine replica used to vanish from the
+/// health report (mismatches are only chargeable against an established
+/// quorum) while its crashed siblings were named. Conflict forensics
+/// (`cbft_replica_conflicts_total`) close the gap: every injected fault
+/// is named — the commission replica via the unresolved conflict set.
+#[test]
+fn health_report_names_every_injected_fault_even_without_a_quorum() {
+    let metrics = Metrics::new();
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 7,
+        ..ExecutorConfig::default()
+    });
+    exec.set_metrics(metrics.clone());
+    let records: Vec<Record> = (0..120)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i * 7 % 101)]))
+        .collect();
+    exec.load_input("in", records).unwrap();
+    // Three faults against f = 1: the omission replica wedges before
+    // reporting anything, so the commission stream faces a single honest
+    // replica — one-vs-one at every key, quorumless forever.
+    exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    exec.inject_fault(1, Behavior::Omission { probability: 0.8 });
+    exec.inject_fault(2, Behavior::Crashed);
+    let outcome = exec.run_script(SCRIPTS[0]).unwrap();
+    assert!(!outcome.verified(), "no quorum can form");
+    assert!(
+        outcome.deviant_replicas().is_empty(),
+        "no quorum means no per-replica mismatch verdicts"
+    );
+    assert!(
+        outcome.conflict_replicas().contains(&0),
+        "the Byzantine replica is party to the unresolved conflicts"
+    );
+
+    let report = HealthReport::from_snapshot(&metrics.snapshot().sim_only());
+    let named = report.named_replicas();
+    for faulty in [0u64, 1, 2] {
+        assert!(
+            named.contains(&faulty),
+            "injected faulty replica {faulty} missing from report names {named:?}"
+        );
+    }
+    assert!(report.render().contains("unresolved digest conflicts"));
 }
 
 /// The flip side of the invariant — and of [`parallel_escalation_exhausts_to_unverified`]:
