@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use cbft_dataflow::compile::Site;
 use cbft_dataflow::VertexId;
-use cbft_digest::{ChunkedSummary, Digest, StreamVerdict};
+use cbft_digest::{ChunkedSummary, Digest, MismatchRange, StreamVerdict};
 use cbft_mapreduce::{DigestReport, TaskKind};
 use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::{SimDuration, SimTime};
@@ -239,6 +239,38 @@ impl Verifier {
                     metric_names::VERIFICATION_LAG_US,
                     &[("key", key_label(key).into())],
                     lag.as_micros(),
+                );
+            }
+            // Merkle mismatch localization (satellite of §6.4's granular
+            // digests): whenever any replica pair disagrees at this key —
+            // a named deviant or an unresolved conflict alike — publish
+            // the narrowed chunk/record window so the health report can
+            // bound the recomputation span.
+            if let Some(range) = self.divergence_range(key) {
+                let labels = [("key", key_label(key).into())];
+                metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::DIVERGENCE_FIRST_CHUNK,
+                    &labels,
+                    range.first_chunk as u64,
+                );
+                metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::DIVERGENCE_LAST_CHUNK,
+                    &labels,
+                    range.last_chunk as u64,
+                );
+                metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::DIVERGENCE_FIRST_RECORD,
+                    &labels,
+                    range.first_record,
+                );
+                metrics.gauge_set(
+                    Domain::Sim,
+                    metric_names::DIVERGENCE_LAST_RECORD,
+                    &labels,
+                    range.last_record,
                 );
             }
             match self.verdict(key) {
@@ -499,6 +531,37 @@ impl Verifier {
             .keys()
             .filter_map(|k| self.divergence_chunk(k))
             .min()
+    }
+
+    /// The chunk/record window implicated at `key`, localized by Merkle
+    /// descent ([`ChunkedSummary::localize`], O(log n) digest comparisons
+    /// per replica pair instead of a linear chunk scan). The union over
+    /// every disagreeing pair: streams provably agree outside it, so the
+    /// §6.4 recomputation window shrinks to `first_record..=last_record`.
+    /// `None` when no pair disagrees (or only one report exists).
+    pub fn divergence_range(&self, key: &DigestKey) -> Option<MismatchRange> {
+        let reports = self.table.get(key)?;
+        let summaries: Vec<&ChunkedSummary> = reports.values().map(|rec| &rec.summary).collect();
+        let mut merged: Option<MismatchRange> = None;
+        for i in 0..summaries.len() {
+            for j in (i + 1)..summaries.len() {
+                let Some(range) = summaries[i].localize(summaries[j]) else {
+                    continue;
+                };
+                merged = Some(match merged {
+                    None => range,
+                    Some(m) => MismatchRange {
+                        first_chunk: m.first_chunk.min(range.first_chunk),
+                        last_chunk: m.last_chunk.max(range.last_chunk),
+                        first_record: m.first_record.min(range.first_record),
+                        last_record: m.last_record.max(range.last_record),
+                        chunks: m.chunks.max(range.chunks),
+                        records: m.records.max(range.records),
+                    },
+                });
+            }
+        }
+        merged
     }
 }
 
@@ -829,6 +892,73 @@ mod divergence_tests {
         coarse.record(&report_chunked(0, &good, usize::MAX));
         coarse.record(&report_chunked(1, &bad, usize::MAX));
         assert_eq!(coarse.divergence_chunk(&key), Some(0));
+    }
+
+    #[test]
+    fn merkle_localization_narrows_the_record_window() {
+        use cbft_metrics::{HealthReport, Metrics};
+
+        let good: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e", b"f"];
+        let bad: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"X", b"f"];
+        let key = (
+            VertexId(1),
+            Site::Shuffle { job: JobId(0) },
+            TaskKind::Reduce,
+            0,
+        );
+
+        // Granularity 2: record 4 corrupt → chunk 2 → records 4..=5.
+        let mut v = Verifier::new(1, 2);
+        v.record(&report_chunked(0, &good, 2));
+        v.record(&report_chunked(1, &bad, 2));
+        let range = v.divergence_range(&key).expect("streams diverge");
+        assert_eq!((range.first_chunk, range.last_chunk), (2, 2));
+        assert_eq!((range.first_record, range.last_record), (4, 5));
+
+        // The range flows through record_metrics into the health report.
+        let metrics = Metrics::new();
+        v.record_metrics(&metrics);
+        let report = HealthReport::from_snapshot(&metrics.snapshot());
+        let spans = report.divergence_spans();
+        assert_eq!(spans.len(), 1);
+        let (label, span) = spans.iter().next().unwrap();
+        assert_eq!(label, &key_label(&key));
+        assert_eq!((span.first_chunk, span.last_chunk), (2, 2));
+        assert_eq!((span.first_record, span.last_record), (4, 5));
+        assert!(report
+            .render()
+            .contains("mismatch localization (merkle descent):"));
+
+        // Agreement emits no localization gauges at all.
+        let mut agree = Verifier::new(1, 2);
+        agree.record(&report_chunked(0, &good, 2));
+        agree.record(&report_chunked(1, &good, 2));
+        assert_eq!(agree.divergence_range(&key), None);
+        let m2 = Metrics::new();
+        agree.record_metrics(&m2);
+        assert!(HealthReport::from_snapshot(&m2.snapshot())
+            .divergence_spans()
+            .is_empty());
+    }
+
+    #[test]
+    fn divergence_range_unions_disagreeing_pairs() {
+        let key = (
+            VertexId(1),
+            Site::Shuffle { job: JobId(0) },
+            TaskKind::Reduce,
+            0,
+        );
+        let base: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e", b"f"];
+        let early: Vec<&[u8]> = vec![b"X", b"b", b"c", b"d", b"e", b"f"];
+        let late: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d", b"e", b"Y"];
+        let mut v = Verifier::new(1, 3);
+        v.record(&report_chunked(0, &base, 2));
+        v.record(&report_chunked(1, &early, 2)); // chunk 0
+        v.record(&report_chunked(2, &late, 2)); // chunk 2
+        let range = v.divergence_range(&key).expect("streams diverge");
+        assert_eq!((range.first_chunk, range.last_chunk), (0, 2));
+        assert_eq!((range.first_record, range.last_record), (0, 5));
     }
 
     #[test]

@@ -26,7 +26,10 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn apply(self, ord: std::cmp::Ordering) -> bool {
+    /// Applies the comparison to an already-computed ordering; the batch
+    /// kernels use this to compare typed columns without materializing
+    /// [`Value`]s.
+    pub fn apply_ord(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CmpOp::Eq => ord == Equal,
@@ -36,6 +39,10 @@ impl CmpOp {
             CmpOp::Gt => ord == Greater,
             CmpOp::Ge => ord != Less,
         }
+    }
+
+    fn apply(self, ord: std::cmp::Ordering) -> bool {
+        self.apply_ord(ord)
     }
 }
 
@@ -52,6 +59,23 @@ pub enum ArithOp {
     Div,
     /// `%` (remainder; by zero yields null)
     Mod,
+}
+
+impl ArithOp {
+    /// Applies the operator to two integers; `None` for division or
+    /// remainder by zero (which evaluate to null). Single source of truth
+    /// for both row-wise [`Expr::eval`] and the vectorized kernels.
+    pub fn apply_ints(self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            ArithOp::Add => Some(a.wrapping_add(b)),
+            ArithOp::Sub => Some(a.wrapping_sub(b)),
+            ArithOp::Mul => Some(a.wrapping_mul(b)),
+            ArithOp::Div if b == 0 => None,
+            ArithOp::Div => Some(a.wrapping_div(b)),
+            ArithOp::Mod if b == 0 => None,
+            ArithOp::Mod => Some(a.wrapping_rem(b)),
+        }
+    }
 }
 
 /// Aggregate functions applied to a bag column (the output of `GROUP`).
@@ -153,15 +177,7 @@ impl Expr {
                 let (Some(a), Some(b)) = (l.eval(ctx).as_int(), r.eval(ctx).as_int()) else {
                     return Value::Null;
                 };
-                match op {
-                    ArithOp::Add => Value::Int(a.wrapping_add(b)),
-                    ArithOp::Sub => Value::Int(a.wrapping_sub(b)),
-                    ArithOp::Mul => Value::Int(a.wrapping_mul(b)),
-                    ArithOp::Div if b == 0 => Value::Null,
-                    ArithOp::Div => Value::Int(a.wrapping_div(b)),
-                    ArithOp::Mod if b == 0 => Value::Null,
-                    ArithOp::Mod => Value::Int(a.wrapping_rem(b)),
-                }
+                op.apply_ints(a, b).map_or(Value::Null, Value::Int)
             }
             Expr::And(l, r) => {
                 Value::Int((l.eval(ctx).is_truthy() && r.eval(ctx).is_truthy()) as i64)

@@ -120,7 +120,14 @@ pub fn interpret(
                 .iter()
                 .map(|r| project_record(r, exprs))
                 .collect(),
-            Operator::Group { key } => group_records(&streams[vert.parents()[0].index()], *key),
+            Operator::Group { key } => {
+                // One explicit clone of the retained parent stream; the
+                // `_owned` kernel moves records into bags without further
+                // copies (`kernel_stats` + tests pin this).
+                let input = streams[vert.parents()[0].index()].clone();
+                crate::stats::count_record_clones(input.len() as u64);
+                group_records_owned(input, *key)
+            }
             Operator::Join {
                 left_key,
                 right_key,
@@ -137,12 +144,15 @@ pub fn interpret(
             }
             Operator::Distinct => {
                 let mut out = streams[vert.parents()[0].index()].clone();
+                crate::stats::count_record_clones(out.len() as u64);
                 out.sort();
                 out.dedup();
                 out
             }
             Operator::Order { key, order } => {
-                order_records(&streams[vert.parents()[0].index()], *key, *order)
+                let input = streams[vert.parents()[0].index()].clone();
+                crate::stats::count_record_clones(input.len() as u64);
+                order_records_owned(input, *key, *order)
             }
             Operator::Limit { count } => streams[vert.parents()[0].index()]
                 .iter()
@@ -176,6 +186,7 @@ pub fn project_record(r: &Record, exprs: &[crate::expr::Expr]) -> Record {
 /// bag; callers that own their records should use [`group_records_owned`],
 /// which moves them instead.
 pub fn group_records(records: &[Record], key: usize) -> Vec<Record> {
+    crate::stats::count_record_clones(records.len() as u64);
     let mut groups: BTreeMap<&Value, Vec<&Record>> = BTreeMap::new();
     for r in records {
         let k = r.get(key).unwrap_or(&Value::Null);
@@ -249,6 +260,7 @@ pub fn join_records(
 /// Globally sorts `records` by column `key`, with the full record as a
 /// deterministic tie-break.
 pub fn order_records(records: &[Record], key: usize, order: SortOrder) -> Vec<Record> {
+    crate::stats::count_record_clones(records.len() as u64);
     order_records_owned(records.to_vec(), key, order)
 }
 
@@ -403,5 +415,35 @@ mod tests {
         let records = ints(&[&[1, 9], &[1, 2], &[0, 5]]);
         let sorted = order_records(&records, 0, SortOrder::Asc);
         assert_eq!(sorted, ints(&[&[0, 5], &[1, 2], &[1, 9]]));
+    }
+
+    #[test]
+    fn blocking_operators_clone_each_record_exactly_once() {
+        // GROUP and ORDER must clone the retained parent stream exactly
+        // once — the explicit clone at the call site — with zero extra
+        // clones inside the `_owned` kernels. Interpretation runs on this
+        // thread, so the per-thread counter gives an exact figure even
+        // with other tests running concurrently.
+        let plan = Script::parse(
+            "a = LOAD 'i' AS (k, v);
+             g = GROUP a BY k;
+             o = ORDER a BY v;
+             STORE o INTO 'out';",
+        )
+        .unwrap()
+        .into_plan();
+        let records = ints(&[&[1, 9], &[2, 5], &[1, 3], &[3, 7]]);
+        let n = records.len() as u64;
+        let inputs = HashMap::from([("i".to_owned(), records)]);
+
+        let before = crate::stats::thread_record_clones();
+        let result = interpret(&plan, &inputs).unwrap();
+        let delta = crate::stats::thread_record_clones() - before;
+        assert_eq!(
+            delta,
+            2 * n,
+            "one clone per record entering GROUP and one entering ORDER, nothing more"
+        );
+        assert_eq!(result.output("out").unwrap().len(), 4);
     }
 }

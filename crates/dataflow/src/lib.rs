@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub mod batch;
 pub mod combiner;
 pub mod compile;
 mod error;
@@ -52,8 +53,10 @@ mod op;
 pub mod optimize;
 mod parser;
 mod plan;
+pub mod stats;
 mod value;
 
+pub use batch::{Batch, Column};
 pub use error::{ParseError, PlanError};
 pub use expr::{AggFunc, ArithOp, CmpOp, EvalContext, Expr};
 pub use op::{Operator, SortOrder};

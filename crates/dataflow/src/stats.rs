@@ -1,0 +1,42 @@
+//! Data-plane counters local to the dataflow kernels.
+//!
+//! `cbft-mapreduce` tracks record clones at its task boundaries; the
+//! kernels here sit below that crate, so they get their own counter. The
+//! invariant it guards: a blocking operator (`GROUP`, `ORDER`,
+//! `DISTINCT`) over `n` retained records clones exactly `n` records — the
+//! one unavoidable copy out of the retained input stream — and the
+//! kernels themselves add none on top (the `_owned` variants move records
+//! instead of cloning them). The interpreter test
+//! `blocking_operators_clone_each_record_exactly_once` pins this.
+//!
+//! Two views exist: a process-wide total (what `cbft-mapreduce`'s
+//! `data_plane` module surfaces next to its own clone counter) and a
+//! per-thread total (kernels clone on the calling thread, so tests can
+//! assert exact counts even while other test threads run kernels of their
+//! own).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RECORD_CLONES: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_RECORD_CLONES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Counts `n` record clones on a kernel path.
+pub fn count_record_clones(n: u64) {
+    RECORD_CLONES.fetch_add(n, Ordering::Relaxed);
+    THREAD_RECORD_CLONES.with(|c| c.set(c.get() + n));
+}
+
+/// Total record clones counted on kernel paths since process start,
+/// across all threads.
+pub fn record_clones() -> u64 {
+    RECORD_CLONES.load(Ordering::Relaxed)
+}
+
+/// Record clones counted on the calling thread only.
+pub fn thread_record_clones() -> u64 {
+    THREAD_RECORD_CLONES.with(Cell::get)
+}

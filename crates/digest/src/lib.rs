@@ -25,14 +25,19 @@
 //! assert_eq!(a, h.finish());
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; the single exception is the runtime-gated
+// SHA-NI module in `sha256`, which opts back in locally for the CPU
+// intrinsics (see `sha256::ni`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chunked;
+mod merkle;
 mod sha256;
 
-pub use chunked::{ChunkedDigest, ChunkedSummary, StreamVerdict};
-pub use sha256::{Digest, ParseDigestError, Sha256};
+pub use chunked::{ChunkedDigest, ChunkedSummary, MismatchRange, StreamVerdict};
+pub use merkle::{parent_count, parent_level, parent_range, MerkleDiff, MerkleTree};
+pub use sha256::{hardware_accelerated, Digest, ParseDigestError, Sha256};
 
 /// Compares a set of digests and reports whether at least `f + 1` of them
 /// agree, as required by the ClusterBFT verifier (§4.1: "the verifier

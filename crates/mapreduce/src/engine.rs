@@ -930,9 +930,17 @@ impl Cluster {
         let task_pool = self.pool.worker_handle();
         let ticket = match choice.kind {
             TaskKind::Map => {
+                // Maps get a worker handle too: the batched data plane
+                // fans Merkle-level hashing out over the pool.
                 let split = job.map_task_inputs[choice.task_index].clone();
                 self.pool.dispatch(move || {
-                    ComputedTask::Map(run_map_task(&spec, split.input, split.records(), fate))
+                    ComputedTask::Map(run_map_task(
+                        &spec,
+                        split.input,
+                        split.records(),
+                        fate,
+                        &task_pool,
+                    ))
                 })
             }
             TaskKind::Reduce => {
@@ -1350,6 +1358,7 @@ mod tests {
             map_split_records: 3,
             verification_points: vps,
             digest_granularity: usize::MAX,
+            batch_records: 1024,
             sid: sid.to_owned(),
             replica,
             combiner: None,
@@ -1716,6 +1725,7 @@ mod speculative_tests {
             map_split_records: 4,
             verification_points: vec![],
             digest_granularity: usize::MAX,
+            batch_records: 1024,
             sid: "spec".to_owned(),
             replica: 0,
             combiner: None,
@@ -1827,6 +1837,7 @@ mod locality_tests {
             map_split_records: 4,
             verification_points: vec![],
             digest_granularity: usize::MAX,
+            batch_records: 1024,
             sid: "loc".to_owned(),
             replica: 0,
             combiner: None,

@@ -5,12 +5,17 @@
 //! engine converts to virtual time through the cost model. Keeping them
 //! pure (no cluster state) makes the task semantics directly testable.
 
+use std::sync::Arc;
+
+use cbft_dataflow::batch::{filter_batch, group_batch, join_batch, order_batch, project_batch};
 use cbft_dataflow::compile::Site;
 use cbft_dataflow::interp::{
     group_records_owned, join_records, order_records_owned, project_record,
 };
-use cbft_dataflow::{LogicalPlan, Operator, Record, Value, VertexId};
-use cbft_digest::{ChunkedDigest, ChunkedSummary};
+use cbft_dataflow::{Batch, LogicalPlan, Operator, Record, Value, VertexId};
+use cbft_digest::{
+    parent_count, parent_level, parent_range, ChunkedDigest, ChunkedSummary, Digest,
+};
 
 use crate::compute::ComputePool;
 use crate::fault::{corrupt_record, TaskFate};
@@ -138,8 +143,17 @@ pub(crate) fn run_map_task(
     input_index: usize,
     records: &[Record],
     fate: TaskFate,
+    pool: &ComputePool,
 ) -> MapTaskOutput {
     debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
+    // The columnar path covers the hot case: a faithful task without a
+    // combiner. Corruption (a cold fault path) and combining keep the
+    // row path; a ragged split (mixed arity) falls back inside.
+    if job.batch_records > 0 && fate == TaskFate::Faithful && job.combiner.is_none() {
+        if let Some(out) = run_map_task_batched(job, input_index, records, pool) {
+            return out;
+        }
+    }
     let plan = &job.plan;
     let input = &job.inputs[input_index];
     let mut work = Work {
@@ -172,7 +186,7 @@ pub(crate) fn run_map_task(
                 if vi == input_index && vp_pos == pos {
                     digests.push((
                         *vp,
-                        digest_stream(stream.iter(), job.digest_granularity, &mut work),
+                        digest_stream(stream.iter(), job.digest_granularity, &mut work, pool),
                     ));
                 }
             }
@@ -228,11 +242,23 @@ pub(crate) fn run_map_task(
 /// passes its own pool, standalone tests the inline default).
 pub(crate) fn run_reduce_task(
     job: &ExecJob,
-    mut incoming: Vec<Tagged>,
+    incoming: Vec<Tagged>,
     fate: TaskFate,
     pool: &ComputePool,
 ) -> ReduceTaskOutput {
     debug_assert_ne!(fate, TaskFate::Omitted, "omitted tasks never execute");
+    // Same gate as the map side: the columnar path runs the hot
+    // (faithful, uncombined) case and hands the input back untouched
+    // when it cannot (ragged arity, DISTINCT's row sort).
+    let mut incoming =
+        if job.batch_records > 0 && fate == TaskFate::Faithful && job.combiner.is_none() {
+            match run_reduce_task_batched(job, incoming, pool) {
+                Ok(out) => return out,
+                Err(returned) => returned,
+            }
+        } else {
+            incoming
+        };
     let plan = &job.plan;
     let mut work = Work {
         bytes_in: incoming.iter().map(|(_, r)| r.byte_size()).sum(),
@@ -267,7 +293,7 @@ pub(crate) fn run_reduce_task(
                 if matches!(vp.site, Site::Reduce { pos: 0, .. }) {
                     digests.push((
                         *vp,
-                        digest_stream(merged.iter(), job.digest_granularity, &mut work),
+                        digest_stream(merged.iter(), job.digest_granularity, &mut work, pool),
                     ));
                 }
             }
@@ -280,7 +306,7 @@ pub(crate) fn run_reduce_task(
                 if matches!(vp.site, Site::Shuffle { .. }) && vp.vertex == shuffle {
                     digests.push((
                         *vp,
-                        digest_stream(out.iter(), job.digest_granularity, &mut work),
+                        digest_stream(out.iter(), job.digest_granularity, &mut work, pool),
                     ));
                 }
             }
@@ -301,7 +327,7 @@ pub(crate) fn run_reduce_task(
                 if vp.vertex == vid && vp_pos == pos {
                     digests.push((
                         *vp,
-                        digest_stream(records.iter(), job.digest_granularity, &mut work),
+                        digest_stream(records.iter(), job.digest_granularity, &mut work, pool),
                     ));
                 }
             }
@@ -479,6 +505,7 @@ fn digest_stream<'a>(
     records: impl Iterator<Item = &'a Record>,
     granularity: usize,
     work: &mut Work,
+    pool: &ComputePool,
 ) -> ChunkedSummary {
     let mut cd = ChunkedDigest::new(granularity);
     let mut buf = Vec::new();
@@ -498,7 +525,402 @@ fn digest_stream<'a>(
     work.record_ops += count;
     data_plane::count_bytes_encoded(payload_bytes);
     data_plane::count_digest_bytes(payload_bytes + 8 * count);
-    cd.finish()
+    finish_chunked(cd, pool)
+}
+
+/// Finalizes a chunked digest, fanning the Merkle levels over the
+/// compute pool when there are enough parent hashes to amortize the
+/// dispatch. Every partition of a level concatenates back to exactly
+/// [`parent_level`], so the summary is byte-identical for every pool
+/// size, including the inline pool.
+fn finish_chunked(cd: ChunkedDigest, pool: &ComputePool) -> ChunkedSummary {
+    /// Parents hashed per pool payload.
+    const PAR_MERKLE_CHUNK: usize = 512;
+    if pool.is_inline() {
+        return cd.finish();
+    }
+    let handle = pool.worker_handle();
+    cd.finish_with(move |level| {
+        let parents = parent_count(level.len());
+        if parents < 2 * PAR_MERKLE_CHUNK {
+            return parent_level(level);
+        }
+        let shared: Arc<Vec<Digest>> = Arc::new(level.to_vec());
+        let tasks = parents.div_ceil(PAR_MERKLE_CHUNK);
+        handle
+            .par_map(tasks, move |i| {
+                let first = i * PAR_MERKLE_CHUNK;
+                let last = (first + PAR_MERKLE_CHUNK).min(parents);
+                parent_range(&shared, first, last)
+            })
+            .concat()
+    })
+}
+
+/// Columnar variant of [`run_map_task`]: the split is converted to
+/// [`Batch`]es of at most `job.batch_records` rows at the storage
+/// boundary and the pipeline runs vectorized kernels over them. Digests,
+/// partition assignments, output records and work counters are
+/// byte-identical to the row path — batching is purely a host-side
+/// execution strategy, pinned by the `batched_*` task tests.
+///
+/// Returns `None` — before any counter is touched — when the split is
+/// ragged (mixed arity) and cannot be laid out columnar.
+fn run_map_task_batched(
+    job: &ExecJob,
+    input_index: usize,
+    records: &[Record],
+    pool: &ComputePool,
+) -> Option<MapTaskOutput> {
+    debug_assert!(job.batch_records > 0 && job.combiner.is_none());
+    let plan = &job.plan;
+    let input = &job.inputs[input_index];
+
+    let mut batches = Vec::with_capacity(records.len().div_ceil(job.batch_records).max(1));
+    for rows in records.chunks(job.batch_records) {
+        batches.push(Batch::from_records(rows)?);
+    }
+    data_plane::count_batches_built(batches.len() as u64);
+    data_plane::count_batch_rows(records.len() as u64);
+
+    let mut work = Work {
+        bytes_in: byte_size(records),
+        ..Work::default()
+    };
+    // Mirrors the row path's borrow tracking: `false` while the rows are
+    // still (columnar images of) the input split, `true` once a
+    // projection produced fresh rows. The output boundary charges its
+    // materialization as clones exactly when the row path would.
+    let mut owned = false;
+
+    let mut digests = Vec::new();
+    for (pos, &vid) in input.pipeline.iter().enumerate() {
+        apply_op_batched(plan, vid, &mut batches, &mut owned, &mut work);
+        for vp in &job.verification_points {
+            if let Site::MapInput {
+                input: vi,
+                pos: vp_pos,
+                ..
+            } = vp.site
+            {
+                if vi == input_index && vp_pos == pos {
+                    digests.push((
+                        *vp,
+                        digest_batches(&batches, job.digest_granularity, &mut work, pool),
+                    ));
+                }
+            }
+        }
+    }
+
+    let total: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    if !owned {
+        data_plane::count_records_cloned(total);
+    }
+    let partitions = if let Some(shuffle) = job.shuffle {
+        partition_batches(
+            plan,
+            shuffle,
+            input.tag,
+            &batches,
+            job.reduce_task_count,
+            &mut work,
+        )
+    } else {
+        let mut out = Vec::with_capacity(total as usize);
+        for b in &batches {
+            for r in b.to_records() {
+                work.bytes_out += r.byte_size();
+                out.push((input.tag, r));
+            }
+        }
+        vec![out]
+    };
+
+    Some(MapTaskOutput {
+        partitions,
+        digests,
+        work,
+    })
+}
+
+/// Applies one per-record operator to a batch stream; the vectorized
+/// mirror of [`apply_op`], charging identical work.
+fn apply_op_batched(
+    plan: &LogicalPlan,
+    vid: VertexId,
+    batches: &mut [Batch],
+    owned: &mut bool,
+    work: &mut Work,
+) {
+    let op = plan.vertex(vid).op();
+    work.record_ops += batches.iter().map(|b| b.len() as u64).sum::<u64>();
+    match op {
+        Operator::Load { .. } | Operator::Union | Operator::Store { .. } => {}
+        Operator::Filter { predicate } => {
+            for b in batches.iter_mut() {
+                *b = filter_batch(b, predicate);
+            }
+        }
+        Operator::Project { exprs, .. } => {
+            for b in batches.iter_mut() {
+                *b = project_batch(b, exprs);
+            }
+            *owned = true;
+        }
+        Operator::Limit { count } => {
+            let mut remaining = *count as usize;
+            for b in batches.iter_mut() {
+                let take = remaining.min(b.len());
+                b.truncate(take);
+                remaining -= take;
+            }
+        }
+        blocking => {
+            debug_assert!(false, "blocking operator {} in a pipeline", blocking.name());
+        }
+    }
+}
+
+/// Vectorized mirror of [`partition_records`]: shuffle keys are encoded
+/// straight out of the columns (same canonical bytes, same [`fnv1a`], so
+/// the partition assignment is pinned to the row path's) and rows
+/// materialize as records only once their partition is known.
+fn partition_batches(
+    plan: &LogicalPlan,
+    shuffle: VertexId,
+    tag: usize,
+    batches: &[Batch],
+    n_partitions: usize,
+    work: &mut Work,
+) -> Vec<Vec<Tagged>> {
+    let n = n_partitions.max(1);
+    let mut parts: Vec<Vec<Tagged>> = vec![Vec::new(); n];
+    let op = plan.vertex(shuffle).op().clone();
+    let mut key_buf = Vec::new();
+    for b in batches {
+        work.record_ops += b.len() as u64;
+        for row in 0..b.len() {
+            let p = match &op {
+                Operator::Group { key } => {
+                    key_buf.clear();
+                    b.write_value_canonical(row, *key, &mut key_buf);
+                    (fnv1a(&key_buf) % n as u64) as usize
+                }
+                Operator::Join {
+                    left_key,
+                    right_key,
+                } => {
+                    let key = if tag == 0 { *left_key } else { *right_key };
+                    key_buf.clear();
+                    b.write_value_canonical(row, key, &mut key_buf);
+                    (fnv1a(&key_buf) % n as u64) as usize
+                }
+                Operator::Distinct => {
+                    key_buf.clear();
+                    b.write_row_canonical(row, &mut key_buf);
+                    (fnv1a(&key_buf) % n as u64) as usize
+                }
+                // Global sort: a single range partition.
+                Operator::Order { .. } => 0,
+                other => {
+                    debug_assert!(false, "non-blocking shuffle {}", other.name());
+                    0
+                }
+            };
+            let r = b.row(row);
+            work.bytes_out += r.byte_size();
+            parts[p].push((tag, r));
+        }
+    }
+    parts
+}
+
+/// Columnar variant of [`run_reduce_task`]. Returns the untouched input
+/// back as `Err` when the partition cannot run columnar: mixed-arity
+/// records (per join side), or a DISTINCT shuffle — whose whole-record
+/// sort/dedup already runs on owned rows with the pool's chunked sort.
+fn run_reduce_task_batched(
+    job: &ExecJob,
+    incoming: Vec<Tagged>,
+    pool: &ComputePool,
+) -> Result<ReduceTaskOutput, Vec<Tagged>> {
+    debug_assert!(job.batch_records > 0 && job.combiner.is_none());
+    let plan = &job.plan;
+    let op = job.shuffle.map(|sh| plan.vertex(sh).op().clone());
+
+    if matches!(op, Some(Operator::Distinct)) {
+        return Err(incoming);
+    }
+    let ragged = match &op {
+        Some(Operator::Join { .. }) => {
+            !uniform_arity(incoming.iter().filter(|(t, _)| *t == 0).map(|(_, r)| r))
+                || !uniform_arity(incoming.iter().filter(|(t, _)| *t != 0).map(|(_, r)| r))
+        }
+        _ => !uniform_arity(incoming.iter().map(|(_, r)| r)),
+    };
+    if ragged {
+        return Err(incoming);
+    }
+
+    let mut work = Work {
+        bytes_in: incoming.iter().map(|(_, r)| r.byte_size()).sum(),
+        ..Work::default()
+    };
+    let mut digests = Vec::new();
+
+    // Materialize the shuffle with vectorized kernels (or pass the
+    // collector input through), yielding the post-shuffle stream as
+    // batches of at most `batch_records` rows.
+    let mut batches = match &op {
+        Some(Operator::Group { key }) => {
+            work.record_ops += 2 * incoming.len() as u64;
+            let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            let batch = Batch::from_records(&records).expect("arity checked above");
+            rebatch(&group_batch(&batch, *key), job.batch_records)
+        }
+        Some(Operator::Join {
+            left_key,
+            right_key,
+        }) => {
+            work.record_ops += 2 * incoming.len() as u64;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for (tag, r) in incoming {
+                if tag == 0 {
+                    left.push(r);
+                } else {
+                    right.push(r);
+                }
+            }
+            let lb = Batch::from_records(&left).expect("arity checked above");
+            let rb = Batch::from_records(&right).expect("arity checked above");
+            rebatch(
+                &join_batch(&lb, *left_key, &rb, *right_key),
+                job.batch_records,
+            )
+        }
+        Some(Operator::Order { key, order }) => {
+            work.record_ops += 2 * incoming.len() as u64;
+            let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            let batch = Batch::from_records(&records).expect("arity checked above");
+            vec![order_batch(&batch, *key, *order)]
+        }
+        Some(other) => {
+            debug_assert!(false, "non-blocking shuffle {}", other.name());
+            return Err(incoming);
+        }
+        None => {
+            let records: Vec<Record> = incoming.into_iter().map(|(_, r)| r).collect();
+            rebatch(&records, job.batch_records)
+        }
+    };
+    data_plane::count_batches_built(batches.len() as u64);
+    data_plane::count_batch_rows(batches.iter().map(|b| b.len() as u64).sum());
+
+    if let Some(sh) = job.shuffle {
+        for vp in &job.verification_points {
+            if matches!(vp.site, Site::Shuffle { .. }) && vp.vertex == sh {
+                digests.push((
+                    *vp,
+                    digest_batches(&batches, job.digest_granularity, &mut work, pool),
+                ));
+            }
+        }
+    }
+
+    // Reduce-side rows are always owned; the flag only exists for the
+    // map path's clone accounting.
+    let mut owned = true;
+    for (pos, &vid) in job.reduce.iter().enumerate() {
+        apply_op_batched(plan, vid, &mut batches, &mut owned, &mut work);
+        for vp in &job.verification_points {
+            if let Site::Reduce { pos: vp_pos, .. } = vp.site {
+                if vp.vertex == vid && vp_pos == pos {
+                    digests.push((
+                        *vp,
+                        digest_batches(&batches, job.digest_granularity, &mut work, pool),
+                    ));
+                }
+            }
+        }
+    }
+
+    let mut records = Vec::new();
+    for b in &batches {
+        records.extend(b.to_records());
+    }
+    work.bytes_out = byte_size(&records);
+    Ok(ReduceTaskOutput {
+        records,
+        digests,
+        work,
+    })
+}
+
+/// True when every record has the same arity (vacuously for an empty
+/// stream) — the only conversion [`Batch::from_records`] can refuse.
+fn uniform_arity<'a>(mut records: impl Iterator<Item = &'a Record>) -> bool {
+    match records.next() {
+        None => true,
+        Some(first) => {
+            let arity = first.arity();
+            records.all(|r| r.arity() == arity)
+        }
+    }
+}
+
+/// Slices an owned record stream into batches of at most `batch_records`
+/// rows. Callers guarantee uniform arity.
+fn rebatch(records: &[Record], batch_records: usize) -> Vec<Batch> {
+    records
+        .chunks(batch_records.max(1))
+        .map(|rows| Batch::from_records(rows).expect("uniform arity"))
+        .collect()
+}
+
+/// Digests a batch stream: the vectorized mirror of [`digest_stream`],
+/// framing whole chunk-aligned runs of rows into one reused buffer per
+/// hasher update (byte-identical digests, same counters charged).
+fn digest_batches(
+    batches: &[Batch],
+    granularity: usize,
+    work: &mut Work,
+    pool: &ComputePool,
+) -> ChunkedSummary {
+    let mut cd = ChunkedDigest::new(granularity);
+    let mut run = Vec::new();
+    let mut in_chunk = 0usize;
+    let mut payload_bytes = 0u64;
+    let mut count = 0u64;
+    for b in batches {
+        let mut row = 0;
+        while row < b.len() {
+            let take = (granularity - in_chunk).min(b.len() - row);
+            run.clear();
+            let mut payload = 0u64;
+            for r in row..row + take {
+                let start = run.len();
+                run.extend_from_slice(&[0u8; 8]);
+                b.write_row_canonical(r, &mut run);
+                let len = (run.len() - start - 8) as u64;
+                run[start..start + 8].copy_from_slice(&len.to_be_bytes());
+                payload += len;
+            }
+            cd.append_run(&run, take, payload);
+            payload_bytes += payload;
+            count += take as u64;
+            in_chunk += take;
+            if in_chunk == granularity {
+                in_chunk = 0;
+            }
+            row += take;
+        }
+    }
+    work.digest_bytes += payload_bytes;
+    work.record_ops += count;
+    data_plane::count_bytes_encoded(payload_bytes);
+    data_plane::count_digest_bytes(payload_bytes + 8 * count);
+    finish_chunked(cd, pool)
 }
 
 fn byte_size(records: &[Record]) -> u64 {
@@ -555,6 +977,7 @@ mod tests {
             map_split_records: 1000,
             verification_points: vps,
             digest_granularity: usize::MAX,
+            batch_records: 1024,
             sid: "s".to_owned(),
             replica: 0,
             combiner: None,
@@ -578,7 +1001,13 @@ mod tests {
         let job = exec_job(FOLLOWER, vec![]);
         let mut records = ints(&[&[1, 10], &[2, 20], &[1, 30]]);
         records.push(Record::new(vec![Value::Int(9), Value::Null]));
-        let out = run_map_task(&job, 0, &records, TaskFate::Faithful);
+        let out = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
         let total: usize = out.partitions.iter().map(Vec::len).sum();
         assert_eq!(total, 3, "null follower filtered out");
         assert_eq!(out.partitions.len(), 2);
@@ -630,8 +1059,20 @@ mod tests {
         let mut job = exec_job(FOLLOWER, vec![]);
         job.verification_points = plan_vps(&job);
         let records = ints(&[&[1, 10], &[2, 20]]);
-        let honest = run_map_task(&job, 0, &records, TaskFate::Faithful);
-        let corrupt = run_map_task(&job, 0, &records, TaskFate::Corrupt);
+        let honest = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        let corrupt = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Corrupt,
+            &ComputePool::default(),
+        );
         assert_eq!(honest.digests.len(), 1);
         assert_eq!(corrupt.digests.len(), 1);
         assert!(!honest.digests[0]
@@ -652,8 +1093,20 @@ mod tests {
             },
         }];
         let records = ints(&[&[1, 10], &[2, 20], &[3, 30]]);
-        let a = run_map_task(&job, 0, &records, TaskFate::Faithful);
-        let b = run_map_task(&job, 0, &records, TaskFate::Faithful);
+        let a = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        let b = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
         assert!(a.digests[0].1.compare(&b.digests[0].1).is_match());
         assert_eq!(a.partitions, b.partitions, "partitioning is deterministic");
     }
@@ -684,7 +1137,13 @@ mod tests {
             vec![],
         );
         assert_eq!(job.reduce_task_count, 1);
-        let out = run_map_task(&job, 0, &ints(&[&[1], &[3], &[2]]), TaskFate::Faithful);
+        let out = run_map_task(
+            &job,
+            0,
+            &ints(&[&[1], &[3], &[2]]),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
         assert_eq!(out.partitions.len(), 1);
         let reduced = run_reduce_task(
             &job,
@@ -714,10 +1173,254 @@ mod tests {
     #[test]
     fn work_counters_are_filled() {
         let job = exec_job(FOLLOWER, vec![]);
-        let out = run_map_task(&job, 0, &ints(&[&[1, 2], &[3, 4]]), TaskFate::Faithful);
+        let out = run_map_task(
+            &job,
+            0,
+            &ints(&[&[1, 2], &[3, 4]]),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
         assert!(out.work.bytes_in > 0);
         assert!(out.work.bytes_out > 0);
         assert!(out.work.record_ops > 0);
+    }
+
+    /// Asserts every observable of two task outputs is byte-identical:
+    /// partitions, work counters, and digest summaries down to the
+    /// combined fold and the Merkle root.
+    fn assert_map_identical(a: &MapTaskOutput, b: &MapTaskOutput, ctx: &str) {
+        assert_eq!(a.partitions, b.partitions, "{ctx}: partitions");
+        assert_eq!(a.work, b.work, "{ctx}: work");
+        assert_eq!(a.digests.len(), b.digests.len(), "{ctx}: digest count");
+        for ((va, sa), (vb, sb)) in a.digests.iter().zip(&b.digests) {
+            assert_eq!(va, vb, "{ctx}: vp order");
+            assert_eq!(sa, sb, "{ctx}: summary");
+            assert_eq!(sa.combined(), sb.combined(), "{ctx}: combined");
+            assert_eq!(sa.merkle_root(), sb.merkle_root(), "{ctx}: root");
+        }
+    }
+
+    fn assert_reduce_identical(a: &ReduceTaskOutput, b: &ReduceTaskOutput, ctx: &str) {
+        assert_eq!(a.records, b.records, "{ctx}: records");
+        assert_eq!(a.work, b.work, "{ctx}: work");
+        assert_eq!(a.digests.len(), b.digests.len(), "{ctx}: digest count");
+        for ((va, sa), (vb, sb)) in a.digests.iter().zip(&b.digests) {
+            assert_eq!(va, vb, "{ctx}: vp order");
+            assert_eq!(sa, sb, "{ctx}: summary");
+            assert_eq!(sa.combined(), sb.combined(), "{ctx}: combined");
+            assert_eq!(sa.merkle_root(), sb.merkle_root(), "{ctx}: root");
+        }
+    }
+
+    #[test]
+    fn batched_map_task_matches_row_path_byte_for_byte() {
+        let mut job = exec_job(FOLLOWER, vec![]);
+        job.verification_points = vec![VpSite {
+            vertex: job.inputs[0].pipeline[1],
+            site: Site::MapInput {
+                job: cbft_dataflow::compile::JobId(0),
+                input: 0,
+                pos: 1,
+            },
+        }];
+        job.digest_granularity = 3;
+        let records: Vec<Record> = (0..53i64)
+            .map(|i| {
+                let f = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i * 11 % 17)
+                };
+                Record::new(vec![Value::Int(i % 5), f])
+            })
+            .collect();
+        job.batch_records = 0;
+        let row = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        for bs in [1usize, 7, 1024] {
+            job.batch_records = bs;
+            let batched = run_map_task(
+                &job,
+                0,
+                &records,
+                TaskFate::Faithful,
+                &ComputePool::default(),
+            );
+            assert_map_identical(&batched, &row, &format!("batch_records {bs}"));
+        }
+    }
+
+    #[test]
+    fn batched_reduce_group_matches_row_path_byte_for_byte() {
+        let mut job = exec_job(FOLLOWER, vec![]);
+        let shuffle = job.shuffle.unwrap();
+        job.digest_granularity = 2;
+        job.verification_points = vec![
+            VpSite {
+                vertex: shuffle,
+                site: Site::Shuffle {
+                    job: cbft_dataflow::compile::JobId(0),
+                },
+            },
+            VpSite {
+                vertex: job.reduce[0],
+                site: Site::Reduce {
+                    job: cbft_dataflow::compile::JobId(0),
+                    pos: 0,
+                },
+            },
+        ];
+        let incoming: Vec<Tagged> = (0..40i64)
+            .map(|i| (0, Record::new(vec![Value::Int(i % 6), Value::Int(i)])))
+            .collect();
+        job.batch_records = 0;
+        let row = run_reduce_task(
+            &job,
+            incoming.clone(),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        for bs in [1usize, 5, 1024] {
+            job.batch_records = bs;
+            let batched = run_reduce_task(
+                &job,
+                incoming.clone(),
+                TaskFate::Faithful,
+                &ComputePool::default(),
+            );
+            assert_reduce_identical(&batched, &row, &format!("batch_records {bs}"));
+        }
+    }
+
+    #[test]
+    fn batched_reduce_join_and_order_match_row_path() {
+        let join_job = |bs: usize| {
+            let mut j = exec_job(
+                "a = LOAD 'e' AS (user, follower);
+                 b = LOAD 'e' AS (user, follower);
+                 j = JOIN a BY follower, b BY user;
+                 STORE j INTO 'o';",
+                vec![],
+            );
+            j.batch_records = bs;
+            j
+        };
+        let incoming: Vec<Tagged> = (0..30i64)
+            .map(|i| {
+                (
+                    (i % 2) as usize,
+                    Record::new(vec![Value::Int(i % 4), Value::Int(i % 3)]),
+                )
+            })
+            .collect();
+        let row = run_reduce_task(
+            &join_job(0),
+            incoming.clone(),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        let batched = run_reduce_task(
+            &join_job(8),
+            incoming.clone(),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        assert_reduce_identical(&batched, &row, "join");
+
+        let order_job = |bs: usize| {
+            let mut j = exec_job(
+                "a = LOAD 'f' AS (x, y);
+                 o = ORDER a BY y DESC;
+                 STORE o INTO 'out';",
+                vec![],
+            );
+            j.batch_records = bs;
+            j
+        };
+        let incoming: Vec<Tagged> = (0..25i64)
+            .map(|i| (0, Record::new(vec![Value::Int(i), Value::Int(i * 13 % 11)])))
+            .collect();
+        let row = run_reduce_task(
+            &order_job(0),
+            incoming.clone(),
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        let batched = run_reduce_task(
+            &order_job(4),
+            incoming,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        assert_reduce_identical(&batched, &row, "order");
+    }
+
+    #[test]
+    fn ragged_split_falls_back_to_row_execution() {
+        let mut job = exec_job(
+            "a = LOAD 'f' AS (x);
+             o = FILTER a BY x IS NOT NULL;
+             STORE o INTO 'out';",
+            vec![],
+        );
+        let records = vec![
+            Record::new(vec![Value::Int(1)]),
+            Record::new(vec![Value::Int(2), Value::Int(3)]), // ragged arity
+            Record::new(vec![Value::Null]),
+        ];
+        job.batch_records = 1024;
+        let batched = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        job.batch_records = 0;
+        let row = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        assert_map_identical(&batched, &row, "ragged fallback");
+    }
+
+    #[test]
+    fn pool_built_merkle_tree_is_identical_to_inline() {
+        // Enough granularity-1 chunks (> 2 × the 512-parent payload
+        // threshold) that the threaded pool actually fans levels out.
+        let mut job = exec_job(FOLLOWER, vec![]);
+        job.verification_points = vec![VpSite {
+            vertex: job.inputs[0].pipeline[1],
+            site: Site::MapInput {
+                job: cbft_dataflow::compile::JobId(0),
+                input: 0,
+                pos: 1,
+            },
+        }];
+        job.digest_granularity = 1;
+        let records: Vec<Record> = (0..2500i64)
+            .map(|i| Record::new(vec![Value::Int(i % 9), Value::Int(i)]))
+            .collect();
+        let inline = run_map_task(
+            &job,
+            0,
+            &records,
+            TaskFate::Faithful,
+            &ComputePool::default(),
+        );
+        let threaded = ComputePool::new(2);
+        let pooled = run_map_task(&job, 0, &records, TaskFate::Faithful, &threaded);
+        assert_map_identical(&pooled, &inline, "pool merkle");
+        assert_eq!(inline.digests[0].1.chunks().len(), 2500);
+        assert!(inline.digests[0].1.merkle().depth() > 10);
     }
 
     #[test]

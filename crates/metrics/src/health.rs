@@ -34,6 +34,16 @@ pub mod names {
     /// Histogram, labels `{key}`: report→quorum lag per verification
     /// point, in sim µs.
     pub const VERIFICATION_LAG_US: &str = "cbft_verification_lag_us";
+    /// Gauge, labels `{key}`: first chunk implicated by Merkle mismatch
+    /// localization at a diverging verification point.
+    pub const DIVERGENCE_FIRST_CHUNK: &str = "cbft_divergence_first_chunk";
+    /// Gauge, labels `{key}`: last implicated chunk (inclusive).
+    pub const DIVERGENCE_LAST_CHUNK: &str = "cbft_divergence_last_chunk";
+    /// Gauge, labels `{key}`: first record index implicated by Merkle
+    /// mismatch localization — the recomputation window's start.
+    pub const DIVERGENCE_FIRST_RECORD: &str = "cbft_divergence_first_record";
+    /// Gauge, labels `{key}`: last implicated record index (inclusive).
+    pub const DIVERGENCE_LAST_RECORD: &str = "cbft_divergence_last_record";
     /// Counter, labels `{node, from, to}`: suspicion band transitions.
     pub const SUSPICION_TRANSITIONS: &str = "cbft_suspicion_transitions_total";
     /// Gauge, labels `{node}`: final suspicion band rank (0=None..3=High).
@@ -112,6 +122,22 @@ struct RoundHealth {
     verified: bool,
 }
 
+/// The chunk/record window implicated by Merkle mismatch localization at
+/// one diverging verification point (see the `DIVERGENCE_*` gauges).
+/// Replicas' streams provably agree on everything before `first_record`
+/// and after `last_record`, so re-execution can be confined to the span.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DivergenceSpan {
+    /// First implicated digest chunk.
+    pub first_chunk: u64,
+    /// Last implicated digest chunk (inclusive).
+    pub last_chunk: u64,
+    /// First implicated record index.
+    pub first_record: u64,
+    /// Last implicated record index (inclusive).
+    pub last_record: u64,
+}
+
 /// Fault-forensics summary assembled from a metrics snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct HealthReport {
@@ -119,6 +145,7 @@ pub struct HealthReport {
     nodes: BTreeMap<u64, NodeHealth>,
     points: BTreeMap<String, Histogram>,
     rounds: BTreeMap<u64, RoundHealth>,
+    divergences: BTreeMap<String, DivergenceSpan>,
 }
 
 fn label<'a>(sample_labels: &'a [(&'static str, String)], name: &str) -> Option<&'a str> {
@@ -167,6 +194,42 @@ impl HealthReport {
                         (label(&s.labels, "key"), &s.value)
                     {
                         report.points.entry(key.to_string()).or_default().merge(h);
+                    }
+                }
+                names::DIVERGENCE_FIRST_CHUNK => {
+                    if let Some(key) = label(&s.labels, "key") {
+                        report
+                            .divergences
+                            .entry(key.to_string())
+                            .or_default()
+                            .first_chunk = scalar;
+                    }
+                }
+                names::DIVERGENCE_LAST_CHUNK => {
+                    if let Some(key) = label(&s.labels, "key") {
+                        report
+                            .divergences
+                            .entry(key.to_string())
+                            .or_default()
+                            .last_chunk = scalar;
+                    }
+                }
+                names::DIVERGENCE_FIRST_RECORD => {
+                    if let Some(key) = label(&s.labels, "key") {
+                        report
+                            .divergences
+                            .entry(key.to_string())
+                            .or_default()
+                            .first_record = scalar;
+                    }
+                }
+                names::DIVERGENCE_LAST_RECORD => {
+                    if let Some(key) = label(&s.labels, "key") {
+                        report
+                            .divergences
+                            .entry(key.to_string())
+                            .or_default()
+                            .last_record = scalar;
                     }
                 }
                 names::SUSPICION_TRANSITIONS => {
@@ -249,12 +312,21 @@ impl HealthReport {
             .collect()
     }
 
+    /// Per-verification-point Merkle mismatch localization: the narrowed
+    /// chunk/record window replicas provably disagree inside, keyed by the
+    /// verifier's key label. Empty when every key agreed (or the run was
+    /// recorded before localization gauges existed).
+    pub fn divergence_spans(&self) -> &BTreeMap<String, DivergenceSpan> {
+        &self.divergences
+    }
+
     /// Whether the snapshot contained any of the conventional metrics.
     pub fn is_empty(&self) -> bool {
         self.replicas.is_empty()
             && self.nodes.is_empty()
             && self.points.is_empty()
             && self.rounds.is_empty()
+            && self.divergences.is_empty()
     }
 
     /// Render the report as terminal text.
@@ -324,6 +396,17 @@ impl HealthReport {
                     out,
                     "  node {node}: {trajectory}  [final: {}]",
                     BAND_NAMES[h.final_band.min(3)]
+                );
+            }
+        }
+
+        if !self.divergences.is_empty() {
+            out.push_str("\nmismatch localization (merkle descent):\n");
+            for (key, d) in &self.divergences {
+                let _ = writeln!(
+                    out,
+                    "  {key}: chunks {}..={}  records {}..={}",
+                    d.first_chunk, d.last_chunk, d.first_record, d.last_record
                 );
             }
         }
@@ -509,6 +592,33 @@ mod tests {
         assert!(text.contains("round 1: replicas=2  output records=900  verified=no"));
         assert!(text.contains("round 2: replicas=3  output records=0  verified=yes"));
         assert!(text.contains("escalations: 1"));
+    }
+
+    #[test]
+    fn report_renders_divergence_spans() {
+        let m = Metrics::new();
+        let labels = [("key", "v1/Shuffle { job: JobId(0) }/Reduce/0".into())];
+        m.gauge_set(Domain::Sim, names::DIVERGENCE_FIRST_CHUNK, &labels, 2);
+        m.gauge_set(Domain::Sim, names::DIVERGENCE_LAST_CHUNK, &labels, 2);
+        m.gauge_set(Domain::Sim, names::DIVERGENCE_FIRST_RECORD, &labels, 4);
+        m.gauge_set(Domain::Sim, names::DIVERGENCE_LAST_RECORD, &labels, 5);
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert!(!report.is_empty());
+        let spans = report.divergence_spans();
+        assert_eq!(spans.len(), 1);
+        let span = spans.values().next().unwrap();
+        assert_eq!(
+            *span,
+            DivergenceSpan {
+                first_chunk: 2,
+                last_chunk: 2,
+                first_record: 4,
+                last_record: 5,
+            }
+        );
+        let text = report.render();
+        assert!(text.contains("mismatch localization (merkle descent):"));
+        assert!(text.contains("v1/Shuffle { job: JobId(0) }/Reduce/0: chunks 2..=2  records 4..=5"));
     }
 
     #[test]

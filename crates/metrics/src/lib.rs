@@ -32,7 +32,7 @@ mod histogram;
 mod registry;
 
 pub use export::{json_snapshot, prometheus_text, validate_prometheus_text};
-pub use health::{names, HealthReport, BAND_NAMES};
+pub use health::{names, DivergenceSpan, HealthReport, BAND_NAMES};
 pub use histogram::{bucket_index, bucket_lower, bucket_upper, Histogram, BUCKETS};
 pub use registry::{
     global, Domain, LabelValue, Labels, Metrics, Registry, Sample, SampleValue, Snapshot,

@@ -60,6 +60,10 @@ pub struct CliOptions {
     /// `Some(0)` sizes the pool to the host's cores. Works in both the
     /// sequential and `--threads` modes without changing any verdict.
     pub compute_threads: Option<usize>,
+    /// Rows per columnar batch on the task data plane. `None` keeps the
+    /// engine default (1024); `Some(0)` forces row-at-a-time execution.
+    /// Host-side only: digests and verdicts are identical for any value.
+    pub batch_size: Option<usize>,
     /// Print the instrumented plan in Graphviz dot and exit.
     pub emit_dot: bool,
     /// Rows of each output to print.
@@ -96,6 +100,7 @@ impl Default for CliOptions {
             optimize: false,
             threads: None,
             compute_threads: None,
+            batch_size: None,
             emit_dot: false,
             show_rows: 10,
             trace: None,
@@ -148,6 +153,9 @@ OPTIONS:
                          (map/reduce evaluation, digesting, shuffle gather);
                          0 = one thread per host core. Verdicts and traces
                          are identical for any value     [default: inline]
+    --batch-size N       rows per columnar batch on the task data plane;
+                         0 = row-at-a-time execution. Digests, outputs and
+                         verdicts are identical for any value [default: 1024]
     --dot                print the plan in Graphviz dot and exit
     --show N             rows of each output to print   [default: 10]
     --trace FILE         record a Chrome-trace-format JSON trace of the run
@@ -254,6 +262,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     &need(&mut it, "--compute-threads")?,
                     "--compute-threads",
                 )?)
+            }
+            "--batch-size" => {
+                opts.batch_size = Some(parse_num(&need(&mut it, "--batch-size")?, "--batch-size")?)
             }
             "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--trace-summary" => opts.trace_summary = true,
@@ -392,6 +403,9 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     if let Some(n) = opts.compute_threads {
         config = config.compute_threads(n);
     }
+    if let Some(n) = opts.batch_size {
+        config = config.batch_records(n);
+    }
     let config = config.build();
     let mut cbft = ClusterBft::new(builder.build(), config);
     cbft.set_tracer(tracer);
@@ -493,6 +507,7 @@ fn run_parallel(
     let mut exec = ParallelExecutor::new(ExecutorConfig {
         threads: opts.threads.unwrap_or(1),
         compute_threads: opts.compute_threads.unwrap_or(default_exec.compute_threads),
+        batch_records: opts.batch_size.unwrap_or(default_exec.batch_records),
         expected_failures: f,
         // Start at the requested replication degree, escalate along the
         // paper's schedule from there.
@@ -754,6 +769,22 @@ mod tests {
         );
         assert!(parse(&["s.pig", "--compute-threads"]).is_err());
         assert!(parse(&["s.pig", "--compute-threads", "lots"]).is_err());
+    }
+
+    #[test]
+    fn batch_size_flag_parses() {
+        assert_eq!(parse(&["s.pig"]).unwrap().batch_size, None);
+        assert_eq!(
+            parse(&["s.pig", "--batch-size", "256"]).unwrap().batch_size,
+            Some(256)
+        );
+        assert_eq!(
+            parse(&["s.pig", "--batch-size", "0"]).unwrap().batch_size,
+            Some(0),
+            "0 selects the row-at-a-time path"
+        );
+        assert!(parse(&["s.pig", "--batch-size"]).is_err());
+        assert!(parse(&["s.pig", "--batch-size", "wide"]).is_err());
     }
 
     #[test]

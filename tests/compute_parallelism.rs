@@ -203,6 +203,70 @@ fn sequential_pipeline_is_pool_size_independent() {
     }
 }
 
+// --- columnar batch plane invariance ---------------------------------------
+
+/// Like [`run`], but pinning the columnar batch size too.
+fn run_batched(
+    batch_records: usize,
+    threads: usize,
+    compute_threads: usize,
+    fault: Option<(usize, Behavior)>,
+) -> ParallelOutcome {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads,
+        compute_threads,
+        batch_records,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 2013,
+        ..ExecutorConfig::default()
+    });
+    exec.load_input("users", users(40)).unwrap();
+    exec.load_input("clicks", clicks(600)).unwrap();
+    if let Some((uid, behavior)) = fault {
+        exec.inject_fault(uid, behavior);
+    }
+    exec.run_script(SCRIPT).unwrap()
+}
+
+#[test]
+fn batch_size_never_changes_the_outcome() {
+    // The columnar data plane is a host-side execution strategy: any batch
+    // size — including 0, the historical row-at-a-time path — serializes
+    // byte-for-byte identically, across worker and pool sizes at once.
+    let baseline = run_batched(0, 1, 1, None);
+    assert!(baseline.verified());
+    let canon = serde_json::to_string(&baseline).unwrap();
+    for (batch_records, threads, compute_threads) in
+        [(1, 1, 1), (7, 2, 4), (1024, 2, 1), (1024, 2, 8), (0, 2, 8)]
+    {
+        let outcome = run_batched(batch_records, threads, compute_threads, None);
+        assert_eq!(
+            canon,
+            serde_json::to_string(&outcome).unwrap(),
+            "batch_records={batch_records} threads={threads} compute_threads={compute_threads}"
+        );
+    }
+}
+
+#[test]
+fn batch_size_invariance_holds_under_faults() {
+    // A commission deviant exercises the corrupt fallback path on one
+    // replica while its honest siblings stay batched; forensics and the
+    // escalation bookkeeping must not notice.
+    let fault = Some((1, Behavior::Commission { probability: 1.0 }));
+    let baseline = run_batched(0, 2, 1, fault);
+    assert!(baseline.verified());
+    assert!(baseline.deviant_replicas().contains(&1));
+    for batch_records in [1, 1024] {
+        assert_eq!(
+            baseline,
+            run_batched(batch_records, 2, 4, fault),
+            "batch_records={batch_records}"
+        );
+    }
+}
+
 // --- randomized inputs and seeds ------------------------------------------
 
 proptest! {

@@ -581,3 +581,125 @@ proptest! {
         prop_assert!(p50 <= p90 && p90 <= p99);
     }
 }
+
+// --- columnar data plane & merkle digest trees ------------------------------
+
+use clusterbft_repro::dataflow::Batch;
+use clusterbft_repro::digest::{parent_level, MerkleTree};
+
+proptest! {
+    /// The Merkle tree is a *derived* structure: for an arbitrary stream
+    /// at arbitrary granularity, `combined()` still equals the pinned
+    /// linear `sha256(a||b)` fold over the sealed chunk digests — the
+    /// value quorums compare, unchanged by the tree — and `merkle_root()`
+    /// equals the canonical tree rebuilt from those same chunk digests,
+    /// level by level.
+    #[test]
+    fn merkle_summary_preserves_combined_digest_semantics(
+        records in proptest::collection::vec(record_strategy(), 0..80),
+        granularity in 1usize..16,
+    ) {
+        let mut cd = ChunkedDigest::new(granularity);
+        for r in &records {
+            cd.append(r);
+        }
+        let summary = cd.finish();
+
+        let chunks = summary.chunks().to_vec();
+        prop_assert!(!chunks.is_empty(), "even an empty stream seals one chunk");
+        let expected_chunks = records.len().div_ceil(granularity).max(1);
+        prop_assert_eq!(chunks.len(), expected_chunks);
+
+        // Pinned combined-digest semantics: the historical linear fold.
+        let mut combined = chunks[0];
+        for c in &chunks[1..] {
+            combined = combined.combine(c);
+        }
+        prop_assert_eq!(summary.combined(), combined);
+
+        // The root is a pure function of the chunk digests.
+        let tree = MerkleTree::build(chunks.clone());
+        prop_assert_eq!(summary.merkle_root(), tree.root().unwrap());
+        let mut level = chunks;
+        while level.len() > 1 {
+            level = parent_level(&level);
+        }
+        prop_assert_eq!(summary.merkle_root(), level[0]);
+    }
+
+    /// Corrupting a single record is localized by Merkle descent to a
+    /// chunk/record window that contains the victim, and the window is
+    /// exactly one chunk wide (one flipped leaf).
+    #[test]
+    fn merkle_localization_contains_the_corrupted_record(
+        records in proptest::collection::vec(record_strategy(), 1..60),
+        granularity in 1usize..12,
+        victim in any::<proptest::sample::Index>(),
+    ) {
+        let summarize = |recs: &[Vec<u8>]| {
+            let mut cd = ChunkedDigest::new(granularity);
+            for r in recs {
+                cd.append(r);
+            }
+            cd.finish()
+        };
+        let good = summarize(&records);
+        let mut corrupted = records.clone();
+        let i = victim.index(corrupted.len());
+        corrupted[i].push(0xFF);
+        let bad = summarize(&corrupted);
+
+        let range = good.localize(&bad).expect("streams diverge");
+        let chunk = i / granularity;
+        prop_assert_eq!(range.first_chunk, chunk);
+        prop_assert_eq!(range.last_chunk, chunk);
+        prop_assert!(
+            range.first_record <= i as u64 && (i as u64) <= range.last_record,
+            "record {} outside window {}..={}", i, range.first_record, range.last_record
+        );
+        prop_assert!(
+            range.last_record - range.first_record < granularity as u64,
+            "window wider than one chunk"
+        );
+        prop_assert!(good.localize(&good).is_none(), "agreement localizes to nothing");
+    }
+
+    /// Row → batch → row is the identity for arbitrary uniform-arity
+    /// record sets, nulls included, and the canonical per-row encodings
+    /// survive the trip — the invariant that lets the batched data plane
+    /// digest and partition without materializing rows.
+    #[test]
+    fn batch_roundtrip_is_identity_including_nulls(
+        arity in 1usize..6,
+        n_rows in 0usize..40,
+        seed_values in proptest::collection::vec(value_strategy(), 1..240),
+    ) {
+        let rows: Vec<Record> = (0..n_rows)
+            .map(|r| {
+                Record::new(
+                    (0..arity)
+                        .map(|c| seed_values[(r * arity + c) % seed_values.len()].clone())
+                        .collect(),
+                )
+            })
+            .collect();
+        let Some(batch) = Batch::from_records(&rows) else {
+            // from_records only declines ragged input; uniform arity with
+            // at least one row must convert.
+            prop_assert!(rows.is_empty());
+            return;
+        };
+        prop_assert_eq!(batch.len(), rows.len());
+        let back = batch.to_records();
+        prop_assert_eq!(&back, &rows);
+
+        let mut via_batch = Vec::new();
+        let mut via_rows = Vec::new();
+        for (r, row) in rows.iter().enumerate() {
+            batch.write_row_canonical(r, &mut via_batch);
+            row.write_canonical(&mut via_rows);
+            prop_assert_eq!(batch.row(r), row.clone());
+        }
+        prop_assert_eq!(via_batch, via_rows);
+    }
+}
