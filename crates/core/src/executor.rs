@@ -280,6 +280,10 @@ pub struct ParallelExecutor {
     faults: BTreeMap<usize, Behavior>,
     tracer: Tracer,
     metrics: Metrics,
+    /// An externally owned compute pool (e.g. the job server's, shared
+    /// across concurrent jobs). `None` builds a private pool per run
+    /// from [`ExecutorConfig::compute_threads`].
+    shared_pool: Option<ComputePool>,
 }
 
 impl ParallelExecutor {
@@ -291,7 +295,19 @@ impl ParallelExecutor {
             faults: BTreeMap::new(),
             tracer: Tracer::disabled(),
             metrics: Metrics::disabled(),
+            shared_pool: None,
         }
+    }
+
+    /// Uses an externally owned compute pool for task payloads instead
+    /// of building a private one per run. The job server passes its one
+    /// shared pool here so `slots` concurrent jobs multiplex over a
+    /// fixed set of compute workers rather than spawning `slots` pools
+    /// that fight for the same cores. Pool size never changes verdicts,
+    /// digests or canonical transcripts (DESIGN.md §5e), so sharing is
+    /// invisible to every outcome.
+    pub fn set_compute_pool(&mut self, pool: ComputePool) {
+        self.shared_pool = Some(pool);
     }
 
     /// Attaches a trace sink. Each replica's engine events land on a
@@ -400,8 +416,11 @@ impl ParallelExecutor {
 
         // One pool for the whole execution: replica worker threads share
         // its compute workers instead of spawning r pools that fight for
-        // the same cores.
-        let pool = ComputePool::with_metrics(self.config.compute_threads, self.metrics.clone());
+        // the same cores. Under a job server the pool is shared wider
+        // still — across every concurrently executing job.
+        let pool = self.shared_pool.clone().unwrap_or_else(|| {
+            ComputePool::with_metrics(self.config.compute_threads, self.metrics.clone())
+        });
 
         let f = self.config.expected_failures;
         let mut verifier = Verifier::new(f, 0);

@@ -68,6 +68,31 @@ pub mod names {
     /// Gauge (wall): peak compute-pool queue depth.
     pub const POOL_QUEUE_PEAK: &str = "cbft_pool_queue_peak";
 
+    // --- job server (cbft-server / cbftd) -------------------------------
+
+    /// Counter (wall): jobs admitted into the server's bounded queue.
+    pub const SERVER_ADMITTED: &str = "cbft_server_jobs_admitted_total";
+    /// Counter (wall): submissions refused with an explicit queue-full
+    /// backpressure response. Never a silent drop.
+    pub const SERVER_REJECTED: &str = "cbft_server_jobs_rejected_total";
+    /// Counter (wall), labels `{tenant}`: jobs that ran to completion
+    /// (verified or not).
+    pub const SERVER_COMPLETED: &str = "cbft_server_jobs_completed_total";
+    /// Counter (wall), labels `{tenant}`: completed jobs whose every
+    /// output reached a digest quorum.
+    pub const SERVER_VERIFIED: &str = "cbft_server_jobs_verified_total";
+    /// Counter (wall), labels `{tenant}`: jobs that errored before an
+    /// outcome (parse failure, missing input).
+    pub const SERVER_FAILED: &str = "cbft_server_jobs_failed_total";
+    /// Gauge (wall): peak admission-queue depth observed.
+    pub const SERVER_QUEUE_PEAK: &str = "cbft_server_queue_depth_peak";
+    /// Histogram (wall), labels `{tenant}`: submit→completion latency,
+    /// µs.
+    pub const SERVER_JOB_LATENCY_US: &str = "cbft_server_job_latency_us";
+    /// Histogram (wall), labels `{tenant}`: time waiting in the
+    /// admission queue, µs.
+    pub const SERVER_JOB_QUEUE_US: &str = "cbft_server_job_queue_us";
+
     // --- campaign aggregation (cbft-campaign) ---------------------------
 
     /// Counter: scenarios executed by a campaign run.
@@ -122,6 +147,29 @@ struct RoundHealth {
     verified: bool,
 }
 
+#[derive(Clone, Debug, Default)]
+struct TenantHealth {
+    completed: u64,
+    verified: u64,
+    failed: u64,
+    latency: Histogram,
+    queue: Histogram,
+}
+
+#[derive(Clone, Debug, Default)]
+struct ServerHealth {
+    admitted: u64,
+    rejected: u64,
+    queue_peak: u64,
+    tenants: BTreeMap<String, TenantHealth>,
+}
+
+impl ServerHealth {
+    fn is_empty(&self) -> bool {
+        self.admitted == 0 && self.rejected == 0 && self.tenants.is_empty()
+    }
+}
+
 /// The chunk/record window implicated by Merkle mismatch localization at
 /// one diverging verification point (see the `DIVERGENCE_*` gauges).
 /// Replicas' streams provably agree on everything before `first_record`
@@ -146,6 +194,7 @@ pub struct HealthReport {
     points: BTreeMap<String, Histogram>,
     rounds: BTreeMap<u64, RoundHealth>,
     divergences: BTreeMap<String, DivergenceSpan>,
+    server: ServerHealth,
 }
 
 fn label<'a>(sample_labels: &'a [(&'static str, String)], name: &str) -> Option<&'a str> {
@@ -265,6 +314,65 @@ impl HealthReport {
                         report.rounds.entry(r).or_default().verified = scalar != 0;
                     }
                 }
+                names::SERVER_ADMITTED => report.server.admitted = scalar,
+                names::SERVER_REJECTED => report.server.rejected = scalar,
+                names::SERVER_QUEUE_PEAK => report.server.queue_peak = scalar,
+                names::SERVER_COMPLETED => {
+                    if let Some(t) = label(&s.labels, "tenant") {
+                        report
+                            .server
+                            .tenants
+                            .entry(t.to_string())
+                            .or_default()
+                            .completed = scalar;
+                    }
+                }
+                names::SERVER_VERIFIED => {
+                    if let Some(t) = label(&s.labels, "tenant") {
+                        report
+                            .server
+                            .tenants
+                            .entry(t.to_string())
+                            .or_default()
+                            .verified = scalar;
+                    }
+                }
+                names::SERVER_FAILED => {
+                    if let Some(t) = label(&s.labels, "tenant") {
+                        report
+                            .server
+                            .tenants
+                            .entry(t.to_string())
+                            .or_default()
+                            .failed = scalar;
+                    }
+                }
+                names::SERVER_JOB_LATENCY_US => {
+                    if let (Some(t), SampleValue::Histogram(h)) =
+                        (label(&s.labels, "tenant"), &s.value)
+                    {
+                        report
+                            .server
+                            .tenants
+                            .entry(t.to_string())
+                            .or_default()
+                            .latency
+                            .merge(h);
+                    }
+                }
+                names::SERVER_JOB_QUEUE_US => {
+                    if let (Some(t), SampleValue::Histogram(h)) =
+                        (label(&s.labels, "tenant"), &s.value)
+                    {
+                        report
+                            .server
+                            .tenants
+                            .entry(t.to_string())
+                            .or_default()
+                            .queue
+                            .merge(h);
+                    }
+                }
                 _ => {}
             }
         }
@@ -327,11 +435,34 @@ impl HealthReport {
             && self.points.is_empty()
             && self.rounds.is_empty()
             && self.divergences.is_empty()
+            && self.server.is_empty()
     }
 
     /// Render the report as terminal text.
     pub fn render(&self) -> String {
         let mut out = String::from("=== ClusterBFT health report ===\n");
+
+        if !self.server.is_empty() {
+            let s = &self.server;
+            out.push_str("\njob server:\n");
+            let _ = writeln!(
+                out,
+                "  admitted={}  rejected={}  queue depth peak={}",
+                s.admitted, s.rejected, s.queue_peak
+            );
+            for (tenant, t) in &s.tenants {
+                let (p50, p90, p99) = t.latency.p50_p90_p99();
+                let _ = writeln!(
+                    out,
+                    "  tenant {tenant}: completed={}  verified={}  failed={}  \
+                     latency_us p50={p50} p90={p90} p99={p99}  queue_us p99={}",
+                    t.completed,
+                    t.verified,
+                    t.failed,
+                    t.queue.p50_p90_p99().2,
+                );
+            }
+        }
 
         if !self.replicas.is_empty() {
             out.push_str("\nreplica forensics:\n");
@@ -619,6 +750,72 @@ mod tests {
         let text = report.render();
         assert!(text.contains("mismatch localization (merkle descent):"));
         assert!(text.contains("v1/Shuffle { job: JobId(0) }/Reduce/0: chunks 2..=2  records 4..=5"));
+    }
+
+    /// Regression for the zero-divergence rendering path: a clean run
+    /// records replica forensics but no `cbft_divergence_*` gauges, and
+    /// the mismatch-localization section must be *omitted entirely* —
+    /// not rendered as an empty or garbled header.
+    #[test]
+    fn clean_run_omits_mismatch_localization_section() {
+        let m = Metrics::new();
+        for r in 0..2u64 {
+            m.add(
+                Domain::Sim,
+                names::REPLICA_REPORTS,
+                &[("replica", r.into())],
+                4,
+            );
+        }
+        m.observe(
+            Domain::Sim,
+            names::VERIFICATION_LAG_US,
+            &[("key", "v1/s0".into())],
+            25,
+        );
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert!(report.divergence_spans().is_empty());
+        let text = report.render();
+        assert!(
+            !text.contains("mismatch localization"),
+            "clean run must omit the section, got:\n{text}"
+        );
+        assert!(
+            !text.contains("chunks"),
+            "no divergence rows on a clean run:\n{text}"
+        );
+        assert!(text.contains("replica 0"), "forensics still render: {text}");
+    }
+
+    #[test]
+    fn report_renders_job_server_section() {
+        let m = Metrics::new();
+        m.add(Domain::Wall, names::SERVER_ADMITTED, &[], 50);
+        m.add(Domain::Wall, names::SERVER_REJECTED, &[], 3);
+        m.gauge_max(Domain::Wall, names::SERVER_QUEUE_PEAK, &[], 17);
+        for (tenant, n) in [("acme", 30u64), ("beta", 20u64)] {
+            let labels = [("tenant", tenant.into())];
+            m.add(Domain::Wall, names::SERVER_COMPLETED, &labels, n);
+            m.add(Domain::Wall, names::SERVER_VERIFIED, &labels, n);
+            for i in 0..n {
+                m.observe(Domain::Wall, names::SERVER_JOB_LATENCY_US, &labels, 100 + i);
+                m.observe(Domain::Wall, names::SERVER_JOB_QUEUE_US, &labels, 10);
+            }
+        }
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert!(!report.is_empty());
+        let text = report.render();
+        assert!(text.contains("job server:"), "{text}");
+        assert!(
+            text.contains("admitted=50  rejected=3  queue depth peak=17"),
+            "{text}"
+        );
+        assert!(
+            text.contains("tenant acme: completed=30  verified=30"),
+            "{text}"
+        );
+        assert!(text.contains("tenant beta: completed=20"), "{text}");
+        assert!(text.contains("latency_us p50="), "{text}");
     }
 
     #[test]

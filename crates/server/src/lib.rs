@@ -1,0 +1,610 @@
+//! `cbft-server`: the trusted control tier as a **long-running,
+//! multi-tenant job server**.
+//!
+//! The paper's §1.4 control tier is a service — request handler,
+//! execution tracker, resource manager and verifier — yet the rest of
+//! this workspace runs exactly one job per process. [`JobServer`] closes
+//! that gap:
+//!
+//! * **Admission queue** ([`sched::FairQueue`]): bounded depth, explicit
+//!   [`RejectReason::QueueFull`] responses when it overflows — callers
+//!   see backpressure, jobs are never silently dropped.
+//! * **Per-tenant weighted fairness**: start-time fair queueing over
+//!   tenants, so a tenant flooding the queue cannot starve the others
+//!   beyond its configured share.
+//! * **Concurrent execution slots**: `slots` worker threads each run one
+//!   admitted job at a time through its own [`ParallelExecutor`] — every
+//!   job keeps private verifier/suspicion state — while all jobs
+//!   multiplex over **one shared compute pool**
+//!   ([`ParallelExecutor::set_compute_pool`]) instead of spawning a pool
+//!   per job.
+//! * **Server-level metrics**: admitted/rejected/completed counters, a
+//!   queue-depth peak gauge and per-tenant latency histograms land in a
+//!   [`Metrics`] hub under the `cbft_server_*` names, rendered by the
+//!   cbft-metrics health report.
+//!
+//! # Determinism
+//!
+//! A job's verdict, transcript and outputs are a pure function of its
+//! own [`JobSpec`] — executor seeding is per-job, the shared pool never
+//! affects outcomes (DESIGN.md §5e), and storage is per-replica inside
+//! each executor. Co-tenants change *when* a job runs, never *what* it
+//! computes; `tests/server.rs` pins solo-vs-loaded byte-identity.
+//!
+//! # Example
+//!
+//! ```
+//! use cbft_dataflow::{Record, Value};
+//! use cbft_server::{JobServer, JobSpec, ServerConfig, SubmitOutcome};
+//!
+//! let server = JobServer::start(ServerConfig::default());
+//! let rows: Vec<Record> = (0..60)
+//!     .map(|i| Record::new(vec![Value::Int(i % 4), Value::Int(i)]))
+//!     .collect();
+//! let spec = JobSpec::new(
+//!     "acme",
+//!     "a = LOAD 'edges' AS (u, f);
+//!      g = GROUP a BY u;
+//!      c = FOREACH g GENERATE group, COUNT(a) AS n;
+//!      STORE c INTO 'counts';",
+//! )
+//! .input("edges", rows)
+//! .seed(7);
+//! let handle = match server.submit(spec) {
+//!     SubmitOutcome::Admitted(h) => h,
+//!     SubmitOutcome::Rejected(r) => panic!("empty server rejected: {r}"),
+//! };
+//! let result = handle.wait();
+//! assert!(result.outcome.unwrap().verified());
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sched;
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cbft_dataflow::Record;
+use cbft_mapreduce::{Behavior, ComputePool};
+use cbft_metrics::{names as metric_names, Domain, LabelValue, Metrics};
+use clusterbft::{ExecutorConfig, ParallelExecutor, ParallelOutcome, SubmitError};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use sched::FairQueue;
+
+/// Configuration for a [`JobServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Concurrent execution slots (worker threads running admitted
+    /// jobs). Clamped to ≥ 1.
+    pub slots: usize,
+    /// Maximum jobs waiting in the admission queue; submissions beyond
+    /// it are rejected with [`RejectReason::QueueFull`].
+    pub queue_depth: usize,
+    /// Threads in the compute pool **shared by every job** for
+    /// data-parallel task payloads. `1` runs payloads inline (the
+    /// default: with many concurrent jobs, job-level parallelism already
+    /// fills the cores); `0` sizes the pool to the host.
+    pub compute_threads: usize,
+    /// Fair-share weight for tenants without an explicit entry.
+    pub default_weight: u64,
+    /// Per-tenant fair-share weights.
+    pub weights: Vec<(String, u64)>,
+    /// Metrics hub receiving the `cbft_server_*` series. Disabled by
+    /// default.
+    pub metrics: Metrics,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            slots: 2,
+            queue_depth: 64,
+            compute_threads: 1,
+            default_weight: 1,
+            weights: Vec::new(),
+            metrics: Metrics::disabled(),
+        }
+    }
+}
+
+/// One submitted job: a tenant, a script, its inputs and the executor
+/// configuration it runs under.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The submitting tenant (fair-share identity and metrics label).
+    pub tenant: String,
+    /// Script source text.
+    pub script: String,
+    /// Input data sets by name.
+    pub inputs: Vec<(String, Vec<Record>)>,
+    /// Replica faults to inject, `(replica uid, behavior)` — chaos jobs
+    /// ride through the server like healthy ones.
+    pub faults: Vec<(usize, Behavior)>,
+    /// Per-job executor configuration. `master_seed` is the job's seed;
+    /// `compute_threads` is ignored (the server's shared pool is used).
+    pub exec: ExecutorConfig,
+}
+
+impl JobSpec {
+    /// A job with default executor configuration (2 replica worker
+    /// threads, the paper's escalation schedule).
+    pub fn new(tenant: &str, script: &str) -> Self {
+        JobSpec {
+            tenant: tenant.to_owned(),
+            script: script.to_owned(),
+            inputs: Vec::new(),
+            faults: Vec::new(),
+            exec: ExecutorConfig {
+                threads: 2,
+                compute_threads: 1,
+                ..ExecutorConfig::default()
+            },
+        }
+    }
+
+    /// Adds an input data set.
+    #[must_use]
+    pub fn input(mut self, name: &str, records: Vec<Record>) -> Self {
+        self.inputs.push((name.to_owned(), records));
+        self
+    }
+
+    /// Sets the job's simulation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.exec.master_seed = seed;
+        self
+    }
+
+    /// Replaces the executor configuration.
+    #[must_use]
+    pub fn exec(mut self, exec: ExecutorConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Injects a replica fault.
+    #[must_use]
+    pub fn fault(mut self, uid: usize, behavior: Behavior) -> Self {
+        self.faults.push((uid, behavior));
+        self
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded admission queue is at capacity — retry later. This is
+    /// the server's backpressure signal, never a silent drop.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        depth: usize,
+    },
+    /// The server is shutting down and admits nothing new.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth } => {
+                write!(f, "queue full ({depth} jobs waiting)")
+            }
+            RejectReason::ShuttingDown => write!(f, "server shutting down"),
+        }
+    }
+}
+
+/// The server's answer to [`JobServer::submit`].
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The job is queued; await its [`JobResult`] through the handle.
+    Admitted(JobHandle),
+    /// Explicit backpressure — the job was **not** queued.
+    Rejected(RejectReason),
+}
+
+impl SubmitOutcome {
+    /// Unwraps the admitted handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the submission was rejected.
+    pub fn expect_admitted(self) -> JobHandle {
+        match self {
+            SubmitOutcome::Admitted(h) => h,
+            SubmitOutcome::Rejected(r) => panic!("job rejected: {r}"),
+        }
+    }
+}
+
+/// Awaitable handle to one admitted job.
+pub struct JobHandle {
+    /// Server-wide admission id (submit order).
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    rx: Receiver<JobResult>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("tenant", &self.tenant)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobHandle {
+    /// Blocks until the job finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was torn down without completing the job
+    /// (only possible through worker-thread panic).
+    pub fn wait(self) -> JobResult {
+        self.rx.recv().expect("server completes every admitted job")
+    }
+
+    /// Returns the result if the job already finished.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// What one job's execution produced, with its latency breakdown.
+#[derive(Debug)]
+pub struct JobResult {
+    /// Admission id.
+    pub id: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The verified outcome, or the executor's error.
+    pub outcome: Result<ParallelOutcome, SubmitError>,
+    /// Wall microseconds spent waiting in the admission queue.
+    pub queue_us: u64,
+    /// Wall microseconds spent executing.
+    pub exec_us: u64,
+    /// Wall microseconds from submission to completion.
+    pub total_us: u64,
+}
+
+impl JobResult {
+    /// Whether the job ran and every output reached a digest quorum.
+    pub fn verified(&self) -> bool {
+        self.outcome.as_ref().is_ok_and(ParallelOutcome::verified)
+    }
+}
+
+struct Pending {
+    spec: JobSpec,
+    tx: Sender<JobResult>,
+    submitted: Instant,
+}
+
+struct State {
+    queue: FairQueue<Pending>,
+    draining: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    pool: ComputePool,
+    metrics: Metrics,
+    queue_depth: usize,
+}
+
+/// The multi-tenant job server. See the crate docs.
+pub struct JobServer {
+    inner: Arc<Inner>,
+    workers: VecDeque<JoinHandle<()>>,
+}
+
+impl JobServer {
+    /// Starts the server: spawns `config.slots` execution workers and
+    /// the shared compute pool.
+    pub fn start(config: ServerConfig) -> Self {
+        let mut queue = FairQueue::new(config.queue_depth, config.default_weight);
+        for (tenant, weight) in &config.weights {
+            queue.set_weight(tenant, *weight);
+        }
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue,
+                draining: false,
+            }),
+            work_ready: Condvar::new(),
+            pool: ComputePool::with_metrics(config.compute_threads, config.metrics.clone()),
+            metrics: config.metrics,
+            queue_depth: config.queue_depth,
+        });
+        let slots = config.slots.max(1);
+        let workers = (0..slots)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cbftd-slot-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn job-server worker")
+            })
+            .collect();
+        JobServer { inner, workers }
+    }
+
+    /// Submits a job. Returns immediately: either an admitted handle or
+    /// an explicit rejection (queue full / shutting down).
+    pub fn submit(&self, spec: JobSpec) -> SubmitOutcome {
+        let tenant = spec.tenant.clone();
+        let mut state = self.inner.state.lock().expect("server state poisoned");
+        if state.draining {
+            return SubmitOutcome::Rejected(RejectReason::ShuttingDown);
+        }
+        let (tx, rx) = unbounded();
+        let pending = Pending {
+            spec,
+            tx,
+            submitted: Instant::now(),
+        };
+        match state.queue.push(&tenant, pending) {
+            Ok(id) => {
+                let depth = state.queue.len();
+                drop(state);
+                if self.inner.metrics.enabled() {
+                    let m = &self.inner.metrics;
+                    m.add(Domain::Wall, metric_names::SERVER_ADMITTED, &[], 1);
+                    m.gauge_max(
+                        Domain::Wall,
+                        metric_names::SERVER_QUEUE_PEAK,
+                        &[],
+                        depth as u64,
+                    );
+                }
+                self.inner.work_ready.notify_one();
+                SubmitOutcome::Admitted(JobHandle { id, tenant, rx })
+            }
+            Err(_) => {
+                drop(state);
+                if self.inner.metrics.enabled() {
+                    self.inner
+                        .metrics
+                        .add(Domain::Wall, metric_names::SERVER_REJECTED, &[], 1);
+                }
+                SubmitOutcome::Rejected(RejectReason::QueueFull {
+                    depth: self.inner.queue_depth,
+                })
+            }
+        }
+    }
+
+    /// Jobs currently waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Drains and stops the server: already-admitted jobs finish, new
+    /// submissions are rejected, workers join.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("server state poisoned");
+            state.draining = true;
+        }
+        self.inner.work_ready.notify_all();
+        while let Some(w) = self.workers.pop_front() {
+            w.join().expect("job-server worker panicked");
+        }
+    }
+}
+
+impl Drop for JobServer {
+    fn drop(&mut self) {
+        // A dropped (not shut down) server still drains: mark and join.
+        if let Ok(mut state) = self.inner.state.lock() {
+            state.draining = true;
+        }
+        self.inner.work_ready.notify_all();
+        while let Some(w) = self.workers.pop_front() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let dispatched = {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            loop {
+                if let Some(d) = state.queue.pop() {
+                    break d;
+                }
+                if state.draining {
+                    return;
+                }
+                state = inner.work_ready.wait(state).expect("server state poisoned");
+            }
+        };
+        let id = dispatched.id;
+        let tenant = dispatched.tenant;
+        let Pending {
+            spec,
+            tx,
+            submitted,
+        } = dispatched.payload;
+
+        let started = Instant::now();
+        let queue_us = (started - submitted).as_micros() as u64;
+        let outcome = run_job(inner, spec);
+        let finished = Instant::now();
+        let exec_us = (finished - started).as_micros() as u64;
+        let total_us = (finished - submitted).as_micros() as u64;
+
+        if inner.metrics.enabled() {
+            let m = &inner.metrics;
+            let by_tenant = [("tenant", LabelValue::Owned(tenant.clone()))];
+            m.add(Domain::Wall, metric_names::SERVER_COMPLETED, &by_tenant, 1);
+            if outcome.as_ref().is_ok_and(ParallelOutcome::verified) {
+                m.add(Domain::Wall, metric_names::SERVER_VERIFIED, &by_tenant, 1);
+            }
+            if outcome.is_err() {
+                m.add(Domain::Wall, metric_names::SERVER_FAILED, &by_tenant, 1);
+            }
+            m.observe(
+                Domain::Wall,
+                metric_names::SERVER_JOB_LATENCY_US,
+                &by_tenant,
+                total_us,
+            );
+            m.observe(
+                Domain::Wall,
+                metric_names::SERVER_JOB_QUEUE_US,
+                &by_tenant,
+                queue_us,
+            );
+        }
+        // A dropped handle is fine — the job still ran; the send just
+        // has no listener.
+        let _ = tx.send(JobResult {
+            id,
+            tenant,
+            outcome,
+            queue_us,
+            exec_us,
+            total_us,
+        });
+    }
+}
+
+/// Executes one job in its own [`ParallelExecutor`] (private verifier
+/// and suspicion state), over the server's shared compute pool.
+fn run_job(inner: &Inner, spec: JobSpec) -> Result<ParallelOutcome, SubmitError> {
+    let mut exec = ParallelExecutor::new(spec.exec);
+    exec.set_compute_pool(inner.pool.clone());
+    for (name, records) in spec.inputs {
+        exec.load_input(&name, records)?;
+    }
+    for (uid, behavior) in spec.faults {
+        exec.inject_fault(uid, behavior);
+    }
+    exec.run_script(&spec.script)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbft_dataflow::Value;
+
+    const SCRIPT: &str = "
+        a = LOAD 'in' AS (k, v);
+        g = GROUP a BY k;
+        c = FOREACH g GENERATE group, COUNT(a) AS n;
+        STORE c INTO 'out';
+    ";
+
+    fn rows(n: i64) -> Vec<Record> {
+        (0..n)
+            .map(|i| Record::new(vec![Value::Int(i % 5), Value::Int(i)]))
+            .collect()
+    }
+
+    #[test]
+    fn runs_jobs_from_multiple_tenants() {
+        let server = JobServer::start(ServerConfig {
+            slots: 3,
+            ..ServerConfig::default()
+        });
+        let handles: Vec<JobHandle> = (0..9)
+            .map(|i| {
+                let tenant = ["a", "b", "c"][i % 3];
+                server
+                    .submit(
+                        JobSpec::new(tenant, SCRIPT)
+                            .input("in", rows(40))
+                            .seed(i as u64),
+                    )
+                    .expect_admitted()
+            })
+            .collect();
+        for h in handles {
+            let r = h.wait();
+            assert!(r.verified(), "job {} unverified", r.id);
+            assert!(r.total_us >= r.exec_us);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_jobs_then_rejects() {
+        let server = JobServer::start(ServerConfig {
+            slots: 1,
+            ..ServerConfig::default()
+        });
+        let handles: Vec<JobHandle> = (0..4)
+            .map(|i| {
+                server
+                    .submit(JobSpec::new("t", SCRIPT).input("in", rows(40)).seed(i))
+                    .expect_admitted()
+            })
+            .collect();
+        let results: Vec<JobResult> = handles.into_iter().map(JobHandle::wait).collect();
+        server.shutdown();
+        assert!(results.iter().all(JobResult::verified));
+    }
+
+    #[test]
+    fn rejected_submission_reports_queue_full() {
+        // One slot, depth 1: burst submissions must hit explicit
+        // backpressure (the slot can drain at most a few jobs in the
+        // microseconds the burst takes).
+        let server = JobServer::start(ServerConfig {
+            slots: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        });
+        let mut rejected = 0;
+        let mut handles = Vec::new();
+        for i in 0..32 {
+            match server.submit(JobSpec::new("t", SCRIPT).input("in", rows(400)).seed(i)) {
+                SubmitOutcome::Admitted(h) => handles.push(h),
+                SubmitOutcome::Rejected(RejectReason::QueueFull { depth }) => {
+                    assert_eq!(depth, 1);
+                    rejected += 1;
+                }
+                SubmitOutcome::Rejected(other) => panic!("unexpected: {other}"),
+            }
+        }
+        assert!(
+            rejected > 0,
+            "32-deep burst into a depth-1 queue must reject"
+        );
+        for h in handles {
+            assert!(h.wait().verified());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn faulty_job_escalates_inside_the_server() {
+        let server = JobServer::start(ServerConfig::default());
+        let spec = JobSpec::new("chaos", SCRIPT)
+            .input("in", rows(60))
+            .seed(3)
+            .fault(0, Behavior::Commission { probability: 1.0 });
+        let r = server.submit(spec).expect_admitted().wait();
+        let outcome = r.outcome.expect("ran");
+        assert!(outcome.verified(), "escalation recovers inside the server");
+        assert!(outcome.deviant_replicas().contains(&0));
+        server.shutdown();
+    }
+}

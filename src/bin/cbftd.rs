@@ -1,0 +1,23 @@
+//! `cbftd` — the multi-tenant ClusterBFT job server: admit a stream of
+//! job submissions through a bounded weighted-fair queue and run them
+//! concurrently with per-job verification. See `cbftd --help` and
+//! [`clusterbft_repro::server_cli`].
+
+use clusterbft_repro::server_cli;
+
+fn main() {
+    let opts = match server_cli::parse_daemon_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", server_cli::DAEMON_USAGE);
+            std::process::exit(2);
+        }
+    };
+    match server_cli::run_daemon(&opts) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

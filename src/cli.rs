@@ -220,13 +220,20 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     .ok_or_else(|| UsageError(format!("--input wants NAME=FILE, got '{v}'")))?;
                 opts.inputs.push((name.to_owned(), path.to_owned()));
             }
-            "--nodes" => opts.nodes = parse_num(&need(&mut it, "--nodes")?, "--nodes")?,
-            "--slots" => opts.slots = parse_num(&need(&mut it, "--slots")?, "--slots")?,
+            "--nodes" => {
+                opts.nodes = positive(parse_num(&need(&mut it, "--nodes")?, "--nodes")?, "--nodes")?
+            }
+            "--slots" => {
+                opts.slots = positive(parse_num(&need(&mut it, "--slots")?, "--slots")?, "--slots")?
+            }
             "--seed" => seed_flag = Some(parse_num(&need(&mut it, "--seed")?, "--seed")?),
             "--f" => opts.f = parse_num(&need(&mut it, "--f")?, "--f")?,
             "--points" => opts.points = parse_num(&need(&mut it, "--points")?, "--points")?,
             "--granularity" => {
-                opts.granularity = parse_num(&need(&mut it, "--granularity")?, "--granularity")?
+                opts.granularity = positive(
+                    parse_num(&need(&mut it, "--granularity")?, "--granularity")?,
+                    "--granularity",
+                )?
             }
             "--show" => opts.show_rows = parse_num(&need(&mut it, "--show")?, "--show")?,
             "--replication" => {
@@ -235,7 +242,10 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                     "optimistic" => Replication::Optimistic,
                     "quorum" => Replication::Quorum,
                     "full" => Replication::Full,
-                    n => Replication::Exact(parse_num(n, "--replication")?),
+                    n => Replication::Exact(positive(
+                        parse_num(n, "--replication")?,
+                        "--replication",
+                    )?),
                 };
             }
             "--adversary" => {
@@ -264,7 +274,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
                 )?)
             }
             "--batch-size" => {
-                opts.batch_size = Some(parse_num(&need(&mut it, "--batch-size")?, "--batch-size")?)
+                opts.batch_size = Some(checked_batch_size(&need(&mut it, "--batch-size")?)?)
             }
             "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--trace-summary" => opts.trace_summary = true,
@@ -291,6 +301,32 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError> {
     s.parse()
         .map_err(|_| UsageError(format!("{flag}: '{s}' is not a valid number")))
+}
+
+/// Rejects a zero where the engine would later panic with a less helpful
+/// message (`--nodes 0`, `--slots 0`, `--granularity 0`) or silently
+/// clamp (`--replication 0`). Validation happens at parse time so the
+/// error names the flag, not an engine internals assertion.
+fn positive(n: usize, flag: &str) -> Result<usize, UsageError> {
+    if n == 0 {
+        return Err(UsageError(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
+/// Parses and bounds a `--batch-size` value. `0` is the documented
+/// row-at-a-time path and stays valid; values beyond 2^32 rows per batch
+/// could only overflow capacity arithmetic on the data plane, so they
+/// are rejected here with a pointer at the row path instead.
+pub fn checked_batch_size(s: &str) -> Result<usize, UsageError> {
+    const MAX: u64 = 1 << 32;
+    let n: u64 = parse_num(s, "--batch-size")?;
+    if n > MAX {
+        return Err(UsageError(format!(
+            "--batch-size {n} is unreasonably large (max {MAX}); use 0 for row-at-a-time execution"
+        )));
+    }
+    Ok(n as usize)
 }
 
 /// Parses `N:KIND[:P]` fault specs.
@@ -360,7 +396,8 @@ pub fn render_record(r: &Record) -> String {
 pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     use std::fmt::Write as _;
 
-    let source = std::fs::read_to_string(&opts.script)?;
+    let source = std::fs::read_to_string(&opts.script)
+        .map_err(|e| format!("cannot read script '{}': {e}", opts.script))?;
     if opts.emit_dot {
         let plan = Script::parse(&source)?.into_plan();
         return Ok(plan.to_dot(&[]));
@@ -368,7 +405,8 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
 
     let mut inputs: HashMap<String, Vec<Record>> = HashMap::new();
     for (name, path) in &opts.inputs {
-        let text = std::fs::read_to_string(path)?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read input '{name}' from '{path}': {e}"))?;
         let records: Vec<Record> = text
             .lines()
             .filter(|l| !l.trim().is_empty())
@@ -428,7 +466,7 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
             .cluster()
             .storage()
             .peek(name)
-            .expect("published outputs exist");
+            .ok_or_else(|| format!("published output '{name}' is missing from storage"))?;
         let _ = writeln!(out, "\n== {name} ({} records) ==", records.len());
         for r in records.iter().take(opts.show_rows) {
             let _ = writeln!(out, "{}", render_record(r));
@@ -1075,6 +1113,108 @@ mod tests {
                 "CBFT_SEED and --seed runs must match (extra: {extra:?})"
             );
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_valued_flags_are_rejected_at_parse_time() {
+        for (args, needle) in [
+            (&["s.pig", "--nodes", "0"][..], "--nodes must be at least 1"),
+            (&["s.pig", "--slots", "0"][..], "--slots must be at least 1"),
+            (
+                &["s.pig", "--granularity", "0"][..],
+                "--granularity must be at least 1",
+            ),
+            (
+                &["s.pig", "--replication", "0"][..],
+                "--replication must be at least 1",
+            ),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.0.contains(needle), "{args:?}: {err}");
+        }
+        // --threads 0 stays valid: the documented one-thread-per-replica
+        // mode, pinned separately by threads_flag_parses. Likewise
+        // --compute-threads 0 (one per host core) and --f 0.
+        assert_eq!(
+            parse(&["s.pig", "--threads", "0"]).unwrap().threads,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn huge_batch_size_is_rejected_but_zero_stays_the_row_path() {
+        assert_eq!(
+            parse(&["s.pig", "--batch-size", "0"]).unwrap().batch_size,
+            Some(0)
+        );
+        let err = parse(&["s.pig", "--batch-size", "18446744073709551615"]).unwrap_err();
+        assert!(err.0.contains("unreasonably large"), "{err}");
+        assert!(err.0.contains("use 0 for row-at-a-time"), "{err}");
+    }
+
+    #[test]
+    fn missing_files_are_reported_with_their_paths() {
+        let opts = parse(&["definitely_missing_script.pig"]).unwrap();
+        let err = run(&opts).unwrap_err().to_string();
+        assert!(
+            err.contains("cannot read script 'definitely_missing_script.pig'"),
+            "{err}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("cbft_cli_noinput_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(&script, "a = LOAD 'edges' AS (u); STORE a INTO 'o';").unwrap();
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            "edges=definitely_missing_data.csv",
+        ])
+        .unwrap();
+        let err = run(&opts).unwrap_err().to_string();
+        assert!(
+            err.contains("cannot read input 'edges' from 'definitely_missing_data.csv'"),
+            "{err}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn clean_run_health_report_omits_mismatch_localization() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_clean_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        // No faults: every replica agrees, so the health report must omit
+        // the mismatch-localization section entirely rather than render
+        // an empty or garbled one.
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            &format!("edges={}", data.to_str().unwrap()),
+            "--threads",
+            "2",
+            "--health-report",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.contains("VERIFIED"), "{report}");
+        assert!(report.contains("health report"), "{report}");
+        assert!(!report.contains("mismatch localization"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

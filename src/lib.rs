@@ -23,10 +23,14 @@
 //!   ([`cbft_faultsim`]).
 //! - [`campaign`] — deterministic chaos campaigns with counterexample
 //!   shrinking ([`cbft_campaign`]).
+//! - [`server`] — the multi-tenant `cbftd` job server: bounded
+//!   admission, weighted-fair scheduling, concurrent verified jobs
+//!   ([`cbft_server`]).
 //!
 //! [examples]: https://github.com/rust-lang/cargo/blob/master/src/doc/src/reference/cargo-targets.md#examples
 
 pub mod cli;
+pub mod server_cli;
 
 pub use cbft_bft as bft;
 pub use cbft_campaign as campaign;
@@ -35,6 +39,7 @@ pub use cbft_digest as digest;
 pub use cbft_faultsim as faultsim;
 pub use cbft_mapreduce as mapreduce;
 pub use cbft_metrics as metrics;
+pub use cbft_server as server;
 pub use cbft_sim as sim;
 pub use cbft_trace as trace;
 pub use cbft_workloads as workloads;

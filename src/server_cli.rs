@@ -1,0 +1,642 @@
+//! Argument parsing and driver logic for the `cbftd` job-server daemon.
+//!
+//! Kept in the library (like [`crate::cli`]) so the parsing rules and the
+//! whole submit→drain→report path are unit-testable without spawning a
+//! process. No external argument-parsing dependency.
+//!
+//! `cbftd` reads a **stream of job submissions** — one per line, from a
+//! file or stdin — admits them through the server's bounded weighted-fair
+//! queue (retrying politely when the queue pushes back), waits for every
+//! admitted job, and prints one result line per job plus a per-tenant
+//! summary.
+//!
+//! Job line grammar (whitespace-separated; `#` starts a comment):
+//!
+//! ```text
+//! TENANT SEED SCRIPT.pig [NAME=FILE ...]
+//! ```
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::cli::{parse_record, UsageError};
+use crate::core::{ExecutorConfig, Replication, VpPolicy};
+use crate::metrics::{json_snapshot, prometheus_text, HealthReport, Metrics};
+use crate::server::{JobServer, JobSpec, RejectReason, ServerConfig, SubmitOutcome};
+
+/// Parsed command-line options for one `cbftd` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DaemonOptions {
+    /// Path of the jobs file; `None` reads submissions from stdin.
+    pub jobs: Option<String>,
+    /// Concurrent execution slots.
+    pub slots: usize,
+    /// Bounded admission-queue depth.
+    pub queue_depth: usize,
+    /// Threads in the compute pool shared by every job.
+    pub compute_threads: usize,
+    /// Fair-share weight for tenants without an explicit `--weight`.
+    pub default_weight: u64,
+    /// Per-tenant fair-share weights (`--weight TENANT=W`).
+    pub weights: Vec<(String, u64)>,
+    /// Replica worker threads per job.
+    pub threads: usize,
+    /// Fault bound `f` per job.
+    pub f: usize,
+    /// Initial replication degree per job.
+    pub replication: Replication,
+    /// Marker-chosen verification points per job.
+    pub points: u32,
+    /// Records per digest chunk.
+    pub granularity: usize,
+    /// Rows per columnar batch (`None` = engine default, `0` = row path).
+    pub batch_size: Option<usize>,
+    /// Nodes in each replica's isolated cluster.
+    pub nodes: usize,
+    /// Task slots per simulated node.
+    pub slots_per_node: usize,
+    /// Write a Prometheus text-exposition metrics dump here.
+    pub metrics: Option<String>,
+    /// Write a JSON metrics snapshot here.
+    pub metrics_json: Option<String>,
+    /// Append the health report (with its job-server section) to the
+    /// run report.
+    pub health_report: bool,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions {
+            jobs: None,
+            slots: 2,
+            queue_depth: 64,
+            compute_threads: 1,
+            default_weight: 1,
+            weights: Vec::new(),
+            threads: 2,
+            f: 1,
+            replication: Replication::Optimistic,
+            points: 2,
+            granularity: usize::MAX,
+            batch_size: None,
+            nodes: 8,
+            slots_per_node: 3,
+            metrics: None,
+            metrics_json: None,
+            health_report: false,
+        }
+    }
+}
+
+/// The usage text for `cbftd --help`.
+pub const DAEMON_USAGE: &str = "\
+cbftd — multi-tenant ClusterBFT job server: admit a stream of jobs through a
+bounded weighted-fair queue and run them concurrently with per-job verification
+
+USAGE:
+    cbftd [JOBS_FILE] [OPTIONS]        (no JOBS_FILE: read job lines from stdin)
+
+JOB LINES (one submission per line; '#' starts a comment):
+    TENANT SEED SCRIPT.pig [NAME=FILE ...]
+
+OPTIONS:
+    --slots N            concurrent execution slots        [default: 2]
+    --queue-depth N      bounded admission queue depth     [default: 64]
+    --compute-threads N  compute pool shared by all jobs;
+                         0 = one thread per host core      [default: 1]
+    --weight TENANT=W    fair-share weight for one tenant  [default: 1]
+    --default-weight W   weight for unlisted tenants       [default: 1]
+    --threads N          replica worker threads per job    [default: 2]
+    --f N                fault bound f per job             [default: 1]
+    --replication R      optimistic | quorum | full | an integer ≥ 1
+                                                           [default: optimistic]
+    --points N           marker-chosen verification points [default: 2]
+    --granularity D      records per digest chunk (≥ 1)    [default: whole stream]
+    --batch-size N       rows per columnar batch; 0 = row path
+    --nodes N            nodes per replica cluster (≥ 1)   [default: 8]
+    --node-slots N       task slots per node (≥ 1)         [default: 3]
+    --metrics FILE       write Prometheus metrics (server series included)
+    --metrics-json FILE  write the JSON metrics snapshot
+    --health-report      append the health report (job-server section:
+                         admitted/rejected counts, queue peak, per-tenant
+                         latency quantiles)
+
+Rejections are explicit backpressure: when the queue is full, cbftd waits
+briefly and retries the submission, counting every rejection it absorbed.";
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError> {
+    s.parse()
+        .map_err(|_| UsageError(format!("{flag}: '{s}' is not a valid number")))
+}
+
+fn positive(n: usize, flag: &str) -> Result<usize, UsageError> {
+    if n == 0 {
+        return Err(UsageError(format!("{flag} must be at least 1")));
+    }
+    Ok(n)
+}
+
+/// Parses `cbftd` command-line arguments (excluding `argv[0]`).
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] describing the offending argument; zero
+/// values are rejected here, at parse time, for every flag whose zero
+/// would only surface later as an engine panic.
+pub fn parse_daemon_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<DaemonOptions, UsageError> {
+    let mut opts = DaemonOptions::default();
+    let mut it = args.into_iter();
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next()
+            .ok_or_else(|| UsageError(format!("{flag} requires a value")))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slots" => {
+                opts.slots = positive(parse_num(&need(&mut it, "--slots")?, "--slots")?, "--slots")?
+            }
+            "--queue-depth" => {
+                opts.queue_depth = positive(
+                    parse_num(&need(&mut it, "--queue-depth")?, "--queue-depth")?,
+                    "--queue-depth",
+                )?
+            }
+            "--compute-threads" => {
+                opts.compute_threads =
+                    parse_num(&need(&mut it, "--compute-threads")?, "--compute-threads")?
+            }
+            "--default-weight" => {
+                opts.default_weight = positive(
+                    parse_num::<usize>(&need(&mut it, "--default-weight")?, "--default-weight")?,
+                    "--default-weight",
+                )? as u64
+            }
+            "--weight" => {
+                let v = need(&mut it, "--weight")?;
+                let (tenant, w) = v
+                    .split_once('=')
+                    .ok_or_else(|| UsageError(format!("--weight wants TENANT=W, got '{v}'")))?;
+                let w = positive(parse_num::<usize>(w, "--weight")?, "--weight")? as u64;
+                opts.weights.push((tenant.to_owned(), w));
+            }
+            "--threads" => {
+                opts.threads = positive(
+                    parse_num(&need(&mut it, "--threads")?, "--threads")?,
+                    "--threads",
+                )?
+            }
+            "--f" => opts.f = parse_num(&need(&mut it, "--f")?, "--f")?,
+            "--replication" => {
+                let v = need(&mut it, "--replication")?;
+                opts.replication = match v.as_str() {
+                    "optimistic" => Replication::Optimistic,
+                    "quorum" => Replication::Quorum,
+                    "full" => Replication::Full,
+                    n => Replication::Exact(positive(
+                        parse_num(n, "--replication")?,
+                        "--replication",
+                    )?),
+                };
+            }
+            "--points" => opts.points = parse_num(&need(&mut it, "--points")?, "--points")?,
+            "--granularity" => {
+                opts.granularity = positive(
+                    parse_num(&need(&mut it, "--granularity")?, "--granularity")?,
+                    "--granularity",
+                )?
+            }
+            "--batch-size" => {
+                opts.batch_size = Some(crate::cli::checked_batch_size(&need(
+                    &mut it,
+                    "--batch-size",
+                )?)?)
+            }
+            "--nodes" => {
+                opts.nodes = positive(parse_num(&need(&mut it, "--nodes")?, "--nodes")?, "--nodes")?
+            }
+            "--node-slots" => {
+                opts.slots_per_node = positive(
+                    parse_num(&need(&mut it, "--node-slots")?, "--node-slots")?,
+                    "--node-slots",
+                )?
+            }
+            "--metrics" => opts.metrics = Some(need(&mut it, "--metrics")?),
+            "--metrics-json" => opts.metrics_json = Some(need(&mut it, "--metrics-json")?),
+            "--health-report" => opts.health_report = true,
+            "--help" | "-h" => return Err(UsageError(DAEMON_USAGE.to_owned())),
+            other if !other.starts_with('-') && opts.jobs.is_none() => {
+                opts.jobs = Some(other.to_owned());
+            }
+            other => return Err(UsageError(format!("unknown argument '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// One parsed job submission line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobLine {
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The job's simulation seed.
+    pub seed: u64,
+    /// Path of the script file.
+    pub script: String,
+    /// Inputs as `name=path` pairs.
+    pub inputs: Vec<(String, String)>,
+}
+
+/// Parses one `TENANT SEED SCRIPT [NAME=FILE ...]` submission line.
+/// Returns `None` for blank lines and `#` comments.
+///
+/// # Errors
+///
+/// Returns a [`UsageError`] naming the malformed token.
+pub fn parse_job_line(line: &str) -> Result<Option<JobLine>, UsageError> {
+    let line = line.split('#').next().unwrap_or("").trim();
+    if line.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = line.split_whitespace();
+    let tenant = tokens.next().expect("non-empty line has a token");
+    let seed = parse_num(
+        tokens
+            .next()
+            .ok_or_else(|| UsageError(format!("job line '{line}' is missing a seed")))?,
+        "job seed",
+    )?;
+    let script = tokens
+        .next()
+        .ok_or_else(|| UsageError(format!("job line '{line}' is missing a script path")))?;
+    let mut inputs = Vec::new();
+    for tok in tokens {
+        let (name, path) = tok.split_once('=').ok_or_else(|| {
+            UsageError(format!("job input '{tok}' wants NAME=FILE (line '{line}')"))
+        })?;
+        inputs.push((name.to_owned(), path.to_owned()));
+    }
+    Ok(Some(JobLine {
+        tenant: tenant.to_owned(),
+        seed,
+        script: script.to_owned(),
+        inputs,
+    }))
+}
+
+/// Builds the per-job executor configuration from the daemon options.
+fn job_exec(opts: &DaemonOptions, seed: u64) -> ExecutorConfig {
+    let f = opts.f;
+    ExecutorConfig {
+        threads: opts.threads,
+        compute_threads: 1, // the server's shared pool is used instead
+        expected_failures: f,
+        escalation: vec![opts.replication.replicas(f), 2 * f + 1, 3 * f + 1],
+        vp_policy: VpPolicy::Marked(opts.points),
+        digest_granularity: opts.granularity,
+        batch_records: opts
+            .batch_size
+            .unwrap_or(ExecutorConfig::default().batch_records),
+        nodes: opts.nodes,
+        slots_per_node: opts.slots_per_node,
+        master_seed: seed,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// Loads one job line's script and inputs into a submit-ready [`JobSpec`].
+///
+/// # Errors
+///
+/// IO errors carry the path (and input name) that failed, so a typo in a
+/// thousand-line jobs file is findable.
+fn load_job(opts: &DaemonOptions, line: &JobLine) -> Result<JobSpec, Box<dyn Error>> {
+    let script = std::fs::read_to_string(&line.script)
+        .map_err(|e| format!("cannot read script '{}': {e}", line.script))?;
+    let mut spec = JobSpec::new(&line.tenant, &script).exec(job_exec(opts, line.seed));
+    for (name, path) in &line.inputs {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read input '{name}' from '{path}': {e}"))?;
+        let records = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(parse_record)
+            .collect();
+        spec = spec.input(name, records);
+    }
+    Ok(spec)
+}
+
+/// Executes a parsed `cbftd` invocation: reads the job stream, drives the
+/// server, and returns the human-readable report.
+///
+/// # Errors
+///
+/// IO errors reading the jobs file / scripts / inputs (each named with
+/// its path and jobs-file line number), and malformed job lines.
+pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
+    let text = match &opts.jobs {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read jobs file '{path}': {e}"))?,
+        None => {
+            let mut buf = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)?;
+            buf
+        }
+    };
+    let mut lines = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        match parse_job_line(raw) {
+            Ok(Some(line)) => lines.push((lineno + 1, line)),
+            Ok(None) => {}
+            Err(e) => return Err(format!("jobs line {}: {e}", lineno + 1).into()),
+        }
+    }
+
+    let metrics = if opts.metrics.is_some() || opts.metrics_json.is_some() || opts.health_report {
+        Metrics::new()
+    } else {
+        Metrics::disabled()
+    };
+    let server = JobServer::start(ServerConfig {
+        slots: opts.slots,
+        queue_depth: opts.queue_depth,
+        compute_threads: opts.compute_threads,
+        default_weight: opts.default_weight,
+        weights: opts.weights.clone(),
+        metrics: metrics.clone(),
+    });
+
+    // Submit the whole stream. Queue-full responses are absorbed here
+    // with a short pause and a retry — the daemon is the polite client;
+    // `load_gen` exercises the impolite one.
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(lines.len());
+    let mut backpressure = 0u64;
+    for (lineno, line) in &lines {
+        let spec = load_job(opts, line).map_err(|e| format!("jobs line {lineno}: {e}"))?;
+        let handle = loop {
+            match server.submit(spec.clone()) {
+                SubmitOutcome::Admitted(h) => break h,
+                SubmitOutcome::Rejected(RejectReason::QueueFull { .. }) => {
+                    backpressure += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                SubmitOutcome::Rejected(r) => {
+                    return Err(format!("jobs line {lineno}: submission rejected: {r}").into())
+                }
+            }
+        };
+        handles.push(handle);
+    }
+
+    let mut results: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    let elapsed = started.elapsed();
+    server.shutdown();
+    results.sort_by_key(|r| r.id);
+
+    let mut out = String::new();
+    let mut verified = 0usize;
+    let mut failed = 0usize;
+    let mut by_tenant: std::collections::BTreeMap<String, (usize, usize)> = Default::default();
+    for r in &results {
+        let entry = by_tenant.entry(r.tenant.clone()).or_default();
+        entry.0 += 1;
+        let status = match &r.outcome {
+            Ok(o) if o.verified() => {
+                verified += 1;
+                entry.1 += 1;
+                "VERIFIED".to_owned()
+            }
+            Ok(_) => "NOT VERIFIED".to_owned(),
+            Err(e) => {
+                failed += 1;
+                format!("ERROR: {e}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "job {} tenant={} {status} queue_ms={:.2} exec_ms={:.2} total_ms={:.2}",
+            r.id,
+            r.tenant,
+            r.queue_us as f64 / 1e3,
+            r.exec_us as f64 / 1e3,
+            r.total_us as f64 / 1e3,
+        );
+    }
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    let _ = writeln!(
+        out,
+        "\n{} jobs in {:.2}s ({:.1} jobs/s): {verified} verified, {failed} errored, \
+         {backpressure} queue-full retries absorbed",
+        results.len(),
+        elapsed.as_secs_f64(),
+        results.len() as f64 / secs,
+    );
+    for (tenant, (total, ok)) in &by_tenant {
+        let _ = writeln!(out, "  tenant {tenant}: {ok}/{total} verified");
+    }
+
+    if metrics.enabled() {
+        let snap = metrics.snapshot();
+        if let Some(path) = &opts.metrics {
+            std::fs::write(path, prometheus_text(&snap))
+                .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
+        }
+        if let Some(path) = &opts.metrics_json {
+            std::fs::write(path, json_snapshot(&snap))
+                .map_err(|e| format!("cannot write metrics JSON '{path}': {e}"))?;
+        }
+        if opts.health_report {
+            // Full snapshot: the server series are wall-domain.
+            let report = HealthReport::from_snapshot(&snap);
+            let _ = writeln!(out, "\n{}", report.render());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<DaemonOptions, UsageError> {
+        parse_daemon_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_a_full_invocation() {
+        let opts = parse(&[
+            "jobs.txt",
+            "--slots",
+            "4",
+            "--queue-depth",
+            "8",
+            "--weight",
+            "acme=3",
+            "--weight",
+            "beta=1",
+            "--threads",
+            "2",
+            "--replication",
+            "quorum",
+            "--metrics",
+            "m.prom",
+            "--health-report",
+        ])
+        .unwrap();
+        assert_eq!(opts.jobs.as_deref(), Some("jobs.txt"));
+        assert_eq!(opts.slots, 4);
+        assert_eq!(opts.queue_depth, 8);
+        assert_eq!(
+            opts.weights,
+            vec![("acme".to_owned(), 3), ("beta".to_owned(), 1)]
+        );
+        assert_eq!(opts.replication, Replication::Quorum);
+        assert_eq!(opts.metrics.as_deref(), Some("m.prom"));
+        assert!(opts.health_report);
+    }
+
+    #[test]
+    fn zero_valued_flags_are_rejected_at_parse_time() {
+        for (args, needle) in [
+            (&["--slots", "0"][..], "--slots must be at least 1"),
+            (
+                &["--queue-depth", "0"][..],
+                "--queue-depth must be at least 1",
+            ),
+            (&["--threads", "0"][..], "--threads must be at least 1"),
+            (
+                &["--replication", "0"][..],
+                "--replication must be at least 1",
+            ),
+            (
+                &["--granularity", "0"][..],
+                "--granularity must be at least 1",
+            ),
+            (&["--nodes", "0"][..], "--nodes must be at least 1"),
+            (
+                &["--node-slots", "0"][..],
+                "--node-slots must be at least 1",
+            ),
+            (&["--weight", "a=0"][..], "--weight must be at least 1"),
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(err.0.contains(needle), "{args:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn job_lines_parse_and_reject_malformed() {
+        assert_eq!(parse_job_line("").unwrap(), None);
+        assert_eq!(parse_job_line("   # just a comment").unwrap(), None);
+        let line = parse_job_line("acme 7 s.pig edges=e.csv extra=x.csv # trailing")
+            .unwrap()
+            .unwrap();
+        assert_eq!(line.tenant, "acme");
+        assert_eq!(line.seed, 7);
+        assert_eq!(line.script, "s.pig");
+        assert_eq!(line.inputs.len(), 2);
+
+        let err = parse_job_line("acme").unwrap_err();
+        assert!(err.0.contains("missing a seed"), "{err}");
+        let err = parse_job_line("acme seven s.pig").unwrap_err();
+        assert!(err.0.contains("not a valid number"), "{err}");
+        let err = parse_job_line("acme 7").unwrap_err();
+        assert!(err.0.contains("missing a script path"), "{err}");
+        let err = parse_job_line("acme 7 s.pig justname").unwrap_err();
+        assert!(err.0.contains("wants NAME=FILE"), "{err}");
+    }
+
+    #[test]
+    fn missing_jobs_file_and_script_are_reported_with_paths() {
+        let opts = parse(&["definitely_missing_jobs.txt"]).unwrap();
+        let err = run_daemon(&opts).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("cannot read jobs file 'definitely_missing_jobs.txt'"),
+            "{err}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("cbftd_missing_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("jobs.txt");
+        std::fs::write(&jobs, "acme 1 nonexistent_script.pig\n").unwrap();
+        let opts = parse(&[jobs.to_str().unwrap()]).unwrap();
+        let err = run_daemon(&opts).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("jobs line 1"), "{msg}");
+        assert!(
+            msg.contains("cannot read script 'nonexistent_script.pig'"),
+            "{msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_daemon_run_from_files() {
+        let dir = std::env::temp_dir().join(format!("cbftd_e2e_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let rows: Vec<String> = (0..40).map(|i| format!("{},{}", i % 4, i)).collect();
+        std::fs::write(&data, rows.join("\n")).unwrap();
+        let jobs = dir.join("jobs.txt");
+        let mut body = String::from("# three tenants, two jobs each\n");
+        for (i, tenant) in ["acme", "beta", "core", "acme", "beta", "core"]
+            .iter()
+            .enumerate()
+        {
+            let _ = writeln!(
+                body,
+                "{tenant} {} {} edges={}",
+                i + 1,
+                script.display(),
+                data.display()
+            );
+        }
+        std::fs::write(&jobs, body).unwrap();
+        let prom = dir.join("m.prom");
+
+        let opts = parse(&[
+            jobs.to_str().unwrap(),
+            "--slots",
+            "3",
+            "--weight",
+            "acme=2",
+            "--metrics",
+            prom.to_str().unwrap(),
+            "--health-report",
+        ])
+        .unwrap();
+        let report = run_daemon(&opts).unwrap();
+        for id in 0..6 {
+            assert!(
+                report.contains(&format!("job {id} ")),
+                "job {id} missing: {report}"
+            );
+        }
+        assert_eq!(report.matches("VERIFIED").count(), 6, "{report}");
+        assert!(report.contains("6 jobs in"), "{report}");
+        assert!(report.contains("tenant acme: 2/2 verified"), "{report}");
+        assert!(report.contains("job server:"), "{report}");
+        assert!(report.contains("admitted=6"), "{report}");
+
+        let text = std::fs::read_to_string(&prom).unwrap();
+        crate::metrics::validate_prometheus_text(&text)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+        assert!(text.contains("cbft_server_jobs_admitted_total"), "{text}");
+        assert!(text.contains("cbft_server_job_latency_us"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
