@@ -17,6 +17,7 @@
 //! | `ablation_overlap` | §4.2 | overlap vs FIFO scheduling for isolation speed |
 //! | `ablation_combiner` | substrate | map-side combiners: shuffle volume & digest equivalence |
 //! | `verification_lag` | §6 | per-key first-report-to-quorum lag from the trace subsystem |
+//! | `reexec_frontier` | §3.3 / perf | sampled partial re-execution: verified throughput per core vs the 3f+1 replication tax, and hybrid fault capture |
 //! | `experiments_md` | — | regenerates `EXPERIMENTS.md` from the recorded results |
 //!
 //! Every binary prints a paper-vs-measured table and appends a JSON record

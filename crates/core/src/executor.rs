@@ -42,7 +42,8 @@ use cbft_dataflow::compile::{compile_plan, DataSource, JobGraph, JobId, JobOutpu
 use cbft_dataflow::{LogicalPlan, Record, Script};
 use cbft_mapreduce::{
     data_plane, default_compute_threads, Behavior, Cluster, ComputePool, EngineEvent, ExecInput,
-    ExecJob, JobOutcome, RunHandle, Storage, VpSite,
+    ExecJob, JobOutcome, RunHandle, SamplePlan, SpotCheck, SpotCheckRecord, Storage, Ticket,
+    VpSite,
 };
 use cbft_metrics::{names as metric_names, Domain, Metrics};
 use cbft_sim::{CostModel, SeedSpawner};
@@ -53,7 +54,63 @@ use serde::{Deserialize, Serialize};
 use crate::config::VpPolicy;
 use crate::outcome::SubmitError;
 use crate::pipeline::{choose_points, job_output_sites, vp_sites_by_job};
+use crate::suspicion::{SuspicionBand, SuspicionTable};
 use crate::verifier::{DigestKey, StreamedReport, Verifier};
+
+/// The executor's verification tier: how much redundant computation buys
+/// how much assurance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VerifyMode {
+    /// The paper's r-fold replication with `f+1 → 2f+1 → 3f+1`
+    /// escalation: every sub-graph runs on multiple replicas and final
+    /// outputs need an `f + 1` digest quorum.
+    #[default]
+    Replicate,
+    /// Partial re-execution (Yoon & Liu, arXiv 2002.09560): each
+    /// sub-graph runs **once**; a trusted spot-checker deterministically
+    /// samples completed tasks by seeded hash and re-executes them
+    /// against the recorded output digests. Publication requires every
+    /// spot-check to confirm. No replication fallback — a mismatch
+    /// leaves the run unverified.
+    Sample,
+    /// Sample by default, escalate to the full replication ladder on any
+    /// spot-check mismatch, wedge, or suspicion-band crossing.
+    Hybrid,
+}
+
+impl VerifyMode {
+    /// Stable lowercase name (CLI flag value / metric rendering).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyMode::Replicate => "replicate",
+            VerifyMode::Sample => "sample",
+            VerifyMode::Hybrid => "hybrid",
+        }
+    }
+
+    /// Stable rank for the `cbft_verify_mode` gauge.
+    pub fn rank(self) -> u64 {
+        match self {
+            VerifyMode::Replicate => 0,
+            VerifyMode::Sample => 1,
+            VerifyMode::Hybrid => 2,
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "replicate" => Some(VerifyMode::Replicate),
+            "sample" => Some(VerifyMode::Sample),
+            "hybrid" => Some(VerifyMode::Hybrid),
+            _ => None,
+        }
+    }
+}
+
+fn default_sample_rate() -> f64 {
+    0.1
+}
 
 /// Configuration for a [`ParallelExecutor`].
 ///
@@ -100,6 +157,15 @@ pub struct ExecutorConfig {
     pub master_seed: u64,
     /// Cost model for every replica's simulation.
     pub cost: CostModel,
+    /// Verification tier: full replication, sampled partial
+    /// re-execution, or sampling with replication escalation.
+    pub verify_mode: VerifyMode,
+    /// Fraction of completed tasks the spot-checker re-executes in
+    /// [`VerifyMode::Sample`] / [`VerifyMode::Hybrid`] (clamped to
+    /// `[0, 1]`). Sampling decisions are a pure function of
+    /// `(master_seed, sub-graph id, task kind, task index)`, so the set
+    /// of checked tasks is identical across thread counts.
+    pub sample_rate: f64,
 }
 
 impl Default for ExecutorConfig {
@@ -119,6 +185,8 @@ impl Default for ExecutorConfig {
             slots_per_node: 3,
             master_seed: 1,
             cost: CostModel::default(),
+            verify_mode: VerifyMode::Replicate,
+            sample_rate: default_sample_rate(),
         }
     }
 }
@@ -159,6 +227,54 @@ struct ReplicaRun {
     outputs: BTreeMap<String, Arc<[Record]>>,
 }
 
+/// Messages a replica worker streams to the coordinator: digest reports
+/// for the verifier, and captured spot-check evidence for the trusted
+/// re-execution tier.
+enum ReplicaMsg {
+    Report(StreamedReport),
+    Check(Box<SpotCheckRecord>),
+}
+
+/// Everything a run derives from the plan before any replica starts:
+/// compiled graph, instrumentation sites, and the shared compute pool.
+struct Prepared {
+    plan: Arc<LogicalPlan>,
+    graph: JobGraph,
+    vp_map: HashMap<JobId, Vec<VpSite>>,
+    store_sites: BTreeMap<JobId, (String, Vec<Site>)>,
+    pool: ComputePool,
+}
+
+/// Mutable verification state threaded through escalation rounds. The
+/// hybrid tier seeds it with the probe replica before entering the
+/// ladder, so earlier evidence keeps counting toward quorums.
+struct RoundState {
+    verifier: Verifier,
+    transcript: Vec<StreamedReport>,
+    runs: BTreeMap<usize, ReplicaRun>,
+    replicas_per_round: Vec<usize>,
+    total_uids: usize,
+}
+
+/// Spot-check accounting for one run (all zero under
+/// [`VerifyMode::Replicate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReexecSummary {
+    /// Tasks the seeded plan selected for checking.
+    pub sampled: u64,
+    /// Tasks actually re-executed by the trusted checker.
+    pub reexecuted: u64,
+    /// Re-executions that reproduced the recorded output digest.
+    pub confirmed: u64,
+    /// Re-executions that contradicted the recorded output digest.
+    pub mismatched: u64,
+    /// Input records processed by the checker — the spot-check tier's
+    /// compute cost, in the same unit as foreground record counts.
+    pub records_reexecuted: u64,
+    /// Whether a hybrid run escalated to the replication ladder.
+    pub escalated: bool,
+}
+
 /// The result of one parallel, streamed-verification execution.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ParallelOutcome {
@@ -170,6 +286,8 @@ pub struct ParallelOutcome {
     clean_replicas: BTreeSet<usize>,
     omitted_replicas: BTreeSet<usize>,
     conflict_replicas: BTreeSet<usize>,
+    verify_mode: VerifyMode,
+    reexec: ReexecSummary,
 }
 
 impl ParallelOutcome {
@@ -241,6 +359,16 @@ impl ParallelOutcome {
         out.extend(self.omitted_replicas.iter().copied());
         out.extend(self.conflict_replicas.iter().copied());
         out
+    }
+
+    /// The verification tier the run operated under.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify_mode
+    }
+
+    /// Spot-check accounting (all zero under [`VerifyMode::Replicate`]).
+    pub fn reexec(&self) -> &ReexecSummary {
+        &self.reexec
     }
 }
 
@@ -422,28 +550,258 @@ impl ParallelExecutor {
             ComputePool::with_metrics(self.config.compute_threads, self.metrics.clone())
         });
 
-        let f = self.config.expected_failures;
-        let mut verifier = Verifier::new(f, 0);
-        let mut transcript: Vec<StreamedReport> = Vec::new();
-        let mut runs: BTreeMap<usize, ReplicaRun> = BTreeMap::new();
-        let mut replicas_per_round = Vec::new();
-        let mut total_uids = 0usize;
-        let mut published: Option<BTreeMap<String, Vec<Record>>> = None;
+        let prep = Prepared {
+            plan,
+            graph,
+            vp_map,
+            store_sites,
+            pool,
+        };
+        match self.config.verify_mode {
+            VerifyMode::Replicate => self.run_replicated(&prep),
+            VerifyMode::Sample | VerifyMode::Hybrid => self.run_sampled(&prep),
+        }
+    }
 
-        for (round, target) in self.config.escalation_targets().into_iter().enumerate() {
-            if total_uids >= target {
+    /// The classic tier: the full escalation ladder from an empty table.
+    fn run_replicated(&self, prep: &Prepared) -> Result<ParallelOutcome, SubmitError> {
+        let mut state = RoundState {
+            verifier: Verifier::new(self.config.expected_failures, 0),
+            transcript: Vec::new(),
+            runs: BTreeMap::new(),
+            replicas_per_round: Vec::new(),
+            total_uids: 0,
+        };
+        let published = self.run_rounds(prep, &mut state)?;
+        Ok(self.finish_outcome(
+            state,
+            published,
+            VerifyMode::Replicate,
+            ReexecSummary::default(),
+        ))
+    }
+
+    /// The sampled tiers: one probe replica plus spot-checks; hybrid
+    /// escalates to the replication ladder on any suspicion.
+    fn run_sampled(&self, prep: &Prepared) -> Result<ParallelOutcome, SubmitError> {
+        let mode = self.config.verify_mode;
+        let sample = SamplePlan::from_rate(self.config.master_seed, self.config.sample_rate);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("round_start", "executor")
+                    .on(COORDINATOR_PID, 0)
+                    .seq(0)
+                    .arg("target", 1u64)
+                    .arg("fresh", 1u64),
+            );
+        }
+        let (run, reports, checks) = self.run_probe_round(prep, sample)?;
+
+        let mut reexec = ReexecSummary {
+            sampled: checks.len() as u64,
+            reexecuted: checks.len() as u64,
+            ..ReexecSummary::default()
+        };
+        // The spot-check tier maintains the paper's per-node suspicion
+        // ledger: every checked task is a job observation on its node,
+        // every mismatch a fault. A single mismatch drives its node's
+        // level to 1.0 (High), so "any mismatch" and "band crossing"
+        // coincide unless the node had prior clean checks.
+        let mut suspicion = SuspicionTable::new();
+        for check in &checks {
+            suspicion.record_jobs_metered([check.node], &self.metrics);
+            reexec.records_reexecuted += check.records_reexecuted;
+            if check.confirmed {
+                reexec.confirmed += 1;
+                continue;
+            }
+            reexec.mismatched += 1;
+            suspicion.record_faults_metered([check.node], &self.metrics);
+            if self.tracer.enabled() {
+                let mut ev = TraceEvent::instant("spot_check_mismatch", "executor")
+                    .on(COORDINATOR_PID, 0)
+                    .arg("sid", check.sid.clone())
+                    .arg("task", check.task_index as u64)
+                    .arg("node", check.node.0 as u64);
+                if let Some(range) = &check.divergence {
+                    ev = ev
+                        .arg("first_record", range.first_record)
+                        .arg("last_record", range.last_record);
+                }
+                self.tracer.emit(ev);
+            }
+            if self.metrics.enabled() {
+                if let Some(range) = &check.divergence {
+                    // Same localization gauges the quorum verifier uses,
+                    // keyed so the health report names the checked task.
+                    let kind = match check.kind {
+                        cbft_mapreduce::TaskKind::Map => "map",
+                        cbft_mapreduce::TaskKind::Reduce => "reduce",
+                    };
+                    let key = format!("spot/{}/{kind}/{}", check.sid, check.task_index);
+                    let label = [("key", cbft_metrics::LabelValue::from(key))];
+                    for (name, value) in [
+                        (
+                            metric_names::DIVERGENCE_FIRST_CHUNK,
+                            range.first_chunk as u64,
+                        ),
+                        (metric_names::DIVERGENCE_LAST_CHUNK, range.last_chunk as u64),
+                        (metric_names::DIVERGENCE_FIRST_RECORD, range.first_record),
+                        (metric_names::DIVERGENCE_LAST_RECORD, range.last_record),
+                    ] {
+                        self.metrics.gauge_set(Domain::Sim, name, &label, value);
+                    }
+                }
+            }
+        }
+        let suspect_band = checks
+            .iter()
+            .map(|c| suspicion.band(c.node))
+            .max_by_key(|b| b.rank())
+            .unwrap_or(SuspicionBand::None);
+
+        // A single report per key suffices in the probe round (the
+        // spot-checks, not sibling replicas, carry the assurance).
+        let mut state = RoundState {
+            verifier: Verifier::new(0, 1),
+            transcript: reports,
+            runs: BTreeMap::from([(0, run)]),
+            replicas_per_round: vec![1],
+            total_uids: 1,
+        };
+        for sr in &state.transcript {
+            state.verifier.ingest_traced(sr, &self.tracer);
+        }
+        let probe_clean = reexec.mismatched == 0
+            && state.runs[&0].complete
+            && suspect_band.rank() < SuspicionBand::Med.rank();
+        let published = if probe_clean {
+            self.decide(&prep.store_sites, &state.verifier, &state.runs)
+        } else {
+            None
+        };
+        self.note_round(&state, published.as_ref());
+
+        let escalate = mode == VerifyMode::Hybrid && published.is_none();
+        if self.metrics.enabled() {
+            self.metrics
+                .gauge_set(Domain::Sim, metric_names::VERIFY_MODE, &[], mode.rank());
+            for (name, value) in [
+                (metric_names::REEXEC_SAMPLED, reexec.sampled),
+                (metric_names::REEXEC_RERUN, reexec.reexecuted),
+                (metric_names::REEXEC_CONFIRMED, reexec.confirmed),
+                (metric_names::REEXEC_MISMATCHED, reexec.mismatched),
+                (metric_names::REEXEC_RECORDS, reexec.records_reexecuted),
+                (metric_names::REEXEC_ESCALATIONS, u64::from(escalate)),
+            ] {
+                if value > 0 {
+                    self.metrics.add(Domain::Sim, name, &[], value);
+                }
+            }
+        }
+
+        if !escalate {
+            let mut outcome = self.finish_outcome(state, published, mode, reexec);
+            if reexec.mismatched > 0 {
+                // The probe replica is contradicted by trusted
+                // re-execution — name it, the way a quorum would.
+                outcome.deviant_replicas.insert(0);
+                outcome.clean_replicas.remove(&0);
+                outcome.verified = false;
+            }
+            return Ok(outcome);
+        }
+
+        // Hybrid escalation: restart verification under the real `f`
+        // with the probe's transcript re-ingested as replica 0, then walk
+        // the ordinary ladder. Sampling stays off in replicated rounds —
+        // the quorum carries the assurance from here.
+        reexec.escalated = true;
+        let mut ladder = RoundState {
+            verifier: Verifier::new(self.config.expected_failures, 1),
+            transcript: state.transcript,
+            runs: state.runs,
+            replicas_per_round: state.replicas_per_round,
+            total_uids: 1,
+        };
+        for sr in &ladder.transcript {
+            ladder.verifier.ingest_traced(sr, &self.tracer);
+        }
+        let published = self.run_rounds(prep, &mut ladder)?;
+        Ok(self.finish_outcome(ladder, published, mode, reexec))
+    }
+
+    /// Runs the single sampled probe replica (uid 0), dispatching each
+    /// captured spot-check onto the shared compute pool the moment it
+    /// arrives, so trusted re-execution overlaps foreground execution.
+    fn run_probe_round(
+        &self,
+        prep: &Prepared,
+        sample: SamplePlan,
+    ) -> Result<(ReplicaRun, Vec<StreamedReport>, Vec<SpotCheck>), SubmitError> {
+        let (tx, rx) = crossbeam::channel::unbounded::<ReplicaMsg>();
+        crossbeam::thread::scope(|scope| {
+            let handle = {
+                let tx = tx.clone();
+                let prep = &*prep;
+                scope.spawn(move |_| {
+                    self.run_replica(
+                        0,
+                        &prep.plan,
+                        &prep.graph,
+                        &prep.vp_map,
+                        &prep.pool,
+                        &tx,
+                        Some(sample),
+                    )
+                })
+            };
+            drop(tx);
+            let mut reports = Vec::new();
+            let mut tickets: Vec<Ticket<SpotCheck>> = Vec::new();
+            for msg in &rx {
+                match msg {
+                    ReplicaMsg::Report(sr) => reports.push(sr),
+                    ReplicaMsg::Check(rec) => {
+                        let task_pool = prep.pool.worker_handle();
+                        tickets.push(prep.pool.dispatch(move || rec.check(&task_pool)));
+                    }
+                }
+            }
+            let run = match handle.join() {
+                Ok(run) => run,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            // Engine emission order is sim-deterministic for the single
+            // probe replica, so this check sequence is too.
+            let checks = tickets.into_iter().map(Ticket::join).collect();
+            (run, reports, checks)
+        })
+        .map_err(|_| SubmitError::Engine("replica worker thread panicked".to_owned()))
+    }
+
+    /// Walks the escalation ladder from wherever `state` stands,
+    /// returning the published outputs once a round verifies.
+    fn run_rounds(
+        &self,
+        prep: &Prepared,
+        state: &mut RoundState,
+    ) -> Result<Option<BTreeMap<String, Vec<Record>>>, SubmitError> {
+        let mut published: Option<BTreeMap<String, Vec<Record>>> = None;
+        for target in self.config.escalation_targets() {
+            if state.total_uids >= target {
                 continue; // targets are strictly increasing; defensive
             }
-            let fresh = target - total_uids;
-            let uid_base = total_uids;
-            total_uids = target;
-            verifier.set_expected(total_uids);
-            replicas_per_round.push(fresh);
+            let fresh = target - state.total_uids;
+            let uid_base = state.total_uids;
+            state.total_uids = target;
+            state.verifier.set_expected(state.total_uids);
+            state.replicas_per_round.push(fresh);
             if self.tracer.enabled() {
                 self.tracer.emit(
                     TraceEvent::instant("round_start", "executor")
                         .on(COORDINATOR_PID, 0)
-                        .seq(round as u64)
+                        .seq(state.replicas_per_round.len() as u64 - 1)
                         .arg("target", target)
                         .arg("fresh", fresh),
                 );
@@ -454,17 +812,15 @@ impl ParallelExecutor {
                 t => t.min(fresh),
             };
             let next = AtomicUsize::new(0);
-            let (tx, rx) = crossbeam::channel::unbounded::<StreamedReport>();
+            let (tx, rx) = crossbeam::channel::unbounded::<ReplicaMsg>();
 
+            let verifier = &mut state.verifier;
             let round_result = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for _ in 0..workers {
                     let tx = tx.clone();
                     let next = &next;
-                    let plan = &plan;
-                    let graph = &graph;
-                    let vp_map = &vp_map;
-                    let pool = &pool;
+                    let prep = &*prep;
                     handles.push(scope.spawn(move |_| {
                         // Work queue: replicas are claimed, not
                         // pre-assigned, so a slow replica never idles the
@@ -477,11 +833,12 @@ impl ParallelExecutor {
                             }
                             mine.push(self.run_replica(
                                 uid_base + i,
-                                plan,
-                                graph,
-                                vp_map,
-                                pool,
+                                &prep.plan,
+                                &prep.graph,
+                                &prep.vp_map,
+                                &prep.pool,
                                 &tx,
+                                None,
                             ));
                         }
                         mine
@@ -492,9 +849,15 @@ impl ParallelExecutor {
                 // still executing. The loop ends when the last worker
                 // drops its sender.
                 let mut received = Vec::new();
-                for sr in &rx {
-                    verifier.ingest_traced(&sr, &self.tracer);
-                    received.push(sr);
+                for msg in &rx {
+                    match msg {
+                        ReplicaMsg::Report(sr) => {
+                            verifier.ingest_traced(&sr, &self.tracer);
+                            received.push(sr);
+                        }
+                        // Replicated rounds never carry a sample plan.
+                        ReplicaMsg::Check(_) => {}
+                    }
                 }
                 let mut finished = Vec::new();
                 for handle in handles {
@@ -508,50 +871,78 @@ impl ParallelExecutor {
             .map_err(|_| SubmitError::Engine("replica worker thread panicked".to_owned()))?;
 
             let (finished, received) = round_result;
-            transcript.extend(received);
+            state.transcript.extend(received);
             for run in finished {
-                runs.insert(run.uid, run);
+                state.runs.insert(run.uid, run);
             }
 
-            published = self.decide(&store_sites, &verifier, &runs);
-            if self.tracer.enabled() {
-                self.tracer.emit(
-                    TraceEvent::instant("round_end", "executor")
-                        .on(COORDINATOR_PID, 0)
-                        .seq(round as u64)
-                        .arg("verified", if published.is_some() { 1u64 } else { 0 }),
-                );
-            }
-            if self.metrics.enabled() {
-                // Escalation-cost forensics, recorded on the coordinator
-                // in round order (1-indexed for the health report).
-                let label = [("round", cbft_metrics::LabelValue::U64(round as u64 + 1))];
-                self.metrics.gauge_set(
-                    Domain::Sim,
-                    metric_names::ROUND_REPLICAS,
-                    &label,
-                    fresh as u64,
-                );
-                self.metrics.gauge_set(
-                    Domain::Sim,
-                    metric_names::ROUND_VERIFIED,
-                    &label,
-                    u64::from(published.is_some()),
-                );
-                let records: u64 = published
-                    .iter()
-                    .flat_map(|outs| outs.values())
-                    .map(|recs| recs.len() as u64)
-                    .sum();
-                if records > 0 {
-                    self.metrics
-                        .add(Domain::Sim, metric_names::ROUND_RECORDS, &label, records);
-                }
-            }
+            published = self.decide(&prep.store_sites, &state.verifier, &state.runs);
+            self.note_round(state, published.as_ref());
             if published.is_some() {
                 break;
             }
         }
+        Ok(published)
+    }
+
+    /// Emits the round-end trace event and the escalation-cost metrics
+    /// for the round that just finished (the last entry of
+    /// `state.replicas_per_round`, 1-indexed for the health report).
+    fn note_round(&self, state: &RoundState, published: Option<&BTreeMap<String, Vec<Record>>>) {
+        let round = state.replicas_per_round.len() as u64;
+        let fresh = state.replicas_per_round.last().copied().unwrap_or(0);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("round_end", "executor")
+                    .on(COORDINATOR_PID, 0)
+                    .seq(round - 1)
+                    .arg("verified", if published.is_some() { 1u64 } else { 0 }),
+            );
+        }
+        if self.metrics.enabled() {
+            // Escalation-cost forensics, recorded on the coordinator
+            // in round order (1-indexed for the health report).
+            let label = [("round", cbft_metrics::LabelValue::U64(round))];
+            self.metrics.gauge_set(
+                Domain::Sim,
+                metric_names::ROUND_REPLICAS,
+                &label,
+                fresh as u64,
+            );
+            self.metrics.gauge_set(
+                Domain::Sim,
+                metric_names::ROUND_VERIFIED,
+                &label,
+                u64::from(published.is_some()),
+            );
+            let records: u64 = published
+                .iter()
+                .flat_map(|outs| outs.values())
+                .map(|recs| recs.len() as u64)
+                .sum();
+            if records > 0 {
+                self.metrics
+                    .add(Domain::Sim, metric_names::ROUND_RECORDS, &label, records);
+            }
+        }
+    }
+
+    /// Final forensics and canonical-transcript assembly, shared by every
+    /// verification tier.
+    fn finish_outcome(
+        &self,
+        state: RoundState,
+        published: Option<BTreeMap<String, Vec<Record>>>,
+        verify_mode: VerifyMode,
+        reexec: ReexecSummary,
+    ) -> ParallelOutcome {
+        let RoundState {
+            verifier,
+            mut transcript,
+            runs,
+            replicas_per_round,
+            ..
+        } = state;
         // Deterministic verification-lag timeline, derived from the final
         // table state rather than live channel arrivals.
         verifier.emit_quorum_events(&self.tracer);
@@ -587,7 +978,7 @@ impl ParallelExecutor {
             .filter(|r| !r.complete)
             .map(|r| r.uid)
             .collect();
-        Ok(ParallelOutcome {
+        ParallelOutcome {
             verified: published.is_some(),
             replicas_per_round,
             transcript,
@@ -596,7 +987,9 @@ impl ParallelExecutor {
             clean_replicas: verifier.clean_replicas(),
             omitted_replicas: omitted,
             conflict_replicas: verifier.conflict_replicas(),
-        })
+            verify_mode,
+            reexec,
+        }
     }
 
     /// Publishes iff every STORE job's output keys are quorum-verified and
@@ -631,7 +1024,8 @@ impl ParallelExecutor {
     }
 
     /// Runs one replica start-to-finish in its own isolated cluster,
-    /// streaming every digest through `tx` as the simulation produces it.
+    /// streaming every digest (and, when `sample` is set, every captured
+    /// spot-check record) through `tx` as the simulation produces them.
     #[allow(clippy::too_many_arguments)]
     fn run_replica(
         &self,
@@ -640,7 +1034,8 @@ impl ParallelExecutor {
         graph: &JobGraph,
         vp_map: &HashMap<JobId, Vec<VpSite>>,
         pool: &ComputePool,
-        tx: &Sender<StreamedReport>,
+        tx: &Sender<ReplicaMsg>,
+        sample: Option<SamplePlan>,
     ) -> ReplicaRun {
         if self.tracer.enabled() {
             self.tracer.emit(
@@ -685,6 +1080,7 @@ impl ParallelExecutor {
             plan,
             graph,
             vp_map,
+            sample,
             &mut submitted,
             &completed,
             &mut handle_jobs,
@@ -694,8 +1090,13 @@ impl ParallelExecutor {
                 Some(EngineEvent::Digest(report)) => {
                     // Coordinator gone means the round was abandoned;
                     // finish quietly.
-                    let _ = tx.send(StreamedReport { uid, seq, report });
+                    let _ = tx.send(ReplicaMsg::Report(StreamedReport { uid, seq, report }));
                     seq += 1;
+                }
+                Some(EngineEvent::SpotCheck(rec)) => {
+                    // Captured evidence for the trusted checker; the
+                    // coordinator schedules the re-run on the pool.
+                    let _ = tx.send(ReplicaMsg::Check(rec));
                 }
                 Some(EngineEvent::JobCompleted { handle, outcome }) => {
                     let Some(job) = handle_jobs.get(&handle).copied() else {
@@ -713,6 +1114,7 @@ impl ParallelExecutor {
                                 plan,
                                 graph,
                                 vp_map,
+                                sample,
                                 &mut submitted,
                                 &completed,
                                 &mut handle_jobs,
@@ -773,6 +1175,7 @@ impl ParallelExecutor {
         plan: &Arc<LogicalPlan>,
         graph: &JobGraph,
         vp_map: &HashMap<JobId, Vec<VpSite>>,
+        sample: Option<SamplePlan>,
         submitted: &mut HashSet<JobId>,
         completed: &HashMap<JobId, String>,
         handle_jobs: &mut HashMap<RunHandle, JobId>,
@@ -821,6 +1224,7 @@ impl ParallelExecutor {
                 // Combiners stay off here so shuffle-site digests are
                 // always materialized identically across both executors.
                 combiner: None,
+                sample,
             };
             let handle = cluster
                 .submit(spec)
@@ -955,6 +1359,104 @@ mod tests {
             "1-vs-1 with f = 1 can never reach quorum"
         );
         assert!(outcome.outputs().is_empty(), "unverified publishes nothing");
+    }
+
+    fn sampled_executor(mode: VerifyMode, rate: f64) -> ParallelExecutor {
+        let mut exec = ParallelExecutor::new(ExecutorConfig {
+            threads: 2,
+            verify_mode: mode,
+            sample_rate: rate,
+            master_seed: 77,
+            ..ExecutorConfig::default()
+        });
+        exec.load_input("in", rows(300)).unwrap();
+        exec
+    }
+
+    #[test]
+    fn sample_mode_verifies_with_one_replica() {
+        let outcome = sampled_executor(VerifyMode::Sample, 1.0)
+            .run_script(SCRIPT)
+            .unwrap();
+        assert!(outcome.verified());
+        assert_eq!(outcome.total_replicas(), 1);
+        assert_eq!(outcome.verify_mode(), VerifyMode::Sample);
+        let reexec = outcome.reexec();
+        assert!(reexec.sampled > 0, "rate 1.0 must check every task");
+        assert_eq!(reexec.confirmed, reexec.sampled);
+        assert_eq!(reexec.mismatched, 0);
+        assert!(!reexec.escalated);
+        assert!(reexec.records_reexecuted > 0);
+
+        // Same verdict and identical published bytes as full replication.
+        let replicated = executor(2, vec![2]).run_script(SCRIPT).unwrap();
+        assert_eq!(outcome.outputs(), replicated.outputs());
+        assert_eq!(
+            outcome.transcript().len(),
+            replicated.transcript().len() / 2
+        );
+    }
+
+    #[test]
+    fn sample_mode_catches_commission_and_withholds_output() {
+        let mut exec = sampled_executor(VerifyMode::Sample, 1.0);
+        exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(
+            !outcome.verified(),
+            "a mismatched spot-check blocks publication"
+        );
+        assert!(outcome.outputs().is_empty());
+        assert!(outcome.reexec().mismatched > 0);
+        assert!(outcome.deviant_replicas().contains(&0));
+    }
+
+    #[test]
+    fn hybrid_escalates_on_mismatch_and_recovers() {
+        let mut exec = sampled_executor(VerifyMode::Hybrid, 1.0);
+        exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(outcome.verified(), "replication quorum rescues the run");
+        assert!(outcome.reexec().escalated);
+        assert!(outcome.reexec().mismatched > 0);
+        assert!(outcome.total_replicas() > 1);
+        assert!(outcome.deviant_replicas().contains(&0));
+
+        let honest = executor(1, vec![2]).run_script(SCRIPT).unwrap();
+        assert_eq!(outcome.outputs(), honest.outputs());
+    }
+
+    #[test]
+    fn hybrid_fault_free_stays_single_replica() {
+        let outcome = sampled_executor(VerifyMode::Hybrid, 0.5)
+            .run_script(SCRIPT)
+            .unwrap();
+        assert!(outcome.verified());
+        assert_eq!(outcome.total_replicas(), 1);
+        assert!(!outcome.reexec().escalated);
+    }
+
+    #[test]
+    fn hybrid_escalates_when_probe_wedges() {
+        let mut exec = sampled_executor(VerifyMode::Hybrid, 0.5);
+        exec.inject_fault(0, Behavior::Crashed);
+        let outcome = exec.run_script(SCRIPT).unwrap();
+        assert!(outcome.verified(), "ladder replicas complete the quorum");
+        assert!(outcome.reexec().escalated);
+        assert!(outcome.omitted_replicas().contains(&0));
+    }
+
+    #[test]
+    fn sample_mode_is_thread_and_pool_invariant() {
+        let mut baseline = sampled_executor(VerifyMode::Sample, 0.5);
+        baseline.config.compute_threads = 1;
+        let baseline = baseline.run_script(SCRIPT).unwrap();
+        for compute in [2, 4] {
+            let mut exec = sampled_executor(VerifyMode::Sample, 0.5);
+            exec.config.compute_threads = compute;
+            let outcome = exec.run_script(SCRIPT).unwrap();
+            assert_eq!(baseline, outcome, "compute_threads={compute} diverged");
+        }
     }
 
     #[test]

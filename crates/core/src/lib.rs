@@ -71,7 +71,7 @@ mod suspicion;
 mod verifier;
 
 pub use config::{JobConfig, JobConfigBuilder, Replication, VpPolicy};
-pub use executor::{ExecutorConfig, ParallelExecutor, ParallelOutcome};
+pub use executor::{ExecutorConfig, ParallelExecutor, ParallelOutcome, ReexecSummary, VerifyMode};
 pub use isolation::FaultAnalyzer;
 pub use outcome::{ScriptOutcome, SubmitError};
 pub use pipeline::ClusterBft;

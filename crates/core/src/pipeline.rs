@@ -435,6 +435,9 @@ impl ClusterBft {
                         break;
                     }
                     Some(EngineEvent::Timer(_)) => continue,
+                    // The sequential pipeline never attaches a sample
+                    // plan; spot-checking lives in the parallel executor.
+                    Some(EngineEvent::SpotCheck(_)) => continue,
                     None => break,
                 }
             }
@@ -821,6 +824,7 @@ impl ClusterBft {
                 sid: format!("{sid_prefix}{}", job_id.index()),
                 replica: uid_base + rep,
                 combiner,
+                sample: None,
             };
             let handle = self.cluster.submit(spec)?;
             submitted.insert(job_id);

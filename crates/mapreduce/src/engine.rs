@@ -26,11 +26,15 @@ use rand::rngs::StdRng;
 
 use crate::compute::{default_compute_threads, ComputePool, Ticket};
 use crate::fault::{Behavior, NodeId, TaskFate, WorkerNode};
-use crate::metrics::JobMetrics;
+use crate::metrics::{data_plane, JobMetrics};
 use crate::scheduler::{FifoScheduler, SchedContext, Scheduler, TaskChoice};
 use crate::spec::{DigestReport, ExecJob, RunHandle, TaskKind};
+use crate::spotcheck::{CheckInput, SpotCheckRecord};
 use crate::storage::{Storage, StorageError};
-use crate::task::{run_map_task, run_reduce_task, MapTaskOutput, ReduceTaskOutput, Tagged};
+use crate::task::{
+    digest_map_outputs, digest_reduce_outputs, run_map_task, run_reduce_task, MapTaskOutput,
+    ReduceTaskOutput, Tagged,
+};
 
 // The parallel replica executor gives every replica its own `Cluster` and
 // moves it (plus the jobs submitted to it and the events it emits) onto a
@@ -63,6 +67,10 @@ pub enum EngineEvent {
     },
     /// A timer set via [`Cluster::set_timer`] fired.
     Timer(TimerToken),
+    /// A sampled task completed under a [`crate::SamplePlan`]: its
+    /// captured true inputs and recorded output digest, ready for
+    /// trusted re-execution by the spot-check verification tier.
+    SpotCheck(Box<SpotCheckRecord>),
 }
 
 /// Terminal state of one job run.
@@ -187,6 +195,11 @@ struct RunningJob {
     reduce_inputs: Vec<Vec<Tagged>>,
     reduce_states: Vec<TaskSt>,
     reduce_outputs: Vec<Option<Vec<Record>>>,
+    /// True inputs of sampled reduce tasks, cloned at dispatch (before
+    /// the untrusted task can touch them) and handed to the spot-check
+    /// record when the task completes. Map tasks need no stash — their
+    /// split window into the shared input file is already immutable.
+    sampled_reduce_inputs: BTreeMap<usize, Vec<Tagged>>,
     in_reduce_phase: bool,
     metrics: JobMetrics,
     nodes_used: BTreeSet<NodeId>,
@@ -587,6 +600,7 @@ impl Cluster {
             reduce_inputs: Vec::new(),
             reduce_states: Vec::new(),
             reduce_outputs: Vec::new(),
+            sampled_reduce_inputs: BTreeMap::new(),
             in_reduce_phase: false,
             metrics: JobMetrics::new(),
             nodes_used: BTreeSet::new(),
@@ -928,33 +942,44 @@ impl Cluster {
         // order, host timing) can reach the simulated history.
         let spec = Arc::clone(&job.spec);
         let task_pool = self.pool.worker_handle();
-        let ticket = match choice.kind {
-            TaskKind::Map => {
-                // Maps get a worker handle too: the batched data plane
-                // fans Merkle-level hashing out over the pool.
-                let split = job.map_task_inputs[choice.task_index].clone();
-                self.pool.dispatch(move || {
-                    ComputedTask::Map(run_map_task(
-                        &spec,
-                        split.input,
-                        split.records(),
-                        fate,
-                        &task_pool,
-                    ))
-                })
-            }
-            TaskKind::Reduce => {
-                // Each reduce index executes at most once (omission faults
-                // never reach here, and a hung task re-queues as Pending
-                // without having run), so the input can be moved out
-                // instead of cloned. The payload gets a worker handle to
-                // the pool for its chunked shuffle sort.
-                let incoming = std::mem::take(&mut job.reduce_inputs[choice.task_index]);
-                self.pool.dispatch(move || {
-                    ComputedTask::Reduce(run_reduce_task(&spec, incoming, fate, &task_pool))
-                })
-            }
-        };
+        let ticket =
+            match choice.kind {
+                TaskKind::Map => {
+                    // Maps get a worker handle too: the batched data plane
+                    // fans Merkle-level hashing out over the pool.
+                    let split = job.map_task_inputs[choice.task_index].clone();
+                    self.pool.dispatch(move || {
+                        ComputedTask::Map(run_map_task(
+                            &spec,
+                            split.input,
+                            split.records(),
+                            fate,
+                            &task_pool,
+                        ))
+                    })
+                }
+                TaskKind::Reduce => {
+                    // Each reduce index executes at most once (omission faults
+                    // never reach here, and a hung task re-queues as Pending
+                    // without having run), so the input can be moved out
+                    // instead of cloned. The payload gets a worker handle to
+                    // the pool for its chunked shuffle sort.
+                    let incoming = std::mem::take(&mut job.reduce_inputs[choice.task_index]);
+                    // A sampled reduce task's true input must survive for the
+                    // spot-checker; clone it before the untrusted task (whose
+                    // fate may corrupt its view) consumes the only copy.
+                    if job.spec.sample.as_ref().is_some_and(|s| {
+                        s.samples(&job.spec.sid, TaskKind::Reduce, choice.task_index)
+                    }) {
+                        data_plane::count_records_cloned(incoming.len() as u64);
+                        job.sampled_reduce_inputs
+                            .insert(choice.task_index, incoming.clone());
+                    }
+                    self.pool.dispatch(move || {
+                        ComputedTask::Reduce(run_reduce_task(&spec, incoming, fate, &task_pool))
+                    })
+                }
+            };
 
         let states = match choice.kind {
             TaskKind::Map => &mut job.map_states,
@@ -1108,10 +1133,16 @@ impl Cluster {
 
         let spec_sid = job.spec.sid.clone();
         let spec_replica = job.spec.replica;
+        let sampled = job
+            .spec
+            .sample
+            .as_ref()
+            .is_some_and(|s| s.samples(&spec_sid, kind, index));
         let cpu_of = |w: &crate::task::Work, cost: &CostModel| {
             cost.cpu_records(w.record_ops) + cost.digest_bytes(w.digest_bytes)
         };
         let mut digest_events = Vec::new();
+        let mut spot: Option<SpotCheckRecord> = None;
         match *result {
             ComputedTask::Map(out) => {
                 let w = out.work;
@@ -1146,6 +1177,29 @@ impl Cluster {
                         at: now,
                     }));
                 }
+                if sampled {
+                    // Capture the spot-check evidence: the recorded
+                    // output commitment (digested here, on the trusted
+                    // side — no sim time charged) plus a handle clone of
+                    // the task's split window.
+                    let split = &job.map_task_inputs[index];
+                    spot = Some(SpotCheckRecord {
+                        handle,
+                        sid: spec_sid.clone(),
+                        replica: spec_replica,
+                        kind,
+                        task_index: index,
+                        node,
+                        recorded: digest_map_outputs(&out.partitions, job.spec.digest_granularity),
+                        spec: Arc::clone(&job.spec),
+                        input: CheckInput::Map {
+                            input_index: split.input,
+                            file: Arc::clone(&split.file),
+                            start: split.start,
+                            end: split.end,
+                        },
+                    });
+                }
                 job.map_outputs[index] = Some(out.partitions);
             }
             ComputedTask::Reduce(out) => {
@@ -1169,6 +1223,24 @@ impl Cluster {
                         at: now,
                     }));
                 }
+                if sampled {
+                    if let Some(incoming) = job.sampled_reduce_inputs.remove(&index) {
+                        spot = Some(SpotCheckRecord {
+                            handle,
+                            sid: spec_sid.clone(),
+                            replica: spec_replica,
+                            kind,
+                            task_index: index,
+                            node,
+                            recorded: digest_reduce_outputs(
+                                &out.records,
+                                job.spec.digest_granularity,
+                            ),
+                            spec: Arc::clone(&job.spec),
+                            input: CheckInput::Reduce { incoming },
+                        });
+                    }
+                }
                 job.reduce_outputs[index] = Some(out.records);
             }
         }
@@ -1187,6 +1259,9 @@ impl Cluster {
             }
         }
         self.outbox.extend(digest_events);
+        if let Some(rec) = spot {
+            self.outbox.push_back(EngineEvent::SpotCheck(Box::new(rec)));
+        }
 
         // Phase transitions.
         let mut completed: Option<Vec<Record>> = None;
@@ -1362,6 +1437,7 @@ mod tests {
             sid: sid.to_owned(),
             replica,
             combiner: None,
+            sample: None,
         }
     }
 
@@ -1681,6 +1757,69 @@ mod tests {
             "cancelled job never writes"
         );
     }
+
+    fn spot_checks(events: Vec<EngineEvent>) -> Vec<crate::spotcheck::SpotCheckRecord> {
+        events
+            .into_iter()
+            .filter_map(|e| match e {
+                EngineEvent::SpotCheck(rec) => Some(*rec),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampled_honest_run_emits_confirming_spot_checks() {
+        let mut cluster = Cluster::builder().nodes(4).seed(9).build();
+        cluster.storage_mut().write("twitter", edges(24)).unwrap();
+        let mut spec = follower_spec("s0", 0, "counts", vec![]);
+        spec.sample = Some(crate::spec::SamplePlan::from_rate(7, 1.0));
+        cluster.submit(spec).unwrap();
+        let checks = spot_checks(cluster.run_to_quiescence());
+        // 24 records / 3 per split = 8 map tasks, plus 2 reduce tasks,
+        // all sampled at rate 1.0.
+        assert_eq!(checks.len(), 10);
+        let pool = ComputePool::new(2);
+        for rec in checks {
+            let verdict = rec.check(&pool);
+            assert!(verdict.confirmed, "honest task flagged: {verdict:?}");
+            assert!(verdict.divergence.is_none());
+            assert!(verdict.records_reexecuted > 0);
+        }
+    }
+
+    #[test]
+    fn sampled_commission_run_is_flagged_by_spot_checks() {
+        let mut builder = Cluster::builder().nodes(4).seed(9);
+        for node in 0..4 {
+            builder = builder.node_behavior(node, Behavior::Commission { probability: 1.0 });
+        }
+        let mut cluster = builder.build();
+        cluster.storage_mut().write("twitter", edges(24)).unwrap();
+        let mut spec = follower_spec("s0", 0, "counts", vec![]);
+        spec.sample = Some(crate::spec::SamplePlan::from_rate(7, 1.0));
+        cluster.submit(spec).unwrap();
+        let checks = spot_checks(cluster.run_to_quiescence());
+        assert!(!checks.is_empty());
+        let pool = ComputePool::new(2);
+        let verdicts: Vec<_> = checks.iter().map(|rec| rec.check(&pool)).collect();
+        // Every task's input view was corrupted, so honest re-execution
+        // from the captured true inputs contradicts each recorded digest.
+        assert!(
+            verdicts.iter().all(|v| !v.confirmed),
+            "corrupt task confirmed: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn sampled_at_rate_zero_emits_no_spot_checks() {
+        let mut cluster = Cluster::builder().nodes(4).seed(9).build();
+        cluster.storage_mut().write("twitter", edges(24)).unwrap();
+        let mut spec = follower_spec("s0", 0, "counts", vec![]);
+        spec.sample = Some(crate::spec::SamplePlan::from_rate(7, 0.0));
+        cluster.submit(spec).unwrap();
+        assert!(spot_checks(cluster.run_to_quiescence()).is_empty());
+    }
 }
 
 #[cfg(test)]
@@ -1729,6 +1868,7 @@ mod speculative_tests {
             sid: "spec".to_owned(),
             replica: 0,
             combiner: None,
+            sample: None,
         }
     }
 
@@ -1841,6 +1981,7 @@ mod locality_tests {
             sid: "loc".to_owned(),
             replica: 0,
             combiner: None,
+            sample: None,
         }
     }
 

@@ -31,6 +31,7 @@ mod fault;
 mod metrics;
 mod scheduler;
 mod spec;
+mod spotcheck;
 mod storage;
 mod task;
 
@@ -39,5 +40,6 @@ pub use engine::{Cluster, ClusterBuilder, EngineEvent, JobOutcome, TimerToken};
 pub use fault::{Behavior, NodeId, WorkerNode};
 pub use metrics::{data_plane, JobMetrics};
 pub use scheduler::{FifoScheduler, OverlapScheduler, SchedContext, Scheduler, TaskChoice};
-pub use spec::{DigestReport, ExecInput, ExecJob, RunHandle, TaskKind, VpSite};
+pub use spec::{DigestReport, ExecInput, ExecJob, RunHandle, SamplePlan, TaskKind, VpSite};
+pub use spotcheck::{SpotCheck, SpotCheckRecord};
 pub use storage::{Storage, StorageError};

@@ -62,6 +62,75 @@ pub struct VpSite {
     pub site: Site,
 }
 
+/// Deterministic spot-check sampling plan for a job run (partial
+/// re-execution, Yoon & Liu arXiv 2002.09560).
+///
+/// The decision to sample a task is a pure function of
+/// `(seed, sid, kind, index)` — no clock, RNG state or thread identity —
+/// so the sampled set is byte-identical across worker-thread and
+/// compute-pool widths. The rate is pre-quantized to a 32-bit threshold
+/// at construction, keeping the per-task test integer-only.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplePlan {
+    /// Sampling seed (typically the executor's master seed).
+    pub seed: u64,
+    /// Inclusion threshold: a task is sampled when the low 32 bits of its
+    /// decision hash fall below this value. `rate * 2^32`, so `0` samples
+    /// nothing and `2^32` samples everything.
+    pub threshold: u64,
+}
+
+impl SamplePlan {
+    /// Builds a plan sampling roughly `rate` (clamped to `[0, 1]`) of
+    /// completed tasks under `seed`.
+    pub fn from_rate(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        SamplePlan {
+            seed,
+            threshold: (rate * (1u64 << 32) as f64).round() as u64,
+        }
+    }
+
+    /// The sampling rate this plan's threshold encodes.
+    pub fn rate(&self) -> f64 {
+        self.threshold as f64 / (1u64 << 32) as f64
+    }
+
+    /// Whether the task `(sid, kind, index)` is spot-checked under this
+    /// plan. Pure and total: any caller on any thread computes the same
+    /// answer.
+    pub fn samples(&self, sid: &str, kind: TaskKind, index: usize) -> bool {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(&self.seed.to_be_bytes());
+        eat(sid.as_bytes());
+        eat(&[match kind {
+            TaskKind::Map => 0u8,
+            TaskKind::Reduce => 1u8,
+        }]);
+        eat(&(index as u64).to_be_bytes());
+        // FNV's low bits barely move for single-byte suffix changes
+        // (consecutive indices would land in one narrow band), so
+        // avalanche the state before taking the decision word.
+        let mut mixed = hash;
+        mixed ^= mixed >> 33;
+        mixed = mixed.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        mixed ^= mixed >> 33;
+        mixed = mixed.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        mixed ^= mixed >> 33;
+        (mixed & 0xFFFF_FFFF) < self.threshold
+    }
+}
+
 /// One executable MapReduce job.
 ///
 /// Produced by the ClusterBFT request handler from a compiled
@@ -109,6 +178,12 @@ pub struct ExecJob {
     /// verification point sits on the shuffle itself (the combined stream
     /// has no materialized bags to digest).
     pub combiner: Option<Combiner>,
+    /// Spot-check sampling plan. When set, the engine captures each
+    /// sampled task's true inputs and recorded output digest and emits an
+    /// [`EngineEvent::SpotCheck`](crate::EngineEvent::SpotCheck) so a
+    /// trusted checker can re-execute it honestly. `None` disables
+    /// capture (the replicated modes).
+    pub sample: Option<SamplePlan>,
 }
 
 impl ExecJob {
@@ -175,5 +250,53 @@ impl DigestReport {
     /// digest corresponding streams and must match.
     pub fn correspondence_key(&self) -> (VertexId, Site, TaskKind, usize) {
         (self.vertex, self.site, self.kind, self.task_index)
+    }
+}
+
+#[cfg(test)]
+mod sample_tests {
+    use super::*;
+
+    #[test]
+    fn sample_plan_is_pure_and_seeded() {
+        let plan = SamplePlan::from_rate(42, 0.5);
+        for i in 0..64 {
+            assert_eq!(
+                plan.samples("j0", TaskKind::Map, i),
+                plan.samples("j0", TaskKind::Map, i),
+                "decision must be a pure function of (seed, sid, kind, index)"
+            );
+        }
+        let reseeded = SamplePlan::from_rate(43, 0.5);
+        assert!(
+            (0..256).any(|i| {
+                plan.samples("j0", TaskKind::Map, i) != reseeded.samples("j0", TaskKind::Map, i)
+            }),
+            "different seeds must select different task sets"
+        );
+    }
+
+    #[test]
+    fn sample_plan_extremes_and_clamping() {
+        let all = SamplePlan::from_rate(7, 1.0);
+        let none = SamplePlan::from_rate(7, 0.0);
+        for i in 0..128 {
+            assert!(all.samples("j1", TaskKind::Reduce, i));
+            assert!(!none.samples("j1", TaskKind::Reduce, i));
+        }
+        assert_eq!(SamplePlan::from_rate(7, 2.5), all);
+        assert_eq!(SamplePlan::from_rate(7, -1.0), none);
+        assert_eq!(SamplePlan::from_rate(7, f64::NAN), none);
+    }
+
+    #[test]
+    fn sample_plan_hits_near_the_requested_rate() {
+        let plan = SamplePlan::from_rate(11, 0.25);
+        let hits = (0..4000)
+            .filter(|&i| plan.samples("j2", TaskKind::Map, i))
+            .count();
+        // FNV-mixed decisions: loose 4-sigma-ish band around 1000.
+        assert!((850..1150).contains(&hits), "hits={hits}");
+        assert!((plan.rate() - 0.25).abs() < 1e-9);
     }
 }

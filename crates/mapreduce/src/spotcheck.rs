@@ -1,0 +1,161 @@
+//! Trusted spot-checker: partial re-execution of sampled tasks.
+//!
+//! The sample-based verification tier (Yoon & Liu, *Practical
+//! Verification of MapReduce Computation Integrity via Partial
+//! Re-execution*, arXiv 2002.09560) runs each sub-graph **once** on the
+//! untrusted tier and has a trusted checker deterministically sample
+//! completed tasks, re-execute them honestly on their captured true
+//! inputs, and compare output digests. The engine captures the evidence:
+//! when a job carries a [`SamplePlan`](crate::SamplePlan), every sampled
+//! task's true input (the map split's shared `Arc` window, or the exact
+//! reduce partition fed to the task) and a commitment digest over its
+//! recorded output are packaged into a [`SpotCheckRecord`] and emitted as
+//! [`EngineEvent::SpotCheck`](crate::EngineEvent::SpotCheck).
+//!
+//! Corruption in this engine poisons a task's *input view* (the true
+//! records in storage and the shuffle stay honest), so an honest re-run
+//! from the captured inputs diverges exactly at the corrupting task —
+//! the recorded output digest mismatches and the Merkle tree localizes
+//! the window via [`ChunkedSummary::localize`].
+//!
+//! Checks are pure functions of the record's contents: callers may
+//! dispatch them on any thread of the shared compute pool (they overlap
+//! foreground execution in the parallel executor) and the verdict is
+//! identical everywhere.
+
+use std::sync::Arc;
+
+use cbft_dataflow::Record;
+use cbft_digest::{ChunkedSummary, MismatchRange};
+
+use crate::compute::ComputePool;
+use crate::fault::{NodeId, TaskFate};
+use crate::spec::{ExecJob, RunHandle, TaskKind};
+use crate::task::{
+    digest_map_outputs, digest_reduce_outputs, run_map_task, run_reduce_task, Tagged,
+};
+
+/// The captured true input of a sampled task.
+#[derive(Clone, Debug)]
+pub(crate) enum CheckInput {
+    /// A map task's split: a window into the `Arc`-shared input file
+    /// (capture costs only a handle clone).
+    Map {
+        /// Index into [`ExecJob::inputs`].
+        input_index: usize,
+        /// Shared handle to the whole input file.
+        file: Arc<[Record]>,
+        /// Split window `[start, end)` within `file`.
+        start: usize,
+        /// Split window end.
+        end: usize,
+    },
+    /// A reduce/collector task's exact incoming partition, cloned before
+    /// the untrusted task could touch it.
+    Reduce {
+        /// The tagged records fed to the task.
+        incoming: Vec<Tagged>,
+    },
+}
+
+/// Everything needed to re-execute one sampled task and judge its
+/// recorded output: emitted by the engine as
+/// [`EngineEvent::SpotCheck`](crate::EngineEvent::SpotCheck) the moment
+/// the sampled task completes.
+#[derive(Clone, Debug)]
+pub struct SpotCheckRecord {
+    /// The run the task belonged to.
+    pub handle: RunHandle,
+    /// Sub-graph id.
+    pub sid: String,
+    /// Replica index within the sub-graph.
+    pub replica: usize,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase.
+    pub task_index: usize,
+    /// The node that executed the task — the party charged on mismatch.
+    pub node: NodeId,
+    /// Commitment digest over the output the untrusted node reported.
+    pub recorded: ChunkedSummary,
+    pub(crate) spec: Arc<ExecJob>,
+    pub(crate) input: CheckInput,
+}
+
+impl SpotCheckRecord {
+    /// Number of input records an honest re-run will process.
+    pub fn records_to_rerun(&self) -> u64 {
+        match &self.input {
+            CheckInput::Map { start, end, .. } => (end - start) as u64,
+            CheckInput::Reduce { incoming } => incoming.len() as u64,
+        }
+    }
+
+    /// Re-executes the task honestly on its captured true inputs and
+    /// compares the result against the recorded output digest. Pure: the
+    /// verdict (and the localized divergence window) is identical on any
+    /// thread and for any pool size.
+    pub fn check(&self, pool: &ComputePool) -> SpotCheck {
+        let granularity = self.spec.digest_granularity;
+        let honest = match &self.input {
+            CheckInput::Map {
+                input_index,
+                file,
+                start,
+                end,
+            } => {
+                let out = run_map_task(
+                    &self.spec,
+                    *input_index,
+                    &file[*start..*end],
+                    TaskFate::Faithful,
+                    pool,
+                );
+                digest_map_outputs(&out.partitions, granularity)
+            }
+            CheckInput::Reduce { incoming } => {
+                let out = run_reduce_task(&self.spec, incoming.clone(), TaskFate::Faithful, pool);
+                digest_reduce_outputs(&out.records, granularity)
+            }
+        };
+        let confirmed = honest.combined() == self.recorded.combined();
+        SpotCheck {
+            sid: self.sid.clone(),
+            replica: self.replica,
+            kind: self.kind,
+            task_index: self.task_index,
+            node: self.node,
+            divergence: if confirmed {
+                None
+            } else {
+                self.recorded.localize(&honest)
+            },
+            confirmed,
+            records_reexecuted: self.records_to_rerun(),
+        }
+    }
+}
+
+/// Verdict of one spot-check re-execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpotCheck {
+    /// Sub-graph id of the checked task.
+    pub sid: String,
+    /// Replica index within the sub-graph.
+    pub replica: usize,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Task index within its phase.
+    pub task_index: usize,
+    /// The node that executed the original task.
+    pub node: NodeId,
+    /// True when the honest re-run reproduced the recorded output digest.
+    pub confirmed: bool,
+    /// On mismatch: the chunk/record window localized by Merkle descent
+    /// between the recorded and honest output streams, when the streams
+    /// are comparable.
+    pub divergence: Option<MismatchRange>,
+    /// Input records the re-run processed (the spot-check's compute
+    /// cost, in the same units as foreground record counts).
+    pub records_reexecuted: u64,
+}

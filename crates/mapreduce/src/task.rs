@@ -927,6 +927,43 @@ fn byte_size(records: &[Record]) -> u64 {
     records.iter().map(Record::byte_size).sum()
 }
 
+/// Commitment digest over a map task's partitioned output: every
+/// `(partition, tag, record)` triple framed canonically into one chunked
+/// stream. Computed once when the engine captures a sampled task and
+/// again by the trusted spot-checker after an honest re-run; any
+/// divergence between the two localizes via the summary's Merkle tree.
+/// Finished inline (never pool-fanned) so capture and re-check hash the
+/// byte-identical stream regardless of which thread runs them.
+pub(crate) fn digest_map_outputs(partitions: &[Vec<Tagged>], granularity: usize) -> ChunkedSummary {
+    let mut cd = ChunkedDigest::new(granularity);
+    let mut buf = Vec::new();
+    for (p, part) in partitions.iter().enumerate() {
+        for (tag, r) in part {
+            ChunkedDigest::begin_frame(&mut buf);
+            buf.extend_from_slice(&(p as u64).to_be_bytes());
+            buf.extend_from_slice(&(*tag as u64).to_be_bytes());
+            r.write_canonical(&mut buf);
+            ChunkedDigest::seal_frame(&mut buf);
+            cd.append_framed(&buf);
+        }
+    }
+    cd.finish()
+}
+
+/// Commitment digest over a reduce/collector task's output records; the
+/// reduce-side mirror of [`digest_map_outputs`].
+pub(crate) fn digest_reduce_outputs(records: &[Record], granularity: usize) -> ChunkedSummary {
+    let mut cd = ChunkedDigest::new(granularity);
+    let mut buf = Vec::new();
+    for r in records {
+        ChunkedDigest::begin_frame(&mut buf);
+        r.write_canonical(&mut buf);
+        ChunkedDigest::seal_frame(&mut buf);
+        cd.append_framed(&buf);
+    }
+    cd.finish()
+}
+
 /// FNV-1a, used for deterministic, platform-independent partitioning and
 /// split placement.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -981,6 +1018,7 @@ mod tests {
             sid: "s".to_owned(),
             replica: 0,
             combiner: None,
+            sample: None,
         }
     }
 

@@ -92,6 +92,26 @@ pub mod names {
     /// Histogram (wall), labels `{tenant}`: time waiting in the
     /// admission queue, µs.
     pub const SERVER_JOB_QUEUE_US: &str = "cbft_server_job_queue_us";
+    /// Counter (wall): queued jobs cancelled before dispatch.
+    pub const SERVER_CANCELLED: &str = "cbft_server_jobs_cancelled_total";
+
+    // --- sampled partial re-execution (spot-check tier) -----------------
+
+    /// Gauge: the executor's operating verification tier
+    /// (0=replicate, 1=sample, 2=hybrid). Only present for sampled runs.
+    pub const VERIFY_MODE: &str = "cbft_verify_mode";
+    /// Counter: completed tasks the seeded plan selected for checking.
+    pub const REEXEC_SAMPLED: &str = "cbft_reexec_tasks_sampled_total";
+    /// Counter: tasks re-executed by the trusted spot-checker.
+    pub const REEXEC_RERUN: &str = "cbft_reexec_tasks_rerun_total";
+    /// Counter: re-executions that reproduced the recorded digest.
+    pub const REEXEC_CONFIRMED: &str = "cbft_reexec_tasks_confirmed_total";
+    /// Counter: re-executions that contradicted the recorded digest.
+    pub const REEXEC_MISMATCHED: &str = "cbft_reexec_tasks_mismatched_total";
+    /// Counter: input records processed by spot-check re-runs.
+    pub const REEXEC_RECORDS: &str = "cbft_reexec_records_total";
+    /// Counter: hybrid runs escalated to the replication ladder.
+    pub const REEXEC_ESCALATIONS: &str = "cbft_reexec_escalations_total";
 
     // --- campaign aggregation (cbft-campaign) ---------------------------
 
@@ -120,6 +140,10 @@ pub mod names {
 
 /// Ordered suspicion band names, rank 0..=3.
 pub const BAND_NAMES: [&str; 4] = ["none", "low", "med", "high"];
+
+/// Ordered verification-tier names, rank 0..=2 (the `cbft_verify_mode`
+/// gauge value).
+pub const VERIFY_MODE_NAMES: [&str; 3] = ["replicate", "sample", "hybrid"];
 
 fn band_rank(name: &str) -> usize {
     BAND_NAMES.iter().position(|b| *b == name).unwrap_or(0)
@@ -170,6 +194,25 @@ impl ServerHealth {
     }
 }
 
+#[derive(Clone, Debug, Default)]
+struct ReexecHealth {
+    /// The `cbft_verify_mode` gauge: present only for sampled runs, so
+    /// its absence suppresses the whole section.
+    mode: Option<u64>,
+    sampled: u64,
+    rerun: u64,
+    confirmed: u64,
+    mismatched: u64,
+    records: u64,
+    escalations: u64,
+}
+
+impl ReexecHealth {
+    fn is_empty(&self) -> bool {
+        self.mode.is_none()
+    }
+}
+
 /// The chunk/record window implicated by Merkle mismatch localization at
 /// one diverging verification point (see the `DIVERGENCE_*` gauges).
 /// Replicas' streams provably agree on everything before `first_record`
@@ -195,6 +238,7 @@ pub struct HealthReport {
     rounds: BTreeMap<u64, RoundHealth>,
     divergences: BTreeMap<String, DivergenceSpan>,
     server: ServerHealth,
+    reexec: ReexecHealth,
 }
 
 fn label<'a>(sample_labels: &'a [(&'static str, String)], name: &str) -> Option<&'a str> {
@@ -314,6 +358,13 @@ impl HealthReport {
                         report.rounds.entry(r).or_default().verified = scalar != 0;
                     }
                 }
+                names::VERIFY_MODE => report.reexec.mode = Some(scalar),
+                names::REEXEC_SAMPLED => report.reexec.sampled = scalar,
+                names::REEXEC_RERUN => report.reexec.rerun = scalar,
+                names::REEXEC_CONFIRMED => report.reexec.confirmed = scalar,
+                names::REEXEC_MISMATCHED => report.reexec.mismatched = scalar,
+                names::REEXEC_RECORDS => report.reexec.records = scalar,
+                names::REEXEC_ESCALATIONS => report.reexec.escalations = scalar,
                 names::SERVER_ADMITTED => report.server.admitted = scalar,
                 names::SERVER_REJECTED => report.server.rejected = scalar,
                 names::SERVER_QUEUE_PEAK => report.server.queue_peak = scalar,
@@ -436,6 +487,7 @@ impl HealthReport {
             && self.rounds.is_empty()
             && self.divergences.is_empty()
             && self.server.is_empty()
+            && self.reexec.is_empty()
     }
 
     /// Render the report as terminal text.
@@ -462,6 +514,25 @@ impl HealthReport {
                     t.queue.p50_p90_p99().2,
                 );
             }
+        }
+
+        if let Some(mode) = self.reexec.mode {
+            let r = &self.reexec;
+            out.push_str("\nverification tier (sampled partial re-execution):\n");
+            let _ = writeln!(
+                out,
+                "  mode={}  sampled={}  rerun={}  confirmed={}  mismatched={}",
+                VERIFY_MODE_NAMES[(mode as usize).min(VERIFY_MODE_NAMES.len() - 1)],
+                r.sampled,
+                r.rerun,
+                r.confirmed,
+                r.mismatched,
+            );
+            let _ = writeln!(
+                out,
+                "  re-executed records={}  escalations to replication={}",
+                r.records, r.escalations
+            );
         }
 
         if !self.replicas.is_empty() {
@@ -816,6 +887,49 @@ mod tests {
         );
         assert!(text.contains("tenant beta: completed=20"), "{text}");
         assert!(text.contains("latency_us p50="), "{text}");
+    }
+
+    #[test]
+    fn report_renders_verification_tier_section() {
+        let m = Metrics::new();
+        m.gauge_set(Domain::Sim, names::VERIFY_MODE, &[], 2);
+        m.add(Domain::Sim, names::REEXEC_SAMPLED, &[], 7);
+        m.add(Domain::Sim, names::REEXEC_RERUN, &[], 7);
+        m.add(Domain::Sim, names::REEXEC_CONFIRMED, &[], 6);
+        m.add(Domain::Sim, names::REEXEC_MISMATCHED, &[], 1);
+        m.add(Domain::Sim, names::REEXEC_RECORDS, &[], 420);
+        m.add(Domain::Sim, names::REEXEC_ESCALATIONS, &[], 1);
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        assert!(!report.is_empty());
+        let text = report.render();
+        assert!(
+            text.contains("verification tier (sampled partial re-execution):"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mode=hybrid  sampled=7  rerun=7  confirmed=6  mismatched=1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("re-executed records=420  escalations to replication=1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn replicated_runs_omit_the_verification_tier_section() {
+        // Replicated runs never set the cbft_verify_mode gauge, so the
+        // section must vanish rather than render a zero row.
+        let m = Metrics::new();
+        m.add(
+            Domain::Sim,
+            names::REPLICA_REPORTS,
+            &[("replica", 0u64.into())],
+            4,
+        );
+        let report = HealthReport::from_snapshot(&m.snapshot());
+        let text = report.render();
+        assert!(!text.contains("verification tier"), "{text}");
     }
 
     #[test]

@@ -65,7 +65,7 @@
 pub mod sched;
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -75,7 +75,7 @@ use cbft_metrics::{names as metric_names, Domain, LabelValue, Metrics};
 use clusterbft::{ExecutorConfig, ParallelExecutor, ParallelOutcome, SubmitError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use sched::FairQueue;
+use sched::{AdmitError, FairQueue};
 
 /// Configuration for a [`JobServer`].
 #[derive(Clone, Debug)]
@@ -95,6 +95,10 @@ pub struct ServerConfig {
     pub default_weight: u64,
     /// Per-tenant fair-share weights.
     pub weights: Vec<(String, u64)>,
+    /// Per-tenant in-flight quotas (queued + executing). Tenants without
+    /// an entry are unbounded; submissions over the quota are rejected
+    /// with [`RejectReason::QuotaExceeded`].
+    pub max_inflight: Vec<(String, usize)>,
     /// Metrics hub receiving the `cbft_server_*` series. Disabled by
     /// default.
     pub metrics: Metrics,
@@ -108,6 +112,7 @@ impl Default for ServerConfig {
             compute_threads: 1,
             default_weight: 1,
             weights: Vec::new(),
+            max_inflight: Vec::new(),
             metrics: Metrics::disabled(),
         }
     }
@@ -178,13 +183,21 @@ impl JobSpec {
 }
 
 /// Why a submission was refused.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RejectReason {
     /// The bounded admission queue is at capacity — retry later. This is
     /// the server's backpressure signal, never a silent drop.
     QueueFull {
         /// The configured queue bound that was hit.
         depth: usize,
+    },
+    /// The tenant is at its configured in-flight quota — retry after one
+    /// of its jobs completes. Like queue-full, always explicit.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+        /// Its configured in-flight bound.
+        limit: usize,
     },
     /// The server is shutting down and admits nothing new.
     ShuttingDown,
@@ -196,8 +209,50 @@ impl std::fmt::Display for RejectReason {
             RejectReason::QueueFull { depth } => {
                 write!(f, "queue full ({depth} jobs waiting)")
             }
+            RejectReason::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant '{tenant}' at its in-flight quota ({limit})")
+            }
             RejectReason::ShuttingDown => write!(f, "server shutting down"),
         }
+    }
+}
+
+/// Why an admitted job produced no [`ParallelOutcome`].
+#[derive(Debug)]
+pub enum JobError {
+    /// The executor refused or failed the job (parse error, missing
+    /// input, replica worker panic).
+    Exec(SubmitError),
+    /// The job was cancelled through [`JobHandle::cancel`] while still
+    /// queued; it never reached an execution slot.
+    Cancelled,
+    /// The slot worker died (panicked) before delivering a result. The
+    /// job's fate is unknown; resubmit to a healthy server.
+    WorkerLost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Exec(e) => e.fmt(f),
+            JobError::Cancelled => write!(f, "job cancelled before dispatch"),
+            JobError::WorkerLost => write!(f, "slot worker lost before completion"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SubmitError> for JobError {
+    fn from(e: SubmitError) -> Self {
+        JobError::Exec(e)
     }
 }
 
@@ -231,6 +286,9 @@ pub struct JobHandle {
     /// The submitting tenant.
     pub tenant: String,
     rx: Receiver<JobResult>,
+    /// Back-reference for [`JobHandle::cancel`]; weak so an outstanding
+    /// handle never keeps a dropped server's state alive.
+    server: Weak<Inner>,
 }
 
 impl std::fmt::Debug for JobHandle {
@@ -243,19 +301,60 @@ impl std::fmt::Debug for JobHandle {
 }
 
 impl JobHandle {
-    /// Blocks until the job finishes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server was torn down without completing the job
-    /// (only possible through worker-thread panic).
+    /// Blocks until the job finishes. If the slot worker executing the
+    /// job died (panicked) before delivering a result, returns a
+    /// [`JobError::WorkerLost`] result instead of panicking the caller.
     pub fn wait(self) -> JobResult {
-        self.rx.recv().expect("server completes every admitted job")
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => JobResult {
+                id: self.id,
+                tenant: self.tenant,
+                outcome: Err(JobError::WorkerLost),
+                queue_us: 0,
+                exec_us: 0,
+                total_us: 0,
+            },
+        }
     }
 
     /// Returns the result if the job already finished.
     pub fn try_wait(&self) -> Option<JobResult> {
         self.rx.try_recv().ok()
+    }
+
+    /// Cancels the job if it is still waiting in the admission queue:
+    /// the job is removed (its quota freed), counted under
+    /// `cbft_server_jobs_cancelled_total`, and its result arrives as
+    /// [`JobError::Cancelled`]. Returns `false` when the job was already
+    /// dispatched to a slot (or finished) — execution is not interrupted.
+    pub fn cancel(&self) -> bool {
+        let Some(inner) = self.server.upgrade() else {
+            return false;
+        };
+        let removed = {
+            let mut state = inner.state.lock().expect("server state poisoned");
+            state.queue.remove(self.id)
+        };
+        let Some(dispatched) = removed else {
+            return false;
+        };
+        if inner.metrics.enabled() {
+            inner
+                .metrics
+                .add(Domain::Wall, metric_names::SERVER_CANCELLED, &[], 1);
+        }
+        let Pending { tx, submitted, .. } = dispatched.payload;
+        let waited = submitted.elapsed().as_micros() as u64;
+        let _ = tx.send(JobResult {
+            id: self.id,
+            tenant: dispatched.tenant,
+            outcome: Err(JobError::Cancelled),
+            queue_us: waited,
+            exec_us: 0,
+            total_us: waited,
+        });
+        true
     }
 }
 
@@ -266,8 +365,9 @@ pub struct JobResult {
     pub id: u64,
     /// The submitting tenant.
     pub tenant: String,
-    /// The verified outcome, or the executor's error.
-    pub outcome: Result<ParallelOutcome, SubmitError>,
+    /// The verified outcome, or why the job never produced one
+    /// (executor error, cancellation, lost worker).
+    pub outcome: Result<ParallelOutcome, JobError>,
     /// Wall microseconds spent waiting in the admission queue.
     pub queue_us: u64,
     /// Wall microseconds spent executing.
@@ -315,6 +415,9 @@ impl JobServer {
         let mut queue = FairQueue::new(config.queue_depth, config.default_weight);
         for (tenant, weight) in &config.weights {
             queue.set_weight(tenant, *weight);
+        }
+        for (tenant, limit) in &config.max_inflight {
+            queue.set_max_inflight(tenant, *limit);
         }
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
@@ -368,17 +471,27 @@ impl JobServer {
                     );
                 }
                 self.inner.work_ready.notify_one();
-                SubmitOutcome::Admitted(JobHandle { id, tenant, rx })
+                SubmitOutcome::Admitted(JobHandle {
+                    id,
+                    tenant,
+                    rx,
+                    server: Arc::downgrade(&self.inner),
+                })
             }
-            Err(_) => {
+            Err(err) => {
                 drop(state);
                 if self.inner.metrics.enabled() {
                     self.inner
                         .metrics
                         .add(Domain::Wall, metric_names::SERVER_REJECTED, &[], 1);
                 }
-                SubmitOutcome::Rejected(RejectReason::QueueFull {
-                    depth: self.inner.queue_depth,
+                SubmitOutcome::Rejected(match err {
+                    AdmitError::Full(_) => RejectReason::QueueFull {
+                        depth: self.inner.queue_depth,
+                    },
+                    AdmitError::QuotaExceeded { tenant, limit } => {
+                        RejectReason::QuotaExceeded { tenant, limit }
+                    }
                 })
             }
         }
@@ -445,10 +558,18 @@ fn worker_loop(inner: &Inner) {
 
         let started = Instant::now();
         let queue_us = (started - submitted).as_micros() as u64;
-        let outcome = run_job(inner, spec);
+        let outcome = run_job(inner, spec).map_err(JobError::from);
         let finished = Instant::now();
         let exec_us = (finished - started).as_micros() as u64;
         let total_us = (finished - submitted).as_micros() as u64;
+
+        // The job no longer occupies its tenant's in-flight quota slot.
+        inner
+            .state
+            .lock()
+            .expect("server state poisoned")
+            .queue
+            .release(&tenant);
 
         if inner.metrics.enabled() {
             let m = &inner.metrics;
@@ -591,6 +712,96 @@ mod tests {
         for h in handles {
             assert!(h.wait().verified());
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_pulls_queued_job_and_resolves_waiters() {
+        // One slot kept busy by a large job: the second submission sits in
+        // the queue where cancel() can still reach it.
+        let server = JobServer::start(ServerConfig {
+            slots: 1,
+            ..ServerConfig::default()
+        });
+        let busy = server
+            .submit(JobSpec::new("t", SCRIPT).input("in", rows(4000)).seed(1))
+            .expect_admitted();
+        let queued = server
+            .submit(JobSpec::new("t", SCRIPT).input("in", rows(40)).seed(2))
+            .expect_admitted();
+        assert!(queued.cancel(), "still-queued job must be cancellable");
+        assert!(!queued.cancel(), "second cancel finds nothing to remove");
+        let r = queued.wait();
+        assert!(matches!(r.outcome, Err(JobError::Cancelled)));
+        assert!(!r.verified());
+        assert_eq!(r.exec_us, 0, "a cancelled job never executed");
+        assert!(busy.wait().verified());
+        server.shutdown();
+    }
+
+    #[test]
+    fn cancel_misses_job_already_dispatched() {
+        let server = JobServer::start(ServerConfig {
+            slots: 1,
+            ..ServerConfig::default()
+        });
+        let h = server
+            .submit(JobSpec::new("t", SCRIPT).input("in", rows(40)).seed(9))
+            .expect_admitted();
+        // Let the idle slot pick the job up; cancel then races dispatch,
+        // and whichever side wins must be reflected consistently in the
+        // result the waiter sees.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let cancelled = h.cancel();
+        let r = h.wait();
+        if cancelled {
+            assert!(matches!(r.outcome, Err(JobError::Cancelled)));
+        } else {
+            assert!(r.verified(), "uncancelled job runs to completion");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn per_tenant_quota_rejects_excess_inflight_jobs() {
+        let server = JobServer::start(ServerConfig {
+            slots: 1,
+            max_inflight: vec![("metered".into(), 1)],
+            ..ServerConfig::default()
+        });
+        let first = server
+            .submit(
+                JobSpec::new("metered", SCRIPT)
+                    .input("in", rows(4000))
+                    .seed(1),
+            )
+            .expect_admitted();
+        match server.submit(
+            JobSpec::new("metered", SCRIPT)
+                .input("in", rows(40))
+                .seed(2),
+        ) {
+            SubmitOutcome::Rejected(RejectReason::QuotaExceeded { tenant, limit }) => {
+                assert_eq!(tenant, "metered");
+                assert_eq!(limit, 1);
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // Unmetered tenants are unaffected by someone else's quota.
+        let free = server
+            .submit(JobSpec::new("other", SCRIPT).input("in", rows(40)).seed(3))
+            .expect_admitted();
+        assert!(first.wait().verified());
+        assert!(free.wait().verified());
+        // The completed job released its slot: the tenant may submit again.
+        let again = server
+            .submit(
+                JobSpec::new("metered", SCRIPT)
+                    .input("in", rows(40))
+                    .seed(4),
+            )
+            .expect_admitted();
+        assert!(again.wait().verified());
         server.shutdown();
     }
 

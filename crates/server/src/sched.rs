@@ -10,11 +10,14 @@
 //! `virtual_now` on arrival).
 //!
 //! The queue is **bounded**: [`FairQueue::push`] refuses admission once
-//! `capacity` jobs are waiting, returning [`QueueFull`] so callers can
-//! surface explicit backpressure instead of buffering without limit.
-//! Dispatch order is a pure function of the admission sequence — no
-//! clocks, no randomness — which keeps server-level tests and the
-//! fairness properties deterministic.
+//! `capacity` jobs are waiting ([`AdmitError::Full`]) or the tenant is
+//! at its configured in-flight quota ([`AdmitError::QuotaExceeded`]),
+//! so callers see explicit backpressure instead of buffering without
+//! limit. A job counts against its tenant's quota from admission until
+//! [`FairQueue::release`] (completion) or [`FairQueue::remove`]
+//! (cancellation before dispatch). Dispatch order is a pure function of
+//! the admission sequence — no clocks, no randomness — which keeps
+//! server-level tests and the fairness properties deterministic.
 
 use std::collections::{BinaryHeap, HashMap};
 
@@ -36,6 +39,36 @@ impl std::fmt::Display for QueueFull {
 }
 
 impl std::error::Error for QueueFull {}
+
+/// Admission refusal: queue at capacity, or the tenant at its in-flight
+/// quota. Both are explicit backpressure — never a silent drop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The queue already holds `capacity` jobs (any tenant).
+    Full(QueueFull),
+    /// The tenant already has `limit` jobs in flight (queued or
+    /// executing; in-flight counts drop on [`FairQueue::release`] or
+    /// [`FairQueue::remove`]).
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: String,
+        /// The configured per-tenant in-flight bound.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::Full(full) => full.fmt(f),
+            AdmitError::QuotaExceeded { tenant, limit } => {
+                write!(f, "tenant '{tenant}' at its in-flight quota ({limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
 
 #[derive(Debug)]
 struct Entry<T> {
@@ -86,6 +119,10 @@ pub struct FairQueue<T> {
     tenant_vft: HashMap<String, u64>,
     virtual_now: u64,
     next_id: u64,
+    /// Per-tenant in-flight bounds; absent means unlimited.
+    max_inflight: HashMap<String, usize>,
+    /// Jobs admitted and not yet released (queued **or** executing).
+    inflight: HashMap<String, usize>,
 }
 
 impl<T> FairQueue<T> {
@@ -100,6 +137,8 @@ impl<T> FairQueue<T> {
             tenant_vft: HashMap::new(),
             virtual_now: 0,
             next_id: 0,
+            max_inflight: HashMap::new(),
+            inflight: HashMap::new(),
         }
     }
 
@@ -132,14 +171,54 @@ impl<T> FairQueue<T> {
         self.capacity
     }
 
-    /// Admits a job, or refuses with [`QueueFull`] when `capacity` jobs
-    /// are already waiting. Returns the job's admission id.
-    pub fn push(&mut self, tenant: &str, payload: T) -> Result<u64, QueueFull> {
-        if self.heap.len() >= self.capacity {
-            return Err(QueueFull {
-                capacity: self.capacity,
-            });
+    /// Bounds `tenant` to at most `limit` in-flight jobs (queued or
+    /// executing). Takes effect for jobs admitted after the call; `0`
+    /// refuses every submission from the tenant.
+    pub fn set_max_inflight(&mut self, tenant: &str, limit: usize) {
+        self.max_inflight.insert(tenant.to_owned(), limit);
+    }
+
+    /// The tenant's configured in-flight bound, if any.
+    pub fn max_inflight(&self, tenant: &str) -> Option<usize> {
+        self.max_inflight.get(tenant).copied()
+    }
+
+    /// Jobs the tenant currently has in flight (queued or executing).
+    pub fn inflight(&self, tenant: &str) -> usize {
+        self.inflight.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// Marks one of the tenant's in-flight jobs finished, freeing quota.
+    /// Callers pair every dispatched-and-completed job with exactly one
+    /// release; removed (cancelled) jobs release implicitly.
+    pub fn release(&mut self, tenant: &str) {
+        if let Some(n) = self.inflight.get_mut(tenant) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.inflight.remove(tenant);
+            }
         }
+    }
+
+    /// Admits a job, or refuses explicitly: [`AdmitError::QuotaExceeded`]
+    /// when the tenant is at its in-flight bound,
+    /// [`AdmitError::Full`] when `capacity` jobs are already waiting.
+    /// Returns the job's admission id.
+    pub fn push(&mut self, tenant: &str, payload: T) -> Result<u64, AdmitError> {
+        if let Some(&limit) = self.max_inflight.get(tenant) {
+            if self.inflight(tenant) >= limit {
+                return Err(AdmitError::QuotaExceeded {
+                    tenant: tenant.to_owned(),
+                    limit,
+                });
+            }
+        }
+        if self.heap.len() >= self.capacity {
+            return Err(AdmitError::Full(QueueFull {
+                capacity: self.capacity,
+            }));
+        }
+        *self.inflight.entry(tenant.to_owned()).or_insert(0) += 1;
         let start = self
             .tenant_vft
             .get(tenant)
@@ -160,10 +239,39 @@ impl<T> FairQueue<T> {
     }
 
     /// Dispatches the next job in weighted-fair order, advancing the
-    /// virtual clock to its finish time.
+    /// virtual clock to its finish time. The job stays in flight for
+    /// quota purposes until [`FairQueue::release`].
     pub fn pop(&mut self) -> Option<Dispatched<T>> {
         let entry = self.heap.pop()?;
         self.virtual_now = self.virtual_now.max(entry.vft);
+        Some(Dispatched {
+            id: entry.id,
+            tenant: entry.tenant,
+            payload: entry.payload,
+        })
+    }
+
+    /// Removes a still-queued job by admission id, returning it (with its
+    /// quota released) — the cancellation path. `None` when the id was
+    /// already dispatched, already removed, or never admitted. The
+    /// virtual clocks are left untouched: the tenant's later jobs keep
+    /// the finish tags they were admitted with, so cancellation cannot
+    /// be used to jump the fair-share line.
+    pub fn remove(&mut self, id: u64) -> Option<Dispatched<T>> {
+        if !self.heap.iter().any(|e| e.id == id) {
+            return None;
+        }
+        let mut removed = None;
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        for entry in entries {
+            if entry.id == id {
+                removed = Some(entry);
+            } else {
+                self.heap.push(entry);
+            }
+        }
+        let entry = removed?;
+        self.release(&entry.tenant);
         Some(Dispatched {
             id: entry.id,
             tenant: entry.tenant,
@@ -185,10 +293,69 @@ mod tests {
         let mut q = FairQueue::new(2, 1);
         assert_eq!(q.push("a", ()), Ok(0));
         assert_eq!(q.push("a", ()), Ok(1));
-        assert_eq!(q.push("b", ()), Err(QueueFull { capacity: 2 }));
+        assert_eq!(
+            q.push("b", ()),
+            Err(AdmitError::Full(QueueFull { capacity: 2 }))
+        );
         assert_eq!(q.len(), 2);
         q.pop().unwrap();
         assert_eq!(q.push("b", ()), Ok(2), "capacity freed by dispatch");
+    }
+
+    #[test]
+    fn quota_bounds_inflight_until_release() {
+        let mut q = FairQueue::new(16, 1);
+        q.set_max_inflight("capped", 2);
+        assert_eq!(q.push("capped", ()), Ok(0));
+        assert_eq!(q.push("capped", ()), Ok(1));
+        assert_eq!(
+            q.push("capped", ()),
+            Err(AdmitError::QuotaExceeded {
+                tenant: "capped".to_owned(),
+                limit: 2
+            })
+        );
+        // Other tenants are unaffected by a sibling's quota.
+        assert_eq!(q.push("free", ()), Ok(2));
+        // Dispatch alone does NOT free quota: the job is executing.
+        q.pop().unwrap();
+        assert_eq!(q.inflight("capped"), 2);
+        assert!(matches!(
+            q.push("capped", ()),
+            Err(AdmitError::QuotaExceeded { .. })
+        ));
+        // Completion releases it.
+        q.release("capped");
+        assert_eq!(q.inflight("capped"), 1);
+        assert_eq!(q.push("capped", ()), Ok(3));
+    }
+
+    #[test]
+    fn zero_quota_refuses_every_submission() {
+        let mut q = FairQueue::new(16, 1);
+        q.set_max_inflight("banned", 0);
+        assert!(matches!(
+            q.push("banned", ()),
+            Err(AdmitError::QuotaExceeded { limit: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn remove_pulls_queued_job_and_frees_quota() {
+        let mut q = FairQueue::new(16, 1);
+        q.set_max_inflight("t", 2);
+        let a = q.push("t", 'a').unwrap();
+        let b = q.push("t", 'b').unwrap();
+        let removed = q.remove(a).expect("still queued");
+        assert_eq!((removed.id, removed.payload), (a, 'a'));
+        assert_eq!(q.inflight("t"), 1, "cancellation releases quota");
+        assert!(q.remove(a).is_none(), "double remove is None");
+        // Quota freed by the removal admits a replacement.
+        assert_eq!(q.push("t", 'c'), Ok(2));
+        // Dispatched jobs can no longer be removed.
+        let next = q.pop().unwrap();
+        assert_eq!(next.id, b, "removal left the heap order intact");
+        assert!(q.remove(b).is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::sync::Arc;
 
 use crate::core::{
     Adversary, Behavior, Cluster, ClusterBft, ExecutorConfig, JobConfig, ParallelExecutor, Record,
-    Replication, Value, VpPolicy,
+    Replication, Value, VerifyMode, VpPolicy,
 };
 use crate::dataflow::Script;
 use crate::mapreduce::data_plane::{self, DataPlaneSnapshot};
@@ -64,6 +64,13 @@ pub struct CliOptions {
     /// engine default (1024); `Some(0)` forces row-at-a-time execution.
     /// Host-side only: digests and verdicts are identical for any value.
     pub batch_size: Option<usize>,
+    /// Verification tier for the `--threads` path: full replication,
+    /// single-run spot-check sampling, or hybrid (sample, escalate to
+    /// replication on suspicion).
+    pub verify_mode: VerifyMode,
+    /// Fraction of completed tasks the spot-checker re-executes in the
+    /// sample/hybrid tiers. `None` keeps the executor default.
+    pub sample_rate: Option<f64>,
     /// Print the instrumented plan in Graphviz dot and exit.
     pub emit_dot: bool,
     /// Rows of each output to print.
@@ -101,6 +108,8 @@ impl Default for CliOptions {
             threads: None,
             compute_threads: None,
             batch_size: None,
+            verify_mode: VerifyMode::Replicate,
+            sample_rate: None,
             emit_dot: false,
             show_rows: 10,
             trace: None,
@@ -156,6 +165,16 @@ OPTIONS:
     --batch-size N       rows per columnar batch on the task data plane;
                          0 = row-at-a-time execution. Digests, outputs and
                          verdicts are identical for any value [default: 1024]
+    --verify-mode M      verification tier on the --threads path:
+                           replicate  f+1..3f+1 replicated execution
+                           sample     run once; a trusted spot-checker
+                                      re-executes a seeded sample of tasks
+                                      against their recorded digests
+                           hybrid     sample, escalating to full replication
+                                      on any mismatch or suspicion
+                                                        [default: replicate]
+    --sample-rate R      fraction of tasks spot-checked in the sample and
+                         hybrid tiers, in [0, 1]        [default: 0.1]
     --dot                print the plan in Graphviz dot and exit
     --show N             rows of each output to print   [default: 10]
     --trace FILE         record a Chrome-trace-format JSON trace of the run
@@ -276,6 +295,23 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             "--batch-size" => {
                 opts.batch_size = Some(checked_batch_size(&need(&mut it, "--batch-size")?)?)
             }
+            "--verify-mode" => {
+                let v = need(&mut it, "--verify-mode")?;
+                opts.verify_mode = VerifyMode::parse(&v).ok_or_else(|| {
+                    UsageError(format!(
+                        "--verify-mode wants replicate|sample|hybrid, got '{v}'"
+                    ))
+                })?;
+            }
+            "--sample-rate" => {
+                let rate: f64 = parse_num(&need(&mut it, "--sample-rate")?, "--sample-rate")?;
+                if !(0.0..=1.0).contains(&rate) {
+                    return Err(UsageError(format!(
+                        "--sample-rate must be within [0, 1], got {rate}"
+                    )));
+                }
+                opts.sample_rate = Some(rate);
+            }
             "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
             "--trace-summary" => opts.trace_summary = true,
             "--metrics" => opts.metrics = Some(need(&mut it, "--metrics")?),
@@ -293,6 +329,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
     }
     if opts.script.is_empty() {
         return Err(UsageError("missing script file (see --help)".to_owned()));
+    }
+    if opts.verify_mode != VerifyMode::Replicate && opts.threads.is_none() {
+        return Err(UsageError(format!(
+            "--verify-mode {} needs the parallel executor; add --threads N",
+            opts.verify_mode.name()
+        )));
     }
     opts.seed = resolve_seed(seed_flag)?;
     Ok(opts)
@@ -556,6 +598,8 @@ fn run_parallel(
         nodes: opts.nodes,
         slots_per_node: opts.slots,
         master_seed: opts.seed,
+        verify_mode: opts.verify_mode,
+        sample_rate: opts.sample_rate.unwrap_or(default_exec.sample_rate),
         ..ExecutorConfig::default()
     });
     exec.set_tracer(tracer);
@@ -586,6 +630,23 @@ fn run_parallel(
         outcome.replicas_per_round(),
         outcome.transcript().len(),
     );
+    if outcome.verify_mode() != VerifyMode::Replicate {
+        let re = outcome.reexec();
+        let _ = writeln!(
+            out,
+            "verify mode: {}   spot checks: sampled={} rerun={} confirmed={} mismatched={}{}",
+            outcome.verify_mode().name(),
+            re.sampled,
+            re.reexecuted,
+            re.confirmed,
+            re.mismatched,
+            if re.escalated {
+                "   escalated to replication"
+            } else {
+                ""
+            },
+        );
+    }
     if !outcome.deviant_replicas().is_empty() {
         let _ = writeln!(out, "deviant replicas: {:?}", outcome.deviant_replicas());
     }
@@ -900,6 +961,92 @@ mod tests {
             report.contains("0,10"),
             "each user has 10 followers: {report}"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_mode_flags_parse_and_validate() {
+        assert_eq!(
+            parse(&["s.pig"]).unwrap().verify_mode,
+            VerifyMode::Replicate
+        );
+        assert_eq!(parse(&["s.pig"]).unwrap().sample_rate, None);
+        let opts = parse(&[
+            "s.pig",
+            "--threads",
+            "2",
+            "--verify-mode",
+            "hybrid",
+            "--sample-rate",
+            "0.25",
+        ])
+        .unwrap();
+        assert_eq!(opts.verify_mode, VerifyMode::Hybrid);
+        assert_eq!(opts.sample_rate, Some(0.25));
+        assert_eq!(
+            parse(&["s.pig", "--threads", "2", "--verify-mode", "sample"])
+                .unwrap()
+                .verify_mode,
+            VerifyMode::Sample
+        );
+        // replicate never needs --threads.
+        assert!(parse(&["s.pig", "--verify-mode", "replicate"]).is_ok());
+
+        let err = parse(&["s.pig", "--verify-mode", "sample"]).unwrap_err();
+        assert!(err.0.contains("add --threads"), "{err}");
+        let err = parse(&["s.pig", "--verify-mode", "spotty"]).unwrap_err();
+        assert!(err.0.contains("replicate|sample|hybrid"), "{err}");
+        let err = parse(&["s.pig", "--sample-rate", "1.5"]).unwrap_err();
+        assert!(err.0.contains("within [0, 1]"), "{err}");
+        let err = parse(&["s.pig", "--sample-rate", "-0.1"]).unwrap_err();
+        assert!(err.0.contains("within [0, 1]"), "{err}");
+        assert!(parse(&["s.pig", "--sample-rate", "lots"]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_sample_mode_run_from_files() {
+        let dir = std::env::temp_dir().join(format!("cbft_cli_sample_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let lines: Vec<String> = (0..50).map(|i| format!("{},{}", i % 5, i)).collect();
+        std::fs::write(&data, lines.join("\n")).unwrap();
+
+        let opts = parse(&[
+            script.to_str().unwrap(),
+            "--input",
+            &format!("edges={}", data.to_str().unwrap()),
+            "--threads",
+            "2",
+            "--verify-mode",
+            "sample",
+            "--sample-rate",
+            "1.0",
+            "--health-report",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let report = run(&opts).unwrap();
+        assert!(report.starts_with("VERIFIED"), "{report}");
+        assert!(report.contains("replicas per round: [1]"), "{report}");
+        assert!(report.contains("verify mode: sample"), "{report}");
+        assert!(report.contains("mismatched=0"), "{report}");
+        assert!(!report.contains("escalated"), "clean run never escalates");
+        assert!(report.contains("== counts (5 records) =="), "{report}");
+        assert!(
+            report.contains("verification tier (sampled partial re-execution):"),
+            "{report}"
+        );
+        assert!(report.contains("mode=sample"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -40,6 +40,8 @@ pub struct DaemonOptions {
     pub default_weight: u64,
     /// Per-tenant fair-share weights (`--weight TENANT=W`).
     pub weights: Vec<(String, u64)>,
+    /// Per-tenant in-flight job quotas (`--max-inflight TENANT=N`).
+    pub max_inflight: Vec<(String, usize)>,
     /// Replica worker threads per job.
     pub threads: usize,
     /// Fault bound `f` per job.
@@ -74,6 +76,7 @@ impl Default for DaemonOptions {
             compute_threads: 1,
             default_weight: 1,
             weights: Vec::new(),
+            max_inflight: Vec::new(),
             threads: 2,
             f: 1,
             replication: Replication::Optimistic,
@@ -107,6 +110,9 @@ OPTIONS:
                          0 = one thread per host core      [default: 1]
     --weight TENANT=W    fair-share weight for one tenant  [default: 1]
     --default-weight W   weight for unlisted tenants       [default: 1]
+    --max-inflight TENANT=N  cap on a tenant's queued+executing jobs;
+                         excess submissions are rejected with an explicit
+                         quota error (cbftd retries them politely)
     --threads N          replica worker threads per job    [default: 2]
     --f N                fault bound f per job             [default: 1]
     --replication R      optimistic | quorum | full | an integer ≥ 1
@@ -181,6 +187,16 @@ pub fn parse_daemon_args<I: IntoIterator<Item = String>>(
                     .ok_or_else(|| UsageError(format!("--weight wants TENANT=W, got '{v}'")))?;
                 let w = positive(parse_num::<usize>(w, "--weight")?, "--weight")? as u64;
                 opts.weights.push((tenant.to_owned(), w));
+            }
+            "--max-inflight" => {
+                let v = need(&mut it, "--max-inflight")?;
+                let (tenant, n) = v.split_once('=').ok_or_else(|| {
+                    UsageError(format!("--max-inflight wants TENANT=N, got '{v}'"))
+                })?;
+                // A zero quota would make the polite retry loop below spin
+                // forever; reject it at parse time.
+                let n = positive(parse_num(n, "--max-inflight")?, "--max-inflight")?;
+                opts.max_inflight.push((tenant.to_owned(), n));
             }
             "--threads" => {
                 opts.threads = positive(
@@ -366,6 +382,7 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
         compute_threads: opts.compute_threads,
         default_weight: opts.default_weight,
         weights: opts.weights.clone(),
+        max_inflight: opts.max_inflight.clone(),
         metrics: metrics.clone(),
     });
 
@@ -375,6 +392,7 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
     let started = Instant::now();
     let mut handles = Vec::with_capacity(lines.len());
     let mut backpressure = 0u64;
+    let mut quota_waits = 0u64;
     for (lineno, line) in &lines {
         let spec = load_job(opts, line).map_err(|e| format!("jobs line {lineno}: {e}"))?;
         let handle = loop {
@@ -384,7 +402,13 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
                     backpressure += 1;
                     std::thread::sleep(Duration::from_micros(500));
                 }
-                SubmitOutcome::Rejected(r) => {
+                // In-flight quota slots free up as the tenant's earlier
+                // jobs finish, so these are also worth waiting out.
+                SubmitOutcome::Rejected(RejectReason::QuotaExceeded { .. }) => {
+                    quota_waits += 1;
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                SubmitOutcome::Rejected(r @ RejectReason::ShuttingDown) => {
                     return Err(format!("jobs line {lineno}: submission rejected: {r}").into())
                 }
             }
@@ -430,7 +454,7 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
     let _ = writeln!(
         out,
         "\n{} jobs in {:.2}s ({:.1} jobs/s): {verified} verified, {failed} errored, \
-         {backpressure} queue-full retries absorbed",
+         {backpressure} queue-full retries absorbed, {quota_waits} quota waits",
         results.len(),
         elapsed.as_secs_f64(),
         results.len() as f64 / secs,
@@ -478,6 +502,8 @@ mod tests {
             "acme=3",
             "--weight",
             "beta=1",
+            "--max-inflight",
+            "acme=2",
             "--threads",
             "2",
             "--replication",
@@ -494,6 +520,7 @@ mod tests {
             opts.weights,
             vec![("acme".to_owned(), 3), ("beta".to_owned(), 1)]
         );
+        assert_eq!(opts.max_inflight, vec![("acme".to_owned(), 2)]);
         assert_eq!(opts.replication, Replication::Quorum);
         assert_eq!(opts.metrics.as_deref(), Some("m.prom"));
         assert!(opts.health_report);
@@ -522,6 +549,10 @@ mod tests {
                 "--node-slots must be at least 1",
             ),
             (&["--weight", "a=0"][..], "--weight must be at least 1"),
+            (
+                &["--max-inflight", "a=0"][..],
+                "--max-inflight must be at least 1",
+            ),
         ] {
             let err = parse(args).unwrap_err();
             assert!(err.0.contains(needle), "{args:?}: {err}");
@@ -614,6 +645,8 @@ mod tests {
             "3",
             "--weight",
             "acme=2",
+            "--max-inflight",
+            "acme=1",
             "--metrics",
             prom.to_str().unwrap(),
             "--health-report",
@@ -628,6 +661,7 @@ mod tests {
         }
         assert_eq!(report.matches("VERIFIED").count(), 6, "{report}");
         assert!(report.contains("6 jobs in"), "{report}");
+        assert!(report.contains("quota waits"), "{report}");
         assert!(report.contains("tenant acme: 2/2 verified"), "{report}");
         assert!(report.contains("job server:"), "{report}");
         assert!(report.contains("admitted=6"), "{report}");

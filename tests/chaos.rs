@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use clusterbft_repro::core::{
     Behavior, Cluster, ClusterBft, ExecutorConfig, JobConfig, ParallelExecutor, Record,
-    Replication, Value, VpPolicy,
+    Replication, Value, VerifyMode, VpPolicy,
 };
 use clusterbft_repro::dataflow::interp::interpret;
 use clusterbft_repro::dataflow::Script;
@@ -424,4 +424,68 @@ fn colluding_majority_defeats_verification_by_design() {
         reference.outputs()["out0"].as_slice(),
         "…and what they agree on is wrong, which is why f must bound collusion"
     );
+}
+
+/// The oracle case for the sampled tier: a commission fault that blind
+/// single execution (one replica, f = 0 — no replication tax, but also no
+/// spot-checks) VERIFIES and publishes corrupt, because the digest
+/// "quorum" is the corrupt replica agreeing with itself. The hybrid tier
+/// pays the same up-front cost — one probe replica — but deterministically
+/// re-executes sampled tasks against the probe's recorded chunk digests,
+/// sees the mismatch, escalates onto the ordinary replication ladder,
+/// recovers the reference answer and names the faulty replica.
+#[test]
+fn hybrid_spot_checks_catch_what_blind_single_execution_publishes() {
+    let records: Vec<Record> = (0..200)
+        .map(|i| Record::new(vec![Value::Int(i % 13), Value::Int(i * 7 % 101)]))
+        .collect();
+    let plan = Script::parse(SCRIPTS[0]).unwrap().into_plan();
+    let reference = interpret(&plan, &HashMap::from([("in".to_owned(), records.clone())])).unwrap();
+    let mut truth = reference.outputs()["out0"].clone();
+    truth.sort();
+
+    // Blind baseline: replicate mode with a one-rung ladder and f = 0.
+    let mut blind = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 0,
+        escalation: vec![1],
+        master_seed: 41,
+        ..ExecutorConfig::default()
+    });
+    blind.load_input("in", records.clone()).unwrap();
+    blind.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    let corrupt = blind.run_script(SCRIPTS[0]).unwrap();
+    assert!(corrupt.verified(), "one replica always agrees with itself");
+    let mut published = corrupt.output("out0").unwrap().to_vec();
+    published.sort();
+    assert_ne!(published, truth, "…and what it published is corrupt");
+
+    // Hybrid tier: the same single probe replica up front, every
+    // completed task spot-checked (rate 1.0) before anything is trusted.
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 41,
+        verify_mode: VerifyMode::Hybrid,
+        sample_rate: 1.0,
+        ..ExecutorConfig::default()
+    });
+    exec.load_input("in", records).unwrap();
+    exec.inject_fault(0, Behavior::Commission { probability: 1.0 });
+    let outcome = exec.run_script(SCRIPTS[0]).unwrap();
+    let re = outcome.reexec();
+    assert!(re.mismatched > 0, "the spot-checker sees the corruption");
+    assert!(
+        re.escalated,
+        "suspicion escalates to the replication ladder"
+    );
+    assert!(outcome.verified(), "…which recovers a real quorum");
+    assert!(
+        outcome.deviant_replicas().contains(&0),
+        "the probe replica is named"
+    );
+    let mut ours = outcome.output("out0").unwrap().to_vec();
+    ours.sort();
+    assert_eq!(ours, truth, "the published result is the reference answer");
 }

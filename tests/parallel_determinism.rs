@@ -267,3 +267,98 @@ fn sim_metric_snapshots_identical_across_thread_matrix() {
         }
     }
 }
+
+// --- sampled partial re-execution (spot-check tier) ---------------------
+
+use clusterbft_repro::core::VerifyMode;
+
+fn run_mode(
+    mode: VerifyMode,
+    sample_rate: f64,
+    threads: usize,
+    compute_threads: usize,
+    fault: Option<(usize, Behavior)>,
+) -> ParallelOutcome {
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads,
+        compute_threads,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed: 2013,
+        verify_mode: mode,
+        sample_rate,
+        ..ExecutorConfig::default()
+    });
+    exec.load_input("users", users(40)).unwrap();
+    exec.load_input("clicks", clicks(600)).unwrap();
+    if let Some((uid, behavior)) = fault {
+        exec.inject_fault(uid, behavior);
+    }
+    exec.run_script(SCRIPT).unwrap()
+}
+
+#[test]
+fn sampled_runs_are_interleaving_independent() {
+    // The sampling decision is a pure function of (seed, task uid), so
+    // the spot-checked set — and with it the verdict, the re-execution
+    // counters and the serialized outcome — must be byte-identical for
+    // every worker-thread × compute-pool-thread combination.
+    for mode in [VerifyMode::Sample, VerifyMode::Hybrid] {
+        let baseline = run_mode(mode, 0.5, 1, 1, None);
+        assert!(baseline.verified(), "{mode:?} fault-free run verifies");
+        assert_eq!(baseline.verify_mode(), mode);
+        assert!(
+            baseline.reexec().sampled > 0,
+            "rate 0.5 must sample something"
+        );
+        let canon = serde_json::to_string(&baseline).unwrap();
+        for threads in [2, 8] {
+            for compute_threads in [1, 4] {
+                let wide = run_mode(mode, 0.5, threads, compute_threads, None);
+                assert_eq!(
+                    canon,
+                    serde_json::to_string(&wide).unwrap(),
+                    "{mode:?} threads={threads} compute={compute_threads}: \
+                     sampled outcome diverged"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hybrid_escalation_is_interleaving_independent() {
+    // Escalation replays the probe transcript into a fresh verifier and
+    // walks the ordinary ladder; the whole recovery must survive any
+    // interleaving bit-for-bit.
+    let fault = Some((0, Behavior::Commission { probability: 1.0 }));
+    let baseline = run_mode(VerifyMode::Hybrid, 1.0, 1, 1, fault);
+    assert!(baseline.verified(), "escalation recovers the output");
+    assert!(baseline.reexec().escalated);
+    assert!(baseline.reexec().mismatched > 0);
+    assert!(baseline.deviant_replicas().contains(&0));
+    let canon = serde_json::to_string(&baseline).unwrap();
+    for threads in [2, 8] {
+        for compute_threads in [1, 4] {
+            let wide = run_mode(VerifyMode::Hybrid, 1.0, threads, compute_threads, fault);
+            assert_eq!(
+                canon,
+                serde_json::to_string(&wide).unwrap(),
+                "threads={threads} compute={compute_threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sample_mode_matches_replicated_outputs_when_healthy() {
+    // The whole point of the tier: same verdict, same bytes, a quarter
+    // of the replicas.
+    let replicated = run(4, 2, None);
+    for mode in [VerifyMode::Sample, VerifyMode::Hybrid] {
+        let sampled = run_mode(mode, 0.25, 2, 1, None);
+        assert_eq!(sampled.verified(), replicated.verified());
+        assert_eq!(sampled.outputs(), replicated.outputs());
+        assert_eq!(sampled.replicas_per_round(), &[1]);
+    }
+}

@@ -703,3 +703,60 @@ proptest! {
         prop_assert_eq!(via_batch, via_rows);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Sampled partial re-execution: fault-free verdict equivalence
+// ---------------------------------------------------------------------------
+
+use clusterbft_repro::core::{ExecutorConfig, ParallelExecutor, ParallelOutcome, VerifyMode};
+
+fn reexec_run(mode: VerifyMode, sample_rate: f64, master_seed: u64) -> ParallelOutcome {
+    const SCRIPT: &str = "
+        a = LOAD 'edges' AS (u, f);
+        g = GROUP a BY u;
+        c = FOREACH g GENERATE group, COUNT(a) AS n;
+        STORE c INTO 'counts';
+    ";
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2, 3, 4],
+        master_seed,
+        verify_mode: mode,
+        sample_rate,
+        ..ExecutorConfig::default()
+    });
+    let edges: Vec<Record> = (0..120)
+        .map(|i| Record::new(vec![Value::Int(i % 6), Value::Int(i)]))
+        .collect();
+    exec.load_input("edges", edges).unwrap();
+    exec.run_script(SCRIPT).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On fault-free runs the spot-check tiers may never flip the
+    /// verdict: for any seed and any sampling rate, sample and hybrid
+    /// agree with full replication on both the verdict and the published
+    /// bytes, every re-executed task confirms, and hybrid never
+    /// escalates.
+    #[test]
+    fn sampling_never_flips_fault_free_verdicts(
+        master_seed in 0u64..1_000_000,
+        sample_rate in 0.0f64..=1.0,
+    ) {
+        let replicated = reexec_run(VerifyMode::Replicate, 0.0, master_seed);
+        prop_assert!(replicated.verified());
+        for mode in [VerifyMode::Sample, VerifyMode::Hybrid] {
+            let sampled = reexec_run(mode, sample_rate, master_seed);
+            prop_assert_eq!(sampled.verified(), replicated.verified());
+            prop_assert_eq!(sampled.outputs(), replicated.outputs());
+            let re = sampled.reexec();
+            prop_assert_eq!(re.mismatched, 0);
+            prop_assert_eq!(re.reexecuted, re.confirmed);
+            prop_assert!(!re.escalated, "no escalation without suspicion");
+            prop_assert_eq!(sampled.replicas_per_round(), &[1][..]);
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! JSON serialization unchanged.
 
 use clusterbft_repro::core::{
-    Adversary, ExecutorConfig, JobConfig, Record, Replication, StreamedReport, Value, VpPolicy,
+    Adversary, ExecutorConfig, JobConfig, Record, ReexecSummary, Replication, StreamedReport,
+    Value, VerifyMode, VpPolicy,
 };
 use clusterbft_repro::dataflow::compile::{JobId, Site};
 use clusterbft_repro::dataflow::{LogicalPlan, Script, VertexId};
@@ -150,10 +151,37 @@ fn executor_configs_round_trip() {
         nodes: 32,
         slots_per_node: 9,
         master_seed: 0xDEAD_BEEF,
+        verify_mode: VerifyMode::Hybrid,
+        sample_rate: 0.25,
         ..ExecutorConfig::default()
     };
     let back = round_trip(&config);
     assert_eq!(back, config);
     // Derived behavior survives too, not just field equality.
     assert_eq!(back.escalation_targets(), config.escalation_targets());
+}
+
+#[test]
+fn verification_tier_types_round_trip() {
+    // A persisted config must restore the exact tier, or a replayed run
+    // would verify under different rules than the one it documents.
+    for mode in [
+        VerifyMode::Replicate,
+        VerifyMode::Sample,
+        VerifyMode::Hybrid,
+    ] {
+        assert_eq!(round_trip(&mode), mode);
+        // The CLI flag spelling is the stable external name.
+        assert_eq!(VerifyMode::parse(mode.name()), Some(mode));
+    }
+
+    let summary = ReexecSummary {
+        sampled: 12,
+        reexecuted: 12,
+        confirmed: 11,
+        mismatched: 1,
+        records_reexecuted: 4_800,
+        escalated: true,
+    };
+    assert_eq!(round_trip(&summary), summary);
 }
