@@ -159,6 +159,16 @@ fn commentary(id: &str) -> &'static str {
                               label hash); the pipeline rows show both vanish inside a \
                               real run."
         }
+        "flight_overhead" => {
+            "Observability cost check for the always-on flight recorder: \
+                              every CLI and cbftd run carries the recorder (its \
+                              fixed-memory rings are the forensic context when an \
+                              anomaly fires), so a real pipeline is priced with a \
+                              fully disabled tracer vs the recorder attached and the \
+                              binary asserts the always-on overhead stays under 2%. \
+                              The micro row prices one ring push — the recorder's \
+                              marginal cost per event the engine emits."
+        }
         "chaos_campaign" => {
             "Campaign gate: a thousand seeded scenarios drive the real \
                             engine and every verdict is checked against the injected \
@@ -218,6 +228,7 @@ fn main() {
         "mismatch_localization",
         "verification_lag",
         "metrics_overhead",
+        "flight_overhead",
         "chaos_campaign",
         "server_load",
         "reexec_frontier",

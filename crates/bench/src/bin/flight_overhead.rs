@@ -1,0 +1,114 @@
+//! Always-on cost of the flight recorder.
+//!
+//! The flight recorder is attached to **every** CLI and `cbftd` run —
+//! its fixed-memory rings are the forensic context when an anomaly
+//! fires — so its price is paid even when no trace flag is set. This
+//! harness pins that price: a real `ParallelExecutor` pipeline runs
+//! twice, once with a fully disabled tracer (no events constructed at
+//! all) and once with the always-on recorder attached, and the run
+//! **asserts** the recorder costs less than 2% of wall time.
+//!
+//! A micro row prices one ring push (event construction excluded), the
+//! recorder's marginal cost per event the engine emits.
+//!
+//! Results land in `bench_results/flight_overhead.json`.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cbft_bench::{pig_like_cost, ExperimentRecord};
+use cbft_trace::{FlightRecorder, TraceEvent, TraceSink, Tracer};
+use cbft_workloads::twitter;
+use clusterbft::{Adversary, ExecutorConfig, ParallelExecutor, VpPolicy};
+
+/// Pipeline measurement passes; the best (minimum) is kept.
+const PASSES: usize = 5;
+/// Ring pushes for the micro row.
+const PUSHES: u64 = 2_000_000;
+/// Always-on overhead ceiling, percent.
+const MAX_OVERHEAD_PCT: f64 = 2.0;
+
+/// Wall seconds of one full parallel run with the given tracer.
+fn pipeline_run(tracer: Tracer) -> f64 {
+    let workload = twitter::follower_analysis(3, 30_000);
+    let mut exec = ParallelExecutor::new(ExecutorConfig {
+        threads: 2,
+        expected_failures: 1,
+        escalation: vec![2],
+        vp_policy: VpPolicy::Marked(1),
+        adversary: Adversary::Weak,
+        map_split_records: 5_000,
+        nodes: 8,
+        slots_per_node: 3,
+        master_seed: 5,
+        cost: pig_like_cost(),
+        ..ExecutorConfig::default()
+    });
+    exec.set_tracer(tracer);
+    exec.load_input(workload.input_name, workload.records.clone())
+        .expect("fresh storage");
+    let start = Instant::now();
+    let outcome = exec.run_script(workload.script).expect("run verifies");
+    let wall = start.elapsed().as_secs_f64();
+    assert!(outcome.verified());
+    wall
+}
+
+/// ns per ring push: the recorder's cost once an event exists.
+fn push_cost() -> f64 {
+    let rec = FlightRecorder::with_default_capacity();
+    let start = Instant::now();
+    for i in 0..PUSHES {
+        let event = TraceEvent::instant("bench", "flight")
+            .on((i & 7) as u32, 0)
+            .at_sim(i)
+            .seq(i);
+        rec.record(black_box(event));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    black_box(rec.drain());
+    wall / PUSHES as f64 * 1e9
+}
+
+fn main() {
+    // Warm-up pass of each variant.
+    black_box(pipeline_run(Tracer::disabled()));
+    black_box(pipeline_run(Tracer::new(Arc::new(
+        FlightRecorder::with_default_capacity(),
+    ))));
+
+    let mut base = f64::INFINITY;
+    let mut flight = f64::INFINITY;
+    for _ in 0..PASSES {
+        base = base.min(pipeline_run(Tracer::disabled()));
+        flight = flight.min(pipeline_run(Tracer::new(Arc::new(
+            FlightRecorder::with_default_capacity(),
+        ))));
+    }
+    let overhead_pct = (flight / base - 1.0) * 100.0;
+    let push_ns = push_cost();
+
+    let mut rec = ExperimentRecord::new(
+        "flight_overhead",
+        "Always-on cost of the flight recorder vs a disabled tracer",
+        &format!(
+            "pipeline: follower_analysis 30k records, 2 replicas, best of \
+             {PASSES} passes per variant; micro: {PUSHES} ring pushes. The \
+             always-on overhead is asserted <{MAX_OVERHEAD_PCT}%."
+        ),
+    );
+    rec.set_flag("cpu_bound", true);
+    rec.push("pipeline run, tracer disabled", "s", None, base);
+    rec.push("pipeline run, flight recorder", "s", None, flight);
+    rec.push("always-on overhead", "%", None, overhead_pct);
+    rec.push("ring push cost", "ns/event", None, push_ns);
+    rec.finish();
+
+    assert!(
+        overhead_pct < MAX_OVERHEAD_PCT,
+        "always-on flight-recorder overhead {overhead_pct:.3}% breaches \
+         the {MAX_OVERHEAD_PCT}% budget"
+    );
+    println!("   always-on overhead {overhead_pct:.3}% < {MAX_OVERHEAD_PCT}% budget: OK");
+}

@@ -659,6 +659,14 @@ impl ParallelExecutor {
             .map(|c| suspicion.band(c.node))
             .max_by_key(|b| b.rank())
             .unwrap_or(SuspicionBand::None);
+        if suspect_band.rank() >= SuspicionBand::Med.rank() && self.tracer.enabled() {
+            self.tracer.emit(
+                TraceEvent::instant("suspicion_band_crossed", "executor")
+                    .on(COORDINATOR_PID, 0)
+                    .seq(1)
+                    .arg("band", suspect_band.rank()),
+            );
+        }
 
         // A single report per key suffices in the probe round (the
         // spot-checks, not sibling replicas, carry the assurance).
@@ -701,6 +709,14 @@ impl ParallelExecutor {
         }
 
         if !escalate {
+            if published.is_none() && self.tracer.enabled() {
+                self.tracer.emit(
+                    TraceEvent::instant("output_withheld", "executor")
+                        .on(COORDINATOR_PID, 0)
+                        .seq(2)
+                        .arg("mismatched", reexec.mismatched),
+                );
+            }
             let mut outcome = self.finish_outcome(state, published, mode, reexec);
             if reexec.mismatched > 0 {
                 // The probe replica is contradicted by trusted

@@ -136,6 +136,19 @@ pub mod names {
     pub const CAMPAIGN_SUSPICION_BAND: &str = "cbft_campaign_suspicion_band_total";
     /// Counter: faults injected across all scenarios.
     pub const CAMPAIGN_FAULTS_INJECTED: &str = "cbft_campaign_faults_injected_total";
+
+    // --- flight recorder (cbft-trace / clusterbft-repro) ----------------
+
+    /// Counter: trace events captured by the always-on flight recorder
+    /// (wall domain — event arrival order is host-scheduling dependent).
+    pub const FLIGHT_EVENTS: &str = "cbft_flight_events_total";
+    /// Counter: events evicted from full flight-recorder rings.
+    pub const FLIGHT_EVICTED: &str = "cbft_flight_evicted_total";
+    /// Counter, labels `{kind}`: anomalies detected by the flight
+    /// recorder's detector (mismatch, escalation, withheld, ...).
+    pub const FLIGHT_ANOMALIES: &str = "cbft_flight_anomalies_total";
+    /// Counter: forensic bundles written to `--flight-dir`.
+    pub const FLIGHT_BUNDLES: &str = "cbft_flight_bundles_total";
 }
 
 /// Ordered suspicion band names, rank 0..=3.

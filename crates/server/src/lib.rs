@@ -71,7 +71,8 @@ use std::time::Instant;
 
 use cbft_dataflow::Record;
 use cbft_mapreduce::{Behavior, ComputePool};
-use cbft_metrics::{names as metric_names, Domain, LabelValue, Metrics};
+use cbft_metrics::{names as metric_names, Domain, LabelValue, Metrics, Snapshot};
+use cbft_trace::Tracer;
 use clusterbft::{ExecutorConfig, ParallelExecutor, ParallelOutcome, SubmitError};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
@@ -102,6 +103,16 @@ pub struct ServerConfig {
     /// Metrics hub receiving the `cbft_server_*` series. Disabled by
     /// default.
     pub metrics: Metrics,
+    /// Tracer shared by every slot worker. Each job records through a
+    /// [`cbft_trace::ScopedSink`] keyed by its admission id, so
+    /// co-tenant events land on disjoint pid bands and never interleave
+    /// on one track. Disabled by default.
+    pub tracer: Tracer,
+    /// Give each job a private metrics hub and deliver its sim-domain
+    /// snapshot on [`JobResult::snapshot`]. Per-job isolation keeps
+    /// co-tenant forensics (suspicion bands, divergence gauges) from
+    /// colliding in the shared server hub. Off by default.
+    pub job_metrics: bool,
 }
 
 impl Default for ServerConfig {
@@ -114,6 +125,8 @@ impl Default for ServerConfig {
             weights: Vec::new(),
             max_inflight: Vec::new(),
             metrics: Metrics::disabled(),
+            tracer: Tracer::disabled(),
+            job_metrics: false,
         }
     }
 }
@@ -314,6 +327,8 @@ impl JobHandle {
                 queue_us: 0,
                 exec_us: 0,
                 total_us: 0,
+                timeline: JobTimeline::default(),
+                snapshot: None,
             },
         }
     }
@@ -344,7 +359,12 @@ impl JobHandle {
                 .metrics
                 .add(Domain::Wall, metric_names::SERVER_CANCELLED, &[], 1);
         }
-        let Pending { tx, submitted, .. } = dispatched.payload;
+        let Pending {
+            tx,
+            submitted,
+            admitted_us,
+            ..
+        } = dispatched.payload;
         let waited = submitted.elapsed().as_micros() as u64;
         let _ = tx.send(JobResult {
             id: self.id,
@@ -353,9 +373,30 @@ impl JobHandle {
             queue_us: waited,
             exec_us: 0,
             total_us: waited,
+            timeline: JobTimeline {
+                admitted_us,
+                dispatched_us: 0,
+                completed_us: admitted_us + waited,
+            },
+            snapshot: None,
         });
         true
     }
+}
+
+/// Per-job lifecycle timestamps, in wall microseconds since the server
+/// started. `0` marks a stage the job never reached (e.g. dispatch for
+/// a cancelled job). Together with the durations on [`JobResult`] this
+/// is the admit → queue → execute → verify timeline operators read off
+/// the per-job result lines and the per-tenant summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobTimeline {
+    /// When the admission queue accepted the job.
+    pub admitted_us: u64,
+    /// When a slot worker picked the job up (queueing ended).
+    pub dispatched_us: u64,
+    /// When execution and verification finished.
+    pub completed_us: u64,
 }
 
 /// What one job's execution produced, with its latency breakdown.
@@ -374,6 +415,12 @@ pub struct JobResult {
     pub exec_us: u64,
     /// Wall microseconds from submission to completion.
     pub total_us: u64,
+    /// Lifecycle timestamps relative to server start.
+    pub timeline: JobTimeline,
+    /// The job's private sim-domain metrics snapshot, when the server
+    /// runs with [`ServerConfig::job_metrics`]. Deterministic per job:
+    /// co-tenants and thread counts never change it.
+    pub snapshot: Option<Snapshot>,
 }
 
 impl JobResult {
@@ -387,6 +434,8 @@ struct Pending {
     spec: JobSpec,
     tx: Sender<JobResult>,
     submitted: Instant,
+    /// µs since server start at admission (timeline origin).
+    admitted_us: u64,
 }
 
 struct State {
@@ -399,7 +448,11 @@ struct Inner {
     work_ready: Condvar,
     pool: ComputePool,
     metrics: Metrics,
+    tracer: Tracer,
     queue_depth: usize,
+    job_metrics: bool,
+    /// Timeline origin: the instant the server started.
+    epoch: Instant,
 }
 
 /// The multi-tenant job server. See the crate docs.
@@ -427,7 +480,10 @@ impl JobServer {
             work_ready: Condvar::new(),
             pool: ComputePool::with_metrics(config.compute_threads, config.metrics.clone()),
             metrics: config.metrics,
+            tracer: config.tracer,
             queue_depth: config.queue_depth,
+            job_metrics: config.job_metrics,
+            epoch: Instant::now(),
         });
         let slots = config.slots.max(1);
         let workers = (0..slots)
@@ -455,6 +511,7 @@ impl JobServer {
             spec,
             tx,
             submitted: Instant::now(),
+            admitted_us: self.inner.epoch.elapsed().as_micros() as u64,
         };
         match state.queue.push(&tenant, pending) {
             Ok(id) => {
@@ -554,12 +611,16 @@ fn worker_loop(inner: &Inner) {
             spec,
             tx,
             submitted,
+            admitted_us,
         } = dispatched.payload;
 
         let started = Instant::now();
+        let dispatched_us = inner.epoch.elapsed().as_micros() as u64;
         let queue_us = (started - submitted).as_micros() as u64;
-        let outcome = run_job(inner, spec).map_err(JobError::from);
+        let (outcome, snapshot) = run_job(inner, id, spec);
+        let outcome = outcome.map_err(JobError::from);
         let finished = Instant::now();
+        let completed_us = inner.epoch.elapsed().as_micros() as u64;
         let exec_us = (finished - started).as_micros() as u64;
         let total_us = (finished - submitted).as_micros() as u64;
 
@@ -603,22 +664,52 @@ fn worker_loop(inner: &Inner) {
             queue_us,
             exec_us,
             total_us,
+            timeline: JobTimeline {
+                admitted_us,
+                dispatched_us,
+                completed_us,
+            },
+            snapshot,
         });
     }
 }
 
 /// Executes one job in its own [`ParallelExecutor`] (private verifier
-/// and suspicion state), over the server's shared compute pool.
-fn run_job(inner: &Inner, spec: JobSpec) -> Result<ParallelOutcome, SubmitError> {
+/// and suspicion state), over the server's shared compute pool. When the
+/// server has a tracer, the job records through a per-job scoped sink so
+/// concurrently executing co-tenants write to disjoint pid bands. With
+/// [`ServerConfig::job_metrics`], the job gets a private metrics hub —
+/// its sim-domain series (suspicion bands, divergence gauges) would
+/// collide across co-tenants in a shared hub — and the second element
+/// carries the job's sim snapshot.
+fn run_job(
+    inner: &Inner,
+    id: u64,
+    spec: JobSpec,
+) -> (Result<ParallelOutcome, SubmitError>, Option<Snapshot>) {
     let mut exec = ParallelExecutor::new(spec.exec);
     exec.set_compute_pool(inner.pool.clone());
-    for (name, records) in spec.inputs {
-        exec.load_input(&name, records)?;
+    if inner.tracer.enabled() {
+        exec.set_tracer(inner.tracer.scoped(id));
     }
-    for (uid, behavior) in spec.faults {
-        exec.inject_fault(uid, behavior);
-    }
-    exec.run_script(&spec.script)
+    let hub = if inner.job_metrics {
+        let hub = Metrics::new();
+        exec.set_metrics(hub.clone());
+        Some(hub)
+    } else {
+        None
+    };
+    let outcome = (|| {
+        for (name, records) in spec.inputs {
+            exec.load_input(&name, records)?;
+        }
+        for (uid, behavior) in spec.faults {
+            exec.inject_fault(uid, behavior);
+        }
+        exec.run_script(&spec.script)
+    })();
+    let snapshot = hub.map(|h| h.snapshot().sim_only());
+    (outcome, snapshot)
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 
 mod chrome;
 mod event;
+mod flight;
 mod sink;
 mod summary;
 
@@ -31,5 +32,6 @@ pub use chrome::chrome_trace_json;
 pub use event::{
     canonicalize, ArgValue, CanonicalEvent, Phase, TraceEvent, COORDINATOR_PID, VERIFIER_PID,
 };
-pub use sink::{MemorySink, TraceSink, Tracer};
+pub use flight::{canonical_dump, EventRing, FlightRecorder};
+pub use sink::{FanoutSink, MemorySink, ScopedSink, TraceSink, Tracer, JOB_PID_STRIDE};
 pub use summary::{KeyLag, SpanStats, TraceSummary, QUORUM_EVENT};

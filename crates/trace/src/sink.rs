@@ -71,6 +71,79 @@ impl TraceSink for MemorySink {
     }
 }
 
+/// Fans one event stream out to several sinks (e.g. the always-on
+/// [`FlightRecorder`](crate::FlightRecorder) plus a full-capture
+/// [`MemorySink`] when `--trace` is on). Each downstream sink stamps its
+/// own wall clock, as usual.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// Creates a fanout over `sinks`, in delivery order.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, event: TraceEvent) {
+        if let Some((last, rest)) = self.sinks.split_last() {
+            for sink in rest {
+                sink.record(event.clone());
+            }
+            last.record(event);
+        }
+    }
+}
+
+/// Pid-track span per job under [`ScopedSink`]: each job owns this many
+/// consecutive pid values, so co-tenant traces written to one shared
+/// sink never interleave on the same track.
+pub const JOB_PID_STRIDE: u32 = 1_000;
+
+/// Scopes a shared sink to one server job: replica pids are remapped
+/// into the job's private [`JOB_PID_STRIDE`]-wide band (the coordinator
+/// and verifier tracks land on the band's two top slots) and every event
+/// gains a `job` argument. Used by the `cbftd` slot workers so traces
+/// from concurrently executing co-tenant jobs stay separable.
+pub struct ScopedSink {
+    inner: Arc<dyn TraceSink>,
+    job: u64,
+    base: u32,
+}
+
+impl ScopedSink {
+    /// Scopes `inner` to job id `job`.
+    pub fn new(inner: Arc<dyn TraceSink>, job: u64) -> Self {
+        // Bands wrap long before pid arithmetic can overflow u32; the
+        // two reserved global tracks are never produced by the remap.
+        let bands = (u32::MAX / JOB_PID_STRIDE) as u64 - 1;
+        ScopedSink {
+            inner,
+            job,
+            base: (job % bands) as u32 * JOB_PID_STRIDE,
+        }
+    }
+
+    /// The first pid of this job's band.
+    pub fn base_pid(&self) -> u32 {
+        self.base
+    }
+}
+
+impl TraceSink for ScopedSink {
+    fn record(&self, mut event: TraceEvent) {
+        event.pid = match event.pid {
+            crate::COORDINATOR_PID => self.base + JOB_PID_STRIDE - 1,
+            crate::VERIFIER_PID => self.base + JOB_PID_STRIDE - 2,
+            p => self.base + p.min(JOB_PID_STRIDE - 3),
+        };
+        event.args.push(("job", crate::ArgValue::Uint(self.job)));
+        self.inner.record(event);
+    }
+}
+
 /// The handle instrumented code holds. Cloning shares the sink.
 #[derive(Clone, Default)]
 pub struct Tracer {
@@ -108,6 +181,15 @@ impl Tracer {
     pub fn emit(&self, event: TraceEvent) {
         if let Some(sink) = &self.sink {
             sink.record(event);
+        }
+    }
+
+    /// A tracer that writes into the same sink through a job-scoped
+    /// [`ScopedSink`]; disabled tracers stay disabled.
+    pub fn scoped(&self, job: u64) -> Tracer {
+        match &self.sink {
+            Some(sink) => Tracer::new(Arc::new(ScopedSink::new(sink.clone(), job))),
+            None => Tracer::disabled(),
         }
     }
 }
@@ -150,5 +232,45 @@ mod tests {
         t.emit(TraceEvent::instant("a", "c"));
         t2.emit(TraceEvent::instant("b", "c"));
         assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_sink() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let t = Tracer::new(Arc::new(FanoutSink::new(vec![a.clone(), b.clone()])));
+        t.emit(TraceEvent::instant("x", "c"));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(a.take()[0].wall_ns > 0 || b.take()[0].wall_ns > 0);
+    }
+
+    #[test]
+    fn scoped_sink_remaps_pids_into_job_band() {
+        let inner = Arc::new(MemorySink::new());
+        let t = Tracer::new(inner.clone()).scoped(3);
+        t.emit(TraceEvent::instant("r", "c").on(2, 0));
+        t.emit(TraceEvent::instant("c", "c").on(crate::COORDINATOR_PID, 0));
+        t.emit(TraceEvent::instant("v", "c").on(crate::VERIFIER_PID, 0));
+        let events = inner.take();
+        let base = 3 * JOB_PID_STRIDE;
+        assert_eq!(events[0].pid, base + 2);
+        assert_eq!(events[1].pid, base + JOB_PID_STRIDE - 1);
+        assert_eq!(events[2].pid, base + JOB_PID_STRIDE - 2);
+        for e in &events {
+            assert!(e.args.contains(&("job", crate::ArgValue::Uint(3))));
+        }
+    }
+
+    #[test]
+    fn scoped_sinks_for_distinct_jobs_never_collide() {
+        let s1 = ScopedSink::new(Arc::new(MemorySink::new()), 1);
+        let s2 = ScopedSink::new(Arc::new(MemorySink::new()), 2);
+        assert_ne!(s1.base_pid(), s2.base_pid());
+    }
+
+    #[test]
+    fn scoped_disabled_tracer_stays_disabled() {
+        assert!(!Tracer::disabled().scoped(9).enabled());
     }
 }

@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
 
 use crate::core::{
@@ -14,9 +15,14 @@ use crate::core::{
     Replication, Value, VerifyMode, VpPolicy,
 };
 use crate::dataflow::Script;
+use crate::flight::{self, Anomaly, BundleSpec};
 use crate::mapreduce::data_plane::{self, DataPlaneSnapshot};
-use crate::metrics::{json_snapshot, prometheus_text, HealthReport, Metrics};
-use crate::trace::{chrome_trace_json, MemorySink, TraceSummary, Tracer};
+use crate::metrics::{
+    json_snapshot, names as metric_names, prometheus_text, Domain, HealthReport, Metrics, Snapshot,
+};
+use crate::trace::{
+    chrome_trace_json, FanoutSink, FlightRecorder, MemorySink, TraceSink, TraceSummary, Tracer,
+};
 
 /// Parsed command-line options for one `cbft` invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -87,6 +93,11 @@ pub struct CliOptions {
     /// Append the per-replica fault-forensics health report to the
     /// run report.
     pub health_report: bool,
+    /// Directory receiving forensic bundles when the always-on flight
+    /// recorder detects an anomaly (mismatch, escalation, withheld
+    /// output, ...). `None` still detects and reports anomalies, but
+    /// writes nothing.
+    pub flight_dir: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -117,6 +128,7 @@ impl Default for CliOptions {
             metrics: None,
             metrics_json: None,
             health_report: false,
+            flight_dir: None,
         }
     }
 }
@@ -189,6 +201,12 @@ OPTIONS:
                          digest mismatch/omission counters, suspicion band
                          trajectories, verification lag quantiles and
                          escalation round costs
+    --flight-dir DIR     write a self-contained forensic bundle under DIR
+                         when the always-on flight recorder detects an
+                         anomaly (digest mismatch, escalation, withheld
+                         output, spot-check mismatch, suspicion crossing):
+                         canonical ring events, sim metrics, health report,
+                         script+input copies and a one-shot repro command
 
 ENVIRONMENT:
     CBFT_SEED            simulation seed used when --seed is absent; the
@@ -317,6 +335,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<CliOptions,
             "--metrics" => opts.metrics = Some(need(&mut it, "--metrics")?),
             "--metrics-json" => opts.metrics_json = Some(need(&mut it, "--metrics-json")?),
             "--health-report" => opts.health_report = true,
+            "--flight-dir" => opts.flight_dir = Some(need(&mut it, "--flight-dir")?),
             "--combiners" => opts.combiners = true,
             "--optimize" => opts.optimize = true,
             "--dot" => opts.emit_dot = true,
@@ -446,6 +465,8 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
     }
 
     let mut inputs: HashMap<String, Vec<Record>> = HashMap::new();
+    // Raw input texts, retained only when a bundle could need them.
+    let mut raw_inputs: Vec<(String, String)> = Vec::new();
     for (name, path) in &opts.inputs {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read input '{name}' from '{path}': {e}"))?;
@@ -455,13 +476,16 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
             .map(parse_record)
             .collect();
         inputs.insert(name.clone(), records);
+        if opts.flight_dir.is_some() {
+            raw_inputs.push((name.clone(), text));
+        }
     }
 
     if opts.threads.is_some() {
-        return run_parallel(opts, &source, inputs);
+        return run_parallel(opts, &source, inputs, &raw_inputs);
     }
 
-    let (tracer, sink) = make_tracer(opts);
+    let (tracer, sink, flight_rec) = make_tracer(opts);
     let metrics = make_metrics(opts);
     let dp_before = data_plane::snapshot();
 
@@ -522,20 +546,118 @@ pub fn run(opts: &CliOptions) -> Result<String, Box<dyn Error>> {
             let _ = writeln!(out, "\nsuspect sets: {:?}", analyzer.suspects());
         }
     }
+    let anomalies = flight::detect_sequential_anomalies(&outcome);
+    finish_flight(
+        &mut out,
+        opts,
+        anomalies,
+        &flight_rec,
+        &metrics,
+        &source,
+        &raw_inputs,
+    )?;
     finish_trace(&mut out, opts, sink, dp_before)?;
     finish_metrics(&mut out, opts, &metrics)?;
     Ok(out)
 }
 
-/// Builds the tracer for one run: a buffering in-memory sink when either
-/// trace flag is set, the zero-cost disabled tracer otherwise.
-fn make_tracer(opts: &CliOptions) -> (Tracer, Option<Arc<MemorySink>>) {
+/// Builds the tracer for one run. The flight recorder is **always**
+/// attached — its fixed-memory rings are the forensic context when an
+/// anomaly fires — so the tracer is never disabled on the CLI path; a
+/// full-capture [`MemorySink`] is teed in when either trace flag asks
+/// for it.
+fn make_tracer(opts: &CliOptions) -> (Tracer, Option<Arc<MemorySink>>, Arc<FlightRecorder>) {
+    let flight_rec = Arc::new(FlightRecorder::with_default_capacity());
     if opts.trace.is_some() || opts.trace_summary {
-        let (tracer, sink) = Tracer::memory();
-        (tracer, Some(sink))
+        let sink = Arc::new(MemorySink::new());
+        let tee: Vec<Arc<dyn TraceSink>> = vec![flight_rec.clone(), sink.clone()];
+        (
+            Tracer::new(Arc::new(FanoutSink::new(tee))),
+            Some(sink),
+            flight_rec,
+        )
     } else {
-        (Tracer::disabled(), None)
+        (Tracer::new(flight_rec.clone()), None, flight_rec)
     }
+}
+
+/// Reports detected anomalies and, when `--flight-dir` is set, drains
+/// the flight recorder into a forensic bundle. Flight accounting lands
+/// in the wall domain (capture order is host scheduling).
+fn finish_flight(
+    out: &mut String,
+    opts: &CliOptions,
+    anomalies: Vec<Anomaly>,
+    flight_rec: &FlightRecorder,
+    metrics: &Metrics,
+    source: &str,
+    raw_inputs: &[(String, String)],
+) -> Result<(), Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    if metrics.enabled() {
+        metrics.add(
+            Domain::Wall,
+            metric_names::FLIGHT_EVENTS,
+            &[],
+            flight_rec.captured(),
+        );
+        metrics.add(
+            Domain::Wall,
+            metric_names::FLIGHT_EVICTED,
+            &[],
+            flight_rec.evicted(),
+        );
+        for a in &anomalies {
+            let label = [("kind", crate::metrics::LabelValue::from(a.kind.name()))];
+            metrics.add(Domain::Wall, metric_names::FLIGHT_ANOMALIES, &label, 1);
+        }
+    }
+    if anomalies.is_empty() {
+        return Ok(());
+    }
+    let _ = writeln!(out, "\nanomalies detected:");
+    for a in &anomalies {
+        let _ = writeln!(out, "  {}: {}", a.kind, a.detail);
+    }
+    let Some(dir) = &opts.flight_dir else {
+        return Ok(());
+    };
+    let snapshot = metrics.enabled().then(|| metrics.snapshot());
+    let spec = BundleSpec {
+        anomalies: &anomalies,
+        script: source,
+        inputs: raw_inputs,
+        seed: opts.seed,
+        events: &flight_rec.drain(),
+        snapshot: snapshot.as_ref(),
+        repro: flight::repro_command(opts),
+        context: bundle_context(opts),
+    };
+    let name = format!("bundle-seed{}", opts.seed);
+    let path = flight::write_bundle(Path::new(dir), &name, &spec)?;
+    if metrics.enabled() {
+        metrics.add(Domain::Wall, metric_names::FLIGHT_BUNDLES, &[], 1);
+    }
+    let _ = writeln!(out, "forensic bundle: {}", path.display());
+    Ok(())
+}
+
+/// Host-side manifest context for a CLI bundle.
+fn bundle_context(opts: &CliOptions) -> Vec<(String, String)> {
+    let mode = match opts.threads {
+        Some(n) => format!("parallel({n} threads)"),
+        None => "sequential".to_owned(),
+    };
+    vec![
+        ("mode".to_owned(), mode),
+        (
+            "compute_threads".to_owned(),
+            opts.compute_threads
+                .map_or("inline".to_owned(), |n| n.to_string()),
+        ),
+        ("verify_mode".to_owned(), opts.verify_mode.name().to_owned()),
+    ]
 }
 
 /// Drains the sink: writes the Chrome-trace JSON file (`--trace`) and
@@ -551,7 +673,7 @@ fn finish_trace(
     let Some(sink) = sink else { return Ok(()) };
     let events = sink.take();
     if let Some(path) = &opts.trace {
-        std::fs::write(path, chrome_trace_json(&events))?;
+        flight::write_output("--trace", path, &chrome_trace_json(&events))?;
     }
     if opts.trace_summary {
         let delta = data_plane::snapshot().since(&dp_before);
@@ -575,10 +697,11 @@ fn run_parallel(
     opts: &CliOptions,
     source: &str,
     inputs: HashMap<String, Vec<Record>>,
+    raw_inputs: &[(String, String)],
 ) -> Result<String, Box<dyn Error>> {
     use std::fmt::Write as _;
 
-    let (tracer, sink) = make_tracer(opts);
+    let (tracer, sink, flight_rec) = make_tracer(opts);
     let metrics = make_metrics(opts);
     let dp_before = data_plane::snapshot();
 
@@ -646,6 +769,11 @@ fn run_parallel(
                 ""
             },
         );
+        if !outcome.verified() {
+            // A withheld output is one copy-paste from re-execution:
+            // the command pins seed, verify mode, sample rate, threads.
+            let _ = writeln!(out, "repro: {}", flight::repro_command(opts));
+        }
     }
     if !outcome.deviant_replicas().is_empty() {
         let _ = writeln!(out, "deviant replicas: {:?}", outcome.deviant_replicas());
@@ -662,15 +790,31 @@ fn run_parallel(
             let _ = writeln!(out, "... ({} more)", records.len() - opts.show_rows);
         }
     }
+    let snapshot: Option<Snapshot> = metrics.enabled().then(|| metrics.snapshot());
+    let anomalies = flight::detect_parallel_anomalies(&outcome, snapshot.as_ref());
+    finish_flight(
+        &mut out,
+        opts,
+        anomalies,
+        &flight_rec,
+        &metrics,
+        source,
+        raw_inputs,
+    )?;
     finish_trace(&mut out, opts, sink, dp_before)?;
     finish_metrics(&mut out, opts, &metrics)?;
     Ok(out)
 }
 
 /// Builds the metrics hub for one run: a live registry when any metrics
-/// flag is set, the zero-cost disabled handle otherwise.
+/// flag is set — `--flight-dir` counts, so forensic bundles always embed
+/// a snapshot — the zero-cost disabled handle otherwise.
 fn make_metrics(opts: &CliOptions) -> Metrics {
-    if opts.metrics.is_some() || opts.metrics_json.is_some() || opts.health_report {
+    if opts.metrics.is_some()
+        || opts.metrics_json.is_some()
+        || opts.health_report
+        || opts.flight_dir.is_some()
+    {
         Metrics::new()
     } else {
         Metrics::disabled()
@@ -692,10 +836,10 @@ fn finish_metrics(
     }
     let snap = metrics.snapshot();
     if let Some(path) = &opts.metrics {
-        std::fs::write(path, prometheus_text(&snap))?;
+        flight::write_output("--metrics", path, &prometheus_text(&snap))?;
     }
     if let Some(path) = &opts.metrics_json {
-        std::fs::write(path, json_snapshot(&snap))?;
+        flight::write_output("--metrics-json", path, &json_snapshot(&snap))?;
     }
     if opts.health_report {
         // Built from the sim-domain slice only, so the report is identical

@@ -30,6 +30,7 @@
 //! [examples]: https://github.com/rust-lang/cargo/blob/master/src/doc/src/reference/cargo-targets.md#examples
 
 pub mod cli;
+pub mod flight;
 pub mod server_cli;
 
 pub use cbft_bft as bft;

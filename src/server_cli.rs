@@ -13,17 +13,34 @@
 //! Job line grammar (whitespace-separated; `#` starts a comment):
 //!
 //! ```text
-//! TENANT SEED SCRIPT.pig [NAME=FILE ...]
+//! TENANT SEED SCRIPT.pig [NAME=FILE ...] [fault:N:SPEC ...]
 //! ```
+//!
+//! `fault:` tokens inject per-job replica faults (same specs as the
+//! single-run CLI's `--fault`), so chaos jobs ride through the server
+//! like healthy ones — and trip the flight recorder's anomaly detector.
 
 use std::error::Error;
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use crate::cli::{parse_record, UsageError};
+use crate::cli::{parse_record, CliOptions, UsageError};
 use crate::core::{ExecutorConfig, Replication, VpPolicy};
-use crate::metrics::{json_snapshot, prometheus_text, HealthReport, Metrics};
-use crate::server::{JobServer, JobSpec, RejectReason, ServerConfig, SubmitOutcome};
+use crate::flight::{self, Anomaly, AnomalyKind, BundleSpec, RejectionBurstDetector};
+use crate::mapreduce::data_plane;
+use crate::metrics::{
+    json_snapshot, names as metric_names, prometheus_text, Domain, HealthReport, LabelValue,
+    Metrics,
+};
+use crate::server::{
+    JobError, JobResult, JobServer, JobSpec, RejectReason, ServerConfig, SubmitOutcome,
+};
+use crate::trace::{
+    chrome_trace_json, ArgValue, FanoutSink, FlightRecorder, MemorySink, TraceEvent, TraceSink,
+    TraceSummary, Tracer,
+};
 
 /// Parsed command-line options for one `cbftd` invocation.
 #[derive(Clone, Debug, PartialEq)]
@@ -65,6 +82,19 @@ pub struct DaemonOptions {
     /// Append the health report (with its job-server section) to the
     /// run report.
     pub health_report: bool,
+    /// Write a Chrome-trace-format JSON trace of every job here. Jobs
+    /// record through per-job scoped sinks, so co-tenant tracks never
+    /// interleave.
+    pub trace: Option<String>,
+    /// Print the aggregated trace summary after the per-tenant report.
+    pub trace_summary: bool,
+    /// Write per-job forensic bundles here when anomalies fire.
+    pub flight_dir: Option<String>,
+    /// Append wall-clock metrics snapshots to this JSONL series while
+    /// the server runs (one JSON object per line, `t_us` since start).
+    pub snapshot_series: Option<String>,
+    /// Seconds between snapshot-series appends.
+    pub snapshot_interval: u64,
 }
 
 impl Default for DaemonOptions {
@@ -88,6 +118,11 @@ impl Default for DaemonOptions {
             metrics: None,
             metrics_json: None,
             health_report: false,
+            trace: None,
+            trace_summary: false,
+            flight_dir: None,
+            snapshot_series: None,
+            snapshot_interval: 1,
         }
     }
 }
@@ -101,7 +136,9 @@ USAGE:
     cbftd [JOBS_FILE] [OPTIONS]        (no JOBS_FILE: read job lines from stdin)
 
 JOB LINES (one submission per line; '#' starts a comment):
-    TENANT SEED SCRIPT.pig [NAME=FILE ...]
+    TENANT SEED SCRIPT.pig [NAME=FILE ...] [fault:N:SPEC ...]
+    fault: tokens inject per-job replica faults (--fault specs, e.g.
+    fault:0:commission), so chaos jobs ride the queue like healthy ones
 
 OPTIONS:
     --slots N            concurrent execution slots        [default: 2]
@@ -127,9 +164,19 @@ OPTIONS:
     --health-report      append the health report (job-server section:
                          admitted/rejected counts, queue peak, per-tenant
                          latency quantiles)
+    --trace FILE         write a Chrome-trace JSON of every job (per-job
+                         scoped tracks; load in Perfetto)
+    --trace-summary      append the aggregated trace summary
+    --flight-dir DIR     write per-job forensic bundles under DIR when a
+                         job trips the anomaly detector (mismatch,
+                         escalation, withheld output, lost worker, ...)
+    --snapshot-series FILE  append wall-clock metrics snapshots to FILE as
+                         JSONL while the server runs (plus one final line)
+    --snapshot-interval SECS  seconds between appends       [default: 1]
 
 Rejections are explicit backpressure: when the queue is full, cbftd waits
-briefly and retries the submission, counting every rejection it absorbed.";
+briefly and retries the submission, counting every rejection it absorbed.
+A sustained rejection streak is itself an anomaly (rejection_burst).";
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, UsageError> {
     s.parse()
@@ -242,6 +289,19 @@ pub fn parse_daemon_args<I: IntoIterator<Item = String>>(
             "--metrics" => opts.metrics = Some(need(&mut it, "--metrics")?),
             "--metrics-json" => opts.metrics_json = Some(need(&mut it, "--metrics-json")?),
             "--health-report" => opts.health_report = true,
+            "--trace" => opts.trace = Some(need(&mut it, "--trace")?),
+            "--trace-summary" => opts.trace_summary = true,
+            "--flight-dir" => opts.flight_dir = Some(need(&mut it, "--flight-dir")?),
+            "--snapshot-series" => opts.snapshot_series = Some(need(&mut it, "--snapshot-series")?),
+            "--snapshot-interval" => {
+                opts.snapshot_interval = positive(
+                    parse_num(
+                        &need(&mut it, "--snapshot-interval")?,
+                        "--snapshot-interval",
+                    )?,
+                    "--snapshot-interval",
+                )? as u64
+            }
             "--help" | "-h" => return Err(UsageError(DAEMON_USAGE.to_owned())),
             other if !other.starts_with('-') && opts.jobs.is_none() => {
                 opts.jobs = Some(other.to_owned());
@@ -252,8 +312,17 @@ pub fn parse_daemon_args<I: IntoIterator<Item = String>>(
     Ok(opts)
 }
 
+/// Raw `(name, contents)` input files exactly as read from disk, kept
+/// so forensic bundles can ship byte-exact copies.
+type RawInputs = Vec<(String, String)>;
+
+/// Per-job context retained while a submission is in flight: the parsed
+/// line, the script text, and the raw input files — everything a
+/// forensic bundle needs beyond the drained ring events.
+type JobContexts = std::collections::BTreeMap<u64, (JobLine, String, RawInputs)>;
+
 /// One parsed job submission line.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobLine {
     /// The submitting tenant.
     pub tenant: String,
@@ -263,10 +332,12 @@ pub struct JobLine {
     pub script: String,
     /// Inputs as `name=path` pairs.
     pub inputs: Vec<(String, String)>,
+    /// Per-job injected replica faults (`fault:N:SPEC` tokens).
+    pub faults: Vec<(usize, crate::core::Behavior)>,
 }
 
-/// Parses one `TENANT SEED SCRIPT [NAME=FILE ...]` submission line.
-/// Returns `None` for blank lines and `#` comments.
+/// Parses one `TENANT SEED SCRIPT [NAME=FILE ...] [fault:N:SPEC ...]`
+/// submission line. Returns `None` for blank lines and `#` comments.
 ///
 /// # Errors
 ///
@@ -288,7 +359,12 @@ pub fn parse_job_line(line: &str) -> Result<Option<JobLine>, UsageError> {
         .next()
         .ok_or_else(|| UsageError(format!("job line '{line}' is missing a script path")))?;
     let mut inputs = Vec::new();
+    let mut faults = Vec::new();
     for tok in tokens {
+        if let Some(spec) = tok.strip_prefix("fault:") {
+            faults.push(crate::cli::parse_fault(spec)?);
+            continue;
+        }
         let (name, path) = tok.split_once('=').ok_or_else(|| {
             UsageError(format!("job input '{tok}' wants NAME=FILE (line '{line}')"))
         })?;
@@ -299,6 +375,7 @@ pub fn parse_job_line(line: &str) -> Result<Option<JobLine>, UsageError> {
         seed,
         script: script.to_owned(),
         inputs,
+        faults,
     }))
 }
 
@@ -322,16 +399,19 @@ fn job_exec(opts: &DaemonOptions, seed: u64) -> ExecutorConfig {
     }
 }
 
-/// Loads one job line's script and inputs into a submit-ready [`JobSpec`].
+/// Loads one job line's script and inputs into a submit-ready
+/// [`JobSpec`], returning the raw input texts alongside (forensic
+/// bundles ship exact copies of what was read).
 ///
 /// # Errors
 ///
 /// IO errors carry the path (and input name) that failed, so a typo in a
 /// thousand-line jobs file is findable.
-fn load_job(opts: &DaemonOptions, line: &JobLine) -> Result<JobSpec, Box<dyn Error>> {
+fn load_job(opts: &DaemonOptions, line: &JobLine) -> Result<(JobSpec, RawInputs), Box<dyn Error>> {
     let script = std::fs::read_to_string(&line.script)
         .map_err(|e| format!("cannot read script '{}': {e}", line.script))?;
     let mut spec = JobSpec::new(&line.tenant, &script).exec(job_exec(opts, line.seed));
+    let mut raw = Vec::with_capacity(line.inputs.len());
     for (name, path) in &line.inputs {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read input '{name}' from '{path}': {e}"))?;
@@ -341,8 +421,134 @@ fn load_job(opts: &DaemonOptions, line: &JobLine) -> Result<JobSpec, Box<dyn Err
             .map(parse_record)
             .collect();
         spec = spec.input(name, records);
+        raw.push((name.clone(), text));
     }
-    Ok(spec)
+    for &(uid, behavior) in &line.faults {
+        spec = spec.fault(uid, behavior);
+    }
+    Ok((spec, raw))
+}
+
+/// The one-shot `cbft` invocation equivalent to one daemon job, built by
+/// projecting the daemon options onto [`CliOptions`] so the repro
+/// command renders through the same [`flight::repro_command`] path the
+/// single-run CLI uses.
+fn job_cli_options(opts: &DaemonOptions, line: &JobLine) -> CliOptions {
+    CliOptions {
+        script: line.script.clone(),
+        inputs: line.inputs.clone(),
+        nodes: opts.nodes,
+        slots: opts.slots_per_node,
+        seed: line.seed,
+        f: opts.f,
+        replication: opts.replication,
+        points: opts.points,
+        granularity: opts.granularity,
+        batch_size: opts.batch_size,
+        threads: Some(opts.threads),
+        faults: line.faults.clone(),
+        ..CliOptions::default()
+    }
+}
+
+/// Events a given job recorded into the shared flight recorder. Every
+/// event from a server job carries the `job` arg its
+/// [`crate::trace::ScopedSink`] stamped on it.
+fn job_events(events: &[TraceEvent], id: u64) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            e.args
+                .iter()
+                .any(|(k, v)| *k == "job" && matches!(v, ArgValue::Uint(j) if *j == id))
+        })
+        .cloned()
+        .collect()
+}
+
+/// Directory-name-safe tenant label for bundle paths.
+fn sanitize(tenant: &str) -> String {
+    tenant
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Consecutive admission rejections that count as a sustained burst. At
+/// the daemon's 500µs retry pause this is ~10ms of solid backpressure.
+const REJECTION_BURST_THRESHOLD: u64 = 20;
+
+/// A background thread appending wall-clock metrics snapshots to a JSONL
+/// series file every `interval` seconds, plus one final line at
+/// shutdown. Lines are `{"t_us": N, "snapshot": { ... }}`.
+struct SnapshotSeries {
+    stop: mpsc::Sender<()>,
+    thread: std::thread::JoinHandle<Result<u64, String>>,
+}
+
+impl SnapshotSeries {
+    fn start(path: &str, interval: u64, metrics: Metrics) -> Result<Self, Box<dyn Error>> {
+        use std::io::Write as _;
+
+        // Probe the path eagerly (creating parents) so a bad
+        // --snapshot-series fails the invocation, not the thread.
+        flight::write_output("--snapshot-series", path, "")?;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open --snapshot-series output '{path}': {e}"))?;
+        let (stop, rx) = mpsc::channel::<()>();
+        let path = path.to_owned();
+        let epoch = Instant::now();
+        let thread = std::thread::Builder::new()
+            .name("cbftd-snapshots".to_owned())
+            .spawn(move || {
+                let mut written = 0u64;
+                let append = |file: &mut std::fs::File| -> Result<(), String> {
+                    let line = format!(
+                        "{{\"t_us\": {}, \"snapshot\": {}}}\n",
+                        epoch.elapsed().as_micros(),
+                        json_snapshot(&metrics.snapshot())
+                    );
+                    file.write_all(line.as_bytes())
+                        .and_then(|()| file.flush())
+                        .map_err(|e| {
+                            format!("cannot append --snapshot-series output '{path}': {e}")
+                        })
+                };
+                loop {
+                    match rx.recv_timeout(Duration::from_secs(interval)) {
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            append(&mut file)?;
+                            written += 1;
+                        }
+                        // Stop requested (or the daemon dropped the
+                        // sender): one final snapshot closes the series.
+                        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            append(&mut file)?;
+                            return Ok(written + 1);
+                        }
+                    }
+                }
+            })
+            .expect("spawn snapshot-series thread");
+        Ok(SnapshotSeries { stop, thread })
+    }
+
+    /// Stops the thread after its final snapshot; returns lines written.
+    fn finish(self) -> Result<u64, Box<dyn Error>> {
+        let _ = self.stop.send(());
+        self.thread
+            .join()
+            .expect("snapshot-series thread panicked")
+            .map_err(Into::into)
+    }
 }
 
 /// Executes a parsed `cbftd` invocation: reads the job stream, drives the
@@ -371,11 +577,33 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
         }
     }
 
-    let metrics = if opts.metrics.is_some() || opts.metrics_json.is_some() || opts.health_report {
+    let metrics = if opts.metrics.is_some()
+        || opts.metrics_json.is_some()
+        || opts.health_report
+        || opts.snapshot_series.is_some()
+        || opts.flight_dir.is_some()
+    {
         Metrics::new()
     } else {
         Metrics::disabled()
     };
+
+    // The flight recorder is always attached, like the single-run CLI:
+    // its fixed-memory rings are the forensic context when a job trips
+    // the anomaly detector. A full-capture MemorySink is teed in only
+    // when a trace flag asks for one.
+    let flight_rec = Arc::new(FlightRecorder::with_default_capacity());
+    let mem_sink =
+        (opts.trace.is_some() || opts.trace_summary).then(|| Arc::new(MemorySink::new()));
+    let tracer = match &mem_sink {
+        Some(sink) => {
+            let tee: Vec<Arc<dyn TraceSink>> = vec![flight_rec.clone(), sink.clone()];
+            Tracer::new(Arc::new(FanoutSink::new(tee)))
+        }
+        None => Tracer::new(flight_rec.clone()),
+    };
+    let dp_before = data_plane::snapshot();
+
     let server = JobServer::start(ServerConfig {
         slots: opts.slots,
         queue_depth: opts.queue_depth,
@@ -384,28 +612,51 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
         weights: opts.weights.clone(),
         max_inflight: opts.max_inflight.clone(),
         metrics: metrics.clone(),
+        tracer,
+        // Per-job metrics hubs feed the per-job bundle forensics.
+        job_metrics: opts.flight_dir.is_some(),
     });
+
+    let series = match &opts.snapshot_series {
+        Some(path) => Some(SnapshotSeries::start(
+            path,
+            opts.snapshot_interval,
+            metrics.clone(),
+        )?),
+        None => None,
+    };
 
     // Submit the whole stream. Queue-full responses are absorbed here
     // with a short pause and a retry — the daemon is the polite client;
-    // `load_gen` exercises the impolite one.
+    // `load_gen` exercises the impolite one. A sustained rejection
+    // streak trips the rejection_burst anomaly.
     let started = Instant::now();
     let mut handles = Vec::with_capacity(lines.len());
+    let mut contexts: JobContexts = Default::default();
     let mut backpressure = 0u64;
     let mut quota_waits = 0u64;
+    let mut burst = RejectionBurstDetector::new(REJECTION_BURST_THRESHOLD);
+    let mut server_anomalies: Vec<Anomaly> = Vec::new();
     for (lineno, line) in &lines {
-        let spec = load_job(opts, line).map_err(|e| format!("jobs line {lineno}: {e}"))?;
+        let (spec, raw_inputs) =
+            load_job(opts, line).map_err(|e| format!("jobs line {lineno}: {e}"))?;
+        let script_text = spec.script.clone();
         let handle = loop {
             match server.submit(spec.clone()) {
-                SubmitOutcome::Admitted(h) => break h,
+                SubmitOutcome::Admitted(h) => {
+                    burst.admitted();
+                    break h;
+                }
                 SubmitOutcome::Rejected(RejectReason::QueueFull { .. }) => {
                     backpressure += 1;
+                    server_anomalies.extend(burst.rejected());
                     std::thread::sleep(Duration::from_micros(500));
                 }
                 // In-flight quota slots free up as the tenant's earlier
                 // jobs finish, so these are also worth waiting out.
                 SubmitOutcome::Rejected(RejectReason::QuotaExceeded { .. }) => {
                     quota_waits += 1;
+                    server_anomalies.extend(burst.rejected());
                     std::thread::sleep(Duration::from_micros(500));
                 }
                 SubmitOutcome::Rejected(r @ RejectReason::ShuttingDown) => {
@@ -413,6 +664,9 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
                 }
             }
         };
+        if opts.flight_dir.is_some() {
+            contexts.insert(handle.id, (line.clone(), script_text, raw_inputs));
+        }
         handles.push(handle);
     }
 
@@ -424,10 +678,14 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
     let mut out = String::new();
     let mut verified = 0usize;
     let mut failed = 0usize;
-    let mut by_tenant: std::collections::BTreeMap<String, (usize, usize)> = Default::default();
+    // tenant → (jobs, verified, Σqueue_us, Σexec_us)
+    let mut by_tenant: std::collections::BTreeMap<String, (usize, usize, u64, u64)> =
+        Default::default();
     for r in &results {
         let entry = by_tenant.entry(r.tenant.clone()).or_default();
         entry.0 += 1;
+        entry.2 += r.queue_us;
+        entry.3 += r.exec_us;
         let status = match &r.outcome {
             Ok(o) if o.verified() => {
                 verified += 1;
@@ -440,14 +698,19 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
                 format!("ERROR: {e}")
             }
         };
+        let t = &r.timeline;
         let _ = writeln!(
             out,
-            "job {} tenant={} {status} queue_ms={:.2} exec_ms={:.2} total_ms={:.2}",
+            "job {} tenant={} {status} queue_ms={:.2} exec_ms={:.2} total_ms={:.2} \
+             timeline admit@{:.2}ms exec@{:.2}ms done@{:.2}ms",
             r.id,
             r.tenant,
             r.queue_us as f64 / 1e3,
             r.exec_us as f64 / 1e3,
             r.total_us as f64 / 1e3,
+            t.admitted_us as f64 / 1e3,
+            t.dispatched_us as f64 / 1e3,
+            t.completed_us as f64 / 1e3,
         );
     }
     let secs = elapsed.as_secs_f64().max(1e-9);
@@ -459,19 +722,62 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
         elapsed.as_secs_f64(),
         results.len() as f64 / secs,
     );
-    for (tenant, (total, ok)) in &by_tenant {
-        let _ = writeln!(out, "  tenant {tenant}: {ok}/{total} verified");
+    for (tenant, (total, ok, queue_us, exec_us)) in &by_tenant {
+        let n = (*total).max(1) as f64;
+        let _ = writeln!(
+            out,
+            "  tenant {tenant}: {ok}/{total} verified \
+             (mean queue {:.2} ms, mean exec {:.2} ms)",
+            *queue_us as f64 / n / 1e3,
+            *exec_us as f64 / n / 1e3,
+        );
+    }
+
+    finish_flight(
+        &mut out,
+        opts,
+        &results,
+        server_anomalies,
+        &flight_rec,
+        &metrics,
+        &contexts,
+    )?;
+
+    if let Some(series) = series {
+        let written = series.finish()?;
+        let _ = writeln!(
+            out,
+            "snapshot series: {written} snapshots -> {}",
+            opts.snapshot_series.as_deref().unwrap_or(""),
+        );
+    }
+
+    if let Some(sink) = mem_sink {
+        let events = sink.take();
+        if let Some(path) = &opts.trace {
+            flight::write_output("--trace", path, &chrome_trace_json(&events))?;
+        }
+        if opts.trace_summary {
+            let delta = data_plane::snapshot().since(&dp_before);
+            let summary = TraceSummary::from_events(&events)
+                .with_counter("records_cloned", delta.records_cloned)
+                .with_counter("arcs_shared", delta.arcs_shared)
+                .with_counter("bytes_encoded", delta.bytes_encoded)
+                .with_counter("digest_bytes_hashed", delta.digest_bytes_hashed)
+                .with_counter("tasks_dispatched", delta.tasks_dispatched)
+                .with_counter("tasks_stolen", delta.tasks_stolen)
+                .with_counter("pool_queue_peak", delta.pool_queue_peak);
+            let _ = writeln!(out, "\n{}", summary.render());
+        }
     }
 
     if metrics.enabled() {
         let snap = metrics.snapshot();
         if let Some(path) = &opts.metrics {
-            std::fs::write(path, prometheus_text(&snap))
-                .map_err(|e| format!("cannot write metrics '{path}': {e}"))?;
+            flight::write_output("--metrics", path, &prometheus_text(&snap))?;
         }
         if let Some(path) = &opts.metrics_json {
-            std::fs::write(path, json_snapshot(&snap))
-                .map_err(|e| format!("cannot write metrics JSON '{path}': {e}"))?;
+            flight::write_output("--metrics-json", path, &json_snapshot(&snap))?;
         }
         if opts.health_report {
             // Full snapshot: the server series are wall-domain.
@@ -480,6 +786,116 @@ pub fn run_daemon(opts: &DaemonOptions) -> Result<String, Box<dyn Error>> {
         }
     }
     Ok(out)
+}
+
+/// Per-job anomaly detection over the daemon's results, forensic-bundle
+/// emission, and flight accounting — the server-side mirror of the
+/// single-run CLI's flight tail.
+fn finish_flight(
+    out: &mut String,
+    opts: &DaemonOptions,
+    results: &[JobResult],
+    server_anomalies: Vec<Anomaly>,
+    flight_rec: &FlightRecorder,
+    metrics: &Metrics,
+    contexts: &JobContexts,
+) -> Result<(), Box<dyn Error>> {
+    if metrics.enabled() {
+        metrics.add(
+            Domain::Wall,
+            metric_names::FLIGHT_EVENTS,
+            &[],
+            flight_rec.captured(),
+        );
+        metrics.add(
+            Domain::Wall,
+            metric_names::FLIGHT_EVICTED,
+            &[],
+            flight_rec.evicted(),
+        );
+    }
+
+    // One drain serves every bundle: each job's events carry the `job`
+    // arg its scoped sink stamped.
+    let drained = flight_rec.drain();
+    let mut anomaly_lines: Vec<String> = Vec::new();
+    let mut bundle_lines: Vec<String> = Vec::new();
+    let record = |anomalies: &[Anomaly]| {
+        if metrics.enabled() {
+            for a in anomalies {
+                let label = [("kind", LabelValue::from(a.kind.name()))];
+                metrics.add(Domain::Wall, metric_names::FLIGHT_ANOMALIES, &label, 1);
+            }
+        }
+    };
+
+    record(&server_anomalies);
+    for a in &server_anomalies {
+        anomaly_lines.push(format!("  server {}: {}", a.kind, a.detail));
+    }
+
+    for r in results {
+        let anomalies = match &r.outcome {
+            Ok(o) => flight::detect_parallel_anomalies(o, r.snapshot.as_ref()),
+            Err(JobError::WorkerLost) => vec![Anomaly {
+                kind: AnomalyKind::WorkerLost,
+                detail: "slot worker died before delivering a result".to_owned(),
+            }],
+            // Exec errors (parse failures, missing inputs) and
+            // cancellations are reported on the result line; they are
+            // not integrity anomalies.
+            Err(_) => Vec::new(),
+        };
+        if anomalies.is_empty() {
+            continue;
+        }
+        record(&anomalies);
+        for a in &anomalies {
+            anomaly_lines.push(format!(
+                "  job {} ({}) {}: {}",
+                r.id, r.tenant, a.kind, a.detail
+            ));
+        }
+        let Some(dir) = &opts.flight_dir else {
+            continue;
+        };
+        let Some((line, script, raw_inputs)) = contexts.get(&r.id) else {
+            continue;
+        };
+        let spec = BundleSpec {
+            anomalies: &anomalies,
+            script,
+            inputs: raw_inputs,
+            seed: line.seed,
+            events: &job_events(&drained, r.id),
+            snapshot: r.snapshot.as_ref(),
+            repro: flight::repro_command(&job_cli_options(opts, line)),
+            context: vec![
+                ("mode".to_owned(), "cbftd".to_owned()),
+                ("tenant".to_owned(), r.tenant.clone()),
+                ("job".to_owned(), r.id.to_string()),
+                ("slots".to_owned(), opts.slots.to_string()),
+                ("threads".to_owned(), opts.threads.to_string()),
+            ],
+        };
+        let name = format!("job{}-{}-seed{}", r.id, sanitize(&r.tenant), line.seed);
+        let path = flight::write_bundle(Path::new(dir), &name, &spec)?;
+        if metrics.enabled() {
+            metrics.add(Domain::Wall, metric_names::FLIGHT_BUNDLES, &[], 1);
+        }
+        bundle_lines.push(format!("forensic bundle: {}", path.display()));
+    }
+
+    if !anomaly_lines.is_empty() {
+        let _ = writeln!(out, "\nanomalies detected:");
+        for line in anomaly_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    for line in bundle_lines {
+        let _ = writeln!(out, "{line}");
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -557,6 +973,55 @@ mod tests {
             let err = parse(args).unwrap_err();
             assert!(err.0.contains(needle), "{args:?}: {err}");
         }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let opts = parse(&[
+            "jobs.txt",
+            "--trace",
+            "t.json",
+            "--trace-summary",
+            "--flight-dir",
+            "flights",
+            "--snapshot-series",
+            "series.jsonl",
+            "--snapshot-interval",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(opts.trace.as_deref(), Some("t.json"));
+        assert!(opts.trace_summary);
+        assert_eq!(opts.flight_dir.as_deref(), Some("flights"));
+        assert_eq!(opts.snapshot_series.as_deref(), Some("series.jsonl"));
+        assert_eq!(opts.snapshot_interval, 5);
+
+        let err = parse(&["--snapshot-interval", "0"]).unwrap_err();
+        assert!(
+            err.0.contains("--snapshot-interval must be at least 1"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn job_line_fault_tokens_parse() {
+        use crate::core::Behavior;
+
+        let line =
+            parse_job_line("acme 7 s.pig edges=e.csv fault:0:commission fault:1:omission:0.5")
+                .unwrap()
+                .unwrap();
+        assert_eq!(line.inputs, vec![("edges".to_owned(), "e.csv".to_owned())]);
+        assert_eq!(
+            line.faults,
+            vec![
+                (0, Behavior::Commission { probability: 1.0 }),
+                (1, Behavior::Omission { probability: 0.5 }),
+            ]
+        );
+
+        let err = parse_job_line("acme 7 s.pig fault:zero:commission").unwrap_err();
+        assert!(err.0.contains("fault"), "{err}");
     }
 
     #[test]
@@ -671,6 +1136,108 @@ mod tests {
             .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
         assert!(text.contains("cbft_server_jobs_admitted_total"), "{text}");
         assert!(text.contains("cbft_server_job_latency_us"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn daemon_flight_bundle_snapshot_series_and_trace() {
+        let dir = std::env::temp_dir().join(format!("cbftd_flight_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let script = dir.join("s.pig");
+        std::fs::write(
+            &script,
+            "a = LOAD 'edges' AS (u, f);
+             g = GROUP a BY u;
+             c = FOREACH g GENERATE group, COUNT(a) AS n;
+             STORE c INTO 'counts';",
+        )
+        .unwrap();
+        let data = dir.join("edges.csv");
+        let rows: Vec<String> = (0..40).map(|i| format!("{},{}", i % 4, i)).collect();
+        std::fs::write(&data, rows.join("\n")).unwrap();
+        let jobs = dir.join("jobs.txt");
+        std::fs::write(
+            &jobs,
+            format!(
+                "acme 7 {s} edges={d}\n\
+                 evil 9 {s} edges={d} fault:0:commission\n",
+                s = script.display(),
+                d = data.display()
+            ),
+        )
+        .unwrap();
+        let flights = dir.join("flights");
+        let series = dir.join("series.jsonl");
+        let trace = dir.join("trace.json");
+
+        let opts = parse(&[
+            jobs.to_str().unwrap(),
+            "--flight-dir",
+            flights.to_str().unwrap(),
+            "--snapshot-series",
+            series.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--trace-summary",
+        ])
+        .unwrap();
+        let report = run_daemon(&opts).unwrap();
+
+        // Both jobs complete (the faulty one after escalation), both
+        // result lines carry the lifecycle timeline.
+        assert_eq!(report.matches("VERIFIED").count(), 2, "{report}");
+        assert_eq!(report.matches("timeline admit@").count(), 2, "{report}");
+        assert!(report.contains("anomalies detected:"), "{report}");
+        assert!(report.contains("digest_mismatch"), "{report}");
+        assert!(report.contains("forensic bundle:"), "{report}");
+
+        // Exactly one bundle: the faulty job's, naming replica 0.
+        let bundles: Vec<_> = std::fs::read_dir(&flights)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(bundles.len(), 1, "{bundles:?}");
+        let bundle = &bundles[0];
+        assert!(
+            bundle
+                .file_name()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .contains("evil"),
+            "{bundle:?}"
+        );
+        let manifest = std::fs::read_to_string(bundle.join("manifest.json")).unwrap();
+        assert!(manifest.contains("digest_mismatch"), "{manifest}");
+        assert!(manifest.contains("{0}"), "names replica 0: {manifest}");
+        assert!(manifest.contains("\"tenant\": \"evil\""), "{manifest}");
+        assert!(manifest.contains("fault 0:commission"), "{manifest}");
+        // The bundle carries the per-job sim forensics and the event log.
+        let prom = std::fs::read_to_string(bundle.join("sim/metrics.prom")).unwrap();
+        crate::metrics::validate_prometheus_text(&prom)
+            .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{prom}"));
+        assert!(!std::fs::read_to_string(bundle.join("sim/events.log"))
+            .unwrap()
+            .is_empty());
+        assert!(bundle.join("script.pig").exists());
+        assert!(bundle.join("input_edges.csv").exists());
+        assert!(bundle.join("repro.sh").exists());
+
+        // The snapshot series holds at least the final line, each line
+        // one JSON object with a t_us offset.
+        let series_text = std::fs::read_to_string(&series).unwrap();
+        let lines: Vec<_> = series_text.lines().collect();
+        assert!(!lines.is_empty(), "{series_text}");
+        for line in &lines {
+            assert!(line.starts_with("{\"t_us\": "), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+        }
+        assert!(report.contains("snapshot series:"), "{report}");
+
+        // The Chrome trace landed and the summary rendered.
+        assert!(std::fs::read_to_string(&trace).unwrap().contains("\"pid\""));
+        assert!(report.contains("trace summary"), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,225 @@
+//! Flight-recorder forensics, end to end through the CLI:
+//!
+//! * the sim-domain content of a forensic bundle (event log, metrics,
+//!   health report, script and input copies) is **byte-identical**
+//!   across the `--threads` × `--compute-threads` matrix — the recorder
+//!   shards by track, not by OS thread, so host scheduling never leaks
+//!   into a bundle;
+//! * a seeded chaos run with one commission fault emits **exactly one**
+//!   bundle naming the faulty replica, and the bundle's own `repro.sh`
+//!   command line reproduces the mismatch verdict from the bundled
+//!   copies;
+//! * the sample tier prints a one-shot repro command when it withholds
+//!   output, and that command reproduces the withheld verdict;
+//! * CLI output writers create missing parent directories.
+
+use std::path::{Path, PathBuf};
+
+use clusterbft_repro::cli::{parse_args, run};
+
+const SCRIPT: &str = "a = LOAD 'edges' AS (u, f);
+g = GROUP a BY u;
+c = FOREACH g GENERATE group, COUNT(a) AS n;
+STORE c INTO 'counts';
+";
+
+/// Writes the script and input files for one test into `dir`.
+fn setup(dir: &Path) -> (PathBuf, PathBuf) {
+    std::fs::create_dir_all(dir).unwrap();
+    let script = dir.join("s.pig");
+    std::fs::write(&script, SCRIPT).unwrap();
+    let data = dir.join("edges.csv");
+    let rows: Vec<String> = (0..60).map(|i| format!("{},{}", i % 5, i)).collect();
+    std::fs::write(&data, rows.join("\n")).unwrap();
+    (script, data)
+}
+
+fn run_cli(args: &[String]) -> String {
+    let opts = parse_args(args.iter().cloned()).unwrap();
+    run(&opts).unwrap()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cbft_flight_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn bundle_sim_content_is_byte_identical_across_thread_matrix() {
+    let dir = tmp("matrix");
+    let (script, data) = setup(&dir);
+    // Every deterministic file in the bundle; manifest.json and repro.sh
+    // intentionally excluded (they record host-side thread counts).
+    let sim_files = [
+        "script.pig",
+        "input_edges.csv",
+        "sim/events.log",
+        "sim/metrics.prom",
+        "sim/metrics.json",
+        "sim/health.txt",
+    ];
+    let mut baseline: Option<Vec<(String, Vec<u8>)>> = None;
+    for threads in [1usize, 8] {
+        for compute in [1usize, 8] {
+            let flights = dir.join(format!("flights_t{threads}_c{compute}"));
+            run_cli(&[
+                script.display().to_string(),
+                "--input".into(),
+                format!("edges={}", data.display()),
+                "--seed".into(),
+                "77".into(),
+                "--threads".into(),
+                threads.to_string(),
+                "--compute-threads".into(),
+                compute.to_string(),
+                "--fault".into(),
+                "0:commission".into(),
+                "--flight-dir".into(),
+                flights.display().to_string(),
+            ]);
+            let bundle = flights.join("bundle-seed77");
+            let contents: Vec<(String, Vec<u8>)> = sim_files
+                .iter()
+                .map(|f| {
+                    let bytes = std::fs::read(bundle.join(f))
+                        .unwrap_or_else(|e| panic!("missing {f} in {bundle:?}: {e}"));
+                    ((*f).to_owned(), bytes)
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(contents),
+                Some(base) => {
+                    for ((name, want), (_, got)) in base.iter().zip(&contents) {
+                        assert_eq!(
+                            want, got,
+                            "{name} differs at threads={threads} compute={compute}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_commission_fault_emits_one_bundle_whose_repro_reproduces() {
+    let dir = tmp("chaos");
+    let (script, data) = setup(&dir);
+    let flights = dir.join("flights");
+    let report = run_cli(&[
+        script.display().to_string(),
+        "--input".into(),
+        format!("edges={}", data.display()),
+        "--seed".into(),
+        "9".into(),
+        "--threads".into(),
+        "2".into(),
+        "--fault".into(),
+        "0:commission".into(),
+        "--flight-dir".into(),
+        flights.display().to_string(),
+    ]);
+    assert!(report.contains("anomalies detected:"), "{report}");
+    assert!(report.contains("deviant replicas: {0}"), "{report}");
+
+    // Exactly one bundle, and its manifest names the faulty replica.
+    let bundles: Vec<PathBuf> = std::fs::read_dir(&flights)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(bundles.len(), 1, "{bundles:?}");
+    let bundle = &bundles[0];
+    let manifest = std::fs::read_to_string(bundle.join("manifest.json")).unwrap();
+    assert!(manifest.contains("digest_mismatch"), "{manifest}");
+    assert!(
+        manifest.contains("deviant replicas {0}"),
+        "manifest names the faulty replica: {manifest}"
+    );
+
+    // Re-execute the bundle's own repro command against the bundled
+    // copies: same seed, same fault plan, same verdict.
+    let sh = std::fs::read_to_string(bundle.join("repro.sh")).unwrap();
+    let cmd = sh
+        .lines()
+        .find_map(|l| l.strip_prefix("exec cbft "))
+        .unwrap_or_else(|| panic!("no exec line in {sh}"));
+    let args: Vec<String> = cmd
+        .split_whitespace()
+        .map(|tok| {
+            // repro.sh runs from inside the bundle; resolve its relative
+            // script/input paths for an in-process re-run.
+            if tok == "script.pig" {
+                bundle.join(tok).display().to_string()
+            } else if let Some((name, file)) = tok.split_once('=') {
+                format!("{name}={}", bundle.join(file).display())
+            } else {
+                tok.to_owned()
+            }
+        })
+        .collect();
+    let replay = run_cli(&args);
+    assert!(
+        replay.contains("deviant replicas: {0}"),
+        "repro reproduces the mismatch verdict: {replay}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sample_withhold_prints_repro_that_reproduces_the_verdict() {
+    let dir = tmp("sample");
+    let (script, data) = setup(&dir);
+    let report = run_cli(&[
+        script.display().to_string(),
+        "--input".into(),
+        format!("edges={}", data.display()),
+        "--seed".into(),
+        "5".into(),
+        "--threads".into(),
+        "2".into(),
+        "--verify-mode".into(),
+        "sample".into(),
+        "--sample-rate".into(),
+        "1.0".into(),
+        "--fault".into(),
+        "0:commission".into(),
+    ]);
+    assert!(report.contains("NOT VERIFIED"), "{report}");
+    let repro = report
+        .lines()
+        .find_map(|l| l.strip_prefix("repro: cbft "))
+        .unwrap_or_else(|| panic!("withheld output prints a repro line: {report}"));
+    let replay = run_cli(
+        &repro
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        replay.contains("NOT VERIFIED"),
+        "repro reproduces the withheld verdict: {replay}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn output_writers_create_missing_parent_directories() {
+    let dir = tmp("parents");
+    let (script, data) = setup(&dir);
+    let prom = dir.join("deep/ly/nested/m.prom");
+    let trace = dir.join("other/branch/t.json");
+    run_cli(&[
+        script.display().to_string(),
+        "--input".into(),
+        format!("edges={}", data.display()),
+        "--metrics".into(),
+        prom.display().to_string(),
+        "--trace".into(),
+        trace.display().to_string(),
+    ]);
+    assert!(prom.exists(), "--metrics parent dirs created");
+    assert!(trace.exists(), "--trace parent dirs created");
+    std::fs::remove_dir_all(&dir).ok();
+}
